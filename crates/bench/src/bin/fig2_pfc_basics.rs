@@ -1,0 +1,25 @@
+//! Figure 2 — PFC mechanics: lossless classes pause, lossy classes drop.
+
+use rocescale_bench::header;
+use rocescale_core::scenarios::pfc_basics;
+use rocescale_sim::SimTime;
+
+fn main() {
+    header(
+        "FIG-2 (§2)",
+        "PFC prevents buffer overflow by pausing the upstream sender (XOFF/XON); \
+         without it, the same incast drops packets",
+    );
+    let dur = SimTime::from_millis(10);
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>14}",
+        "pfc", "pauses", "resumes", "drops", "goodput(Gb/s)"
+    );
+    for pfc in [true, false] {
+        let r = pfc_basics::run(pfc, 4, dur);
+        println!(
+            "{:<6} {:>8} {:>8} {:>8} {:>14.2}",
+            r.pfc, r.pauses, r.resumes, r.drops, r.goodput_gbps
+        );
+    }
+}

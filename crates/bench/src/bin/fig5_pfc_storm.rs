@@ -1,0 +1,31 @@
+//! Figure 5 / §4.3 — one malfunctioning NIC's pause storm vs the two
+//! watchdogs.
+
+use rocescale_bench::header;
+use rocescale_core::scenarios::storm;
+use rocescale_sim::SimTime;
+
+fn main() {
+    header(
+        "FIG-5 (§4.3)",
+        "a single malfunctioning NIC may block the entire network from transmitting; \
+         complementary NIC-side and switch-side watchdogs contain it",
+    );
+    let dur = SimTime::from_millis(40);
+    println!(
+        "{:<10} {:>14} {:>16} {:>8} {:>10}",
+        "watchdogs", "healthy pairs", "victim pauses", "nic wd", "switch wd"
+    );
+    for watchdogs in [false, true] {
+        let r = storm::run(watchdogs, dur);
+        println!(
+            "{:<10} {:>10}/{:<3} {:>16} {:>8} {:>10}",
+            r.watchdogs,
+            r.healthy_pairs,
+            r.total_pairs,
+            r.victim_pause_rx,
+            r.nic_watchdog_fired,
+            r.switch_watchdog_fired
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 8 / §5.4 — RDMA latency before vs during the saturating stress,
+//! and TCP's isolation in its own queue.
+
+use rocescale_bench::{header, latency_header, latency_row};
+use rocescale_core::scenarios::load_latency;
+use rocescale_sim::SimTime;
+
+fn main() {
+    header(
+        "FIG-8 (§5.4)",
+        "once the stress starts, RDMA p99 jumps 50→400 µs and p99.9 80→800 µs — queues \
+         and pauses, not losses; TCP's p99 in its own switch queue does not change",
+    );
+    let r = load_latency::run(SimTime::from_millis(10), SimTime::from_millis(30));
+    println!("{}", latency_header());
+    println!("{}", latency_row("RDMA idle", &r.rdma_idle));
+    println!("{}", latency_row("RDMA under load", &r.rdma_loaded));
+    println!("{}", latency_row("TCP idle", &r.tcp_idle));
+    println!("{}", latency_row("TCP under load", &r.tcp_loaded));
+    println!();
+    println!(
+        "lossless drops: {} | RDMA p99 jump: {:.1}x | RDMA p99.9 jump: {:.1}x | TCP p99 ratio: {:.2}x",
+        r.lossless_drops,
+        r.rdma_loaded.p99_us / r.rdma_idle.p99_us,
+        r.rdma_loaded.p999_us / r.rdma_idle.p999_us,
+        r.tcp_loaded.p99_us / r.tcp_idle.p99_us,
+    );
+}

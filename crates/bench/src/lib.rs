@@ -1,0 +1,35 @@
+//! Experiment harness shared by the `fig*`/`exp*` binaries.
+//!
+//! Every evaluation figure of the paper has a binary in `src/bin/` that
+//! regenerates it (see `DESIGN.md` §4 for the index); this library holds
+//! the shared table-rendering helpers so their output is uniform and easy
+//! to diff against `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rocescale_core::scenarios::latency::LatencySummary;
+
+/// Print the standard experiment header.
+pub fn header(id: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("{id}");
+    println!("paper: {paper_claim}");
+    println!("================================================================");
+}
+
+/// Render a latency summary row.
+pub fn latency_row(label: &str, s: &LatencySummary) -> String {
+    format!(
+        "{:<18} {:>8} {:>10.1} {:>10.1} {:>11.1} {:>10.1}",
+        label, s.samples, s.p50_us, s.p99_us, s.p999_us, s.max_us
+    )
+}
+
+/// The latency table header matching [`latency_row`].
+pub fn latency_header() -> String {
+    format!(
+        "{:<18} {:>8} {:>10} {:>10} {:>11} {:>10}",
+        "series", "samples", "p50(us)", "p99(us)", "p99.9(us)", "max(us)"
+    )
+}

@@ -1,0 +1,883 @@
+//! Cluster construction and operation: topology → simulated fabric.
+
+use rocescale_dcqcn::CpParams;
+use rocescale_monitor::deadlock::Snapshot;
+use rocescale_nic::{HostPfcMode, NicConfig, QpApp, QpHandle, RdmaHost};
+use rocescale_packet::MacAddr;
+use rocescale_sim::{LinkSpec, NodeId, SimTime, World};
+use rocescale_switch::{
+    BufferConfig, ClassifyMode, DropReason, EcmpGroup, PortRole, Switch, SwitchConfig,
+    WatchdogConfig,
+};
+use rocescale_tcp::{ConnHandle, TcpApp, TcpHost, TcpHostConfig};
+use rocescale_topology::{ClosSpec, RouteSpec, Tier, Topology};
+use rocescale_transport::{LossRecovery, QpConfig};
+
+use crate::deployment::DeploymentStage;
+
+/// PFC flavour for the whole cluster (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PfcMode {
+    /// DSCP-based PFC: the paper's design. Layer-3 clean, access-mode
+    /// server ports.
+    Dscp,
+    /// VLAN-based PFC: the original design whose trunk-mode coupling
+    /// breaks PXE boot.
+    Vlan,
+}
+
+/// What runs on a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerKind {
+    /// RoCEv2 host.
+    Rdma,
+    /// Kernel-TCP host (the baseline / legacy apps).
+    Tcp,
+}
+
+/// Index into the cluster's server list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServerId(pub usize);
+
+/// Builder for a [`Cluster`].
+pub struct ClusterBuilder {
+    spec: ClosSpec,
+    pfc_mode: PfcMode,
+    recovery: LossRecovery,
+    dcqcn: bool,
+    ecn: bool,
+    alpha: Option<f64>,
+    switch_watchdog: bool,
+    nic_watchdog: Option<SimTime>,
+    drop_lossless_on_incomplete_arp: bool,
+    stage: DeploymentStage,
+    seed: u64,
+    qp_rto: SimTime,
+    tcp_min_rto: SimTime,
+    drop_ip_id_low_byte: Option<u8>,
+    pfc_enabled: bool,
+    per_packet_spraying: bool,
+    server_kind: Box<dyn FnMut(usize) -> ServerKind>,
+    host_tweak: Box<dyn FnMut(usize, &mut NicConfig)>,
+    tcp_tweak: Box<dyn FnMut(usize, &mut TcpHostConfig)>,
+    switch_tweak: Box<dyn FnMut(&str, &mut SwitchConfig)>,
+}
+
+impl ClusterBuilder {
+    /// A cluster over an arbitrary Clos spec, with the paper's
+    /// recommended configuration: DSCP-based PFC, go-back-N, DCQCN + ECN,
+    /// watchdogs on, deadlock fix on, PFC up to the spine.
+    pub fn new(spec: ClosSpec) -> ClusterBuilder {
+        ClusterBuilder {
+            spec,
+            pfc_mode: PfcMode::Dscp,
+            recovery: LossRecovery::GoBackN,
+            dcqcn: true,
+            ecn: true,
+            alpha: Some(1.0 / 16.0),
+            switch_watchdog: true,
+            nic_watchdog: Some(SimTime::from_millis(100)),
+            drop_lossless_on_incomplete_arp: true,
+            stage: DeploymentStage::Spine,
+            seed: 1,
+            qp_rto: SimTime::from_millis(4),
+            tcp_min_rto: SimTime::from_millis(5),
+            drop_ip_id_low_byte: None,
+            pfc_enabled: true,
+            per_packet_spraying: false,
+            server_kind: Box::new(|_| ServerKind::Rdma),
+            host_tweak: Box::new(|_, _| {}),
+            tcp_tweak: Box::new(|_, _| {}),
+            switch_tweak: Box::new(|_, _| {}),
+        }
+    }
+
+    /// One pod, `tors` racks of `servers_per_tor`, two leaves (a small
+    /// two-tier testbed like Figure 8's).
+    pub fn two_tier(tors: u32, servers_per_tor: u32) -> ClusterBuilder {
+        ClusterBuilder::new(ClosSpec::uniform_40g(1, tors, 2, 2, servers_per_tor))
+    }
+
+    /// One ToR with `servers` hosts (a lab rack).
+    pub fn single_tor(servers: u32) -> ClusterBuilder {
+        ClusterBuilder::new(ClosSpec::uniform_40g(1, 1, 1, 1, servers))
+    }
+
+    /// Set the PFC flavour.
+    pub fn pfc_mode(mut self, m: PfcMode) -> Self {
+        self.pfc_mode = m;
+        self
+    }
+
+    /// Set the NIC loss-recovery scheme.
+    pub fn recovery(mut self, r: LossRecovery) -> Self {
+        self.recovery = r;
+        self
+    }
+
+    /// Enable/disable DCQCN rate control.
+    pub fn dcqcn(mut self, on: bool) -> Self {
+        self.dcqcn = on;
+        self
+    }
+
+    /// Enable/disable ECN marking at switches.
+    pub fn ecn(mut self, on: bool) -> Self {
+        self.ecn = on;
+        self
+    }
+
+    /// Dynamic-buffer α (`None` = static thresholds). The §6.2 incident
+    /// is `Some(1.0/64.0)`.
+    pub fn alpha(mut self, a: Option<f64>) -> Self {
+        self.alpha = a;
+        self
+    }
+
+    /// Arm/disarm the switch-side storm watchdog.
+    pub fn switch_watchdog(mut self, on: bool) -> Self {
+        self.switch_watchdog = on;
+        self
+    }
+
+    /// Arm the NIC-side storm watchdog with this stall threshold
+    /// (`None` disarms; the paper's default is 100 ms).
+    pub fn nic_watchdog(mut self, after: Option<SimTime>) -> Self {
+        self.nic_watchdog = after;
+        self
+    }
+
+    /// Enable/disable the §4.2 deadlock fix.
+    pub fn drop_lossless_on_incomplete_arp(mut self, on: bool) -> Self {
+        self.drop_lossless_on_incomplete_arp = on;
+        self
+    }
+
+    /// Deployment stage (how far up PFC is enabled).
+    pub fn stage(mut self, s: DeploymentStage) -> Self {
+        self.stage = s;
+        self
+    }
+
+    /// RNG seed (every run with the same seed is identical).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// RDMA transport retransmission timeout.
+    pub fn qp_rto(mut self, rto: SimTime) -> Self {
+        self.qp_rto = rto;
+        self
+    }
+
+    /// §4.1 fault injection on every switch.
+    pub fn drop_ip_id_low_byte(mut self, b: Option<u8>) -> Self {
+        self.drop_ip_id_low_byte = b;
+        self
+    }
+
+    /// Disable PFC entirely (all classes lossy everywhere) — the
+    /// "what if the network were best-effort" arm of Figure 2/7.
+    pub fn pfc(mut self, on: bool) -> Self {
+        self.pfc_enabled = on;
+        self
+    }
+
+    /// §8.1 ablation: per-packet spraying over ECMP groups instead of
+    /// per-flow hashing.
+    pub fn per_packet_spraying(mut self, on: bool) -> Self {
+        self.per_packet_spraying = on;
+        self
+    }
+
+    /// Choose per-server kind (index = server order in the topology).
+    pub fn server_kind(mut self, f: impl FnMut(usize) -> ServerKind + 'static) -> Self {
+        self.server_kind = Box::new(f);
+        self
+    }
+
+    /// Post-process each RDMA host's config (MTT models, custom DCQCN…).
+    pub fn host_tweak(mut self, f: impl FnMut(usize, &mut NicConfig) + 'static) -> Self {
+        self.host_tweak = Box::new(f);
+        self
+    }
+
+    /// Post-process each TCP host's config (kernel model, RTO…).
+    pub fn tcp_tweak(mut self, f: impl FnMut(usize, &mut TcpHostConfig) + 'static) -> Self {
+        self.tcp_tweak = Box::new(f);
+        self
+    }
+
+    /// Post-process each switch's config by name (headroom overrides,
+    /// per-type buffer settings — the §6.2 "new switch type" situation).
+    pub fn switch_tweak(mut self, f: impl FnMut(&str, &mut SwitchConfig) + 'static) -> Self {
+        self.switch_tweak = Box::new(f);
+        self
+    }
+
+    /// Instantiate the cluster.
+    pub fn build(mut self) -> Cluster {
+        let topo = Topology::clos(&self.spec);
+        let mut world = World::new(self.seed);
+        let n = topo.nodes.len();
+
+        // MAC conventions: switches get 0x00F0_0000 + idx, servers idx+1.
+        let switch_mac = |idx: usize| MacAddr::from_id(0x00F0_0000 + idx as u32);
+        let server_mac = |idx: usize| MacAddr::from_id(idx as u32 + 1);
+
+        // Peer role/mac per link endpoint for switch construction.
+        let classify = match self.pfc_mode {
+            PfcMode::Dscp => ClassifyMode::Dscp,
+            PfcMode::Vlan => ClassifyMode::Vlan,
+        };
+        let pfc_enabled = self.pfc_enabled;
+        let lossless_for = |tier: Tier| -> [bool; 8] {
+            let on = pfc_enabled && match tier {
+                Tier::Tor => self.stage.tor(),
+                Tier::Leaf => self.stage.leaf(),
+                Tier::Spine => self.stage.spine(),
+                Tier::Server => true,
+            };
+            if on {
+                [false, false, false, true, true, false, false, false]
+            } else {
+                [false; 8]
+            }
+        };
+
+        let mut sim_ids: Vec<Option<NodeId>> = vec![None; n];
+        let mut servers: Vec<ServerInfo> = Vec::new();
+        let mut switches: Vec<SwitchInfo> = Vec::new();
+
+        // Build switches first (they need routes + table seeds).
+        for idx in 0..n {
+            let node = &topo.nodes[idx];
+            if node.tier == Tier::Server {
+                continue;
+            }
+            let ports = topo.port_count(idx);
+            let mut cfg = SwitchConfig::new(node.name.clone(), ports);
+            cfg.classify = classify;
+            cfg.lossless = lossless_for(node.tier);
+            // Port roles from the topology.
+            let mut roles = vec![PortRole::Fabric; ports as usize];
+            let mut max_meters = 2u32;
+            for l in &topo.links {
+                for (me, peer) in [(l.a, l.b), (l.b, l.a)] {
+                    if me.0 == idx {
+                        max_meters = max_meters.max(l.meters);
+                        if topo.nodes[peer.0].tier == Tier::Server {
+                            roles[me.1.index()] = PortRole::Server;
+                        }
+                    }
+                }
+            }
+            cfg.port_roles = roles;
+            cfg.buffer = BufferConfig {
+                total_bytes: 12 << 20,
+                headroom_per_port_pg: BufferConfig::headroom_for(
+                    40_000_000_000,
+                    max_meters,
+                    1120,
+                ),
+                alpha: self.alpha,
+                xoff_static: 256 * 1024,
+                xon_delta: 2 * 1120,
+            };
+            cfg.ecn = if self.ecn {
+                let mut e: [Option<CpParams>; 8] = Default::default();
+                e[3] = Some(CpParams::default());
+                e[4] = Some(CpParams::default());
+                e
+            } else {
+                Default::default()
+            };
+            cfg.watchdog = WatchdogConfig {
+                enabled: self.switch_watchdog,
+                ..WatchdogConfig::default()
+            };
+            cfg.drop_lossless_on_incomplete_arp = self.drop_lossless_on_incomplete_arp;
+            cfg.drop_ip_id_low_byte = self.drop_ip_id_low_byte;
+            cfg.per_packet_spraying = self.per_packet_spraying;
+            (self.switch_tweak)(&node.name.clone(), &mut cfg);
+
+            let mut sw = Switch::new(cfg, switch_mac(idx), idx as u64 * 0x9e37 + 7);
+            for r in &topo.routes[idx] {
+                match r {
+                    RouteSpec::Connected { prefix, len } => {
+                        sw.routes_mut().add_connected(*prefix, *len);
+                    }
+                    RouteSpec::Via { prefix, len, ports } => {
+                        sw.routes_mut()
+                            .add(*prefix, *len, EcmpGroup::new(ports.clone()));
+                    }
+                }
+            }
+            // Seed ARP + MAC for directly attached servers; peer MACs for
+            // fabric links.
+            for l in &topo.links {
+                for (me, peer) in [(l.a, l.b), (l.b, l.a)] {
+                    if me.0 != idx {
+                        continue;
+                    }
+                    match topo.nodes[peer.0].tier {
+                        Tier::Server => {
+                            let ip = topo.nodes[peer.0].ip.expect("servers have IPs");
+                            sw.seed_arp(ip, server_mac(peer.0), SimTime::ZERO);
+                            sw.seed_mac(server_mac(peer.0), me.1, SimTime::ZERO);
+                        }
+                        _ => sw.set_peer_mac(me.1, switch_mac(peer.0)),
+                    }
+                }
+            }
+            let sim = world.add_node(Box::new(sw));
+            sim_ids[idx] = Some(sim);
+            switches.push(SwitchInfo {
+                topo_idx: idx,
+                sim,
+                tier: node.tier,
+                name: node.name.clone(),
+            });
+        }
+
+        // Hosts.
+        for idx in 0..n {
+            let node = &topo.nodes[idx];
+            if node.tier != Tier::Server {
+                continue;
+            }
+            let tor_idx = topo.tor_of_server(idx);
+            let gateway = switch_mac(tor_idx);
+            let ip = node.ip.expect("servers have IPs");
+            let order = servers.len();
+            let kind = (self.server_kind)(order);
+            let sim = match kind {
+                ServerKind::Rdma => {
+                    let mut cfg = NicConfig::new(node.name.clone(), idx as u32 + 1, ip, gateway);
+                    cfg.pfc_mode = match self.pfc_mode {
+                        PfcMode::Dscp => HostPfcMode::Dscp,
+                        PfcMode::Vlan => HostPfcMode::Vlan { vid: 100 },
+                    };
+                    cfg.qp_defaults = QpConfig {
+                        recovery: self.recovery,
+                        rto_ps: self.qp_rto.as_ps(),
+                        ..QpConfig::default()
+                    };
+                    if !self.dcqcn {
+                        cfg.dcqcn_rp = None;
+                    }
+                    cfg.nic_watchdog_after = self.nic_watchdog;
+                    (self.host_tweak)(order, &mut cfg);
+                    world.add_node(Box::new(RdmaHost::new(cfg)))
+                }
+                ServerKind::Tcp => {
+                    let mut cfg =
+                        TcpHostConfig::new(node.name.clone(), idx as u32 + 1, ip, gateway);
+                    cfg.conn.min_rto_ps = self.tcp_min_rto.as_ps();
+                    (self.tcp_tweak)(order, &mut cfg);
+                    world.add_node(Box::new(TcpHost::new(cfg)))
+                }
+            };
+            sim_ids[idx] = Some(sim);
+            servers.push(ServerInfo {
+                topo_idx: idx,
+                sim,
+                kind,
+                ip,
+                pod: node.pod,
+                tor_topo_idx: tor_idx,
+            });
+        }
+
+        // Links.
+        for l in &topo.links {
+            let a = sim_ids[l.a.0].expect("all nodes instantiated");
+            let b = sim_ids[l.b.0].expect("all nodes instantiated");
+            world.connect(a, l.a.1, b, l.b.1, LinkSpec::with_length(l.rate_bps, l.meters));
+        }
+
+        Cluster {
+            world,
+            topo,
+            spec: self.spec,
+            servers,
+            switches,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ServerInfo {
+    #[allow(dead_code)]
+    topo_idx: usize,
+    sim: NodeId,
+    kind: ServerKind,
+    ip: u32,
+    pod: u32,
+    tor_topo_idx: usize,
+}
+
+#[derive(Debug, Clone)]
+struct SwitchInfo {
+    #[allow(dead_code)]
+    topo_idx: usize,
+    sim: NodeId,
+    tier: Tier,
+    name: String,
+}
+
+/// A running cluster: the simulation world plus the index structures to
+/// reach every device.
+pub struct Cluster {
+    /// The simulation world (exposed for advanced scenarios: fault
+    /// injection timers, custom nodes).
+    pub world: World,
+    topo: Topology,
+    spec: ClosSpec,
+    servers: Vec<ServerInfo>,
+    switches: Vec<SwitchInfo>,
+}
+
+impl Cluster {
+    /// The Clos spec this cluster was built from.
+    pub fn spec(&self) -> &ClosSpec {
+        &self.spec
+    }
+
+    /// The topology description.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// All server ids.
+    pub fn all_servers(&self) -> Vec<ServerId> {
+        (0..self.servers.len()).map(ServerId).collect()
+    }
+
+    /// Server ids of a given kind.
+    pub fn servers_of_kind(&self, kind: ServerKind) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == kind)
+            .map(|(i, _)| ServerId(i))
+            .collect()
+    }
+
+    /// The servers under `tor` (pod-relative index), in port order.
+    pub fn servers_under(&self, pod: u32, tor: u32) -> Vec<ServerId> {
+        let subnet = rocescale_topology::tor_subnet(pod, tor);
+        self.servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.ip & 0xffff_ff00 == subnet)
+            .map(|(i, _)| ServerId(i))
+            .collect()
+    }
+
+    /// A server's IP.
+    pub fn server_ip(&self, id: ServerId) -> u32 {
+        self.servers[id.0].ip
+    }
+
+    /// A server's pod.
+    pub fn server_pod(&self, id: ServerId) -> u32 {
+        self.servers[id.0].pod
+    }
+
+    /// A server's kind.
+    pub fn server_kind_of(&self, id: ServerId) -> ServerKind {
+        self.servers[id.0].kind
+    }
+
+    /// The sim node id of a server (for fault-injection timers).
+    pub fn server_node(&self, id: ServerId) -> NodeId {
+        self.servers[id.0].sim
+    }
+
+    /// Two servers share a ToR?
+    pub fn same_tor(&self, a: ServerId, b: ServerId) -> bool {
+        self.servers[a.0].tor_topo_idx == self.servers[b.0].tor_topo_idx
+    }
+
+    /// Borrow an RDMA server.
+    pub fn rdma(&self, id: ServerId) -> &RdmaHost {
+        assert_eq!(self.servers[id.0].kind, ServerKind::Rdma);
+        self.world.node::<RdmaHost>(self.servers[id.0].sim)
+    }
+
+    /// Mutably borrow an RDMA server.
+    pub fn rdma_mut(&mut self, id: ServerId) -> &mut RdmaHost {
+        assert_eq!(self.servers[id.0].kind, ServerKind::Rdma);
+        self.world.node_mut::<RdmaHost>(self.servers[id.0].sim)
+    }
+
+    /// Borrow a TCP server.
+    pub fn tcp(&self, id: ServerId) -> &TcpHost {
+        assert_eq!(self.servers[id.0].kind, ServerKind::Tcp);
+        self.world.node::<TcpHost>(self.servers[id.0].sim)
+    }
+
+    /// Mutably borrow a TCP server.
+    pub fn tcp_mut(&mut self, id: ServerId) -> &mut TcpHost {
+        assert_eq!(self.servers[id.0].kind, ServerKind::Tcp);
+        self.world.node_mut::<TcpHost>(self.servers[id.0].sim)
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Borrow switch `i` (iteration order: ToRs and leaves pod-major,
+    /// then spines — the topology's order).
+    pub fn switch(&self, i: usize) -> &Switch {
+        self.world.node::<Switch>(self.switches[i].sim)
+    }
+
+    /// Mutably borrow switch `i`.
+    pub fn switch_mut(&mut self, i: usize) -> &mut Switch {
+        self.world.node_mut::<Switch>(self.switches[i].sim)
+    }
+
+    /// A switch's display name.
+    pub fn switch_name(&self, i: usize) -> &str {
+        &self.switches[i].name
+    }
+
+    /// Indices of switches of a tier.
+    pub fn switches_of_tier(&self, tier: Tier) -> Vec<usize> {
+        self.switches
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.tier == tier)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The ToR switch index (into [`Cluster::switch`]) serving a server.
+    pub fn tor_of(&self, id: ServerId) -> usize {
+        let t = self.servers[id.0].tor_topo_idx;
+        self.switches
+            .iter()
+            .position(|s| s.topo_idx == t)
+            .expect("server's ToR exists")
+    }
+
+    // ---- workload wiring ----
+
+    /// Create a QP pair between two RDMA servers. `udp_src` selects the
+    /// ECMP path; both directions share it.
+    pub fn connect_qp(
+        &mut self,
+        a: ServerId,
+        b: ServerId,
+        udp_src: u16,
+        app_a: QpApp,
+        app_b: QpApp,
+    ) -> (QpHandle, QpHandle) {
+        let a_ip = self.server_ip(a);
+        let b_ip = self.server_ip(b);
+        let a_qpn = self.rdma(a).qp_count() as u32;
+        let b_qpn = self.rdma(b).qp_count() as u32;
+        let ha = self.rdma_mut(a).add_qp(b_ip, b_qpn, udp_src, app_a);
+        let hb = self.rdma_mut(b).add_qp(a_ip, a_qpn, udp_src, app_b);
+        (ha, hb)
+    }
+
+    /// Create a TCP connection between two TCP servers.
+    pub fn connect_tcp(
+        &mut self,
+        a: ServerId,
+        b: ServerId,
+        app_a: TcpApp,
+        app_b: TcpApp,
+    ) -> (ConnHandle, ConnHandle) {
+        let a_ip = self.server_ip(a);
+        let b_ip = self.server_ip(b);
+        let pa = self.tcp_mut(a).alloc_port();
+        let pb = self.tcp_mut(b).alloc_port();
+        let ca = self.tcp_mut(a).add_conn(b_ip, pa, pb, app_a);
+        let cb = self.tcp_mut(b).add_conn(a_ip, pb, pa, app_b);
+        (ca, cb)
+    }
+
+    // ---- running ----
+
+    /// Run the simulation until `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// Run for `ms` more milliseconds of simulated time.
+    pub fn run_for_millis(&mut self, ms: u64) {
+        let t = self.world.now() + SimTime::from_millis(ms);
+        self.world.run_until(t);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    // ---- fleet-wide monitoring (what §5's systems aggregate) ----
+
+    /// Total XOFF pause frames sent by all switches.
+    pub fn total_switch_pause_tx(&self) -> u64 {
+        (0..self.switches.len())
+            .map(|i| self.switch(i).stats.total_pause_tx())
+            .sum()
+    }
+
+    /// Total pause frames received by servers — the Figure 9/10 metric.
+    pub fn total_server_pause_rx(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|s| match s.kind {
+                ServerKind::Rdma => {
+                    self.world.node::<RdmaHost>(s.sim).stats.pause_rx
+                }
+                ServerKind::Tcp => 0,
+            })
+            .sum()
+    }
+
+    /// Total drops of a given reason across switches.
+    pub fn total_drops_of(&self, reason: DropReason) -> u64 {
+        (0..self.switches.len())
+            .map(|i| self.switch(i).stats.drops_of(reason))
+            .sum()
+    }
+
+    /// Drops that must be zero in a healthy lossless fabric.
+    pub fn lossless_drops(&self) -> u64 {
+        self.total_drops_of(DropReason::LosslessOverflow)
+    }
+
+    /// Sum of receiver-side RDMA goodput bytes across all servers.
+    pub fn total_rdma_goodput(&self) -> u64 {
+        self.servers
+            .iter()
+            .filter(|s| s.kind == ServerKind::Rdma)
+            .map(|s| self.world.node::<RdmaHost>(s.sim).total_goodput_bytes())
+            .sum()
+    }
+
+    /// Drain all RDMA RTT samples collected so far (ps).
+    pub fn take_rdma_rtts(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for s in &self.servers {
+            if s.kind == ServerKind::Rdma {
+                let host = self.world.node_mut::<RdmaHost>(s.sim);
+                out.append(&mut host.stats.rtt_samples_ps);
+            }
+        }
+        out
+    }
+
+    /// Drain all TCP RTT samples collected so far (ps).
+    pub fn take_tcp_rtts(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for s in &self.servers {
+            if s.kind == ServerKind::Tcp {
+                let host = self.world.node_mut::<TcpHost>(s.sim);
+                out.append(&mut host.stats.rtt_samples_ps);
+            }
+        }
+        out
+    }
+
+    /// Pingmesh scope of a server pair (§5.3's ToR / Podset / DC levels).
+    pub fn scope_of(&self, a: ServerId, b: ServerId) -> rocescale_monitor::pingmesh::Scope {
+        use rocescale_monitor::pingmesh::Scope;
+        if self.same_tor(a, b) {
+            Scope::IntraTor
+        } else if self.server_pod(a) == self.server_pod(b) {
+            Scope::IntraPodset
+        } else {
+            Scope::IntraDc
+        }
+    }
+
+    /// Install the RDMA Pingmesh service (§5.3): every RDMA server probes
+    /// `fanout` others (512-byte payloads) every `interval`, chosen
+    /// round-robin so ToR-, podset- and DC-scope pairs all get coverage.
+    /// Returns the probed pairs; collect results with
+    /// [`Cluster::pingmesh_report`].
+    pub fn install_pingmesh(
+        &mut self,
+        fanout: usize,
+        interval: SimTime,
+    ) -> Vec<(ServerId, ServerId)> {
+        let servers = self.servers_of_kind(ServerKind::Rdma);
+        let mut pairs = Vec::new();
+        for (i, a) in servers.iter().enumerate() {
+            for k in 1..=fanout {
+                let b = servers[(i + k * (servers.len() / (fanout + 1)).max(1)) % servers.len()];
+                if b == *a {
+                    continue;
+                }
+                self.connect_qp(
+                    *a,
+                    b,
+                    (20_000 + i * 17 + k) as u16,
+                    rocescale_nic::QpApp::Pinger {
+                        payload: rocescale_monitor::pingmesh::PROBE_BYTES,
+                        interval,
+                        start_at: SimTime::from_micros(10 + (i * 13 + k * 7) as u64),
+                    },
+                    rocescale_nic::QpApp::Echo {
+                        reply_len: rocescale_monitor::pingmesh::PROBE_BYTES,
+                    },
+                );
+                pairs.push((*a, b));
+            }
+        }
+        pairs
+    }
+
+    /// Aggregate all collected probe RTTs into a Pingmesh report.
+    ///
+    /// Because a host logs its RTT samples in completion order across all
+    /// of its prober QPs, per-pair attribution uses each *prober host's*
+    /// dominant scope: hosts whose probes span several scopes contribute
+    /// to each (per-QP logs would be the production refinement).
+    pub fn pingmesh_report(
+        &mut self,
+        pairs: &[(ServerId, ServerId)],
+    ) -> rocescale_monitor::Pingmesh {
+        use rocescale_monitor::pingmesh::ProbeResult;
+        let mut pm = rocescale_monitor::Pingmesh::new();
+        for (a, b) in pairs {
+            let scope = self.scope_of(*a, *b);
+            let samples = std::mem::take(
+                &mut self
+                    .world
+                    .node_mut::<RdmaHost>(self.servers[a.0].sim)
+                    .stats
+                    .rtt_samples_ps,
+            );
+            for s in samples {
+                pm.record(scope, ProbeResult::Rtt(s));
+            }
+        }
+        pm
+    }
+
+    /// Per-switch (name, progress snapshot) for the deadlock detector.
+    pub fn switch_snapshots(&self) -> Vec<(String, Snapshot)> {
+        (0..self.switches.len())
+            .map(|i| {
+                let sw = self.switch(i);
+                (
+                    self.switches[i].name.clone(),
+                    Snapshot {
+                        tx_pkts: sw.total_data_tx_pkts(),
+                        backlog_bytes: sw.lossless_backlog(),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_runs_a_small_cluster() {
+        let mut c = ClusterBuilder::two_tier(2, 3).seed(9).build();
+        assert_eq!(c.server_count(), 6);
+        assert_eq!(c.switch_count(), 2 + 2 + 2); // 2 ToR + 2 leaf + 2 spine
+        let (a, b) = (ServerId(0), ServerId(3)); // different racks
+        assert!(!c.same_tor(a, b));
+        c.connect_qp(
+            a,
+            b,
+            5000,
+            QpApp::Saturate {
+                msg_len: 256 * 1024,
+                inflight: 1,
+            },
+            QpApp::None,
+        );
+        c.run_for_millis(2);
+        assert!(c.total_rdma_goodput() >= 256 * 1024);
+        assert_eq!(c.lossless_drops(), 0);
+    }
+
+    #[test]
+    fn cross_pod_traffic_traverses_spines() {
+        let mut c = ClusterBuilder::new(ClosSpec::uniform_40g(2, 1, 2, 2, 2))
+            .seed(3)
+            .build();
+        let pod0 = c
+            .all_servers()
+            .into_iter()
+            .find(|s| c.server_pod(*s) == 0)
+            .unwrap();
+        let pod1 = c
+            .all_servers()
+            .into_iter()
+            .find(|s| c.server_pod(*s) == 1)
+            .unwrap();
+        c.connect_qp(
+            pod0,
+            pod1,
+            6000,
+            QpApp::Saturate {
+                msg_len: 128 * 1024,
+                inflight: 1,
+            },
+            QpApp::None,
+        );
+        c.run_for_millis(2);
+        assert!(c.total_rdma_goodput() >= 128 * 1024);
+        let spine_tx: u64 = c
+            .switches_of_tier(Tier::Spine)
+            .into_iter()
+            .map(|i| c.switch(i).total_tx_pkts())
+            .sum();
+        assert!(spine_tx > 100, "spines must carry the flow: {spine_tx}");
+    }
+
+    #[test]
+    fn mixed_rdma_tcp_cluster() {
+        let mut c = ClusterBuilder::two_tier(1, 4)
+            .server_kind(|i| if i % 2 == 0 { ServerKind::Rdma } else { ServerKind::Tcp })
+            .build();
+        assert_eq!(c.servers_of_kind(ServerKind::Rdma).len(), 2);
+        assert_eq!(c.servers_of_kind(ServerKind::Tcp).len(), 2);
+        let t = c.servers_of_kind(ServerKind::Tcp);
+        let (ca, _cb) = c.connect_tcp(t[0], t[1], TcpApp::Saturate { msg_len: 100_000 }, TcpApp::None);
+        c.run_for_millis(5);
+        let sent = c.tcp(t[0]).sender_stats(ca).bytes_acked;
+        assert!(sent >= 100_000, "TCP stream must flow: {sent}");
+    }
+
+    #[test]
+    fn snapshots_expose_progress() {
+        let mut c = ClusterBuilder::single_tor(2).build();
+        let s = c.switch_snapshots();
+        assert_eq!(s.len(), 3); // tor + leaf + spine
+        assert!(s.iter().all(|(_, snap)| snap.tx_pkts == 0));
+        let ids = c.all_servers();
+        c.connect_qp(
+            ids[0],
+            ids[1],
+            5000,
+            QpApp::Saturate { msg_len: 65536, inflight: 1 },
+            QpApp::None,
+        );
+        c.run_for_millis(1);
+        let s = c.switch_snapshots();
+        assert!(s.iter().any(|(_, snap)| snap.tx_pkts > 0));
+    }
+}

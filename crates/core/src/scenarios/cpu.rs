@@ -1,0 +1,111 @@
+//! §1 — the CPU cost of kernel TCP vs RDMA at 40 Gb/s.
+//!
+//! "Sending at 40Gb/s using 8 TCP connections chews up 6% aggregate CPU
+//! time on a 32 core Intel Xeon E5-2690 Windows 2012R2 server. Receiving
+//! at 40Gb/s using 8 connections requires 12% aggregate CPU time." RDMA
+//! offloads the transport to the NIC: "Every server was sending and
+//! receiving at 8Gb/s with the CPU utilization close to 0%" (§5.4).
+
+use rocescale_nic::QpApp;
+use rocescale_sim::SimTime;
+use rocescale_tcp::{KernelModel, TcpApp};
+
+use crate::cluster::{ClusterBuilder, ServerId, ServerKind};
+use crate::scenarios::gbps;
+
+/// Result of the CPU-overhead comparison.
+#[derive(Debug, Clone)]
+pub struct CpuResult {
+    /// TCP throughput achieved, Gb/s.
+    pub tcp_gbps: f64,
+    /// TCP sender CPU, % of a 32-core server.
+    pub tcp_tx_cpu_pct: f64,
+    /// TCP receiver CPU, % of a 32-core server.
+    pub tcp_rx_cpu_pct: f64,
+    /// RDMA throughput achieved, Gb/s.
+    pub rdma_gbps: f64,
+    /// RDMA host CPU, % (the transport runs in the NIC: 0 by
+    /// construction, which is the paper's point).
+    pub rdma_cpu_pct: f64,
+}
+
+/// Run both halves: 8 connections / 8 QPs, one sender, one receiver,
+/// saturating for `dur`.
+pub fn run(dur: SimTime) -> CpuResult {
+    const CORES: u32 = 32;
+    // TCP half.
+    let (tcp_gbps, tx_pct, rx_pct) = {
+        let mut c = ClusterBuilder::single_tor(2)
+            .server_kind(|_| ServerKind::Tcp)
+            .tcp_tweak(|_, cfg| {
+                // Measure pure stack cost: no scheduler hiccup tail.
+                cfg.kernel = KernelModel {
+                    tail_prob: 0.0,
+                    ..KernelModel::default()
+                };
+            })
+            .build();
+        let (a, b) = (ServerId(0), ServerId(1));
+        for _ in 0..8 {
+            c.connect_tcp(a, b, TcpApp::Saturate { msg_len: 4 << 20 }, TcpApp::None);
+        }
+        c.run_until(dur);
+        let delivered: u64 = (0..8)
+            .map(|i| c.tcp(b).bytes_delivered(rocescale_tcp::ConnHandle(i)))
+            .sum();
+        (
+            gbps(delivered, dur),
+            c.tcp(a).stats.cpu_percent(dur, CORES),
+            c.tcp(b).stats.cpu_percent(dur, CORES),
+        )
+    };
+    // RDMA half.
+    let (rdma_gbps, rdma_pct) = {
+        let mut c = ClusterBuilder::single_tor(2).build();
+        let (a, b) = (ServerId(0), ServerId(1));
+        for q in 0..8u16 {
+            c.connect_qp(
+                a,
+                b,
+                14_000 + q,
+                QpApp::Saturate {
+                    msg_len: 4 << 20,
+                    inflight: 1,
+                },
+                QpApp::None,
+            );
+        }
+        c.run_until(dur);
+        // The RDMA data path bills no host CPU: kernel bypass is the
+        // mechanism, not a parameter we tuned.
+        (gbps(c.rdma(b).total_goodput_bytes(), dur), 0.0)
+    };
+    CpuResult {
+        tcp_gbps,
+        tcp_tx_cpu_pct: tx_pct,
+        tcp_rx_cpu_pct: rx_pct,
+        rdma_gbps,
+        rdma_cpu_pct: rdma_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §1's table: at ≈ 40 Gb/s, TCP tx ≈ 6%, rx ≈ 12% of 32 cores;
+    /// RDMA ≈ 0% at the same rate.
+    #[test]
+    fn cpu_overhead_matches_paper_shape() {
+        let r = run(SimTime::from_millis(40));
+        assert!(r.tcp_gbps > 20.0, "tcp throughput {}", r.tcp_gbps);
+        assert!(r.rdma_gbps > 30.0, "rdma throughput {}", r.rdma_gbps);
+        // Normalize CPU% to a full 40 Gb/s as the paper reports it.
+        let tx40 = r.tcp_tx_cpu_pct * 40.0 / r.tcp_gbps;
+        let rx40 = r.tcp_rx_cpu_pct * 40.0 / r.tcp_gbps;
+        assert!((4.0..9.0).contains(&tx40), "tx cpu at 40G: {tx40}%");
+        assert!((9.0..16.0).contains(&rx40), "rx cpu at 40G: {rx40}%");
+        assert!(rx40 > tx40, "receive costs more than send");
+        assert_eq!(r.rdma_cpu_pct, 0.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Figure 4 / §4.2 — the PFC deadlock created by Ethernet flooding, and
+//! the fix.
+//!
+//! The exact four-switch fragment of the paper's example:
+//!
+//! ```text
+//!        La        Lb
+//!       /  \      /  \
+//!     T0    T1--/    |
+//!      | \   \-------/
+//!  S1 S2   S3 S4 S5
+//! ```
+//!
+//! * S1 → S3 (dead) and S1 → S5: path {T0, La, T1} (purple / black).
+//! * S4 → S2 (dead): path {T1, Lb, T0} (blue). S4 → S5 adds the incast
+//!   on T1's port to S5.
+//! * S2 and S3 are dead: their MAC-table entries have timed out (5 min)
+//!   while their ARP entries survive (4 h) — the "incomplete ARP entry".
+//!   The ToRs flood their lossless packets; flood copies parked on paused
+//!   fabric ports close the cyclic buffer dependency and the fabric
+//!   freezes: "Once the deadlock occurs, it does not go away even if we
+//!   restart all the servers."
+//!
+//! With the paper's fix (drop lossless packets on incomplete ARP), the
+//! flood never happens and traffic to live servers keeps flowing.
+
+use rocescale_monitor::{ProgressTracker, WaitGraph};
+use rocescale_packet::Priority;
+use rocescale_nic::{NicConfig, QpApp, RdmaHost};
+use rocescale_packet::MacAddr;
+use rocescale_sim::{LinkSpec, NodeId, PortId, SimTime, World};
+use rocescale_switch::{DropReason, EcmpGroup, PortRole, Switch, SwitchConfig};
+use rocescale_transport::QpConfig;
+
+/// Result of one deadlock run.
+#[derive(Debug, Clone)]
+pub struct DeadlockResult {
+    /// Was the drop-on-incomplete-ARP fix enabled?
+    pub fix_enabled: bool,
+    /// Switches stuck (zero tx progress with lossless backlog) for the
+    /// whole tail of the run.
+    pub deadlocked_switches: Vec<String>,
+    /// S5's received goodput during the *last quarter* of the run, bytes
+    /// (zero once the fabric is wedged; healthy with the fix).
+    pub tail_goodput_bytes: u64,
+    /// Lossless packets dropped by the fix.
+    pub fix_drops: u64,
+    /// Pause frames sent by all four switches.
+    pub pauses: u64,
+    /// The pause-wait cycle at the end of the run, if one exists — the
+    /// §4.2 "cyclic buffer dependency" rendered as device names.
+    pub wait_cycle: Option<Vec<String>>,
+}
+
+const IP_S1: u32 = 0x0a000001;
+const IP_S2: u32 = 0x0a000002;
+const IP_S3: u32 = 0x0a000101;
+const IP_S4: u32 = 0x0a000102;
+const IP_S5: u32 = 0x0a000103;
+const IP_S6: u32 = 0x0a000003;
+
+struct Fabric {
+    world: World,
+    t0: NodeId,
+    t1: NodeId,
+    la: NodeId,
+    lb: NodeId,
+    s1: NodeId,
+    s4: NodeId,
+    s5: NodeId,
+    s6: NodeId,
+}
+
+fn build(fix_enabled: bool) -> Fabric {
+    let mac = MacAddr::from_id;
+    let (t0_mac, t1_mac, la_mac, lb_mac) = (mac(0xf0), mac(0xf1), mac(0xfa), mac(0xfb));
+    let sw_cfg = |name: &str, ports: u16, roles: Vec<PortRole>| {
+        let mut cfg = SwitchConfig::new(name, ports);
+        cfg.port_roles = roles;
+        cfg.drop_lossless_on_incomplete_arp = fix_enabled;
+        cfg
+    };
+    use PortRole::{Fabric as F, Server as S};
+
+    // T0: p0=S1 p1=S2(dead) p2=La p3=Lb p4=S6
+    let mut t0 = Switch::new(sw_cfg("T0", 5, vec![S, S, F, F, S]), t0_mac, 10);
+    t0.routes_mut().add_connected(0x0a000000, 25);
+    // Force S1's cross traffic through La (the paper's path {T0,La,T1}).
+    t0.routes_mut().add(0x0a000100, 25, EcmpGroup::single(PortId(2)));
+    t0.set_peer_mac(PortId(2), la_mac);
+    t0.set_peer_mac(PortId(3), lb_mac);
+    t0.seed_arp(IP_S1, mac(1), SimTime::ZERO);
+    t0.seed_arp(IP_S2, mac(2), SimTime::ZERO);
+    t0.seed_arp(IP_S6, mac(6), SimTime::ZERO);
+    t0.seed_mac(mac(1), PortId(0), SimTime::ZERO);
+    t0.seed_mac(mac(6), PortId(4), SimTime::ZERO);
+    // S2 is dead: MAC entry expired, ARP entry alive — the incomplete
+    // entry (its MAC is deliberately NOT seeded).
+
+    // T1: p0=S3(dead) p1=S4 p2=S5 p3=La p4=Lb
+    let mut t1 = Switch::new(sw_cfg("T1", 5, vec![S, S, S, F, F]), t1_mac, 11);
+    t1.routes_mut().add_connected(0x0a000100, 25);
+    // Force S4's cross traffic through Lb (the paper's path {T1,Lb,T0}).
+    t1.routes_mut().add(0x0a000000, 25, EcmpGroup::single(PortId(4)));
+    t1.set_peer_mac(PortId(3), la_mac);
+    t1.set_peer_mac(PortId(4), lb_mac);
+    t1.seed_arp(IP_S3, mac(3), SimTime::ZERO);
+    t1.seed_arp(IP_S4, mac(4), SimTime::ZERO);
+    t1.seed_arp(IP_S5, mac(5), SimTime::ZERO);
+    t1.seed_mac(mac(4), PortId(1), SimTime::ZERO);
+    t1.seed_mac(mac(5), PortId(2), SimTime::ZERO);
+    // S3 dead: no MAC entry.
+
+    // Leaves: p0=T0 p1=T1.
+    let mut la = Switch::new(sw_cfg("La", 2, vec![F, F]), la_mac, 12);
+    la.routes_mut().add(0x0a000000, 25, EcmpGroup::single(PortId(0)));
+    la.routes_mut().add(0x0a000100, 25, EcmpGroup::single(PortId(1)));
+    la.set_peer_mac(PortId(0), t0_mac);
+    la.set_peer_mac(PortId(1), t1_mac);
+    let mut lb = Switch::new(sw_cfg("Lb", 2, vec![F, F]), lb_mac, 13);
+    lb.routes_mut().add(0x0a000000, 25, EcmpGroup::single(PortId(0)));
+    lb.routes_mut().add(0x0a000100, 25, EcmpGroup::single(PortId(1)));
+    lb.set_peer_mac(PortId(0), t0_mac);
+    lb.set_peer_mac(PortId(1), t1_mac);
+
+    let host = |name: &str, id: u32, ip: u32, gw: MacAddr| {
+        let mut cfg = NicConfig::new(name, id, ip, gw);
+        cfg.dcqcn_rp = None; // raw PFC dynamics, as in the paper's stress test
+        cfg.qp_defaults = QpConfig {
+            rto_ps: 200_000_000, // 200 µs: senders to dead peers keep the wire busy
+            ..QpConfig::default()
+        };
+        RdmaHost::new(cfg)
+    };
+
+    let mut world = World::new(99);
+    let t0 = world.add_node(Box::new(t0));
+    let t1 = world.add_node(Box::new(t1));
+    let la = world.add_node(Box::new(la));
+    let lb = world.add_node(Box::new(lb));
+    let s1 = world.add_node(Box::new(host("S1", 1, IP_S1, t0_mac)));
+    let s2 = world.add_node(Box::new(host("S2", 2, IP_S2, t0_mac)));
+    let s3 = world.add_node(Box::new(host("S3", 3, IP_S3, t1_mac)));
+    let s4 = world.add_node(Box::new(host("S4", 4, IP_S4, t1_mac)));
+    let s5 = world.add_node(Box::new(host("S5", 5, IP_S5, t1_mac)));
+    // S6: the "other sources" of the paper's incast on T1's port to S5.
+    let s6 = world.add_node(Box::new(host("S6", 6, IP_S6, t0_mac)));
+
+    let l = LinkSpec::server_40g;
+    world.connect(s1, PortId(0), t0, PortId(0), l());
+    world.connect(s2, PortId(0), t0, PortId(1), l());
+    world.connect(s3, PortId(0), t1, PortId(0), l());
+    world.connect(s4, PortId(0), t1, PortId(1), l());
+    world.connect(s5, PortId(0), t1, PortId(2), l());
+    world.connect(s6, PortId(0), t0, PortId(4), l());
+    let f = LinkSpec::tor_leaf_40g;
+    world.connect(t0, PortId(2), la, PortId(0), f());
+    world.connect(t1, PortId(3), la, PortId(1), f());
+    world.connect(t0, PortId(3), lb, PortId(0), f());
+    world.connect(t1, PortId(4), lb, PortId(1), f());
+
+    Fabric {
+        world,
+        t0,
+        t1,
+        la,
+        lb,
+        s1,
+        s4,
+        s5,
+        s6,
+    }
+}
+
+/// Wire a one-way saturating QP from host `a` toward `peer_ip`. The peer
+/// may be dead (S2/S3): data then flows unacknowledged, the RTO keeps the
+/// wire busy — exactly the paper's stress condition. For live peers,
+/// `live_peer` creates the responder end.
+fn saturate_toward(
+    world: &mut World,
+    a: NodeId,
+    peer_ip: u32,
+    live_peer: Option<NodeId>,
+    udp_src: u16,
+) {
+    let a_ip = world.node::<RdmaHost>(a).config().ip;
+    let a_qpn = world.node::<RdmaHost>(a).qp_count() as u32;
+    let peer_qpn = live_peer
+        .map(|p| world.node::<RdmaHost>(p).qp_count() as u32)
+        .unwrap_or(0);
+    world.node_mut::<RdmaHost>(a).add_qp(
+        peer_ip,
+        peer_qpn,
+        udp_src,
+        QpApp::Saturate {
+            msg_len: 1 << 20,
+            inflight: 4,
+        },
+    );
+    if let Some(p) = live_peer {
+        world
+            .node_mut::<RdmaHost>(p)
+            .add_qp(a_ip, a_qpn, udp_src, QpApp::None);
+    }
+}
+
+/// Run the Figure 4 scenario for `dur`, sampling progress every 2 ms.
+pub fn run(fix_enabled: bool, dur: SimTime) -> DeadlockResult {
+    run_impl(fix_enabled, dur, false)
+}
+
+/// [`run`] with per-sample diagnostics printed (debugging aid).
+pub fn run_debug(fix_enabled: bool, dur: SimTime) -> DeadlockResult {
+    run_impl(fix_enabled, dur, true)
+}
+
+fn run_impl(fix_enabled: bool, dur: SimTime, verbose: bool) -> DeadlockResult {
+    let mut f = build(fix_enabled);
+    // S1 → S3 (dead; the purple packets) and S1 → S5 (the black packets).
+    saturate_toward(&mut f.world, f.s1, IP_S3, None, 7001);
+    saturate_toward(&mut f.world, f.s1, IP_S5, Some(f.s5), 7002);
+    // S4 → S2 (dead; the blue packets) and S4 → S5 (the incast co-source
+    // congesting T1's port to S5).
+    saturate_toward(&mut f.world, f.s4, IP_S2, None, 7003);
+    saturate_toward(&mut f.world, f.s4, IP_S5, Some(f.s5), 7004);
+    // S6 → S5: "T1.p2 is congested due to incast traffic from S1 and
+    // other sources" — the demand on S5's port must exceed its rate for
+    // the black packets to queue.
+    saturate_toward(&mut f.world, f.s6, IP_S5, Some(f.s5), 7005);
+
+    let mut tracker = ProgressTracker::new();
+    let switches = [(f.t0, "T0"), (f.t1, "T1"), (f.la, "La"), (f.lb, "Lb")];
+    let sample = SimTime::from_millis(2);
+    let mut t = SimTime::ZERO;
+    let mut goodput_at_three_quarters = 0u64;
+    while t < dur {
+        t += sample;
+        f.world.run_until(t);
+        let round: Vec<_> = switches
+            .iter()
+            .map(|(id, name)| {
+                let sw = f.world.node::<Switch>(*id);
+                (
+                    name.to_string(),
+                    rocescale_monitor::deadlock::Snapshot {
+                        tx_pkts: sw.total_data_tx_pkts(),
+                        backlog_bytes: sw.lossless_backlog(),
+                    },
+                )
+            })
+            .collect();
+        if verbose {
+            let line: Vec<String> = round
+                .iter()
+                .map(|(n, s)| format!("{n}: tx={} bl={}", s.tx_pkts, s.backlog_bytes))
+                .collect();
+            let pauses: Vec<String> = switches
+                .iter()
+                .map(|(id, n)| {
+                    let sw = f.world.node::<Switch>(*id);
+                    format!("{n}:ptx={} prx={}", sw.stats.total_pause_tx(), sw.stats.total_pause_rx())
+                })
+                .collect();
+            println!("t={t} {line:?} {pauses:?}");
+        }
+        tracker.observe(&round);
+        if t.as_ps() * 4 <= dur.as_ps() * 3 {
+            goodput_at_three_quarters = f.world.node::<RdmaHost>(f.s5).total_goodput_bytes();
+        }
+    }
+    // Pause-wait graph at the end of the run: edge A→B when A's egress
+    // port toward B is paused for a lossless class with backlog behind it.
+    let fabric_links: [(NodeId, &str, PortId, NodeId, &str, PortId); 4] = [
+        (f.t0, "T0", PortId(2), f.la, "La", PortId(0)),
+        (f.t1, "T1", PortId(3), f.la, "La", PortId(1)),
+        (f.t0, "T0", PortId(3), f.lb, "Lb", PortId(0)),
+        (f.t1, "T1", PortId(4), f.lb, "Lb", PortId(1)),
+    ];
+    let mut graph = WaitGraph::new();
+    let now = f.world.now();
+    for (a_id, a_name, a_port, b_id, b_name, b_port) in fabric_links {
+        for prio in [Priority::new(3), Priority::new(4)] {
+            let a_sw = f.world.node::<Switch>(a_id);
+            if a_sw.is_paused(a_port, prio, now) && a_sw.egress_depth_prio(a_port, prio) > 0 {
+                graph.add_edge(a_name, b_name);
+            }
+            let b_sw = f.world.node::<Switch>(b_id);
+            if b_sw.is_paused(b_port, prio, now) && b_sw.egress_depth_prio(b_port, prio) > 0 {
+                graph.add_edge(b_name, a_name);
+            }
+        }
+    }
+    let wait_cycle = graph.find_cycle();
+    let final_goodput = f.world.node::<RdmaHost>(f.s5).total_goodput_bytes();
+    let fix_drops: u64 = switches
+        .iter()
+        .map(|(id, _)| {
+            f.world
+                .node::<Switch>(*id)
+                .stats
+                .drops_of(DropReason::IncompleteArpLossless)
+        })
+        .sum();
+    let pauses: u64 = switches
+        .iter()
+        .map(|(id, _)| f.world.node::<Switch>(*id).stats.total_pause_tx())
+        .sum();
+    DeadlockResult {
+        fix_enabled,
+        deadlocked_switches: tracker.deadlocked(3),
+        tail_goodput_bytes: final_goodput.saturating_sub(goodput_at_three_quarters),
+        fix_drops,
+        pauses,
+        wait_cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §4.2 discovery: flooding + PFC deadlocks a Clos fragment, and
+    /// the deadlock is permanent.
+    #[test]
+    fn flooding_plus_pfc_deadlocks() {
+        let r = run(false, SimTime::from_millis(40));
+        assert!(
+            r.deadlocked_switches.len() >= 2,
+            "a pause cycle needs ≥2 switches, got {:?}",
+            r.deadlocked_switches
+        );
+        assert_eq!(
+            r.tail_goodput_bytes, 0,
+            "once wedged, even the live S5 flow stops"
+        );
+        assert!(r.pauses > 0);
+        let cycle = r.wait_cycle.expect("a wait cycle must exist in deadlock");
+        assert!(cycle.len() >= 2, "cycle {cycle:?}");
+    }
+
+    /// The fix: drop lossless packets on incomplete ARP entries — no
+    /// flood, no cycle, live traffic unharmed.
+    #[test]
+    fn drop_on_incomplete_arp_prevents_deadlock() {
+        let r = run(true, SimTime::from_millis(40));
+        assert!(
+            r.deadlocked_switches.is_empty(),
+            "no deadlock expected, got {:?}",
+            r.deadlocked_switches
+        );
+        assert!(r.fix_drops > 0, "the fix must be doing the dropping");
+        assert!(
+            r.tail_goodput_bytes > 10 << 20,
+            "S5 keeps receiving: {} bytes",
+            r.tail_goodput_bytes
+        );
+        assert!(r.wait_cycle.is_none(), "no wait cycle with the fix");
+    }
+}

@@ -1,0 +1,493 @@
+//! DCQCN congestion control (Zhu et al., SIGCOMM 2015) as pure state
+//! machines.
+//!
+//! The paper under reproduction uses DCQCN as its flow-level congestion
+//! control: "We use DCQCN, which uses ECN for congestion notification, in
+//! our network … Small queue lengths reduce the PFC generation and
+//! propagation probability" (§2). DCQCN has three roles:
+//!
+//! * **CP** (congestion point, the switch): RED-style probabilistic ECN
+//!   marking on egress queue length — [`CpParams`]/[`CpState`].
+//! * **NP** (notification point, the receiving NIC): on a CE-marked
+//!   packet, send a CNP back to the sender, at most one per
+//!   [`NpParams::min_cnp_interval_ps`] per flow — [`NpState`].
+//! * **RP** (reaction point, the sending NIC): on CNP, multiplicatively
+//!   cut the per-QP rate and remember the pre-cut rate as a target; then
+//!   recover in three phases (fast recovery → additive increase → hyper
+//!   increase) driven by a timer and a byte counter — [`RpState`].
+//!
+//! Everything here is time-as-argument pure logic: the NIC adapter owns
+//! the clocks and calls `on_*` methods, which makes the algorithm directly
+//! unit-testable (rate trajectories, alpha decay, phase transitions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Congestion-point (switch) marking parameters: RED/WRED on instantaneous
+/// egress queue length, as recommended by the DCQCN paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpParams {
+    /// Queue length (bytes) below which nothing is marked.
+    pub kmin_bytes: u64,
+    /// Queue length (bytes) above which everything is marked.
+    pub kmax_bytes: u64,
+    /// Marking probability at `kmax` (ramps linearly from 0 at `kmin`).
+    pub pmax: f64,
+}
+
+impl Default for CpParams {
+    /// DCQCN-paper style defaults for 40 GbE (Kmin 40 KB, Kmax 200 KB,
+    /// Pmax 1%).
+    fn default() -> CpParams {
+        CpParams {
+            kmin_bytes: 40 * 1024,
+            kmax_bytes: 200 * 1024,
+            pmax: 0.01,
+        }
+    }
+}
+
+/// Congestion-point marking state (none beyond the params — marking is
+/// memoryless on instantaneous queue length).
+#[derive(Debug, Clone, Default)]
+pub struct CpState {
+    params: CpParams,
+    marked: u64,
+    seen: u64,
+}
+
+impl CpState {
+    /// Create with the given parameters.
+    pub fn new(params: CpParams) -> CpState {
+        CpState {
+            params,
+            marked: 0,
+            seen: 0,
+        }
+    }
+
+    /// Decide whether to CE-mark a packet arriving to an egress queue of
+    /// `queue_bytes`, given a uniform random draw in `[0,1)`.
+    pub fn should_mark(&mut self, queue_bytes: u64, uniform_draw: f64) -> bool {
+        self.seen += 1;
+        let p = &self.params;
+        let mark = if queue_bytes <= p.kmin_bytes {
+            false
+        } else if queue_bytes >= p.kmax_bytes {
+            true
+        } else {
+            let frac =
+                (queue_bytes - p.kmin_bytes) as f64 / (p.kmax_bytes - p.kmin_bytes) as f64;
+            uniform_draw < frac * p.pmax
+        };
+        if mark {
+            self.marked += 1;
+        }
+        mark
+    }
+
+    /// (packets seen, packets marked) — for monitoring.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.seen, self.marked)
+    }
+}
+
+/// Notification-point (receiver NIC) parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NpParams {
+    /// Minimum interval between CNPs for one flow; the DCQCN paper uses
+    /// 50 µs.
+    pub min_cnp_interval_ps: u64,
+}
+
+impl Default for NpParams {
+    fn default() -> NpParams {
+        NpParams {
+            min_cnp_interval_ps: 50_000_000, // 50 µs
+        }
+    }
+}
+
+/// Per-flow notification-point state.
+#[derive(Debug, Clone)]
+pub struct NpState {
+    params: NpParams,
+    last_cnp_ps: Option<u64>,
+    cnps_sent: u64,
+    ce_seen: u64,
+}
+
+impl NpState {
+    /// Create with the given parameters.
+    pub fn new(params: NpParams) -> NpState {
+        NpState {
+            params,
+            last_cnp_ps: None,
+            cnps_sent: 0,
+            ce_seen: 0,
+        }
+    }
+
+    /// A CE-marked packet arrived for this flow at time `now_ps`.
+    /// Returns true if a CNP should be sent now.
+    pub fn on_ce_packet(&mut self, now_ps: u64) -> bool {
+        self.ce_seen += 1;
+        let fire = match self.last_cnp_ps {
+            None => true,
+            Some(t) => now_ps.saturating_sub(t) >= self.params.min_cnp_interval_ps,
+        };
+        if fire {
+            self.last_cnp_ps = Some(now_ps);
+            self.cnps_sent += 1;
+        }
+        fire
+    }
+
+    /// (CE packets seen, CNPs actually sent).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.ce_seen, self.cnps_sent)
+    }
+}
+
+/// Reaction-point (sender NIC) parameters. Defaults follow the DCQCN
+/// paper / common NIC firmware values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpParams {
+    /// Line rate and the cap for the current rate, bits/second.
+    pub line_rate_bps: f64,
+    /// Minimum sending rate floor, bits/second.
+    pub min_rate_bps: f64,
+    /// EWMA gain `g` for the alpha update (1/256).
+    pub g: f64,
+    /// Alpha-update timer period (55 µs).
+    pub alpha_timer_ps: u64,
+    /// Rate-increase timer period (55 µs).
+    pub increase_timer_ps: u64,
+    /// Byte counter threshold that also drives rate increase (10 MB).
+    pub byte_counter: u64,
+    /// Stage threshold F: expiries of either counter before leaving fast
+    /// recovery (5).
+    pub f_stages: u32,
+    /// Additive increase step, bits/second (40 Mb/s).
+    pub rai_bps: f64,
+    /// Hyper increase step, bits/second (400 Mb/s).
+    pub rhai_bps: f64,
+}
+
+impl RpParams {
+    /// Defaults for a given line rate.
+    pub fn for_line_rate(line_rate_bps: u64) -> RpParams {
+        RpParams {
+            line_rate_bps: line_rate_bps as f64,
+            min_rate_bps: 10e6,
+            g: 1.0 / 256.0,
+            alpha_timer_ps: 55_000_000,
+            increase_timer_ps: 55_000_000,
+            byte_counter: 10 * 1024 * 1024,
+            f_stages: 5,
+            rai_bps: 40e6,
+            rhai_bps: 400e6,
+        }
+    }
+}
+
+/// Per-QP reaction-point state: the DCQCN sender algorithm.
+#[derive(Debug, Clone)]
+pub struct RpState {
+    params: RpParams,
+    /// Current (enforced) rate, b/s.
+    rc: f64,
+    /// Target rate, b/s.
+    rt: f64,
+    /// Congestion estimate α ∈ [0, 1].
+    alpha: f64,
+    /// Bytes sent since the byte counter last expired.
+    bytes_since: u64,
+    /// Byte-counter expiries since the last rate decrease.
+    bc_stage: u32,
+    /// Increase-timer expiries since the last rate decrease.
+    t_stage: u32,
+    /// Whether any CNP has ever been received (rate stays at line rate
+    /// until first congestion feedback).
+    cut_ever: bool,
+    /// True if a CNP arrived during the current alpha-timer period.
+    cnp_this_period: bool,
+    cnps: u64,
+    decreases: u64,
+}
+
+impl RpState {
+    /// A fresh RP at line rate.
+    pub fn new(params: RpParams) -> RpState {
+        RpState {
+            rc: params.line_rate_bps,
+            rt: params.line_rate_bps,
+            alpha: 1.0,
+            params,
+            bytes_since: 0,
+            bc_stage: 0,
+            t_stage: 0,
+            cut_ever: false,
+            cnp_this_period: false,
+            cnps: 0,
+            decreases: 0,
+        }
+    }
+
+    /// The rate the NIC should currently pace this QP at, b/s.
+    pub fn rate_bps(&self) -> f64 {
+        self.rc
+    }
+
+    /// Congestion estimate α (1 = fully congested).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// (CNPs received, multiplicative decreases applied).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.cnps, self.decreases)
+    }
+
+    /// A CNP arrived: multiplicative decrease and reset the recovery
+    /// machinery. `Rt ← Rc; Rc ← Rc·(1 − α/2)`.
+    pub fn on_cnp(&mut self) {
+        self.cnps += 1;
+        self.cnp_this_period = true;
+        self.cut_ever = true;
+        self.rt = self.rc;
+        self.rc = (self.rc * (1.0 - self.alpha / 2.0)).max(self.params.min_rate_bps);
+        self.alpha = (1.0 - self.params.g) * self.alpha + self.params.g;
+        self.bytes_since = 0;
+        self.bc_stage = 0;
+        self.t_stage = 0;
+        self.decreases += 1;
+    }
+
+    /// Alpha-update timer expired (call every `alpha_timer_ps`): if no CNP
+    /// arrived this period, α decays toward zero.
+    pub fn on_alpha_timer(&mut self) {
+        if !self.cnp_this_period {
+            self.alpha *= 1.0 - self.params.g;
+        }
+        self.cnp_this_period = false;
+    }
+
+    /// Account `bytes` sent on this QP; may trigger a byte-counter stage.
+    pub fn on_bytes_sent(&mut self, bytes: u64) {
+        if !self.cut_ever {
+            return; // still at line rate, nothing to recover
+        }
+        self.bytes_since += bytes;
+        while self.bytes_since >= self.params.byte_counter {
+            self.bytes_since -= self.params.byte_counter;
+            self.bc_stage = self.bc_stage.saturating_add(1);
+            self.increase();
+        }
+    }
+
+    /// Rate-increase timer expired (call every `increase_timer_ps`).
+    pub fn on_increase_timer(&mut self) {
+        if !self.cut_ever {
+            return;
+        }
+        self.t_stage = self.t_stage.saturating_add(1);
+        self.increase();
+    }
+
+    /// One recovery step; phase depends on how many stages each counter
+    /// has accumulated since the last decrease.
+    fn increase(&mut self) {
+        let f = self.params.f_stages;
+        if self.bc_stage > f && self.t_stage > f {
+            // Hyper increase: both counters deep into recovery.
+            self.rt = (self.rt + self.params.rhai_bps).min(self.params.line_rate_bps);
+        } else if self.bc_stage > f || self.t_stage > f {
+            // Additive increase.
+            self.rt = (self.rt + self.params.rai_bps).min(self.params.line_rate_bps);
+        }
+        // Fast recovery (and every phase): close half the gap to target.
+        self.rc = ((self.rt + self.rc) / 2.0).min(self.params.line_rate_bps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rp() -> RpState {
+        RpState::new(RpParams::for_line_rate(40_000_000_000))
+    }
+
+    #[test]
+    fn starts_at_line_rate() {
+        let s = rp();
+        assert_eq!(s.rate_bps(), 40e9);
+        assert_eq!(s.alpha(), 1.0);
+    }
+
+    #[test]
+    fn first_cnp_halves_rate() {
+        let mut s = rp();
+        s.on_cnp();
+        // α = 1 → cut by α/2 = 50%.
+        assert!((s.rate_bps() - 20e9).abs() < 1e6, "rc = {}", s.rate_bps());
+    }
+
+    #[test]
+    fn alpha_decays_without_cnps() {
+        let mut s = rp();
+        s.on_cnp();
+        let a0 = s.alpha();
+        for _ in 0..256 {
+            s.on_alpha_timer();
+        }
+        // (1 - 1/256)^256 ≈ e^-1.
+        assert!(s.alpha() < a0 * 0.4, "alpha = {}", s.alpha());
+    }
+
+    #[test]
+    fn repeated_cnps_converge_to_floor_not_zero() {
+        let mut s = rp();
+        for _ in 0..10_000 {
+            s.on_cnp();
+        }
+        assert!(s.rate_bps() >= 10e6);
+    }
+
+    #[test]
+    fn fast_recovery_converges_to_target() {
+        let mut s = rp();
+        s.on_cnp(); // rt = 40G, rc = 20G
+        for _ in 0..5 {
+            s.on_increase_timer();
+        }
+        // After 5 halvings of the gap: 40 - 20/2^5 = 39.375G.
+        assert!((s.rate_bps() - 39.375e9).abs() < 1e6, "rc = {}", s.rate_bps());
+        assert!(s.rate_bps() < 40e9);
+    }
+
+    #[test]
+    fn additive_then_hyper_increase_recovers_to_line_rate() {
+        let mut s = rp();
+        s.on_cnp();
+        for _ in 0..200 {
+            s.on_increase_timer();
+        }
+        // Timer-driven additive increase alone must restore line rate.
+        assert!((s.rate_bps() - 40e9).abs() < 1e3, "rc = {}", s.rate_bps());
+    }
+
+    #[test]
+    fn byte_counter_drives_stages() {
+        let mut s = rp();
+        s.on_cnp();
+        let before = s.rate_bps();
+        s.on_bytes_sent(10 * 1024 * 1024); // one full byte-counter period
+        assert!(s.rate_bps() > before, "byte counter should trigger recovery");
+    }
+
+    #[test]
+    fn no_recovery_before_first_cnp() {
+        let mut s = rp();
+        s.on_bytes_sent(100 * 1024 * 1024);
+        s.on_increase_timer();
+        assert_eq!(s.rate_bps(), 40e9);
+    }
+
+    #[test]
+    fn hyper_increase_faster_than_additive() {
+        // Cut twice so the target rate sits well below line rate, then
+        // compare recovery driven by the timer alone (additive phase)
+        // against recovery driven by timer + byte counter (hyper phase).
+        let setup = || {
+            let mut s = rp();
+            s.on_cnp();
+            s.on_cnp(); // rt = 20G, rc ≈ 10G — headroom above the target
+            s
+        };
+        let mut additive = setup();
+        let mut hyper = setup();
+        for _ in 0..30 {
+            additive.on_increase_timer();
+            hyper.on_increase_timer();
+            hyper.on_bytes_sent(10 * 1024 * 1024);
+        }
+        assert!(
+            hyper.rate_bps() > additive.rate_bps(),
+            "hyper {} <= additive {}",
+            hyper.rate_bps(),
+            additive.rate_bps()
+        );
+    }
+
+    #[test]
+    fn cnp_resets_recovery_stages() {
+        let mut s = rp();
+        s.on_cnp();
+        for _ in 0..10 {
+            s.on_increase_timer();
+        }
+        let recovered = s.rate_bps();
+        s.on_cnp();
+        assert!(s.rate_bps() < recovered);
+        // Post-CNP the target is the pre-cut rate, and stages restart in
+        // fast recovery: first step closes half the gap.
+        let rc0 = s.rate_bps();
+        s.on_increase_timer();
+        assert!((s.rate_bps() - (recovered + rc0) / 2.0).abs() < 1e6);
+    }
+
+    #[test]
+    fn np_rate_limits_cnps() {
+        let mut np = NpState::new(NpParams::default());
+        assert!(np.on_ce_packet(0));
+        assert!(!np.on_ce_packet(10_000_000)); // 10 µs later: suppressed
+        assert!(!np.on_ce_packet(49_000_000));
+        assert!(np.on_ce_packet(50_000_000)); // 50 µs: allowed
+        assert_eq!(np.counters(), (4, 2));
+    }
+
+    #[test]
+    fn cp_marking_ramp() {
+        let mut cp = CpState::new(CpParams::default());
+        // Below Kmin: never.
+        assert!(!cp.should_mark(10 * 1024, 0.0));
+        // Above Kmax: always.
+        assert!(cp.should_mark(300 * 1024, 0.999));
+        // Midpoint: probability pmax/2.
+        let mid = (40 + (200 - 40) / 2) * 1024;
+        assert!(cp.should_mark(mid, 0.004));
+        assert!(!cp.should_mark(mid, 0.006));
+        assert_eq!(cp.counters().0, 4);
+    }
+
+    /// Closed-loop stability: if the congestion point marks only while the
+    /// rate exceeds a capacity threshold, the rate converges to a band
+    /// around that threshold instead of collapsing or pinning at line
+    /// rate. (Open-loop constant CNPs correctly cause monotone decrease —
+    /// that is the algorithm working, not a stable operating point.)
+    #[test]
+    fn closed_loop_converges_to_bottleneck() {
+        let capacity = 10e9;
+        let mut s = rp();
+        let mut rates = Vec::new();
+        for round in 0..3000 {
+            if s.rate_bps() > capacity {
+                s.on_cnp();
+            }
+            s.on_increase_timer();
+            s.on_alpha_timer();
+            // Byte counter advances in proportion to the current rate over
+            // one 55 µs period.
+            s.on_bytes_sent((s.rate_bps() * 55e-6 / 8.0) as u64);
+            if round > 2500 {
+                rates.push(s.rate_bps());
+            }
+        }
+        let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        assert!(min > capacity * 0.3, "collapsed: {min}");
+        assert!(max < capacity * 2.0, "overshoot: {max}");
+    }
+}

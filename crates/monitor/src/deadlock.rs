@@ -1,0 +1,241 @@
+//! Deadlock detection over counter snapshots (§4.2).
+//!
+//! A PFC deadlock's observable signature is stark: switches hold lossless
+//! backlog, their egress ports are paused, and *nothing moves* — "Once the
+//! deadlock occurs, it does not go away even if we restart all the
+//! servers." The detector consumes periodic snapshots of each device's
+//! (transmitted-packet counter, lossless backlog bytes) and reports
+//! devices that made zero transmit progress across a full window while
+//! holding backlog.
+
+use std::collections::HashMap;
+
+/// One device snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Cumulative packets transmitted by the device.
+    pub tx_pkts: u64,
+    /// Lossless bytes currently queued.
+    pub backlog_bytes: u64,
+}
+
+/// Tracks progress between snapshot rounds.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressTracker {
+    last: HashMap<String, Snapshot>,
+    /// Devices stuck (no progress + backlog) and for how many rounds.
+    stuck_rounds: HashMap<String, u32>,
+}
+
+impl ProgressTracker {
+    /// Empty tracker.
+    pub fn new() -> ProgressTracker {
+        ProgressTracker::default()
+    }
+
+    /// Feed one round of snapshots (all devices at the same instant).
+    /// Returns the devices that were stuck this round.
+    pub fn observe(&mut self, round: &[(String, Snapshot)]) -> Vec<String> {
+        let mut stuck = Vec::new();
+        for (name, snap) in round {
+            let prev = self.last.insert(name.clone(), *snap);
+            if let Some(prev) = prev {
+                if snap.tx_pkts == prev.tx_pkts && snap.backlog_bytes > 0 {
+                    let c = self.stuck_rounds.entry(name.clone()).or_insert(0);
+                    *c += 1;
+                    stuck.push(name.clone());
+                } else {
+                    self.stuck_rounds.remove(name);
+                }
+            }
+        }
+        stuck
+    }
+
+    /// Devices stuck for at least `rounds` consecutive rounds — the
+    /// deadlock verdict. A genuine PFC deadlock involves ≥ 2 devices in a
+    /// cycle; a single stuck device is more likely a storm victim.
+    pub fn deadlocked(&self, rounds: u32) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .stuck_rounds
+            .iter()
+            .filter(|(_, c)| **c >= rounds)
+            .map(|(n, _)| n.clone())
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// A pause-wait graph: directed edges `A → B` meaning device A's egress
+/// toward B is paused (A waits on B to resume it) while A holds lossless
+/// backlog for that port. A cycle in this graph is the §4.2 "cyclic
+/// buffer dependency" — the topological signature of a PFC deadlock,
+/// complementing [`ProgressTracker`]'s behavioural one.
+#[derive(Debug, Clone, Default)]
+pub struct WaitGraph {
+    edges: Vec<(String, String)>,
+}
+
+impl WaitGraph {
+    /// Empty graph.
+    pub fn new() -> WaitGraph {
+        WaitGraph::default()
+    }
+
+    /// Add a wait edge: `from`'s egress toward `to` is paused with
+    /// backlog behind it.
+    pub fn add_edge(&mut self, from: impl Into<String>, to: impl Into<String>) {
+        self.edges.push((from.into(), to.into()));
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Find one cycle, if any, as the list of devices around it.
+    pub fn find_cycle(&self) -> Option<Vec<String>> {
+        use std::collections::HashMap;
+        let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+        for (a, b) in &self.edges {
+            adj.entry(a).or_default().push(b);
+        }
+        // Iterative DFS with colouring; deterministic order.
+        let mut nodes: Vec<&str> = adj.keys().copied().collect();
+        nodes.sort_unstable();
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: HashMap<&str, Color> = HashMap::new();
+        let mut parent: HashMap<&str, &str> = HashMap::new();
+        for start in nodes {
+            if *color.get(start).unwrap_or(&Color::White) != Color::White {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            color.insert(start, Color::Gray);
+            while let Some((node, idx)) = stack.pop() {
+                let next = adj.get(node).and_then(|v| v.get(idx)).copied();
+                match next {
+                    Some(succ) => {
+                        stack.push((node, idx + 1));
+                        match *color.get(succ).unwrap_or(&Color::White) {
+                            Color::White => {
+                                color.insert(succ, Color::Gray);
+                                parent.insert(succ, node);
+                                stack.push((succ, 0));
+                            }
+                            Color::Gray => {
+                                // Found a cycle: walk parents back to succ.
+                                let mut cycle = vec![succ.to_string()];
+                                let mut cur = node;
+                                while cur != succ {
+                                    cycle.push(cur.to_string());
+                                    cur = parent.get(cur).copied().unwrap_or(succ);
+                                }
+                                cycle.reverse();
+                                return Some(cycle);
+                            }
+                            Color::Black => {}
+                        }
+                    }
+                    None => {
+                        color.insert(node, Color::Black);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(tx: u64, backlog: u64) -> Snapshot {
+        Snapshot {
+            tx_pkts: tx,
+            backlog_bytes: backlog,
+        }
+    }
+
+    #[test]
+    fn progress_is_not_deadlock() {
+        let mut t = ProgressTracker::new();
+        t.observe(&[("sw0".into(), snap(100, 5000))]);
+        t.observe(&[("sw0".into(), snap(200, 5000))]);
+        t.observe(&[("sw0".into(), snap(300, 9000))]);
+        assert!(t.deadlocked(1).is_empty());
+    }
+
+    #[test]
+    fn zero_progress_with_backlog_is_stuck() {
+        let mut t = ProgressTracker::new();
+        for _ in 0..4 {
+            t.observe(&[
+                ("sw0".into(), snap(100, 5000)),
+                ("sw1".into(), snap(80, 3000)),
+            ]);
+        }
+        assert_eq!(t.deadlocked(3), vec!["sw0".to_string(), "sw1".to_string()]);
+    }
+
+    #[test]
+    fn idle_device_is_not_stuck() {
+        let mut t = ProgressTracker::new();
+        for _ in 0..4 {
+            t.observe(&[("sw0".into(), snap(100, 0))]); // no backlog: just idle
+        }
+        assert!(t.deadlocked(1).is_empty());
+    }
+
+    #[test]
+    fn wait_graph_finds_the_fig4_cycle() {
+        // The paper's cycle: T1 → La → T0 → Lb → T1.
+        let mut g = WaitGraph::new();
+        g.add_edge("La", "T1");
+        g.add_edge("T0", "La");
+        g.add_edge("Lb", "T0");
+        g.add_edge("T1", "Lb");
+        // Plus a harmless dangling wait (a slow receiver).
+        g.add_edge("T9", "server42");
+        let cycle = g.find_cycle().expect("cycle exists");
+        assert_eq!(cycle.len(), 4);
+        for n in ["T0", "T1", "La", "Lb"] {
+            assert!(cycle.contains(&n.to_string()), "{n} missing from {cycle:?}");
+        }
+    }
+
+    #[test]
+    fn wait_graph_acyclic_is_clean() {
+        let mut g = WaitGraph::new();
+        // A pause *chain* (storm propagation) is not a deadlock.
+        g.add_edge("spine", "leaf");
+        g.add_edge("leaf", "tor");
+        g.add_edge("tor", "server0");
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn wait_graph_self_loop() {
+        let mut g = WaitGraph::new();
+        g.add_edge("sw", "sw");
+        assert_eq!(g.find_cycle(), Some(vec!["sw".to_string()]));
+    }
+
+    #[test]
+    fn recovery_resets_the_counter() {
+        let mut t = ProgressTracker::new();
+        t.observe(&[("sw0".into(), snap(100, 5000))]);
+        t.observe(&[("sw0".into(), snap(100, 5000))]); // stuck 1
+        t.observe(&[("sw0".into(), snap(150, 1000))]); // progress
+        t.observe(&[("sw0".into(), snap(150, 1000))]); // stuck 1 again
+        assert!(t.deadlocked(2).is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! RDMA management and monitoring (§5): "From day one … we put
+//! RDMA/RoCEv2 management and monitoring as an indispensable part of the
+//! project."
+//!
+//! Four subsystems, mirroring the paper's:
+//!
+//! * [`stats`] — latency/percentile machinery for Pingmesh-style RTT data
+//!   (the p99/p99.9 numbers of Figures 6 and 8) and time-series windows
+//!   for pause-frame counts (the per-5-minute plots of Figures 9 and 10).
+//! * [`pingmesh`] — aggregation of RDMA Pingmesh probe results per
+//!   (source, destination) pair (§5.3).
+//! * [`config`] — configuration management and monitoring (§5.1): desired
+//!   vs running RDMA/PFC configuration diffing. The §6.2 buffer
+//!   misconfiguration (a new switch type shipping α = 1/64 instead of
+//!   1/16) is exactly the class of deviation this catches.
+//! * [`deadlock`] — progress tracking over counter snapshots: detects the
+//!   PFC deadlock signature (lossless backlog with zero transmit progress
+//!   across consecutive samples, §4.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod deadlock;
+pub mod pingmesh;
+pub mod stats;
+
+pub use config::{ConfigDeviation, RdmaConfig};
+pub use deadlock::{ProgressTracker, WaitGraph};
+pub use pingmesh::Pingmesh;
+pub use stats::{Percentiles, TimeSeries};

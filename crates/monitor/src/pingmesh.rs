@@ -1,0 +1,174 @@
+//! RDMA Pingmesh (§5.3): "We let the servers ping each other using RDMA …
+//! RDMA Pingmesh launches RDMA probes, with payload size 512 bytes, to
+//! the servers at different locations (ToR, Podset, Data center) and logs
+//! the measured RTT (if probes succeed) or error code (if probes fail)."
+//!
+//! The probing itself is the RDMA hosts' `Pinger`/`Echo` apps; this module
+//! aggregates the resulting samples per source/destination scope.
+
+use std::collections::HashMap;
+
+use crate::stats::Percentiles;
+
+/// The standard Pingmesh probe payload.
+pub const PROBE_BYTES: u32 = 512;
+
+/// Scope of a probe, per the paper's three levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scope {
+    /// Same ToR.
+    IntraTor,
+    /// Same podset, different ToR.
+    IntraPodset,
+    /// Across the spine layer.
+    IntraDc,
+}
+
+impl core::fmt::Display for Scope {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Scope::IntraTor => write!(f, "tor"),
+            Scope::IntraPodset => write!(f, "podset"),
+            Scope::IntraDc => write!(f, "dc"),
+        }
+    }
+}
+
+/// One probe outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// Round trip completed in this many picoseconds.
+    Rtt(u64),
+    /// Probe failed (timeout or error code).
+    Failed,
+}
+
+/// Aggregated Pingmesh results.
+#[derive(Debug, Clone, Default)]
+pub struct Pingmesh {
+    per_scope: HashMap<Scope, Percentiles>,
+    failures: HashMap<Scope, u64>,
+    total: u64,
+}
+
+impl Pingmesh {
+    /// Empty aggregator.
+    pub fn new() -> Pingmesh {
+        Pingmesh::default()
+    }
+
+    /// Record a probe outcome.
+    pub fn record(&mut self, scope: Scope, result: ProbeResult) {
+        self.total += 1;
+        match result {
+            ProbeResult::Rtt(ps) => self.per_scope.entry(scope).or_default().add(ps),
+            ProbeResult::Failed => *self.failures.entry(scope).or_default() += 1,
+        }
+    }
+
+    /// Record a batch of raw RTT samples for one scope.
+    pub fn record_samples(&mut self, scope: Scope, samples: &[u64]) {
+        for s in samples {
+            self.record(scope, ProbeResult::Rtt(*s));
+        }
+    }
+
+    /// Total probes recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Failure count for a scope.
+    pub fn failures(&self, scope: Scope) -> u64 {
+        self.failures.get(&scope).copied().unwrap_or(0)
+    }
+
+    /// Percentile access for a scope.
+    pub fn scope_mut(&mut self, scope: Scope) -> Option<&mut Percentiles> {
+        self.per_scope.get_mut(&scope)
+    }
+
+    /// "Is RDMA working?" — the paper's operational question: healthy
+    /// when the failure fraction is tiny and the p99 is under `p99_ps`.
+    pub fn healthy(&mut self, scope: Scope, p99_ps: u64) -> bool {
+        let fails = self.failures(scope);
+        let Some(p) = self.per_scope.get_mut(&scope) else {
+            return false;
+        };
+        let n = p.count() as u64;
+        if n == 0 || fails * 100 > n {
+            return false;
+        }
+        p.p99().is_some_and(|v| v <= p99_ps)
+    }
+
+    /// Render the percentile table (µs) the experiments print.
+    pub fn render(&mut self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "scope", "probes", "p50(us)", "p99(us)", "p99.9(us)", "fails"
+        );
+        let mut scopes: Vec<Scope> = self.per_scope.keys().copied().collect();
+        scopes.sort();
+        for s in scopes {
+            let fails = self.failures(s);
+            let p = self.per_scope.get_mut(&s).expect("key from iteration");
+            let us = |v: Option<u64>| v.map_or(0.0, |v| v as f64 / 1e6);
+            let _ = writeln!(
+                out,
+                "{:>8} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10}",
+                s.to_string(),
+                p.count(),
+                us(p.p50()),
+                us(p.p99()),
+                us(p.p999()),
+                fails
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_per_scope() {
+        let mut pm = Pingmesh::new();
+        pm.record_samples(Scope::IntraTor, &[50_000_000, 60_000_000, 55_000_000]);
+        pm.record(Scope::IntraDc, ProbeResult::Rtt(90_000_000));
+        pm.record(Scope::IntraDc, ProbeResult::Failed);
+        assert_eq!(pm.total(), 5);
+        assert_eq!(pm.failures(Scope::IntraDc), 1);
+        assert_eq!(pm.scope_mut(Scope::IntraTor).unwrap().p50(), Some(55_000_000));
+    }
+
+    /// §5.3: "From the measured RTT of RDMA Pingmesh, we can infer if
+    /// RDMA is working well or not."
+    #[test]
+    fn health_inference() {
+        let mut pm = Pingmesh::new();
+        pm.record_samples(Scope::IntraTor, &vec![80_000_000u64; 200]);
+        assert!(pm.healthy(Scope::IntraTor, 90_000_000));
+        assert!(!pm.healthy(Scope::IntraTor, 70_000_000), "p99 too high");
+        assert!(!pm.healthy(Scope::IntraDc, u64::MAX), "no data = not healthy");
+        // >1% failures = unhealthy.
+        for _ in 0..5 {
+            pm.record(Scope::IntraTor, ProbeResult::Failed);
+        }
+        assert!(!pm.healthy(Scope::IntraTor, 90_000_000));
+    }
+
+    #[test]
+    fn render_table() {
+        let mut pm = Pingmesh::new();
+        pm.record_samples(Scope::IntraPodset, &[100_000_000]);
+        let s = pm.render();
+        assert!(s.contains("podset"));
+        assert!(s.contains("100.0"));
+    }
+}

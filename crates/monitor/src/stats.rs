@@ -1,0 +1,200 @@
+//! Percentile and time-series machinery for latency and pause-frame
+//! monitoring.
+
+/// An exact percentile calculator over collected samples (experiments are
+/// small enough that exactness beats sketching; determinism matters more
+/// than memory here).
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Empty collector.
+    pub fn new() -> Percentiles {
+        Percentiles::default()
+    }
+
+    /// From existing samples.
+    pub fn from_samples(samples: &[u64]) -> Percentiles {
+        let mut p = Percentiles {
+            samples: samples.to_vec(),
+            sorted: false,
+        };
+        p.sort();
+        p
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The `q`-quantile (q in \[0,1\]), nearest-rank. None if empty.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.sort();
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Median.
+    pub fn p50(&mut self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+    /// 99th percentile — the paper's headline metric.
+    pub fn p99(&mut self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+    /// 99.9th percentile.
+    pub fn p999(&mut self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+    /// Maximum.
+    pub fn max(&mut self) -> Option<u64> {
+        self.sort();
+        self.samples.last().copied()
+    }
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+        }
+    }
+}
+
+/// A time series of (time, value) points with fixed-window aggregation —
+/// the "pause frames received in every five minutes" plots of Figures 9
+/// and 10, scaled to simulation time.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Record a point (times must be non-decreasing).
+    pub fn push(&mut self, t_ps: u64, value: f64) {
+        debug_assert!(
+            self.points.last().map_or(true, |(lt, _)| *lt <= t_ps),
+            "time went backwards"
+        );
+        self.points.push((t_ps, value));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Deltas between consecutive cumulative-counter samples (turns a
+    /// monotone counter into a per-window rate series).
+    pub fn deltas(&self) -> Vec<(u64, f64)> {
+        self.points
+            .windows(2)
+            .map(|w| (w[1].0, w[1].1 - w[0].1))
+            .collect()
+    }
+
+    /// Peak value.
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Render as simple aligned rows (time in µs) for experiment output.
+    pub fn render(&self, label: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>12}  {label}", "t(us)");
+        for (t, v) in &self.points {
+            let _ = writeln!(out, "{:>12}  {v:.1}", t / 1_000_000);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut p = Percentiles::from_samples(&(1..=100u64).collect::<Vec<_>>());
+        assert_eq!(p.p50(), Some(50));
+        assert_eq!(p.p99(), Some(99));
+        assert_eq!(p.quantile(1.0), Some(100));
+        assert_eq!(p.quantile(0.0), Some(1)); // clamped to rank 1
+        assert_eq!(p.max(), Some(100));
+        assert_eq!(p.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.p99(), None);
+        assert_eq!(p.mean(), None);
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
+    fn incremental_adds_resort() {
+        let mut p = Percentiles::new();
+        for v in [5u64, 1, 9, 3] {
+            p.add(v);
+        }
+        assert_eq!(p.p50(), Some(3));
+        p.add(100);
+        assert_eq!(p.max(), Some(100));
+    }
+
+    #[test]
+    fn p999_needs_tail() {
+        // 1000 samples of 10 with two 500 outliers (0.2% tail): p99
+        // misses them, p99.9 (nearest-rank 999 of 1000) catches one.
+        let mut samples = vec![10u64; 998];
+        samples.extend([500, 500]);
+        let mut p = Percentiles::from_samples(&samples);
+        assert_eq!(p.p99(), Some(10));
+        assert_eq!(p.p999(), Some(500));
+    }
+
+    #[test]
+    fn timeseries_deltas() {
+        let mut ts = TimeSeries::new();
+        ts.push(0, 0.0);
+        ts.push(1_000_000, 100.0);
+        ts.push(2_000_000, 150.0);
+        let d = ts.deltas();
+        assert_eq!(d, vec![(1_000_000, 100.0), (2_000_000, 50.0)]);
+        assert_eq!(ts.max(), Some(150.0));
+        let rendered = ts.render("pauses");
+        assert!(rendered.contains("pauses"));
+        assert_eq!(rendered.lines().count(), 4);
+    }
+}

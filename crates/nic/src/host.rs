@@ -1,0 +1,881 @@
+//! The RDMA host node: QPs, pacing, DCQCN, host-side PFC, the receive
+//! pipeline, and built-in workload applications.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use rocescale_dcqcn::{NpParams, NpState, RpParams, RpState};
+use rocescale_packet::{
+    EcnCodepoint, EthMeta, Ipv4Meta, MacAddr, Packet, PacketKind, PauseFrame, PfcPauseFrame,
+    Priority, RoceOpcode, RocePacket,
+};
+use rocescale_sim::{Ctx, Node, PortId, SimTime};
+use rocescale_transport::{Completion, PacketDesc, QpConfig, QpEndpoint, Verb, WrId};
+
+use crate::mtt::{MttCache, MttConfig};
+
+/// How the host tags outgoing packets for PFC classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostPfcMode {
+    /// DSCP-based PFC (§3): untagged frames, priority in the IP DSCP
+    /// field (DSCP = priority value, the paper's identity mapping).
+    Dscp,
+    /// VLAN-based PFC: 802.1Q tag with PCP = priority and this VLAN ID.
+    Vlan {
+        /// VLAN ID for all tagged traffic.
+        vid: u16,
+    },
+}
+
+/// Receive-pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RxConfig {
+    /// Receive buffer size in bytes.
+    pub buffer_bytes: u64,
+    /// Emit a PFC pause when occupancy crosses this.
+    pub xoff_bytes: u64,
+    /// Emit a resume when occupancy falls to this.
+    pub xon_bytes: u64,
+    /// Fixed per-packet processing time of the pipeline.
+    pub per_packet_ps: u64,
+    /// MTT cache model; `None` disables translation stalls.
+    pub mtt: Option<MttConfig>,
+}
+
+impl Default for RxConfig {
+    fn default() -> RxConfig {
+        RxConfig {
+            buffer_bytes: 512 * 1024,
+            xoff_bytes: 256 * 1024,
+            xon_bytes: 128 * 1024,
+            per_packet_ps: 100_000, // 100 ns — keeps up with 40G line rate
+            mtt: None,
+        }
+    }
+}
+
+/// Host/NIC configuration.
+#[derive(Debug, Clone)]
+pub struct NicConfig {
+    /// Name for traces.
+    pub name: String,
+    /// NIC MAC address.
+    pub mac: MacAddr,
+    /// Host IP.
+    pub ip: u32,
+    /// MAC of the ToR's routed interface (hosts are statically provisioned
+    /// with their gateway; ARP bootstrap is out of scope).
+    pub gateway_mac: MacAddr,
+    /// Link rate, bits/second.
+    pub link_bps: u64,
+    /// Tagging mode.
+    pub pfc_mode: HostPfcMode,
+    /// Default transport configuration for new QPs.
+    pub qp_defaults: QpConfig,
+    /// Priority class for RDMA traffic (the paper's bulk lossless class).
+    pub rdma_priority: Priority,
+    /// DCQCN sender (RP) parameters; `None` disables rate control.
+    pub dcqcn_rp: Option<RpParams>,
+    /// DCQCN receiver (NP) parameters.
+    pub dcqcn_np: NpParams,
+    /// Receive pipeline.
+    pub rx: RxConfig,
+    /// NIC-side storm watchdog: disable pause generation once the receive
+    /// pipeline has been stalled this long while pausing (§4.3; the
+    /// paper's default is 100 ms). `None` disables the watchdog.
+    pub nic_watchdog_after: Option<SimTime>,
+}
+
+impl NicConfig {
+    /// A 40 GbE host with the paper's recommended settings (DSCP-based
+    /// PFC, go-back-N, DCQCN on).
+    pub fn new(name: impl Into<String>, id: u32, ip: u32, gateway_mac: MacAddr) -> NicConfig {
+        NicConfig {
+            name: name.into(),
+            mac: MacAddr::from_id(id),
+            ip,
+            gateway_mac,
+            link_bps: 40_000_000_000,
+            pfc_mode: HostPfcMode::Dscp,
+            qp_defaults: QpConfig::default(),
+            rdma_priority: Priority::new(3),
+            dcqcn_rp: Some(RpParams::for_line_rate(40_000_000_000)),
+            dcqcn_np: NpParams::default(),
+            rx: RxConfig::default(),
+            nic_watchdog_after: None,
+        }
+    }
+}
+
+/// Per-QP application behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QpApp {
+    /// Passive: only what is explicitly posted.
+    None,
+    /// Keep `inflight` messages of `msg_len` bytes posted at all times —
+    /// the "send as fast as possible" generators of §4.1 and Figure 7.
+    Saturate {
+        /// Message length, bytes.
+        msg_len: u32,
+        /// Messages kept outstanding.
+        inflight: u32,
+    },
+    /// Reply to every received message with one of `reply_len` bytes —
+    /// the response half of the incast service (Figure 6).
+    Echo {
+        /// Reply length, bytes.
+        reply_len: u32,
+    },
+    /// Periodically send a `payload`-byte message and measure the RTT to
+    /// the peer's (Echo) reply — Pingmesh probes (§5.3) and the query
+    /// half of the incast service.
+    Pinger {
+        /// Probe payload, bytes (Pingmesh uses 512).
+        payload: u32,
+        /// Probe period.
+        interval: SimTime,
+        /// Phase offset of the first probe.
+        start_at: SimTime,
+    },
+}
+
+/// Host-level application behaviour (spanning QPs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostApp {
+    /// Nothing.
+    None,
+    /// Every `interval`, send a `query_len` query on *all* listed QPs at
+    /// once — the fan-out that makes incast (Figure 6's chatty servers,
+    /// §6.2's "queries to more than one thousand servers simultaneously").
+    Fanout {
+        /// QPs to query (indices from [`RdmaHost::add_qp`]).
+        qps: Vec<QpHandle>,
+        /// Query period.
+        interval: SimTime,
+        /// Query length, bytes.
+        query_len: u32,
+        /// First fan-out time.
+        start_at: SimTime,
+    },
+}
+
+/// Identifies a QP on its host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QpHandle(pub u32);
+
+/// Host counters.
+#[derive(Debug, Clone, Default)]
+pub struct HostStats {
+    /// Data packets sent (transport, excluding control).
+    pub data_pkts_tx: u64,
+    /// Data bytes sent on the wire (all frames).
+    pub tx_bytes: u64,
+    /// Data packets received and processed.
+    pub data_pkts_rx: u64,
+    /// Pause frames sent by this host (slow receiver / storm).
+    pub pause_tx: u64,
+    /// Pause frames received (the fabric throttling us).
+    pub pause_rx: u64,
+    /// CNPs sent (NP role).
+    pub cnp_tx: u64,
+    /// CNPs received (RP role).
+    pub cnp_rx: u64,
+    /// Packets dropped because the receive buffer overflowed.
+    pub rx_overflow: u64,
+    /// Packets dropped because the NIC was in storm mode.
+    pub rx_storm_dropped: u64,
+    /// Completed RTT measurements, picoseconds (Pinger/Fanout apps).
+    pub rtt_samples_ps: Vec<u64>,
+    /// Total send-side message completions.
+    pub send_completions: u64,
+    /// Times the NIC watchdog disabled pause generation.
+    pub nic_watchdog_fired: u64,
+}
+
+struct Qp {
+    endpoint: QpEndpoint,
+    peer_ip: u32,
+    peer_qp: u32,
+    udp_src: u16,
+    prio: Priority,
+    rp: Option<RpState>,
+    np: NpState,
+    /// Next time pacing allows a data packet, ps.
+    next_tx_ps: u64,
+    app: QpApp,
+    /// Send timestamps of tracked (RTT-measured) messages, FIFO.
+    pending_rtt: VecDeque<u64>,
+    /// Cumulative received payload offset (MTT access pattern).
+    rx_offset: u64,
+    /// Messages currently posted by a Saturate app.
+    posted: u32,
+    wr_seq: u64,
+}
+
+// Timer tokens.
+const TOK_PUMP: u64 = 1;
+const TOK_DCQCN: u64 = 2;
+const TOK_RX_DONE: u64 = 3;
+const TOK_RTO: u64 = 4;
+const TOK_QP_APP_BASE: u64 = 1 << 32; // + qpn
+const TOK_FANOUT: u64 = 5;
+const TOK_PAUSE_REFRESH: u64 = 6;
+const TOK_STORM_TICK: u64 = 7;
+/// Public token: schedule with [`rocescale_sim::World::schedule_timer`] to
+/// put the NIC into storm mode at a chosen instant (§4.3 fault injection).
+pub const TOK_INJECT_STORM: u64 = 100;
+
+const DCQCN_TICK: SimTime = SimTime::from_micros(55);
+const RTO_SCAN: SimTime = SimTime::from_micros(100);
+const STORM_REFRESH: SimTime = SimTime::from_micros(100);
+
+/// The RDMA host node.
+pub struct RdmaHost {
+    cfg: NicConfig,
+    qps: Vec<Qp>,
+    host_app: HostApp,
+    /// Control packets (ACK/NAK/CNP) awaiting transmission.
+    ctrl: VecDeque<Packet>,
+    /// Pause frames awaiting transmission (bypass everything).
+    pause_out: VecDeque<Packet>,
+    /// Host egress pause state per priority (PFC reaction).
+    paused_until: [SimTime; Priority::COUNT],
+    /// Round-robin pointer over QPs.
+    rr: usize,
+    /// Sequential IP ID counter (§4.1's determinism).
+    ip_id: u16,
+    // --- receive pipeline ---
+    rx_queue: VecDeque<Packet>,
+    rx_occupancy: u64,
+    rx_busy: bool,
+    /// Host is in XOFF state toward the switch.
+    host_xoff: bool,
+    mtt: Option<MttCache>,
+    /// Time the pipeline last completed a packet (watchdog input).
+    last_rx_progress: SimTime,
+    // --- storm state ---
+    storm: bool,
+    pause_gen_disabled: bool,
+    /// Counters.
+    pub stats: HostStats,
+}
+
+impl RdmaHost {
+    /// Build a host from its configuration.
+    pub fn new(cfg: NicConfig) -> RdmaHost {
+        RdmaHost {
+            mtt: cfg.rx.mtt.map(MttCache::new),
+            cfg,
+            qps: Vec::new(),
+            host_app: HostApp::None,
+            ctrl: VecDeque::new(),
+            pause_out: VecDeque::new(),
+            paused_until: [SimTime::ZERO; Priority::COUNT],
+            rr: 0,
+            ip_id: 0,
+            rx_queue: VecDeque::new(),
+            rx_occupancy: 0,
+            rx_busy: false,
+            host_xoff: false,
+            last_rx_progress: SimTime::ZERO,
+            storm: false,
+            pause_gen_disabled: false,
+            stats: HostStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NicConfig {
+        &self.cfg
+    }
+
+    /// Create a QP to `peer_ip`/`peer_qp`. `udp_src` is the per-QP random
+    /// UDP source port (the ECMP path selector); both ends must agree on
+    /// each other's QP numbers.
+    pub fn add_qp(&mut self, peer_ip: u32, peer_qp: u32, udp_src: u16, app: QpApp) -> QpHandle {
+        let qpn = self.qps.len() as u32;
+        let mut qp = Qp {
+            endpoint: QpEndpoint::new(self.cfg.qp_defaults),
+            peer_ip,
+            peer_qp,
+            udp_src,
+            prio: self.cfg.rdma_priority,
+            rp: self.cfg.dcqcn_rp.map(RpState::new),
+            np: NpState::new(self.cfg.dcqcn_np),
+            next_tx_ps: 0,
+            app,
+            pending_rtt: VecDeque::new(),
+            rx_offset: 0,
+            posted: 0,
+            wr_seq: 0,
+        };
+        // Prime saturating apps here so QPs created mid-run start sending
+        // at the next transmit opportunity (the periodic scans pump).
+        if let QpApp::Saturate { msg_len, inflight } = qp.app {
+            while qp.posted < inflight {
+                let wr = WrId(qp.wr_seq);
+                qp.wr_seq += 1;
+                qp.endpoint.post(Verb::Send { len: msg_len }, wr);
+                qp.posted += 1;
+            }
+        }
+        self.qps.push(qp);
+        QpHandle(qpn)
+    }
+
+    /// Install a host-level application.
+    pub fn set_host_app(&mut self, app: HostApp) {
+        self.host_app = app;
+    }
+
+    /// Post a work request on a QP (programmatic workloads; `tracked`
+    /// pushes an RTT measurement start for the message).
+    pub fn post(&mut self, qp: QpHandle, verb: Verb, now: SimTime, tracked: bool) {
+        let q = &mut self.qps[qp.0 as usize];
+        let wr = WrId(q.wr_seq);
+        q.wr_seq += 1;
+        q.endpoint.post(verb, wr);
+        if tracked {
+            q.pending_rtt.push_back(now.as_ps());
+        }
+    }
+
+    /// Read access to a QP's transport endpoint (stats, goodput).
+    pub fn qp_endpoint(&self, qp: QpHandle) -> &QpEndpoint {
+        &self.qps[qp.0 as usize].endpoint
+    }
+
+    /// Current DCQCN rate of a QP, b/s (line rate if DCQCN is off).
+    pub fn qp_rate_bps(&self, qp: QpHandle) -> f64 {
+        self.qps[qp.0 as usize]
+            .rp
+            .as_ref()
+            .map(|r| r.rate_bps())
+            .unwrap_or(self.cfg.link_bps as f64)
+    }
+
+    /// Number of QPs.
+    pub fn qp_count(&self) -> usize {
+        self.qps.len()
+    }
+
+    /// Sum of goodput bytes over all QPs (receiver side).
+    pub fn total_goodput_bytes(&self) -> u64 {
+        self.qps.iter().map(|q| q.endpoint.goodput_bytes()).sum()
+    }
+
+    /// Is the NIC in storm mode?
+    pub fn in_storm(&self) -> bool {
+        self.storm
+    }
+
+    /// MTT cache (hits, misses), if an MTT model is configured.
+    pub fn mtt_counters(&self) -> Option<(u64, u64)> {
+        self.mtt.as_ref().map(|m| m.counters())
+    }
+
+    /// Has the NIC watchdog disabled pause generation?
+    pub fn pause_generation_disabled(&self) -> bool {
+        self.pause_gen_disabled
+    }
+
+    /// Put the NIC into §4.3 storm mode immediately: the receive pipeline
+    /// halts and the NIC pauses its switch port continuously. Prefer
+    /// scheduling [`TOK_INJECT_STORM`] for mid-run injection.
+    pub fn inject_storm(&mut self) {
+        self.storm = true;
+    }
+
+    // ---- packet materialization ----
+
+    fn next_ip_id(&mut self) -> u16 {
+        let id = self.ip_id;
+        self.ip_id = self.ip_id.wrapping_add(1);
+        id
+    }
+
+    fn vlan_for(&self, prio: Priority) -> Option<(u8, u16)> {
+        match self.cfg.pfc_mode {
+            HostPfcMode::Dscp => None,
+            HostPfcMode::Vlan { vid } => Some((prio.value(), vid)),
+        }
+    }
+
+    fn materialize(&mut self, qpn: u32, desc: &PacketDesc, ctx: &mut Ctx<'_>) -> Packet {
+        let q = &self.qps[qpn as usize];
+        let prio = q.prio;
+        let (peer_ip, peer_qp, udp_src) = (q.peer_ip, q.peer_qp, q.udp_src);
+        let ecn = if desc.opcode.carries_data() {
+            EcnCodepoint::Ect
+        } else {
+            EcnCodepoint::NotEct
+        };
+        let id = self.next_ip_id();
+        Packet {
+            id: ctx.next_packet_id(),
+            eth: EthMeta {
+                src: self.cfg.mac,
+                dst: self.cfg.gateway_mac,
+                vlan: self.vlan_for(prio),
+            },
+            ip: Some(Ipv4Meta {
+                src: self.cfg.ip,
+                dst: peer_ip,
+                dscp: prio.value(),
+                ecn,
+                id,
+                ttl: 64,
+            }),
+            kind: PacketKind::Roce(RocePacket {
+                opcode: desc.opcode,
+                dest_qp: peer_qp,
+                src_qp: qpn,
+                psn: desc.psn,
+                payload: desc.payload,
+                is_first: desc.is_first,
+                is_last: desc.is_last,
+                udp_src,
+            }),
+            created_ps: ctx.now().as_ps(),
+        }
+    }
+
+    fn pause_packet(&mut self, prio: Priority, quanta: u16, ctx: &mut Ctx<'_>) -> Packet {
+        let frame = if quanta == 0 {
+            PauseFrame::resume(prio)
+        } else {
+            PauseFrame::pause(prio, quanta)
+        };
+        Packet {
+            id: ctx.next_packet_id(),
+            eth: EthMeta {
+                src: self.cfg.mac,
+                dst: MacAddr::PAUSE_MULTICAST,
+                vlan: None,
+            },
+            ip: None,
+            kind: PacketKind::Pfc(frame),
+            created_ps: ctx.now().as_ps(),
+        }
+    }
+
+    // ---- transmit pump ----
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let port = PortId(0);
+        while !ctx.port_busy(port) && ctx.port_connected(port) {
+            // Pause frames leave no matter what.
+            if let Some(p) = self.pause_out.pop_front() {
+                ctx.transmit(port, p).expect("port checked idle");
+                continue;
+            }
+            if self.storm {
+                return; // storm mode: no data, no control
+            }
+            let now = ctx.now();
+            let prio = self.cfg.rdma_priority;
+            if self.paused_until[prio.index()] > now {
+                // Our lossless class is paused; wake when it expires.
+                ctx.set_timer_at(self.paused_until[prio.index()], TOK_PUMP);
+                return;
+            }
+            if let Some(p) = self.ctrl.pop_front() {
+                self.stats.tx_bytes += p.wire_size() as u64;
+                ctx.transmit(port, p).expect("port checked idle");
+                continue;
+            }
+            // Data: round-robin over QPs, honouring per-QP pacing.
+            let n = self.qps.len();
+            let mut earliest: Option<u64> = None;
+            let mut picked = None;
+            for step in 0..n {
+                let i = (self.rr + step) % n;
+                if !self.qps[i].endpoint.has_data_tx() {
+                    continue;
+                }
+                let t = self.qps[i].next_tx_ps;
+                if t <= now.as_ps() {
+                    picked = Some(i);
+                    self.rr = (i + 1) % n;
+                    break;
+                }
+                earliest = Some(earliest.map_or(t, |e: u64| e.min(t)));
+            }
+            let Some(i) = picked else {
+                if let Some(t) = earliest {
+                    ctx.set_timer_at(SimTime(t), TOK_PUMP);
+                }
+                return;
+            };
+            let desc = self.qps[i]
+                .endpoint
+                .next_data_tx(now.as_ps())
+                .expect("has_data_tx checked");
+            let pkt = self.materialize(i as u32, &desc, ctx);
+            let bytes = pkt.wire_size() as u64;
+            let rate = self.qps[i]
+                .rp
+                .as_ref()
+                .map(|r| r.rate_bps())
+                .unwrap_or(self.cfg.link_bps as f64);
+            let gap_ps = (bytes as f64 * 8.0 * 1e12 / rate) as u64;
+            let q = &mut self.qps[i];
+            q.next_tx_ps = now.as_ps().max(q.next_tx_ps) + gap_ps;
+            if let Some(rp) = q.rp.as_mut() {
+                rp.on_bytes_sent(bytes);
+            }
+            self.stats.data_pkts_tx += 1;
+            self.stats.tx_bytes += bytes;
+            ctx.transmit(port, pkt).expect("port checked idle");
+        }
+    }
+
+    /// Move a QP endpoint's pending control packets into the host queue.
+    fn drain_ctrl(&mut self, qpn: u32, ctx: &mut Ctx<'_>) {
+        while let Some(desc) = self.qps[qpn as usize].endpoint.pop_ctrl_tx() {
+            let pkt = self.materialize(qpn, &desc, ctx);
+            self.ctrl.push_back(pkt);
+        }
+    }
+
+    fn send_cnp(&mut self, qpn: u32, ctx: &mut Ctx<'_>) {
+        let desc = PacketDesc {
+            opcode: RoceOpcode::Cnp,
+            psn: 0,
+            payload: 0,
+            is_first: true,
+            is_last: true,
+            ack_req: false,
+        };
+        let pkt = self.materialize(qpn, &desc, ctx);
+        self.ctrl.push_back(pkt);
+        self.stats.cnp_tx += 1;
+    }
+
+    // ---- receive pipeline ----
+
+    fn on_rx(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        // NIC MAC filter: flooded copies of other hosts' frames (the §4.2
+        // scenario floods lossless packets to every port) are discarded
+        // in hardware before they can alias a local QP number.
+        if pkt.eth.dst != self.cfg.mac && !pkt.eth.dst.is_multicast() {
+            return;
+        }
+        if self.storm {
+            self.stats.rx_storm_dropped += 1;
+            self.note_rx_pressure(ctx);
+            return;
+        }
+        let bytes = pkt.wire_size() as u64;
+        if self.rx_occupancy + bytes > self.cfg.rx.buffer_bytes {
+            self.stats.rx_overflow += 1;
+            return;
+        }
+        self.rx_occupancy += bytes;
+        self.rx_queue.push_back(pkt);
+        self.note_rx_pressure(ctx);
+        if !self.rx_busy {
+            self.start_rx_service(ctx);
+        }
+    }
+
+    /// Emit XOFF when the receive buffer crosses its threshold (the
+    /// slow-receiver symptom's visible signature).
+    fn note_rx_pressure(&mut self, ctx: &mut Ctx<'_>) {
+        let over = self.storm || self.rx_occupancy >= self.cfg.rx.xoff_bytes;
+        if over && !self.host_xoff && !self.pause_gen_disabled {
+            self.host_xoff = true;
+            self.emit_pause(u16::MAX, ctx);
+            ctx.set_timer(STORM_REFRESH, TOK_PAUSE_REFRESH);
+        }
+    }
+
+    fn emit_pause(&mut self, quanta: u16, ctx: &mut Ctx<'_>) {
+        let prio = self.cfg.rdma_priority;
+        let pkt = self.pause_packet(prio, quanta, ctx);
+        self.pause_out.push_back(pkt);
+        if quanta > 0 {
+            self.stats.pause_tx += 1;
+        }
+        self.pump(ctx);
+    }
+
+    fn start_rx_service(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(pkt) = self.rx_queue.front() else {
+            self.rx_busy = false;
+            return;
+        };
+        self.rx_busy = true;
+        let mut delay = self.cfg.rx.per_packet_ps;
+        // MTT translation for packets that DMA payload into host memory.
+        if let (Some(mtt), PacketKind::Roce(r)) = (self.mtt.as_mut(), &pkt.kind) {
+            if r.opcode.carries_data() {
+                let q = &self.qps.get(r.dest_qp as usize);
+                if let Some(q) = q {
+                    delay += mtt.access(r.dest_qp as u64, q.rx_offset);
+                }
+            }
+        }
+        ctx.set_timer(SimTime(delay), TOK_RX_DONE);
+    }
+
+    fn finish_rx_service(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(pkt) = self.rx_queue.pop_front() else {
+            self.rx_busy = false;
+            return;
+        };
+        self.rx_occupancy -= pkt.wire_size() as u64;
+        self.last_rx_progress = ctx.now();
+        self.process_rx(pkt, ctx);
+        // XON when the buffer has drained enough.
+        if self.host_xoff && !self.storm && self.rx_occupancy <= self.cfg.rx.xon_bytes {
+            self.host_xoff = false;
+            self.emit_pause(0, ctx);
+        }
+        self.start_rx_service(ctx);
+    }
+
+    fn process_rx(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        let PacketKind::Roce(r) = pkt.kind else {
+            return; // non-RoCE traffic (e.g. raw frames) is outside the NIC fast path
+        };
+        let qpn = r.dest_qp;
+        if qpn as usize >= self.qps.len() {
+            return; // unknown QP (e.g. host considered "dead" has none)
+        }
+        self.stats.data_pkts_rx += 1;
+        // DCQCN NP: CE-marked data triggers a (rate-limited) CNP.
+        if pkt.ip.map(|ip| ip.ecn) == Some(EcnCodepoint::Ce) {
+            let now = ctx.now().as_ps();
+            if self.qps[qpn as usize].np.on_ce_packet(now) {
+                self.send_cnp(qpn, ctx);
+            }
+        }
+        if r.opcode == RoceOpcode::Cnp {
+            self.stats.cnp_rx += 1;
+            if let Some(rp) = self.qps[qpn as usize].rp.as_mut() {
+                rp.on_cnp();
+            }
+            return;
+        }
+        let desc = PacketDesc {
+            opcode: r.opcode,
+            psn: r.psn,
+            payload: r.payload,
+            is_first: r.is_first,
+            is_last: r.is_last,
+            ack_req: false,
+        };
+        let now_ps = ctx.now().as_ps();
+        {
+            let q = &mut self.qps[qpn as usize];
+            if r.opcode.carries_data() {
+                q.rx_offset += r.payload as u64;
+            }
+            q.endpoint.on_packet(&desc, now_ps);
+        }
+        self.drain_ctrl(qpn, ctx);
+        self.handle_completions(qpn, ctx);
+        self.pump(ctx);
+    }
+
+    fn handle_completions(&mut self, qpn: u32, ctx: &mut Ctx<'_>) {
+        let completions = self.qps[qpn as usize].endpoint.take_completions();
+        for c in completions {
+            match c {
+                Completion::SendDone { .. } => {
+                    self.stats.send_completions += 1;
+                    let q = &mut self.qps[qpn as usize];
+                    if let QpApp::Saturate { msg_len, inflight } = q.app {
+                        q.posted = q.posted.saturating_sub(1);
+                        while q.posted < inflight {
+                            let wr = WrId(q.wr_seq);
+                            q.wr_seq += 1;
+                            q.endpoint.post(Verb::Send { len: msg_len }, wr);
+                            q.posted += 1;
+                        }
+                    }
+                }
+                Completion::ReadDone { .. } => {
+                    self.stats.send_completions += 1;
+                }
+                Completion::MessageReceived { .. } => {
+                    let now = ctx.now().as_ps();
+                    let q = &mut self.qps[qpn as usize];
+                    if let Some(sent) = q.pending_rtt.pop_front() {
+                        self.stats.rtt_samples_ps.push(now - sent);
+                    }
+                    if let QpApp::Echo { reply_len } = q.app {
+                        let wr = WrId(q.wr_seq);
+                        q.wr_seq += 1;
+                        q.endpoint.post(Verb::Send { len: reply_len }, wr);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- PFC reaction ----
+
+    fn on_pause(&mut self, frame: &PauseFrame, ctx: &mut Ctx<'_>) {
+        self.stats.pause_rx += 1;
+        let rate = ctx.port_rate(PortId(0)).unwrap_or(self.cfg.link_bps);
+        let mut resumed = false;
+        for (prio, quanta) in frame.entries() {
+            if quanta == 0 {
+                self.paused_until[prio.index()] = ctx.now();
+                resumed = true;
+            } else {
+                let until =
+                    ctx.now() + SimTime(PfcPauseFrame::quanta_to_ps(quanta, rate));
+                self.paused_until[prio.index()] = until;
+                ctx.set_timer_at(until, TOK_PUMP);
+            }
+        }
+        if resumed {
+            self.pump(ctx);
+        }
+    }
+
+    fn storm_tick(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.storm {
+            return;
+        }
+        // NIC watchdog: the micro-controller sees a stalled receive
+        // pipeline that keeps generating pauses and cuts pause generation.
+        // It never re-enables (§4.3): a stormed NIC "never comes back".
+        if let Some(after) = self.cfg.nic_watchdog_after {
+            if !self.pause_gen_disabled
+                && ctx.now().saturating_sub(self.last_rx_progress) >= after
+            {
+                self.pause_gen_disabled = true;
+                self.stats.nic_watchdog_fired += 1;
+            }
+        }
+        if !self.pause_gen_disabled {
+            self.emit_pause(u16::MAX, ctx);
+        }
+        ctx.set_timer(STORM_REFRESH, TOK_STORM_TICK);
+    }
+}
+
+impl Node for RdmaHost {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Periodic machinery.
+        if self.cfg.dcqcn_rp.is_some() {
+            ctx.set_timer(DCQCN_TICK, TOK_DCQCN);
+        }
+        ctx.set_timer(RTO_SCAN, TOK_RTO);
+        // Prime per-QP apps.
+        for i in 0..self.qps.len() {
+            match self.qps[i].app {
+                QpApp::Saturate { msg_len, inflight } => {
+                    let q = &mut self.qps[i];
+                    while q.posted < inflight {
+                        let wr = WrId(q.wr_seq);
+                        q.wr_seq += 1;
+                        q.endpoint.post(Verb::Send { len: msg_len }, wr);
+                        q.posted += 1;
+                    }
+                }
+                QpApp::Pinger { start_at, .. } => {
+                    ctx.set_timer_at(start_at, TOK_QP_APP_BASE + i as u64);
+                }
+                QpApp::Echo { .. } | QpApp::None => {}
+            }
+        }
+        if let HostApp::Fanout { start_at, .. } = &self.host_app {
+            ctx.set_timer_at(*start_at, TOK_FANOUT);
+        }
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, _port: PortId, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if let PacketKind::Pfc(frame) = pkt.kind {
+            self.on_pause(&frame, ctx);
+            return;
+        }
+        self.on_rx(pkt, ctx);
+    }
+
+    fn on_port_idle(&mut self, _port: PortId, ctx: &mut Ctx<'_>) {
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        match token {
+            TOK_PUMP => self.pump(ctx),
+            TOK_DCQCN => {
+                for q in &mut self.qps {
+                    if let Some(rp) = q.rp.as_mut() {
+                        rp.on_alpha_timer();
+                        rp.on_increase_timer();
+                    }
+                }
+                ctx.set_timer(DCQCN_TICK, TOK_DCQCN);
+                self.pump(ctx);
+            }
+            TOK_RX_DONE => self.finish_rx_service(ctx),
+            TOK_RTO => {
+                let now = ctx.now().as_ps();
+                let mut rewound = false;
+                for q in &mut self.qps {
+                    rewound |= q.endpoint.check_timeout(now);
+                }
+                ctx.set_timer(RTO_SCAN, TOK_RTO);
+                // Always pump: QPs may have been added mid-run by an
+                // experiment, and rewinds need restarting anyway.
+                let _ = rewound;
+                self.pump(ctx);
+            }
+            TOK_FANOUT => {
+                if let HostApp::Fanout {
+                    qps,
+                    interval,
+                    query_len,
+                    ..
+                } = self.host_app.clone()
+                {
+                    let now = ctx.now();
+                    for qp in qps {
+                        self.post(qp, Verb::Send { len: query_len }, now, true);
+                    }
+                    ctx.set_timer(interval, TOK_FANOUT);
+                    self.pump(ctx);
+                }
+            }
+            TOK_PAUSE_REFRESH => {
+                // Keep the peer paused while we are still in XOFF.
+                if self.host_xoff && !self.pause_gen_disabled {
+                    self.emit_pause(u16::MAX, ctx);
+                    ctx.set_timer(STORM_REFRESH, TOK_PAUSE_REFRESH);
+                }
+            }
+            TOK_STORM_TICK => self.storm_tick(ctx),
+            TOK_INJECT_STORM => {
+                self.storm = true;
+                self.storm_tick(ctx);
+            }
+            t if t >= TOK_QP_APP_BASE => {
+                let i = (t - TOK_QP_APP_BASE) as usize;
+                if let QpApp::Pinger {
+                    payload, interval, ..
+                } = self.qps[i].app
+                {
+                    let now = ctx.now();
+                    self.post(QpHandle(i as u32), Verb::Send { len: payload }, now, true);
+                    ctx.set_timer(interval, TOK_QP_APP_BASE + i as u64);
+                    self.pump(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

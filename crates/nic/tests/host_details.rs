@@ -1,0 +1,203 @@
+//! Focused host/NIC behaviour tests beyond the end-to-end suite: VLAN
+//! tagging, MAC filtering, receive-buffer pressure, DCQCN pacing, and
+//! storm-mode receive behaviour.
+
+use rocescale_nic::host::TOK_INJECT_STORM;
+use rocescale_nic::{HostPfcMode, NicConfig, QpApp, RdmaHost};
+use rocescale_packet::MacAddr;
+use rocescale_sim::{LinkSpec, NodeId, PortId, SimTime, World};
+use rocescale_switch::{ClassifyMode, PortRole, Switch, SwitchConfig};
+use rocescale_transport::Verb;
+
+const SUBNET: u32 = 0x0a000000;
+
+fn host_ip(i: u32) -> u32 {
+    SUBNET + 1 + i
+}
+
+fn star(
+    n: u32,
+    mut sw_cfg: SwitchConfig,
+    mut tweak: impl FnMut(u32, &mut NicConfig),
+) -> (World, NodeId, Vec<NodeId>) {
+    let sw_mac = MacAddr::from_id(1000);
+    sw_cfg.ports = n as u16;
+    sw_cfg.port_roles = vec![PortRole::Server; n as usize];
+    let mut sw = Switch::new(sw_cfg, sw_mac, 99);
+    sw.routes_mut().add_connected(SUBNET, 24);
+    let mut world = World::new(7);
+    let mut cfgs = Vec::new();
+    for i in 0..n {
+        let mut cfg = NicConfig::new(format!("h{i}"), i + 1, host_ip(i), sw_mac);
+        tweak(i, &mut cfg);
+        sw.seed_arp(host_ip(i), cfg.mac, SimTime::ZERO);
+        sw.seed_mac(cfg.mac, PortId(i as u16), SimTime::ZERO);
+        cfgs.push(cfg);
+    }
+    let sw_id = world.add_node(Box::new(sw));
+    let hosts: Vec<NodeId> = cfgs
+        .into_iter()
+        .map(|c| world.add_node(Box::new(RdmaHost::new(c))))
+        .collect();
+    for (i, h) in hosts.iter().enumerate() {
+        world.connect(*h, PortId(0), sw_id, PortId(i as u16), LinkSpec::server_40g());
+    }
+    (world, sw_id, hosts)
+}
+
+fn connect_qp(
+    world: &mut World,
+    a: NodeId,
+    b: NodeId,
+    udp_src: u16,
+    app_a: QpApp,
+    app_b: QpApp,
+) -> (rocescale_nic::QpHandle, rocescale_nic::QpHandle) {
+    let a_ip = world.node::<RdmaHost>(a).config().ip;
+    let b_ip = world.node::<RdmaHost>(b).config().ip;
+    let a_qpn = world.node::<RdmaHost>(a).qp_count() as u32;
+    let b_qpn = world.node::<RdmaHost>(b).qp_count() as u32;
+    let ha = world.node_mut::<RdmaHost>(a).add_qp(b_ip, b_qpn, udp_src, app_a);
+    let hb = world.node_mut::<RdmaHost>(b).add_qp(a_ip, a_qpn, udp_src, app_b);
+    (ha, hb)
+}
+
+/// Hosts in VLAN mode tag their data packets; a VLAN-mode switch
+/// classifies them by PCP and the transfer is lossless end to end —
+/// the host half of the §3 equivalence.
+#[test]
+fn vlan_mode_host_end_to_end() {
+    let mut sw_cfg = SwitchConfig::new("tor", 2);
+    sw_cfg.classify = ClassifyMode::Vlan;
+    let (mut world, sw, hosts) = star(2, sw_cfg, |_, cfg| {
+        cfg.pfc_mode = HostPfcMode::Vlan { vid: 100 };
+    });
+    let (qa, qb) = connect_qp(&mut world, hosts[0], hosts[1], 5000, QpApp::None, QpApp::None);
+    let _ = qa;
+    world
+        .node_mut::<RdmaHost>(hosts[0])
+        .post(qa, Verb::Send { len: 1 << 20 }, SimTime::ZERO, false);
+    world.run_until(SimTime::from_millis(2));
+    assert_eq!(
+        world.node::<RdmaHost>(hosts[1]).qp_endpoint(qb).goodput_bytes(),
+        1 << 20
+    );
+    assert_eq!(world.node::<Switch>(sw).stats.total_drops(), 0);
+}
+
+/// A host in storm mode drops everything it receives (the paper: the
+/// stormer "was not sending or receiving any data packets") and counts
+/// it.
+#[test]
+fn storm_mode_drops_all_rx() {
+    let (mut world, _sw, hosts) = star(2, SwitchConfig::new("tor", 2), |i, cfg| {
+        if i == 1 {
+            // Keep the stormer's switch port lossless so frames reach it.
+            cfg.nic_watchdog_after = None;
+        }
+    });
+    connect_qp(
+        &mut world,
+        hosts[0],
+        hosts[1],
+        5000,
+        QpApp::Saturate {
+            msg_len: 64 * 1024,
+            inflight: 1,
+        },
+        QpApp::None,
+    );
+    world.schedule_timer(SimTime::from_micros(100), hosts[1], TOK_INJECT_STORM);
+    world.run_until(SimTime::from_millis(5));
+    let h = world.node::<RdmaHost>(hosts[1]);
+    assert!(h.in_storm());
+    assert!(h.stats.rx_storm_dropped > 0, "storm must discard arrivals");
+    // And it has been pausing continuously.
+    assert!(h.stats.pause_tx > 10);
+}
+
+/// DCQCN pacing actually limits the wire rate: a QP whose RP has been
+/// cut transmits measurably slower than line rate.
+#[test]
+fn dcqcn_pacing_limits_wire_rate() {
+    // 3:1 incast with DCQCN: after convergence each sender's share is
+    // well under line rate, so per-QP pacing must show in tx counts.
+    let (mut world, _sw, hosts) = star(4, SwitchConfig::new("tor", 4), |_, _| {});
+    for i in 1..4 {
+        connect_qp(
+            &mut world,
+            hosts[i],
+            hosts[0],
+            5000 + i as u16,
+            QpApp::Saturate {
+                msg_len: 1 << 20,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+    }
+    world.run_until(SimTime::from_millis(10));
+    for i in 1..4 {
+        let h = world.node::<RdmaHost>(hosts[i]);
+        let gbps = h.stats.tx_bytes as f64 * 8.0 / 0.010 / 1e9;
+        assert!(
+            gbps < 30.0,
+            "sender {i} must be paced below line rate: {gbps}"
+        );
+        assert!(h.stats.cnp_rx > 0, "sender {i} must have received CNPs");
+        let rate = h.qp_rate_bps(rocescale_nic::QpHandle(0));
+        assert!(rate < 35e9, "RP rate must be cut: {rate}");
+    }
+}
+
+/// Sequential IP IDs: consecutive transmitted packets carry consecutive
+/// IDs — the property that makes §4.1's filter deterministic.
+#[test]
+fn ip_ids_are_sequential() {
+    let (mut world, sw, hosts) = star(2, SwitchConfig::new("tor", 2), |_, _| {});
+    let (qa, _qb) = connect_qp(&mut world, hosts[0], hosts[1], 5000, QpApp::None, QpApp::None);
+    world
+        .node_mut::<RdmaHost>(hosts[0])
+        .post(qa, Verb::Send { len: 600 * 1024 }, SimTime::ZERO, false);
+    world.run_until(SimTime::from_millis(1));
+    // 600 data packets plus control: the sender's ip_id counter must have
+    // advanced once per packet — verify via the switch's rx counter vs
+    // the host's tx counter (no gaps possible if equal and no drops).
+    let host_tx = world.node::<RdmaHost>(hosts[0]).stats.data_pkts_tx;
+    let sw_rx = world.node::<Switch>(sw).stats.rx_pkts[0];
+    assert!(host_tx >= 600);
+    // switch also received ACK-path control from host 0? no: acks come
+    // from host 1's port. rx on port 0 = host 0's data + its ctrl.
+    assert!(sw_rx >= host_tx, "all transmitted packets reached the switch");
+    assert_eq!(world.node::<Switch>(sw).stats.total_drops(), 0);
+}
+
+/// Receive-buffer overflow is impossible while the host's own PFC is on:
+/// the host XOFFs its ToR before the buffer fills.
+#[test]
+fn host_pfc_protects_its_rx_buffer() {
+    let (mut world, _sw, hosts) = star(3, SwitchConfig::new("tor", 3), |i, cfg| {
+        if i == 0 {
+            // A receiver with a deliberately slow pipeline.
+            cfg.rx.per_packet_ps = 400_000; // 2.5 M pps < line rate
+        }
+        cfg.dcqcn_rp = None;
+    });
+    for i in 1..3 {
+        connect_qp(
+            &mut world,
+            hosts[i],
+            hosts[0],
+            5000 + i as u16,
+            QpApp::Saturate {
+                msg_len: 1 << 20,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+    }
+    world.run_until(SimTime::from_millis(5));
+    let h = world.node::<RdmaHost>(hosts[0]);
+    assert!(h.stats.pause_tx > 0, "slow pipeline must XOFF the ToR");
+    assert_eq!(h.stats.rx_overflow, 0, "PFC must protect the rx buffer");
+}

@@ -1,0 +1,137 @@
+//! ARP (RFC 826) for IPv4-over-Ethernet.
+//!
+//! ARP matters to the paper in an unexpected way: the *disparate timeouts*
+//! of the switch ARP table (≈4 h) and MAC table (≈5 min) produce
+//! "incomplete" entries — IP→MAC known, MAC→port unknown — which make the
+//! switch flood lossless packets, which is the root cause of the §4.2
+//! deadlock.
+
+use bytes::BufMut;
+
+use crate::DecodeError;
+
+use super::ethernet::MacAddr;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has request.
+    Request,
+    /// Is-at reply.
+    Reply,
+}
+
+/// An Ethernet/IPv4 ARP packet (28 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol (IPv4) address.
+    pub sender_ip: u32,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol (IPv4) address.
+    pub target_ip: u32,
+}
+
+impl ArpPacket {
+    /// Encoded length in bytes.
+    pub const WIRE_LEN: usize = 28;
+
+    /// Append the packet to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(1); // htype = Ethernet
+        buf.put_u16(0x0800); // ptype = IPv4
+        buf.put_u8(6); // hlen
+        buf.put_u8(4); // plen
+        buf.put_u16(match self.op {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        });
+        buf.put_slice(&self.sender_mac.0);
+        buf.put_u32(self.sender_ip);
+        buf.put_slice(&self.target_mac.0);
+        buf.put_u32(self.target_ip);
+    }
+
+    /// Decode from the front of `buf`, returning the packet and bytes
+    /// consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), DecodeError> {
+        super::need("arp", buf, Self::WIRE_LEN)?;
+        let htype = u16::from_be_bytes([buf[0], buf[1]]);
+        let ptype = u16::from_be_bytes([buf[2], buf[3]]);
+        if htype != 1 || ptype != 0x0800 || buf[4] != 6 || buf[5] != 4 {
+            return Err(DecodeError::BadField {
+                what: "arp",
+                field: "htype/ptype/hlen/plen",
+                value: ((htype as u64) << 16) | ptype as u64,
+            });
+        }
+        let op = match u16::from_be_bytes([buf[6], buf[7]]) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            other => {
+                return Err(DecodeError::BadField {
+                    what: "arp",
+                    field: "op",
+                    value: other as u64,
+                })
+            }
+        };
+        let mut sender_mac = [0u8; 6];
+        sender_mac.copy_from_slice(&buf[8..14]);
+        let sender_ip = u32::from_be_bytes(buf[14..18].try_into().unwrap());
+        let mut target_mac = [0u8; 6];
+        target_mac.copy_from_slice(&buf[18..24]);
+        let target_ip = u32::from_be_bytes(buf[24..28].try_into().unwrap());
+        Ok((
+            ArpPacket {
+                op,
+                sender_mac: MacAddr(sender_mac),
+                sender_ip,
+                target_mac: MacAddr(target_mac),
+                target_ip,
+            },
+            Self::WIRE_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: MacAddr::from_id(12),
+            sender_ip: 0x0a000102,
+            target_mac: MacAddr::from_id(13),
+            target_ip: 0x0a000103,
+        };
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        assert_eq!(buf.len(), 28);
+        let (back, n) = ArpPacket::decode(&buf).unwrap();
+        assert_eq!(n, 28);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn bad_op_rejected() {
+        let p = ArpPacket {
+            op: ArpOp::Request,
+            sender_mac: MacAddr::from_id(1),
+            sender_ip: 1,
+            target_mac: MacAddr::default(),
+            target_ip: 2,
+        };
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        buf[7] = 9;
+        assert!(ArpPacket::decode(&buf).is_err());
+    }
+}

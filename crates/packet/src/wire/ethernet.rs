@@ -1,0 +1,187 @@
+//! Ethernet II framing: MAC addresses and the 14-byte Ethernet header.
+
+use bytes::BufMut;
+
+use crate::DecodeError;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// The 802.3x/802.1Qbb MAC-control multicast destination
+    /// `01:80:c2:00:00:01` used by pause frames.
+    pub const PAUSE_MULTICAST: MacAddr = MacAddr([0x01, 0x80, 0xc2, 0x00, 0x00, 0x01]);
+
+    /// Returns true for group (multicast/broadcast) addresses.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Deterministically derives a locally-administered unicast MAC from a
+    /// small integer id — handy for building simulated fleets.
+    pub fn from_id(id: u32) -> MacAddr {
+        let b = id.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl core::fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::Display::fmt(self, f)
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let m = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// Recognised EtherType values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// 802.1Q VLAN tag (0x8100).
+    VlanTagged,
+    /// MAC control (0x8808) — PFC pause frames.
+    MacControl,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The raw 16-bit value.
+    pub fn raw(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::VlanTagged => 0x8100,
+            EtherType::MacControl => 0x8808,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Parse from the raw 16-bit value.
+    pub fn from_raw(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x8100 => EtherType::VlanTagged,
+            0x8808 => EtherType::MacControl,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// The 14-byte Ethernet II header (destination, source, EtherType).
+///
+/// A following 802.1Q tag, when present, is handled by
+/// [`crate::wire::vlan::VlanTag`]; this header's `ethertype` is then
+/// `EtherType::VlanTagged`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType of the next header.
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Encoded length in bytes.
+    pub const WIRE_LEN: usize = 14;
+
+    /// Length of the trailing frame check sequence every Ethernet frame
+    /// carries on the wire.
+    pub const FCS_LEN: usize = 4;
+
+    /// Append the header to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_slice(&self.dst.0);
+        buf.put_slice(&self.src.0);
+        buf.put_u16(self.ethertype.raw());
+    }
+
+    /// Decode from the front of `buf`, returning the header and the bytes
+    /// consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), DecodeError> {
+        super::need("ethernet", buf, Self::WIRE_LEN)?;
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = EtherType::from_raw(u16::from_be_bytes([buf[12], buf[13]]));
+        Ok((
+            EthernetHeader {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
+            Self::WIRE_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = EthernetHeader {
+            dst: MacAddr::from_id(7),
+            src: MacAddr::from_id(9),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), EthernetHeader::WIRE_LEN);
+        let (back, used) = EthernetHeader::decode(&buf).unwrap();
+        assert_eq!(used, 14);
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn truncated_is_error() {
+        assert!(matches!(
+            EthernetHeader::decode(&[0u8; 13]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn multicast_bit() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr::PAUSE_MULTICAST.is_multicast());
+        assert!(!MacAddr::from_id(3).is_multicast());
+    }
+
+    #[test]
+    fn ethertype_raw_roundtrip() {
+        for v in [0x0800u16, 0x0806, 0x8100, 0x8808, 0x86dd, 0x1234] {
+            assert_eq!(EtherType::from_raw(v).raw(), v);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            MacAddr::PAUSE_MULTICAST.to_string(),
+            "01:80:c2:00:00:01"
+        );
+    }
+}

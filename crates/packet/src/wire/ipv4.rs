@@ -1,0 +1,191 @@
+//! IPv4 header with first-class DSCP and ECN fields.
+//!
+//! DSCP is where *DSCP-based* PFC (Figure 3(b)) carries packet priority, and
+//! the two ECN bits are how DCQCN's congestion points mark packets. The
+//! paper's NICs also generate the 16-bit IP ID *sequentially*, which is what
+//! made the §4.1 livelock drop filter ("least significant byte of IP ID
+//! equals 0xff") a deterministic 1/256.
+
+use bytes::BufMut;
+
+use crate::DecodeError;
+
+/// The 20-byte (option-less) IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Differentiated Services Code Point (6 bits) — carries the packet
+    /// priority under DSCP-based PFC.
+    pub dscp: u8,
+    /// Explicit Congestion Notification (2 bits): 0 = Not-ECT, 1/2 = ECT,
+    /// 3 = CE (congestion experienced).
+    pub ecn: u8,
+    /// Total length: header + payload, in bytes.
+    pub total_len: u16,
+    /// Identification — sequential per sender in the paper's NICs.
+    pub id: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Next protocol (17 = UDP, 6 = TCP).
+    pub protocol: u8,
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+}
+
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+
+impl Ipv4Header {
+    /// Encoded length in bytes (no options).
+    pub const WIRE_LEN: usize = 20;
+
+    /// ECN codepoint value for "congestion experienced".
+    pub const ECN_CE: u8 = 0b11;
+    /// ECN codepoint value for "ECT(0)" — ECN-capable transport.
+    pub const ECN_ECT0: u8 = 0b10;
+
+    /// Append the header (with a correct checksum) to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        let mut raw = [0u8; Self::WIRE_LEN];
+        raw[0] = 0x45; // version 4, IHL 5
+        raw[1] = (self.dscp << 2) | (self.ecn & 0x3);
+        raw[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        raw[4..6].copy_from_slice(&self.id.to_be_bytes());
+        // flags+fragment offset = 0 (DF not modelled)
+        raw[8] = self.ttl;
+        raw[9] = self.protocol;
+        raw[12..16].copy_from_slice(&self.src.to_be_bytes());
+        raw[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = checksum(&raw);
+        raw[10..12].copy_from_slice(&csum.to_be_bytes());
+        buf.put_slice(&raw);
+    }
+
+    /// Decode from the front of `buf`, verifying version, IHL, and
+    /// checksum; returns the header and bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), DecodeError> {
+        super::need("ipv4", buf, Self::WIRE_LEN)?;
+        if buf[0] != 0x45 {
+            return Err(DecodeError::BadField {
+                what: "ipv4",
+                field: "version/ihl",
+                value: buf[0] as u64,
+            });
+        }
+        let mut raw = [0u8; Self::WIRE_LEN];
+        raw.copy_from_slice(&buf[..Self::WIRE_LEN]);
+        if checksum(&{
+            let mut z = raw;
+            z[10] = 0;
+            z[11] = 0;
+            z
+        }) != u16::from_be_bytes([raw[10], raw[11]])
+        {
+            return Err(DecodeError::BadField {
+                what: "ipv4",
+                field: "checksum",
+                value: u16::from_be_bytes([raw[10], raw[11]]) as u64,
+            });
+        }
+        Ok((
+            Ipv4Header {
+                dscp: raw[1] >> 2,
+                ecn: raw[1] & 0x3,
+                total_len: u16::from_be_bytes([raw[2], raw[3]]),
+                id: u16::from_be_bytes([raw[4], raw[5]]),
+                ttl: raw[8],
+                protocol: raw[9],
+                src: u32::from_be_bytes([raw[12], raw[13], raw[14], raw[15]]),
+                dst: u32::from_be_bytes([raw[16], raw[17], raw[18], raw[19]]),
+            },
+            Self::WIRE_LEN,
+        ))
+    }
+}
+
+/// RFC 1071 Internet checksum over `data` (checksum field must be zeroed).
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header {
+            dscp: 26,
+            ecn: Ipv4Header::ECN_ECT0,
+            total_len: 1072,
+            id: 0x1fe,
+            ttl: 64,
+            protocol: PROTO_UDP,
+            src: 0x0a000001,
+            dst: 0x0a000002,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), 20);
+        let (back, used) = Ipv4Header::decode(&buf).unwrap();
+        assert_eq!(used, 20);
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        buf[15] ^= 0x40;
+        assert!(matches!(
+            Ipv4Header::decode(&buf),
+            Err(DecodeError::BadField { field: "checksum", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_options() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        buf[0] = 0x46; // IHL 6 => options present
+        assert!(Ipv4Header::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // Example from RFC 1071 discussion: verifying our fold behaviour.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn dscp_ecn_packing() {
+        let mut h = sample();
+        h.dscp = 0x3f;
+        h.ecn = 0x3;
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf[1], 0xff);
+        let (back, _) = Ipv4Header::decode(&buf).unwrap();
+        assert_eq!(back.dscp, 0x3f);
+        assert_eq!(back.ecn, 0x3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Byte-exact header codecs.
+//!
+//! Every codec follows the same shape: a plain struct of parsed fields, a
+//! `WIRE_LEN` (or `wire_len()` for variable-length headers), `encode` into a
+//! `BufMut`, and `decode` from a byte slice returning
+//! `Result<(Self, usize), DecodeError>` where the `usize` is bytes consumed.
+//! Network byte order throughout.
+
+pub mod arp;
+pub mod bth;
+pub mod ethernet;
+pub mod ipv4;
+pub mod pfc;
+pub mod udp;
+pub mod vlan;
+
+pub(crate) fn need(
+    what: &'static str,
+    buf: &[u8],
+    need: usize,
+) -> Result<(), crate::DecodeError> {
+    if buf.len() < need {
+        Err(crate::DecodeError::Truncated {
+            what,
+            need,
+            have: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}

@@ -1,0 +1,193 @@
+//! 802.1Qbb Priority-based Flow Control pause frame.
+//!
+//! The paper's key observation enabling DSCP-based PFC (§3) is visible right
+//! here in the layout: the pause frame is a plain layer-2 MAC control frame
+//! and *never carries a VLAN tag*; only data packets did. The frame holds a
+//! per-priority enable vector and eight pause durations measured in quanta
+//! of 512 bit times. A duration of zero resumes transmission (XON).
+
+use bytes::BufMut;
+
+use crate::DecodeError;
+
+use super::ethernet::{EthernetHeader, EtherType, MacAddr};
+
+/// A decoded PFC pause frame (MAC control opcode 0x0101).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfcPauseFrame {
+    /// Bit *i* set means the `durations[i]` field applies to priority *i*.
+    pub class_enable: u8,
+    /// Pause time per priority, in quanta of 512 bit times. Zero = resume.
+    pub durations: [u16; 8],
+}
+
+impl PfcPauseFrame {
+    /// MAC control opcode for priority-based flow control.
+    pub const OPCODE: u16 = 0x0101;
+
+    /// Encoded length of the MAC-control PDU (opcode + class-enable vector
+    /// + 8 durations), excluding the Ethernet header and frame padding.
+    pub const WIRE_LEN: usize = 2 + 2 + 16;
+
+    /// Minimum Ethernet frame length on the wire (excluding FCS); pause
+    /// frames are padded up to this.
+    pub const MIN_FRAME_LEN: usize = 60;
+
+    /// A frame that pauses exactly `priority` for `quanta` quanta.
+    pub fn pause_one(priority: u8, quanta: u16) -> PfcPauseFrame {
+        let mut durations = [0u16; 8];
+        durations[priority as usize & 7] = quanta;
+        PfcPauseFrame {
+            class_enable: 1 << (priority & 7),
+            durations,
+        }
+    }
+
+    /// A frame that resumes (XON) exactly `priority`.
+    pub fn resume_one(priority: u8) -> PfcPauseFrame {
+        PfcPauseFrame {
+            class_enable: 1 << (priority & 7),
+            durations: [0u16; 8],
+        }
+    }
+
+    /// True if this frame resumes (all enabled durations are zero).
+    pub fn is_resume(&self) -> bool {
+        self.durations
+            .iter()
+            .enumerate()
+            .all(|(i, &d)| self.class_enable & (1 << i) == 0 || d == 0)
+    }
+
+    /// Append the MAC-control PDU to `buf` (without Ethernet header or
+    /// padding).
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(Self::OPCODE);
+        buf.put_u16(self.class_enable as u16);
+        for d in self.durations {
+            buf.put_u16(d);
+        }
+    }
+
+    /// Encode a complete wire frame: Ethernet header to the PFC multicast
+    /// address, the PDU, and zero padding to the minimum frame size.
+    pub fn encode_frame<B: BufMut>(&self, src: MacAddr, buf: &mut B) {
+        let eth = EthernetHeader {
+            dst: MacAddr::PAUSE_MULTICAST,
+            src,
+            ethertype: EtherType::MacControl,
+        };
+        eth.encode(buf);
+        self.encode(buf);
+        let written = EthernetHeader::WIRE_LEN + Self::WIRE_LEN;
+        for _ in written..Self::MIN_FRAME_LEN {
+            buf.put_u8(0);
+        }
+    }
+
+    /// Decode the MAC-control PDU from the front of `buf` (positioned just
+    /// after the Ethernet header), returning the frame and bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), DecodeError> {
+        super::need("pfc", buf, Self::WIRE_LEN)?;
+        let opcode = u16::from_be_bytes([buf[0], buf[1]]);
+        if opcode != Self::OPCODE {
+            return Err(DecodeError::BadField {
+                what: "pfc",
+                field: "opcode",
+                value: opcode as u64,
+            });
+        }
+        let cev = u16::from_be_bytes([buf[2], buf[3]]);
+        if cev > 0xff {
+            return Err(DecodeError::BadField {
+                what: "pfc",
+                field: "class_enable",
+                value: cev as u64,
+            });
+        }
+        let mut durations = [0u16; 8];
+        for (i, d) in durations.iter_mut().enumerate() {
+            *d = u16::from_be_bytes([buf[4 + 2 * i], buf[5 + 2 * i]]);
+        }
+        Ok((
+            PfcPauseFrame {
+                class_enable: cev as u8,
+                durations,
+            },
+            Self::WIRE_LEN,
+        ))
+    }
+
+    /// Convert a quanta count to picoseconds at a given link rate.
+    /// One quantum is 512 bit times.
+    pub fn quanta_to_ps(quanta: u16, link_bps: u64) -> u64 {
+        // 512 bits / rate(b/s) seconds = 512e12 / rate ps; u128 to avoid
+        // overflow at the maximum 0xffff-quanta duration.
+        ((quanta as u128) * 512 * 1_000_000_000_000 / link_bps as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let f = PfcPauseFrame {
+            class_enable: 0b0000_1010,
+            durations: [0, 0xffff, 0, 100, 0, 0, 0, 0],
+        };
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        assert_eq!(buf.len(), PfcPauseFrame::WIRE_LEN);
+        let (back, used) = PfcPauseFrame::decode(&buf).unwrap();
+        assert_eq!(used, PfcPauseFrame::WIRE_LEN);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn full_frame_is_min_length_and_untagged() {
+        let mut buf = Vec::new();
+        PfcPauseFrame::pause_one(3, 0xffff).encode_frame(MacAddr::from_id(1), &mut buf);
+        assert_eq!(buf.len(), PfcPauseFrame::MIN_FRAME_LEN);
+        let (eth, n) = EthernetHeader::decode(&buf).unwrap();
+        // The defining property behind DSCP-based PFC: no VLAN tag here.
+        assert_eq!(eth.ethertype, EtherType::MacControl);
+        assert_eq!(eth.dst, MacAddr::PAUSE_MULTICAST);
+        let (pdu, _) = PfcPauseFrame::decode(&buf[n..]).unwrap();
+        assert_eq!(pdu.durations[3], 0xffff);
+    }
+
+    #[test]
+    fn resume_detection() {
+        assert!(PfcPauseFrame::resume_one(5).is_resume());
+        assert!(!PfcPauseFrame::pause_one(5, 1).is_resume());
+        // A nonzero duration on a *disabled* class does not matter.
+        let f = PfcPauseFrame {
+            class_enable: 0b1,
+            durations: [0, 999, 0, 0, 0, 0, 0, 0],
+        };
+        assert!(f.is_resume());
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let mut buf = Vec::new();
+        PfcPauseFrame::pause_one(0, 1).encode(&mut buf);
+        buf[1] = 0x02;
+        assert!(matches!(
+            PfcPauseFrame::decode(&buf),
+            Err(DecodeError::BadField { field: "opcode", .. })
+        ));
+    }
+
+    #[test]
+    fn quanta_math_40g() {
+        // One quantum at 40 Gb/s = 512/40e9 s = 12.8 ns = 12800 ps.
+        assert_eq!(PfcPauseFrame::quanta_to_ps(1, 40_000_000_000), 12_800);
+        assert_eq!(
+            PfcPauseFrame::quanta_to_ps(0xffff, 40_000_000_000),
+            65_535 * 12_800
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! UDP header. RoCEv2 encapsulates the RDMA transport in UDP so that ECMP's
+//! standard five-tuple hashing can spread queue pairs over multiple paths:
+//! the destination port is fixed at 4791 and the *source* port is chosen
+//! randomly per queue pair (§2).
+
+use bytes::BufMut;
+
+use crate::DecodeError;
+
+/// The 8-byte UDP header. The checksum is carried but not validated by the
+/// decoder (RoCEv2 relies on its own ICRC end-to-end; a zero UDP checksum
+/// is legal for IPv4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port — per-QP random value for path diversity.
+    pub src_port: u16,
+    /// Destination port — 4791 for RoCEv2.
+    pub dst_port: u16,
+    /// Length of header plus payload.
+    pub len: u16,
+    /// Optional checksum (0 = none).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Encoded length in bytes.
+    pub const WIRE_LEN: usize = 8;
+
+    /// Append the header to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16(self.len);
+        buf.put_u16(self.checksum);
+    }
+
+    /// Decode from the front of `buf`, returning the header and bytes
+    /// consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), DecodeError> {
+        super::need("udp", buf, Self::WIRE_LEN)?;
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+                len: u16::from_be_bytes([buf[4], buf[5]]),
+                checksum: u16::from_be_bytes([buf[6], buf[7]]),
+            },
+            Self::WIRE_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ROCEV2_UDP_PORT;
+
+    #[test]
+    fn roundtrip() {
+        let h = UdpHeader {
+            src_port: 49152,
+            dst_port: ROCEV2_UDP_PORT,
+            len: 1052,
+            checksum: 0,
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let (back, used) = UdpHeader::decode(&buf).unwrap();
+        assert_eq!(used, 8);
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(UdpHeader::decode(&[0u8; 7]).is_err());
+    }
+}

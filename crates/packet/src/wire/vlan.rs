@@ -1,0 +1,98 @@
+//! 802.1Q VLAN tag — the 4-byte tag whose PCP field carries packet priority
+//! in *VLAN-based* PFC (Figure 3(a) of the paper).
+//!
+//! The paper's central §3 observation is that this tag couples two things
+//! that should be independent: the 3-bit PCP (priority) and the 12-bit VID
+//! (VLAN membership). DSCP-based PFC moves the priority into the IP header
+//! so that the tag — and switch trunk mode — can be dropped entirely.
+
+use bytes::BufMut;
+
+use crate::DecodeError;
+
+use super::ethernet::EtherType;
+
+/// A parsed 802.1Q tag: TPID (implicitly 0x8100), PCP, DEI, VID, plus the
+/// EtherType of the encapsulated payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VlanTag {
+    /// Priority Code Point, 3 bits — the field VLAN-based PFC keys on.
+    pub pcp: u8,
+    /// Drop Eligible Indicator, 1 bit.
+    pub dei: bool,
+    /// VLAN identifier, 12 bits.
+    pub vid: u16,
+    /// EtherType of the header following the tag.
+    pub inner_ethertype: EtherType,
+}
+
+impl VlanTag {
+    /// Encoded length in bytes (TCI + inner EtherType; the 0x8100 TPID is
+    /// the preceding Ethernet header's EtherType).
+    pub const WIRE_LEN: usize = 4;
+
+    /// Construct a tag, masking fields to their wire widths.
+    pub fn new(pcp: u8, dei: bool, vid: u16, inner_ethertype: EtherType) -> VlanTag {
+        VlanTag {
+            pcp: pcp & 0x7,
+            dei,
+            vid: vid & 0x0fff,
+            inner_ethertype,
+        }
+    }
+
+    /// Append the tag (TCI + inner EtherType) to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        let tci: u16 =
+            ((self.pcp as u16 & 0x7) << 13) | ((self.dei as u16) << 12) | (self.vid & 0x0fff);
+        buf.put_u16(tci);
+        buf.put_u16(self.inner_ethertype.raw());
+    }
+
+    /// Decode from the front of `buf` (positioned just after the 0x8100
+    /// TPID), returning the tag and bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), DecodeError> {
+        super::need("vlan", buf, Self::WIRE_LEN)?;
+        let tci = u16::from_be_bytes([buf[0], buf[1]]);
+        let inner = EtherType::from_raw(u16::from_be_bytes([buf[2], buf[3]]));
+        Ok((
+            VlanTag {
+                pcp: (tci >> 13) as u8,
+                dei: (tci >> 12) & 1 == 1,
+                vid: tci & 0x0fff,
+                inner_ethertype: inner,
+            },
+            Self::WIRE_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_pcp() {
+        for pcp in 0..8u8 {
+            let tag = VlanTag::new(pcp, pcp % 2 == 0, 100 + pcp as u16, EtherType::Ipv4);
+            let mut buf = Vec::new();
+            tag.encode(&mut buf);
+            assert_eq!(buf.len(), VlanTag::WIRE_LEN);
+            let (back, used) = VlanTag::decode(&buf).unwrap();
+            assert_eq!(used, 4);
+            assert_eq!(back, tag);
+        }
+    }
+
+    #[test]
+    fn field_masking() {
+        let tag = VlanTag::new(0xff, false, 0xffff, EtherType::Ipv4);
+        assert_eq!(tag.pcp, 7);
+        assert_eq!(tag.vid, 0x0fff);
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(VlanTag::decode(&[0u8; 3]).is_err());
+    }
+}

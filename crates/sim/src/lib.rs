@@ -1,0 +1,61 @@
+//! Deterministic discrete-event simulation kernel for `rocescale`.
+//!
+//! The kernel is deliberately small: simulated time, an event queue, duplex
+//! links, and a [`Node`] trait that switches and hosts implement. Every
+//! interaction between nodes happens through packets scheduled on links —
+//! nodes never call each other — which keeps the component crates
+//! decoupled and the whole simulation reproducible.
+//!
+//! Determinism is load-bearing for this reproduction: the paper's
+//! incidents (PFC deadlock, pause storms) are emergent interleavings, and
+//! being able to replay them exactly from a seed is what makes them
+//! testable. Two rules guarantee it:
+//!
+//! 1. Events are ordered by `(time, sequence-number)`, the sequence number
+//!    being a monotone counter assigned at scheduling time, so simultaneous
+//!    events fire in a defined order.
+//! 2. All randomness flows from one seeded [`rand::rngs::SmallRng`] owned
+//!    by the [`World`].
+//!
+//! The design follows smoltcp's event-driven philosophy: protocol logic
+//! lives in plain state machines (see `rocescale-transport`,
+//! `rocescale-dcqcn`), and nodes adapt them to this event loop. Per the
+//! Tokio guidance on CPU-bound work, there is no async runtime here — the
+//! simulation is a single-threaded computation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod time;
+mod world;
+
+pub use time::SimTime;
+pub use world::{Ctx, LinkSpec, Node, NodeId, PortId, TxError, World};
+
+/// Speed of signal propagation in copper/fiber used for cable-length →
+/// delay conversion: ~2/3 c ≈ 5 ns per metre.
+pub const PROPAGATION_PS_PER_METER: u64 = 5_000;
+
+/// Picoseconds to serialize `bytes` at `bps` bits/second.
+pub fn serialization_ps(bytes: u32, bps: u64) -> u64 {
+    ((bytes as u128) * 8 * 1_000_000_000_000 / bps as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_examples() {
+        // 1086-byte frame at 40 Gb/s = 217.2 ns.
+        assert_eq!(serialization_ps(1086, 40_000_000_000), 217_200);
+        // 64-byte frame at 10 Gb/s = 51.2 ns.
+        assert_eq!(serialization_ps(64, 10_000_000_000), 51_200);
+    }
+
+    #[test]
+    fn propagation_300m() {
+        // The paper's max Leaf–Spine cable: 300 m ≈ 1.5 µs one way.
+        assert_eq!(300 * PROPAGATION_PS_PER_METER, 1_500_000);
+    }
+}

@@ -1,0 +1,627 @@
+//! The event loop: nodes, ports, links, timers, and the scheduler.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rocescale_packet::Packet;
+
+use crate::time::SimTime;
+use crate::{serialization_ps, PROPAGATION_PS_PER_METER};
+
+/// Identifies a node in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifies a port on a node. Port numbering is per-node and dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// Index form for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Physical characteristics of a duplex link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Line rate in bits per second (each direction).
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: SimTime,
+}
+
+impl LinkSpec {
+    /// A link of `rate_bps` over `meters` of cable at ~5 ns/m.
+    pub fn with_length(rate_bps: u64, meters: u32) -> LinkSpec {
+        LinkSpec {
+            rate_bps,
+            propagation: SimTime(meters as u64 * PROPAGATION_PS_PER_METER),
+        }
+    }
+
+    /// The paper's server↔ToR link: 40 GbE over ~2 m of copper.
+    pub fn server_40g() -> LinkSpec {
+        LinkSpec::with_length(40_000_000_000, 2)
+    }
+
+    /// The paper's ToR↔Leaf link: 40 GbE, 10–20 m.
+    pub fn tor_leaf_40g() -> LinkSpec {
+        LinkSpec::with_length(40_000_000_000, 15)
+    }
+
+    /// The paper's Leaf↔Spine link: 40 GbE, 200–300 m — the distance that
+    /// drives PFC headroom sizing (§2).
+    pub fn leaf_spine_40g() -> LinkSpec {
+        LinkSpec::with_length(40_000_000_000, 300)
+    }
+}
+
+/// Error returned by [`Ctx::transmit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxError {
+    /// The port is still serializing a previous packet. Wait for
+    /// [`Node::on_port_idle`].
+    Busy,
+    /// No link is attached to this port.
+    Unconnected,
+}
+
+/// A simulated device: a switch or a host.
+///
+/// Handlers receive a [`Ctx`] for scheduling; all state lives in the node.
+/// The kernel guarantees handlers are invoked in deterministic order.
+pub trait Node: Any {
+    /// Invoked once when the simulation starts, before any other event.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A packet finished arriving on `port` (store-and-forward: the whole
+    /// packet has been received).
+    fn on_packet(&mut self, port: PortId, pkt: Packet, ctx: &mut Ctx<'_>);
+
+    /// The port finished serializing the previous transmission and can
+    /// accept another [`Ctx::transmit`].
+    fn on_port_idle(&mut self, _port: PortId, _ctx: &mut Ctx<'_>) {}
+
+    /// A timer set via [`Ctx::set_timer`] fired. `token` is the caller's
+    /// value; stale timers must be filtered by the node itself.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+
+    /// Downcast support so experiments can read node-specific state.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PortState {
+    peer: (NodeId, PortId),
+    spec: LinkSpec,
+    busy_until: SimTime,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Start { node: NodeId },
+    Arrival { node: NodeId, port: PortId, pkt: Box<Packet> },
+    PortIdle { node: NodeId, port: PortId },
+    Timer { node: NodeId, token: u64 },
+}
+
+struct QueuedEvent {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Everything in the world except the nodes themselves; split out so a
+/// node handler can hold `&mut` to both itself and the scheduler.
+struct WorldCore {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    ports: Vec<Vec<Option<PortState>>>,
+    rng: SmallRng,
+    next_packet_id: u64,
+    events_processed: u64,
+}
+
+impl WorldCore {
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+    }
+}
+
+/// The simulation world: nodes, links, and the event queue.
+pub struct World {
+    core: WorldCore,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    started: bool,
+}
+
+impl World {
+    /// Create an empty world with a deterministic RNG seed.
+    pub fn new(seed: u64) -> World {
+        World {
+            core: WorldCore {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                ports: Vec::new(),
+                rng: SmallRng::seed_from_u64(seed),
+                next_packet_id: 1,
+                events_processed: 0,
+            },
+            nodes: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Add a node; returns its id. Nodes must be added before [`Self::run_until`].
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        self.core.ports.push(Vec::new());
+        id
+    }
+
+    /// Connect `a_port` on node `a` to `b_port` on node `b` with the given
+    /// link. Panics if either port is already connected — miswired
+    /// topologies are construction bugs, not runtime conditions.
+    pub fn connect(&mut self, a: NodeId, a_port: PortId, b: NodeId, b_port: PortId, spec: LinkSpec) {
+        let slot = |ports: &mut Vec<Option<PortState>>, p: PortId| {
+            if ports.len() <= p.index() {
+                ports.resize(p.index() + 1, None);
+            }
+            assert!(ports[p.index()].is_none(), "port {p:?} already connected");
+            p.index()
+        };
+        let ia = slot(&mut self.core.ports[a.0 as usize], a_port);
+        self.core.ports[a.0 as usize][ia] = Some(PortState {
+            peer: (b, b_port),
+            spec,
+            busy_until: SimTime::ZERO,
+        });
+        let ib = slot(&mut self.core.ports[b.0 as usize], b_port);
+        self.core.ports[b.0 as usize][ib] = Some(PortState {
+            peer: (a, a_port),
+            spec,
+            busy_until: SimTime::ZERO,
+        });
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Total events dispatched so far (the simulator's own throughput
+    /// metric, used by the criterion benches).
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Borrow a node, downcast to its concrete type.
+    pub fn node<T: Node>(&self, id: NodeId) -> &T {
+        self.nodes[id.0 as usize]
+            .as_ref()
+            .expect("node is being dispatched")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Mutably borrow a node, downcast to its concrete type.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.0 as usize]
+            .as_mut()
+            .expect("node is being dispatched")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Schedule an extra timer for a node from outside the event loop
+    /// (e.g. an experiment injecting a fault at a chosen time).
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        self.core.push(at, EventKind::Timer { node, token });
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                self.core
+                    .push(SimTime::ZERO, EventKind::Start { node: NodeId(i as u32) });
+            }
+        }
+    }
+
+    /// Dispatch a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some(Reverse(ev)) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.core.now, "time went backwards");
+        self.core.now = ev.time;
+        self.core.events_processed += 1;
+        let node_id = match &ev.kind {
+            EventKind::Start { node }
+            | EventKind::Arrival { node, .. }
+            | EventKind::PortIdle { node, .. }
+            | EventKind::Timer { node, .. } => *node,
+        };
+        let mut node = self.nodes[node_id.0 as usize]
+            .take()
+            .expect("recursive dispatch");
+        {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                node: node_id,
+            };
+            match ev.kind {
+                EventKind::Start { .. } => node.on_start(&mut ctx),
+                EventKind::Arrival { port, pkt, .. } => node.on_packet(port, *pkt, &mut ctx),
+                EventKind::PortIdle { port, .. } => node.on_port_idle(port, &mut ctx),
+                EventKind::Timer { token, .. } => node.on_timer(token, &mut ctx),
+            }
+        }
+        self.nodes[node_id.0 as usize] = Some(node);
+        true
+    }
+
+    /// Run until simulated time reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        while let Some(Reverse(head)) = self.core.queue.peek() {
+            if head.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < deadline {
+            self.core.now = deadline;
+        }
+    }
+
+    /// Run until no events remain, up to a safety cap of `max_events`.
+    /// Returns true if the queue drained (i.e. the network quiesced).
+    pub fn run_until_idle(&mut self, max_events: u64) -> bool {
+        self.ensure_started();
+        for _ in 0..max_events {
+            if !self.step() {
+                return true;
+            }
+        }
+        self.core.queue.is_empty()
+    }
+}
+
+/// Scheduling interface handed to node handlers.
+pub struct Ctx<'a> {
+    core: &'a mut WorldCore,
+    node: NodeId,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The id of the node being dispatched.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The world's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.core.rng
+    }
+
+    /// Allocate a globally unique packet id.
+    pub fn next_packet_id(&mut self) -> u64 {
+        let id = self.core.next_packet_id;
+        self.core.next_packet_id += 1;
+        id
+    }
+
+    /// Is `port` connected to a link?
+    pub fn port_connected(&self, port: PortId) -> bool {
+        self.core.ports[self.node.0 as usize]
+            .get(port.index())
+            .map(|s| s.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Is `port` currently serializing a packet?
+    pub fn port_busy(&self, port: PortId) -> bool {
+        match self.port(port) {
+            Some(p) => p.busy_until > self.core.now,
+            None => false,
+        }
+    }
+
+    /// Line rate of the link on `port`, if connected.
+    pub fn port_rate(&self, port: PortId) -> Option<u64> {
+        self.port(port).map(|p| p.spec.rate_bps)
+    }
+
+    fn port(&self, port: PortId) -> Option<&PortState> {
+        self.core.ports[self.node.0 as usize]
+            .get(port.index())
+            .and_then(|s| s.as_ref())
+    }
+
+    /// Begin transmitting `pkt` on `port`. The port stays busy for the
+    /// serialization time; the peer's [`Node::on_packet`] fires after
+    /// serialization plus propagation, and this node's
+    /// [`Node::on_port_idle`] fires when serialization completes.
+    pub fn transmit(&mut self, port: PortId, pkt: Packet) -> Result<(), TxError> {
+        let now = self.core.now;
+        let state = self.core.ports[self.node.0 as usize]
+            .get_mut(port.index())
+            .and_then(|s| s.as_mut())
+            .ok_or(TxError::Unconnected)?;
+        if state.busy_until > now {
+            return Err(TxError::Busy);
+        }
+        let ser = SimTime(serialization_ps(pkt.wire_size(), state.spec.rate_bps));
+        let idle_at = now + ser;
+        let arrive_at = idle_at + state.spec.propagation;
+        state.busy_until = idle_at;
+        let (peer_node, peer_port) = state.peer;
+        self.core.push(
+            idle_at,
+            EventKind::PortIdle {
+                node: self.node,
+                port,
+            },
+        );
+        self.core.push(
+            arrive_at,
+            EventKind::Arrival {
+                node: peer_node,
+                port: peer_port,
+                pkt: Box::new(pkt),
+            },
+        );
+        Ok(())
+    }
+
+    /// Fire [`Node::on_timer`] on this node after `delay` with `token`.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        let at = self.core.now + delay;
+        self.core.push(
+            at,
+            EventKind::Timer {
+                node: self.node,
+                token,
+            },
+        );
+    }
+
+    /// Fire [`Node::on_timer`] at absolute time `at` (clamped to now).
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+        let at = at.max(self.core.now);
+        self.core.push(
+            at,
+            EventKind::Timer {
+                node: self.node,
+                token,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocescale_packet::{EthMeta, MacAddr, Packet, PacketKind};
+
+    /// A node that sends `count` raw frames back-to-back and records what
+    /// it receives.
+    struct Chatter {
+        to_send: u32,
+        sent: u32,
+        received: Vec<(SimTime, u64)>,
+        timers: Vec<u64>,
+    }
+
+    impl Chatter {
+        fn new(to_send: u32) -> Chatter {
+            Chatter {
+                to_send,
+                sent: 0,
+                received: Vec::new(),
+                timers: Vec::new(),
+            }
+        }
+
+        fn pump(&mut self, ctx: &mut Ctx<'_>) {
+            while self.sent < self.to_send {
+                let id = ctx.next_packet_id();
+                let pkt = Packet {
+                    id,
+                    eth: EthMeta {
+                        src: MacAddr::from_id(0),
+                        dst: MacAddr::from_id(1),
+                        vlan: None,
+                    },
+                    ip: None,
+                    kind: PacketKind::Raw {
+                        label: 0,
+                        size: 1000,
+                    },
+                    created_ps: ctx.now().as_ps(),
+                };
+                match ctx.transmit(PortId(0), pkt) {
+                    Ok(()) => self.sent += 1,
+                    Err(TxError::Busy) => break,
+                    Err(TxError::Unconnected) => panic!("unconnected"),
+                }
+            }
+        }
+    }
+
+    impl Node for Chatter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.pump(ctx);
+        }
+        fn on_packet(&mut self, _port: PortId, pkt: Packet, ctx: &mut Ctx<'_>) {
+            self.received.push((ctx.now(), pkt.id));
+        }
+        fn on_port_idle(&mut self, _port: PortId, ctx: &mut Ctx<'_>) {
+            self.pump(ctx);
+        }
+        fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
+            self.timers.push(token);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_node_world(count: u32) -> (World, NodeId, NodeId) {
+        let mut w = World::new(7);
+        let a = w.add_node(Box::new(Chatter::new(count)));
+        let b = w.add_node(Box::new(Chatter::new(0)));
+        w.connect(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            LinkSpec::with_length(10_000_000_000, 100),
+        );
+        (w, a, b)
+    }
+
+    #[test]
+    fn packets_arrive_after_ser_plus_prop() {
+        let (mut w, _a, b) = two_node_world(1);
+        assert!(w.run_until_idle(1000));
+        let rx = &w.node::<Chatter>(b).received;
+        assert_eq!(rx.len(), 1);
+        // 1000 B at 10 Gb/s = 800 ns; 100 m = 500 ns.
+        assert_eq!(rx[0].0, SimTime::from_nanos(1300));
+    }
+
+    #[test]
+    fn port_serializes_back_to_back() {
+        let (mut w, _a, b) = two_node_world(3);
+        assert!(w.run_until_idle(1000));
+        let rx = &w.node::<Chatter>(b).received;
+        assert_eq!(rx.len(), 3);
+        // Successive arrivals are exactly one serialization apart.
+        assert_eq!((rx[1].0 - rx[0].0).as_nanos(), 800);
+        assert_eq!((rx[2].0 - rx[1].0).as_nanos(), 800);
+    }
+
+    #[test]
+    fn transmit_while_busy_is_rejected() {
+        struct Greedy {
+            results: Vec<Result<(), TxError>>,
+        }
+        impl Node for Greedy {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let mk = |id| Packet {
+                    id,
+                    eth: EthMeta {
+                        src: MacAddr::from_id(0),
+                        dst: MacAddr::from_id(1),
+                        vlan: None,
+                    },
+                    ip: None,
+                    kind: PacketKind::Raw { label: 0, size: 500 },
+                    created_ps: 0,
+                };
+                self.results.push(ctx.transmit(PortId(0), mk(1)));
+                self.results.push(ctx.transmit(PortId(0), mk(2)));
+                self.results.push(ctx.transmit(PortId(1), mk(3)));
+            }
+            fn on_packet(&mut self, _: PortId, _: Packet, _: &mut Ctx<'_>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        let a = w.add_node(Box::new(Greedy { results: vec![] }));
+        let b = w.add_node(Box::new(Chatter::new(0)));
+        w.connect(a, PortId(0), b, PortId(0), LinkSpec::server_40g());
+        w.run_until_idle(100);
+        let r = &w.node::<Greedy>(a).results;
+        assert_eq!(r[0], Ok(()));
+        assert_eq!(r[1], Err(TxError::Busy));
+        assert_eq!(r[2], Err(TxError::Unconnected));
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_ties_broken_by_schedule_order() {
+        let mut w = World::new(1);
+        let a = w.add_node(Box::new(Chatter::new(0)));
+        w.schedule_timer(SimTime::from_nanos(50), a, 2);
+        w.schedule_timer(SimTime::from_nanos(50), a, 3);
+        w.schedule_timer(SimTime::from_nanos(10), a, 1);
+        assert!(w.run_until_idle(100));
+        assert_eq!(w.node::<Chatter>(a).timers, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let (mut w, _a, b) = two_node_world(50);
+            w.run_until_idle(10_000);
+            w.node::<Chatter>(b).received.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let (mut w, a, b) = two_node_world(1000);
+        w.run_until(SimTime::from_micros(10));
+        assert_eq!(w.now(), SimTime::from_micros(10));
+        let got = w.node::<Chatter>(b).received.len();
+        assert!(got > 0 && got < 1000, "partial progress, got {got}");
+        // Resuming continues where we left off.
+        w.run_until(SimTime::from_millis(1));
+        assert_eq!(w.node::<Chatter>(b).received.len(), 1000);
+        assert_eq!(w.node::<Chatter>(a).sent, 1000);
+    }
+}

@@ -1,0 +1,283 @@
+//! Shared-buffer ingress accounting: the counters PFC lives on.
+//!
+//! Mirrors the paper's description of commodity shared-buffer ASICs (§2):
+//! all packets share one pool; an "ingress queue" is just a byte counter
+//! per (ingress port, priority group). Lossless PGs additionally own a
+//! reserved *headroom* that absorbs in-flight bytes after XOFF is sent.
+//! The dynamic-sharing rule (§6.2) gates shared-pool admission at
+//! `α × unallocated`, the parameter whose silent change from 1/16 to 1/64
+//! caused the production incident of Figure 10.
+
+use rocescale_packet::Priority;
+
+use crate::config::BufferConfig;
+
+/// Where an admitted packet's bytes were accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// Counted against the shared pool.
+    Shared,
+    /// Counted against the (port, PG) headroom (lossless only, after the
+    /// XOFF threshold is exceeded).
+    Headroom,
+    /// Rejected: lossy packet over threshold, or pool exhausted, or —
+    /// configuration failure — lossless headroom overrun.
+    Drop,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PgCounter {
+    shared: u64,
+    headroom: u64,
+    /// Currently in XOFF state (pause sent, XON pending).
+    xoff: bool,
+}
+
+/// The shared buffer of one switch.
+#[derive(Debug, Clone)]
+pub struct SharedBuffer {
+    cfg: BufferConfig,
+    /// Shared-pool bytes in use across all (port, PG).
+    shared_used: u64,
+    /// Shared-pool capacity: total minus all headroom reservations.
+    shared_capacity: u64,
+    /// Per-(port, PG) counters.
+    counters: Vec<[PgCounter; Priority::COUNT]>,
+    /// Peak shared usage, for monitoring.
+    peak_shared: u64,
+}
+
+impl SharedBuffer {
+    /// Build for `ports` ports; headroom is reserved for each
+    /// (port, lossless PG) pair up front, exactly like static headroom
+    /// carving on real ASICs.
+    pub fn new(cfg: BufferConfig, ports: u16, lossless: &[bool; Priority::COUNT]) -> SharedBuffer {
+        let lossless_pgs = lossless.iter().filter(|l| **l).count() as u64;
+        let reserved = cfg.headroom_per_port_pg * lossless_pgs * ports as u64;
+        assert!(
+            reserved < cfg.total_bytes,
+            "headroom ({reserved} B) exceeds buffer ({} B): too many lossless classes for \
+             this buffer — the §2 constraint",
+            cfg.total_bytes
+        );
+        SharedBuffer {
+            shared_capacity: cfg.total_bytes - reserved,
+            cfg,
+            shared_used: 0,
+            counters: vec![[PgCounter::default(); Priority::COUNT]; ports as usize],
+            peak_shared: 0,
+        }
+    }
+
+    /// The XOFF threshold currently in force for one (port, PG) counter.
+    /// Dynamic mode: `α × unallocated shared buffer`; static mode: fixed.
+    pub fn xoff_threshold(&self) -> u64 {
+        match self.cfg.alpha {
+            Some(a) => {
+                let unallocated = self.shared_capacity.saturating_sub(self.shared_used);
+                (a * unallocated as f64) as u64
+            }
+            None => self.cfg.xoff_static,
+        }
+    }
+
+    /// Try to admit `bytes` for (`port`, `pg`). Lossless packets overflow
+    /// into headroom after the threshold; lossy packets drop.
+    pub fn admit(&mut self, port: u16, pg: Priority, bytes: u64, lossless: bool) -> AdmitOutcome {
+        let threshold = self.xoff_threshold();
+        let c = &mut self.counters[port as usize][pg.index()];
+        let room_in_shared =
+            self.shared_used + bytes <= self.shared_capacity && c.shared + bytes <= threshold;
+        if room_in_shared {
+            c.shared += bytes;
+            self.shared_used += bytes;
+            self.peak_shared = self.peak_shared.max(self.shared_used);
+            return AdmitOutcome::Shared;
+        }
+        if lossless {
+            if c.headroom + bytes <= self.cfg.headroom_per_port_pg {
+                c.headroom += bytes;
+                return AdmitOutcome::Headroom;
+            }
+            // Headroom overrun: a configuration error (undersized
+            // headroom), surfaced as a lossless drop the experiments
+            // assert to be zero.
+            return AdmitOutcome::Drop;
+        }
+        AdmitOutcome::Drop
+    }
+
+    /// Release bytes previously admitted with `outcome`.
+    pub fn release(&mut self, port: u16, pg: Priority, bytes: u64, outcome: AdmitOutcome) {
+        let c = &mut self.counters[port as usize][pg.index()];
+        match outcome {
+            AdmitOutcome::Shared => {
+                debug_assert!(c.shared >= bytes && self.shared_used >= bytes);
+                c.shared -= bytes;
+                self.shared_used -= bytes;
+            }
+            AdmitOutcome::Headroom => {
+                debug_assert!(c.headroom >= bytes);
+                c.headroom -= bytes;
+            }
+            AdmitOutcome::Drop => {}
+        }
+    }
+
+    /// Total (shared + headroom) bytes held for (`port`, `pg`).
+    pub fn occupancy(&self, port: u16, pg: Priority) -> u64 {
+        let c = &self.counters[port as usize][pg.index()];
+        c.shared + c.headroom
+    }
+
+    /// Should this counter be in XOFF? True once occupancy crosses the
+    /// threshold (headroom use always implies XOFF).
+    pub fn over_xoff(&self, port: u16, pg: Priority) -> bool {
+        let c = &self.counters[port as usize][pg.index()];
+        c.headroom > 0 || c.shared >= self.xoff_threshold()
+    }
+
+    /// Should this counter be resumed? True once occupancy falls below
+    /// threshold − hysteresis and headroom has drained.
+    pub fn below_xon(&self, port: u16, pg: Priority) -> bool {
+        let c = &self.counters[port as usize][pg.index()];
+        c.headroom == 0
+            && c.shared <= self.xoff_threshold().saturating_sub(self.cfg.xon_delta)
+    }
+
+    /// Read/modify the latched XOFF state (set when a pause is sent,
+    /// cleared when a resume is sent).
+    pub fn xoff_state(&mut self, port: u16, pg: Priority) -> &mut bool {
+        &mut self.counters[port as usize][pg.index()].xoff
+    }
+
+    /// Shared-pool bytes currently in use.
+    pub fn shared_used(&self) -> u64 {
+        self.shared_used
+    }
+
+    /// Peak shared-pool usage observed.
+    pub fn peak_shared(&self) -> u64 {
+        self.peak_shared
+    }
+
+    /// Shared-pool capacity after headroom carving.
+    pub fn shared_capacity(&self) -> u64 {
+        self.shared_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOSSLESS: [bool; 8] = [false, false, false, true, true, false, false, false];
+
+    fn cfg(alpha: Option<f64>) -> BufferConfig {
+        BufferConfig {
+            total_bytes: 1 << 20, // 1 MB
+            headroom_per_port_pg: 20 * 1024,
+            alpha,
+            xoff_static: 100 * 1024,
+            xon_delta: 4 * 1024,
+        }
+    }
+
+    #[test]
+    fn headroom_carved_up_front() {
+        let b = SharedBuffer::new(cfg(None), 4, &LOSSLESS);
+        // 4 ports × 2 lossless PGs × 20 KB = 160 KB reserved.
+        assert_eq!(b.shared_capacity(), (1 << 20) - 160 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn too_many_lossless_classes_panics() {
+        // 8 lossless PGs × 64 ports × 20 KB = 10 MB > 1 MB: the §2
+        // shallow-buffer constraint, enforced at construction.
+        SharedBuffer::new(cfg(None), 64, &[true; 8]);
+    }
+
+    #[test]
+    fn static_threshold_admission() {
+        let mut b = SharedBuffer::new(cfg(None), 4, &LOSSLESS);
+        let p3 = Priority::new(3);
+        // Fill to just under the static 100 KB threshold.
+        assert_eq!(b.admit(0, p3, 99 * 1024, true), AdmitOutcome::Shared);
+        assert!(!b.over_xoff(0, p3));
+        // Next admission crosses into shared up to threshold...
+        assert_eq!(b.admit(0, p3, 1024, true), AdmitOutcome::Shared);
+        assert!(b.over_xoff(0, p3));
+        // ...and beyond it, lossless traffic lands in headroom.
+        assert_eq!(b.admit(0, p3, 1024, true), AdmitOutcome::Headroom);
+        // Lossy traffic at the same point drops.
+        assert_eq!(b.admit(0, Priority::new(0), 200 * 1024, false), AdmitOutcome::Drop);
+    }
+
+    #[test]
+    fn lossless_headroom_overrun_drops() {
+        let mut b = SharedBuffer::new(cfg(None), 4, &LOSSLESS);
+        let p3 = Priority::new(3);
+        assert_eq!(b.admit(0, p3, 100 * 1024, true), AdmitOutcome::Shared);
+        assert_eq!(b.admit(0, p3, 20 * 1024, true), AdmitOutcome::Headroom);
+        assert_eq!(b.admit(0, p3, 1, true), AdmitOutcome::Drop);
+    }
+
+    #[test]
+    fn release_restores_capacity_and_xon() {
+        let mut b = SharedBuffer::new(cfg(None), 4, &LOSSLESS);
+        let p3 = Priority::new(3);
+        b.admit(0, p3, 100 * 1024, true);
+        let h = b.admit(0, p3, 10 * 1024, true);
+        assert_eq!(h, AdmitOutcome::Headroom);
+        assert!(b.over_xoff(0, p3));
+        assert!(!b.below_xon(0, p3));
+        b.release(0, p3, 10 * 1024, AdmitOutcome::Headroom);
+        // Still at the threshold: not below XON yet (hysteresis).
+        assert!(!b.below_xon(0, p3));
+        b.release(0, p3, 10 * 1024, AdmitOutcome::Shared);
+        assert!(b.below_xon(0, p3));
+        assert_eq!(b.occupancy(0, p3), 90 * 1024);
+    }
+
+    /// The §6.2 incident in miniature: a smaller α makes XOFF fire at a
+    /// fraction of the buffer, so pauses trigger far more easily.
+    #[test]
+    fn alpha_controls_pause_sensitivity() {
+        let mk = |a| SharedBuffer::new(cfg(Some(a)), 4, &LOSSLESS);
+        let b16 = mk(1.0 / 16.0);
+        let b64 = mk(1.0 / 64.0);
+        assert!(b16.xoff_threshold() > 3 * b64.xoff_threshold());
+    }
+
+    /// Dynamic threshold shrinks as the pool fills: admission from other
+    /// ports reduces every port's XOFF point.
+    #[test]
+    fn dynamic_threshold_shrinks_under_load() {
+        let mut b = SharedBuffer::new(cfg(Some(0.5)), 4, &LOSSLESS);
+        let t0 = b.xoff_threshold();
+        b.admit(1, Priority::new(4), 400 * 1024, true);
+        let t1 = b.xoff_threshold();
+        assert!(t1 < t0, "{t1} !< {t0}");
+    }
+
+    #[test]
+    fn per_port_counters_independent() {
+        let mut b = SharedBuffer::new(cfg(None), 4, &LOSSLESS);
+        let p3 = Priority::new(3);
+        b.admit(0, p3, 100 * 1024, true);
+        assert!(b.over_xoff(0, p3));
+        assert!(!b.over_xoff(1, p3));
+        assert_eq!(b.occupancy(1, p3), 0);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut b = SharedBuffer::new(cfg(None), 4, &LOSSLESS);
+        b.admit(0, Priority::new(3), 50 * 1024, true);
+        b.release(0, Priority::new(3), 50 * 1024, AdmitOutcome::Shared);
+        b.admit(0, Priority::new(3), 10 * 1024, true);
+        assert_eq!(b.peak_shared(), 50 * 1024);
+        assert_eq!(b.shared_used(), 10 * 1024);
+    }
+}

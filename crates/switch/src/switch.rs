@@ -1,0 +1,886 @@
+//! The switch [`Node`]: ingress pipeline, egress scheduling, PFC
+//! generation/reaction, flooding, and the storm watchdog.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use rand::Rng;
+use rocescale_dcqcn::CpState;
+use rocescale_packet::{
+    EcnCodepoint, MacAddr, Packet, PacketKind, PauseFrame, PfcPauseFrame, Priority,
+};
+use rocescale_sim::{Ctx, Node, PortId, SimTime, TxError};
+
+use crate::buffer::{AdmitOutcome, SharedBuffer};
+use crate::config::{ClassifyMode, PortRole, SwitchConfig};
+use crate::routing::{NextHop, RouteTable};
+use crate::tables::{ArpTable, MacTable};
+
+/// Why a packet was dropped. Every drop in the switch is attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Lossy class over its buffer threshold (normal congestion loss).
+    LossyOverflow,
+    /// Lossless packet exceeded its headroom — a configuration failure;
+    /// asserted zero in every PFC-correct experiment.
+    LosslessOverflow,
+    /// No route for the destination IP.
+    NoRoute,
+    /// Directly-connected destination with no ARP entry at all.
+    ArpMiss,
+    /// The §4.2 fix firing: lossless packet whose ARP entry is incomplete
+    /// (MAC known, port unknown) dropped instead of flooded.
+    IncompleteArpLossless,
+    /// Flooded copy reaching the head of a fabric-port egress queue
+    /// ("destination MAC does not match", Figure 4 step 1).
+    FloodCopyAtFabricHead,
+    /// TTL expired.
+    TtlExpired,
+    /// The §4.1 fault-injection filter (IP ID low byte match).
+    InjectedFilter,
+    /// Untagged data packet arriving at a trunk-mode port under
+    /// VLAN-based PFC (the PXE-boot failure, §3).
+    UntaggedOnTrunk,
+    /// Lossless packet to/from a port whose lossless mode the storm
+    /// watchdog disabled (§4.3).
+    WatchdogLosslessOff,
+}
+
+const DROP_REASONS: [DropReason; 10] = [
+    DropReason::LossyOverflow,
+    DropReason::LosslessOverflow,
+    DropReason::NoRoute,
+    DropReason::ArpMiss,
+    DropReason::IncompleteArpLossless,
+    DropReason::FloodCopyAtFabricHead,
+    DropReason::TtlExpired,
+    DropReason::InjectedFilter,
+    DropReason::UntaggedOnTrunk,
+    DropReason::WatchdogLosslessOff,
+];
+
+/// Switch counters, the ground truth the monitoring crate collects (§5.2:
+/// "we collect packets and bytes been sent and received per port per
+/// priority, packet drops at the ingress ports, and packet drops at the
+/// egress queues").
+#[derive(Debug, Clone, Default)]
+pub struct SwitchStats {
+    /// Packets received per port.
+    pub rx_pkts: Vec<u64>,
+    /// Packets transmitted per port.
+    pub tx_pkts: Vec<u64>,
+    /// Bytes transmitted per port.
+    pub tx_bytes: Vec<u64>,
+    /// Data bytes transmitted per priority (across ports).
+    pub tx_bytes_per_prio: [u64; Priority::COUNT],
+    /// PFC pause frames sent per port (XOFF only, not resumes).
+    pub pause_tx: Vec<u64>,
+    /// PFC resume (XON) frames sent per port.
+    pub resume_tx: Vec<u64>,
+    /// PFC pause frames received per port (XOFF only).
+    pub pause_rx: Vec<u64>,
+    /// Drops by reason.
+    pub drops: [u64; DROP_REASONS.len()],
+    /// ECN CE marks applied.
+    pub ecn_marked: u64,
+    /// Peak egress queue depth in bytes, per port (any priority).
+    pub peak_egress_bytes: Vec<u64>,
+    /// Times the watchdog disabled lossless mode on a port.
+    pub watchdog_disables: u64,
+    /// Times the watchdog re-enabled lossless mode on a port.
+    pub watchdog_reenables: u64,
+}
+
+impl SwitchStats {
+    fn new(ports: usize) -> SwitchStats {
+        SwitchStats {
+            rx_pkts: vec![0; ports],
+            tx_pkts: vec![0; ports],
+            tx_bytes: vec![0; ports],
+            pause_tx: vec![0; ports],
+            resume_tx: vec![0; ports],
+            pause_rx: vec![0; ports],
+            peak_egress_bytes: vec![0; ports],
+            ..SwitchStats::default()
+        }
+    }
+
+    /// Count a drop.
+    pub fn drop(&mut self, reason: DropReason) {
+        let i = DROP_REASONS.iter().position(|r| *r == reason).expect("known reason");
+        self.drops[i] += 1;
+    }
+
+    /// Read a drop counter.
+    pub fn drops_of(&self, reason: DropReason) -> u64 {
+        let i = DROP_REASONS.iter().position(|r| *r == reason).expect("known reason");
+        self.drops[i]
+    }
+
+    /// Sum of all drops.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
+    /// Total XOFF pause frames sent.
+    pub fn total_pause_tx(&self) -> u64 {
+        self.pause_tx.iter().sum()
+    }
+
+    /// Total XOFF pause frames received.
+    pub fn total_pause_rx(&self) -> u64 {
+        self.pause_rx.iter().sum()
+    }
+}
+
+/// A packet queued at an egress port, remembering its ingress accounting.
+#[derive(Debug, Clone)]
+struct QueuedPkt {
+    pkt: Packet,
+    /// (ingress port, PG, where the bytes were counted) — `None` for
+    /// self-originated frames.
+    acct: Option<(PortId, Priority, AdmitOutcome)>,
+    /// This is a flood copy (dropped at the head of fabric-port queues).
+    flood_copy: bool,
+}
+
+/// DWRR quantum per weight unit, bytes.
+const DWRR_QUANTUM: u64 = 1600;
+
+#[derive(Debug, Clone)]
+struct EgressPort {
+    queues: [VecDeque<QueuedPkt>; Priority::COUNT],
+    queue_bytes: [u64; Priority::COUNT],
+    /// Control frames (PFC) bypass the data queues entirely.
+    ctrl: VecDeque<Packet>,
+    paused_until: [SimTime; Priority::COUNT],
+    deficit: [u64; Priority::COUNT],
+    rr: usize,
+    /// Queue currently in its DWRR service burst.
+    serving: Option<usize>,
+    /// The packet currently being serialized (buffer released when done).
+    in_flight: Option<QueuedPkt>,
+}
+
+impl EgressPort {
+    fn new() -> EgressPort {
+        EgressPort {
+            queues: Default::default(),
+            queue_bytes: [0; Priority::COUNT],
+            ctrl: VecDeque::new(),
+            paused_until: [SimTime::ZERO; Priority::COUNT],
+            deficit: [0; Priority::COUNT],
+            rr: 0,
+            serving: None,
+            in_flight: None,
+        }
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.queue_bytes.iter().sum()
+    }
+
+    fn has_lossless_backlog(&self, lossless: &[bool; Priority::COUNT]) -> bool {
+        (0..Priority::COUNT).any(|i| lossless[i] && !self.queues[i].is_empty())
+    }
+}
+
+/// Per-port watchdog bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct WatchdogPort {
+    lossless_disabled: bool,
+    last_pause_rx: SimTime,
+    undrainable_since: Option<SimTime>,
+}
+
+// Timer token encoding: top 8 bits = kind.
+const TOK_KIND_SHIFT: u64 = 56;
+const TOK_KICK: u64 = 1;
+const TOK_PAUSE_REFRESH: u64 = 2;
+const TOK_WATCHDOG: u64 = 3;
+
+fn tok_kick(port: PortId) -> u64 {
+    (TOK_KICK << TOK_KIND_SHIFT) | port.0 as u64
+}
+fn tok_refresh(port: PortId, pg: Priority) -> u64 {
+    (TOK_PAUSE_REFRESH << TOK_KIND_SHIFT) | ((pg.index() as u64) << 16) | port.0 as u64
+}
+
+/// The switch node.
+pub struct Switch {
+    cfg: SwitchConfig,
+    /// This switch's router MAC (L3 interfaces).
+    router_mac: MacAddr,
+    /// ECMP hash salt (per-switch, like per-ASIC hash seeds).
+    salt: u64,
+    buffer: SharedBuffer,
+    mac_table: MacTable,
+    arp_table: ArpTable,
+    routes: RouteTable,
+    /// MAC of the L3 peer behind each fabric port (next-hop rewrite).
+    peer_macs: Vec<Option<MacAddr>>,
+    egress: Vec<EgressPort>,
+    /// DCQCN congestion-point state per (port, priority).
+    cp: Vec<[Option<CpState>; Priority::COUNT]>,
+    wd: Vec<WatchdogPort>,
+    /// Round-robin counter for per-packet spraying (§8.1 ablation).
+    spray_counter: u64,
+    /// Counters.
+    pub stats: SwitchStats,
+}
+
+impl Switch {
+    /// Build a switch from its configuration. `router_mac` must be unique
+    /// per switch; `salt` seeds the ECMP hash.
+    pub fn new(cfg: SwitchConfig, router_mac: MacAddr, salt: u64) -> Switch {
+        let ports = cfg.ports as usize;
+        let buffer = SharedBuffer::new(cfg.buffer, cfg.ports, &cfg.lossless);
+        let cp = (0..ports)
+            .map(|_| {
+                let mut row: [Option<CpState>; Priority::COUNT] = Default::default();
+                for (i, slot) in row.iter_mut().enumerate() {
+                    *slot = cfg.ecn[i].map(CpState::new);
+                }
+                row
+            })
+            .collect();
+        Switch {
+            mac_table: MacTable::new(cfg.mac_timeout),
+            arp_table: ArpTable::new(cfg.arp_timeout),
+            routes: RouteTable::new(),
+            peer_macs: vec![None; ports],
+            egress: (0..ports).map(|_| EgressPort::new()).collect(),
+            cp,
+            wd: vec![WatchdogPort::default(); ports],
+            spray_counter: 0,
+            stats: SwitchStats::new(ports),
+            buffer,
+            router_mac,
+            salt,
+            cfg,
+        }
+    }
+
+    /// The switch's router MAC.
+    pub fn router_mac(&self) -> MacAddr {
+        self.router_mac
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.cfg
+    }
+
+    /// Mutable route table (topology wiring).
+    pub fn routes_mut(&mut self) -> &mut RouteTable {
+        &mut self.routes
+    }
+
+    /// Set the L3 peer MAC behind a fabric port (topology wiring).
+    pub fn set_peer_mac(&mut self, port: PortId, mac: MacAddr) {
+        self.peer_macs[port.index()] = Some(mac);
+    }
+
+    /// Seed an ARP entry (scenario setup / ARP protocol result).
+    pub fn seed_arp(&mut self, ip: u32, mac: MacAddr, now: SimTime) {
+        self.arp_table.insert(ip, mac, now);
+    }
+
+    /// Seed a MAC table entry.
+    pub fn seed_mac(&mut self, mac: MacAddr, port: PortId, now: SimTime) {
+        self.mac_table.learn(mac, port, now);
+    }
+
+    /// Evict a MAC entry — simulates the 5-minute timeout firing for a
+    /// dead server while its 4-hour ARP entry survives (§4.2).
+    pub fn evict_mac(&mut self, mac: MacAddr) {
+        self.mac_table.evict(mac);
+    }
+
+    /// The shared buffer (read access for monitoring).
+    pub fn buffer(&self) -> &SharedBuffer {
+        &self.buffer
+    }
+
+    /// Total bytes queued at an egress port right now.
+    pub fn egress_depth(&self, port: PortId) -> u64 {
+        self.egress[port.index()].total_bytes()
+    }
+
+    /// Bytes queued at an egress port for one priority.
+    pub fn egress_depth_prio(&self, port: PortId, prio: Priority) -> u64 {
+        self.egress[port.index()].queue_bytes[prio.index()]
+    }
+
+    /// Bytes of lossless-class traffic queued across all egress ports —
+    /// the backlog half of the deadlock signature (§4.2).
+    pub fn lossless_backlog(&self) -> u64 {
+        self.egress
+            .iter()
+            .map(|e| {
+                (0..Priority::COUNT)
+                    .filter(|i| self.cfg.lossless[*i])
+                    .map(|i| e.queue_bytes[i])
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Total packets transmitted across all ports (including PFC control
+    /// frames).
+    pub fn total_tx_pkts(&self) -> u64 {
+        self.stats.tx_pkts.iter().sum()
+    }
+
+    /// Data packets transmitted across all ports, excluding PFC control
+    /// frames — the progress half of the deadlock signature (a wedged
+    /// switch still emits pause refreshes, so raw tx keeps creeping).
+    pub fn total_data_tx_pkts(&self) -> u64 {
+        self.total_tx_pkts()
+            - self.stats.pause_tx.iter().sum::<u64>()
+            - self.stats.resume_tx.iter().sum::<u64>()
+    }
+
+    /// Is `port`'s egress currently paused for `prio`?
+    pub fn is_paused(&self, port: PortId, prio: Priority, now: SimTime) -> bool {
+        self.egress[port.index()].paused_until[prio.index()] > now
+    }
+
+    /// Has the watchdog disabled lossless mode on `port`?
+    pub fn lossless_disabled(&self, port: PortId) -> bool {
+        self.wd[port.index()].lossless_disabled
+    }
+
+    fn classify(&self, pkt: &Packet) -> Priority {
+        match self.cfg.classify {
+            ClassifyMode::Vlan => pkt.pcp_priority().unwrap_or(self.cfg.untagged_priority),
+            ClassifyMode::Dscp => pkt
+                .ip
+                .map(|ip| (self.cfg.dscp_to_priority)(ip.dscp))
+                .unwrap_or(self.cfg.untagged_priority),
+        }
+    }
+
+    // ---- PFC handling ----
+
+    fn on_pause_frame(&mut self, port: PortId, frame: &PauseFrame, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        self.wd[port.index()].last_pause_rx = now;
+        if self.wd[port.index()].lossless_disabled {
+            // Watchdog tripped: ignore pauses from this port entirely.
+            return;
+        }
+        let rate = ctx.port_rate(port).unwrap_or(40_000_000_000);
+        let mut any_pause = false;
+        let mut resumed = false;
+        for (prio, quanta) in frame.entries() {
+            let e = &mut self.egress[port.index()];
+            if quanta == 0 {
+                e.paused_until[prio.index()] = now;
+                resumed = true;
+            } else {
+                any_pause = true;
+                let until = now + SimTime(PfcPauseFrame::quanta_to_ps(quanta, rate));
+                e.paused_until[prio.index()] = until;
+                // Wake the port when the pause expires.
+                ctx.set_timer_at(until, tok_kick(port));
+            }
+        }
+        if any_pause {
+            self.stats.pause_rx[port.index()] += 1;
+        }
+        if resumed {
+            self.try_send(port, ctx);
+        }
+    }
+
+    /// After ingress-counter growth, send XOFF upstream if we crossed the
+    /// threshold.
+    fn maybe_xoff(&mut self, ingress: PortId, pg: Priority, ctx: &mut Ctx<'_>) {
+        if !self.cfg.is_lossless(pg) {
+            return;
+        }
+        if !self.buffer.over_xoff(ingress.0, pg) || *self.buffer.xoff_state(ingress.0, pg) {
+            return;
+        }
+        *self.buffer.xoff_state(ingress.0, pg) = true;
+        self.send_pause(ingress, pg, u16::MAX, ctx);
+        self.stats.pause_tx[ingress.index()] += 1;
+        // Refresh before the pause expires if we are still over XOFF.
+        let rate = ctx.port_rate(ingress).unwrap_or(40_000_000_000);
+        let refresh = SimTime(PfcPauseFrame::quanta_to_ps(u16::MAX, rate) / 2);
+        ctx.set_timer(refresh, tok_refresh(ingress, pg));
+    }
+
+    /// After ingress-counter drain, send XON upstream if we fell below the
+    /// resume threshold.
+    fn maybe_xon(&mut self, ingress: PortId, pg: Priority, ctx: &mut Ctx<'_>) {
+        if !*self.buffer.xoff_state(ingress.0, pg) {
+            return;
+        }
+        if self.buffer.below_xon(ingress.0, pg) {
+            *self.buffer.xoff_state(ingress.0, pg) = false;
+            self.send_pause(ingress, pg, 0, ctx);
+            self.stats.resume_tx[ingress.index()] += 1;
+        }
+    }
+
+    fn send_pause(&mut self, port: PortId, pg: Priority, quanta: u16, ctx: &mut Ctx<'_>) {
+        let frame = if quanta == 0 {
+            PauseFrame::resume(pg)
+        } else {
+            PauseFrame::pause(pg, quanta)
+        };
+        let pkt = Packet {
+            id: ctx.next_packet_id(),
+            eth: rocescale_packet::EthMeta {
+                src: self.router_mac,
+                dst: MacAddr::PAUSE_MULTICAST,
+                vlan: None,
+            },
+            ip: None,
+            kind: PacketKind::Pfc(frame),
+            created_ps: ctx.now().as_ps(),
+        };
+        self.egress[port.index()].ctrl.push_back(pkt);
+        self.try_send(port, ctx);
+    }
+
+    // ---- forwarding pipeline ----
+
+    fn handle_data(&mut self, ingress: PortId, mut pkt: Packet, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        // Hardware source-MAC learning.
+        if !pkt.eth.src.is_multicast() {
+            self.mac_table.learn(pkt.eth.src, ingress, now);
+        }
+        let prio = self.classify(&pkt);
+        let lossless = self.cfg.is_lossless(prio)
+            && !self.wd[ingress.index()].lossless_disabled;
+
+        // Watchdog: lossless traffic from a quarantined port is discarded.
+        if self.cfg.is_lossless(prio) && self.wd[ingress.index()].lossless_disabled {
+            self.stats.drop(DropReason::WatchdogLosslessOff);
+            return;
+        }
+
+        // VLAN-based PFC: trunk-mode server ports cannot accept untagged
+        // packets — the PXE-boot breakage of §3.
+        if self.cfg.classify == ClassifyMode::Vlan
+            && pkt.eth.vlan.is_none()
+            && self.cfg.role(ingress.0) == PortRole::Server
+        {
+            self.stats.drop(DropReason::UntaggedOnTrunk);
+            return;
+        }
+
+        // §4.1 fault injection.
+        if let (Some(filter), Some(ip)) = (self.cfg.drop_ip_id_low_byte, pkt.ip) {
+            if (ip.id & 0xff) as u8 == filter {
+                self.stats.drop(DropReason::InjectedFilter);
+                return;
+            }
+        }
+
+        // Forwarding decision.
+        if pkt.eth.dst == self.router_mac {
+            // L3 path.
+            let Some(ip) = pkt.ip.as_mut() else {
+                return; // non-IP addressed to the router: nothing to do
+            };
+            if ip.ttl <= 1 {
+                self.stats.drop(DropReason::TtlExpired);
+                return;
+            }
+            ip.ttl -= 1;
+            let dst_ip = ip.dst;
+            enum Decision {
+                Via(PortId),
+                Connected,
+            }
+            let decision = match self.routes.lookup(dst_ip) {
+                None => {
+                    self.stats.drop(DropReason::NoRoute);
+                    return;
+                }
+                Some(NextHop::Via(group)) => {
+                    let port = if self.cfg.per_packet_spraying {
+                        self.spray_counter += 1;
+                        group.ports()[(self.spray_counter as usize) % group.ports().len()]
+                    } else {
+                        match pkt.five_tuple() {
+                            Some(t) => group.select(&t, self.salt),
+                            None => group.ports()[(dst_ip as usize) % group.ports().len()],
+                        }
+                    };
+                    Decision::Via(port)
+                }
+                Some(NextHop::Connected) => Decision::Connected,
+            };
+            match decision {
+                Decision::Via(port) => {
+                    pkt.eth.src = self.router_mac;
+                    if let Some(mac) = self.peer_macs[port.index()] {
+                        pkt.eth.dst = mac;
+                    }
+                    self.admit_and_enqueue(ingress, port, pkt, prio, lossless, false, ctx);
+                }
+                Decision::Connected => {
+                    let Some(mac) = self.arp_table.lookup(dst_ip, now) else {
+                        self.stats.drop(DropReason::ArpMiss);
+                        return;
+                    };
+                    pkt.eth.src = self.router_mac;
+                    pkt.eth.dst = mac;
+                    match self.mac_table.lookup(mac, now) {
+                        Some(port) => {
+                            self.admit_and_enqueue(
+                                ingress, port, pkt, prio, lossless, false, ctx,
+                            );
+                        }
+                        None => {
+                            // Incomplete ARP entry: IP→MAC known, MAC→port
+                            // unknown. The standard behaviour is to flood —
+                            // the §4.2 deadlock ingredient. The fix drops
+                            // lossless packets instead.
+                            if self.cfg.drop_lossless_on_incomplete_arp && lossless {
+                                self.stats.drop(DropReason::IncompleteArpLossless);
+                                return;
+                            }
+                            self.flood(ingress, pkt, prio, lossless, ctx);
+                        }
+                    }
+                }
+            }
+        } else if pkt.eth.dst.is_multicast() {
+            self.flood(ingress, pkt, prio, lossless, ctx);
+        } else {
+            // L2 bridging path.
+            match self.mac_table.lookup(pkt.eth.dst, now) {
+                Some(port) if port == ingress => { /* already there; drop quietly */ }
+                Some(port) => {
+                    self.admit_and_enqueue(ingress, port, pkt, prio, lossless, false, ctx);
+                }
+                None => {
+                    if self.cfg.drop_lossless_on_incomplete_arp && lossless {
+                        self.stats.drop(DropReason::IncompleteArpLossless);
+                        return;
+                    }
+                    self.flood(ingress, pkt, prio, lossless, ctx);
+                }
+            }
+        }
+    }
+
+    /// Flood to every connected port except the ingress. Each copy is
+    /// admitted (and accounted) separately; copies landing on fabric ports
+    /// will be discarded at the head of the egress queue.
+    fn flood(
+        &mut self,
+        ingress: PortId,
+        pkt: Packet,
+        prio: Priority,
+        lossless: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
+        for p in 0..self.cfg.ports {
+            let port = PortId(p);
+            if port == ingress || !ctx.port_connected(port) {
+                continue;
+            }
+            self.admit_and_enqueue(ingress, port, pkt, prio, lossless, true, ctx);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn admit_and_enqueue(
+        &mut self,
+        ingress: PortId,
+        egress: PortId,
+        mut pkt: Packet,
+        prio: Priority,
+        lossless: bool,
+        flood_copy: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
+        // Watchdog: lossless traffic to a quarantined port is discarded.
+        if self.cfg.is_lossless(prio) && self.wd[egress.index()].lossless_disabled {
+            self.stats.drop(DropReason::WatchdogLosslessOff);
+            return;
+        }
+        let bytes = pkt.wire_size() as u64;
+        let outcome = self.buffer.admit(ingress.0, prio, bytes, lossless);
+        if outcome == AdmitOutcome::Drop {
+            self.stats.drop(if lossless {
+                DropReason::LosslessOverflow
+            } else {
+                DropReason::LossyOverflow
+            });
+            return;
+        }
+        // DCQCN congestion point: mark on egress queue depth at enqueue.
+        if pkt.ip.map(|ip| ip.ecn) == Some(EcnCodepoint::Ect) {
+            let depth = self.egress[egress.index()].queue_bytes[prio.index()];
+            if let Some(cp) = &mut self.cp[egress.index()][prio.index()] {
+                let draw: f64 = ctx.rng().gen();
+                if cp.should_mark(depth, draw) {
+                    if let Some(ip) = pkt.ip.as_mut() {
+                        ip.ecn = EcnCodepoint::Ce;
+                    }
+                    self.stats.ecn_marked += 1;
+                }
+            }
+        }
+        let e = &mut self.egress[egress.index()];
+        e.queue_bytes[prio.index()] += bytes;
+        e.queues[prio.index()].push_back(QueuedPkt {
+            pkt,
+            acct: Some((ingress, prio, outcome)),
+            flood_copy,
+        });
+        let total = e.total_bytes();
+        let peak = &mut self.stats.peak_egress_bytes[egress.index()];
+        *peak = (*peak).max(total);
+        // Ingress-counter growth may cross XOFF.
+        self.maybe_xoff(ingress, prio, ctx);
+        self.try_send(egress, ctx);
+    }
+
+    // ---- egress scheduling ----
+
+    /// DWRR pick: returns the priority whose head packet should transmit.
+    ///
+    /// Classic deficit round robin: a queue's deficit is replenished once
+    /// per rotation *arrival*, it is served while the deficit covers the
+    /// head packet, and then the pointer moves on — so a saturated
+    /// lossless queue cannot starve the TCP class (the §2 bandwidth
+    /// isolation Figure 8 depends on).
+    fn pick_queue(&mut self, port: PortId, now: SimTime) -> Option<usize> {
+        let weights = self.cfg.weights;
+        let e = &mut self.egress[port.index()];
+        let available = |e: &EgressPort, i: usize| -> Option<u64> {
+            if e.queues[i].is_empty() || e.paused_until[i] > now {
+                None
+            } else {
+                Some(e.queues[i][0].pkt.wire_size() as u64)
+            }
+        };
+        // Continue the burst on the queue being served, if its deficit
+        // still covers the head.
+        if let Some(i) = e.serving {
+            match available(e, i) {
+                Some(head) if e.deficit[i] >= head => {
+                    e.deficit[i] -= head;
+                    return Some(i);
+                }
+                _ => {
+                    if e.queues[i].is_empty() {
+                        e.deficit[i] = 0;
+                    }
+                    e.serving = None;
+                    e.rr = (i + 1) % Priority::COUNT;
+                }
+            }
+        }
+        // One full rotation: replenish on arrival, serve if covered.
+        for _ in 0..Priority::COUNT {
+            let i = e.rr;
+            match available(e, i) {
+                Some(head) => {
+                    e.deficit[i] += DWRR_QUANTUM * weights[i].max(1) as u64;
+                    if e.deficit[i] >= head {
+                        e.deficit[i] -= head;
+                        e.serving = Some(i);
+                        return Some(i);
+                    }
+                    // Deficit carries to the next rotation.
+                }
+                None => {
+                    if e.queues[i].is_empty() {
+                        e.deficit[i] = 0;
+                    }
+                }
+            }
+            e.rr = (e.rr + 1) % Priority::COUNT;
+        }
+        None
+    }
+
+    /// Try to start a transmission on `port`.
+    fn try_send(&mut self, port: PortId, ctx: &mut Ctx<'_>) {
+        // `in_flight` still set means the previous packet's PortIdle event
+        // has not fired yet (it may share this event's timestamp): the
+        // port is logically busy, and starting another transmission here
+        // would overwrite `in_flight` and leak its buffer accounting.
+        if ctx.port_busy(port)
+            || !ctx.port_connected(port)
+            || self.egress[port.index()].in_flight.is_some()
+        {
+            return;
+        }
+        let now = ctx.now();
+        // Control frames (PFC) first; they are never paused.
+        if let Some(pkt) = self.egress[port.index()].ctrl.pop_front() {
+            self.stats.tx_pkts[port.index()] += 1;
+            self.stats.tx_bytes[port.index()] += pkt.wire_size() as u64;
+            let _ = ctx.transmit(port, pkt);
+            return;
+        }
+        loop {
+            let Some(prio) = self.pick_queue(port, now) else {
+                return;
+            };
+            let e = &mut self.egress[port.index()];
+            let qp = e.queues[prio].pop_front().expect("picked nonempty queue");
+            let bytes = qp.pkt.wire_size() as u64;
+            e.queue_bytes[prio] -= bytes;
+            // Flood copies die at the head of fabric-port queues: the
+            // destination MAC matches no next hop (Figure 4).
+            if qp.flood_copy && self.cfg.role(port.0) == PortRole::Fabric {
+                self.release(&qp, ctx);
+                self.stats.drop(DropReason::FloodCopyAtFabricHead);
+                continue; // same transmission opportunity: try the next packet
+            }
+            self.stats.tx_pkts[port.index()] += 1;
+            self.stats.tx_bytes[port.index()] += bytes;
+            self.stats.tx_bytes_per_prio[prio] += bytes;
+            let pkt = qp.pkt;
+            self.egress[port.index()].in_flight = Some(qp);
+            match ctx.transmit(port, pkt) {
+                Ok(()) => {}
+                Err(TxError::Busy | TxError::Unconnected) => {
+                    unreachable!("checked idle and connected")
+                }
+            }
+            return;
+        }
+    }
+
+    /// Release buffer accounting for a packet that left (or was dropped at
+    /// the head of) an egress queue, and maybe XON its ingress.
+    fn release(&mut self, qp: &QueuedPkt, ctx: &mut Ctx<'_>) {
+        if let Some((ingress, pg, outcome)) = qp.acct {
+            self.buffer
+                .release(ingress.0, pg, qp.pkt.wire_size() as u64, outcome);
+            self.maybe_xon(ingress, pg, ctx);
+        }
+    }
+
+    // ---- watchdog ----
+
+    fn watchdog_scan(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let wd_cfg = self.cfg.watchdog;
+        for p in 0..self.cfg.ports as usize {
+            if self.cfg.role(p as u16) != PortRole::Server {
+                continue;
+            }
+            let receiving_pauses =
+                now.saturating_sub(self.wd[p].last_pause_rx) < wd_cfg.poll_every + wd_cfg.poll_every;
+            if self.wd[p].lossless_disabled {
+                // Re-enable once the storm has been quiet long enough.
+                if now.saturating_sub(self.wd[p].last_pause_rx) >= wd_cfg.reenable_after {
+                    self.wd[p].lossless_disabled = false;
+                    self.wd[p].undrainable_since = None;
+                    self.stats.watchdog_reenables += 1;
+                }
+                continue;
+            }
+            let backlog = self.egress[p].has_lossless_backlog(&self.cfg.lossless);
+            if backlog && receiving_pauses {
+                let since = *self.wd[p].undrainable_since.get_or_insert(now);
+                if now.saturating_sub(since) >= wd_cfg.disable_after {
+                    self.trip_watchdog(PortId(p as u16), ctx);
+                }
+            } else {
+                self.wd[p].undrainable_since = None;
+            }
+        }
+        ctx.set_timer(wd_cfg.poll_every, TOK_WATCHDOG << TOK_KIND_SHIFT);
+    }
+
+    /// Disable lossless mode on a port: flush its queued lossless packets
+    /// (releasing their buffer — this is what un-sticks the fabric) and
+    /// clear its pause state.
+    fn trip_watchdog(&mut self, port: PortId, ctx: &mut Ctx<'_>) {
+        self.wd[port.index()].lossless_disabled = true;
+        self.stats.watchdog_disables += 1;
+        let lossless = self.cfg.lossless;
+        let mut flushed: Vec<QueuedPkt> = Vec::new();
+        {
+            let e = &mut self.egress[port.index()];
+            for (i, is_ll) in lossless.iter().enumerate() {
+                if !is_ll {
+                    continue;
+                }
+                e.paused_until[i] = SimTime::ZERO;
+                while let Some(qp) = e.queues[i].pop_front() {
+                    e.queue_bytes[i] -= qp.pkt.wire_size() as u64;
+                    flushed.push(qp);
+                }
+            }
+        }
+        for qp in &flushed {
+            self.release(qp, ctx);
+            self.stats.drop(DropReason::WatchdogLosslessOff);
+        }
+        self.try_send(port, ctx);
+    }
+}
+
+impl Node for Switch {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.watchdog.enabled {
+            ctx.set_timer(self.cfg.watchdog.poll_every, TOK_WATCHDOG << TOK_KIND_SHIFT);
+        }
+    }
+
+    fn on_packet(&mut self, port: PortId, pkt: Packet, ctx: &mut Ctx<'_>) {
+        self.stats.rx_pkts[port.index()] += 1;
+        if let PacketKind::Pfc(frame) = pkt.kind {
+            self.on_pause_frame(port, &frame, ctx);
+            return;
+        }
+        self.handle_data(port, pkt, ctx);
+    }
+
+    fn on_port_idle(&mut self, port: PortId, ctx: &mut Ctx<'_>) {
+        // The packet that was serializing has fully left: release its
+        // buffer accounting, then start the next one.
+        if let Some(qp) = self.egress[port.index()].in_flight.take() {
+            self.release(&qp, ctx);
+        }
+        self.try_send(port, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        match token >> TOK_KIND_SHIFT {
+            TOK_KICK => {
+                let port = PortId((token & 0xffff) as u16);
+                self.try_send(port, ctx);
+            }
+            TOK_PAUSE_REFRESH => {
+                let port = PortId((token & 0xffff) as u16);
+                let pg = Priority::new(((token >> 16) & 0x7) as u8);
+                if *self.buffer.xoff_state(port.0, pg) {
+                    // Still over XOFF: refresh the pause.
+                    self.send_pause(port, pg, u16::MAX, ctx);
+                    self.stats.pause_tx[port.index()] += 1;
+                    let rate = ctx.port_rate(port).unwrap_or(40_000_000_000);
+                    let refresh =
+                        SimTime(PfcPauseFrame::quanta_to_ps(u16::MAX, rate) / 2);
+                    ctx.set_timer(refresh, tok_refresh(port, pg));
+                }
+            }
+            TOK_WATCHDOG => self.watchdog_scan(ctx),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,463 @@
+//! Behavioural tests for the switch node: forwarding, PFC generation and
+//! reaction, flooding, the deadlock fix, ECN, and the storm watchdog.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use rocescale_packet::{
+    EcnCodepoint, EthMeta, Ipv4Meta, MacAddr, Packet, PacketKind, PauseFrame, Priority,
+    RoceOpcode, RocePacket,
+};
+use rocescale_sim::{Ctx, LinkSpec, Node, NodeId, PortId, SimTime, World};
+use rocescale_switch::{
+    ClassifyMode, DropReason, EcmpGroup, PortRole, Switch, SwitchConfig,
+};
+
+/// A scriptable host NIC for switch tests: sends a queue of packets as
+/// fast as its link (honouring PFC if asked), records what it receives.
+struct TestHost {
+    mac: MacAddr,
+    queue: VecDeque<Packet>,
+    honor_pfc: bool,
+    paused_until: [SimTime; 8],
+    received: Vec<Packet>,
+    pause_rx: u64,
+    /// Malfunction mode: emit pause frames continuously (§4.3 storm) —
+    /// modelled as a max-duration pause refreshed every 100 µs, which
+    /// keeps the peer pinned exactly like back-to-back frames would.
+    storm: bool,
+    storm_armed: bool,
+}
+
+const TOK_RESUME_CHECK: u64 = 1;
+const TOK_STORM: u64 = 2;
+
+impl TestHost {
+    fn new(mac: MacAddr) -> TestHost {
+        TestHost {
+            mac,
+            queue: VecDeque::new(),
+            honor_pfc: true,
+            paused_until: [SimTime::ZERO; 8],
+            received: Vec::new(),
+            pause_rx: 0,
+            storm: false,
+            storm_armed: false,
+        }
+    }
+
+    fn priority_of(pkt: &Packet) -> usize {
+        pkt.ip.map(|ip| (ip.dscp & 7) as usize).unwrap_or(0)
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if self.storm {
+            if !ctx.port_busy(PortId(0)) && !self.storm_armed {
+                let pkt = Packet {
+                    id: ctx.next_packet_id(),
+                    eth: EthMeta {
+                        src: self.mac,
+                        dst: MacAddr::PAUSE_MULTICAST,
+                        vlan: None,
+                    },
+                    ip: None,
+                    kind: PacketKind::Pfc(PauseFrame::pause(Priority::new(3), u16::MAX)),
+                    created_ps: ctx.now().as_ps(),
+                };
+                let _ = ctx.transmit(PortId(0), pkt);
+                self.storm_armed = true;
+                ctx.set_timer(SimTime::from_micros(100), TOK_STORM);
+            }
+            return;
+        }
+        while !ctx.port_busy(PortId(0)) {
+            let Some(pkt) = self.queue.front() else {
+                return;
+            };
+            let prio = Self::priority_of(pkt);
+            if self.honor_pfc && self.paused_until[prio] > ctx.now() {
+                // Re-check when the pause lapses.
+                let until = self.paused_until[prio];
+                ctx.set_timer_at(until, TOK_RESUME_CHECK);
+                return;
+            }
+            let pkt = self.queue.pop_front().expect("front checked");
+            ctx.transmit(PortId(0), pkt).expect("port checked idle");
+        }
+    }
+}
+
+impl Node for TestHost {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.pump(ctx);
+    }
+    fn on_packet(&mut self, _port: PortId, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if let PacketKind::Pfc(f) = pkt.kind {
+            self.pause_rx += 1;
+            let rate = ctx.port_rate(PortId(0)).unwrap_or(40_000_000_000);
+            for (prio, quanta) in f.entries() {
+                self.paused_until[prio.index()] = if quanta == 0 {
+                    ctx.now()
+                } else {
+                    ctx.now()
+                        + SimTime(rocescale_packet::PfcPauseFrame::quanta_to_ps(quanta, rate))
+                };
+            }
+            self.pump(ctx);
+            return;
+        }
+        self.received.push(pkt);
+    }
+    fn on_port_idle(&mut self, _port: PortId, ctx: &mut Ctx<'_>) {
+        self.pump(ctx);
+    }
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        if token == TOK_STORM {
+            self.storm_armed = false;
+        }
+        self.pump(ctx);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn roce_data(
+    id: u64,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: u32,
+    dst_ip: u32,
+    dscp: u8,
+    ip_id: u16,
+    payload: u32,
+    udp_src: u16,
+) -> Packet {
+    Packet {
+        id,
+        eth: EthMeta {
+            src: src_mac,
+            dst: dst_mac,
+            vlan: None,
+        },
+        ip: Some(Ipv4Meta {
+            src: src_ip,
+            dst: dst_ip,
+            dscp,
+            ecn: EcnCodepoint::Ect,
+            id: ip_id,
+            ttl: 64,
+        }),
+        kind: PacketKind::Roce(RocePacket {
+            opcode: RoceOpcode::Send,
+            dest_qp: 1,
+            src_qp: 1,
+            psn: id as u32,
+            payload,
+            is_first: false,
+            is_last: false,
+            udp_src,
+        }),
+        created_ps: 0,
+    }
+}
+
+const IP_A: u32 = 0x0a000001;
+const IP_B: u32 = 0x0a000002;
+
+/// Two hosts on one ToR, L3-connected subnet; B's link is 10× slower so a
+/// sustained burst from A must trigger PFC instead of drops (Figure 2).
+struct TorPair {
+    world: World,
+    sw: NodeId,
+    a: NodeId,
+    b: NodeId,
+    sw_mac: MacAddr,
+    a_mac: MacAddr,
+    b_mac: MacAddr,
+}
+
+fn tor_pair(mut cfg: SwitchConfig, slow_receiver: bool) -> TorPair {
+    let sw_mac = MacAddr::from_id(100);
+    let a_mac = MacAddr::from_id(1);
+    let b_mac = MacAddr::from_id(2);
+    cfg.port_roles = vec![PortRole::Server, PortRole::Server];
+    let mut sw = Switch::new(cfg, sw_mac, 7);
+    sw.routes_mut().add_connected(0x0a000000, 24);
+    sw.seed_arp(IP_A, a_mac, SimTime::ZERO);
+    sw.seed_arp(IP_B, b_mac, SimTime::ZERO);
+    sw.seed_mac(a_mac, PortId(0), SimTime::ZERO);
+    sw.seed_mac(b_mac, PortId(1), SimTime::ZERO);
+    let mut world = World::new(42);
+    let sw_id = world.add_node(Box::new(sw));
+    let a = world.add_node(Box::new(TestHost::new(a_mac)));
+    let b = world.add_node(Box::new(TestHost::new(b_mac)));
+    world.connect(a, PortId(0), sw_id, PortId(0), LinkSpec::server_40g());
+    let b_rate = if slow_receiver { 4_000_000_000 } else { 40_000_000_000 };
+    world.connect(b, PortId(0), sw_id, PortId(1), LinkSpec::with_length(b_rate, 2));
+    TorPair {
+        world,
+        sw: sw_id,
+        a,
+        b,
+        sw_mac,
+        a_mac,
+        b_mac,
+    }
+}
+
+fn queue_burst(t: &mut TorPair, n: u64, dscp: u8) {
+    let (a_mac, sw_mac) = (t.a_mac, t.sw_mac);
+    let host = t.world.node_mut::<TestHost>(t.a);
+    for i in 0..n {
+        host.queue.push_back(roce_data(
+            i, a_mac, sw_mac, IP_A, IP_B, dscp, i as u16, 1024, 5000,
+        ));
+    }
+}
+
+#[test]
+fn l3_forwarding_delivers() {
+    let mut t = tor_pair(SwitchConfig::new("tor", 2), false);
+    queue_burst(&mut t, 10, 3);
+    assert!(t.world.run_until_idle(100_000));
+    let b = t.world.node::<TestHost>(t.b);
+    assert_eq!(b.received.len(), 10);
+    // The switch rewrote MACs and decremented TTL.
+    let p = &b.received[0];
+    assert_eq!(p.eth.src, t.sw_mac);
+    assert_eq!(p.eth.dst, t.b_mac);
+    assert_eq!(p.ip.unwrap().ttl, 63);
+    let sw = t.world.node::<Switch>(t.sw);
+    assert_eq!(sw.stats.total_drops(), 0);
+}
+
+/// Figure 2: a lossless class into a slow receiver generates pause frames
+/// and zero drops; the sender is throttled, everything arrives.
+#[test]
+fn pfc_prevents_loss_on_lossless_class() {
+    let mut t = tor_pair(SwitchConfig::new("tor", 2), true);
+    queue_burst(&mut t, 3000, 3); // 3 MB burst into a 12 MB buffer, 4G drain
+    assert!(t.world.run_until_idle(10_000_000));
+    let b = t.world.node::<TestHost>(t.b);
+    assert_eq!(b.received.len(), 3000, "lossless: every packet arrives");
+    let a = t.world.node::<TestHost>(t.a);
+    assert!(a.pause_rx > 0, "sender must have been paused");
+    let sw = t.world.node::<Switch>(t.sw);
+    assert_eq!(sw.stats.total_drops(), 0);
+    assert!(sw.stats.total_pause_tx() > 0);
+    assert!(sw.stats.resume_tx.iter().sum::<u64>() > 0, "XON resumes sent");
+}
+
+/// The same burst in a lossy class drops instead of pausing.
+#[test]
+fn lossy_class_drops_instead_of_pausing() {
+    let mut t = tor_pair(SwitchConfig::new("tor", 2), true);
+    queue_burst(&mut t, 3000, 0); // priority 0 is lossy
+    assert!(t.world.run_until_idle(10_000_000));
+    let sw = t.world.node::<Switch>(t.sw);
+    assert!(sw.stats.drops_of(DropReason::LossyOverflow) > 0);
+    assert_eq!(sw.stats.total_pause_tx(), 0, "no PFC for lossy classes");
+    let b = t.world.node::<TestHost>(t.b);
+    assert!(b.received.len() < 3000);
+    assert!(!b.received.is_empty());
+}
+
+/// §4.1 fault injection: drop every packet whose IP ID low byte is 0xff.
+#[test]
+fn ip_id_filter_drops_1_in_256() {
+    let mut cfg = SwitchConfig::new("tor", 2);
+    cfg.drop_ip_id_low_byte = Some(0xff);
+    let mut t = tor_pair(cfg, false);
+    queue_burst(&mut t, 512, 3); // ip_id 0..511 — exactly 2 match 0xff
+    assert!(t.world.run_until_idle(1_000_000));
+    let sw = t.world.node::<Switch>(t.sw);
+    assert_eq!(sw.stats.drops_of(DropReason::InjectedFilter), 2);
+    assert_eq!(t.world.node::<TestHost>(t.b).received.len(), 510);
+}
+
+/// ECN: a standing queue at the slow egress must CE-mark some ECT packets
+/// (DCQCN's congestion-point behaviour).
+#[test]
+fn ecn_marks_under_queue_buildup() {
+    let mut t = tor_pair(SwitchConfig::new("tor", 2), true);
+    queue_burst(&mut t, 2000, 3);
+    assert!(t.world.run_until_idle(10_000_000));
+    let sw = t.world.node::<Switch>(t.sw);
+    assert!(sw.stats.ecn_marked > 0);
+    let b = t.world.node::<TestHost>(t.b);
+    let ce = b
+        .received
+        .iter()
+        .filter(|p| p.ip.unwrap().ecn == EcnCodepoint::Ce)
+        .count();
+    assert_eq!(ce as u64, sw.stats.ecn_marked);
+}
+
+/// Unknown MAC-table entry with a live ARP entry floods to every port —
+/// the §4.2 deadlock ingredient.
+#[test]
+fn incomplete_arp_floods() {
+    let mut t = tor_pair(SwitchConfig::new("tor", 2), false);
+    // Kill B's MAC entry (ARP survives): the incomplete-entry state.
+    t.world.node_mut::<Switch>(t.sw).evict_mac(t.b_mac);
+    queue_burst(&mut t, 5, 3);
+    assert!(t.world.run_until_idle(100_000));
+    // Flooded copies still reach B (its port is in the flood set).
+    let b = t.world.node::<TestHost>(t.b);
+    assert_eq!(b.received.len(), 5);
+}
+
+/// The paper's fix: with `drop_lossless_on_incomplete_arp`, lossless
+/// packets are dropped rather than flooded; lossy packets still flood.
+#[test]
+fn deadlock_fix_drops_lossless_on_incomplete_arp() {
+    let mut cfg = SwitchConfig::new("tor", 2);
+    cfg.drop_lossless_on_incomplete_arp = true;
+    let mut t = tor_pair(cfg, false);
+    t.world.node_mut::<Switch>(t.sw).evict_mac(t.b_mac);
+    queue_burst(&mut t, 5, 3); // lossless class
+    queue_burst(&mut t, 5, 0); // lossy class
+    assert!(t.world.run_until_idle(100_000));
+    let sw = t.world.node::<Switch>(t.sw);
+    assert_eq!(sw.stats.drops_of(DropReason::IncompleteArpLossless), 5);
+    let b = t.world.node::<TestHost>(t.b);
+    assert_eq!(b.received.len(), 5, "lossy packets still flooded through");
+}
+
+/// §3: VLAN-based PFC forces server ports into trunk mode, which drops the
+/// untagged frames PXE boot relies on. DSCP mode forwards them.
+#[test]
+fn vlan_trunk_mode_breaks_untagged_pxe() {
+    let untagged = |id| Packet {
+        id,
+        eth: EthMeta {
+            src: MacAddr::from_id(1),
+            dst: MacAddr::from_id(2),
+            vlan: None,
+        },
+        ip: None,
+        kind: PacketKind::Raw { label: 67, size: 300 }, // a DHCP/PXE-ish frame
+        created_ps: 0,
+    };
+    for (mode, delivered) in [(ClassifyMode::Vlan, 0usize), (ClassifyMode::Dscp, 3usize)] {
+        let mut cfg = SwitchConfig::new("tor", 2);
+        cfg.classify = mode;
+        let mut t = tor_pair(cfg, false);
+        for i in 0..3 {
+            t.world.node_mut::<TestHost>(t.a).queue.push_back(untagged(i));
+        }
+        assert!(t.world.run_until_idle(100_000));
+        let b = t.world.node::<TestHost>(t.b);
+        assert_eq!(b.received.len(), delivered, "mode {mode:?}");
+        if mode == ClassifyMode::Vlan {
+            let sw = t.world.node::<Switch>(t.sw);
+            assert_eq!(sw.stats.drops_of(DropReason::UntaggedOnTrunk), 3);
+        }
+    }
+}
+
+/// §4.3 switch watchdog: a host stuck in pause-storm mode gets its port's
+/// lossless mode disabled (unblocking the fabric) and re-enabled after the
+/// storm ends.
+#[test]
+fn storm_watchdog_disables_and_reenables() {
+    let mut cfg = SwitchConfig::new("tor", 2);
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.disable_after = SimTime::from_millis(5);
+    cfg.watchdog.reenable_after = SimTime::from_millis(50);
+    cfg.watchdog.poll_every = SimTime::from_millis(1);
+    let mut t = tor_pair(cfg, false);
+    // B storms from t=0; A keeps sending to B so the egress backlog exists.
+    t.world.node_mut::<TestHost>(t.b).storm = true;
+    queue_burst(&mut t, 50_000, 3);
+    t.world.run_until(SimTime::from_millis(30));
+    {
+        let sw = t.world.node::<Switch>(t.sw);
+        assert!(sw.lossless_disabled(PortId(1)), "watchdog must trip");
+        assert!(sw.stats.watchdog_disables >= 1);
+        assert!(sw.stats.drops_of(DropReason::WatchdogLosslessOff) > 0);
+    }
+    // Stop the storm; drain A's queue too so the port can go quiet.
+    t.world.node_mut::<TestHost>(t.b).storm = false;
+    t.world.node_mut::<TestHost>(t.a).queue.clear();
+    t.world.run_until(SimTime::from_millis(200));
+    let sw = t.world.node::<Switch>(t.sw);
+    assert!(!sw.lossless_disabled(PortId(1)), "watchdog must re-enable");
+    assert!(sw.stats.watchdog_reenables >= 1);
+}
+
+/// Without the watchdog, the same storm keeps the port paused and the
+/// sender ends up paused too (pause propagation toward the source).
+#[test]
+fn storm_without_watchdog_propagates_pauses() {
+    let mut t = tor_pair(SwitchConfig::new("tor", 2), false);
+    t.world.node_mut::<TestHost>(t.b).storm = true;
+    queue_burst(&mut t, 50_000, 3);
+    t.world.run_until(SimTime::from_millis(30));
+    let sw = t.world.node::<Switch>(t.sw);
+    assert!(sw.stats.total_pause_tx() > 0, "switch pauses the sender");
+    let a = t.world.node::<TestHost>(t.a);
+    assert!(a.pause_rx > 0, "victim sender is paused");
+    let b = t.world.node::<TestHost>(t.b);
+    assert!(b.received.len() < 50_000, "traffic is stuck behind the storm");
+}
+
+/// ECMP across two fabric ports: distinct QPs (UDP source ports) spread;
+/// one QP sticks to one path.
+#[test]
+fn ecmp_spreads_qps_across_uplinks() {
+    let sw_mac = MacAddr::from_id(100);
+    let a_mac = MacAddr::from_id(1);
+    let mut cfg = SwitchConfig::new("leaf", 3);
+    cfg.port_roles = vec![PortRole::Server, PortRole::Fabric, PortRole::Fabric];
+    let mut sw = Switch::new(cfg, sw_mac, 7);
+    sw.routes_mut().add(
+        0x0a010000,
+        24,
+        EcmpGroup::new(vec![PortId(1), PortId(2)]),
+    );
+    sw.set_peer_mac(PortId(1), MacAddr::from_id(201));
+    sw.set_peer_mac(PortId(2), MacAddr::from_id(202));
+    let mut world = World::new(1);
+    let sw_id = world.add_node(Box::new(sw));
+    let a = world.add_node(Box::new(TestHost::new(a_mac)));
+    let up1 = world.add_node(Box::new(TestHost::new(MacAddr::from_id(201))));
+    let up2 = world.add_node(Box::new(TestHost::new(MacAddr::from_id(202))));
+    world.connect(a, PortId(0), sw_id, PortId(0), LinkSpec::server_40g());
+    world.connect(up1, PortId(0), sw_id, PortId(1), LinkSpec::tor_leaf_40g());
+    world.connect(up2, PortId(0), sw_id, PortId(2), LinkSpec::tor_leaf_40g());
+    {
+        let host = world.node_mut::<TestHost>(a);
+        for i in 0..400u64 {
+            // 40 QPs × 10 packets each.
+            let udp_src = 5000 + (i % 40) as u16;
+            host.queue.push_back(roce_data(
+                i, a_mac, sw_mac, IP_A, 0x0a010005, 3, i as u16, 256, udp_src,
+            ));
+        }
+    }
+    assert!(world.run_until_idle(1_000_000));
+    let r1 = world.node::<TestHost>(up1).received.len();
+    let r2 = world.node::<TestHost>(up2).received.len();
+    assert_eq!(r1 + r2, 400);
+    assert!(r1 > 80 && r2 > 80, "unbalanced: {r1}/{r2}");
+    // Per-QP path stability: all packets of one QP on one uplink.
+    for up in [up1, up2] {
+        let host = world.node::<TestHost>(up);
+        for p in &host.received {
+            let t = p.five_tuple().unwrap();
+            let other = world.node::<TestHost>(if up == up1 { up2 } else { up1 });
+            assert!(
+                !other
+                    .received
+                    .iter()
+                    .any(|q| q.five_tuple().unwrap() == t),
+                "QP split across paths"
+            );
+        }
+    }
+}

@@ -1,0 +1,597 @@
+//! The TCP host node: connections over the lossy traffic class, with the
+//! kernel-latency and CPU-cost models that drive the paper's §1 numbers
+//! and Figure 6's TCP tail.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+use rand::Rng;
+use rocescale_packet::{
+    EcnCodepoint, EthMeta, Ipv4Meta, MacAddr, Packet, PacketKind, Priority, TcpFlags, TcpSegment,
+};
+use rocescale_sim::{Ctx, Node, PortId, SimTime};
+
+use crate::conn::{ConnConfig, TcpReceiver, TcpSender};
+
+/// Kernel-stack processing delay applied to every message on its way into
+/// and out of the socket layer. Sampled per crossing; the tail is what
+/// "can be as high as tens of milliseconds" in the paper's words, though
+/// the defaults here keep the median in the tens of microseconds the
+/// paper's Figure 6 implies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelModel {
+    /// Fixed component.
+    pub base_ps: u64,
+    /// Uniform jitter added on top, `0..jitter_ps`.
+    pub jitter_ps: u64,
+    /// Probability of a scheduling hiccup.
+    pub tail_prob: f64,
+    /// Extra delay of a hiccup, uniform in `0..tail_extra_ps`.
+    pub tail_extra_ps: u64,
+}
+
+impl Default for KernelModel {
+    fn default() -> KernelModel {
+        KernelModel {
+            base_ps: 15_000_000,      // 15 µs through the socket layer
+            jitter_ps: 20_000_000,    // +0–20 µs
+            tail_prob: 0.005,         // rare scheduler hiccups
+            tail_extra_ps: 2_000_000_000, // up to 2 ms
+        }
+    }
+}
+
+impl KernelModel {
+    /// Zero-delay model (for isolating transport effects in tests).
+    pub fn none() -> KernelModel {
+        KernelModel {
+            base_ps: 0,
+            jitter_ps: 0,
+            tail_prob: 0.0,
+            tail_extra_ps: 0,
+        }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let mut d = self.base_ps;
+        if self.jitter_ps > 0 {
+            d += rng.gen_range(0..self.jitter_ps);
+        }
+        if self.tail_prob > 0.0 && rng.gen::<f64>() < self.tail_prob {
+            d += rng.gen_range(0..self.tail_extra_ps.max(1));
+        }
+        d
+    }
+}
+
+/// CPU cost accounting for the kernel stack (§1: sending at 40 Gb/s over
+/// 8 connections costs 6% of a 32-core server; receiving costs 12%).
+/// Defaults are calibrated to those figures at 1460-byte segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// CPU time billed per transmitted segment.
+    pub tx_ps_per_segment: u64,
+    /// CPU time billed per received segment.
+    pub rx_ps_per_segment: u64,
+    /// CPU time billed per message crossing the socket layer.
+    pub ps_per_message: u64,
+}
+
+impl Default for CpuModel {
+    fn default() -> CpuModel {
+        // 40 Gb/s at 1460 B payload ≈ 3.37 M segments/s.
+        // tx: 6% × 32 cores = 1.92 core-seconds/s ÷ 3.37 M ≈ 570 ns/seg.
+        // rx: 12% × 32 cores ≈ 1140 ns/seg.
+        CpuModel {
+            tx_ps_per_segment: 570_000,
+            rx_ps_per_segment: 1_140_000,
+            ps_per_message: 2_000_000,
+        }
+    }
+}
+
+/// Per-connection application behaviour (mirrors the RDMA host's apps).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TcpApp {
+    /// Passive.
+    None,
+    /// Keep the stream fed with `msg_len`-byte messages.
+    Saturate {
+        /// Message length, bytes.
+        msg_len: u32,
+    },
+    /// Reply to each delivered message with `reply_len` bytes.
+    Echo {
+        /// Reply length, bytes.
+        reply_len: u32,
+    },
+    /// Periodic request; RTT measured to the peer's (Echo) reply,
+    /// including kernel crossings on both hosts.
+    Pinger {
+        /// Request payload.
+        payload: u32,
+        /// Period.
+        interval: SimTime,
+        /// First request time.
+        start_at: SimTime,
+    },
+}
+
+/// Identifies a connection on its host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnHandle(pub u32);
+
+/// TCP host configuration.
+#[derive(Debug, Clone)]
+pub struct TcpHostConfig {
+    /// Name for traces.
+    pub name: String,
+    /// NIC MAC.
+    pub mac: MacAddr,
+    /// Host IP.
+    pub ip: u32,
+    /// Gateway (ToR) MAC.
+    pub gateway_mac: MacAddr,
+    /// Link rate, b/s.
+    pub link_bps: u64,
+    /// Traffic class for TCP — a *lossy* class with reserved bandwidth,
+    /// isolated from RDMA (§2).
+    pub priority: Priority,
+    /// Transport parameters.
+    pub conn: ConnConfig,
+    /// Kernel latency model.
+    pub kernel: KernelModel,
+    /// CPU cost model.
+    pub cpu: CpuModel,
+}
+
+impl TcpHostConfig {
+    /// A 40 GbE TCP host with defaults.
+    pub fn new(name: impl Into<String>, id: u32, ip: u32, gateway_mac: MacAddr) -> TcpHostConfig {
+        TcpHostConfig {
+            name: name.into(),
+            mac: MacAddr::from_id(id),
+            ip,
+            gateway_mac,
+            link_bps: 40_000_000_000,
+            priority: Priority::new(1),
+            conn: ConnConfig::default(),
+            kernel: KernelModel::default(),
+            cpu: CpuModel::default(),
+        }
+    }
+}
+
+/// Host counters.
+#[derive(Debug, Clone, Default)]
+pub struct TcpHostStats {
+    /// Segments sent (incl. retransmissions).
+    pub segments_tx: u64,
+    /// Data segments received.
+    pub segments_rx: u64,
+    /// Wire bytes sent.
+    pub tx_bytes: u64,
+    /// Messages delivered to applications.
+    pub msgs_delivered: u64,
+    /// Fast retransmits across connections.
+    pub fast_retransmits: u64,
+    /// RTOs across connections.
+    pub timeouts: u64,
+    /// App-level RTT samples, ps (Pinger).
+    pub rtt_samples_ps: Vec<u64>,
+    /// Total CPU time billed, ps.
+    pub cpu_ps: u64,
+}
+
+impl TcpHostStats {
+    /// CPU utilization over `elapsed` on a `cores`-core server, in
+    /// percent — the §1 metric.
+    pub fn cpu_percent(&self, elapsed: SimTime, cores: u32) -> f64 {
+        if elapsed == SimTime::ZERO {
+            return 0.0;
+        }
+        100.0 * self.cpu_ps as f64 / (elapsed.as_ps() as f64 * cores as f64)
+    }
+}
+
+struct Conn {
+    tx: TcpSender,
+    rx: TcpReceiver,
+    peer_ip: u32,
+    local_port: u16,
+    peer_port: u16,
+    app: TcpApp,
+    pending_rtt: VecDeque<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum KernelOp {
+    /// Message finishing its way down the send path.
+    TxMsg {
+        conn: u32,
+        len: u32,
+        tracked: bool,
+    },
+    /// Message finishing its way up the receive path.
+    RxDeliver { conn: u32 },
+}
+
+const TOK_PUMP: u64 = 1;
+const TOK_RTO: u64 = 2;
+const TOK_KERNEL: u64 = 3;
+const TOK_APP_BASE: u64 = 1 << 32;
+
+const RTO_SCAN: SimTime = SimTime::from_micros(250);
+
+/// The TCP host node.
+pub struct TcpHost {
+    cfg: TcpHostConfig,
+    conns: Vec<Conn>,
+    by_port: HashMap<u16, u32>,
+    next_port: u16,
+    /// Pure-ACK packets awaiting transmission (tiny, sent first).
+    acks: VecDeque<Packet>,
+    /// Retransmission segments awaiting transmission.
+    rtx: VecDeque<(u32, TcpSegment)>,
+    /// Kernel ops in flight: (fire time ps, op).
+    kernel_q: Vec<(u64, KernelOp)>,
+    rr: usize,
+    ip_id: u16,
+    /// Counters.
+    pub stats: TcpHostStats,
+}
+
+impl TcpHost {
+    /// Build a host.
+    pub fn new(cfg: TcpHostConfig) -> TcpHost {
+        TcpHost {
+            cfg,
+            conns: Vec::new(),
+            by_port: HashMap::new(),
+            next_port: 49152,
+            acks: VecDeque::new(),
+            rtx: VecDeque::new(),
+            kernel_q: Vec::new(),
+            rr: 0,
+            ip_id: 0,
+            stats: TcpHostStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TcpHostConfig {
+        &self.cfg
+    }
+
+    /// Create a (pre-established) connection. Both ends must be created
+    /// with matching ports: this end sends from `local_port` to
+    /// `peer_port`.
+    pub fn add_conn(
+        &mut self,
+        peer_ip: u32,
+        local_port: u16,
+        peer_port: u16,
+        app: TcpApp,
+    ) -> ConnHandle {
+        let idx = self.conns.len() as u32;
+        self.conns.push(Conn {
+            tx: TcpSender::new(self.cfg.conn),
+            rx: TcpReceiver::new(),
+            peer_ip,
+            local_port,
+            peer_port,
+            app,
+        pending_rtt: VecDeque::new(),
+        });
+        self.by_port.insert(local_port, idx);
+        ConnHandle(idx)
+    }
+
+    /// Allocate an unused local port.
+    pub fn alloc_port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port += 1;
+        p
+    }
+
+    /// Post a message send through the kernel path.
+    pub fn post_message(&mut self, conn: ConnHandle, len: u32, tracked: bool, ctx: &mut Ctx<'_>) {
+        let delay = self.cfg.kernel.sample(ctx.rng());
+        self.stats.cpu_ps += self.cfg.cpu.ps_per_message;
+        let fire = ctx.now().as_ps() + delay;
+        self.kernel_q.push((
+            fire,
+            KernelOp::TxMsg {
+                conn: conn.0,
+                len,
+                tracked,
+            },
+        ));
+        ctx.set_timer_at(SimTime(fire), TOK_KERNEL);
+    }
+
+    /// Access a connection's sender stats.
+    pub fn sender_stats(&self, conn: ConnHandle) -> crate::conn::SenderStats {
+        self.conns[conn.0 as usize].tx.stats
+    }
+
+    /// Bytes delivered in order on a connection.
+    pub fn bytes_delivered(&self, conn: ConnHandle) -> u64 {
+        self.conns[conn.0 as usize].rx.stats.bytes_delivered
+    }
+
+    fn segment_packet(&mut self, conn_idx: u32, mut seg: TcpSegment, ctx: &mut Ctx<'_>) -> Packet {
+        let c = &self.conns[conn_idx as usize];
+        seg.src_port = c.local_port;
+        seg.dst_port = c.peer_port;
+        let id = self.ip_id;
+        self.ip_id = self.ip_id.wrapping_add(1);
+        Packet {
+            id: ctx.next_packet_id(),
+            eth: EthMeta {
+                src: self.cfg.mac,
+                dst: self.cfg.gateway_mac,
+                vlan: None,
+            },
+            ip: Some(Ipv4Meta {
+                src: self.cfg.ip,
+                dst: c.peer_ip,
+                dscp: self.cfg.priority.value(),
+                ecn: EcnCodepoint::NotEct,
+                id,
+                ttl: 64,
+            }),
+            kind: PacketKind::Tcp(seg),
+            created_ps: ctx.now().as_ps(),
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let port = PortId(0);
+        while !ctx.port_busy(port) && ctx.port_connected(port) {
+            // ACKs and retransmissions first.
+            if let Some(p) = self.acks.pop_front() {
+                self.stats.tx_bytes += p.wire_size() as u64;
+                ctx.transmit(port, p).expect("port idle");
+                continue;
+            }
+            if let Some((ci, seg)) = self.rtx.pop_front() {
+                self.stats.segments_tx += 1;
+                self.stats.cpu_ps += self.cfg.cpu.tx_ps_per_segment;
+                let p = self.segment_packet(ci, seg, ctx);
+                self.stats.tx_bytes += p.wire_size() as u64;
+                ctx.transmit(port, p).expect("port idle");
+                continue;
+            }
+            // New data round-robin over connections.
+            let n = self.conns.len();
+            if n == 0 {
+                return;
+            }
+            let now_ps = ctx.now().as_ps();
+            let mut sent = false;
+            for step in 0..n {
+                let i = (self.rr + step) % n;
+                if let Some(seg) = self.conns[i].tx.next_segment(now_ps) {
+                    self.rr = (i + 1) % n;
+                    self.stats.segments_tx += 1;
+                    self.stats.cpu_ps += self.cfg.cpu.tx_ps_per_segment;
+                    let p = self.segment_packet(i as u32, seg, ctx);
+                    self.stats.tx_bytes += p.wire_size() as u64;
+                    ctx.transmit(port, p).expect("port idle");
+                    sent = true;
+                    break;
+                }
+            }
+            if !sent {
+                return;
+            }
+        }
+    }
+
+    fn on_segment(&mut self, pkt: &Packet, seg: &TcpSegment, ctx: &mut Ctx<'_>) {
+        let Some(&ci) = self.by_port.get(&seg.dst_port) else {
+            return; // no such connection (dead server model)
+        };
+        let now_ps = ctx.now().as_ps();
+        if seg.payload > 0 {
+            self.stats.segments_rx += 1;
+            self.stats.cpu_ps += self.cfg.cpu.rx_ps_per_segment;
+            let delivered = {
+                let c = &mut self.conns[ci as usize];
+                c.rx.on_segment(seg.seq, seg.payload, seg.flags.psh)
+            };
+            // Pure ACK back.
+            let ack_val = self.conns[ci as usize].rx.ack_value();
+            let ack_seg = TcpSegment {
+                src_port: 0,
+                dst_port: 0,
+                seq: 0,
+                ack: ack_val,
+                flags: TcpFlags {
+                    syn: false,
+                    ack: true,
+                    fin: false,
+                    psh: false,
+                },
+                payload: 0,
+                ece: false,
+            };
+            let p = self.segment_packet(ci, ack_seg, ctx);
+            self.acks.push_back(p);
+            for _ in 0..delivered {
+                // Each message climbs the kernel receive path.
+                let delay = self.cfg.kernel.sample(ctx.rng());
+                self.stats.cpu_ps += self.cfg.cpu.ps_per_message;
+                let fire = now_ps + delay;
+                self.kernel_q.push((fire, KernelOp::RxDeliver { conn: ci }));
+                ctx.set_timer_at(SimTime(fire), TOK_KERNEL);
+            }
+        }
+        if seg.flags.ack {
+            let retransmit = self.conns[ci as usize].tx.on_ack(seg.ack, now_ps);
+            if retransmit {
+                let rseg = self.conns[ci as usize].tx.retransmit_segment(now_ps);
+                self.rtx.push_back((ci, rseg));
+            }
+            // Saturating senders keep the stream fed: top the backlog up
+            // as acknowledgements drain it.
+            if let TcpApp::Saturate { msg_len } = self.conns[ci as usize].app {
+                if self.conns[ci as usize].tx.backlog() < 2 * msg_len as u64 {
+                    self.post_message(ConnHandle(ci), msg_len, false, ctx);
+                }
+            }
+        }
+        let _ = pkt;
+        self.pump(ctx);
+    }
+
+    fn run_kernel(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now().as_ps();
+        let mut due: Vec<KernelOp> = Vec::new();
+        self.kernel_q.retain(|(fire, op)| {
+            if *fire <= now {
+                due.push(*op);
+                false
+            } else {
+                true
+            }
+        });
+        for op in due {
+            match op {
+                KernelOp::TxMsg { conn, len, tracked } => {
+                    let c = &mut self.conns[conn as usize];
+                    c.tx.write_message(len);
+                    if tracked {
+                        c.pending_rtt.push_back(now);
+                    }
+                }
+                KernelOp::RxDeliver { conn } => {
+                    self.stats.msgs_delivered += 1;
+                    let app = self.conns[conn as usize].app;
+                    match app {
+                        TcpApp::Echo { reply_len } => {
+                            self.post_message(ConnHandle(conn), reply_len, false, ctx);
+                        }
+                        TcpApp::Pinger { .. } => {
+                            let c = &mut self.conns[conn as usize];
+                            if let Some(sent) = c.pending_rtt.pop_front() {
+                                self.stats.rtt_samples_ps.push(now - sent);
+                            }
+                        }
+                        TcpApp::Saturate { .. } | TcpApp::None => {
+                            // Fanout repliers also measure.
+                            let c = &mut self.conns[conn as usize];
+                            if let Some(sent) = c.pending_rtt.pop_front() {
+                                self.stats.rtt_samples_ps.push(now - sent);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.pump(ctx);
+    }
+}
+
+impl Node for TcpHost {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(RTO_SCAN, TOK_RTO);
+        for i in 0..self.conns.len() {
+            match self.conns[i].app {
+                TcpApp::Saturate { msg_len } => {
+                    self.post_message(ConnHandle(i as u32), msg_len, false, ctx);
+                    self.post_message(ConnHandle(i as u32), msg_len, false, ctx);
+                }
+                TcpApp::Pinger { start_at, .. } => {
+                    ctx.set_timer_at(start_at, TOK_APP_BASE + i as u64);
+                }
+                TcpApp::Echo { .. } | TcpApp::None => {}
+            }
+        }
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, _port: PortId, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if let PacketKind::Tcp(seg) = pkt.kind {
+            let seg = seg;
+            self.on_segment(&pkt, &seg, ctx);
+        }
+        // PFC pauses never reach the TCP class in practice; ignore others.
+    }
+
+    fn on_port_idle(&mut self, _port: PortId, ctx: &mut Ctx<'_>) {
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        match token {
+            TOK_PUMP => self.pump(ctx),
+            TOK_RTO => {
+                let now = ctx.now().as_ps();
+                for i in 0..self.conns.len() {
+                    if self.conns[i].tx.check_rto(now) {
+                        self.stats.timeouts += 1;
+                        let seg = self.conns[i].tx.retransmit_segment(now);
+                        self.rtx.push_back((i as u32, seg));
+                    }
+                }
+                ctx.set_timer(RTO_SCAN, TOK_RTO);
+                self.pump(ctx);
+            }
+            TOK_KERNEL => self.run_kernel(ctx),
+            t if t >= TOK_APP_BASE => {
+                let i = (t - TOK_APP_BASE) as usize;
+                if let TcpApp::Pinger {
+                    payload, interval, ..
+                } = self.conns[i].app
+                {
+                    // Saturating sender apps keep the stream non-idle; a
+                    // pinger posts one tracked message per period.
+                    self.post_message(ConnHandle(i as u32), payload, true, ctx);
+                    ctx.set_timer(interval, TOK_APP_BASE + i as u64);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_model_matches_paper_calibration() {
+        // At 40 Gb/s with 1460 B segments for one second:
+        let segs_per_sec = 40e9 / (1460.0 * 8.0);
+        let cpu = CpuModel::default();
+        let mut stats = TcpHostStats::default();
+        stats.cpu_ps = (segs_per_sec * cpu.tx_ps_per_segment as f64) as u64;
+        let pct = stats.cpu_percent(SimTime::from_secs(1), 32);
+        assert!((5.0..7.5).contains(&pct), "tx cpu {pct}% (paper: 6%)");
+        stats.cpu_ps = (segs_per_sec * cpu.rx_ps_per_segment as f64) as u64;
+        let pct = stats.cpu_percent(SimTime::from_secs(1), 32);
+        assert!((10.0..14.0).contains(&pct), "rx cpu {pct}% (paper: 12%)");
+    }
+
+    #[test]
+    fn kernel_model_sampling_bounds() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = KernelModel::default();
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= m.base_ps);
+            assert!(d <= m.base_ps + m.jitter_ps + m.tail_extra_ps);
+        }
+        assert_eq!(KernelModel::none().sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! RoCEv2 Reliable Connected (RC) transport as a pure state machine.
+//!
+//! This crate implements the RDMA transport protocol the paper's NICs run
+//! in firmware: work queues, message segmentation to MTU-sized packets,
+//! PSN sequencing, ACK/NAK generation, and — centrally for §4.1 — the
+//! **loss recovery scheme**, selectable between:
+//!
+//! * [`LossRecovery::GoBack0`]: the vendor's original scheme. On a NAK the
+//!   *whole message* restarts from its first packet and the receiver
+//!   discards partial reassembly. Under the paper's deterministic 1/256
+//!   drop filter "one packet of the first 256 packets will be dropped.
+//!   Then the sender will restart from the first packet, again and again,
+//!   without making any progress" — livelock at full line rate.
+//! * [`LossRecovery::GoBackN`]: the fix the paper deployed. Retransmission
+//!   resumes from the first dropped packet; previously received packets
+//!   are not resent. "Go-back-N is almost as simple as go-back-0, and it
+//!   avoids livelock."
+//!
+//! A [`QpEndpoint`] contains both halves of one end of a queue pair: the
+//! requester (transmit PSN space: SEND/WRITE data, READ requests, READ
+//! response streams) and the responder (receive PSN space: in-order
+//! delivery, ACK coalescing, NAK arming). The state machine is pure: time
+//! enters as arguments, packets leave as [`PacketDesc`] values, and the
+//! NIC adapter in `rocescale-nic` does all the I/O — the smoltcp pattern,
+//! which lets the livelock dynamics be unit-tested right here with a
+//! scripted lossy channel.
+//!
+//! ## Simplifications (documented deviations from IBTA RC)
+//!
+//! * PSNs are a 32-bit monotone space instead of 24-bit modular; wrap
+//!   handling is out of scope (no experiment sends 2³² packets on one QP).
+//! * READ responses are ACKed by the requester like ordinary data and
+//!   recovered by the responder's go-back machinery, instead of the
+//!   requester re-issuing partial READs. The loss-recovery dynamics under
+//!   study are identical.
+//! * RNR flows, atomics, and immediate data are not modelled — the paper
+//!   does not exercise them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod endpoint;
+
+pub use endpoint::{
+    Completion, LossRecovery, PacketDesc, QpConfig, QpEndpoint, QpStats, Verb, WrId,
+};

@@ -1,0 +1,149 @@
+//! Property tests on the RC transport: under *any* loss pattern, go-back-N
+//! eventually delivers every message exactly once and in order; the
+//! receiver never delivers out-of-order bytes; go-back-0 either completes
+//! or makes zero message progress — never corrupts.
+
+use proptest::prelude::*;
+use rocescale_transport::{Completion, LossRecovery, QpConfig, QpEndpoint, Verb, WrId};
+
+/// Drive `a` → `b` over an in-order channel that drops transmissions whose
+/// index appears in `drops` (a set of u16s, reused modulo). Returns
+/// (completed wrs in order, receiver goodput bytes, transmissions).
+fn drive(
+    recovery: LossRecovery,
+    msgs: &[u32],
+    drop_pattern: &[u16],
+    max_rounds: u64,
+) -> (Vec<u64>, u64, u64) {
+    let cfg = QpConfig {
+        recovery,
+        rto_ps: 50_000_000, // 50 µs
+        ..QpConfig::default()
+    };
+    let mut a = QpEndpoint::new(cfg);
+    let mut b = QpEndpoint::new(cfg);
+    for (i, len) in msgs.iter().enumerate() {
+        a.post(Verb::Send { len: *len }, WrId(i as u64));
+    }
+    let mut now = 0u64;
+    let mut tx_count = 0u64;
+    let mut completed = Vec::new();
+    for _ in 0..max_rounds {
+        now += 1_000_000;
+        let mut progressed = false;
+        if let Some(d) = a.next_data_tx(now) {
+            let dropped = !drop_pattern.is_empty()
+                && drop_pattern.contains(&((tx_count % 997) as u16));
+            tx_count += 1;
+            progressed = true;
+            if !dropped {
+                b.on_packet(&d, now);
+            }
+        }
+        while let Some(c) = a.pop_ctrl_tx() {
+            b.on_packet(&c, now);
+            progressed = true;
+        }
+        while let Some(c) = b.pop_ctrl_tx() {
+            a.on_packet(&c, now);
+            progressed = true;
+        }
+        if a.check_timeout(now) {
+            progressed = true;
+        }
+        for c in a.take_completions() {
+            if let Completion::SendDone { wr } = c {
+                completed.push(wr.0);
+            }
+        }
+        if !progressed && !a.has_data_tx() && completed.len() == msgs.len() {
+            break;
+        }
+    }
+    for c in a.take_completions() {
+        if let Completion::SendDone { wr } = c {
+            completed.push(wr.0);
+        }
+    }
+    (completed, b.goodput_bytes(), tx_count)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Go-back-N liveness and exactly-once: any finite loss pattern, any
+    /// message mix — all messages complete in posting order and the
+    /// receiver's goodput equals the posted bytes exactly.
+    #[test]
+    fn goback_n_delivers_everything_in_order(
+        msgs in prop::collection::vec(1u32..200_000, 1..6),
+        drops in prop::collection::vec(0u16..997, 0..150),
+    ) {
+        let total: u64 = msgs.iter().map(|m| *m as u64).sum();
+        let (completed, goodput, _tx) =
+            drive(LossRecovery::GoBackN, &msgs, &drops, 2_000_000);
+        prop_assert_eq!(completed.len(), msgs.len(), "all messages complete");
+        prop_assert!(completed.windows(2).all(|w| w[0] < w[1]), "in order");
+        prop_assert_eq!(goodput, total, "no bytes lost or duplicated into goodput");
+    }
+
+    /// Loss-free runs are exactly minimal: transmissions = ceil-sum of
+    /// segments, goodput exact, for both schemes.
+    #[test]
+    fn lossless_runs_are_minimal(
+        msgs in prop::collection::vec(1u32..100_000, 1..5),
+        gb0 in any::<bool>(),
+    ) {
+        let recovery = if gb0 { LossRecovery::GoBack0 } else { LossRecovery::GoBackN };
+        let expected_pkts: u64 = msgs
+            .iter()
+            .map(|m| (m.div_ceil(1024)).max(1) as u64)
+            .sum();
+        let total: u64 = msgs.iter().map(|m| *m as u64).sum();
+        let (completed, goodput, tx) = drive(recovery, &msgs, &[], 1_000_000);
+        prop_assert_eq!(completed.len(), msgs.len());
+        prop_assert_eq!(goodput, total);
+        prop_assert_eq!(tx, expected_pkts, "no spurious retransmissions");
+    }
+
+    /// Go-back-0 under arbitrary loss never corrupts: goodput is always a
+    /// prefix-sum of whole messages (each message counted at most once).
+    #[test]
+    fn goback0_never_corrupts(
+        msgs in prop::collection::vec(1u32..100_000, 1..4),
+        drops in prop::collection::vec(0u16..997, 0..100),
+    ) {
+        let (completed, goodput, _) =
+            drive(LossRecovery::GoBack0, &msgs, &drops, 300_000);
+        // goodput must equal the byte-sum of some prefix of messages
+        // possibly plus... no: receiver counts each fully received message
+        // once; completion order is posting order.
+        let mut acc = 0u64;
+        let mut valid = vec![0u64];
+        for m in &msgs {
+            acc += *m as u64;
+            valid.push(acc);
+        }
+        prop_assert!(valid.contains(&goodput), "goodput {} not a message prefix sum {:?}", goodput, valid);
+        prop_assert!(completed.len() <= msgs.len());
+        prop_assert!(completed.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+/// Deterministic regression: the exact §4.1 drop cadence (every 256th)
+/// on one 4 MB message — go-back-N completes with bounded overhead.
+#[test]
+fn goback_n_overhead_bounded_at_1_in_256() {
+    let msgs = [4u32 << 20];
+    // drop every packet where tx_count % 997 is in a 4-element set ≈ 1/256.
+    let drops: Vec<u16> = vec![100, 350, 600, 850];
+    let (completed, goodput, tx) = drive(LossRecovery::GoBackN, &msgs, &drops, 2_000_000);
+    assert_eq!(completed, vec![0]);
+    assert_eq!(goodput, 4 << 20);
+    let min_pkts = (4u64 << 20) / 1024;
+    assert!(
+        tx < min_pkts * 3 / 2,
+        "overhead {}% too high",
+        (tx - min_pkts) * 100 / min_pkts
+    );
+}

@@ -1,0 +1,73 @@
+//! §6.1 — the paper's step-by-step onboarding, replayed.
+//!
+//! "In the third step, we enabled RDMA in production networks at ToR
+//! level only. In the fourth step, we enabled PFC at the Podset level …
+//! In the last step, we enabled PFC up to the Spine switches."
+//!
+//! The same cross-rack incast workload runs at each stage; where PFC is
+//! not yet enabled, RDMA traffic rides lossy classes and congestion
+//! sheds packets (go-back-N recovers, at a goodput cost). Only the full
+//! rollout is loss-free end to end — and the config monitor shows which
+//! devices deviate from the end-state configuration at each stage.
+//!
+//! ```sh
+//! cargo run --release --example staged_deployment
+//! ```
+
+use rocescale::core::{ClusterBuilder, DeploymentStage};
+use rocescale::monitor::config::{diff, RdmaConfig};
+use rocescale::nic::QpApp;
+use rocescale::switch::DropReason;
+
+fn main() {
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>14}",
+        "stage", "goodput(Gb/s)", "lossy drops", "ll drops", "pauses"
+    );
+    for stage in [
+        DeploymentStage::TorOnly,
+        DeploymentStage::Podset,
+        DeploymentStage::Spine,
+    ] {
+        let mut c = ClusterBuilder::two_tier(2, 4)
+            .stage(stage)
+            .dcqcn(false)
+            .seed(13)
+            .build();
+        let rack0 = c.servers_under(0, 0);
+        let rack1 = c.servers_under(0, 1);
+        for (i, s) in rack0.iter().enumerate() {
+            c.connect_qp(
+                *s,
+                rack1[0],
+                (4500 + i) as u16,
+                QpApp::Saturate {
+                    msg_len: 1 << 20,
+                    inflight: 2,
+                },
+                QpApp::None,
+            );
+        }
+        c.run_for_millis(8);
+        println!(
+            "{:<10} {:>14.2} {:>12} {:>12} {:>14}",
+            format!("{stage:?}"),
+            c.rdma(rack1[0]).total_goodput_bytes() as f64 * 8.0 / 0.008 / 1e9,
+            c.total_drops_of(DropReason::LossyOverflow),
+            c.lossless_drops(),
+            c.total_switch_pause_tx(),
+        );
+    }
+
+    println!();
+    println!("config monitor view during the Podset stage (spines not yet lossless):");
+    let desired = RdmaConfig::paper_recommended();
+    let mut spine_running = desired.clone();
+    spine_running.lossless_classes = vec![];
+    for dev in diff("spine17", &desired, &spine_running) {
+        println!(
+            "  {}: {} desired {} but running {}",
+            dev.device, dev.field, dev.desired, dev.running
+        );
+    }
+}

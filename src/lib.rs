@@ -1,0 +1,33 @@
+//! # rocescale
+//!
+//! A Rust reproduction of **"RDMA over Commodity Ethernet at Scale"**
+//! (Guo et al., Microsoft, SIGCOMM 2016): RoCEv2 transport, DSCP-based
+//! PFC, DCQCN congestion control, and every safety mechanism the paper
+//! describes — go-back-N loss recovery, deadlock avoidance via lossless
+//! drop on incomplete ARP entries, the NIC/switch PFC-storm watchdogs and
+//! slow-receiver mitigations — running over a deterministic packet-level
+//! datacenter network simulator.
+//!
+//! This umbrella crate re-exports the workspace crates under stable names;
+//! see `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! per-figure reproduction results.
+//!
+//! ```no_run
+//! use rocescale::core::{ClusterBuilder, PfcMode};
+//!
+//! // Two racks of four servers under one ToR pair, DSCP-based PFC,
+//! // DCQCN on, go-back-N loss recovery: the paper's recommended config.
+//! let mut cluster = ClusterBuilder::two_tier(2, 4).pfc_mode(PfcMode::Dscp).build();
+//! cluster.run_for_millis(10);
+//! ```
+
+pub use rocescale_core as core;
+pub use rocescale_dcqcn as dcqcn;
+pub use rocescale_monitor as monitor;
+pub use rocescale_nic as nic;
+pub use rocescale_packet as packet;
+pub use rocescale_sim as sim;
+pub use rocescale_switch as switch;
+pub use rocescale_tcp as tcp;
+pub use rocescale_topology as topology;
+pub use rocescale_transport as transport;
