@@ -3,59 +3,48 @@
 //! *relative* wall-clock (which tracks simulated event volume) and the
 //! printed counters are the signal.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rocescale_bench::harness::{bench, section};
 use rocescale_core::scenarios::{livelock, pfc_basics, slow_receiver};
 use rocescale_sim::SimTime;
 use rocescale_transport::LossRecovery;
 
 /// Go-back-0 vs go-back-N under deterministic loss (§4.1): the livelock
 /// arm does strictly more wasted work per unit of goodput.
-fn ablate_loss_recovery(c: &mut Criterion) {
-    let mut g = c.benchmark_group("loss_recovery");
-    g.sample_size(10);
+fn ablate_loss_recovery() {
+    section("loss_recovery");
     for rec in [LossRecovery::GoBack0, LossRecovery::GoBackN] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{rec:?}")),
-            &rec,
-            |b, rec| {
-                b.iter(|| {
-                    livelock::run(*rec, livelock::Workload::Send, SimTime::from_millis(2))
-                        .goodput_gbps
-                })
-            },
-        );
+        bench(&format!("loss_recovery/{rec:?}"), || {
+            livelock::run(rec, livelock::Workload::Send, SimTime::from_millis(2)).goodput_gbps
+        });
     }
-    g.finish();
 }
 
 /// PFC on vs off under incast (Figure 2): pauses vs drops.
-fn ablate_pfc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pfc");
-    g.sample_size(10);
+fn ablate_pfc() {
+    section("pfc");
     for pfc in [true, false] {
-        g.bench_with_input(BenchmarkId::from_parameter(pfc), &pfc, |b, pfc| {
-            b.iter(|| pfc_basics::run(*pfc, 4, SimTime::from_millis(2)).goodput_gbps)
+        bench(&format!("pfc/{pfc}"), || {
+            pfc_basics::run(pfc, 4, SimTime::from_millis(2)).goodput_gbps
         });
     }
-    g.finish();
 }
 
 /// NIC page size (§4.4): 4 KB pages thrash the MTT, which also costs
 /// simulation work (stall events).
-fn ablate_page_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mtt_page_size");
-    g.sample_size(10);
-    for pages in [slow_receiver::PageSize::Small, slow_receiver::PageSize::Large] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{pages:?}")),
-            &pages,
-            |b, pages| {
-                b.iter(|| slow_receiver::run(*pages, true, SimTime::from_millis(2)).goodput_gbps)
-            },
-        );
+fn ablate_page_size() {
+    section("mtt_page_size");
+    for pages in [
+        slow_receiver::PageSize::Small,
+        slow_receiver::PageSize::Large,
+    ] {
+        bench(&format!("mtt_page_size/{pages:?}"), || {
+            slow_receiver::run(pages, true, SimTime::from_millis(2)).goodput_gbps
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, ablate_loss_recovery, ablate_pfc, ablate_page_size);
-criterion_main!(benches);
+fn main() {
+    ablate_loss_recovery();
+    ablate_pfc();
+    ablate_page_size();
+}

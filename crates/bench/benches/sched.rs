@@ -1,0 +1,113 @@
+//! Event-engine benches: the timer wheel against the reference binary
+//! heap, from microbenchmark churn up to full-fabric Clos incasts. Both
+//! engines dispatch the identical `(time, seq)` stream, so every pair of
+//! lines below is the same work — only the queue differs.
+
+use rocescale_bench::harness::{bench, bench_elements, section};
+use rocescale_core::{Cluster, ClusterBuilder, ServerId};
+use rocescale_nic::QpApp;
+use rocescale_sim::sched::EventQueue;
+use rocescale_sim::{EngineKind, SimRng, SimTime};
+use rocescale_topology::ClosSpec;
+
+const ENGINES: [EngineKind; 2] = [EngineKind::Wheel, EngineKind::BinaryHeap];
+
+/// Steady-state churn: the queue holds `depth` pending events while each
+/// iteration pops the front and pushes a replacement at a random near
+/// future — the hold-then-replace pattern every in-flight packet induces.
+fn sched_churn() {
+    section("sched_churn");
+    for depth in [1_000usize, 100_000] {
+        for engine in ENGINES {
+            let mut q: EventQueue<u64> = EventQueue::new(engine);
+            let mut rng = SimRng::from_seed(42);
+            let mut now = 0u64;
+            for v in 0..depth as u64 {
+                q.push(SimTime(rng.gen_below(1 << 24)), v);
+            }
+            bench(&format!("churn_depth_{depth}/{engine:?}"), || {
+                let (t, v) = q.pop().unwrap();
+                now = t.as_ps();
+                // Near-future replacement: within ~16 µs, like a
+                // serialization delay or a DCQCN timer.
+                q.push(SimTime(now + 1 + rng.gen_below(1 << 24)), v);
+                v
+            });
+        }
+    }
+}
+
+/// Dense same-tick bursts: 512 events at one timestamp, drained in FIFO
+/// order — the pattern of a switch fanning one arrival out to its ports,
+/// and the worst case for the wheel's per-slot ready heap.
+fn sched_dense_bursts() {
+    section("sched_dense_bursts");
+    const BURST: u64 = 512;
+    for engine in ENGINES {
+        let mut t = 0u64;
+        bench_elements(&format!("same_tick_burst_512/{engine:?}"), BURST, || {
+            let mut q: EventQueue<u64> = EventQueue::new(engine);
+            t += 4_096; // a new tick each iteration
+            for v in 0..BURST {
+                q.push(SimTime(t), v);
+            }
+            let mut last = 0;
+            while let Some((_, v)) = q.pop() {
+                last = v;
+            }
+            last
+        });
+    }
+}
+
+/// A `fan_in`:1 incast onto server 0 of the given fabric.
+fn build_incast(spec: ClosSpec, fan_in: usize, engine: EngineKind) -> Cluster {
+    let mut cl = ClusterBuilder::new(spec).seed(11).engine(engine).build();
+    for i in 1..=fan_in {
+        cl.connect_qp(
+            ServerId(i),
+            ServerId(0),
+            5000 + i as u16,
+            QpApp::Saturate {
+                msg_len: 64 * 1024,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+    }
+    cl
+}
+
+/// Full-fabric Clos incasts at three sizes: a rack, a pod, and a
+/// two-podset fabric. Event count (and thus pending-event depth) grows
+/// with fabric size; the wheel must stay at parity or better throughout.
+fn sched_clos_incast() {
+    section("sched_clos_incast");
+    let fabrics: [(&str, ClosSpec, usize); 3] = [
+        ("rack_8", ClosSpec::uniform_40g(1, 1, 1, 1, 8), 7),
+        ("pod_2x8", ClosSpec::uniform_40g(1, 2, 2, 2, 8), 7),
+        ("podset_2x2x4", ClosSpec::uniform_40g(2, 2, 2, 4, 4), 7),
+    ];
+    let window = SimTime::from_micros(200);
+    for (name, spec, fan_in) in fabrics {
+        let events = {
+            let mut cl = build_incast(spec, fan_in, EngineKind::Wheel);
+            cl.run_until(window);
+            cl.world.events_processed()
+        };
+        for engine in ENGINES {
+            let m = bench_elements(&format!("incast_{name}/{engine:?}"), events, || {
+                let mut cl = build_incast(spec, fan_in, engine);
+                cl.run_until(window);
+                cl.world.events_processed()
+            });
+            let _ = m;
+        }
+    }
+}
+
+fn main() {
+    sched_churn();
+    sched_dense_bursts();
+    sched_clos_incast();
+}

@@ -1,58 +1,58 @@
-//! Criterion benches of the simulator itself: how fast the substrate
+//! Wall-clock benches of the simulator itself: how fast the substrate
 //! that regenerates the paper's figures runs. The headline metric is
 //! simulated events per wall-clock second on a representative cluster.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use rocescale_core::{ClusterBuilder, ServerId};
+use rocescale_bench::harness::{bench, bench_elements, section};
+use rocescale_core::{Cluster, ClusterBuilder, ServerId};
 use rocescale_dcqcn::{RpParams, RpState};
 use rocescale_nic::QpApp;
-use rocescale_packet::{Bth, BthOpcode, EthernetHeader, EtherType, Ipv4Header, MacAddr};
-use rocescale_sim::SimTime;
+use rocescale_packet::{Bth, BthOpcode, EtherType, EthernetHeader, Ipv4Header, MacAddr};
+use rocescale_sim::{EngineKind, SimTime};
 
-/// End-to-end event throughput: a 2-rack cluster with an incast running
-/// 1 ms of simulated time.
-fn bench_event_loop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_loop");
-    g.sample_size(20);
-    let build = || {
-        let mut cl = ClusterBuilder::two_tier(2, 4).seed(5).build();
-        for i in 1..4usize {
-            cl.connect_qp(
-                ServerId(i),
-                ServerId(0),
-                5000 + i as u16,
-                QpApp::Saturate {
-                    msg_len: 256 * 1024,
-                    inflight: 2,
-                },
-                QpApp::None,
-            );
-        }
-        cl
-    };
-    // Count events once so the throughput number is meaningful.
+/// A 2-rack cluster with a 3:1 incast onto server 0.
+fn build_incast(engine: EngineKind) -> Cluster {
+    let mut cl = ClusterBuilder::two_tier(2, 4)
+        .seed(5)
+        .engine(engine)
+        .build();
+    for i in 1..4usize {
+        cl.connect_qp(
+            ServerId(i),
+            ServerId(0),
+            5000 + i as u16,
+            QpApp::Saturate {
+                msg_len: 256 * 1024,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+    }
+    cl
+}
+
+/// End-to-end event throughput: the incast running 1 ms of simulated
+/// time, on both event engines.
+fn bench_event_loop() {
+    section("event_loop");
+    // Count events once so the throughput number is meaningful (both
+    // engines dispatch the identical event stream).
     let events = {
-        let mut cl = build();
+        let mut cl = build_incast(EngineKind::Wheel);
         cl.run_until(SimTime::from_millis(1));
         cl.world.events_processed()
     };
-    g.throughput(Throughput::Elements(events));
-    g.bench_function("incast_1ms", |b| {
-        b.iter_batched(
-            build,
-            |mut cl| {
-                cl.run_until(SimTime::from_millis(1));
-                cl.world.events_processed()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    for engine in [EngineKind::Wheel, EngineKind::BinaryHeap] {
+        bench_elements(&format!("incast_1ms/{engine:?}"), events, || {
+            let mut cl = build_incast(engine);
+            cl.run_until(SimTime::from_millis(1));
+            cl.world.events_processed()
+        });
+    }
 }
 
 /// Wire-format codec costs (the packet crate's hot paths).
-fn bench_codecs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codecs");
+fn bench_codecs() {
+    section("codecs");
     let eth = EthernetHeader {
         dst: MacAddr::from_id(1),
         src: MacAddr::from_id(2),
@@ -78,43 +78,40 @@ fn bench_codecs(c: &mut Criterion) {
         ack_req: false,
         psn: 1234,
     };
-    g.bench_function("encode_eth_ip_bth", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(64);
-            eth.encode(&mut buf);
-            ip.encode(&mut buf);
-            bth.encode(&mut buf);
-            buf
-        })
+    bench("encode_eth_ip_bth", || {
+        let mut buf = Vec::with_capacity(64);
+        eth.encode(&mut buf);
+        ip.encode(&mut buf);
+        bth.encode(&mut buf);
+        buf
     });
     let mut wire = Vec::new();
     eth.encode(&mut wire);
     ip.encode(&mut wire);
     bth.encode(&mut wire);
-    g.bench_function("decode_eth_ip_bth", |b| {
-        b.iter(|| {
-            let (e, n1) = EthernetHeader::decode(&wire).unwrap();
-            let (i, n2) = Ipv4Header::decode(&wire[n1..]).unwrap();
-            let (t, _) = Bth::decode(&wire[n1 + n2..]).unwrap();
-            (e, i, t)
-        })
+    bench("decode_eth_ip_bth", || {
+        let (e, n1) = EthernetHeader::decode(&wire).unwrap();
+        let (i, n2) = Ipv4Header::decode(&wire[n1..]).unwrap();
+        let (t, _) = Bth::decode(&wire[n1 + n2..]).unwrap();
+        (e, i, t)
     });
-    g.finish();
 }
 
 /// DCQCN reaction-point update cost (runs per packet/timer on every QP).
-fn bench_dcqcn(c: &mut Criterion) {
-    c.bench_function("dcqcn_rp_cycle", |b| {
-        let mut rp = RpState::new(RpParams::for_line_rate(40_000_000_000));
-        b.iter(|| {
-            rp.on_cnp();
-            rp.on_bytes_sent(1086);
-            rp.on_increase_timer();
-            rp.on_alpha_timer();
-            rp.rate_bps()
-        })
+fn bench_dcqcn() {
+    section("dcqcn");
+    let mut rp = RpState::new(RpParams::for_line_rate(40_000_000_000));
+    bench("dcqcn_rp_cycle", || {
+        rp.on_cnp();
+        rp.on_bytes_sent(1086);
+        rp.on_increase_timer();
+        rp.on_alpha_timer();
+        rp.rate_bps()
     });
 }
 
-criterion_group!(benches, bench_event_loop, bench_codecs, bench_dcqcn);
-criterion_main!(benches);
+fn main() {
+    bench_event_loop();
+    bench_codecs();
+    bench_dcqcn();
+}

@@ -11,7 +11,10 @@ fn main() {
          receiving costs 12%; RDMA does the same work at ≈0% CPU",
     );
     let r = cpu::run(SimTime::from_millis(60));
-    println!("{:<8} {:>16} {:>12} {:>12}", "stack", "throughput(Gb/s)", "tx cpu(%)", "rx cpu(%)");
+    println!(
+        "{:<8} {:>16} {:>12} {:>12}",
+        "stack", "throughput(Gb/s)", "tx cpu(%)", "rx cpu(%)"
+    );
     println!(
         "{:<8} {:>16.1} {:>12.2} {:>12.2}",
         "TCP", r.tcp_gbps, r.tcp_tx_cpu_pct, r.tcp_rx_cpu_pct

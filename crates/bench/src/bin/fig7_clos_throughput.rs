@@ -73,6 +73,9 @@ fn main() {
     for flows_per_link in [1usize, 4, 24] {
         let links = 16;
         let u = throughput::ecmp_collision_utilization(links, links * flows_per_link, 42);
-        println!("  {flows_per_link:>3} flows/link → {:.0}% links used", u * 100.0);
+        println!(
+            "  {flows_per_link:>3} flows/link → {:.0}% links used",
+            u * 100.0
+        );
     }
 }

@@ -1,0 +1,117 @@
+//! A minimal in-tree wall-clock benchmark harness (the workspace builds
+//! hermetically, so no external bench framework). Methodology: warm up,
+//! size an iteration batch to a target measurement window, take several
+//! timed batches, and report the *best* batch (least scheduler noise) —
+//! the same shape `cargo bench`-style harnesses use, without the
+//! statistics machinery a CI smoke comparison doesn't need.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target wall-clock per timed batch, in nanoseconds (50 ms).
+const BATCH_TARGET_NS: u128 = 50_000_000;
+/// Timed batches per benchmark; the best is reported.
+const BATCHES: usize = 5;
+
+/// One benchmark's result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name as printed.
+    pub name: String,
+    /// Best-batch nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per timed batch.
+    pub iters_per_batch: u64,
+    /// Optional throughput denominator: "elements" processed per
+    /// iteration (e.g. simulated events), for an elements/sec figure.
+    pub elements_per_iter: Option<u64>,
+}
+
+impl Measurement {
+    /// Elements per wall-clock second, if an element count was attached.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.elements_per_iter
+            .map(|e| e as f64 * 1e9 / self.ns_per_iter)
+    }
+
+    /// Render one aligned report line.
+    pub fn render(&self) -> String {
+        let rate = match self.elements_per_sec() {
+            Some(r) => format!("  {:>12.0} elem/s", r),
+            None => String::new(),
+        };
+        format!(
+            "{:<44} {:>14.1} ns/iter  ({} iters/batch){}",
+            self.name, self.ns_per_iter, self.iters_per_batch, rate
+        )
+    }
+}
+
+/// Benchmark a closure: returns the best-of-[`BATCHES`] per-iteration
+/// time. The closure's result is passed through [`black_box`] so the
+/// optimizer cannot delete the work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    bench_impl(name, None, &mut f)
+}
+
+/// Like [`bench`], attaching an elements-per-iteration count so the
+/// report includes throughput (e.g. simulated events per second).
+pub fn bench_elements<T>(name: &str, elements: u64, mut f: impl FnMut() -> T) -> Measurement {
+    bench_impl(name, Some(elements), &mut f)
+}
+
+fn bench_impl<T>(name: &str, elements: Option<u64>, f: &mut dyn FnMut() -> T) -> Measurement {
+    // Warm up and size the batch from a single timed call (min 1 µs so
+    // the division below stays sane for sub-nanosecond bodies).
+    let t0 = Instant::now();
+    black_box(f());
+    let once_ns = t0.elapsed().as_nanos().max(1_000);
+    let iters = ((BATCH_TARGET_NS / once_ns) as u64).clamp(1, 100_000_000);
+
+    let mut best_ns = u128::MAX;
+    for _ in 0..BATCHES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best_ns = best_ns.min(t.elapsed().as_nanos());
+    }
+    let m = Measurement {
+        name: name.to_string(),
+        ns_per_iter: best_ns as f64 / iters as f64,
+        iters_per_batch: iters,
+        elements_per_iter: elements,
+    };
+    println!("{}", m.render());
+    m
+}
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n--- {title} ---");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let m = bench("spin", || (0..100u64).sum::<u64>());
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.iters_per_batch >= 1);
+        assert_eq!(m.elements_per_sec(), None);
+    }
+
+    #[test]
+    fn elements_rate_scales() {
+        let m = Measurement {
+            name: "x".into(),
+            ns_per_iter: 1000.0,
+            iters_per_batch: 1,
+            elements_per_iter: Some(10),
+        };
+        assert_eq!(m.elements_per_sec(), Some(10e6));
+        assert!(m.render().contains("elem/s"));
+    }
+}

@@ -10,6 +10,8 @@
 
 use rocescale_core::scenarios::latency::LatencySummary;
 
+pub mod harness;
+
 /// Print the standard experiment header.
 pub fn header(id: &str, paper_claim: &str) {
     println!("================================================================");

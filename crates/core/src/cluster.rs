@@ -4,7 +4,7 @@ use rocescale_dcqcn::CpParams;
 use rocescale_monitor::deadlock::Snapshot;
 use rocescale_nic::{HostPfcMode, NicConfig, QpApp, QpHandle, RdmaHost};
 use rocescale_packet::MacAddr;
-use rocescale_sim::{LinkSpec, NodeId, SimTime, World};
+use rocescale_sim::{EngineKind, LinkSpec, NodeId, SimTime, World};
 use rocescale_switch::{
     BufferConfig, ClassifyMode, DropReason, EcmpGroup, PortRole, Switch, SwitchConfig,
     WatchdogConfig,
@@ -57,11 +57,19 @@ pub struct ClusterBuilder {
     drop_ip_id_low_byte: Option<u8>,
     pfc_enabled: bool,
     per_packet_spraying: bool,
+    engine: EngineKind,
     server_kind: Box<dyn FnMut(usize) -> ServerKind>,
-    host_tweak: Box<dyn FnMut(usize, &mut NicConfig)>,
-    tcp_tweak: Box<dyn FnMut(usize, &mut TcpHostConfig)>,
-    switch_tweak: Box<dyn FnMut(&str, &mut SwitchConfig)>,
+    host_tweak: HostTweak,
+    tcp_tweak: TcpTweak,
+    switch_tweak: SwitchTweak,
 }
+
+/// Per-server hook mutating a NIC config before the host is built.
+type HostTweak = Box<dyn FnMut(usize, &mut NicConfig)>;
+/// Per-server hook mutating a TCP host config before the host is built.
+type TcpTweak = Box<dyn FnMut(usize, &mut TcpHostConfig)>;
+/// Per-switch hook (keyed by name) mutating a switch config.
+type SwitchTweak = Box<dyn FnMut(&str, &mut SwitchConfig)>;
 
 impl ClusterBuilder {
     /// A cluster over an arbitrary Clos spec, with the paper's
@@ -85,6 +93,7 @@ impl ClusterBuilder {
             drop_ip_id_low_byte: None,
             pfc_enabled: true,
             per_packet_spraying: false,
+            engine: EngineKind::default(),
             server_kind: Box::new(|_| ServerKind::Rdma),
             host_tweak: Box::new(|_, _| {}),
             tcp_tweak: Box::new(|_, _| {}),
@@ -165,6 +174,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Event-engine backend. Dispatch order — and thus every result — is
+    /// identical across engines; this knob exists for differential tests
+    /// and wheel-vs-heap benchmarks.
+    pub fn engine(mut self, e: EngineKind) -> Self {
+        self.engine = e;
+        self
+    }
+
     /// RDMA transport retransmission timeout.
     pub fn qp_rto(mut self, rto: SimTime) -> Self {
         self.qp_rto = rto;
@@ -219,7 +236,7 @@ impl ClusterBuilder {
     /// Instantiate the cluster.
     pub fn build(mut self) -> Cluster {
         let topo = Topology::clos(&self.spec);
-        let mut world = World::new(self.seed);
+        let mut world = World::new_with_engine(self.seed, self.engine);
         let n = topo.nodes.len();
 
         // MAC conventions: switches get 0x00F0_0000 + idx, servers idx+1.
@@ -233,12 +250,13 @@ impl ClusterBuilder {
         };
         let pfc_enabled = self.pfc_enabled;
         let lossless_for = |tier: Tier| -> [bool; 8] {
-            let on = pfc_enabled && match tier {
-                Tier::Tor => self.stage.tor(),
-                Tier::Leaf => self.stage.leaf(),
-                Tier::Spine => self.stage.spine(),
-                Tier::Server => true,
-            };
+            let on = pfc_enabled
+                && match tier {
+                    Tier::Tor => self.stage.tor(),
+                    Tier::Leaf => self.stage.leaf(),
+                    Tier::Spine => self.stage.spine(),
+                    Tier::Server => true,
+                };
             if on {
                 [false, false, false, true, true, false, false, false]
             } else {
@@ -251,8 +269,7 @@ impl ClusterBuilder {
         let mut switches: Vec<SwitchInfo> = Vec::new();
 
         // Build switches first (they need routes + table seeds).
-        for idx in 0..n {
-            let node = &topo.nodes[idx];
+        for (idx, node) in topo.nodes.iter().enumerate() {
             if node.tier == Tier::Server {
                 continue;
             }
@@ -276,11 +293,7 @@ impl ClusterBuilder {
             cfg.port_roles = roles;
             cfg.buffer = BufferConfig {
                 total_bytes: 12 << 20,
-                headroom_per_port_pg: BufferConfig::headroom_for(
-                    40_000_000_000,
-                    max_meters,
-                    1120,
-                ),
+                headroom_per_port_pg: BufferConfig::headroom_for(40_000_000_000, max_meters, 1120),
                 alpha: self.alpha,
                 xoff_static: 256 * 1024,
                 xon_delta: 2 * 1120,
@@ -342,8 +355,7 @@ impl ClusterBuilder {
         }
 
         // Hosts.
-        for idx in 0..n {
-            let node = &topo.nodes[idx];
+        for (idx, node) in topo.nodes.iter().enumerate() {
             if node.tier != Tier::Server {
                 continue;
             }
@@ -394,7 +406,13 @@ impl ClusterBuilder {
         for l in &topo.links {
             let a = sim_ids[l.a.0].expect("all nodes instantiated");
             let b = sim_ids[l.b.0].expect("all nodes instantiated");
-            world.connect(a, l.a.1, b, l.b.1, LinkSpec::with_length(l.rate_bps, l.meters));
+            world.connect(
+                a,
+                l.a.1,
+                b,
+                l.b.1,
+                LinkSpec::with_length(l.rate_bps, l.meters),
+            );
         }
 
         Cluster {
@@ -640,9 +658,7 @@ impl Cluster {
         self.servers
             .iter()
             .map(|s| match s.kind {
-                ServerKind::Rdma => {
-                    self.world.node::<RdmaHost>(s.sim).stats.pause_rx
-                }
+                ServerKind::Rdma => self.world.node::<RdmaHost>(s.sim).stats.pause_rx,
                 ServerKind::Tcp => 0,
             })
             .sum()
@@ -851,12 +867,23 @@ mod tests {
     #[test]
     fn mixed_rdma_tcp_cluster() {
         let mut c = ClusterBuilder::two_tier(1, 4)
-            .server_kind(|i| if i % 2 == 0 { ServerKind::Rdma } else { ServerKind::Tcp })
+            .server_kind(|i| {
+                if i % 2 == 0 {
+                    ServerKind::Rdma
+                } else {
+                    ServerKind::Tcp
+                }
+            })
             .build();
         assert_eq!(c.servers_of_kind(ServerKind::Rdma).len(), 2);
         assert_eq!(c.servers_of_kind(ServerKind::Tcp).len(), 2);
         let t = c.servers_of_kind(ServerKind::Tcp);
-        let (ca, _cb) = c.connect_tcp(t[0], t[1], TcpApp::Saturate { msg_len: 100_000 }, TcpApp::None);
+        let (ca, _cb) = c.connect_tcp(
+            t[0],
+            t[1],
+            TcpApp::Saturate { msg_len: 100_000 },
+            TcpApp::None,
+        );
         c.run_for_millis(5);
         let sent = c.tcp(t[0]).sender_stats(ca).bytes_acked;
         assert!(sent >= 100_000, "TCP stream must flow: {sent}");
@@ -873,7 +900,10 @@ mod tests {
             ids[0],
             ids[1],
             5000,
-            QpApp::Saturate { msg_len: 65536, inflight: 1 },
+            QpApp::Saturate {
+                msg_len: 65536,
+                inflight: 1,
+            },
             QpApp::None,
         );
         c.run_for_millis(1);

@@ -25,5 +25,5 @@ pub mod cluster;
 pub mod deployment;
 pub mod scenarios;
 
-pub use cluster::{Cluster, ClusterBuilder, PfcMode, ServerKind, ServerId};
+pub use cluster::{Cluster, ClusterBuilder, PfcMode, ServerId, ServerKind};
 pub use deployment::DeploymentStage;

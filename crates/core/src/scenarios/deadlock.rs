@@ -25,9 +25,9 @@
 //! flood never happens and traffic to live servers keeps flowing.
 
 use rocescale_monitor::{ProgressTracker, WaitGraph};
-use rocescale_packet::Priority;
 use rocescale_nic::{NicConfig, QpApp, RdmaHost};
 use rocescale_packet::MacAddr;
+use rocescale_packet::Priority;
 use rocescale_sim::{LinkSpec, NodeId, PortId, SimTime, World};
 use rocescale_switch::{DropReason, EcmpGroup, PortRole, Switch, SwitchConfig};
 use rocescale_transport::QpConfig;
@@ -86,7 +86,8 @@ fn build(fix_enabled: bool) -> Fabric {
     let mut t0 = Switch::new(sw_cfg("T0", 5, vec![S, S, F, F, S]), t0_mac, 10);
     t0.routes_mut().add_connected(0x0a000000, 25);
     // Force S1's cross traffic through La (the paper's path {T0,La,T1}).
-    t0.routes_mut().add(0x0a000100, 25, EcmpGroup::single(PortId(2)));
+    t0.routes_mut()
+        .add(0x0a000100, 25, EcmpGroup::single(PortId(2)));
     t0.set_peer_mac(PortId(2), la_mac);
     t0.set_peer_mac(PortId(3), lb_mac);
     t0.seed_arp(IP_S1, mac(1), SimTime::ZERO);
@@ -101,7 +102,8 @@ fn build(fix_enabled: bool) -> Fabric {
     let mut t1 = Switch::new(sw_cfg("T1", 5, vec![S, S, S, F, F]), t1_mac, 11);
     t1.routes_mut().add_connected(0x0a000100, 25);
     // Force S4's cross traffic through Lb (the paper's path {T1,Lb,T0}).
-    t1.routes_mut().add(0x0a000000, 25, EcmpGroup::single(PortId(4)));
+    t1.routes_mut()
+        .add(0x0a000000, 25, EcmpGroup::single(PortId(4)));
     t1.set_peer_mac(PortId(3), la_mac);
     t1.set_peer_mac(PortId(4), lb_mac);
     t1.seed_arp(IP_S3, mac(3), SimTime::ZERO);
@@ -113,13 +115,17 @@ fn build(fix_enabled: bool) -> Fabric {
 
     // Leaves: p0=T0 p1=T1.
     let mut la = Switch::new(sw_cfg("La", 2, vec![F, F]), la_mac, 12);
-    la.routes_mut().add(0x0a000000, 25, EcmpGroup::single(PortId(0)));
-    la.routes_mut().add(0x0a000100, 25, EcmpGroup::single(PortId(1)));
+    la.routes_mut()
+        .add(0x0a000000, 25, EcmpGroup::single(PortId(0)));
+    la.routes_mut()
+        .add(0x0a000100, 25, EcmpGroup::single(PortId(1)));
     la.set_peer_mac(PortId(0), t0_mac);
     la.set_peer_mac(PortId(1), t1_mac);
     let mut lb = Switch::new(sw_cfg("Lb", 2, vec![F, F]), lb_mac, 13);
-    lb.routes_mut().add(0x0a000000, 25, EcmpGroup::single(PortId(0)));
-    lb.routes_mut().add(0x0a000100, 25, EcmpGroup::single(PortId(1)));
+    lb.routes_mut()
+        .add(0x0a000000, 25, EcmpGroup::single(PortId(0)));
+    lb.routes_mut()
+        .add(0x0a000100, 25, EcmpGroup::single(PortId(1)));
     lb.set_peer_mac(PortId(0), t0_mac);
     lb.set_peer_mac(PortId(1), t1_mac);
 
@@ -258,7 +264,11 @@ fn run_impl(fix_enabled: bool, dur: SimTime, verbose: bool) -> DeadlockResult {
                 .iter()
                 .map(|(id, n)| {
                     let sw = f.world.node::<Switch>(*id);
-                    format!("{n}:ptx={} prx={}", sw.stats.total_pause_tx(), sw.stats.total_pause_rx())
+                    format!(
+                        "{n}:ptx={} prx={}",
+                        sw.stats.total_pause_tx(),
+                        sw.stats.total_pause_rx()
+                    )
                 })
                 .collect();
             println!("t={t} {line:?} {pauses:?}");

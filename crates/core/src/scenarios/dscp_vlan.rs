@@ -76,7 +76,10 @@ impl PxeBooter {
                     vlan: None, // PXE: the NIC has no VLAN configuration
                 },
                 ip: None,
-                kind: PacketKind::Raw { label: 67, size: 400 },
+                kind: PacketKind::Raw {
+                    label: 67,
+                    size: 400,
+                },
                 created_ps: ctx.now().as_ps(),
             };
             ctx.transmit(PortId(0), pkt).expect("port idle");
@@ -110,21 +113,30 @@ impl Node for ProvisioningServer {
 pub fn run(mode: PfcMode, dur: SimTime) -> DscpVlanResult {
     // Note: the switch ports for the PXE pair are created by widening the
     // single ToR with two extra ports.
-    let mut c = ClusterBuilder::single_tor(3).pfc_mode(mode).dcqcn(false).build();
+    let mut c = ClusterBuilder::single_tor(3)
+        .pfc_mode(mode)
+        .dcqcn(false)
+        .build();
 
     // RDMA health check traffic: 2→1 incast to exercise PFC itself.
     c.connect_qp(
         ServerId(1),
         ServerId(0),
         5001,
-        QpApp::Saturate { msg_len: 1 << 20, inflight: 2 },
+        QpApp::Saturate {
+            msg_len: 1 << 20,
+            inflight: 2,
+        },
         QpApp::None,
     );
     c.connect_qp(
         ServerId(2),
         ServerId(0),
         5002,
-        QpApp::Saturate { msg_len: 1 << 20, inflight: 2 },
+        QpApp::Saturate {
+            msg_len: 1 << 20,
+            inflight: 2,
+        },
         QpApp::None,
     );
     c.run_until(dur);

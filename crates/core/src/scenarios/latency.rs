@@ -66,7 +66,13 @@ pub struct Fig6Result {
 /// `resp_len`-byte response.
 pub fn run(dur: SimTime, fanin: usize, resp_len: u32, interval: SimTime) -> Fig6Result {
     let mut c = ClusterBuilder::two_tier(4, 8)
-        .server_kind(|i| if i % 2 == 0 { ServerKind::Rdma } else { ServerKind::Tcp })
+        .server_kind(|i| {
+            if i % 2 == 0 {
+                ServerKind::Rdma
+            } else {
+                ServerKind::Tcp
+            }
+        })
         .seed(17)
         .build();
 
@@ -82,7 +88,9 @@ pub fn run(dur: SimTime, fanin: usize, resp_len: u32, interval: SimTime) -> Fig6
                     b,
                     (9000 + fi * 31 + k) as u16,
                     QpApp::None,
-                    QpApp::Echo { reply_len: resp_len },
+                    QpApp::Echo {
+                        reply_len: resp_len,
+                    },
                 );
                 qps.push(qf);
             }
@@ -111,7 +119,9 @@ pub fn run(dur: SimTime, fanin: usize, resp_len: u32, interval: SimTime) -> Fig6
                     interval,
                     start_at: SimTime::from_micros(50 + 13 * fi as u64 + k as u64),
                 },
-                TcpApp::Echo { reply_len: resp_len },
+                TcpApp::Echo {
+                    reply_len: resp_len,
+                },
             );
         }
     }

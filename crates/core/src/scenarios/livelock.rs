@@ -78,7 +78,8 @@ pub fn run(recovery: LossRecovery, workload: Workload, dur: SimTime) -> Livelock
             let (_qa, qb) = c.connect_qp(a, b, 5000, QpApp::None, QpApp::None);
             let posts = (dur.as_secs_f64() * 40e9 / 8.0 / MSG as f64).ceil() as u32 + 8;
             for _ in 0..posts {
-                c.rdma_mut(b).post(qb, Verb::Read { len: MSG }, SimTime::ZERO, false);
+                c.rdma_mut(b)
+                    .post(qb, Verb::Read { len: MSG }, SimTime::ZERO, false);
             }
         }
     }

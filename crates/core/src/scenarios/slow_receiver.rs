@@ -60,7 +60,11 @@ pub fn run(pages: PageSize, dynamic_buffers: bool, dur: SimTime) -> SlowReceiver
     let receiver_order = 0usize;
     let mut c = ClusterBuilder::two_tier(2, 2)
         .dcqcn(false) // isolate the PFC path
-        .alpha(if dynamic_buffers { Some(1.0 / 16.0) } else { None })
+        .alpha(if dynamic_buffers {
+            Some(1.0 / 16.0)
+        } else {
+            None
+        })
         .host_tweak(move |order, cfg| {
             if order == receiver_order {
                 cfg.rx.mtt = Some(mtt);
@@ -97,7 +101,13 @@ pub fn run(pages: PageSize, dynamic_buffers: bool, dur: SimTime) -> SlowReceiver
         goodput_gbps: gbps(host.total_goodput_bytes(), dur),
         mtt_miss_ratio: host
             .mtt_counters()
-            .map(|(h, m)| if h + m == 0 { 0.0 } else { m as f64 / (h + m) as f64 })
+            .map(|(h, m)| {
+                if h + m == 0 {
+                    0.0
+                } else {
+                    m as f64 / (h + m) as f64
+                }
+            })
             .unwrap_or(0.0),
     }
 }

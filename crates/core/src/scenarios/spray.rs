@@ -47,8 +47,7 @@ const IP_B: u32 = 0x0a000101;
 /// leaf at 300 m) for `dur`.
 pub fn run(spraying: bool, dur: SimTime) -> SprayResult {
     let mac = MacAddr::from_id;
-    let (t0_mac, t1_mac, short_mac, long_mac) =
-        (mac(0xe0), mac(0xe1), mac(0xea), mac(0xeb));
+    let (t0_mac, t1_mac, short_mac, long_mac) = (mac(0xe0), mac(0xe1), mac(0xea), mac(0xeb));
     let sw = |name: &str, ports: u16, roles: Vec<PortRole>| {
         let mut cfg = SwitchConfig::new(name, ports);
         cfg.port_roles = roles;
@@ -75,8 +74,10 @@ pub fn run(spraying: bool, dur: SimTime) -> SprayResult {
     t1.seed_mac(mac(2), PortId(0), SimTime::ZERO);
     let leaf = |name: &str, m: MacAddr, salt| {
         let mut l = Switch::new(sw(name, 2, vec![F, F]), m, salt);
-        l.routes_mut().add(0x0a000000, 24, EcmpGroup::single(PortId(0)));
-        l.routes_mut().add(0x0a000100, 24, EcmpGroup::single(PortId(1)));
+        l.routes_mut()
+            .add(0x0a000000, 24, EcmpGroup::single(PortId(0)));
+        l.routes_mut()
+            .add(0x0a000100, 24, EcmpGroup::single(PortId(1)));
         l.set_peer_mac(PortId(0), t0_mac);
         l.set_peer_mac(PortId(1), t1_mac);
         l
@@ -99,10 +100,34 @@ pub fn run(spraying: bool, dur: SimTime) -> SprayResult {
     world.connect(a, PortId(0), t0, PortId(0), LinkSpec::server_40g());
     world.connect(b, PortId(0), t1, PortId(0), LinkSpec::server_40g());
     // The asymmetry: 5 m vs 300 m leaves (≈3 µs round-trip skew).
-    world.connect(t0, PortId(1), short, PortId(0), LinkSpec::with_length(40_000_000_000, 5));
-    world.connect(t1, PortId(1), short, PortId(1), LinkSpec::with_length(40_000_000_000, 5));
-    world.connect(t0, PortId(2), long, PortId(0), LinkSpec::with_length(40_000_000_000, 300));
-    world.connect(t1, PortId(2), long, PortId(1), LinkSpec::with_length(40_000_000_000, 300));
+    world.connect(
+        t0,
+        PortId(1),
+        short,
+        PortId(0),
+        LinkSpec::with_length(40_000_000_000, 5),
+    );
+    world.connect(
+        t1,
+        PortId(1),
+        short,
+        PortId(1),
+        LinkSpec::with_length(40_000_000_000, 5),
+    );
+    world.connect(
+        t0,
+        PortId(2),
+        long,
+        PortId(0),
+        LinkSpec::with_length(40_000_000_000, 300),
+    );
+    world.connect(
+        t1,
+        PortId(2),
+        long,
+        PortId(1),
+        LinkSpec::with_length(40_000_000_000, 300),
+    );
 
     spray_connect(&mut world, a, b);
     world.run_until(dur);
@@ -136,7 +161,9 @@ fn spray_connect(world: &mut World, a: NodeId, b: NodeId) {
             inflight: 2,
         },
     );
-    world.node_mut::<RdmaHost>(b).add_qp(a_ip, 0, 15_000, QpApp::None);
+    world
+        .node_mut::<RdmaHost>(b)
+        .add_qp(a_ip, 0, 15_000, QpApp::None);
 }
 
 #[cfg(test)]
@@ -153,7 +180,11 @@ mod tests {
         let spray = run(true, dur);
         assert_eq!(flow.drops + spray.drops, 0, "neither arm loses packets");
         assert_eq!(flow.out_of_seq, 0, "per-flow ECMP preserves order");
-        assert!(flow.goodput_gbps > 25.0, "baseline healthy: {}", flow.goodput_gbps);
+        assert!(
+            flow.goodput_gbps > 25.0,
+            "baseline healthy: {}",
+            flow.goodput_gbps
+        );
         assert!(
             spray.out_of_seq > 1000,
             "spraying must reorder: {}",

@@ -122,11 +122,7 @@ fn switch_watchdog_fired(c: &Cluster) -> bool {
 
 /// Availability time series for Figure 9(a): fraction of victim pairs
 /// making progress per window.
-pub fn availability_series(
-    watchdogs: bool,
-    dur: SimTime,
-    windows: u32,
-) -> Vec<(SimTime, f64)> {
+pub fn availability_series(watchdogs: bool, dur: SimTime, windows: u32) -> Vec<(SimTime, f64)> {
     let servers_per_tor = 6u32;
     let mut c = ClusterBuilder::two_tier(2, servers_per_tor)
         .switch_watchdog(watchdogs)

@@ -76,8 +76,7 @@ impl CpState {
         } else if queue_bytes >= p.kmax_bytes {
             true
         } else {
-            let frac =
-                (queue_bytes - p.kmin_bytes) as f64 / (p.kmax_bytes - p.kmin_bytes) as f64;
+            let frac = (queue_bytes - p.kmin_bytes) as f64 / (p.kmax_bytes - p.kmin_bytes) as f64;
             uniform_draw < frac * p.pmax
         };
         if mark {
@@ -363,7 +362,11 @@ mod tests {
             s.on_increase_timer();
         }
         // After 5 halvings of the gap: 40 - 20/2^5 = 39.375G.
-        assert!((s.rate_bps() - 39.375e9).abs() < 1e6, "rc = {}", s.rate_bps());
+        assert!(
+            (s.rate_bps() - 39.375e9).abs() < 1e6,
+            "rc = {}",
+            s.rate_bps()
+        );
         assert!(s.rate_bps() < 40e9);
     }
 
@@ -384,7 +387,10 @@ mod tests {
         s.on_cnp();
         let before = s.rate_bps();
         s.on_bytes_sent(10 * 1024 * 1024); // one full byte-counter period
-        assert!(s.rate_bps() > before, "byte counter should trigger recovery");
+        assert!(
+            s.rate_bps() > before,
+            "byte counter should trigger recovery"
+        );
     }
 
     #[test]

@@ -16,16 +16,23 @@
 //! * [`deadlock`] — progress tracking over counter snapshots: detects the
 //!   PFC deadlock signature (lossless backlog with zero transmit progress
 //!   across consecutive samples, §4.2).
+//!
+//! Plus one simulator-side subsystem: [`engine`] snapshots the event
+//! engine's own counters (dispatch volume, wheel cascades, peak pending
+//! events) so scheduler health shows up in experiment output alongside
+//! the fleet's counters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod deadlock;
+pub mod engine;
 pub mod pingmesh;
 pub mod stats;
 
 pub use config::{ConfigDeviation, RdmaConfig};
 pub use deadlock::{ProgressTracker, WaitGraph};
+pub use engine::EngineReport;
 pub use pingmesh::Pingmesh;
 pub use stats::{Percentiles, TimeSeries};

@@ -144,7 +144,10 @@ mod tests {
         pm.record(Scope::IntraDc, ProbeResult::Failed);
         assert_eq!(pm.total(), 5);
         assert_eq!(pm.failures(Scope::IntraDc), 1);
-        assert_eq!(pm.scope_mut(Scope::IntraTor).unwrap().p50(), Some(55_000_000));
+        assert_eq!(
+            pm.scope_mut(Scope::IntraTor).unwrap().p50(),
+            Some(55_000_000)
+        );
     }
 
     /// §5.3: "From the measured RTT of RDMA Pingmesh, we can infer if
@@ -155,7 +158,10 @@ mod tests {
         pm.record_samples(Scope::IntraTor, &vec![80_000_000u64; 200]);
         assert!(pm.healthy(Scope::IntraTor, 90_000_000));
         assert!(!pm.healthy(Scope::IntraTor, 70_000_000), "p99 too high");
-        assert!(!pm.healthy(Scope::IntraDc, u64::MAX), "no data = not healthy");
+        assert!(
+            !pm.healthy(Scope::IntraDc, u64::MAX),
+            "no data = not healthy"
+        );
         // >1% failures = unhealthy.
         for _ in 0..5 {
             pm.record(Scope::IntraTor, ProbeResult::Failed);

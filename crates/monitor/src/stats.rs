@@ -99,7 +99,7 @@ impl TimeSeries {
     /// Record a point (times must be non-decreasing).
     pub fn push(&mut self, t_ps: u64, value: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |(lt, _)| *lt <= t_ps),
+            self.points.last().is_none_or(|(lt, _)| *lt <= t_ps),
             "time went backwards"
         );
         self.points.push((t_ps, value));

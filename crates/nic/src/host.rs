@@ -726,8 +726,7 @@ impl RdmaHost {
                 self.paused_until[prio.index()] = ctx.now();
                 resumed = true;
             } else {
-                let until =
-                    ctx.now() + SimTime(PfcPauseFrame::quanta_to_ps(quanta, rate));
+                let until = ctx.now() + SimTime(PfcPauseFrame::quanta_to_ps(quanta, rate));
                 self.paused_until[prio.index()] = until;
                 ctx.set_timer_at(until, TOK_PUMP);
             }
@@ -745,8 +744,7 @@ impl RdmaHost {
         // pipeline that keeps generating pauses and cuts pause generation.
         // It never re-enables (§4.3): a stormed NIC "never comes back".
         if let Some(after) = self.cfg.nic_watchdog_after {
-            if !self.pause_gen_disabled
-                && ctx.now().saturating_sub(self.last_rx_progress) >= after
+            if !self.pause_gen_disabled && ctx.now().saturating_sub(self.last_rx_progress) >= after
             {
                 self.pause_gen_disabled = true;
                 self.stats.nic_watchdog_fired += 1;
@@ -844,12 +842,10 @@ impl Node for RdmaHost {
                     self.pump(ctx);
                 }
             }
-            TOK_PAUSE_REFRESH => {
-                // Keep the peer paused while we are still in XOFF.
-                if self.host_xoff && !self.pause_gen_disabled {
-                    self.emit_pause(u16::MAX, ctx);
-                    ctx.set_timer(STORM_REFRESH, TOK_PAUSE_REFRESH);
-                }
+            // Keep the peer paused while we are still in XOFF.
+            TOK_PAUSE_REFRESH if self.host_xoff && !self.pause_gen_disabled => {
+                self.emit_pause(u16::MAX, ctx);
+                ctx.set_timer(STORM_REFRESH, TOK_PAUSE_REFRESH);
             }
             TOK_STORM_TICK => self.storm_tick(ctx),
             TOK_INJECT_STORM => {

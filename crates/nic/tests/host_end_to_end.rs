@@ -41,7 +41,13 @@ fn star(
         .map(|c| world.add_node(Box::new(RdmaHost::new(c))))
         .collect();
     for (i, h) in hosts.iter().enumerate() {
-        world.connect(*h, PortId(0), sw_id, PortId(i as u16), LinkSpec::server_40g());
+        world.connect(
+            *h,
+            PortId(0),
+            sw_id,
+            PortId(i as u16),
+            LinkSpec::server_40g(),
+        );
     }
     (world, sw_id, hosts)
 }
@@ -59,18 +65,32 @@ fn connect_qp(
     let b_ip = world.node::<RdmaHost>(b).config().ip;
     let a_qpn = world.node::<RdmaHost>(a).qp_count() as u32;
     let b_qpn = world.node::<RdmaHost>(b).qp_count() as u32;
-    let ha = world.node_mut::<RdmaHost>(a).add_qp(b_ip, b_qpn, udp_src, app_a);
-    let hb = world.node_mut::<RdmaHost>(b).add_qp(a_ip, a_qpn, udp_src, app_b);
+    let ha = world
+        .node_mut::<RdmaHost>(a)
+        .add_qp(b_ip, b_qpn, udp_src, app_a);
+    let hb = world
+        .node_mut::<RdmaHost>(b)
+        .add_qp(a_ip, a_qpn, udp_src, app_b);
     (ha, hb)
 }
 
 #[test]
 fn send_end_to_end_completes() {
     let (mut world, sw, hosts) = star(2, SwitchConfig::new("tor", 2), |_, _| {});
-    let (qa, qb) = connect_qp(&mut world, hosts[0], hosts[1], 5000, QpApp::None, QpApp::None);
-    world
-        .node_mut::<RdmaHost>(hosts[0])
-        .post(qa, Verb::Send { len: 1 << 20 }, SimTime::ZERO, false);
+    let (qa, qb) = connect_qp(
+        &mut world,
+        hosts[0],
+        hosts[1],
+        5000,
+        QpApp::None,
+        QpApp::None,
+    );
+    world.node_mut::<RdmaHost>(hosts[0]).post(
+        qa,
+        Verb::Send { len: 1 << 20 },
+        SimTime::ZERO,
+        false,
+    );
     world.run_until(SimTime::from_millis(2));
     let b = world.node::<RdmaHost>(hosts[1]);
     assert_eq!(b.qp_endpoint(qb).goodput_bytes(), 1 << 20);
@@ -85,13 +105,26 @@ fn send_end_to_end_completes() {
 #[test]
 fn write_and_read_verbs_work_through_fabric() {
     let (mut world, _sw, hosts) = star(2, SwitchConfig::new("tor", 2), |_, _| {});
-    let (qa, qb) = connect_qp(&mut world, hosts[0], hosts[1], 5000, QpApp::None, QpApp::None);
-    world
-        .node_mut::<RdmaHost>(hosts[0])
-        .post(qa, Verb::Write { len: 256 * 1024 }, SimTime::ZERO, false);
-    world
-        .node_mut::<RdmaHost>(hosts[0])
-        .post(qa, Verb::Read { len: 128 * 1024 }, SimTime::ZERO, false);
+    let (qa, qb) = connect_qp(
+        &mut world,
+        hosts[0],
+        hosts[1],
+        5000,
+        QpApp::None,
+        QpApp::None,
+    );
+    world.node_mut::<RdmaHost>(hosts[0]).post(
+        qa,
+        Verb::Write { len: 256 * 1024 },
+        SimTime::ZERO,
+        false,
+    );
+    world.node_mut::<RdmaHost>(hosts[0]).post(
+        qa,
+        Verb::Read { len: 128 * 1024 },
+        SimTime::ZERO,
+        false,
+    );
     world.run_until(SimTime::from_millis(2));
     let b = world.node::<RdmaHost>(hosts[1]);
     assert_eq!(b.qp_endpoint(qb).goodput_bytes(), 256 * 1024);
@@ -123,21 +156,33 @@ fn livelock_through_real_switch() {
             hosts[0],
             hosts[1],
             5000,
-            QpApp::Saturate { msg_len: 4 << 20, inflight: 1 },
+            QpApp::Saturate {
+                msg_len: 4 << 20,
+                inflight: 1,
+            },
             QpApp::None,
         );
         let _ = qa;
         world.run_until(SimTime::from_millis(20));
-        let goodput = world.node::<RdmaHost>(hosts[1]).qp_endpoint(qb).goodput_bytes();
+        let goodput = world
+            .node::<RdmaHost>(hosts[1])
+            .qp_endpoint(qb)
+            .goodput_bytes();
         let sent = world.node::<RdmaHost>(hosts[0]).stats.data_pkts_tx;
-        let dropped = world.node::<Switch>(sw).stats.drops_of(DropReason::InjectedFilter);
+        let dropped = world
+            .node::<Switch>(sw)
+            .stats
+            .drops_of(DropReason::InjectedFilter);
         (goodput, sent, dropped)
     };
 
     let (g0, sent0, drop0) = run(LossRecovery::GoBack0);
     assert_eq!(g0, 0, "go-back-0 must livelock (goodput 0)");
     // The link stayed busy: 20 ms at 40G ≈ 92k packets of 1086 B.
-    assert!(sent0 > 60_000, "link must stay near line rate, sent {sent0}");
+    assert!(
+        sent0 > 60_000,
+        "link must stay near line rate, sent {sent0}"
+    );
     assert!(drop0 > 200, "filter must be active, dropped {drop0}");
 
     let (gn, sent_n, _) = run(LossRecovery::GoBackN);
@@ -163,7 +208,10 @@ fn slow_receiver_symptom_and_large_page_fix() {
             hosts[0],
             hosts[1],
             5000,
-            QpApp::Saturate { msg_len: 1 << 20, inflight: 4 },
+            QpApp::Saturate {
+                msg_len: 1 << 20,
+                inflight: 4,
+            },
             QpApp::None,
         );
         world.run_until(SimTime::from_millis(10));
@@ -205,7 +253,10 @@ fn nic_storm_watchdog_stops_pause_generation() {
             hosts[0],
             hosts[1],
             5000,
-            QpApp::Saturate { msg_len: 64 * 1024, inflight: 2 },
+            QpApp::Saturate {
+                msg_len: 64 * 1024,
+                inflight: 2,
+            },
             QpApp::None,
         );
         world.schedule_timer(SimTime::from_millis(1), hosts[1], TOK_INJECT_STORM);
@@ -220,7 +271,10 @@ fn nic_storm_watchdog_stops_pause_generation() {
     // Without the watchdog the storm pauses continuously: ~390 pauses in
     // 39 ms of storm (one per 100 µs refresh).
     let (pauses_no_wd, disabled_no, _) = run(None);
-    assert!(pauses_no_wd > 300, "storm must pause continuously: {pauses_no_wd}");
+    assert!(
+        pauses_no_wd > 300,
+        "storm must pause continuously: {pauses_no_wd}"
+    );
     assert!(!disabled_no);
     // With a 5 ms watchdog, generation stops early and stays stopped.
     let (pauses_wd, disabled, fired) = run(Some(SimTime::from_millis(5)));
@@ -248,7 +302,10 @@ fn dcqcn_reduces_pfc_under_incast() {
                 *src,
                 hosts[0],
                 5000 + i as u16,
-                QpApp::Saturate { msg_len: 1 << 20, inflight: 2 },
+                QpApp::Saturate {
+                    msg_len: 1 << 20,
+                    inflight: 2,
+                },
                 QpApp::None,
             );
         }
@@ -313,7 +370,10 @@ fn end_to_end_determinism() {
                 *src,
                 hosts[0],
                 7000,
-                QpApp::Saturate { msg_len: 256 * 1024, inflight: 1 },
+                QpApp::Saturate {
+                    msg_len: 256 * 1024,
+                    inflight: 1,
+                },
                 QpApp::None,
             );
         }

@@ -142,7 +142,10 @@ pub enum RoceOpcode {
 impl RoceOpcode {
     /// Does this opcode carry message payload?
     pub fn carries_data(self) -> bool {
-        matches!(self, RoceOpcode::Send | RoceOpcode::Write | RoceOpcode::ReadResponse)
+        matches!(
+            self,
+            RoceOpcode::Send | RoceOpcode::Write | RoceOpcode::ReadResponse
+        )
     }
 
     /// Is this a control/acknowledgement packet?
@@ -349,9 +352,7 @@ impl Packet {
                 }
                 n.max(64)
             }
-            PacketKind::Pfc(_) => {
-                (PfcPauseFrame::MIN_FRAME_LEN + EthernetHeader::FCS_LEN) as u32
-            }
+            PacketKind::Pfc(_) => (PfcPauseFrame::MIN_FRAME_LEN + EthernetHeader::FCS_LEN) as u32,
             PacketKind::Arp { .. } => 64,
             PacketKind::Tcp(t) => {
                 (eth + vlan + Ipv4Header::WIRE_LEN as u32 + 20 + t.payload).max(64)

@@ -6,7 +6,7 @@
 //! switch flood lossless packets, which is the root cause of the §4.2
 //! deadlock.
 
-use bytes::BufMut;
+use crate::wire::buf::BufMut;
 
 use crate::DecodeError;
 

@@ -6,7 +6,7 @@
 //! modelled. The AETH syndrome encodes ACK vs NAK — the NAK(i) of §4.1's
 //! livelock analysis is `AethCode::NakPsnSequenceError` carried here.
 
-use bytes::BufMut;
+use crate::wire::buf::BufMut;
 
 use crate::DecodeError;
 
@@ -326,7 +326,12 @@ mod tests {
 
     #[test]
     fn aeth_ack_and_nak() {
-        for code in [AethCode::Ack, AethCode::RnrNak, AethCode::Nak(0), AethCode::Nak(3)] {
+        for code in [
+            AethCode::Ack,
+            AethCode::RnrNak,
+            AethCode::Nak(0),
+            AethCode::Nak(3),
+        ] {
             let h = Aeth { code, msn: 77 };
             let mut buf = Vec::new();
             h.encode(&mut buf);

@@ -1,0 +1,78 @@
+//! Minimal in-tree replacement for the `bytes` crate's `BufMut`, covering
+//! exactly what the header codecs need: appending big-endian integers and
+//! raw slices to a growable buffer. Keeping it in-tree lets the workspace
+//! build hermetically (`cargo build --offline`) with no registry access.
+
+/// A byte sink the wire codecs encode into. All integer writes are
+/// big-endian (network byte order), matching the `bytes::BufMut` methods
+/// the codecs were written against.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Append a raw slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_u8(&mut self, v: u8) {
+        (**self).put_u8(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        (**self).put_u16(v);
+    }
+    fn put_u32(&mut self, v: u32) {
+        (**self).put_u32(v);
+    }
+    fn put_u64(&mut self, v: u64) {
+        (**self).put_u64(v);
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        (**self).put_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_are_big_endian_and_appended() {
+        let mut b: Vec<u8> = vec![0xaa];
+        b.put_u8(0x01);
+        b.put_u16(0x0203);
+        b.put_u32(0x0405_0607);
+        b.put_u64(0x0809_0a0b_0c0d_0e0f);
+        b.put_slice(&[0xfe, 0xff]);
+        assert_eq!(
+            b,
+            vec![
+                0xaa, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+                0x0e, 0x0f, 0xfe, 0xff
+            ]
+        );
+    }
+}

@@ -1,6 +1,6 @@
 //! Ethernet II framing: MAC addresses and the 14-byte Ethernet header.
 
-use bytes::BufMut;
+use crate::wire::buf::BufMut;
 
 use crate::DecodeError;
 
@@ -179,9 +179,6 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(
-            MacAddr::PAUSE_MULTICAST.to_string(),
-            "01:80:c2:00:00:01"
-        );
+        assert_eq!(MacAddr::PAUSE_MULTICAST.to_string(), "01:80:c2:00:00:01");
     }
 }

@@ -6,7 +6,7 @@
 //! made the §4.1 livelock drop filter ("least significant byte of IP ID
 //! equals 0xff") a deterministic 1/256.
 
-use bytes::BufMut;
+use crate::wire::buf::BufMut;
 
 use crate::DecodeError;
 
@@ -157,7 +157,10 @@ mod tests {
         buf[15] ^= 0x40;
         assert!(matches!(
             Ipv4Header::decode(&buf),
-            Err(DecodeError::BadField { field: "checksum", .. })
+            Err(DecodeError::BadField {
+                field: "checksum",
+                ..
+            })
         ));
     }
 

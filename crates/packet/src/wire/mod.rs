@@ -8,17 +8,14 @@
 
 pub mod arp;
 pub mod bth;
+pub mod buf;
 pub mod ethernet;
 pub mod ipv4;
 pub mod pfc;
 pub mod udp;
 pub mod vlan;
 
-pub(crate) fn need(
-    what: &'static str,
-    buf: &[u8],
-    need: usize,
-) -> Result<(), crate::DecodeError> {
+pub(crate) fn need(what: &'static str, buf: &[u8], need: usize) -> Result<(), crate::DecodeError> {
     if buf.len() < need {
         Err(crate::DecodeError::Truncated {
             what,

@@ -6,11 +6,11 @@
 //! per-priority enable vector and eight pause durations measured in quanta
 //! of 512 bit times. A duration of zero resumes transmission (XON).
 
-use bytes::BufMut;
+use crate::wire::buf::BufMut;
 
 use crate::DecodeError;
 
-use super::ethernet::{EthernetHeader, EtherType, MacAddr};
+use super::ethernet::{EtherType, EthernetHeader, MacAddr};
 
 /// A decoded PFC pause frame (MAC control opcode 0x0101).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,7 +177,10 @@ mod tests {
         buf[1] = 0x02;
         assert!(matches!(
             PfcPauseFrame::decode(&buf),
-            Err(DecodeError::BadField { field: "opcode", .. })
+            Err(DecodeError::BadField {
+                field: "opcode",
+                ..
+            })
         ));
     }
 

@@ -3,7 +3,7 @@
 //! the destination port is fixed at 4791 and the *source* port is chosen
 //! randomly per queue pair (§2).
 
-use bytes::BufMut;
+use crate::wire::buf::BufMut;
 
 use crate::DecodeError;
 

@@ -6,7 +6,7 @@
 //! (VLAN membership). DSCP-based PFC moves the priority into the IP header
 //! so that the tag — and switch trunk mode — can be dropped entirely.
 
-use bytes::BufMut;
+use crate::wire::buf::BufMut;
 
 use crate::DecodeError;
 

@@ -1,159 +1,267 @@
-//! Property tests: every codec must round-trip arbitrary field values
-//! (masked to their wire widths), and wire sizes must be monotone in
-//! payload.
+//! Randomized property tests: every codec must round-trip arbitrary field
+//! values (masked to their wire widths), and wire sizes must be monotone
+//! in payload. Driven by the workspace's in-tree deterministic `SimRng`
+//! (seeded per test), so failures replay exactly.
 
-use proptest::prelude::*;
 use rocescale_packet::{
-    Aeth, AethCode, ArpOp, ArpPacket, Bth, BthOpcode, EthMeta, EthernetHeader, EtherType,
-    Ipv4Header, MacAddr, Packet, PacketKind, PfcPauseFrame, RoceOpcode, RocePacket, UdpHeader,
-    VlanTag, EcnCodepoint, Ipv4Meta,
+    Aeth, AethCode, ArpOp, ArpPacket, Bth, BthOpcode, EcnCodepoint, EthMeta, EtherType,
+    EthernetHeader, Ipv4Header, Ipv4Meta, MacAddr, Packet, PacketKind, PfcPauseFrame, RoceOpcode,
+    RocePacket, UdpHeader, VlanTag,
 };
+use rocescale_sim::SimRng;
 
-fn arb_mac() -> impl Strategy<Value = MacAddr> {
-    any::<[u8; 6]>().prop_map(MacAddr)
+const CASES: u32 = 256;
+
+fn rand_mac(rng: &mut SimRng) -> MacAddr {
+    let mut b = [0u8; 6];
+    for v in &mut b {
+        *v = rng.next_u32() as u8;
+    }
+    MacAddr(b)
 }
 
-proptest! {
-    #[test]
-    fn ethernet_roundtrip(dst in arb_mac(), src in arb_mac(), et in any::<u16>()) {
-        let h = EthernetHeader { dst, src, ethertype: EtherType::from_raw(et) };
-        let mut buf = Vec::new();
-        h.encode(&mut buf);
-        let (back, n) = EthernetHeader::decode(&buf).unwrap();
-        prop_assert_eq!(n, EthernetHeader::WIRE_LEN);
-        prop_assert_eq!(back, h);
-    }
-
-    #[test]
-    fn vlan_roundtrip(pcp in 0u8..8, dei in any::<bool>(), vid in 0u16..4096) {
-        let t = VlanTag::new(pcp, dei, vid, EtherType::Ipv4);
-        let mut buf = Vec::new();
-        t.encode(&mut buf);
-        let (back, _) = VlanTag::decode(&buf).unwrap();
-        prop_assert_eq!(back, t);
-    }
-
-    #[test]
-    fn ipv4_roundtrip(
-        dscp in 0u8..64, ecn in 0u8..4, len in 20u16..1500, id in any::<u16>(),
-        ttl in 1u8..255, proto in prop::sample::select(vec![6u8, 17]),
-        src in any::<u32>(), dst in any::<u32>(),
-    ) {
-        let h = Ipv4Header { dscp, ecn, total_len: len, id, ttl, protocol: proto, src, dst };
-        let mut buf = Vec::new();
-        h.encode(&mut buf);
-        let (back, n) = Ipv4Header::decode(&buf).unwrap();
-        prop_assert_eq!(n, 20);
-        prop_assert_eq!(back, h);
-    }
-
-    /// Flipping any single bit of the IPv4 header must break the checksum
-    /// (the decoder either errors or — if the flip hits the checksum field
-    /// itself — still errors).
-    #[test]
-    fn ipv4_checksum_catches_any_single_bit_flip(
-        id in any::<u16>(), src in any::<u32>(), dst in any::<u32>(),
-        bit in 0usize..160,
-    ) {
-        let h = Ipv4Header {
-            dscp: 26, ecn: 1, total_len: 100, id, ttl: 64, protocol: 17, src, dst,
+#[test]
+fn ethernet_roundtrip() {
+    let mut rng = SimRng::from_seed(0xE7E7_0001);
+    for _ in 0..CASES {
+        let h = EthernetHeader {
+            dst: rand_mac(&mut rng),
+            src: rand_mac(&mut rng),
+            ethertype: EtherType::from_raw(rng.next_u32() as u16),
         };
         let mut buf = Vec::new();
         h.encode(&mut buf);
-        buf[bit / 8] ^= 1 << (bit % 8);
-        prop_assert!(Ipv4Header::decode(&buf).is_err());
+        let (back, n) = EthernetHeader::decode(&buf).unwrap();
+        assert_eq!(n, EthernetHeader::WIRE_LEN);
+        assert_eq!(back, h);
     }
+}
 
-    #[test]
-    fn udp_roundtrip(sp in any::<u16>(), dp in any::<u16>(), len in any::<u16>()) {
-        let h = UdpHeader { src_port: sp, dst_port: dp, len, checksum: 0 };
+#[test]
+fn vlan_roundtrip() {
+    let mut rng = SimRng::from_seed(0xE7E7_0002);
+    for _ in 0..CASES {
+        let t = VlanTag::new(
+            rng.gen_below(8) as u8,
+            rng.gen_bool(0.5),
+            rng.gen_below(4096) as u16,
+            EtherType::Ipv4,
+        );
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        let (back, _) = VlanTag::decode(&buf).unwrap();
+        assert_eq!(back, t);
+    }
+}
+
+#[test]
+fn ipv4_roundtrip() {
+    let mut rng = SimRng::from_seed(0xE7E7_0003);
+    for _ in 0..CASES {
+        let h = Ipv4Header {
+            dscp: rng.gen_below(64) as u8,
+            ecn: rng.gen_below(4) as u8,
+            total_len: rng.gen_range(20..1500) as u16,
+            id: rng.next_u32() as u16,
+            ttl: rng.gen_range(1..255) as u8,
+            protocol: if rng.gen_bool(0.5) { 6 } else { 17 },
+            src: rng.next_u32(),
+            dst: rng.next_u32(),
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let (back, n) = Ipv4Header::decode(&buf).unwrap();
+        assert_eq!(n, 20);
+        assert_eq!(back, h);
+    }
+}
+
+/// Flipping any single bit of the IPv4 header must break the checksum
+/// (the decoder either errors or — if the flip hits the checksum field
+/// itself — still errors). Sweeps every bit position with random fields.
+#[test]
+fn ipv4_checksum_catches_any_single_bit_flip() {
+    let mut rng = SimRng::from_seed(0xE7E7_0004);
+    for bit in 0usize..160 {
+        for _ in 0..4 {
+            let h = Ipv4Header {
+                dscp: 26,
+                ecn: 1,
+                total_len: 100,
+                id: rng.next_u32() as u16,
+                ttl: 64,
+                protocol: 17,
+                src: rng.next_u32(),
+                dst: rng.next_u32(),
+            };
+            let mut buf = Vec::new();
+            h.encode(&mut buf);
+            buf[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                Ipv4Header::decode(&buf).is_err(),
+                "bit flip {bit} undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn udp_roundtrip() {
+    let mut rng = SimRng::from_seed(0xE7E7_0005);
+    for _ in 0..CASES {
+        let h = UdpHeader {
+            src_port: rng.next_u32() as u16,
+            dst_port: rng.next_u32() as u16,
+            len: rng.next_u32() as u16,
+            checksum: 0,
+        };
         let mut buf = Vec::new();
         h.encode(&mut buf);
         let (back, _) = UdpHeader::decode(&buf).unwrap();
-        prop_assert_eq!(back, h);
+        assert_eq!(back, h);
     }
+}
 
-    #[test]
-    fn bth_roundtrip(
-        op in prop::sample::select(vec![
-            BthOpcode::SendFirst, BthOpcode::SendMiddle, BthOpcode::SendLast,
-            BthOpcode::SendOnly, BthOpcode::RdmaWriteFirst, BthOpcode::RdmaWriteMiddle,
-            BthOpcode::RdmaWriteLast, BthOpcode::RdmaWriteOnly, BthOpcode::RdmaReadRequest,
-            BthOpcode::RdmaReadResponseFirst, BthOpcode::RdmaReadResponseMiddle,
-            BthOpcode::RdmaReadResponseLast, BthOpcode::RdmaReadResponseOnly,
-            BthOpcode::Acknowledge, BthOpcode::Cnp,
-        ]),
-        se in any::<bool>(), mig in any::<bool>(), pad in 0u8..4,
-        pkey in any::<u16>(), qp in 0u32..(1 << 24), ar in any::<bool>(),
-        psn in 0u32..(1 << 24),
-    ) {
+#[test]
+fn bth_roundtrip() {
+    const OPS: [BthOpcode; 15] = [
+        BthOpcode::SendFirst,
+        BthOpcode::SendMiddle,
+        BthOpcode::SendLast,
+        BthOpcode::SendOnly,
+        BthOpcode::RdmaWriteFirst,
+        BthOpcode::RdmaWriteMiddle,
+        BthOpcode::RdmaWriteLast,
+        BthOpcode::RdmaWriteOnly,
+        BthOpcode::RdmaReadRequest,
+        BthOpcode::RdmaReadResponseFirst,
+        BthOpcode::RdmaReadResponseMiddle,
+        BthOpcode::RdmaReadResponseLast,
+        BthOpcode::RdmaReadResponseOnly,
+        BthOpcode::Acknowledge,
+        BthOpcode::Cnp,
+    ];
+    let mut rng = SimRng::from_seed(0xE7E7_0006);
+    for _ in 0..CASES {
         let h = Bth {
-            opcode: op, se, migreq: mig, pad, pkey, dest_qp: qp, ack_req: ar, psn,
+            opcode: OPS[rng.gen_index(OPS.len())],
+            se: rng.gen_bool(0.5),
+            migreq: rng.gen_bool(0.5),
+            pad: rng.gen_below(4) as u8,
+            pkey: rng.next_u32() as u16,
+            dest_qp: rng.gen_below(1 << 24) as u32,
+            ack_req: rng.gen_bool(0.5),
+            psn: rng.gen_below(1 << 24) as u32,
         };
         let mut buf = Vec::new();
         h.encode(&mut buf);
         let (back, _) = Bth::decode(&buf).unwrap();
-        prop_assert_eq!(back, h);
+        assert_eq!(back, h);
     }
+}
 
-    #[test]
-    fn aeth_roundtrip(msn in 0u32..(1 << 24), nak_code in 0u8..32) {
+#[test]
+fn aeth_roundtrip() {
+    let mut rng = SimRng::from_seed(0xE7E7_0007);
+    for _ in 0..CASES {
+        let msn = rng.gen_below(1 << 24) as u32;
+        let nak_code = rng.gen_below(32) as u8;
         for code in [AethCode::Ack, AethCode::RnrNak, AethCode::Nak(nak_code)] {
             let h = Aeth { code, msn };
             let mut buf = Vec::new();
             h.encode(&mut buf);
             let (back, _) = Aeth::decode(&buf).unwrap();
-            prop_assert_eq!(back, h);
+            assert_eq!(back, h);
         }
     }
+}
 
-    #[test]
-    fn pfc_roundtrip(cev in any::<u8>(), durations in any::<[u16; 8]>()) {
-        let f = PfcPauseFrame { class_enable: cev, durations };
+#[test]
+fn pfc_roundtrip() {
+    let mut rng = SimRng::from_seed(0xE7E7_0008);
+    for _ in 0..CASES {
+        let mut durations = [0u16; 8];
+        for d in &mut durations {
+            *d = rng.next_u32() as u16;
+        }
+        let f = PfcPauseFrame {
+            class_enable: rng.next_u32() as u8,
+            durations,
+        };
         let mut buf = Vec::new();
         f.encode(&mut buf);
         let (back, _) = PfcPauseFrame::decode(&buf).unwrap();
-        prop_assert_eq!(back, f);
+        assert_eq!(back, f);
     }
+}
 
-    #[test]
-    fn arp_roundtrip(
-        req in any::<bool>(), smac in arb_mac(), sip in any::<u32>(),
-        tmac in arb_mac(), tip in any::<u32>(),
-    ) {
+#[test]
+fn arp_roundtrip() {
+    let mut rng = SimRng::from_seed(0xE7E7_0009);
+    for _ in 0..CASES {
         let p = ArpPacket {
-            op: if req { ArpOp::Request } else { ArpOp::Reply },
-            sender_mac: smac, sender_ip: sip, target_mac: tmac, target_ip: tip,
+            op: if rng.gen_bool(0.5) {
+                ArpOp::Request
+            } else {
+                ArpOp::Reply
+            },
+            sender_mac: rand_mac(&mut rng),
+            sender_ip: rng.next_u32(),
+            target_mac: rand_mac(&mut rng),
+            target_ip: rng.next_u32(),
         };
         let mut buf = Vec::new();
         p.encode(&mut buf);
         let (back, _) = ArpPacket::decode(&buf).unwrap();
-        prop_assert_eq!(back, p);
+        assert_eq!(back, p);
     }
+}
 
-    /// wire_size is payload + a fixed overhead for every data opcode and
-    /// message position, and at least 64 for everything.
-    #[test]
-    fn wire_size_is_affine_in_payload(
-        payload in 64u32..4096,
-        first in any::<bool>(), last in any::<bool>(),
-        op in prop::sample::select(vec![RoceOpcode::Send, RoceOpcode::Write, RoceOpcode::ReadResponse]),
-    ) {
+/// wire_size is payload + a fixed overhead for every data opcode and
+/// message position, and at least 64 for everything.
+#[test]
+fn wire_size_is_affine_in_payload() {
+    const OPS: [RoceOpcode; 3] = [
+        RoceOpcode::Send,
+        RoceOpcode::Write,
+        RoceOpcode::ReadResponse,
+    ];
+    let mut rng = SimRng::from_seed(0xE7E7_000A);
+    for _ in 0..CASES {
+        let payload = rng.gen_range(64..4096) as u32;
+        let first = rng.gen_bool(0.5);
+        let last = rng.gen_bool(0.5);
+        let op = OPS[rng.gen_index(OPS.len())];
         let mk = |payload| Packet {
             id: 0,
-            eth: EthMeta { src: MacAddr::from_id(1), dst: MacAddr::from_id(2), vlan: None },
+            eth: EthMeta {
+                src: MacAddr::from_id(1),
+                dst: MacAddr::from_id(2),
+                vlan: None,
+            },
             ip: Some(Ipv4Meta {
-                src: 1, dst: 2, dscp: 26, ecn: EcnCodepoint::Ect, id: 0, ttl: 64,
+                src: 1,
+                dst: 2,
+                dscp: 26,
+                ecn: EcnCodepoint::Ect,
+                id: 0,
+                ttl: 64,
             }),
             kind: PacketKind::Roce(RocePacket {
-                opcode: op, dest_qp: 0, src_qp: 0, psn: 0, payload,
-                is_first: first, is_last: last, udp_src: 1,
+                opcode: op,
+                dest_qp: 0,
+                src_qp: 0,
+                psn: 0,
+                payload,
+                is_first: first,
+                is_last: last,
+                udp_src: 1,
             }),
             created_ps: 0,
         };
         let a = mk(payload).wire_size();
         let b = mk(payload + 100).wire_size();
-        prop_assert_eq!(b - a, 100);
-        prop_assert!(a >= 64);
+        assert_eq!(b - a, 100);
+        assert!(a >= 64);
     }
 }

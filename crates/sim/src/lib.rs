@@ -14,8 +14,9 @@
 //! 1. Events are ordered by `(time, sequence-number)`, the sequence number
 //!    being a monotone counter assigned at scheduling time, so simultaneous
 //!    events fire in a defined order.
-//! 2. All randomness flows from one seeded [`rand::rngs::SmallRng`] owned
-//!    by the [`World`].
+//! 2. All randomness flows from one seeded in-tree [`SimRng`] owned by
+//!    the [`World`] — no external PRNG crate, so identical seeds give
+//!    identical runs regardless of dependency version drift.
 //!
 //! The design follows smoltcp's event-driven philosophy: protocol logic
 //! lives in plain state machines (see `rocescale-transport`,
@@ -26,9 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod rng;
+pub mod sched;
 mod time;
 mod world;
 
+pub use rng::SimRng;
+pub use sched::{EngineKind, SchedStats};
 pub use time::SimTime;
 pub use world::{Ctx, LinkSpec, Node, NodeId, PortId, TxError, World};
 

@@ -18,21 +18,21 @@ impl SimTime {
     /// The far future; useful as an "armed but inactive" timer sentinel.
     pub const MAX: SimTime = SimTime(u64::MAX);
 
-    /// From nanoseconds.
+    /// From nanoseconds (saturating at [`SimTime::MAX`]).
     pub const fn from_nanos(ns: u64) -> SimTime {
-        SimTime(ns * 1_000)
+        SimTime(ns.saturating_mul(1_000))
     }
-    /// From microseconds.
+    /// From microseconds (saturating at [`SimTime::MAX`]).
     pub const fn from_micros(us: u64) -> SimTime {
-        SimTime(us * 1_000_000)
+        SimTime(us.saturating_mul(1_000_000))
     }
-    /// From milliseconds.
+    /// From milliseconds (saturating at [`SimTime::MAX`]).
     pub const fn from_millis(ms: u64) -> SimTime {
-        SimTime(ms * 1_000_000_000)
+        SimTime(ms.saturating_mul(1_000_000_000))
     }
-    /// From seconds.
+    /// From seconds (saturating at [`SimTime::MAX`]).
     pub const fn from_secs(s: u64) -> SimTime {
-        SimTime(s * 1_000_000_000_000)
+        SimTime(s.saturating_mul(1_000_000_000_000))
     }
 
     /// As picoseconds.
@@ -57,28 +57,70 @@ impl SimTime {
     }
 
     /// Saturating subtraction.
-    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+    pub const fn saturating_sub(self, other: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition — `MAX + anything = MAX`, so a far-future
+    /// watchdog deadline (`SimTime::MAX`) plus a delay stays a sentinel
+    /// instead of wrapping into the past.
+    pub const fn saturating_add(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(other.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub const fn checked_add(self, other: SimTime) -> Option<SimTime> {
+        match self.0.checked_add(other.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction; `None` when `other > self`.
+    pub const fn checked_sub(self, other: SimTime) -> Option<SimTime> {
+        match self.0.checked_sub(other.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating multiplication of a duration by a scalar (e.g. N
+    /// retransmission intervals).
+    pub const fn saturating_mul(self, n: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(n))
+    }
+
+    /// Checked multiplication by a scalar; `None` on overflow.
+    pub const fn checked_mul(self, n: u64) -> Option<SimTime> {
+        match self.0.checked_mul(n) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
     }
 }
 
+// Operator arithmetic saturates rather than wrapping: timestamp math in
+// release builds previously wrapped silently on far-future deadlines
+// (`SimTime::MAX + delay`), scheduling events in the past. Saturation
+// keeps sentinels sentinel; code that must detect overflow uses the
+// `checked_*` forms.
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        self.saturating_add(rhs)
     }
 }
 
 impl AddAssign for SimTime {
     fn add_assign(&mut self, rhs: SimTime) {
-        self.0 += rhs.0;
+        *self = self.saturating_add(rhs);
     }
 }
 
 impl Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 - rhs.0)
+        self.saturating_sub(rhs)
     }
 }
 
@@ -122,6 +164,33 @@ mod tests {
         assert_eq!((a + b).as_nanos(), 140);
         assert_eq!((a - b).as_nanos(), 60);
         assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn overflow_edges_saturate() {
+        // Far-future watchdog deadline arithmetic must not wrap.
+        assert_eq!(SimTime::MAX + SimTime::from_secs(1), SimTime::MAX);
+        let mut t = SimTime::MAX;
+        t += SimTime::from_nanos(1);
+        assert_eq!(t, SimTime::MAX);
+        // Subtraction below zero clamps instead of wrapping to ~50 days.
+        assert_eq!(SimTime::ZERO - SimTime::from_nanos(1), SimTime::ZERO);
+        // Unit constructors saturate on huge inputs.
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_nanos(u64::MAX), SimTime::MAX);
+        // Scalar multiplication.
+        assert_eq!(SimTime::from_secs(1).saturating_mul(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_nanos(2).saturating_mul(3).as_nanos(), 6);
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(SimTime::MAX.checked_add(SimTime(1)), None);
+        assert_eq!(SimTime(5).checked_add(SimTime(7)), Some(SimTime(12)));
+        assert_eq!(SimTime(3).checked_sub(SimTime(5)), None);
+        assert_eq!(SimTime(5).checked_sub(SimTime(3)), Some(SimTime(2)));
+        assert_eq!(SimTime::MAX.checked_mul(2), None);
+        assert_eq!(SimTime(4).checked_mul(4), Some(SimTime(16)));
     }
 
     #[test]

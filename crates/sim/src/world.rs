@@ -1,13 +1,11 @@
 //! The event loop: nodes, ports, links, timers, and the scheduler.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use rocescale_packet::Packet;
 
+use crate::rng::SimRng;
+use crate::sched::{EngineKind, EventQueue, SchedStats};
 use crate::time::SimTime;
 use crate::{serialization_ps, PROPAGATION_PS_PER_METER};
 
@@ -104,54 +102,83 @@ struct PortState {
     busy_until: SimTime,
 }
 
-#[derive(Debug)]
+/// A queued event. `Arrival` carries an index into the world's packet
+/// slab rather than a `Box<Packet>`, so the hot path recycles packet
+/// storage through a free list instead of allocating per transmission.
+#[derive(Debug, Clone, Copy)]
 enum EventKind {
-    Start { node: NodeId },
-    Arrival { node: NodeId, port: PortId, pkt: Box<Packet> },
-    PortIdle { node: NodeId, port: PortId },
-    Timer { node: NodeId, token: u64 },
-}
-
-struct QueuedEvent {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
+    Start {
+        node: NodeId,
+    },
+    Arrival {
+        node: NodeId,
+        port: PortId,
+        slot: u32,
+    },
+    PortIdle {
+        node: NodeId,
+        port: PortId,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
 }
 
 /// Everything in the world except the nodes themselves; split out so a
 /// node handler can hold `&mut` to both itself and the scheduler.
 struct WorldCore {
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    queue: EventQueue<EventKind>,
     ports: Vec<Vec<Option<PortState>>>,
-    rng: SmallRng,
+    rng: SimRng,
     next_packet_id: u64,
     events_processed: u64,
+    /// In-flight packet storage, indexed by `EventKind::Arrival::slot`.
+    packets: Vec<Option<Packet>>,
+    /// Free-list of reusable `packets` slots.
+    free_slots: Vec<u32>,
+    /// Running FNV-1a fingerprint of the dispatch stream (time, kind,
+    /// node, detail per event) — the golden-trace hook: two runs are
+    /// event-for-event identical iff their digests match.
+    digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 impl WorldCore {
     fn push(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+        self.queue.push(time, kind);
+    }
+
+    fn store_packet(&mut self, pkt: Packet) -> u32 {
+        match self.free_slots.pop() {
+            Some(slot) => {
+                self.packets[slot as usize] = Some(pkt);
+                slot
+            }
+            None => {
+                self.packets.push(Some(pkt));
+                (self.packets.len() - 1) as u32
+            }
+        }
+    }
+
+    fn take_packet(&mut self, slot: u32) -> Packet {
+        let pkt = self.packets[slot as usize]
+            .take()
+            .expect("arrival slot already consumed");
+        self.free_slots.push(slot);
+        pkt
     }
 }
 
@@ -163,17 +190,27 @@ pub struct World {
 }
 
 impl World {
-    /// Create an empty world with a deterministic RNG seed.
+    /// Create an empty world with a deterministic RNG seed, on the
+    /// default timer-wheel engine.
     pub fn new(seed: u64) -> World {
+        World::new_with_engine(seed, EngineKind::default())
+    }
+
+    /// Create an empty world on an explicit event-engine implementation.
+    /// Scenario traces are bit-identical across engines; the binary-heap
+    /// engine exists for differential tests and benchmarks.
+    pub fn new_with_engine(seed: u64, engine: EngineKind) -> World {
         World {
             core: WorldCore {
                 now: SimTime::ZERO,
-                seq: 0,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(engine),
                 ports: Vec::new(),
-                rng: SmallRng::seed_from_u64(seed),
+                rng: SimRng::from_seed(seed),
                 next_packet_id: 1,
                 events_processed: 0,
+                packets: Vec::new(),
+                free_slots: Vec::new(),
+                digest: FNV_OFFSET,
             },
             nodes: Vec::new(),
             started: false,
@@ -191,7 +228,14 @@ impl World {
     /// Connect `a_port` on node `a` to `b_port` on node `b` with the given
     /// link. Panics if either port is already connected — miswired
     /// topologies are construction bugs, not runtime conditions.
-    pub fn connect(&mut self, a: NodeId, a_port: PortId, b: NodeId, b_port: PortId, spec: LinkSpec) {
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        a_port: PortId,
+        b: NodeId,
+        b_port: PortId,
+        spec: LinkSpec,
+    ) {
         let slot = |ports: &mut Vec<Option<PortState>>, p: PortId| {
             if ports.len() <= p.index() {
                 ports.resize(p.index() + 1, None);
@@ -219,9 +263,28 @@ impl World {
     }
 
     /// Total events dispatched so far (the simulator's own throughput
-    /// metric, used by the criterion benches).
+    /// metric, used by the benches).
     pub fn events_processed(&self) -> u64 {
         self.core.events_processed
+    }
+
+    /// Event-engine counters: pushes, dispatches, wheel cascades,
+    /// overflow migrations, and peak occupancy.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.core.queue.stats()
+    }
+
+    /// Which engine this world runs on.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.core.queue.kind()
+    }
+
+    /// FNV-1a fingerprint of every event dispatched so far: `(time,
+    /// kind, node, detail)` per event. Two runs dispatched the same
+    /// events in the same order iff their digests match — the basis of
+    /// the golden-trace and engine-equivalence tests.
+    pub fn dispatch_digest(&self) -> u64 {
+        self.core.digest
     }
 
     /// Borrow a node, downcast to its concrete type.
@@ -259,8 +322,12 @@ impl World {
         if !self.started {
             self.started = true;
             for i in 0..self.nodes.len() {
-                self.core
-                    .push(SimTime::ZERO, EventKind::Start { node: NodeId(i as u32) });
+                self.core.push(
+                    SimTime::ZERO,
+                    EventKind::Start {
+                        node: NodeId(i as u32),
+                    },
+                );
             }
         }
     }
@@ -268,17 +335,17 @@ impl World {
     /// Dispatch a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some(Reverse(ev)) = self.core.queue.pop() else {
+        let Some((time, kind)) = self.core.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.time >= self.core.now, "time went backwards");
-        self.core.now = ev.time;
+        debug_assert!(time >= self.core.now, "time went backwards");
+        self.core.now = time;
         self.core.events_processed += 1;
-        let node_id = match &ev.kind {
+        let node_id = match kind {
             EventKind::Start { node }
             | EventKind::Arrival { node, .. }
             | EventKind::PortIdle { node, .. }
-            | EventKind::Timer { node, .. } => *node,
+            | EventKind::Timer { node, .. } => node,
         };
         let mut node = self.nodes[node_id.0 as usize]
             .take()
@@ -288,11 +355,26 @@ impl World {
                 core: &mut self.core,
                 node: node_id,
             };
-            match ev.kind {
-                EventKind::Start { .. } => node.on_start(&mut ctx),
-                EventKind::Arrival { port, pkt, .. } => node.on_packet(port, *pkt, &mut ctx),
-                EventKind::PortIdle { port, .. } => node.on_port_idle(port, &mut ctx),
-                EventKind::Timer { token, .. } => node.on_timer(token, &mut ctx),
+            match kind {
+                EventKind::Start { .. } => {
+                    ctx.fold_digest(time, 0, node_id, 0);
+                    node.on_start(&mut ctx);
+                }
+                EventKind::Arrival { port, slot, .. } => {
+                    let pkt = ctx.core.take_packet(slot);
+                    // Digest the packet id, not the slab slot: the slot is
+                    // an allocator artifact, the id is the semantic event.
+                    ctx.fold_digest(time, 1, node_id, ((port.0 as u64) << 32) | pkt.id);
+                    node.on_packet(port, pkt, &mut ctx);
+                }
+                EventKind::PortIdle { port, .. } => {
+                    ctx.fold_digest(time, 2, node_id, port.0 as u64);
+                    node.on_port_idle(port, &mut ctx);
+                }
+                EventKind::Timer { token, .. } => {
+                    ctx.fold_digest(time, 3, node_id, token);
+                    node.on_timer(token, &mut ctx);
+                }
             }
         }
         self.nodes[node_id.0 as usize] = Some(node);
@@ -303,8 +385,8 @@ impl World {
     /// `deadline` are processed) or the queue drains.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
-        while let Some(Reverse(head)) = self.core.queue.peek() {
-            if head.time > deadline {
+        while let Some(head) = self.core.queue.peek_time() {
+            if head > deadline {
                 break;
             }
             self.step();
@@ -345,8 +427,17 @@ impl Ctx<'_> {
     }
 
     /// The world's deterministic RNG.
-    pub fn rng(&mut self) -> &mut SmallRng {
+    pub fn rng(&mut self) -> &mut SimRng {
         &mut self.core.rng
+    }
+
+    fn fold_digest(&mut self, time: SimTime, tag: u64, node: NodeId, detail: u64) {
+        let mut h = self.core.digest;
+        h = fnv1a(h, time.as_ps());
+        h = fnv1a(h, tag);
+        h = fnv1a(h, node.0 as u64);
+        h = fnv1a(h, detail);
+        self.core.digest = h;
     }
 
     /// Allocate a globally unique packet id.
@@ -408,12 +499,13 @@ impl Ctx<'_> {
                 port,
             },
         );
+        let slot = self.core.store_packet(pkt);
         self.core.push(
             arrive_at,
             EventKind::Arrival {
                 node: peer_node,
                 port: peer_port,
-                pkt: Box::new(pkt),
+                slot,
             },
         );
         Ok(())
@@ -515,8 +607,8 @@ mod tests {
         }
     }
 
-    fn two_node_world(count: u32) -> (World, NodeId, NodeId) {
-        let mut w = World::new(7);
+    fn two_node_world_on(engine: EngineKind, count: u32) -> (World, NodeId, NodeId) {
+        let mut w = World::new_with_engine(7, engine);
         let a = w.add_node(Box::new(Chatter::new(count)));
         let b = w.add_node(Box::new(Chatter::new(0)));
         w.connect(
@@ -527,6 +619,41 @@ mod tests {
             LinkSpec::with_length(10_000_000_000, 100),
         );
         (w, a, b)
+    }
+
+    fn two_node_world(count: u32) -> (World, NodeId, NodeId) {
+        two_node_world_on(EngineKind::Wheel, count)
+    }
+
+    #[test]
+    fn engines_dispatch_identically() {
+        let run = |engine| {
+            let (mut w, a, b) = two_node_world_on(engine, 200);
+            w.run_until_idle(100_000);
+            (
+                w.dispatch_digest(),
+                w.events_processed(),
+                w.node::<Chatter>(b).received.clone(),
+                w.node::<Chatter>(a).sent,
+            )
+        };
+        let wheel = run(EngineKind::Wheel);
+        let heap = run(EngineKind::BinaryHeap);
+        assert_eq!(wheel, heap, "wheel and heap must be trace-identical");
+    }
+
+    #[test]
+    fn packet_slab_recycles_slots() {
+        let (mut w, _a, _b) = two_node_world(500);
+        assert!(w.run_until_idle(100_000));
+        // 500 packets flowed but at most a handful were in flight at
+        // once, so the slab stayed small instead of growing per packet.
+        assert!(
+            w.core.packets.len() < 16,
+            "slab grew to {}",
+            w.core.packets.len()
+        );
+        assert_eq!(w.core.free_slots.len(), w.core.packets.len());
     }
 
     #[test]
@@ -565,7 +692,10 @@ mod tests {
                         vlan: None,
                     },
                     ip: None,
-                    kind: PacketKind::Raw { label: 0, size: 500 },
+                    kind: PacketKind::Raw {
+                        label: 0,
+                        size: 500,
+                    },
                     created_ps: 0,
                 };
                 self.results.push(ctx.transmit(PortId(0), mk(1)));

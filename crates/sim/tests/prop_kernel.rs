@@ -1,11 +1,11 @@
 //! Property tests on the event kernel: determinism, conservation, and
-//! timing exactness under arbitrary workloads.
+//! timing exactness under randomized workloads, driven by the in-tree
+//! deterministic `SimRng` so every failure replays from its seed.
 
 use std::any::Any;
 
-use proptest::prelude::*;
 use rocescale_packet::{EthMeta, MacAddr, Packet, PacketKind};
-use rocescale_sim::{serialization_ps, Ctx, LinkSpec, Node, PortId, SimTime, World};
+use rocescale_sim::{serialization_ps, Ctx, LinkSpec, Node, PortId, SimRng, SimTime, World};
 
 /// Sends a scripted list of (size, gap) frames; records arrivals.
 struct Scripted {
@@ -90,45 +90,63 @@ fn run_script(
         received: Vec::new(),
         sent_at: Vec::new(),
     }));
-    w.connect(a, PortId(0), b, PortId(0), LinkSpec::with_length(rate_bps, meters));
+    w.connect(
+        a,
+        PortId(0),
+        b,
+        PortId(0),
+        LinkSpec::with_length(rate_bps, meters),
+    );
     assert!(w.run_until_idle(1_000_000));
     let rx = w.node::<Scripted>(b).received.clone();
     let sent = w.node::<Scripted>(a).sent_at.clone();
     (rx, sent, w.events_processed())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_script(rng: &mut SimRng, max_len: u64, size_hi: u64, gap_hi: u64) -> Vec<(u32, u64)> {
+    let n = rng.gen_range(1..max_len) as usize;
+    (0..n)
+        .map(|_| {
+            let size = rng.gen_range(64..size_hi) as u32;
+            let gap = rng.gen_below(gap_hi);
+            (size, gap)
+        })
+        .collect()
+}
 
-    /// Conservation + FIFO + exact timing: every frame arrives exactly
-    /// once, in order, at sent + serialization + propagation.
-    #[test]
-    fn link_is_a_fifo_pipe_with_exact_timing(
-        script in prop::collection::vec((64u32..9000, 0u64..500_000), 1..40),
-        rate in prop::sample::select(vec![10_000_000_000u64, 40_000_000_000, 100_000_000_000]),
-        meters in 1u32..300,
-    ) {
+/// Conservation + FIFO + exact timing: every frame arrives exactly
+/// once, in order, at sent + serialization + propagation.
+#[test]
+fn link_is_a_fifo_pipe_with_exact_timing() {
+    let mut rng = SimRng::from_seed(0x5EED_0001);
+    const RATES: [u64; 3] = [10_000_000_000, 40_000_000_000, 100_000_000_000];
+    for case in 0..128 {
+        let script = random_script(&mut rng, 40, 9000, 500_000);
+        let rate = RATES[rng.gen_index(RATES.len())];
+        let meters = rng.gen_range(1..300) as u32;
         let (rx, sent, _) = run_script(&script, rate, meters);
-        prop_assert_eq!(rx.len(), script.len(), "conservation");
+        assert_eq!(rx.len(), script.len(), "conservation (case {case})");
         let prop_ps = meters as u64 * rocescale_sim::PROPAGATION_PS_PER_METER;
         for (i, ((arr, size), sent_at)) in rx.iter().zip(&sent).enumerate() {
-            prop_assert_eq!(*size, script[i].0.max(64), "frame {} size (FIFO)", i);
+            assert_eq!(*size, script[i].0.max(64), "frame {i} size (FIFO)");
             let expect = sent_at + serialization_ps(*size, rate) + prop_ps;
-            prop_assert_eq!(*arr, expect, "frame {}: exact arrival time", i);
+            assert_eq!(*arr, expect, "frame {i}: exact arrival time (case {case})");
         }
         // Arrivals are non-decreasing.
-        prop_assert!(rx.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(rx.windows(2).all(|w| w[0].0 <= w[1].0));
     }
+}
 
-    /// Determinism: identical scripts give bit-identical traces and event
-    /// counts.
-    #[test]
-    fn replay_is_exact(
-        script in prop::collection::vec((64u32..2000, 0u64..100_000), 1..30),
-    ) {
+/// Determinism: identical scripts give bit-identical traces and event
+/// counts.
+#[test]
+fn replay_is_exact() {
+    let mut rng = SimRng::from_seed(0x5EED_0002);
+    for _ in 0..64 {
+        let script = random_script(&mut rng, 30, 2000, 100_000);
         let a = run_script(&script, 40_000_000_000, 10);
         let b = run_script(&script, 40_000_000_000, 10);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }
 

@@ -141,8 +141,7 @@ impl SharedBuffer {
     /// threshold − hysteresis and headroom has drained.
     pub fn below_xon(&self, port: u16, pg: Priority) -> bool {
         let c = &self.counters[port as usize][pg.index()];
-        c.headroom == 0
-            && c.shared <= self.xoff_threshold().saturating_sub(self.cfg.xon_delta)
+        c.headroom == 0 && c.shared <= self.xoff_threshold().saturating_sub(self.cfg.xon_delta)
     }
 
     /// Read/modify the latched XOFF state (set when a pause is sent,
@@ -211,7 +210,10 @@ mod tests {
         // ...and beyond it, lossless traffic lands in headroom.
         assert_eq!(b.admit(0, p3, 1024, true), AdmitOutcome::Headroom);
         // Lossy traffic at the same point drops.
-        assert_eq!(b.admit(0, Priority::new(0), 200 * 1024, false), AdmitOutcome::Drop);
+        assert_eq!(
+            b.admit(0, Priority::new(0), 200 * 1024, false),
+            AdmitOutcome::Drop
+        );
     }
 
     #[test]

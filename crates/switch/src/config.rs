@@ -173,7 +173,16 @@ impl SwitchConfig {
             untagged_priority: Priority::new(0),
             lossless: [false, false, false, true, true, false, false, false],
             buffer: BufferConfig::tor_defaults(),
-            ecn: [None, None, None, Some(CpParams::default()), Some(CpParams::default()), None, None, None],
+            ecn: [
+                None,
+                None,
+                None,
+                Some(CpParams::default()),
+                Some(CpParams::default()),
+                None,
+                None,
+                None,
+            ],
             weights: [1; 8],
             mac_timeout: SimTime::from_secs(300),
             arp_timeout: SimTime::from_secs(4 * 3600),

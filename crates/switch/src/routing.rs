@@ -107,7 +107,7 @@ impl RouteTable {
             group,
             connected: false,
         });
-        self.routes.sort_by(|a, b| b.len.cmp(&a.len));
+        self.routes.sort_by_key(|r| std::cmp::Reverse(r.len));
     }
 
     /// Mark `prefix/len` as directly connected (L2 resolution applies).
@@ -118,7 +118,7 @@ impl RouteTable {
             group: EcmpGroup::single(PortId(0)), // unused
             connected: true,
         });
-        self.routes.sort_by(|a, b| b.len.cmp(&a.len));
+        self.routes.sort_by_key(|r| std::cmp::Reverse(r.len));
     }
 
     /// Longest-prefix match for `dst`.

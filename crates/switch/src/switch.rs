@@ -4,7 +4,6 @@
 use std::any::Any;
 use std::collections::VecDeque;
 
-use rand::Rng;
 use rocescale_dcqcn::CpState;
 use rocescale_packet::{
     EcnCodepoint, MacAddr, Packet, PacketKind, PauseFrame, PfcPauseFrame, Priority,
@@ -107,13 +106,19 @@ impl SwitchStats {
 
     /// Count a drop.
     pub fn drop(&mut self, reason: DropReason) {
-        let i = DROP_REASONS.iter().position(|r| *r == reason).expect("known reason");
+        let i = DROP_REASONS
+            .iter()
+            .position(|r| *r == reason)
+            .expect("known reason");
         self.drops[i] += 1;
     }
 
     /// Read a drop counter.
     pub fn drops_of(&self, reason: DropReason) -> u64 {
-        let i = DROP_REASONS.iter().position(|r| *r == reason).expect("known reason");
+        let i = DROP_REASONS
+            .iter()
+            .position(|r| *r == reason)
+            .expect("known reason");
         self.drops[i]
     }
 
@@ -455,8 +460,7 @@ impl Switch {
             self.mac_table.learn(pkt.eth.src, ingress, now);
         }
         let prio = self.classify(&pkt);
-        let lossless = self.cfg.is_lossless(prio)
-            && !self.wd[ingress.index()].lossless_disabled;
+        let lossless = self.cfg.is_lossless(prio) && !self.wd[ingress.index()].lossless_disabled;
 
         // Watchdog: lossless traffic from a quarantined port is discarded.
         if self.cfg.is_lossless(prio) && self.wd[ingress.index()].lossless_disabled {
@@ -534,9 +538,7 @@ impl Switch {
                     pkt.eth.dst = mac;
                     match self.mac_table.lookup(mac, now) {
                         Some(port) => {
-                            self.admit_and_enqueue(
-                                ingress, port, pkt, prio, lossless, false, ctx,
-                            );
+                            self.admit_and_enqueue(ingress, port, pkt, prio, lossless, false, ctx);
                         }
                         None => {
                             // Incomplete ARP entry: IP→MAC known, MAC→port
@@ -622,7 +624,7 @@ impl Switch {
         if pkt.ip.map(|ip| ip.ecn) == Some(EcnCodepoint::Ect) {
             let depth = self.egress[egress.index()].queue_bytes[prio.index()];
             if let Some(cp) = &mut self.cp[egress.index()][prio.index()] {
-                let draw: f64 = ctx.rng().gen();
+                let draw: f64 = ctx.rng().gen_f64();
                 if cp.should_mark(depth, draw) {
                     if let Some(ip) = pkt.ip.as_mut() {
                         ip.ecn = EcnCodepoint::Ce;
@@ -775,8 +777,8 @@ impl Switch {
             if self.cfg.role(p as u16) != PortRole::Server {
                 continue;
             }
-            let receiving_pauses =
-                now.saturating_sub(self.wd[p].last_pause_rx) < wd_cfg.poll_every + wd_cfg.poll_every;
+            let receiving_pauses = now.saturating_sub(self.wd[p].last_pause_rx)
+                < wd_cfg.poll_every + wd_cfg.poll_every;
             if self.wd[p].lossless_disabled {
                 // Re-enable once the storm has been quiet long enough.
                 if now.saturating_sub(self.wd[p].last_pause_rx) >= wd_cfg.reenable_after {
@@ -867,8 +869,7 @@ impl Node for Switch {
                     self.send_pause(port, pg, u16::MAX, ctx);
                     self.stats.pause_tx[port.index()] += 1;
                     let rate = ctx.port_rate(port).unwrap_or(40_000_000_000);
-                    let refresh =
-                        SimTime(PfcPauseFrame::quanta_to_ps(u16::MAX, rate) / 2);
+                    let refresh = SimTime(PfcPauseFrame::quanta_to_ps(u16::MAX, rate) / 2);
                     ctx.set_timer(refresh, tok_refresh(port, pg));
                 }
             }

@@ -5,13 +5,11 @@ use std::any::Any;
 use std::collections::VecDeque;
 
 use rocescale_packet::{
-    EcnCodepoint, EthMeta, Ipv4Meta, MacAddr, Packet, PacketKind, PauseFrame, Priority,
-    RoceOpcode, RocePacket,
+    EcnCodepoint, EthMeta, Ipv4Meta, MacAddr, Packet, PacketKind, PauseFrame, Priority, RoceOpcode,
+    RocePacket,
 };
 use rocescale_sim::{Ctx, LinkSpec, Node, NodeId, PortId, SimTime, World};
-use rocescale_switch::{
-    ClassifyMode, DropReason, EcmpGroup, PortRole, Switch, SwitchConfig,
-};
+use rocescale_switch::{ClassifyMode, DropReason, EcmpGroup, PortRole, Switch, SwitchConfig};
 
 /// A scriptable host NIC for switch tests: sends a queue of packets as
 /// fast as its link (honouring PFC if asked), records what it receives.
@@ -99,8 +97,7 @@ impl Node for TestHost {
                 self.paused_until[prio.index()] = if quanta == 0 {
                     ctx.now()
                 } else {
-                    ctx.now()
-                        + SimTime(rocescale_packet::PfcPauseFrame::quanta_to_ps(quanta, rate))
+                    ctx.now() + SimTime(rocescale_packet::PfcPauseFrame::quanta_to_ps(quanta, rate))
                 };
             }
             self.pump(ctx);
@@ -125,6 +122,7 @@ impl Node for TestHost {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn roce_data(
     id: u64,
     src_mac: MacAddr,
@@ -196,8 +194,18 @@ fn tor_pair(mut cfg: SwitchConfig, slow_receiver: bool) -> TorPair {
     let a = world.add_node(Box::new(TestHost::new(a_mac)));
     let b = world.add_node(Box::new(TestHost::new(b_mac)));
     world.connect(a, PortId(0), sw_id, PortId(0), LinkSpec::server_40g());
-    let b_rate = if slow_receiver { 4_000_000_000 } else { 40_000_000_000 };
-    world.connect(b, PortId(0), sw_id, PortId(1), LinkSpec::with_length(b_rate, 2));
+    let b_rate = if slow_receiver {
+        4_000_000_000
+    } else {
+        40_000_000_000
+    };
+    world.connect(
+        b,
+        PortId(0),
+        sw_id,
+        PortId(1),
+        LinkSpec::with_length(b_rate, 2),
+    );
     TorPair {
         world,
         sw: sw_id,
@@ -249,7 +257,10 @@ fn pfc_prevents_loss_on_lossless_class() {
     let sw = t.world.node::<Switch>(t.sw);
     assert_eq!(sw.stats.total_drops(), 0);
     assert!(sw.stats.total_pause_tx() > 0);
-    assert!(sw.stats.resume_tx.iter().sum::<u64>() > 0, "XON resumes sent");
+    assert!(
+        sw.stats.resume_tx.iter().sum::<u64>() > 0,
+        "XON resumes sent"
+    );
 }
 
 /// The same burst in a lossy class drops instead of pausing.
@@ -340,7 +351,10 @@ fn vlan_trunk_mode_breaks_untagged_pxe() {
             vlan: None,
         },
         ip: None,
-        kind: PacketKind::Raw { label: 67, size: 300 }, // a DHCP/PXE-ish frame
+        kind: PacketKind::Raw {
+            label: 67,
+            size: 300,
+        }, // a DHCP/PXE-ish frame
         created_ps: 0,
     };
     for (mode, delivered) in [(ClassifyMode::Vlan, 0usize), (ClassifyMode::Dscp, 3usize)] {
@@ -348,7 +362,10 @@ fn vlan_trunk_mode_breaks_untagged_pxe() {
         cfg.classify = mode;
         let mut t = tor_pair(cfg, false);
         for i in 0..3 {
-            t.world.node_mut::<TestHost>(t.a).queue.push_back(untagged(i));
+            t.world
+                .node_mut::<TestHost>(t.a)
+                .queue
+                .push_back(untagged(i));
         }
         assert!(t.world.run_until_idle(100_000));
         let b = t.world.node::<TestHost>(t.b);
@@ -403,7 +420,10 @@ fn storm_without_watchdog_propagates_pauses() {
     let a = t.world.node::<TestHost>(t.a);
     assert!(a.pause_rx > 0, "victim sender is paused");
     let b = t.world.node::<TestHost>(t.b);
-    assert!(b.received.len() < 50_000, "traffic is stuck behind the storm");
+    assert!(
+        b.received.len() < 50_000,
+        "traffic is stuck behind the storm"
+    );
 }
 
 /// ECMP across two fabric ports: distinct QPs (UDP source ports) spread;
@@ -415,11 +435,8 @@ fn ecmp_spreads_qps_across_uplinks() {
     let mut cfg = SwitchConfig::new("leaf", 3);
     cfg.port_roles = vec![PortRole::Server, PortRole::Fabric, PortRole::Fabric];
     let mut sw = Switch::new(cfg, sw_mac, 7);
-    sw.routes_mut().add(
-        0x0a010000,
-        24,
-        EcmpGroup::new(vec![PortId(1), PortId(2)]),
-    );
+    sw.routes_mut()
+        .add(0x0a010000, 24, EcmpGroup::new(vec![PortId(1), PortId(2)]));
     sw.set_peer_mac(PortId(1), MacAddr::from_id(201));
     sw.set_peer_mac(PortId(2), MacAddr::from_id(202));
     let mut world = World::new(1);
@@ -452,10 +469,7 @@ fn ecmp_spreads_qps_across_uplinks() {
             let t = p.five_tuple().unwrap();
             let other = world.node::<TestHost>(if up == up1 { up2 } else { up1 });
             assert!(
-                !other
-                    .received
-                    .iter()
-                    .any(|q| q.five_tuple().unwrap() == t),
+                !other.received.iter().any(|q| q.five_tuple().unwrap() == t),
                 "QP split across paths"
             );
         }

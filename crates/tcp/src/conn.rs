@@ -123,7 +123,7 @@ impl TcpSender {
 
     /// True if the window and stream allow sending another segment.
     pub fn can_send(&self) -> bool {
-        self.snd_nxt < self.app_limit && self.flight() + 1 <= self.cwnd as u64
+        self.snd_nxt < self.app_limit && self.flight() < self.cwnd as u64
     }
 
     /// All data sent and acknowledged.
@@ -205,8 +205,8 @@ impl TcpSender {
                 Some(r) if ack < r => {
                     // Partial ACK in NewReno: retransmit the next hole,
                     // deflate.
-                    self.cwnd = (self.cwnd - acked as f64 + self.cfg.mss as f64)
-                        .max(self.cfg.mss as f64);
+                    self.cwnd =
+                        (self.cwnd - acked as f64 + self.cfg.mss as f64).max(self.cfg.mss as f64);
                     self.rto_deadline = Some(now_ps + self.rto_ps);
                     return true;
                 }
@@ -219,8 +219,7 @@ impl TcpSender {
                     if self.cwnd < self.ssthresh {
                         self.cwnd += acked.min(self.cfg.mss as u64) as f64; // slow start
                     } else {
-                        self.cwnd +=
-                            (self.cfg.mss as f64 * self.cfg.mss as f64) / self.cwnd;
+                        self.cwnd += (self.cfg.mss as f64 * self.cfg.mss as f64) / self.cwnd;
                     }
                 }
             }
@@ -450,12 +449,7 @@ mod tests {
         for s in &sent {
             tx.on_ack(s.seq + s.payload as u64, 100_000_000);
         }
-        assert!(
-            tx.cwnd() >= 2 * c0 - 1460,
-            "cwnd {} vs {}",
-            tx.cwnd(),
-            c0
-        );
+        assert!(tx.cwnd() >= 2 * c0 - 1460, "cwnd {} vs {}", tx.cwnd(), c0);
     }
 
     #[test]
@@ -494,7 +488,7 @@ mod tests {
         assert_eq!(tx.stats.timeouts, 1);
         assert_eq!(tx.cwnd(), 1460, "RTO collapses cwnd to 1 MSS");
         let d2 = tx.rto_deadline_ps().unwrap();
-        assert!(d2 - d >= d - 0, "backoff grows the deadline");
+        assert!(d2 - d >= d, "backoff grows the deadline");
     }
 
     #[test]
@@ -543,7 +537,7 @@ mod tests {
             };
             if let Some(s) = seg {
                 n += 1;
-                if n % 7 != 0 {
+                if !n.is_multiple_of(7) {
                     delivered += rx.on_segment(s.seq, s.payload, s.flags.psh);
                     if tx.on_ack(rx.ack_value(), now) {
                         let r = tx.retransmit_segment(now);

@@ -5,11 +5,10 @@
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
-use rand::Rng;
 use rocescale_packet::{
     EcnCodepoint, EthMeta, Ipv4Meta, MacAddr, Packet, PacketKind, Priority, TcpFlags, TcpSegment,
 };
-use rocescale_sim::{Ctx, Node, PortId, SimTime};
+use rocescale_sim::{Ctx, Node, PortId, SimRng, SimTime};
 
 use crate::conn::{ConnConfig, TcpReceiver, TcpSender};
 
@@ -33,9 +32,9 @@ pub struct KernelModel {
 impl Default for KernelModel {
     fn default() -> KernelModel {
         KernelModel {
-            base_ps: 15_000_000,      // 15 µs through the socket layer
-            jitter_ps: 20_000_000,    // +0–20 µs
-            tail_prob: 0.005,         // rare scheduler hiccups
+            base_ps: 15_000_000,          // 15 µs through the socket layer
+            jitter_ps: 20_000_000,        // +0–20 µs
+            tail_prob: 0.005,             // rare scheduler hiccups
             tail_extra_ps: 2_000_000_000, // up to 2 ms
         }
     }
@@ -52,12 +51,12 @@ impl KernelModel {
         }
     }
 
-    fn sample(&self, rng: &mut impl Rng) -> u64 {
+    fn sample(&self, rng: &mut SimRng) -> u64 {
         let mut d = self.base_ps;
         if self.jitter_ps > 0 {
             d += rng.gen_range(0..self.jitter_ps);
         }
-        if self.tail_prob > 0.0 && rng.gen::<f64>() < self.tail_prob {
+        if self.tail_prob > 0.0 && rng.gen_f64() < self.tail_prob {
             d += rng.gen_range(0..self.tail_extra_ps.max(1));
         }
         d
@@ -207,11 +206,7 @@ struct Conn {
 #[derive(Debug, Clone, Copy)]
 enum KernelOp {
     /// Message finishing its way down the send path.
-    TxMsg {
-        conn: u32,
-        len: u32,
-        tracked: bool,
-    },
+    TxMsg { conn: u32, len: u32, tracked: bool },
     /// Message finishing its way up the receive path.
     RxDeliver { conn: u32 },
 }
@@ -281,7 +276,7 @@ impl TcpHost {
             local_port,
             peer_port,
             app,
-        pending_rtt: VecDeque::new(),
+            pending_rtt: VecDeque::new(),
         });
         self.by_port.insert(local_port, idx);
         ConnHandle(idx)
@@ -514,7 +509,6 @@ impl Node for TcpHost {
 
     fn on_packet(&mut self, _port: PortId, pkt: Packet, ctx: &mut Ctx<'_>) {
         if let PacketKind::Tcp(seg) = pkt.kind {
-            let seg = seg;
             self.on_segment(&pkt, &seg, ctx);
         }
         // PFC pauses never reach the TCP class in practice; ignore others.
@@ -573,8 +567,10 @@ mod tests {
         // At 40 Gb/s with 1460 B segments for one second:
         let segs_per_sec = 40e9 / (1460.0 * 8.0);
         let cpu = CpuModel::default();
-        let mut stats = TcpHostStats::default();
-        stats.cpu_ps = (segs_per_sec * cpu.tx_ps_per_segment as f64) as u64;
+        let mut stats = TcpHostStats {
+            cpu_ps: (segs_per_sec * cpu.tx_ps_per_segment as f64) as u64,
+            ..Default::default()
+        };
         let pct = stats.cpu_percent(SimTime::from_secs(1), 32);
         assert!((5.0..7.5).contains(&pct), "tx cpu {pct}% (paper: 6%)");
         stats.cpu_ps = (segs_per_sec * cpu.rx_ps_per_segment as f64) as u64;
@@ -584,8 +580,7 @@ mod tests {
 
     #[test]
     fn kernel_model_sampling_bounds() {
-        use rand::{rngs::SmallRng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SimRng::from_seed(3);
         let m = KernelModel::default();
         for _ in 0..1000 {
             let d = m.sample(&mut rng);

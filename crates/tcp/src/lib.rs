@@ -36,5 +36,5 @@
 pub mod conn;
 pub mod host;
 
-pub use conn::{ConnConfig, TcpSender, TcpReceiver};
-pub use host::{CpuModel, KernelModel, TcpApp, TcpHost, TcpHostConfig, ConnHandle};
+pub use conn::{ConnConfig, TcpReceiver, TcpSender};
+pub use host::{ConnHandle, CpuModel, KernelModel, TcpApp, TcpHost, TcpHostConfig};

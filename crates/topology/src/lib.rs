@@ -20,10 +20,9 @@
 #![warn(missing_docs)]
 
 use rocescale_sim::PortId;
-use serde::{Deserialize, Serialize};
 
 /// Role of a node in the Clos fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tier {
     /// A server (one NIC port).
     Server,
@@ -36,7 +35,7 @@ pub enum Tier {
 }
 
 /// A node in the topology. Index in [`Topology::nodes`] is its id.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TopoNode {
     /// Tier.
     pub tier: Tier,
@@ -94,7 +93,7 @@ pub struct Topology {
 }
 
 /// Parameters of a Clos fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClosSpec {
     /// Number of pods (podsets).
     pub pods: u32,
@@ -249,8 +248,7 @@ impl Topology {
         //   Leaf:  0..tors → ToRs of the pod, then one per spine.
         //   Spine: pod-major × leaf index.
         for p in 0..spec.pods as usize {
-            for tor in 0..spec.tors_per_pod as usize {
-                let tor_id = tor_ids[p][tor];
+            for (tor, &tor_id) in tor_ids[p].iter().enumerate() {
                 for s in 0..spec.servers_per_tor as usize {
                     let srv_id = tor_id + 1 + s;
                     t.links.push(TopoLink {
@@ -260,24 +258,21 @@ impl Topology {
                         meters: spec.server_m,
                     });
                 }
-                for l in 0..spec.leaves_per_pod as usize {
+                for (l, &leaf_id) in leaf_ids[p].iter().enumerate() {
                     t.links.push(TopoLink {
                         a: (tor_id, PortId((spec.servers_per_tor as usize + l) as u16)),
-                        b: (leaf_ids[p][l], PortId(tor as u16)),
+                        b: (leaf_id, PortId(tor as u16)),
                         rate_bps: spec.tor_leaf_bps,
                         meters: spec.tor_leaf_m,
                     });
                 }
             }
-            for l in 0..spec.leaves_per_pod as usize {
+            for (l, &leaf_id) in leaf_ids[p].iter().enumerate() {
                 // Leaf l connects to the spines of plane l only.
                 for k in 0..spines_per_plane {
                     let spine = l * spines_per_plane + k;
                     t.links.push(TopoLink {
-                        a: (
-                            leaf_ids[p][l],
-                            PortId((spec.tors_per_pod as usize + k) as u16),
-                        ),
+                        a: (leaf_id, PortId((spec.tors_per_pod as usize + k) as u16)),
                         b: (spine_ids[spine], PortId(p as u16)),
                         rate_bps: spec.leaf_spine_bps,
                         meters: spec.leaf_spine_m,
@@ -423,7 +418,10 @@ mod tests {
         // Aggregate podset↔spine bandwidth = 64 × 4 × ... per paper:
         // 64 uplinks per podset × 40G = 2.56 Tb/s.
         let per_podset_uplinks = 4 * 64;
-        assert_eq!(per_podset_uplinks as u64 * 40_000_000_000 / 4, 2_560_000_000_000);
+        assert_eq!(
+            per_podset_uplinks as u64 * 40_000_000_000 / 4,
+            2_560_000_000_000
+        );
     }
 
     #[test]

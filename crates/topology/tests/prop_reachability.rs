@@ -4,7 +4,6 @@
 //! the paper's up-down property (once a path turns downward it never
 //! goes up again).
 
-use proptest::prelude::*;
 use rocescale_sim::PortId;
 use rocescale_topology::{ClosSpec, RouteSpec, Tier, Topology};
 
@@ -83,7 +82,12 @@ fn verify_pair(topo: &Topology, src: usize, dst: usize) -> Result<(), String> {
             continue;
         }
         match lookup(&topo.routes[node], dst_ip) {
-            None => return Err(format!("{} has no route to {dst_ip:x}", topo.nodes[node].name)),
+            None => {
+                return Err(format!(
+                    "{} has no route to {dst_ip:x}",
+                    topo.nodes[node].name
+                ))
+            }
             Some(RouteSpec::Connected { .. }) => {
                 // Deliverable iff dst really is attached here.
                 let attached = topo.servers_of_tor(node).contains(&dst);
@@ -113,32 +117,32 @@ fn verify_pair(topo: &Topology, src: usize, dst: usize) -> Result<(), String> {
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every server reaches every other server over every ECMP branch,
-    /// within the hop bound, without ever turning back upward.
-    #[test]
-    fn all_pairs_reachable_up_down(
-        pods in 1u32..3,
-        tors in 1u32..4,
-        leaves in 1u32..3,
-        planes in 1u32..3,
-        servers in 1u32..4,
-    ) {
-        let spec = ClosSpec::uniform_40g(pods, tors, leaves, leaves * planes, servers);
-        let topo = Topology::clos(&spec);
-        let all = topo.of_tier(Tier::Server);
-        for &a in &all {
-            for &b in &all {
-                if a == b {
-                    continue;
-                }
-                if let Err(e) = verify_pair(&topo, a, b) {
-                    return Err(TestCaseError::fail(format!(
-                        "{} -> {}: {e}",
-                        topo.nodes[a].name, topo.nodes[b].name
-                    )));
+/// Every server reaches every other server over every ECMP branch,
+/// within the hop bound, without ever turning back upward. The previous
+/// proptest sampled this space; the parameter ranges are small enough to
+/// check exhaustively (72 fabric shapes).
+#[test]
+fn all_pairs_reachable_up_down() {
+    for pods in 1u32..3 {
+        for tors in 1u32..4 {
+            for leaves in 1u32..3 {
+                for planes in 1u32..3 {
+                    for servers in 1u32..4 {
+                        let spec =
+                            ClosSpec::uniform_40g(pods, tors, leaves, leaves * planes, servers);
+                        let topo = Topology::clos(&spec);
+                        let all = topo.of_tier(Tier::Server);
+                        for &a in &all {
+                            for &b in &all {
+                                if a == b {
+                                    continue;
+                                }
+                                if let Err(e) = verify_pair(&topo, a, b) {
+                                    panic!("{} -> {}: {e}", topo.nodes[a].name, topo.nodes[b].name);
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -515,7 +515,9 @@ impl QpEndpoint {
                     }
                 }
             }
-            RoceOpcode::Ack | RoceOpcode::Nak | RoceOpcode::Cnp => unreachable!("control handled above"),
+            RoceOpcode::Ack | RoceOpcode::Nak | RoceOpcode::Cnp => {
+                unreachable!("control handled above")
+            }
         }
         // Message boundary: the next message starts at the next expected
         // PSN. Keeping this tracked even before its first packet arrives
@@ -574,12 +576,7 @@ mod tests {
     /// or `max_steps`. `drop_nth` drops every nth *transmitted* data
     /// packet (1-based count across the whole run), mimicking the paper's
     /// deterministic IP-ID filter. Returns transmitted data packet count.
-    fn run_channel(
-        a: &mut QpEndpoint,
-        b: &mut QpEndpoint,
-        drop_every: u64,
-        max_steps: u64,
-    ) -> u64 {
+    fn run_channel(a: &mut QpEndpoint, b: &mut QpEndpoint, drop_every: u64, max_steps: u64) -> u64 {
         let mut now = 0u64;
         let mut tx_count = 0u64;
         for _ in 0..max_steps {
@@ -589,7 +586,7 @@ mod tests {
             if let Some(d) = a.next_data_tx(now) {
                 tx_count += 1;
                 progressed = true;
-                if drop_every == 0 || tx_count % drop_every != 0 {
+                if drop_every == 0 || !tx_count.is_multiple_of(drop_every) {
                     b.on_packet(&d, now);
                 }
             }
@@ -621,7 +618,10 @@ mod tests {
         let (mut a, mut b) = pair(LossRecovery::GoBackN);
         a.post(Verb::Send { len: 10_000 }, WrId(1));
         run_channel(&mut a, &mut b, 0, 100);
-        assert_eq!(a.take_completions(), vec![Completion::SendDone { wr: WrId(1) }]);
+        assert_eq!(
+            a.take_completions(),
+            vec![Completion::SendDone { wr: WrId(1) }]
+        );
         let rx = b.take_completions();
         assert_eq!(rx, vec![Completion::MessageReceived { len: 10_000 }]);
         assert_eq!(b.goodput_bytes(), 10_000);
@@ -663,7 +663,9 @@ mod tests {
         a.post(Verb::Send { len: 100 * 1024 }, WrId(1)); // 100 packets
         let tx = run_channel(&mut a, &mut b, 50, 10_000); // drop every 50th
         assert_eq!(b.goodput_bytes(), 100 * 1024);
-        assert!(a.take_completions().contains(&Completion::SendDone { wr: WrId(1) }));
+        assert!(a
+            .take_completions()
+            .contains(&Completion::SendDone { wr: WrId(1) }));
         assert!(b.stats.naks_tx > 0, "losses must trigger NAKs");
         // Go-back-N wastes some transmissions but far fewer than 2x.
         assert!(tx < 250, "tx = {tx}");
@@ -695,7 +697,7 @@ mod tests {
     fn tail_loss_recovered_by_rto() {
         let (mut a, mut b) = pair(LossRecovery::GoBackN);
         a.post(Verb::Send { len: 4096 }, WrId(1)); // 4 packets
-        // Drop the 4th (last) packet: no later packet will reveal the gap.
+                                                   // Drop the 4th (last) packet: no later packet will reveal the gap.
         let mut now = 0u64;
         for i in 0..4 {
             let d = a.next_data_tx(now).unwrap();
@@ -724,7 +726,10 @@ mod tests {
         while let Some(c) = b.pop_ctrl_tx() {
             a.on_packet(&c, now);
         }
-        assert_eq!(a.take_completions(), vec![Completion::SendDone { wr: WrId(1) }]);
+        assert_eq!(
+            a.take_completions(),
+            vec![Completion::SendDone { wr: WrId(1) }]
+        );
         assert_eq!(b.goodput_bytes(), 4096);
     }
 
@@ -734,7 +739,13 @@ mod tests {
         a.post(Verb::Read { len: 8000 }, WrId(9));
         run_channel(&mut a, &mut b, 0, 200);
         let done = a.take_completions();
-        assert_eq!(done, vec![Completion::ReadDone { wr: WrId(9), len: 8000 }]);
+        assert_eq!(
+            done,
+            vec![Completion::ReadDone {
+                wr: WrId(9),
+                len: 8000
+            }]
+        );
         assert_eq!(a.goodput_bytes(), 8000, "response bytes land at requester");
         // The responder transmitted the 8 response packets.
         assert_eq!(b.stats.data_pkts_tx, 8);
@@ -747,7 +758,10 @@ mod tests {
         run_channel(&mut a, &mut b, 7, 10_000);
         assert_eq!(
             a.take_completions(),
-            vec![Completion::ReadDone { wr: WrId(9), len: 64 * 1024 }]
+            vec![Completion::ReadDone {
+                wr: WrId(9),
+                len: 64 * 1024
+            }]
         );
     }
 
@@ -804,7 +818,7 @@ mod tests {
         let mut a = QpEndpoint::new(cfg);
         let mut b = QpEndpoint::new(cfg);
         a.post(Verb::Send { len: 100 * 1024 }, WrId(1)); // 100 packets
-        // Unacknowledged, the sender stalls at exactly the window.
+                                                         // Unacknowledged, the sender stalls at exactly the window.
         let mut sent = 0;
         while let Some(_d) = a.next_data_tx(0) {
             sent += 1;
@@ -821,7 +835,10 @@ mod tests {
             while let Some(c) = b.pop_ctrl_tx() {
                 a.on_packet(&c, now);
             }
-            if a.take_completions().iter().any(|c| matches!(c, Completion::SendDone { .. })) {
+            if a.take_completions()
+                .iter()
+                .any(|c| matches!(c, Completion::SendDone { .. }))
+            {
                 break;
             }
             a.check_timeout(now);

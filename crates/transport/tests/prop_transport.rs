@@ -3,7 +3,7 @@
 //! receiver never delivers out-of-order bytes; go-back-0 either completes
 //! or makes zero message progress — never corrupts.
 
-use proptest::prelude::*;
+use rocescale_sim::SimRng;
 use rocescale_transport::{Completion, LossRecovery, QpConfig, QpEndpoint, Verb, WrId};
 
 /// Drive `a` → `b` over an in-order channel that drops transmissions whose
@@ -32,8 +32,8 @@ fn drive(
         now += 1_000_000;
         let mut progressed = false;
         if let Some(d) = a.next_data_tx(now) {
-            let dropped = !drop_pattern.is_empty()
-                && drop_pattern.contains(&((tx_count % 997) as u16));
+            let dropped =
+                !drop_pattern.is_empty() && drop_pattern.contains(&((tx_count % 997) as u16));
             tx_count += 1;
             progressed = true;
             if !dropped {
@@ -68,65 +68,78 @@ fn drive(
     (completed, b.goodput_bytes(), tx_count)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_vec(rng: &mut SimRng, lo: u64, hi: u64, max_len: u64) -> Vec<u32> {
+    let n = rng.gen_range(1..max_len) as usize;
+    (0..n).map(|_| rng.gen_range(lo..hi) as u32).collect()
+}
 
-    /// Go-back-N liveness and exactly-once: any finite loss pattern, any
-    /// message mix — all messages complete in posting order and the
-    /// receiver's goodput equals the posted bytes exactly.
-    #[test]
-    fn goback_n_delivers_everything_in_order(
-        msgs in prop::collection::vec(1u32..200_000, 1..6),
-        drops in prop::collection::vec(0u16..997, 0..150),
-    ) {
+fn random_drops(rng: &mut SimRng, max_len: u64) -> Vec<u16> {
+    let n = rng.gen_below(max_len) as usize;
+    (0..n).map(|_| rng.gen_below(997) as u16).collect()
+}
+
+/// Go-back-N liveness and exactly-once: any finite loss pattern, any
+/// message mix — all messages complete in posting order and the
+/// receiver's goodput equals the posted bytes exactly.
+#[test]
+fn goback_n_delivers_everything_in_order() {
+    let mut rng = SimRng::from_seed(0x7A17_0001);
+    for _ in 0..64 {
+        let msgs = random_vec(&mut rng, 1, 200_000, 6);
+        let drops = random_drops(&mut rng, 150);
         let total: u64 = msgs.iter().map(|m| *m as u64).sum();
-        let (completed, goodput, _tx) =
-            drive(LossRecovery::GoBackN, &msgs, &drops, 2_000_000);
-        prop_assert_eq!(completed.len(), msgs.len(), "all messages complete");
-        prop_assert!(completed.windows(2).all(|w| w[0] < w[1]), "in order");
-        prop_assert_eq!(goodput, total, "no bytes lost or duplicated into goodput");
+        let (completed, goodput, _tx) = drive(LossRecovery::GoBackN, &msgs, &drops, 2_000_000);
+        assert_eq!(completed.len(), msgs.len(), "all messages complete");
+        assert!(completed.windows(2).all(|w| w[0] < w[1]), "in order");
+        assert_eq!(goodput, total, "no bytes lost or duplicated into goodput");
     }
+}
 
-    /// Loss-free runs are exactly minimal: transmissions = ceil-sum of
-    /// segments, goodput exact, for both schemes.
-    #[test]
-    fn lossless_runs_are_minimal(
-        msgs in prop::collection::vec(1u32..100_000, 1..5),
-        gb0 in any::<bool>(),
-    ) {
-        let recovery = if gb0 { LossRecovery::GoBack0 } else { LossRecovery::GoBackN };
-        let expected_pkts: u64 = msgs
-            .iter()
-            .map(|m| (m.div_ceil(1024)).max(1) as u64)
-            .sum();
+/// Loss-free runs are exactly minimal: transmissions = ceil-sum of
+/// segments, goodput exact, for both schemes.
+#[test]
+fn lossless_runs_are_minimal() {
+    let mut rng = SimRng::from_seed(0x7A17_0002);
+    for _ in 0..64 {
+        let msgs = random_vec(&mut rng, 1, 100_000, 5);
+        let gb0 = rng.gen_bool(0.5);
+        let recovery = if gb0 {
+            LossRecovery::GoBack0
+        } else {
+            LossRecovery::GoBackN
+        };
+        let expected_pkts: u64 = msgs.iter().map(|m| (m.div_ceil(1024)).max(1) as u64).sum();
         let total: u64 = msgs.iter().map(|m| *m as u64).sum();
         let (completed, goodput, tx) = drive(recovery, &msgs, &[], 1_000_000);
-        prop_assert_eq!(completed.len(), msgs.len());
-        prop_assert_eq!(goodput, total);
-        prop_assert_eq!(tx, expected_pkts, "no spurious retransmissions");
+        assert_eq!(completed.len(), msgs.len());
+        assert_eq!(goodput, total);
+        assert_eq!(tx, expected_pkts, "no spurious retransmissions");
     }
+}
 
-    /// Go-back-0 under arbitrary loss never corrupts: goodput is always a
-    /// prefix-sum of whole messages (each message counted at most once).
-    #[test]
-    fn goback0_never_corrupts(
-        msgs in prop::collection::vec(1u32..100_000, 1..4),
-        drops in prop::collection::vec(0u16..997, 0..100),
-    ) {
-        let (completed, goodput, _) =
-            drive(LossRecovery::GoBack0, &msgs, &drops, 300_000);
-        // goodput must equal the byte-sum of some prefix of messages
-        // possibly plus... no: receiver counts each fully received message
-        // once; completion order is posting order.
+/// Go-back-0 under arbitrary loss never corrupts: goodput is always a
+/// prefix-sum of whole messages (each message counted at most once).
+#[test]
+fn goback0_never_corrupts() {
+    let mut rng = SimRng::from_seed(0x7A17_0003);
+    for _ in 0..64 {
+        let msgs = random_vec(&mut rng, 1, 100_000, 4);
+        let drops = random_drops(&mut rng, 100);
+        let (completed, goodput, _) = drive(LossRecovery::GoBack0, &msgs, &drops, 300_000);
+        // The receiver counts each fully received message once;
+        // completion order is posting order.
         let mut acc = 0u64;
         let mut valid = vec![0u64];
         for m in &msgs {
             acc += *m as u64;
             valid.push(acc);
         }
-        prop_assert!(valid.contains(&goodput), "goodput {} not a message prefix sum {:?}", goodput, valid);
-        prop_assert!(completed.len() <= msgs.len());
-        prop_assert!(completed.windows(2).all(|w| w[0] < w[1]));
+        assert!(
+            valid.contains(&goodput),
+            "goodput {goodput} not a message prefix sum {valid:?}"
+        );
+        assert!(completed.len() <= msgs.len());
+        assert!(completed.windows(2).all(|w| w[0] < w[1]));
     }
 }
 

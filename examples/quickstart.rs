@@ -7,8 +7,8 @@
 //! ```
 
 use rocescale::core::{ClusterBuilder, ServerId};
-use rocescale::monitor::{Percentiles, Pingmesh};
 use rocescale::monitor::pingmesh::{ProbeResult, Scope};
+use rocescale::monitor::{Percentiles, Pingmesh};
 use rocescale::nic::QpApp;
 use rocescale::sim::SimTime;
 

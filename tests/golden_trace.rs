@@ -1,0 +1,61 @@
+//! Golden dispatch-trace pin for the event engine.
+//!
+//! `World` folds every dispatched event — `(time, kind, node, detail)` —
+//! into an FNV-1a digest, a compact fingerprint of the full event trace.
+//! This test pins that digest for a fixed full-stack scenario so any
+//! change to dispatch *order or content* (a scheduler bug, an accidental
+//! semantic change riding along a refactor) fails loudly, and proves the
+//! timer wheel and the reference binary heap dispatch byte-identical
+//! streams.
+//!
+//! If a PR changes simulation semantics on purpose, re-deriving the
+//! constant is the explicit, reviewable act of accepting the new trace.
+
+use rocescale_core::{ClusterBuilder, ServerId};
+use rocescale_nic::QpApp;
+use rocescale_sim::{EngineKind, SimTime};
+
+/// Digest pinned at the timer-wheel engine's introduction (identical to
+/// the binary heap's on the same scenario).
+const GOLDEN_DIGEST: u64 = 5655298337002817904;
+/// Event count of the pinned trace.
+const GOLDEN_EVENTS: u64 = 13800;
+
+fn run(engine: EngineKind) -> (u64, u64) {
+    let mut cl = ClusterBuilder::two_tier(2, 4)
+        .seed(7)
+        .engine(engine)
+        .build();
+    for i in 1..4usize {
+        cl.connect_qp(
+            ServerId(i),
+            ServerId(0),
+            6000 + i as u16,
+            QpApp::Saturate {
+                msg_len: 128 * 1024,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+    }
+    cl.run_until(SimTime::from_micros(500));
+    (cl.world.dispatch_digest(), cl.world.events_processed())
+}
+
+#[test]
+fn dispatch_trace_matches_committed_golden() {
+    assert_eq!(
+        run(EngineKind::Wheel),
+        (GOLDEN_DIGEST, GOLDEN_EVENTS),
+        "wheel trace deviates from the committed golden digest"
+    );
+}
+
+#[test]
+fn both_engines_dispatch_byte_identical_traces() {
+    assert_eq!(
+        run(EngineKind::BinaryHeap),
+        (GOLDEN_DIGEST, GOLDEN_EVENTS),
+        "binary-heap trace deviates from the wheel's"
+    );
+}

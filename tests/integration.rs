@@ -30,7 +30,8 @@ fn cross_pod_transfer_with_agreeing_counters() {
         .find(|s| c.server_pod(*s) == 1)
         .unwrap();
     let (qa, qb) = c.connect_qp(a, b, 4444, QpApp::None, QpApp::None);
-    c.rdma_mut(a).post(qa, Verb::Send { len: 3 << 20 }, SimTime::ZERO, false);
+    c.rdma_mut(a)
+        .post(qa, Verb::Send { len: 3 << 20 }, SimTime::ZERO, false);
     c.run_for_millis(3);
     // Application view.
     assert_eq!(c.rdma(b).qp_endpoint(qb).goodput_bytes(), 3 << 20);
@@ -163,7 +164,13 @@ fn pingmesh_health_verdict() {
 #[test]
 fn mixed_fleet_coexistence() {
     let mut c = ClusterBuilder::two_tier(2, 4)
-        .server_kind(|i| if i % 2 == 0 { ServerKind::Rdma } else { ServerKind::Tcp })
+        .server_kind(|i| {
+            if i % 2 == 0 {
+                ServerKind::Rdma
+            } else {
+                ServerKind::Tcp
+            }
+        })
         .seed(33)
         .build();
     let rdma = c.servers_of_kind(ServerKind::Rdma);
@@ -178,7 +185,14 @@ fn mixed_fleet_coexistence() {
         },
         QpApp::None,
     );
-    let (ct, _) = c.connect_tcp(tcp[0], tcp[2], TcpApp::Saturate { msg_len: 256 * 1024 }, TcpApp::None);
+    let (ct, _) = c.connect_tcp(
+        tcp[0],
+        tcp[2],
+        TcpApp::Saturate {
+            msg_len: 256 * 1024,
+        },
+        TcpApp::None,
+    );
     c.run_for_millis(10);
     // Coexistence, not performance: both stacks make progress (DCQCN
     // deliberately yields while converging against the TCP share) and
@@ -321,7 +335,11 @@ fn pingmesh_service_end_to_end() {
     ]
     .into_iter()
     .any(|s| report.healthy(s, SimTime::from_micros(500).as_ps()));
-    assert!(healthy_any, "an idle fabric must be healthy\n{}", report.render());
+    assert!(
+        healthy_any,
+        "an idle fabric must be healthy\n{}",
+        report.render()
+    );
 }
 
 /// The §6.2 switch_tweak hook: a "new switch type" can be misconfigured
