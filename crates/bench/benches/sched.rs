@@ -3,7 +3,7 @@
 //! engines dispatch the identical `(time, seq)` stream, so every pair of
 //! lines below is the same work — only the queue differs.
 
-use rocescale_bench::harness::{bench, bench_elements, section};
+use rocescale_bench::harness::{bench, bench_elements, section, write_json_artifact, Measurement};
 use rocescale_core::{Cluster, ClusterBuilder, ServerId};
 use rocescale_nic::QpApp;
 use rocescale_sim::sched::EventQueue;
@@ -15,7 +15,7 @@ const ENGINES: [EngineKind; 2] = [EngineKind::Wheel, EngineKind::BinaryHeap];
 /// Steady-state churn: the queue holds `depth` pending events while each
 /// iteration pops the front and pushes a replacement at a random near
 /// future — the hold-then-replace pattern every in-flight packet induces.
-fn sched_churn() {
+fn sched_churn(out: &mut Vec<Measurement>) {
     section("sched_churn");
     for depth in [1_000usize, 100_000] {
         for engine in ENGINES {
@@ -25,14 +25,14 @@ fn sched_churn() {
             for v in 0..depth as u64 {
                 q.push(SimTime(rng.gen_below(1 << 24)), v);
             }
-            bench(&format!("churn_depth_{depth}/{engine:?}"), || {
+            out.push(bench(&format!("churn_depth_{depth}/{engine:?}"), || {
                 let (t, v) = q.pop().unwrap();
                 now = t.as_ps();
                 // Near-future replacement: within ~16 µs, like a
                 // serialization delay or a DCQCN timer.
                 q.push(SimTime(now + 1 + rng.gen_below(1 << 24)), v);
                 v
-            });
+            }));
         }
     }
 }
@@ -40,23 +40,27 @@ fn sched_churn() {
 /// Dense same-tick bursts: 512 events at one timestamp, drained in FIFO
 /// order — the pattern of a switch fanning one arrival out to its ports,
 /// and the worst case for the wheel's per-slot ready heap.
-fn sched_dense_bursts() {
+fn sched_dense_bursts(out: &mut Vec<Measurement>) {
     section("sched_dense_bursts");
     const BURST: u64 = 512;
     for engine in ENGINES {
         let mut t = 0u64;
-        bench_elements(&format!("same_tick_burst_512/{engine:?}"), BURST, || {
-            let mut q: EventQueue<u64> = EventQueue::new(engine);
-            t += 4_096; // a new tick each iteration
-            for v in 0..BURST {
-                q.push(SimTime(t), v);
-            }
-            let mut last = 0;
-            while let Some((_, v)) = q.pop() {
-                last = v;
-            }
-            last
-        });
+        out.push(bench_elements(
+            &format!("same_tick_burst_512/{engine:?}"),
+            BURST,
+            || {
+                let mut q: EventQueue<u64> = EventQueue::new(engine);
+                t += 4_096; // a new tick each iteration
+                for v in 0..BURST {
+                    q.push(SimTime(t), v);
+                }
+                let mut last = 0;
+                while let Some((_, v)) = q.pop() {
+                    last = v;
+                }
+                last
+            },
+        ));
     }
 }
 
@@ -81,7 +85,7 @@ fn build_incast(spec: ClosSpec, fan_in: usize, engine: EngineKind) -> Cluster {
 /// Full-fabric Clos incasts at three sizes: a rack, a pod, and a
 /// two-podset fabric. Event count (and thus pending-event depth) grows
 /// with fabric size; the wheel must stay at parity or better throughout.
-fn sched_clos_incast() {
+fn sched_clos_incast(out: &mut Vec<Measurement>) {
     section("sched_clos_incast");
     let fabrics: [(&str, ClosSpec, usize); 3] = [
         ("rack_8", ClosSpec::uniform_40g(1, 1, 1, 1, 8), 7),
@@ -96,18 +100,31 @@ fn sched_clos_incast() {
             cl.world.events_processed()
         };
         for engine in ENGINES {
-            let m = bench_elements(&format!("incast_{name}/{engine:?}"), events, || {
-                let mut cl = build_incast(spec, fan_in, engine);
-                cl.run_until(window);
-                cl.world.events_processed()
-            });
-            let _ = m;
+            out.push(bench_elements(
+                &format!("incast_{name}/{engine:?}"),
+                events,
+                || {
+                    let mut cl = build_incast(spec, fan_in, engine);
+                    cl.run_until(window);
+                    cl.world.events_processed()
+                },
+            ));
         }
     }
 }
 
 fn main() {
-    sched_churn();
-    sched_dense_bursts();
-    sched_clos_incast();
+    let args: Vec<String> = std::env::args().collect();
+    let json_out = args.iter().position(|a| a == "--json-out").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or("BENCH_sched.json".into())
+    });
+    let mut results = Vec::new();
+    sched_churn(&mut results);
+    sched_dense_bursts(&mut results);
+    sched_clos_incast(&mut results);
+    if let Some(path) = json_out {
+        write_json_artifact(&path, "sched", &results);
+    }
 }

@@ -1,35 +1,56 @@
 //! Figure 4 / §4.2 — PFC + Ethernet flooding deadlock, and the
 //! drop-on-incomplete-ARP fix.
 
-use rocescale_bench::header;
+use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
 use rocescale_core::scenarios::deadlock;
 use rocescale_sim::SimTime;
 
-fn main() {
-    header(
-        "FIG-4 (§4.2)",
+struct Fig4;
+
+impl ScenarioReport for Fig4 {
+    fn id(&self) -> &str {
+        "FIG-4 (§4.2)"
+    }
+    fn title(&self) -> &str {
+        "flooding deadlock and the incomplete-ARP fix"
+    }
+    fn claim(&self) -> &str {
         "incomplete ARP entries make ToRs flood lossless packets; flood copies parked \
          on paused fabric ports close a cyclic buffer dependency and the fabric wedges \
-         permanently; dropping lossless packets on incomplete ARP prevents it",
-    );
-    let dur = SimTime::from_millis(40);
-    println!(
-        "{:<6} {:>28} {:>16} {:>8} {:>10}",
-        "fix", "deadlocked switches", "tail MB (live)", "pauses", "fix drops"
-    );
-    for fix in [false, true] {
-        let r = deadlock::run(fix, dur);
-        println!(
-            "{:<6} {:>28} {:>16.1} {:>8} {:>10}",
-            r.fix_enabled,
-            format!("{:?}", r.deadlocked_switches),
-            r.tail_goodput_bytes as f64 / 1e6,
-            r.pauses,
-            r.fix_drops
-        );
-        match r.wait_cycle {
-            Some(c) => println!("       pause-wait cycle: {}", c.join(" -> ")),
-            None => println!("       pause-wait graph: acyclic"),
-        }
+         permanently; dropping lossless packets on incomplete ARP prevents it"
     }
+    fn run(&self, _args: &CliArgs) -> Report {
+        let dur = SimTime::from_millis(40);
+        let mut t = Table::new(
+            "arms",
+            &[
+                "fix",
+                "deadlocked switches",
+                "tail MB (live)",
+                "pauses",
+                "fix drops",
+            ],
+        );
+        let mut rep = Report::new();
+        for fix in [false, true] {
+            let r = deadlock::run(fix, dur);
+            t.row(vec![
+                Cell::Bool(r.fix_enabled),
+                Cell::s(format!("{:?}", r.deadlocked_switches)),
+                Cell::f1(r.tail_goodput_bytes as f64 / 1e6),
+                Cell::U64(r.pauses),
+                Cell::U64(r.fix_drops),
+            ]);
+            match r.wait_cycle {
+                Some(c) => rep.note(format!("fix={fix}: pause-wait cycle: {}", c.join(" -> "))),
+                None => rep.note(format!("fix={fix}: pause-wait graph: acyclic")),
+            }
+        }
+        rep.table(t);
+        rep
+    }
+}
+
+fn main() {
+    main_for(&Fig4)
 }

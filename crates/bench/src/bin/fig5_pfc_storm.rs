@@ -1,31 +1,53 @@
 //! Figure 5 / §4.3 — one malfunctioning NIC's pause storm vs the two
 //! watchdogs.
 
-use rocescale_bench::header;
+use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
 use rocescale_core::scenarios::storm;
 use rocescale_sim::SimTime;
 
-fn main() {
-    header(
-        "FIG-5 (§4.3)",
-        "a single malfunctioning NIC may block the entire network from transmitting; \
-         complementary NIC-side and switch-side watchdogs contain it",
-    );
-    let dur = SimTime::from_millis(40);
-    println!(
-        "{:<10} {:>14} {:>16} {:>8} {:>10}",
-        "watchdogs", "healthy pairs", "victim pauses", "nic wd", "switch wd"
-    );
-    for watchdogs in [false, true] {
-        let r = storm::run(watchdogs, dur);
-        println!(
-            "{:<10} {:>10}/{:<3} {:>16} {:>8} {:>10}",
-            r.watchdogs,
-            r.healthy_pairs,
-            r.total_pairs,
-            r.victim_pause_rx,
-            r.nic_watchdog_fired,
-            r.switch_watchdog_fired
-        );
+struct Fig5;
+
+impl ScenarioReport for Fig5 {
+    fn id(&self) -> &str {
+        "FIG-5 (§4.3)"
     }
+    fn title(&self) -> &str {
+        "NIC pause storm vs the watchdogs"
+    }
+    fn claim(&self) -> &str {
+        "a single malfunctioning NIC may block the entire network from transmitting; \
+         complementary NIC-side and switch-side watchdogs contain it"
+    }
+    fn run(&self, _args: &CliArgs) -> Report {
+        let dur = SimTime::from_millis(40);
+        let mut t = Table::new(
+            "arms",
+            &[
+                "watchdogs",
+                "healthy pairs",
+                "total pairs",
+                "victim pauses",
+                "nic wd",
+                "switch wd",
+            ],
+        );
+        for watchdogs in [false, true] {
+            let r = storm::run(watchdogs, dur);
+            t.row(vec![
+                Cell::Bool(r.watchdogs),
+                Cell::U64(r.healthy_pairs as u64),
+                Cell::U64(r.total_pairs as u64),
+                Cell::U64(r.victim_pause_rx),
+                Cell::Bool(r.nic_watchdog_fired),
+                Cell::Bool(r.switch_watchdog_fired),
+            ]);
+        }
+        let mut rep = Report::new();
+        rep.table(t);
+        rep
+    }
+}
+
+fn main() {
+    main_for(&Fig5)
 }

@@ -1,0 +1,74 @@
+//! Schema validator for `--json` experiment output: reads one JSON
+//! document from stdin, parses it with the in-tree strict parser, and
+//! checks the report schema (`id`/`title`/`paper`/`tables`/`scalars`/
+//! `notes`, with each table carrying `name`/`columns`/`rows` and every
+//! row as wide as its column list). Exits non-zero with a message on any
+//! violation — the CI smoke gate for the JSON export path.
+
+use std::io::Read;
+
+use rocescale_monitor::{json, Json};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("json_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .unwrap_or_else(|e| fail(&format!("cannot read stdin: {e}")));
+    let doc = match json::parse(&input) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("parse error at byte {}: {}", e.at, e.msg)),
+    };
+    for key in ["id", "title", "paper", "tables", "scalars", "notes"] {
+        if doc.get(key).is_none() {
+            fail(&format!("missing top-level key {key:?}"));
+        }
+    }
+    for key in ["id", "title", "paper"] {
+        if doc.get(key).and_then(Json::as_str).is_none() {
+            fail(&format!("{key:?} must be a string"));
+        }
+    }
+    let Some(tables) = doc.get("tables").and_then(Json::as_arr) else {
+        fail("\"tables\" must be an array");
+    };
+    for (i, t) in tables.iter().enumerate() {
+        let Some(cols) = t.get("columns").and_then(Json::as_arr) else {
+            fail(&format!("table {i}: \"columns\" must be an array"));
+        };
+        if t.get("name").and_then(Json::as_str).is_none() {
+            fail(&format!("table {i}: \"name\" must be a string"));
+        }
+        let Some(rows) = t.get("rows").and_then(Json::as_arr) else {
+            fail(&format!("table {i}: \"rows\" must be an array"));
+        };
+        for (j, row) in rows.iter().enumerate() {
+            let Some(cells) = row.as_arr() else {
+                fail(&format!("table {i} row {j}: not an array"));
+            };
+            if cells.len() != cols.len() {
+                fail(&format!(
+                    "table {i} row {j}: {} cells for {} columns",
+                    cells.len(),
+                    cols.len()
+                ));
+            }
+        }
+    }
+    if doc.get("notes").and_then(Json::as_arr).is_none() {
+        fail("\"notes\" must be an array");
+    }
+    let id = doc.get("id").and_then(Json::as_str).unwrap();
+    println!(
+        "json_check: ok — {id}: {} table(s), {} row(s)",
+        tables.len(),
+        tables
+            .iter()
+            .map(|t| t.get("rows").and_then(Json::as_arr).map_or(0, |r| r.len()))
+            .sum::<usize>()
+    );
+}

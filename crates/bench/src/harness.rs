@@ -8,6 +8,8 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use rocescale_monitor::Json;
+
 /// Target wall-clock per timed batch, in nanoseconds (50 ms).
 const BATCH_TARGET_NS: u128 = 50_000_000;
 /// Timed batches per benchmark; the best is reported.
@@ -32,6 +34,19 @@ impl Measurement {
     pub fn elements_per_sec(&self) -> Option<f64> {
         self.elements_per_iter
             .map(|e| e as f64 * 1e9 / self.ns_per_iter)
+    }
+
+    /// JSON form for `--json-out` bench artifacts.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("ns_per_iter", Json::F64(self.ns_per_iter)),
+            ("iters_per_batch", Json::U64(self.iters_per_batch)),
+        ];
+        if let Some(r) = self.elements_per_sec() {
+            pairs.push(("elements_per_sec", Json::F64(r)));
+        }
+        Json::obj(pairs)
     }
 
     /// Render one aligned report line.
@@ -89,6 +104,20 @@ fn bench_impl<T>(name: &str, elements: Option<u64>, f: &mut dyn FnMut() -> T) ->
 /// Print a section header.
 pub fn section(title: &str) {
     println!("\n--- {title} ---");
+}
+
+/// Write a set of measurements as a JSON artifact (e.g.
+/// `BENCH_sched.json`): `{"bench": name, "results": [...]}`.
+pub fn write_json_artifact(path: &str, bench_name: &str, results: &[Measurement]) {
+    let doc = Json::obj(vec![
+        ("bench", Json::Str(bench_name.to_string())),
+        (
+            "results",
+            Json::Arr(results.iter().map(|m| m.to_json()).collect()),
+        ),
+    ]);
+    std::fs::write(path, doc.render() + "\n").expect("write bench artifact");
+    println!("\nwrote {path}");
 }
 
 #[cfg(test)]

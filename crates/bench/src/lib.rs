@@ -1,37 +1,15 @@
 //! Experiment harness shared by the `fig*`/`exp*` binaries.
 //!
 //! Every evaluation figure of the paper has a binary in `src/bin/` that
-//! regenerates it (see `DESIGN.md` §4 for the index); this library holds
-//! the shared table-rendering helpers so their output is uniform and easy
-//! to diff against `EXPERIMENTS.md`.
+//! regenerates it (see `DESIGN.md` §4 for the index). Each binary is a
+//! declarative [`ScenarioReport`] spec; [`main_for`] renders it either as
+//! aligned text tables (easy to diff against `EXPERIMENTS.md`) or, with
+//! `--json`, as machine-readable JSON.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rocescale_core::scenarios::latency::LatencySummary;
-
 pub mod harness;
+pub mod report;
 
-/// Print the standard experiment header.
-pub fn header(id: &str, paper_claim: &str) {
-    println!("================================================================");
-    println!("{id}");
-    println!("paper: {paper_claim}");
-    println!("================================================================");
-}
-
-/// Render a latency summary row.
-pub fn latency_row(label: &str, s: &LatencySummary) -> String {
-    format!(
-        "{:<18} {:>8} {:>10.1} {:>10.1} {:>11.1} {:>10.1}",
-        label, s.samples, s.p50_us, s.p99_us, s.p999_us, s.max_us
-    )
-}
-
-/// The latency table header matching [`latency_row`].
-pub fn latency_header() -> String {
-    format!(
-        "{:<18} {:>8} {:>10} {:>10} {:>11} {:>10}",
-        "series", "samples", "p50(us)", "p99(us)", "p99.9(us)", "max(us)"
-    )
-}
+pub use report::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};

@@ -2,7 +2,8 @@
 
 use rocescale_dcqcn::CpParams;
 use rocescale_monitor::deadlock::Snapshot;
-use rocescale_nic::{HostPfcMode, NicConfig, QpApp, QpHandle, RdmaHost};
+use rocescale_monitor::{GaugeId, MetricsHub};
+use rocescale_nic::{host::TOK_INJECT_STORM, HostPfcMode, NicConfig, QpApp, QpHandle, RdmaHost};
 use rocescale_packet::MacAddr;
 use rocescale_sim::{EngineKind, LinkSpec, NodeId, SimTime, World};
 use rocescale_switch::{
@@ -11,9 +12,9 @@ use rocescale_switch::{
 };
 use rocescale_tcp::{ConnHandle, TcpApp, TcpHost, TcpHostConfig};
 use rocescale_topology::{ClosSpec, RouteSpec, Tier, Topology};
-use rocescale_transport::{LossRecovery, QpConfig};
+use rocescale_transport::QpConfig;
 
-use crate::deployment::DeploymentStage;
+use crate::profiles::{FabricProfile, FaultProfile, TransportProfile};
 
 /// PFC flavour for the whole cluster (§3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,23 +41,19 @@ pub enum ServerKind {
 pub struct ServerId(pub usize);
 
 /// Builder for a [`Cluster`].
+///
+/// Configuration is grouped into three profiles — [`FabricProfile`]
+/// (switches), [`TransportProfile`] (NICs), [`FaultProfile`] (injected
+/// failures) — each defaulting to the paper's deployed settings. The
+/// builder itself keeps only run mechanics (seed, engine backend,
+/// telemetry hub) and per-node escape hatches.
 pub struct ClusterBuilder {
     spec: ClosSpec,
-    pfc_mode: PfcMode,
-    recovery: LossRecovery,
-    dcqcn: bool,
-    ecn: bool,
-    alpha: Option<f64>,
-    switch_watchdog: bool,
-    nic_watchdog: Option<SimTime>,
-    drop_lossless_on_incomplete_arp: bool,
-    stage: DeploymentStage,
+    fabric: FabricProfile,
+    transport: TransportProfile,
+    faults: FaultProfile,
+    telemetry: MetricsHub,
     seed: u64,
-    qp_rto: SimTime,
-    tcp_min_rto: SimTime,
-    drop_ip_id_low_byte: Option<u8>,
-    pfc_enabled: bool,
-    per_packet_spraying: bool,
     engine: EngineKind,
     server_kind: Box<dyn FnMut(usize) -> ServerKind>,
     host_tweak: HostTweak,
@@ -78,21 +75,11 @@ impl ClusterBuilder {
     pub fn new(spec: ClosSpec) -> ClusterBuilder {
         ClusterBuilder {
             spec,
-            pfc_mode: PfcMode::Dscp,
-            recovery: LossRecovery::GoBackN,
-            dcqcn: true,
-            ecn: true,
-            alpha: Some(1.0 / 16.0),
-            switch_watchdog: true,
-            nic_watchdog: Some(SimTime::from_millis(100)),
-            drop_lossless_on_incomplete_arp: true,
-            stage: DeploymentStage::Spine,
+            fabric: FabricProfile::paper_default(),
+            transport: TransportProfile::paper_default(),
+            faults: FaultProfile::paper_default(),
+            telemetry: MetricsHub::disabled(),
             seed: 1,
-            qp_rto: SimTime::from_millis(4),
-            tcp_min_rto: SimTime::from_millis(5),
-            drop_ip_id_low_byte: None,
-            pfc_enabled: true,
-            per_packet_spraying: false,
             engine: EngineKind::default(),
             server_kind: Box::new(|_| ServerKind::Rdma),
             host_tweak: Box::new(|_, _| {}),
@@ -112,59 +99,30 @@ impl ClusterBuilder {
         ClusterBuilder::new(ClosSpec::uniform_40g(1, 1, 1, 1, servers))
     }
 
-    /// Set the PFC flavour.
-    pub fn pfc_mode(mut self, m: PfcMode) -> Self {
-        self.pfc_mode = m;
+    /// Replace the switch-side configuration profile.
+    pub fn fabric(mut self, f: FabricProfile) -> Self {
+        self.fabric = f;
         self
     }
 
-    /// Set the NIC loss-recovery scheme.
-    pub fn recovery(mut self, r: LossRecovery) -> Self {
-        self.recovery = r;
+    /// Replace the NIC-side transport profile.
+    pub fn transport(mut self, t: TransportProfile) -> Self {
+        self.transport = t;
         self
     }
 
-    /// Enable/disable DCQCN rate control.
-    pub fn dcqcn(mut self, on: bool) -> Self {
-        self.dcqcn = on;
+    /// Replace the fault-injection profile.
+    pub fn faults(mut self, f: FaultProfile) -> Self {
+        self.faults = f;
         self
     }
 
-    /// Enable/disable ECN marking at switches.
-    pub fn ecn(mut self, on: bool) -> Self {
-        self.ecn = on;
-        self
-    }
-
-    /// Dynamic-buffer α (`None` = static thresholds). The §6.2 incident
-    /// is `Some(1.0/64.0)`.
-    pub fn alpha(mut self, a: Option<f64>) -> Self {
-        self.alpha = a;
-        self
-    }
-
-    /// Arm/disarm the switch-side storm watchdog.
-    pub fn switch_watchdog(mut self, on: bool) -> Self {
-        self.switch_watchdog = on;
-        self
-    }
-
-    /// Arm the NIC-side storm watchdog with this stall threshold
-    /// (`None` disarms; the paper's default is 100 ms).
-    pub fn nic_watchdog(mut self, after: Option<SimTime>) -> Self {
-        self.nic_watchdog = after;
-        self
-    }
-
-    /// Enable/disable the §4.2 deadlock fix.
-    pub fn drop_lossless_on_incomplete_arp(mut self, on: bool) -> Self {
-        self.drop_lossless_on_incomplete_arp = on;
-        self
-    }
-
-    /// Deployment stage (how far up PFC is enabled).
-    pub fn stage(mut self, s: DeploymentStage) -> Self {
-        self.stage = s;
+    /// Attach a telemetry hub. Every switch, NIC and TCP host registers
+    /// its instruments on it, and [`Cluster::run_until`] drives
+    /// sim-time-aligned time-series sampling. The default (disabled) hub
+    /// costs nothing and leaves the dispatch digest untouched.
+    pub fn telemetry(mut self, hub: MetricsHub) -> Self {
+        self.telemetry = hub;
         self
     }
 
@@ -179,32 +137,6 @@ impl ClusterBuilder {
     /// and wheel-vs-heap benchmarks.
     pub fn engine(mut self, e: EngineKind) -> Self {
         self.engine = e;
-        self
-    }
-
-    /// RDMA transport retransmission timeout.
-    pub fn qp_rto(mut self, rto: SimTime) -> Self {
-        self.qp_rto = rto;
-        self
-    }
-
-    /// §4.1 fault injection on every switch.
-    pub fn drop_ip_id_low_byte(mut self, b: Option<u8>) -> Self {
-        self.drop_ip_id_low_byte = b;
-        self
-    }
-
-    /// Disable PFC entirely (all classes lossy everywhere) — the
-    /// "what if the network were best-effort" arm of Figure 2/7.
-    pub fn pfc(mut self, on: bool) -> Self {
-        self.pfc_enabled = on;
-        self
-    }
-
-    /// §8.1 ablation: per-packet spraying over ECMP groups instead of
-    /// per-flow hashing.
-    pub fn per_packet_spraying(mut self, on: bool) -> Self {
-        self.per_packet_spraying = on;
         self
     }
 
@@ -244,17 +176,18 @@ impl ClusterBuilder {
         let server_mac = |idx: usize| MacAddr::from_id(idx as u32 + 1);
 
         // Peer role/mac per link endpoint for switch construction.
-        let classify = match self.pfc_mode {
+        let classify = match self.fabric.pfc_mode {
             PfcMode::Dscp => ClassifyMode::Dscp,
             PfcMode::Vlan => ClassifyMode::Vlan,
         };
-        let pfc_enabled = self.pfc_enabled;
+        let pfc_enabled = self.fabric.pfc_enabled;
+        let stage = self.fabric.stage;
         let lossless_for = |tier: Tier| -> [bool; 8] {
             let on = pfc_enabled
                 && match tier {
-                    Tier::Tor => self.stage.tor(),
-                    Tier::Leaf => self.stage.leaf(),
-                    Tier::Spine => self.stage.spine(),
+                    Tier::Tor => stage.tor(),
+                    Tier::Leaf => stage.leaf(),
+                    Tier::Spine => stage.spine(),
                     Tier::Server => true,
                 };
             if on {
@@ -267,6 +200,16 @@ impl ClusterBuilder {
         let mut sim_ids: Vec<Option<NodeId>> = vec![None; n];
         let mut servers: Vec<ServerInfo> = Vec::new();
         let mut switches: Vec<SwitchInfo> = Vec::new();
+
+        // Server build order (the index space FaultProfile uses).
+        let mut order_of: Vec<Option<usize>> = vec![None; n];
+        let mut next_order = 0usize;
+        for (idx, node) in topo.nodes.iter().enumerate() {
+            if node.tier == Tier::Server {
+                order_of[idx] = Some(next_order);
+                next_order += 1;
+            }
+        }
 
         // Build switches first (they need routes + table seeds).
         for (idx, node) in topo.nodes.iter().enumerate() {
@@ -294,11 +237,11 @@ impl ClusterBuilder {
             cfg.buffer = BufferConfig {
                 total_bytes: 12 << 20,
                 headroom_per_port_pg: BufferConfig::headroom_for(40_000_000_000, max_meters, 1120),
-                alpha: self.alpha,
+                alpha: self.fabric.alpha,
                 xoff_static: 256 * 1024,
                 xon_delta: 2 * 1120,
             };
-            cfg.ecn = if self.ecn {
+            cfg.ecn = if self.fabric.ecn {
                 let mut e: [Option<CpParams>; 8] = Default::default();
                 e[3] = Some(CpParams::default());
                 e[4] = Some(CpParams::default());
@@ -307,12 +250,13 @@ impl ClusterBuilder {
                 Default::default()
             };
             cfg.watchdog = WatchdogConfig {
-                enabled: self.switch_watchdog,
+                enabled: self.fabric.switch_watchdog,
                 ..WatchdogConfig::default()
             };
-            cfg.drop_lossless_on_incomplete_arp = self.drop_lossless_on_incomplete_arp;
-            cfg.drop_ip_id_low_byte = self.drop_ip_id_low_byte;
-            cfg.per_packet_spraying = self.per_packet_spraying;
+            cfg.drop_lossless_on_incomplete_arp = self.fabric.drop_lossless_on_incomplete_arp;
+            cfg.drop_ip_id_low_byte = self.faults.drop_ip_id_low_byte;
+            cfg.per_packet_spraying = self.fabric.per_packet_spraying;
+            cfg.telemetry = self.telemetry.clone();
             (self.switch_tweak)(&node.name.clone(), &mut cfg);
 
             let mut sw = Switch::new(cfg, switch_mac(idx), idx as u64 * 0x9e37 + 7);
@@ -338,7 +282,15 @@ impl ClusterBuilder {
                         Tier::Server => {
                             let ip = topo.nodes[peer.0].ip.expect("servers have IPs");
                             sw.seed_arp(ip, server_mac(peer.0), SimTime::ZERO);
-                            sw.seed_mac(server_mac(peer.0), me.1, SimTime::ZERO);
+                            // Dead-but-remembered servers (§4.2): the ARP
+                            // entry survives but the MAC→port binding is
+                            // gone, so lossless traffic to them hits the
+                            // incomplete-ARP path.
+                            let dead = order_of[peer.0]
+                                .is_some_and(|o| self.faults.dead_servers.contains(&o));
+                            if !dead {
+                                sw.seed_mac(server_mac(peer.0), me.1, SimTime::ZERO);
+                            }
                         }
                         _ => sw.set_peer_mac(me.1, switch_mac(peer.0)),
                     }
@@ -367,26 +319,28 @@ impl ClusterBuilder {
             let sim = match kind {
                 ServerKind::Rdma => {
                     let mut cfg = NicConfig::new(node.name.clone(), idx as u32 + 1, ip, gateway);
-                    cfg.pfc_mode = match self.pfc_mode {
+                    cfg.pfc_mode = match self.fabric.pfc_mode {
                         PfcMode::Dscp => HostPfcMode::Dscp,
                         PfcMode::Vlan => HostPfcMode::Vlan { vid: 100 },
                     };
                     cfg.qp_defaults = QpConfig {
-                        recovery: self.recovery,
-                        rto_ps: self.qp_rto.as_ps(),
+                        recovery: self.transport.recovery,
+                        rto_ps: self.transport.qp_rto.as_ps(),
                         ..QpConfig::default()
                     };
-                    if !self.dcqcn {
+                    if !self.transport.dcqcn {
                         cfg.dcqcn_rp = None;
                     }
-                    cfg.nic_watchdog_after = self.nic_watchdog;
+                    cfg.nic_watchdog_after = self.transport.nic_watchdog;
+                    cfg.telemetry = self.telemetry.clone();
                     (self.host_tweak)(order, &mut cfg);
                     world.add_node(Box::new(RdmaHost::new(cfg)))
                 }
                 ServerKind::Tcp => {
                     let mut cfg =
                         TcpHostConfig::new(node.name.clone(), idx as u32 + 1, ip, gateway);
-                    cfg.conn.min_rto_ps = self.tcp_min_rto.as_ps();
+                    cfg.conn.min_rto_ps = self.transport.tcp_min_rto.as_ps();
+                    cfg.telemetry = self.telemetry.clone();
                     (self.tcp_tweak)(order, &mut cfg);
                     world.add_node(Box::new(TcpHost::new(cfg)))
                 }
@@ -415,12 +369,46 @@ impl ClusterBuilder {
             );
         }
 
+        // Injected NIC pause storms (FaultProfile).
+        for (idx, at) in &self.faults.storms {
+            let node = servers
+                .get(*idx)
+                .unwrap_or_else(|| panic!("storm target {idx} out of range"))
+                .sim;
+            world.schedule_timer(*at, node, TOK_INJECT_STORM);
+        }
+
+        // Fleet-level gauges published at each sample tick.
+        let tele = ClusterTele::register(&self.telemetry, &switches);
+
         Cluster {
             world,
             topo,
             spec: self.spec,
             servers,
             switches,
+            telemetry: self.telemetry,
+            tele,
+        }
+    }
+}
+
+/// Cluster-level gauge ids (sentinels when telemetry is disabled).
+struct ClusterTele {
+    engine_events: GaugeId,
+    engine_pending: GaugeId,
+    switch_backlog: Vec<GaugeId>,
+}
+
+impl ClusterTele {
+    fn register(hub: &MetricsHub, switches: &[SwitchInfo]) -> ClusterTele {
+        ClusterTele {
+            engine_events: hub.gauge("engine.events_processed"),
+            engine_pending: hub.gauge("engine.pending"),
+            switch_backlog: switches
+                .iter()
+                .map(|sw| hub.gauge(&format!("switch.{}.lossless_backlog_bytes", sw.name)))
+                .collect(),
         }
     }
 }
@@ -455,6 +443,8 @@ pub struct Cluster {
     spec: ClosSpec,
     servers: Vec<ServerInfo>,
     switches: Vec<SwitchInfo>,
+    telemetry: MetricsHub,
+    tele: ClusterTele,
 }
 
 impl Cluster {
@@ -629,14 +619,60 @@ impl Cluster {
     // ---- running ----
 
     /// Run the simulation until `t`.
+    ///
+    /// With telemetry enabled the run is chunked at sample boundaries so
+    /// time-series points land on the hub's cadence. Chunked
+    /// `run_until` dispatches the exact same event sequence as one big
+    /// call, so the dispatch digest is byte-identical with telemetry on
+    /// or off.
     pub fn run_until(&mut self, t: SimTime) {
+        if self.telemetry.is_enabled() {
+            while let Some(ns) = self.telemetry.next_sample_ps() {
+                if ns >= t.as_ps() {
+                    break;
+                }
+                self.world.run_until(SimTime(ns));
+                self.publish_gauges();
+                self.telemetry.maybe_sample(ns);
+            }
+        }
         self.world.run_until(t);
+    }
+
+    /// The cluster's telemetry hub (disabled unless one was attached via
+    /// [`ClusterBuilder::telemetry`]).
+    pub fn telemetry(&self) -> &MetricsHub {
+        &self.telemetry
+    }
+
+    /// Refresh fleet-level gauges (engine progress, per-switch lossless
+    /// backlog) from live state. Called automatically at each sample
+    /// boundary; call manually before rendering JSON mid-run.
+    pub fn publish_gauges(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.set_gauge(
+            self.tele.engine_events,
+            self.world.events_processed() as f64,
+        );
+        self.telemetry.set_gauge(
+            self.tele.engine_pending,
+            (self.world.sched_stats().pushed
+                - self.world.sched_stats().dispatched
+                - self.world.sched_stats().cancelled) as f64,
+        );
+        for i in 0..self.switches.len() {
+            let backlog = self.switch(i).lossless_backlog() as f64;
+            self.telemetry
+                .set_gauge(self.tele.switch_backlog[i], backlog);
+        }
     }
 
     /// Run for `ms` more milliseconds of simulated time.
     pub fn run_for_millis(&mut self, ms: u64) {
         let t = self.world.now() + SimTime::from_millis(ms);
-        self.world.run_until(t);
+        self.run_until(t);
     }
 
     /// Current simulated time.
@@ -887,6 +923,72 @@ mod tests {
         c.run_for_millis(5);
         let sent = c.tcp(t[0]).sender_stats(ca).bytes_acked;
         assert!(sent >= 100_000, "TCP stream must flow: {sent}");
+    }
+
+    #[test]
+    fn fault_profile_injects_storm() {
+        let mut c = ClusterBuilder::two_tier(2, 2)
+            .faults(FaultProfile::paper_default().storm_at(0, SimTime::from_millis(1)))
+            .build();
+        let ids = c.all_servers();
+        // Traffic toward the stormer piles up behind its paused port.
+        c.connect_qp(
+            ids[2],
+            ids[0],
+            5000,
+            QpApp::Saturate {
+                msg_len: 128 * 1024,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+        c.run_until(SimTime::from_millis(1));
+        assert_eq!(
+            c.rdma(ids[0]).stats.rx_storm_dropped,
+            0,
+            "storm must not start early"
+        );
+        c.run_for_millis(4);
+        assert!(
+            c.rdma(ids[0]).stats.rx_storm_dropped > 0,
+            "stormer must drop its inbound traffic"
+        );
+        assert!(
+            c.rdma(ids[0]).stats.pause_tx > 0,
+            "stormer must pause its ToR port"
+        );
+        let tor_pause_rx: u64 = c
+            .switches_of_tier(Tier::Tor)
+            .into_iter()
+            .map(|i| c.switch(i).stats.pause_rx.iter().sum::<u64>())
+            .sum();
+        assert!(tor_pause_rx > 0, "ToR must see the storm's pause frames");
+    }
+
+    #[test]
+    fn dead_server_fault_leaves_incomplete_arp() {
+        let mut c = ClusterBuilder::single_tor(2)
+            .faults(FaultProfile::paper_default().dead_server(1))
+            .build();
+        let ids = c.all_servers();
+        c.connect_qp(
+            ids[0],
+            ids[1],
+            5000,
+            QpApp::Saturate {
+                msg_len: 64 * 1024,
+                inflight: 1,
+            },
+            QpApp::None,
+        );
+        c.run_for_millis(1);
+        // paper_default keeps the §4.2 fix on: lossless packets to the
+        // half-resolved server are dropped, not flooded.
+        assert!(
+            c.total_drops_of(DropReason::IncompleteArpLossless) > 0,
+            "traffic to the dead server must hit the incomplete-ARP path"
+        );
+        assert_eq!(c.total_rdma_goodput(), 0);
     }
 
     #[test]

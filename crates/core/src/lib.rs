@@ -23,7 +23,9 @@
 
 pub mod cluster;
 pub mod deployment;
+pub mod profiles;
 pub mod scenarios;
 
 pub use cluster::{Cluster, ClusterBuilder, PfcMode, ServerId, ServerKind};
 pub use deployment::DeploymentStage;
+pub use profiles::{FabricProfile, FaultProfile, TransportProfile};

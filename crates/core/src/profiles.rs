@@ -1,0 +1,276 @@
+//! Configuration profiles: the three coherent knob groups a cluster is
+//! built from.
+//!
+//! The original builder exposed ~18 loose setters; operationally the
+//! knobs cluster into three groups that are tuned together and shipped
+//! together (the paper's §3–§7 narrative):
+//!
+//! * [`FabricProfile`] — what the *switches* do: PFC flavour and reach,
+//!   buffer sharing, ECN marking, the storm watchdog, the §4.2 deadlock
+//!   fix, and the §8.1 spraying ablation.
+//! * [`TransportProfile`] — what the *NICs* do: loss recovery, DCQCN,
+//!   retransmission timeouts, the NIC-side storm watchdog.
+//! * [`FaultProfile`] — what goes *wrong*: the §4.1 deterministic drop
+//!   filter, injected NIC pause storms, and dead servers whose ARP
+//!   entries linger half-resolved (§4.2's deadlock trigger).
+//!
+//! Each profile's `paper_default()` is the configuration the paper
+//! deployed; chainable setters express ablations as small diffs against
+//! that baseline.
+
+use rocescale_sim::SimTime;
+use rocescale_transport::LossRecovery;
+
+use crate::cluster::PfcMode;
+use crate::deployment::DeploymentStage;
+
+/// Switch-side configuration: PFC, buffers, ECN, watchdog, routing
+/// ablations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricProfile {
+    /// PFC flavour (§3): DSCP-based (the paper's design) or VLAN-based.
+    pub pfc_mode: PfcMode,
+    /// Master PFC switch — `false` makes every class lossy everywhere
+    /// (the best-effort arm of Figure 2/7).
+    pub pfc_enabled: bool,
+    /// How far up the Clos PFC is enabled (§7's staged deployment).
+    pub stage: DeploymentStage,
+    /// Dynamic-buffer α (`None` = static thresholds). The §6.2 incident
+    /// is `Some(1.0/64.0)`.
+    pub alpha: Option<f64>,
+    /// ECN marking (DCQCN CP) at switches.
+    pub ecn: bool,
+    /// Switch-side PFC-storm watchdog (§4.3).
+    pub switch_watchdog: bool,
+    /// The §4.2 deadlock fix: drop lossless packets on incomplete ARP
+    /// entries instead of flooding them.
+    pub drop_lossless_on_incomplete_arp: bool,
+    /// §8.1 ablation: per-packet spraying over ECMP groups.
+    pub per_packet_spraying: bool,
+}
+
+impl FabricProfile {
+    /// The paper's deployed fabric: DSCP PFC to the spine, α = 1/16,
+    /// ECN on, watchdog armed, deadlock fix on.
+    pub fn paper_default() -> FabricProfile {
+        FabricProfile {
+            pfc_mode: PfcMode::Dscp,
+            pfc_enabled: true,
+            stage: DeploymentStage::Spine,
+            alpha: Some(1.0 / 16.0),
+            ecn: true,
+            switch_watchdog: true,
+            drop_lossless_on_incomplete_arp: true,
+            per_packet_spraying: false,
+        }
+    }
+
+    /// Set the PFC flavour.
+    pub fn pfc_mode(mut self, m: PfcMode) -> Self {
+        self.pfc_mode = m;
+        self
+    }
+
+    /// Enable/disable PFC entirely.
+    pub fn pfc(mut self, on: bool) -> Self {
+        self.pfc_enabled = on;
+        self
+    }
+
+    /// Deployment stage (how far up PFC is enabled).
+    pub fn stage(mut self, s: DeploymentStage) -> Self {
+        self.stage = s;
+        self
+    }
+
+    /// Dynamic-buffer α (`None` = static thresholds).
+    pub fn alpha(mut self, a: Option<f64>) -> Self {
+        self.alpha = a;
+        self
+    }
+
+    /// Enable/disable ECN marking at switches.
+    pub fn ecn(mut self, on: bool) -> Self {
+        self.ecn = on;
+        self
+    }
+
+    /// Arm/disarm the switch-side storm watchdog.
+    pub fn switch_watchdog(mut self, on: bool) -> Self {
+        self.switch_watchdog = on;
+        self
+    }
+
+    /// Enable/disable the §4.2 deadlock fix.
+    pub fn drop_lossless_on_incomplete_arp(mut self, on: bool) -> Self {
+        self.drop_lossless_on_incomplete_arp = on;
+        self
+    }
+
+    /// §8.1 ablation: per-packet spraying over ECMP groups.
+    pub fn per_packet_spraying(mut self, on: bool) -> Self {
+        self.per_packet_spraying = on;
+        self
+    }
+}
+
+impl Default for FabricProfile {
+    fn default() -> FabricProfile {
+        FabricProfile::paper_default()
+    }
+}
+
+/// NIC-side transport configuration: recovery, DCQCN, timeouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportProfile {
+    /// Loss-recovery scheme (§4.1: go-back-0 livelocks, go-back-N is the
+    /// deployed fix).
+    pub recovery: LossRecovery,
+    /// DCQCN rate control on RDMA hosts.
+    pub dcqcn: bool,
+    /// RDMA transport retransmission timeout.
+    pub qp_rto: SimTime,
+    /// Minimum TCP RTO on kernel-TCP hosts.
+    pub tcp_min_rto: SimTime,
+    /// NIC-side storm watchdog stall threshold (`None` disarms; the
+    /// paper's default is 100 ms).
+    pub nic_watchdog: Option<SimTime>,
+}
+
+impl TransportProfile {
+    /// The paper's deployed transport: go-back-N, DCQCN on, 4 ms QP RTO,
+    /// 5 ms TCP min-RTO, NIC watchdog at 100 ms.
+    pub fn paper_default() -> TransportProfile {
+        TransportProfile {
+            recovery: LossRecovery::GoBackN,
+            dcqcn: true,
+            qp_rto: SimTime::from_millis(4),
+            tcp_min_rto: SimTime::from_millis(5),
+            nic_watchdog: Some(SimTime::from_millis(100)),
+        }
+    }
+
+    /// Set the NIC loss-recovery scheme.
+    pub fn recovery(mut self, r: LossRecovery) -> Self {
+        self.recovery = r;
+        self
+    }
+
+    /// Enable/disable DCQCN rate control.
+    pub fn dcqcn(mut self, on: bool) -> Self {
+        self.dcqcn = on;
+        self
+    }
+
+    /// RDMA transport retransmission timeout.
+    pub fn qp_rto(mut self, rto: SimTime) -> Self {
+        self.qp_rto = rto;
+        self
+    }
+
+    /// Minimum TCP RTO.
+    pub fn tcp_min_rto(mut self, rto: SimTime) -> Self {
+        self.tcp_min_rto = rto;
+        self
+    }
+
+    /// Arm the NIC-side storm watchdog with this stall threshold
+    /// (`None` disarms).
+    pub fn nic_watchdog(mut self, after: Option<SimTime>) -> Self {
+        self.nic_watchdog = after;
+        self
+    }
+}
+
+impl Default for TransportProfile {
+    fn default() -> TransportProfile {
+        TransportProfile::paper_default()
+    }
+}
+
+/// Fault injection: everything the healthy paper-default config does
+/// *not* do.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultProfile {
+    /// §4.1 fault injection on every switch: drop any data packet whose
+    /// IP ID has this low byte.
+    pub drop_ip_id_low_byte: Option<u8>,
+    /// NIC pause storms to inject: `(server index, start time)`. The
+    /// server's NIC enters the §4.3 malfunction mode at that instant.
+    pub storms: Vec<(usize, SimTime)>,
+    /// Servers (by build order) that are *dead but remembered*: their
+    /// ToR keeps the IP→MAC ARP entry but loses the MAC→port binding,
+    /// reproducing the half-resolved state that triggers the §4.2
+    /// flooding deadlock.
+    pub dead_servers: Vec<usize>,
+}
+
+impl FaultProfile {
+    /// No faults — the healthy baseline.
+    pub fn paper_default() -> FaultProfile {
+        FaultProfile::default()
+    }
+
+    /// §4.1 drop filter on every switch.
+    pub fn drop_ip_id_low_byte(mut self, b: Option<u8>) -> Self {
+        self.drop_ip_id_low_byte = b;
+        self
+    }
+
+    /// Schedule a NIC pause storm on server `idx` at `at`.
+    pub fn storm_at(mut self, idx: usize, at: SimTime) -> Self {
+        self.storms.push((idx, at));
+        self
+    }
+
+    /// Mark server `idx` dead-but-remembered (incomplete ARP at its ToR).
+    pub fn dead_server(mut self, idx: usize) -> Self {
+        self.dead_servers.push(idx);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_deployed_config() {
+        let f = FabricProfile::paper_default();
+        assert_eq!(f.pfc_mode, PfcMode::Dscp);
+        assert!(f.pfc_enabled && f.ecn && f.switch_watchdog);
+        assert!(f.drop_lossless_on_incomplete_arp);
+        assert!((f.alpha.unwrap() - 1.0 / 16.0).abs() < 1e-12);
+        let t = TransportProfile::paper_default();
+        assert_eq!(t.recovery, LossRecovery::GoBackN);
+        assert!(t.dcqcn);
+        assert_eq!(t.qp_rto, SimTime::from_millis(4));
+        assert_eq!(t.nic_watchdog, Some(SimTime::from_millis(100)));
+        let fault = FaultProfile::paper_default();
+        assert_eq!(fault, FaultProfile::default());
+        assert!(fault.storms.is_empty() && fault.dead_servers.is_empty());
+    }
+
+    #[test]
+    fn setters_chain_into_ablations() {
+        let f = FabricProfile::paper_default()
+            .pfc(false)
+            .alpha(Some(1.0 / 64.0))
+            .ecn(false);
+        assert!(!f.pfc_enabled && !f.ecn);
+        assert!((f.alpha.unwrap() - 1.0 / 64.0).abs() < 1e-12);
+        let t = TransportProfile::paper_default()
+            .recovery(LossRecovery::GoBack0)
+            .dcqcn(false)
+            .qp_rto(SimTime::from_micros(100));
+        assert_eq!(t.recovery, LossRecovery::GoBack0);
+        assert!(!t.dcqcn);
+        let fault = FaultProfile::paper_default()
+            .drop_ip_id_low_byte(Some(0xff))
+            .storm_at(3, SimTime::from_millis(1))
+            .dead_server(2);
+        assert_eq!(fault.drop_ip_id_low_byte, Some(0xff));
+        assert_eq!(fault.storms, vec![(3, SimTime::from_millis(1))]);
+        assert_eq!(fault.dead_servers, vec![2]);
+    }
+}

@@ -18,6 +18,7 @@ use rocescale_switch::DropReason;
 use rocescale_topology::Tier;
 
 use crate::cluster::{ClusterBuilder, PfcMode, ServerId};
+use crate::profiles::{FabricProfile, TransportProfile};
 use crate::scenarios::gbps;
 
 /// Result of one PFC-mode arm.
@@ -114,8 +115,8 @@ pub fn run(mode: PfcMode, dur: SimTime) -> DscpVlanResult {
     // Note: the switch ports for the PXE pair are created by widening the
     // single ToR with two extra ports.
     let mut c = ClusterBuilder::single_tor(3)
-        .pfc_mode(mode)
-        .dcqcn(false)
+        .fabric(FabricProfile::paper_default().pfc_mode(mode))
+        .transport(TransportProfile::paper_default().dcqcn(false))
         .build();
 
     // RDMA health check traffic: 2→1 incast to exercise PFC itself.

@@ -18,6 +18,7 @@ use rocescale_switch::BufferConfig;
 use rocescale_topology::{ClosSpec, Tier};
 
 use crate::cluster::{ClusterBuilder, ServerId};
+use crate::profiles::TransportProfile;
 
 /// Result of one headroom arm.
 #[derive(Debug, Clone)]
@@ -43,7 +44,8 @@ pub fn run(fraction: f64, dur: SimTime) -> HeadroomResult {
         ..ClosSpec::uniform_40g(1, 1, 1, 1, 5)
     };
     let mut c = ClusterBuilder::new(spec)
-        .dcqcn(false) // raw PFC: the headroom is doing all the work
+        // Raw PFC: the headroom is doing all the work.
+        .transport(TransportProfile::paper_default().dcqcn(false))
         .switch_tweak(move |_, cfg| {
             cfg.buffer.headroom_per_port_pg = provisioned.max(1);
             // A small fixed XOFF threshold makes pauses fire early and

@@ -12,6 +12,7 @@ use rocescale_switch::DropReason;
 use rocescale_transport::{LossRecovery, Verb};
 
 use crate::cluster::{ClusterBuilder, ServerId};
+use crate::profiles::{FaultProfile, TransportProfile};
 use crate::scenarios::gbps;
 
 /// Which verb drives the transfer (the paper runs all three).
@@ -49,10 +50,14 @@ pub struct LivelockResult {
 pub fn run(recovery: LossRecovery, workload: Workload, dur: SimTime) -> LivelockResult {
     const MSG: u32 = 4 << 20;
     let mut c = ClusterBuilder::single_tor(2)
-        .recovery(recovery)
-        .dcqcn(false) // isolate loss recovery from rate control
-        .qp_rto(SimTime::from_micros(100))
-        .drop_ip_id_low_byte(Some(0xff))
+        .transport(
+            TransportProfile::paper_default()
+                .recovery(recovery)
+                // Isolate loss recovery from rate control.
+                .dcqcn(false)
+                .qp_rto(SimTime::from_micros(100)),
+        )
+        .faults(FaultProfile::paper_default().drop_ip_id_low_byte(Some(0xff)))
         .build();
     let (a, b) = (ServerId(0), ServerId(1));
     match workload {

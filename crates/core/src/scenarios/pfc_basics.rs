@@ -9,6 +9,7 @@ use rocescale_sim::SimTime;
 use rocescale_topology::Tier;
 
 use crate::cluster::{ClusterBuilder, ServerId};
+use crate::profiles::{FabricProfile, TransportProfile};
 use crate::scenarios::gbps;
 
 /// Result of one arm of the Figure 2 experiment.
@@ -29,8 +30,9 @@ pub struct PfcBasicsResult {
 /// Run one arm: `fanin` senders saturate one receiver for `dur`.
 pub fn run(pfc: bool, fanin: u32, dur: SimTime) -> PfcBasicsResult {
     let mut c = ClusterBuilder::single_tor(fanin + 1)
-        .pfc(pfc)
-        .dcqcn(false) // raw PFC behaviour, no rate control assist
+        .fabric(FabricProfile::paper_default().pfc(pfc))
+        // Raw PFC behaviour, no rate control assist.
+        .transport(TransportProfile::paper_default().dcqcn(false))
         .build();
     let dst = ServerId(0);
     for i in 1..=fanin {

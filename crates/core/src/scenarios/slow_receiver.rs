@@ -13,6 +13,7 @@ use rocescale_nic::{MttConfig, QpApp};
 use rocescale_sim::SimTime;
 
 use crate::cluster::{ClusterBuilder, ServerId};
+use crate::profiles::{FabricProfile, TransportProfile};
 use crate::scenarios::gbps;
 
 /// Page-size arm of the experiment.
@@ -59,12 +60,13 @@ pub fn run(pages: PageSize, dynamic_buffers: bool, dur: SimTime) -> SlowReceiver
     };
     let receiver_order = 0usize;
     let mut c = ClusterBuilder::two_tier(2, 2)
-        .dcqcn(false) // isolate the PFC path
-        .alpha(if dynamic_buffers {
+        // Isolate the PFC path.
+        .transport(TransportProfile::paper_default().dcqcn(false))
+        .fabric(FabricProfile::paper_default().alpha(if dynamic_buffers {
             Some(1.0 / 16.0)
         } else {
             None
-        })
+        }))
         .host_tweak(move |order, cfg| {
             if order == receiver_order {
                 cfg.rx.mtt = Some(mtt);

@@ -12,6 +12,7 @@ use rocescale_sim::SimTime;
 use rocescale_topology::Tier;
 
 use crate::cluster::{Cluster, ClusterBuilder, ServerId};
+use crate::profiles::{FabricProfile, TransportProfile};
 
 /// Result of one storm run.
 #[derive(Debug, Clone)]
@@ -37,8 +38,11 @@ pub struct StormResult {
 pub fn run(watchdogs: bool, dur: SimTime) -> StormResult {
     let servers_per_tor = 6u32;
     let mut c = ClusterBuilder::two_tier(2, servers_per_tor)
-        .switch_watchdog(watchdogs)
-        .nic_watchdog(watchdogs.then(|| SimTime::from_millis(5)))
+        .fabric(FabricProfile::paper_default().switch_watchdog(watchdogs))
+        .transport(
+            TransportProfile::paper_default()
+                .nic_watchdog(watchdogs.then(|| SimTime::from_millis(5))),
+        )
         .build();
     // Victim pairs: rack0 server i ↔ rack1 server i (skipping server 0 of
     // rack 0, the stormer).
@@ -125,8 +129,11 @@ fn switch_watchdog_fired(c: &Cluster) -> bool {
 pub fn availability_series(watchdogs: bool, dur: SimTime, windows: u32) -> Vec<(SimTime, f64)> {
     let servers_per_tor = 6u32;
     let mut c = ClusterBuilder::two_tier(2, servers_per_tor)
-        .switch_watchdog(watchdogs)
-        .nic_watchdog(watchdogs.then(|| SimTime::from_millis(5)))
+        .fabric(FabricProfile::paper_default().switch_watchdog(watchdogs))
+        .transport(
+            TransportProfile::paper_default()
+                .nic_watchdog(watchdogs.then(|| SimTime::from_millis(5))),
+        )
         .build();
     let rack0 = c.servers_under(0, 0);
     let rack1 = c.servers_under(0, 1);

@@ -213,6 +213,7 @@ pub struct RpState {
     cnp_this_period: bool,
     cnps: u64,
     decreases: u64,
+    rate_changes: u64,
 }
 
 impl RpState {
@@ -230,6 +231,7 @@ impl RpState {
             cnp_this_period: false,
             cnps: 0,
             decreases: 0,
+            rate_changes: 0,
         }
     }
 
@@ -248,6 +250,13 @@ impl RpState {
         (self.cnps, self.decreases)
     }
 
+    /// Times the enforced rate `Rc` actually moved (decreases and
+    /// recovery steps that changed the pacing rate) — the telemetry
+    /// bus's `rate_change` event count.
+    pub fn rate_changes(&self) -> u64 {
+        self.rate_changes
+    }
+
     /// A CNP arrived: multiplicative decrease and reset the recovery
     /// machinery. `Rt ← Rc; Rc ← Rc·(1 − α/2)`.
     pub fn on_cnp(&mut self) {
@@ -255,7 +264,11 @@ impl RpState {
         self.cnp_this_period = true;
         self.cut_ever = true;
         self.rt = self.rc;
+        let old_rc = self.rc;
         self.rc = (self.rc * (1.0 - self.alpha / 2.0)).max(self.params.min_rate_bps);
+        if self.rc != old_rc {
+            self.rate_changes += 1;
+        }
         self.alpha = (1.0 - self.params.g) * self.alpha + self.params.g;
         self.bytes_since = 0;
         self.bc_stage = 0;
@@ -306,7 +319,11 @@ impl RpState {
             self.rt = (self.rt + self.params.rai_bps).min(self.params.line_rate_bps);
         }
         // Fast recovery (and every phase): close half the gap to target.
+        let old_rc = self.rc;
         self.rc = ((self.rt + self.rc) / 2.0).min(self.params.line_rate_bps);
+        if self.rc != old_rc {
+            self.rate_changes += 1;
+        }
     }
 }
 
@@ -442,6 +459,18 @@ mod tests {
         let rc0 = s.rate_bps();
         s.on_increase_timer();
         assert!((s.rate_bps() - (recovered + rc0) / 2.0).abs() < 1e6);
+    }
+
+    #[test]
+    fn rate_changes_count_actual_moves() {
+        let mut s = rp();
+        assert_eq!(s.rate_changes(), 0);
+        s.on_increase_timer(); // pre-CNP: rc pinned at line rate, no change
+        assert_eq!(s.rate_changes(), 0);
+        s.on_cnp(); // multiplicative decrease
+        assert_eq!(s.rate_changes(), 1);
+        s.on_increase_timer(); // fast recovery moves rc toward target
+        assert_eq!(s.rate_changes(), 2);
     }
 
     #[test]

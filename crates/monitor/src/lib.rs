@@ -21,6 +21,13 @@
 //! engine's own counters (dispatch volume, wheel cascades, peak pending
 //! events) so scheduler health shows up in experiment output alongside
 //! the fleet's counters.
+//!
+//! Tying them together, [`telemetry`] is the unified bus: a
+//! [`MetricsHub`] of typed instruments (counters, gauges, exact
+//! histograms) registered under hierarchical dotted names by every layer
+//! of the stack, plus a bounded flight recorder of structured trace
+//! events. [`json`] provides the serde-free JSON tree every experiment
+//! renders its machine-readable report through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,11 +35,18 @@
 pub mod config;
 pub mod deadlock;
 pub mod engine;
+pub mod json;
 pub mod pingmesh;
 pub mod stats;
+pub mod telemetry;
 
 pub use config::{ConfigDeviation, RdmaConfig};
 pub use deadlock::{ProgressTracker, WaitGraph};
 pub use engine::EngineReport;
+pub use json::Json;
 pub use pingmesh::Pingmesh;
 pub use stats::{Percentiles, TimeSeries};
+pub use telemetry::{
+    CounterId, FlightRecorder, GaugeId, HistogramId, MetricsHub, ScopeId, TelemetryConfig,
+    TraceEvent, TraceRecord,
+};

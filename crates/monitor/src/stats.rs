@@ -72,12 +72,15 @@ impl Percentiles {
         self.sort();
         self.samples.last().copied()
     }
-    /// Arithmetic mean.
+    /// Arithmetic mean. Accumulates in `u128`: picosecond-scale samples
+    /// over long runs overflow a `u64` sum long before they overflow the
+    /// sample vector.
     pub fn mean(&self) -> Option<f64> {
         if self.samples.is_empty() {
             None
         } else {
-            Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+            let sum: u128 = self.samples.iter().map(|&v| v as u128).sum();
+            Some(sum as f64 / self.samples.len() as f64)
         }
     }
 }
@@ -97,8 +100,12 @@ impl TimeSeries {
     }
 
     /// Record a point (times must be non-decreasing).
+    ///
+    /// Enforced unconditionally: a series that silently accepts
+    /// out-of-order times renders corrupt plots and wrong deltas in
+    /// release builds, which is exactly where long runs happen.
     pub fn push(&mut self, t_ps: u64, value: f64) {
-        debug_assert!(
+        assert!(
             self.points.last().is_none_or(|(lt, _)| *lt <= t_ps),
             "time went backwards"
         );
@@ -182,6 +189,49 @@ mod tests {
         let mut p = Percentiles::from_samples(&samples);
         assert_eq!(p.p99(), Some(10));
         assert_eq!(p.p999(), Some(500));
+    }
+
+    #[test]
+    fn mean_survives_u64_overflow() {
+        // Two samples near u64::MAX: the old u64 accumulator wrapped and
+        // reported a tiny mean; the u128 path reports ~u64::MAX.
+        let p = Percentiles::from_samples(&[u64::MAX, u64::MAX - 2]);
+        let mean = p.mean().unwrap();
+        assert!((mean - u64::MAX as f64).abs() < 4.0, "mean was {mean}");
+    }
+
+    #[test]
+    fn hand_computed_percentile_fixtures() {
+        // Nearest-rank over 10 samples: rank(p50) = ceil(0.5*10) = 5,
+        // rank(p99) = ceil(0.99*10) = 10.
+        let mut p = Percentiles::from_samples(&[12, 7, 3, 41, 19, 8, 25, 5, 30, 16]);
+        // Sorted: 3 5 7 8 12 16 19 25 30 41 → 5th = 12, 10th = 41.
+        assert_eq!(p.p50(), Some(12));
+        assert_eq!(p.p99(), Some(41));
+        assert_eq!(p.mean(), Some(16.6)); // 166 / 10
+
+        // 200 samples: rank(p99) = ceil(0.99*200) = 198.
+        let samples: Vec<u64> = (1..=200u64).collect();
+        let mut p = Percentiles::from_samples(&samples);
+        assert_eq!(p.p50(), Some(100));
+        assert_eq!(p.p99(), Some(198));
+        assert_eq!(p.mean(), Some(100.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn timeseries_rejects_backwards_time_unconditionally() {
+        let mut ts = TimeSeries::new();
+        ts.push(1_000, 1.0);
+        ts.push(999, 2.0);
+    }
+
+    #[test]
+    fn timeseries_accepts_equal_times() {
+        let mut ts = TimeSeries::new();
+        ts.push(5, 1.0);
+        ts.push(5, 2.0); // non-decreasing, not strictly increasing
+        assert_eq!(ts.points().len(), 2);
     }
 
     #[test]

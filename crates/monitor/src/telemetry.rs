@@ -1,0 +1,908 @@
+//! Unified telemetry bus: a [`MetricsHub`] of typed instruments plus a
+//! bounded [`FlightRecorder`] of structured trace events.
+//!
+//! §5 of the paper builds RDMA operability from three legs — PFC/traffic
+//! counters everywhere, configuration monitoring, and Pingmesh. This
+//! module is the first leg generalized: every layer (switch, NIC,
+//! transport, DCQCN, TCP, and the event engine itself) registers
+//! instruments under hierarchical dotted names
+//! (`switch.t0.port.2.pfc.xoff_tx`, `nic.s7.qp.0.retransmits`) in one
+//! hub, and noteworthy transitions (drops with reason, pause TX/RX,
+//! watchdog fires, ARP-incomplete drops, go-back-N rollbacks, DCQCN rate
+//! cuts) land in a flight-recorder ring for post-mortem inspection.
+//!
+//! Two invariants shape the design:
+//!
+//! * **Zero cost when disabled.** The hub handle is an
+//!   `Option<Rc<RefCell<..>>>`; a disabled hub hands out sentinel
+//!   instrument ids without allocating and every record call is an
+//!   inlined no-op. Scenarios that don't opt in pay a null check.
+//! * **Digest neutrality.** The hub never schedules simulator events,
+//!   never draws randomness, and never touches packet contents — it only
+//!   observes. Sampling is driven by the caller (the cluster chunks its
+//!   `run_until` at sampling boundaries), so the golden dispatch digest
+//!   is byte-identical with telemetry on or off; a tier-1 test pins this.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::json::Json;
+use crate::stats::{Percentiles, TimeSeries};
+
+/// Hub tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Sampling cadence for counter/gauge time series, in picoseconds of
+    /// simulated time. The paper's production cadence is minutes; the
+    /// simulated default is 100 µs so short experiments still get a
+    /// usable series.
+    pub sample_every_ps: u64,
+    /// Flight-recorder capacity in records; the oldest record is evicted
+    /// (and counted) once full.
+    pub flight_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            sample_every_ps: 100_000_000, // 100 µs
+            flight_capacity: 4096,
+        }
+    }
+}
+
+/// Handle to a registered counter. Sentinel when the hub is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Handle to a registered gauge. Sentinel when the hub is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Handle to a registered histogram. Sentinel when the hub is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(u32);
+
+/// Handle to a flight-recorder scope (the emitting component's name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopeId(u32);
+
+const SENTINEL: u32 = u32::MAX;
+
+impl CounterId {
+    /// The id handed out by a disabled hub.
+    pub fn sentinel() -> CounterId {
+        CounterId(SENTINEL)
+    }
+}
+impl GaugeId {
+    /// The id handed out by a disabled hub.
+    pub fn sentinel() -> GaugeId {
+        GaugeId(SENTINEL)
+    }
+}
+impl HistogramId {
+    /// The id handed out by a disabled hub.
+    pub fn sentinel() -> HistogramId {
+        HistogramId(SENTINEL)
+    }
+}
+impl ScopeId {
+    /// The id handed out by a disabled hub.
+    pub fn sentinel() -> ScopeId {
+        ScopeId(SENTINEL)
+    }
+}
+
+/// A structured trace event for the flight recorder.
+///
+/// Reasons and causes are `&'static str` so the recorder stays allocation-
+/// free per record and `rocescale-monitor` needs no dependency on the
+/// crates that define the richer enums (which would invert the layering —
+/// they depend on us).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet was dropped; `reason` names the `DropReason`.
+    Drop {
+        /// Stable reason name (e.g. `"BufferOverflow"`).
+        reason: &'static str,
+    },
+    /// A PFC XOFF pause frame was transmitted for `prio` on `port`.
+    PauseTx {
+        /// Egress port of the pause frame.
+        port: u16,
+        /// Paused priority class.
+        prio: u8,
+    },
+    /// A PFC pause frame was received on `port` for `prio`.
+    PauseRx {
+        /// Ingress port of the pause frame.
+        port: u16,
+        /// Paused priority class.
+        prio: u8,
+    },
+    /// A PFC XON resume frame was transmitted for `prio` on `port`.
+    ResumeTx {
+        /// Egress port of the resume frame.
+        port: u16,
+        /// Resumed priority class.
+        prio: u8,
+    },
+    /// The switch PFC-storm watchdog disabled pause handling on a port.
+    WatchdogDisabled {
+        /// Port whose lossless handling was disabled.
+        port: u16,
+    },
+    /// The switch watchdog re-enabled a previously disabled port.
+    WatchdogReenabled {
+        /// Port whose lossless handling was restored.
+        port: u16,
+    },
+    /// The NIC-side pause-storm watchdog fired (§4.3 mitigation).
+    NicWatchdogFired,
+    /// A lossless-class packet was dropped on an incomplete ARP entry
+    /// instead of being flooded (§4.2 mitigation).
+    ArpIncompleteDrop,
+    /// A transport sender rolled its send window back (go-back-N /
+    /// go-back-0).
+    Rollback {
+        /// What triggered the rewind (`"nak"` or `"rto"`).
+        cause: &'static str,
+        /// PSN the sender rewound to.
+        to_psn: u32,
+        /// Packets between the old and new send pointer (retransmit
+        /// volume).
+        pkts: u32,
+    },
+    /// DCQCN changed a QP's sending rate.
+    RateChange {
+        /// New rate in Mbit/s.
+        rate_mbps: u32,
+        /// What moved it (`"cnp"`, `"increase"`).
+        cause: &'static str,
+    },
+    /// A deliberate pause-storm injection began (experiment fault).
+    StormStart,
+}
+
+impl TraceEvent {
+    /// Stable kind tag for rendering and filtering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::PauseTx { .. } => "pause_tx",
+            TraceEvent::PauseRx { .. } => "pause_rx",
+            TraceEvent::ResumeTx { .. } => "resume_tx",
+            TraceEvent::WatchdogDisabled { .. } => "watchdog_disabled",
+            TraceEvent::WatchdogReenabled { .. } => "watchdog_reenabled",
+            TraceEvent::NicWatchdogFired => "nic_watchdog_fired",
+            TraceEvent::ArpIncompleteDrop => "arp_incomplete_drop",
+            TraceEvent::Rollback { .. } => "rollback",
+            TraceEvent::RateChange { .. } => "rate_change",
+            TraceEvent::StormStart => "storm_start",
+        }
+    }
+
+    fn detail_json(&self) -> Vec<(String, Json)> {
+        let mut d = Vec::new();
+        match *self {
+            TraceEvent::Drop { reason } => d.push(("reason".into(), Json::Str(reason.into()))),
+            TraceEvent::PauseTx { port, prio }
+            | TraceEvent::PauseRx { port, prio }
+            | TraceEvent::ResumeTx { port, prio } => {
+                d.push(("port".into(), Json::U64(port as u64)));
+                d.push(("prio".into(), Json::U64(prio as u64)));
+            }
+            TraceEvent::WatchdogDisabled { port } | TraceEvent::WatchdogReenabled { port } => {
+                d.push(("port".into(), Json::U64(port as u64)));
+            }
+            TraceEvent::Rollback {
+                cause,
+                to_psn,
+                pkts,
+            } => {
+                d.push(("cause".into(), Json::Str(cause.into())));
+                d.push(("to_psn".into(), Json::U64(to_psn as u64)));
+                d.push(("pkts".into(), Json::U64(pkts as u64)));
+            }
+            TraceEvent::RateChange { rate_mbps, cause } => {
+                d.push(("rate_mbps".into(), Json::U64(rate_mbps as u64)));
+                d.push(("cause".into(), Json::Str(cause.into())));
+            }
+            TraceEvent::NicWatchdogFired
+            | TraceEvent::ArpIncompleteDrop
+            | TraceEvent::StormStart => {}
+        }
+        d
+    }
+}
+
+/// One flight-recorder entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotone sequence number (survives eviction; gaps never occur —
+    /// `seq` of the oldest retained record equals `dropped`).
+    pub seq: u64,
+    /// Simulated time of the event, picoseconds.
+    pub t_ps: u64,
+    /// Which component emitted it.
+    pub scope: ScopeId,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// Bounded ring of [`TraceRecord`]s. Oldest records are evicted (and
+/// counted) once capacity is reached, so the recorder always holds the
+/// most recent window — the black-box-recorder semantics of §5.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: VecDeque<TraceRecord>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// New recorder holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: VecDeque::with_capacity(capacity.clamp(1, 1 << 16)),
+            capacity: capacity.max(1),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append a record, evicting the oldest if full.
+    pub fn record(&mut self, t_ps: u64, scope: ScopeId, event: TraceEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(TraceRecord {
+            seq: self.next_seq,
+            t_ps,
+            scope,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total records ever recorded (retained + evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Records evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+struct Counter {
+    value: u64,
+    series: TimeSeries,
+}
+
+struct Gauge {
+    value: f64,
+    series: TimeSeries,
+}
+
+struct HubInner {
+    cfg: TelemetryConfig,
+    names: HashMap<String, u32>,
+    counter_names: Vec<String>,
+    counters: Vec<Counter>,
+    gauge_names: Vec<String>,
+    gauges: Vec<Gauge>,
+    histogram_names: Vec<String>,
+    histograms: Vec<Percentiles>,
+    scope_names: Vec<String>,
+    flight: FlightRecorder,
+    next_sample_ps: u64,
+    samples_taken: u64,
+}
+
+impl HubInner {
+    fn new(cfg: TelemetryConfig) -> HubInner {
+        HubInner {
+            cfg,
+            names: HashMap::new(),
+            counter_names: Vec::new(),
+            counters: Vec::new(),
+            gauge_names: Vec::new(),
+            gauges: Vec::new(),
+            histogram_names: Vec::new(),
+            histograms: Vec::new(),
+            scope_names: Vec::new(),
+            flight: FlightRecorder::new(cfg.flight_capacity),
+            next_sample_ps: 0,
+            samples_taken: 0,
+        }
+    }
+
+    fn sample(&mut self, t_ps: u64) {
+        for c in &mut self.counters {
+            c.series.push(t_ps, c.value as f64);
+        }
+        for g in &mut self.gauges {
+            g.series.push(t_ps, g.value);
+        }
+        self.samples_taken += 1;
+    }
+}
+
+/// Cloneable handle to the telemetry bus. `MetricsHub::disabled()` (the
+/// `Default`) is a free-to-clone null hub; [`MetricsHub::enabled`] backs
+/// the handle with shared state. The simulator is single-threaded, so the
+/// shared state is `Rc<RefCell<..>>`.
+#[derive(Clone, Default)]
+pub struct MetricsHub {
+    inner: Option<Rc<RefCell<HubInner>>>,
+}
+
+impl std::fmt::Debug for MetricsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "MetricsHub(disabled)"),
+            Some(h) => {
+                let h = h.borrow();
+                write!(
+                    f,
+                    "MetricsHub({} counters, {} gauges, {} histograms, {} trace records)",
+                    h.counters.len(),
+                    h.gauges.len(),
+                    h.histograms.len(),
+                    h.flight.len()
+                )
+            }
+        }
+    }
+}
+
+impl MetricsHub {
+    /// A hub that records nothing; all operations are inlined no-ops.
+    pub fn disabled() -> MetricsHub {
+        MetricsHub { inner: None }
+    }
+
+    /// An active hub with default configuration.
+    pub fn enabled() -> MetricsHub {
+        MetricsHub::with_config(TelemetryConfig::default())
+    }
+
+    /// An active hub with explicit configuration.
+    pub fn with_config(cfg: TelemetryConfig) -> MetricsHub {
+        MetricsHub {
+            inner: Some(Rc::new(RefCell::new(HubInner::new(cfg)))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    // ---- registration -------------------------------------------------
+
+    /// Register (or look up) a counter under a hierarchical dotted name.
+    /// Re-registering a name returns the same id.
+    pub fn counter(&self, name: &str) -> CounterId {
+        let Some(inner) = &self.inner else {
+            return CounterId::sentinel();
+        };
+        let mut h = inner.borrow_mut();
+        let key = format!("c:{name}");
+        if let Some(&id) = h.names.get(&key) {
+            return CounterId(id);
+        }
+        let id = h.counters.len() as u32;
+        h.counters.push(Counter {
+            value: 0,
+            series: TimeSeries::new(),
+        });
+        h.counter_names.push(name.to_string());
+        h.names.insert(key, id);
+        CounterId(id)
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&self, name: &str) -> GaugeId {
+        let Some(inner) = &self.inner else {
+            return GaugeId::sentinel();
+        };
+        let mut h = inner.borrow_mut();
+        let key = format!("g:{name}");
+        if let Some(&id) = h.names.get(&key) {
+            return GaugeId(id);
+        }
+        let id = h.gauges.len() as u32;
+        h.gauges.push(Gauge {
+            value: 0.0,
+            series: TimeSeries::new(),
+        });
+        h.gauge_names.push(name.to_string());
+        h.names.insert(key, id);
+        GaugeId(id)
+    }
+
+    /// Register (or look up) an exact histogram.
+    pub fn histogram(&self, name: &str) -> HistogramId {
+        let Some(inner) = &self.inner else {
+            return HistogramId::sentinel();
+        };
+        let mut h = inner.borrow_mut();
+        let key = format!("h:{name}");
+        if let Some(&id) = h.names.get(&key) {
+            return HistogramId(id);
+        }
+        let id = h.histograms.len() as u32;
+        h.histograms.push(Percentiles::new());
+        h.histogram_names.push(name.to_string());
+        h.names.insert(key, id);
+        HistogramId(id)
+    }
+
+    /// Register a flight-recorder scope (the emitting component's name).
+    pub fn scope(&self, name: &str) -> ScopeId {
+        let Some(inner) = &self.inner else {
+            return ScopeId::sentinel();
+        };
+        let mut h = inner.borrow_mut();
+        let key = format!("s:{name}");
+        if let Some(&id) = h.names.get(&key) {
+            return ScopeId(id);
+        }
+        let id = h.scope_names.len() as u32;
+        h.scope_names.push(name.to_string());
+        h.names.insert(key, id);
+        ScopeId(id)
+    }
+
+    // ---- recording ----------------------------------------------------
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        if let Some(inner) = &self.inner {
+            if id.0 != SENTINEL {
+                inner.borrow_mut().counters[id.0 as usize].value += n;
+            }
+        }
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn incr(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Set a gauge's current value.
+    #[inline]
+    pub fn set_gauge(&self, id: GaugeId, v: f64) {
+        if let Some(inner) = &self.inner {
+            if id.0 != SENTINEL {
+                inner.borrow_mut().gauges[id.0 as usize].value = v;
+            }
+        }
+    }
+
+    /// Record one histogram observation.
+    #[inline]
+    pub fn observe(&self, id: HistogramId, v: u64) {
+        if let Some(inner) = &self.inner {
+            if id.0 != SENTINEL {
+                inner.borrow_mut().histograms[id.0 as usize].add(v);
+            }
+        }
+    }
+
+    /// Append a trace event to the flight recorder.
+    #[inline]
+    pub fn trace(&self, t_ps: u64, scope: ScopeId, event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().flight.record(t_ps, scope, event);
+        }
+    }
+
+    // ---- sampling -----------------------------------------------------
+
+    /// The sampling cadence, if enabled.
+    pub fn sample_every_ps(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.borrow().cfg.sample_every_ps)
+    }
+
+    /// The next simulated time at which [`MetricsHub::maybe_sample`]
+    /// will take a sample, if enabled. Drives the caller's run-loop
+    /// chunking; the hub itself never schedules simulator events.
+    pub fn next_sample_ps(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.borrow().next_sample_ps)
+    }
+
+    /// Sample every counter and gauge into its time series if `now_ps`
+    /// has reached the next sampling boundary. Multiple boundaries
+    /// crossed in one call collapse into a single sample at `now_ps`
+    /// (series stay monotone; no catch-up fabrication).
+    pub fn maybe_sample(&self, now_ps: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut h = inner.borrow_mut();
+        if now_ps < h.next_sample_ps {
+            return;
+        }
+        h.sample(now_ps);
+        let every = h.cfg.sample_every_ps.max(1);
+        // Next boundary strictly after now.
+        h.next_sample_ps = (now_ps / every + 1) * every;
+    }
+
+    /// Number of sampling passes taken so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.borrow().samples_taken)
+    }
+
+    // ---- inspection ---------------------------------------------------
+
+    /// Current value of a counter by name, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let h = inner.borrow();
+        let id = *h.names.get(&format!("c:{name}"))?;
+        Some(h.counters[id as usize].value)
+    }
+
+    /// Current value of a gauge by name, if registered.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        let h = inner.borrow();
+        let id = *h.names.get(&format!("g:{name}"))?;
+        Some(h.gauges[id as usize].value)
+    }
+
+    /// Clone of a counter's sampled time series by name.
+    pub fn counter_series(&self, name: &str) -> Option<TimeSeries> {
+        let inner = self.inner.as_ref()?;
+        let h = inner.borrow();
+        let id = *h.names.get(&format!("c:{name}"))?;
+        Some(h.counters[id as usize].series.clone())
+    }
+
+    /// Clone of a histogram's samples by name.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<Percentiles> {
+        let inner = self.inner.as_ref()?;
+        let h = inner.borrow();
+        let id = *h.names.get(&format!("h:{name}"))?;
+        Some(h.histograms[id as usize].clone())
+    }
+
+    /// All registered counter names (sorted) with current values.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let h = inner.borrow();
+        let mut out: Vec<(String, u64)> = h
+            .counter_names
+            .iter()
+            .zip(&h.counters)
+            .map(|(n, c)| (n.clone(), c.value))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Flight-recorder records (oldest retained first) with scope names
+    /// resolved, plus the evicted-record count.
+    pub fn flight_snapshot(&self) -> (Vec<(u64, u64, String, TraceEvent)>, u64) {
+        let Some(inner) = &self.inner else {
+            return (Vec::new(), 0);
+        };
+        let h = inner.borrow();
+        let rows = h
+            .flight
+            .records()
+            .map(|r| {
+                let scope = h
+                    .scope_names
+                    .get(r.scope.0 as usize)
+                    .cloned()
+                    .unwrap_or_else(|| "?".to_string());
+                (r.seq, r.t_ps, scope, r.event)
+            })
+            .collect();
+        (rows, h.flight.dropped())
+    }
+
+    /// Count of flight records by event kind (sorted by kind).
+    pub fn flight_kind_counts(&self) -> Vec<(&'static str, u64)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let h = inner.borrow();
+        let mut counts: HashMap<&'static str, u64> = HashMap::new();
+        for r in h.flight.records() {
+            *counts.entry(r.event.kind()).or_insert(0) += 1;
+        }
+        let mut out: Vec<_> = counts.into_iter().collect();
+        out.sort();
+        out
+    }
+
+    // ---- export -------------------------------------------------------
+
+    /// Render the whole hub (instruments, series, flight recorder) as a
+    /// JSON tree. Names are sorted so output is deterministic regardless
+    /// of registration order.
+    pub fn render_json(&self) -> Json {
+        let Some(inner) = &self.inner else {
+            return Json::obj(vec![("enabled", Json::Bool(false))]);
+        };
+        let h = inner.borrow();
+
+        let mut counters: Vec<(String, Json)> = h
+            .counter_names
+            .iter()
+            .zip(&h.counters)
+            .map(|(n, c)| (n.clone(), Json::U64(c.value)))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut gauges: Vec<(String, Json)> = h
+            .gauge_names
+            .iter()
+            .zip(&h.gauges)
+            .map(|(n, g)| (n.clone(), Json::F64(g.value)))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut histograms: Vec<(String, Json)> = h
+            .histogram_names
+            .iter()
+            .zip(&h.histograms)
+            .map(|(n, p)| {
+                let mut p = p.clone();
+                (
+                    n.clone(),
+                    Json::obj(vec![
+                        ("count", Json::U64(p.count() as u64)),
+                        ("p50", opt_u64(p.p50())),
+                        ("p99", opt_u64(p.p99())),
+                        ("p999", opt_u64(p.p999())),
+                        ("max", opt_u64(p.max())),
+                        ("mean", p.mean().map(Json::F64).unwrap_or(Json::Null)),
+                    ]),
+                )
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut series: Vec<(String, Json)> = h
+            .counter_names
+            .iter()
+            .zip(&h.counters)
+            .map(|(n, c)| (n.clone(), series_json(&c.series)))
+            .chain(
+                h.gauge_names
+                    .iter()
+                    .zip(&h.gauges)
+                    .map(|(n, g)| (n.clone(), series_json(&g.series))),
+            )
+            .filter(|(_, j)| j.as_arr().is_some_and(|a| !a.is_empty()))
+            .collect();
+        series.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let flight: Vec<Json> = h
+            .flight
+            .records()
+            .map(|r| {
+                let scope = h
+                    .scope_names
+                    .get(r.scope.0 as usize)
+                    .map(|s| s.as_str())
+                    .unwrap_or("?");
+                let mut pairs = vec![
+                    ("seq".to_string(), Json::U64(r.seq)),
+                    ("t_ps".to_string(), Json::U64(r.t_ps)),
+                    ("scope".to_string(), Json::Str(scope.to_string())),
+                    ("kind".to_string(), Json::Str(r.event.kind().to_string())),
+                ];
+                pairs.extend(r.event.detail_json());
+                Json::Obj(pairs)
+            })
+            .collect();
+
+        Json::obj(vec![
+            ("enabled", Json::Bool(true)),
+            ("sample_every_ps", Json::U64(h.cfg.sample_every_ps)),
+            ("samples_taken", Json::U64(h.samples_taken)),
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(histograms)),
+            ("series", Json::Obj(series)),
+            (
+                "flight_recorder",
+                Json::obj(vec![
+                    ("dropped", Json::U64(h.flight.dropped())),
+                    ("total_recorded", Json::U64(h.flight.total_recorded())),
+                    ("records", Json::Arr(flight)),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> Json {
+    v.map(Json::U64).unwrap_or(Json::Null)
+}
+
+fn series_json(s: &TimeSeries) -> Json {
+    Json::Arr(
+        s.points()
+            .iter()
+            .map(|(t, v)| Json::Arr(vec![Json::U64(*t), Json::F64(*v)]))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hub_is_inert() {
+        let hub = MetricsHub::disabled();
+        assert!(!hub.is_enabled());
+        let c = hub.counter("switch.t0.drop.total");
+        let g = hub.gauge("nic.s0.rate");
+        let h = hub.histogram("nic.s0.rtt_ps");
+        let s = hub.scope("switch.t0");
+        assert_eq!(c, CounterId::sentinel());
+        hub.add(c, 5);
+        hub.incr(c);
+        hub.set_gauge(g, 1.0);
+        hub.observe(h, 9);
+        hub.trace(0, s, TraceEvent::NicWatchdogFired);
+        hub.maybe_sample(1_000_000_000);
+        assert_eq!(hub.counter_value("switch.t0.drop.total"), None);
+        assert_eq!(hub.samples_taken(), 0);
+        assert!(hub.counters_snapshot().is_empty());
+        assert_eq!(hub.render_json().render(), r#"{"enabled":false}"#);
+    }
+
+    #[test]
+    fn counters_and_dedup_registration() {
+        let hub = MetricsHub::enabled();
+        let a = hub.counter("switch.t0.port.2.pfc.xoff_tx");
+        let b = hub.counter("switch.t0.port.2.pfc.xoff_tx");
+        assert_eq!(a, b);
+        hub.incr(a);
+        hub.add(b, 2);
+        assert_eq!(hub.counter_value("switch.t0.port.2.pfc.xoff_tx"), Some(3));
+        // Same leaf name under a different instrument type is distinct.
+        let g = hub.gauge("switch.t0.port.2.pfc.xoff_tx");
+        hub.set_gauge(g, 7.5);
+        assert_eq!(hub.gauge_value("switch.t0.port.2.pfc.xoff_tx"), Some(7.5));
+        assert_eq!(hub.counter_value("switch.t0.port.2.pfc.xoff_tx"), Some(3));
+    }
+
+    #[test]
+    fn sampling_boundaries() {
+        let hub = MetricsHub::with_config(TelemetryConfig {
+            sample_every_ps: 100,
+            flight_capacity: 8,
+        });
+        let c = hub.counter("x");
+        hub.maybe_sample(0); // boundary 0: sample
+        hub.add(c, 1);
+        hub.maybe_sample(50); // before next boundary: no sample
+        hub.maybe_sample(100); // boundary
+        hub.add(c, 1);
+        hub.maybe_sample(350); // skipped two boundaries: one sample, not three
+        assert_eq!(hub.samples_taken(), 3);
+        let series = hub.counter_series("x").unwrap();
+        assert_eq!(series.points(), &[(0, 0.0), (100, 1.0), (350, 2.0)]);
+        assert_eq!(hub.next_sample_ps(), Some(400));
+    }
+
+    #[test]
+    fn flight_ring_wraps_and_counts_evictions() {
+        let mut fr = FlightRecorder::new(3);
+        let s = ScopeId::sentinel();
+        for i in 0..5 {
+            fr.record(i, s, TraceEvent::NicWatchdogFired);
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        assert_eq!(fr.total_recorded(), 5);
+        let seqs: Vec<u64> = fr.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]); // oldest retained == dropped count
+    }
+
+    #[test]
+    fn flight_kind_counts_aggregate() {
+        let hub = MetricsHub::enabled();
+        let s = hub.scope("switch.t0");
+        hub.trace(
+            1,
+            s,
+            TraceEvent::Drop {
+                reason: "BufferOverflow",
+            },
+        );
+        hub.trace(2, s, TraceEvent::Drop { reason: "Corrupt" });
+        hub.trace(3, s, TraceEvent::PauseTx { port: 2, prio: 3 });
+        let counts = hub.flight_kind_counts();
+        assert_eq!(counts, vec![("drop", 2), ("pause_tx", 1)]);
+        let (rows, dropped) = hub.flight_snapshot();
+        assert_eq!(dropped, 0);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].2, "switch.t0");
+    }
+
+    #[test]
+    fn render_json_is_sorted_and_parseable() {
+        let hub = MetricsHub::with_config(TelemetryConfig {
+            sample_every_ps: 10,
+            flight_capacity: 4,
+        });
+        let z = hub.counter("z.last");
+        let a = hub.counter("a.first");
+        hub.add(z, 9);
+        hub.add(a, 1);
+        let h = hub.histogram("nic.s0.rtt_ps");
+        for v in [10, 20, 30] {
+            hub.observe(h, v);
+        }
+        let s = hub.scope("nic.s0");
+        hub.trace(
+            5,
+            s,
+            TraceEvent::RateChange {
+                rate_mbps: 1000,
+                cause: "cnp",
+            },
+        );
+        hub.maybe_sample(10);
+        let text = hub.render_json().render();
+        let back = crate::json::parse(&text).expect("hub JSON must parse");
+        let counters = back.get("counters").unwrap();
+        // Sorted: "a.first" renders before "z.last".
+        assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());
+        assert_eq!(counters.get("z.last"), Some(&Json::U64(9)));
+        let hist = back
+            .get("histograms")
+            .unwrap()
+            .get("nic.s0.rtt_ps")
+            .unwrap();
+        assert_eq!(hist.get("p50"), Some(&Json::U64(20)));
+        let flight = back.get("flight_recorder").unwrap();
+        assert_eq!(flight.get("records").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let hub = MetricsHub::enabled();
+        let c = hub.counter("shared");
+        let clone = hub.clone();
+        clone.add(c, 4);
+        assert_eq!(hub.counter_value("shared"), Some(4));
+    }
+}

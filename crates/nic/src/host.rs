@@ -5,12 +5,15 @@ use std::any::Any;
 use std::collections::VecDeque;
 
 use rocescale_dcqcn::{NpParams, NpState, RpParams, RpState};
+use rocescale_monitor::{CounterId, HistogramId, MetricsHub, ScopeId, TraceEvent};
 use rocescale_packet::{
     EcnCodepoint, EthMeta, Ipv4Meta, MacAddr, Packet, PacketKind, PauseFrame, PfcPauseFrame,
     Priority, RoceOpcode, RocePacket,
 };
 use rocescale_sim::{Ctx, Node, PortId, SimTime};
-use rocescale_transport::{Completion, PacketDesc, QpConfig, QpEndpoint, Verb, WrId};
+use rocescale_transport::{
+    Completion, PacketDesc, QpConfig, QpEndpoint, TransportEvent, Verb, WrId,
+};
 
 use crate::mtt::{MttCache, MttConfig};
 
@@ -84,6 +87,11 @@ pub struct NicConfig {
     /// pipeline has been stalled this long while pausing (§4.3; the
     /// paper's default is 100 ms). `None` disables the watchdog.
     pub nic_watchdog_after: Option<SimTime>,
+    /// Telemetry bus handle. Disabled by default; when enabled the host
+    /// registers its counters under `nic.{name}.…` (plus per-QP
+    /// instruments under `nic.{name}.qp.{qpn}.…`) and feeds the flight
+    /// recorder (pauses, rollbacks, rate changes, watchdog fires).
+    pub telemetry: MetricsHub,
 }
 
 impl NicConfig {
@@ -103,6 +111,7 @@ impl NicConfig {
             dcqcn_np: NpParams::default(),
             rx: RxConfig::default(),
             nic_watchdog_after: None,
+            telemetry: MetricsHub::disabled(),
         }
     }
 }
@@ -229,6 +238,47 @@ const DCQCN_TICK: SimTime = SimTime::from_micros(55);
 const RTO_SCAN: SimTime = SimTime::from_micros(100);
 const STORM_REFRESH: SimTime = SimTime::from_micros(100);
 
+/// Pre-registered telemetry instrument ids (sentinels when disabled).
+struct NicTele {
+    hub: MetricsHub,
+    scope: ScopeId,
+    /// Host name, kept for late per-QP registration in `add_qp`.
+    name: String,
+    pause_tx: CounterId,
+    pause_rx: CounterId,
+    cnp_tx: CounterId,
+    cnp_rx: CounterId,
+    rx_overflow: CounterId,
+    rx_storm_dropped: CounterId,
+    nic_watchdog_fired: CounterId,
+    /// RTT histogram (`nic.{name}.rtt_ps`), fed by Pinger/Fanout apps.
+    rtt_ps: HistogramId,
+    /// Per-QP `nic.{name}.qp.{qpn}.retransmits` (rollback PSN volume).
+    qp_retransmits: Vec<CounterId>,
+    /// Per-QP `nic.{name}.qp.{qpn}.rate_changes` (DCQCN rate moves).
+    qp_rate_changes: Vec<CounterId>,
+}
+
+impl NicTele {
+    fn register(hub: MetricsHub, name: &str) -> NicTele {
+        NicTele {
+            scope: hub.scope(&format!("nic.{name}")),
+            pause_tx: hub.counter(&format!("nic.{name}.pfc.xoff_tx")),
+            pause_rx: hub.counter(&format!("nic.{name}.pfc.xoff_rx")),
+            cnp_tx: hub.counter(&format!("nic.{name}.dcqcn.cnp_tx")),
+            cnp_rx: hub.counter(&format!("nic.{name}.dcqcn.cnp_rx")),
+            rx_overflow: hub.counter(&format!("nic.{name}.rx.overflow")),
+            rx_storm_dropped: hub.counter(&format!("nic.{name}.rx.storm_dropped")),
+            nic_watchdog_fired: hub.counter(&format!("nic.{name}.watchdog.fired")),
+            rtt_ps: hub.histogram(&format!("nic.{name}.rtt_ps")),
+            qp_retransmits: Vec::new(),
+            qp_rate_changes: Vec::new(),
+            name: name.to_string(),
+            hub,
+        }
+    }
+}
+
 /// The RDMA host node.
 pub struct RdmaHost {
     cfg: NicConfig,
@@ -256,6 +306,8 @@ pub struct RdmaHost {
     // --- storm state ---
     storm: bool,
     pause_gen_disabled: bool,
+    /// Telemetry instruments (sentinels when the hub is disabled).
+    tele: NicTele,
     /// Counters.
     pub stats: HostStats,
 }
@@ -265,6 +317,7 @@ impl RdmaHost {
     pub fn new(cfg: NicConfig) -> RdmaHost {
         RdmaHost {
             mtt: cfg.rx.mtt.map(MttCache::new),
+            tele: NicTele::register(cfg.telemetry.clone(), &cfg.name),
             cfg,
             qps: Vec::new(),
             host_app: HostApp::None,
@@ -281,6 +334,34 @@ impl RdmaHost {
             storm: false,
             pause_gen_disabled: false,
             stats: HostStats::default(),
+        }
+    }
+
+    /// Forward a QP's queued transport events (rollbacks) to the
+    /// telemetry bus. Always drained so the queue stays bounded even with
+    /// telemetry disabled.
+    fn drain_transport_events(&mut self, qpn: u32, now_ps: u64) {
+        while let Some(ev) = self.qps[qpn as usize].endpoint.pop_event() {
+            match ev {
+                TransportEvent::Rollback {
+                    cause,
+                    to_psn,
+                    pkts,
+                } => {
+                    self.tele
+                        .hub
+                        .add(self.tele.qp_retransmits[qpn as usize], pkts as u64);
+                    self.tele.hub.trace(
+                        now_ps,
+                        self.tele.scope,
+                        TraceEvent::Rollback {
+                            cause,
+                            to_psn,
+                            pkts,
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -320,6 +401,13 @@ impl RdmaHost {
             }
         }
         self.qps.push(qp);
+        let (hub, name) = (&self.tele.hub, &self.tele.name);
+        self.tele
+            .qp_retransmits
+            .push(hub.counter(&format!("nic.{name}.qp.{qpn}.retransmits")));
+        self.tele
+            .qp_rate_changes
+            .push(hub.counter(&format!("nic.{name}.qp.{qpn}.rate_changes")));
         QpHandle(qpn)
     }
 
@@ -550,6 +638,7 @@ impl RdmaHost {
         let pkt = self.materialize(qpn, &desc, ctx);
         self.ctrl.push_back(pkt);
         self.stats.cnp_tx += 1;
+        self.tele.hub.incr(self.tele.cnp_tx);
     }
 
     // ---- receive pipeline ----
@@ -563,12 +652,14 @@ impl RdmaHost {
         }
         if self.storm {
             self.stats.rx_storm_dropped += 1;
+            self.tele.hub.incr(self.tele.rx_storm_dropped);
             self.note_rx_pressure(ctx);
             return;
         }
         let bytes = pkt.wire_size() as u64;
         if self.rx_occupancy + bytes > self.cfg.rx.buffer_bytes {
             self.stats.rx_overflow += 1;
+            self.tele.hub.incr(self.tele.rx_overflow);
             return;
         }
         self.rx_occupancy += bytes;
@@ -596,6 +687,15 @@ impl RdmaHost {
         self.pause_out.push_back(pkt);
         if quanta > 0 {
             self.stats.pause_tx += 1;
+            self.tele.hub.incr(self.tele.pause_tx);
+            self.tele.hub.trace(
+                ctx.now().as_ps(),
+                self.tele.scope,
+                TraceEvent::PauseTx {
+                    port: 0,
+                    prio: prio.index() as u8,
+                },
+            );
         }
         self.pump(ctx);
     }
@@ -653,8 +753,22 @@ impl RdmaHost {
         }
         if r.opcode == RoceOpcode::Cnp {
             self.stats.cnp_rx += 1;
+            self.tele.hub.incr(self.tele.cnp_rx);
             if let Some(rp) = self.qps[qpn as usize].rp.as_mut() {
+                let before = rp.rate_bps();
                 rp.on_cnp();
+                let after = rp.rate_bps();
+                if after != before {
+                    self.tele.hub.incr(self.tele.qp_rate_changes[qpn as usize]);
+                    self.tele.hub.trace(
+                        ctx.now().as_ps(),
+                        self.tele.scope,
+                        TraceEvent::RateChange {
+                            rate_mbps: (after / 1e6) as u32,
+                            cause: "cnp",
+                        },
+                    );
+                }
             }
             return;
         }
@@ -675,6 +789,7 @@ impl RdmaHost {
             q.endpoint.on_packet(&desc, now_ps);
         }
         self.drain_ctrl(qpn, ctx);
+        self.drain_transport_events(qpn, now_ps);
         self.handle_completions(qpn, ctx);
         self.pump(ctx);
     }
@@ -704,6 +819,7 @@ impl RdmaHost {
                     let q = &mut self.qps[qpn as usize];
                     if let Some(sent) = q.pending_rtt.pop_front() {
                         self.stats.rtt_samples_ps.push(now - sent);
+                        self.tele.hub.observe(self.tele.rtt_ps, now - sent);
                     }
                     if let QpApp::Echo { reply_len } = q.app {
                         let wr = WrId(q.wr_seq);
@@ -719,6 +835,21 @@ impl RdmaHost {
 
     fn on_pause(&mut self, frame: &PauseFrame, ctx: &mut Ctx<'_>) {
         self.stats.pause_rx += 1;
+        self.tele.hub.incr(self.tele.pause_rx);
+        if self.tele.hub.is_enabled() {
+            if let Some((prio, quanta)) = frame.entries().next() {
+                if quanta > 0 {
+                    self.tele.hub.trace(
+                        ctx.now().as_ps(),
+                        self.tele.scope,
+                        TraceEvent::PauseRx {
+                            port: 0,
+                            prio: prio.index() as u8,
+                        },
+                    );
+                }
+            }
+        }
         let rate = ctx.port_rate(PortId(0)).unwrap_or(self.cfg.link_bps);
         let mut resumed = false;
         for (prio, quanta) in frame.entries() {
@@ -748,6 +879,12 @@ impl RdmaHost {
             {
                 self.pause_gen_disabled = true;
                 self.stats.nic_watchdog_fired += 1;
+                self.tele.hub.incr(self.tele.nic_watchdog_fired);
+                self.tele.hub.trace(
+                    ctx.now().as_ps(),
+                    self.tele.scope,
+                    TraceEvent::NicWatchdogFired,
+                );
             }
         }
         if !self.pause_gen_disabled {
@@ -817,8 +954,9 @@ impl Node for RdmaHost {
             TOK_RTO => {
                 let now = ctx.now().as_ps();
                 let mut rewound = false;
-                for q in &mut self.qps {
-                    rewound |= q.endpoint.check_timeout(now);
+                for i in 0..self.qps.len() {
+                    rewound |= self.qps[i].endpoint.check_timeout(now);
+                    self.drain_transport_events(i as u32, now);
                 }
                 ctx.set_timer(RTO_SCAN, TOK_RTO);
                 // Always pump: QPs may have been added mid-run by an
@@ -850,6 +988,9 @@ impl Node for RdmaHost {
             TOK_STORM_TICK => self.storm_tick(ctx),
             TOK_INJECT_STORM => {
                 self.storm = true;
+                self.tele
+                    .hub
+                    .trace(ctx.now().as_ps(), self.tele.scope, TraceEvent::StormStart);
                 self.storm_tick(ctx);
             }
             t if t >= TOK_QP_APP_BASE => {

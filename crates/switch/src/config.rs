@@ -1,6 +1,7 @@
 //! Switch configuration: classification, buffers, PFC, watchdog.
 
 use rocescale_dcqcn::CpParams;
+use rocescale_monitor::MetricsHub;
 use rocescale_packet::Priority;
 use rocescale_sim::SimTime;
 
@@ -155,6 +156,10 @@ pub struct SwitchConfig {
     /// for RDMA in the lossless network context will be an interesting
     /// challenge").
     pub per_packet_spraying: bool,
+    /// Telemetry bus handle. Disabled by default; when enabled the switch
+    /// registers its counters under `switch.{name}.…` and feeds the
+    /// flight recorder (drops, pauses, watchdog trips).
+    pub telemetry: MetricsHub,
 }
 
 fn identity_dscp(d: u8) -> Priority {
@@ -190,6 +195,7 @@ impl SwitchConfig {
             watchdog: WatchdogConfig::default(),
             drop_ip_id_low_byte: None,
             per_packet_spraying: false,
+            telemetry: MetricsHub::disabled(),
         }
     }
 

@@ -5,6 +5,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 
 use rocescale_dcqcn::CpState;
+use rocescale_monitor::{CounterId, MetricsHub, ScopeId, TraceEvent};
 use rocescale_packet::{
     EcnCodepoint, MacAddr, Packet, PacketKind, PauseFrame, PfcPauseFrame, Priority,
 };
@@ -43,6 +44,25 @@ pub enum DropReason {
     /// Lossless packet to/from a port whose lossless mode the storm
     /// watchdog disabled (§4.3).
     WatchdogLosslessOff,
+}
+
+impl DropReason {
+    /// Stable name, used as the telemetry counter leaf and flight-recorder
+    /// reason string.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DropReason::LossyOverflow => "LossyOverflow",
+            DropReason::LosslessOverflow => "LosslessOverflow",
+            DropReason::NoRoute => "NoRoute",
+            DropReason::ArpMiss => "ArpMiss",
+            DropReason::IncompleteArpLossless => "IncompleteArpLossless",
+            DropReason::FloodCopyAtFabricHead => "FloodCopyAtFabricHead",
+            DropReason::TtlExpired => "TtlExpired",
+            DropReason::InjectedFilter => "InjectedFilter",
+            DropReason::UntaggedOnTrunk => "UntaggedOnTrunk",
+            DropReason::WatchdogLosslessOff => "WatchdogLosslessOff",
+        }
+    }
 }
 
 const DROP_REASONS: [DropReason; 10] = [
@@ -211,6 +231,50 @@ fn tok_refresh(port: PortId, pg: Priority) -> u64 {
     (TOK_PAUSE_REFRESH << TOK_KIND_SHIFT) | ((pg.index() as u64) << 16) | port.0 as u64
 }
 
+/// Pre-registered telemetry instrument ids (all sentinels when the hub is
+/// disabled, so the hot path pays a null check per site).
+struct SwitchTele {
+    hub: MetricsHub,
+    scope: ScopeId,
+    /// Per-port `switch.{name}.port.{p}.pfc.xoff_tx`.
+    pause_tx: Vec<CounterId>,
+    /// Per-port `…pfc.xon_tx`.
+    resume_tx: Vec<CounterId>,
+    /// Per-port `…pfc.xoff_rx`.
+    pause_rx: Vec<CounterId>,
+    /// Per-reason `switch.{name}.drop.{Reason}`.
+    drops: [CounterId; DROP_REASONS.len()],
+    ecn_marked: CounterId,
+    wd_disables: CounterId,
+    wd_reenables: CounterId,
+}
+
+impl SwitchTele {
+    fn register(hub: MetricsHub, name: &str, ports: usize) -> SwitchTele {
+        let scope = hub.scope(&format!("switch.{name}"));
+        let per_port = |leaf: &str| -> Vec<CounterId> {
+            (0..ports)
+                .map(|p| hub.counter(&format!("switch.{name}.port.{p}.pfc.{leaf}")))
+                .collect()
+        };
+        let pause_tx = per_port("xoff_tx");
+        let resume_tx = per_port("xon_tx");
+        let pause_rx = per_port("xoff_rx");
+        let drops = DROP_REASONS.map(|r| hub.counter(&format!("switch.{name}.drop.{}", r.name())));
+        SwitchTele {
+            scope,
+            pause_tx,
+            resume_tx,
+            pause_rx,
+            drops,
+            ecn_marked: hub.counter(&format!("switch.{name}.ecn_marked")),
+            wd_disables: hub.counter(&format!("switch.{name}.watchdog.disables")),
+            wd_reenables: hub.counter(&format!("switch.{name}.watchdog.reenables")),
+            hub,
+        }
+    }
+}
+
 /// The switch node.
 pub struct Switch {
     cfg: SwitchConfig,
@@ -230,6 +294,8 @@ pub struct Switch {
     wd: Vec<WatchdogPort>,
     /// Round-robin counter for per-packet spraying (§8.1 ablation).
     spray_counter: u64,
+    /// Telemetry instruments (sentinels when the hub is disabled).
+    tele: SwitchTele,
     /// Counters.
     pub stats: SwitchStats,
 }
@@ -249,6 +315,7 @@ impl Switch {
                 row
             })
             .collect();
+        let tele = SwitchTele::register(cfg.telemetry.clone(), &cfg.name, ports);
         Switch {
             mac_table: MacTable::new(cfg.mac_timeout),
             arp_table: ArpTable::new(cfg.arp_timeout),
@@ -258,11 +325,37 @@ impl Switch {
             cp,
             wd: vec![WatchdogPort::default(); ports],
             spray_counter: 0,
+            tele,
             stats: SwitchStats::new(ports),
             buffer,
             router_mac,
             salt,
             cfg,
+        }
+    }
+
+    /// Count a drop in both the legacy stats and the telemetry bus.
+    fn note_drop(&mut self, reason: DropReason, now: SimTime) {
+        self.stats.drop(reason);
+        if self.tele.hub.is_enabled() {
+            let i = DROP_REASONS
+                .iter()
+                .position(|r| *r == reason)
+                .expect("known");
+            self.tele.hub.incr(self.tele.drops[i]);
+            let t = now.as_ps();
+            self.tele.hub.trace(
+                t,
+                self.tele.scope,
+                TraceEvent::Drop {
+                    reason: reason.name(),
+                },
+            );
+            if reason == DropReason::IncompleteArpLossless {
+                self.tele
+                    .hub
+                    .trace(t, self.tele.scope, TraceEvent::ArpIncompleteDrop);
+            }
         }
     }
 
@@ -387,12 +480,21 @@ impl Switch {
                 any_pause = true;
                 let until = now + SimTime(PfcPauseFrame::quanta_to_ps(quanta, rate));
                 e.paused_until[prio.index()] = until;
+                self.tele.hub.trace(
+                    now.as_ps(),
+                    self.tele.scope,
+                    TraceEvent::PauseRx {
+                        port: port.0,
+                        prio: prio.index() as u8,
+                    },
+                );
                 // Wake the port when the pause expires.
                 ctx.set_timer_at(until, tok_kick(port));
             }
         }
         if any_pause {
             self.stats.pause_rx[port.index()] += 1;
+            self.tele.hub.incr(self.tele.pause_rx[port.index()]);
         }
         if resumed {
             self.try_send(port, ctx);
@@ -411,6 +513,15 @@ impl Switch {
         *self.buffer.xoff_state(ingress.0, pg) = true;
         self.send_pause(ingress, pg, u16::MAX, ctx);
         self.stats.pause_tx[ingress.index()] += 1;
+        self.tele.hub.incr(self.tele.pause_tx[ingress.index()]);
+        self.tele.hub.trace(
+            ctx.now().as_ps(),
+            self.tele.scope,
+            TraceEvent::PauseTx {
+                port: ingress.0,
+                prio: pg.index() as u8,
+            },
+        );
         // Refresh before the pause expires if we are still over XOFF.
         let rate = ctx.port_rate(ingress).unwrap_or(40_000_000_000);
         let refresh = SimTime(PfcPauseFrame::quanta_to_ps(u16::MAX, rate) / 2);
@@ -427,6 +538,15 @@ impl Switch {
             *self.buffer.xoff_state(ingress.0, pg) = false;
             self.send_pause(ingress, pg, 0, ctx);
             self.stats.resume_tx[ingress.index()] += 1;
+            self.tele.hub.incr(self.tele.resume_tx[ingress.index()]);
+            self.tele.hub.trace(
+                ctx.now().as_ps(),
+                self.tele.scope,
+                TraceEvent::ResumeTx {
+                    port: ingress.0,
+                    prio: pg.index() as u8,
+                },
+            );
         }
     }
 
@@ -464,7 +584,7 @@ impl Switch {
 
         // Watchdog: lossless traffic from a quarantined port is discarded.
         if self.cfg.is_lossless(prio) && self.wd[ingress.index()].lossless_disabled {
-            self.stats.drop(DropReason::WatchdogLosslessOff);
+            self.note_drop(DropReason::WatchdogLosslessOff, now);
             return;
         }
 
@@ -474,14 +594,14 @@ impl Switch {
             && pkt.eth.vlan.is_none()
             && self.cfg.role(ingress.0) == PortRole::Server
         {
-            self.stats.drop(DropReason::UntaggedOnTrunk);
+            self.note_drop(DropReason::UntaggedOnTrunk, now);
             return;
         }
 
         // §4.1 fault injection.
         if let (Some(filter), Some(ip)) = (self.cfg.drop_ip_id_low_byte, pkt.ip) {
             if (ip.id & 0xff) as u8 == filter {
-                self.stats.drop(DropReason::InjectedFilter);
+                self.note_drop(DropReason::InjectedFilter, now);
                 return;
             }
         }
@@ -493,7 +613,7 @@ impl Switch {
                 return; // non-IP addressed to the router: nothing to do
             };
             if ip.ttl <= 1 {
-                self.stats.drop(DropReason::TtlExpired);
+                self.note_drop(DropReason::TtlExpired, now);
                 return;
             }
             ip.ttl -= 1;
@@ -504,7 +624,7 @@ impl Switch {
             }
             let decision = match self.routes.lookup(dst_ip) {
                 None => {
-                    self.stats.drop(DropReason::NoRoute);
+                    self.note_drop(DropReason::NoRoute, now);
                     return;
                 }
                 Some(NextHop::Via(group)) => {
@@ -531,7 +651,7 @@ impl Switch {
                 }
                 Decision::Connected => {
                     let Some(mac) = self.arp_table.lookup(dst_ip, now) else {
-                        self.stats.drop(DropReason::ArpMiss);
+                        self.note_drop(DropReason::ArpMiss, now);
                         return;
                     };
                     pkt.eth.src = self.router_mac;
@@ -546,7 +666,7 @@ impl Switch {
                             // the §4.2 deadlock ingredient. The fix drops
                             // lossless packets instead.
                             if self.cfg.drop_lossless_on_incomplete_arp && lossless {
-                                self.stats.drop(DropReason::IncompleteArpLossless);
+                                self.note_drop(DropReason::IncompleteArpLossless, now);
                                 return;
                             }
                             self.flood(ingress, pkt, prio, lossless, ctx);
@@ -565,7 +685,7 @@ impl Switch {
                 }
                 None => {
                     if self.cfg.drop_lossless_on_incomplete_arp && lossless {
-                        self.stats.drop(DropReason::IncompleteArpLossless);
+                        self.note_drop(DropReason::IncompleteArpLossless, now);
                         return;
                     }
                     self.flood(ingress, pkt, prio, lossless, ctx);
@@ -607,17 +727,18 @@ impl Switch {
     ) {
         // Watchdog: lossless traffic to a quarantined port is discarded.
         if self.cfg.is_lossless(prio) && self.wd[egress.index()].lossless_disabled {
-            self.stats.drop(DropReason::WatchdogLosslessOff);
+            self.note_drop(DropReason::WatchdogLosslessOff, ctx.now());
             return;
         }
         let bytes = pkt.wire_size() as u64;
         let outcome = self.buffer.admit(ingress.0, prio, bytes, lossless);
         if outcome == AdmitOutcome::Drop {
-            self.stats.drop(if lossless {
+            let reason = if lossless {
                 DropReason::LosslessOverflow
             } else {
                 DropReason::LossyOverflow
-            });
+            };
+            self.note_drop(reason, ctx.now());
             return;
         }
         // DCQCN congestion point: mark on egress queue depth at enqueue.
@@ -630,6 +751,7 @@ impl Switch {
                         ip.ecn = EcnCodepoint::Ce;
                     }
                     self.stats.ecn_marked += 1;
+                    self.tele.hub.incr(self.tele.ecn_marked);
                 }
             }
         }
@@ -740,7 +862,7 @@ impl Switch {
             // destination MAC matches no next hop (Figure 4).
             if qp.flood_copy && self.cfg.role(port.0) == PortRole::Fabric {
                 self.release(&qp, ctx);
-                self.stats.drop(DropReason::FloodCopyAtFabricHead);
+                self.note_drop(DropReason::FloodCopyAtFabricHead, now);
                 continue; // same transmission opportunity: try the next packet
             }
             self.stats.tx_pkts[port.index()] += 1;
@@ -785,6 +907,12 @@ impl Switch {
                     self.wd[p].lossless_disabled = false;
                     self.wd[p].undrainable_since = None;
                     self.stats.watchdog_reenables += 1;
+                    self.tele.hub.incr(self.tele.wd_reenables);
+                    self.tele.hub.trace(
+                        now.as_ps(),
+                        self.tele.scope,
+                        TraceEvent::WatchdogReenabled { port: p as u16 },
+                    );
                 }
                 continue;
             }
@@ -807,6 +935,12 @@ impl Switch {
     fn trip_watchdog(&mut self, port: PortId, ctx: &mut Ctx<'_>) {
         self.wd[port.index()].lossless_disabled = true;
         self.stats.watchdog_disables += 1;
+        self.tele.hub.incr(self.tele.wd_disables);
+        self.tele.hub.trace(
+            ctx.now().as_ps(),
+            self.tele.scope,
+            TraceEvent::WatchdogDisabled { port: port.0 },
+        );
         let lossless = self.cfg.lossless;
         let mut flushed: Vec<QueuedPkt> = Vec::new();
         {
@@ -824,7 +958,7 @@ impl Switch {
         }
         for qp in &flushed {
             self.release(qp, ctx);
-            self.stats.drop(DropReason::WatchdogLosslessOff);
+            self.note_drop(DropReason::WatchdogLosslessOff, ctx.now());
         }
         self.try_send(port, ctx);
     }
@@ -868,6 +1002,15 @@ impl Node for Switch {
                     // Still over XOFF: refresh the pause.
                     self.send_pause(port, pg, u16::MAX, ctx);
                     self.stats.pause_tx[port.index()] += 1;
+                    self.tele.hub.incr(self.tele.pause_tx[port.index()]);
+                    self.tele.hub.trace(
+                        ctx.now().as_ps(),
+                        self.tele.scope,
+                        TraceEvent::PauseTx {
+                            port: port.0,
+                            prio: pg.index() as u8,
+                        },
+                    );
                     let rate = ctx.port_rate(port).unwrap_or(40_000_000_000);
                     let refresh = SimTime(PfcPauseFrame::quanta_to_ps(u16::MAX, rate) / 2);
                     ctx.set_timer(refresh, tok_refresh(port, pg));

@@ -5,6 +5,7 @@
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
+use rocescale_monitor::{CounterId, MetricsHub, ScopeId, TraceEvent};
 use rocescale_packet::{
     EcnCodepoint, EthMeta, Ipv4Meta, MacAddr, Packet, PacketKind, Priority, TcpFlags, TcpSegment,
 };
@@ -142,6 +143,10 @@ pub struct TcpHostConfig {
     pub kernel: KernelModel,
     /// CPU cost model.
     pub cpu: CpuModel,
+    /// Telemetry bus handle. Disabled by default; when enabled the host
+    /// registers its counters under `tcp.{name}.…` and records
+    /// retransmission events in the flight recorder.
+    pub telemetry: MetricsHub,
 }
 
 impl TcpHostConfig {
@@ -157,6 +162,7 @@ impl TcpHostConfig {
             conn: ConnConfig::default(),
             kernel: KernelModel::default(),
             cpu: CpuModel::default(),
+            telemetry: MetricsHub::disabled(),
         }
     }
 }
@@ -218,6 +224,31 @@ const TOK_APP_BASE: u64 = 1 << 32;
 
 const RTO_SCAN: SimTime = SimTime::from_micros(250);
 
+/// Pre-registered telemetry instrument ids (sentinels when disabled).
+struct TcpTele {
+    hub: MetricsHub,
+    scope: ScopeId,
+    segments_tx: CounterId,
+    segments_rx: CounterId,
+    fast_retransmits: CounterId,
+    timeouts: CounterId,
+    msgs_delivered: CounterId,
+}
+
+impl TcpTele {
+    fn register(hub: MetricsHub, name: &str) -> TcpTele {
+        TcpTele {
+            scope: hub.scope(&format!("tcp.{name}")),
+            segments_tx: hub.counter(&format!("tcp.{name}.segments_tx")),
+            segments_rx: hub.counter(&format!("tcp.{name}.segments_rx")),
+            fast_retransmits: hub.counter(&format!("tcp.{name}.fast_retransmits")),
+            timeouts: hub.counter(&format!("tcp.{name}.timeouts")),
+            msgs_delivered: hub.counter(&format!("tcp.{name}.msgs_delivered")),
+            hub,
+        }
+    }
+}
+
 /// The TCP host node.
 pub struct TcpHost {
     cfg: TcpHostConfig,
@@ -232,6 +263,8 @@ pub struct TcpHost {
     kernel_q: Vec<(u64, KernelOp)>,
     rr: usize,
     ip_id: u16,
+    /// Telemetry instruments (sentinels when the hub is disabled).
+    tele: TcpTele,
     /// Counters.
     pub stats: TcpHostStats,
 }
@@ -240,6 +273,7 @@ impl TcpHost {
     /// Build a host.
     pub fn new(cfg: TcpHostConfig) -> TcpHost {
         TcpHost {
+            tele: TcpTele::register(cfg.telemetry.clone(), &cfg.name),
             cfg,
             conns: Vec::new(),
             by_port: HashMap::new(),
@@ -352,6 +386,7 @@ impl TcpHost {
             }
             if let Some((ci, seg)) = self.rtx.pop_front() {
                 self.stats.segments_tx += 1;
+                self.tele.hub.incr(self.tele.segments_tx);
                 self.stats.cpu_ps += self.cfg.cpu.tx_ps_per_segment;
                 let p = self.segment_packet(ci, seg, ctx);
                 self.stats.tx_bytes += p.wire_size() as u64;
@@ -370,6 +405,7 @@ impl TcpHost {
                 if let Some(seg) = self.conns[i].tx.next_segment(now_ps) {
                     self.rr = (i + 1) % n;
                     self.stats.segments_tx += 1;
+                    self.tele.hub.incr(self.tele.segments_tx);
                     self.stats.cpu_ps += self.cfg.cpu.tx_ps_per_segment;
                     let p = self.segment_packet(i as u32, seg, ctx);
                     self.stats.tx_bytes += p.wire_size() as u64;
@@ -391,6 +427,7 @@ impl TcpHost {
         let now_ps = ctx.now().as_ps();
         if seg.payload > 0 {
             self.stats.segments_rx += 1;
+            self.tele.hub.incr(self.tele.segments_rx);
             self.stats.cpu_ps += self.cfg.cpu.rx_ps_per_segment;
             let delivered = {
                 let c = &mut self.conns[ci as usize];
@@ -427,6 +464,17 @@ impl TcpHost {
             let retransmit = self.conns[ci as usize].tx.on_ack(seg.ack, now_ps);
             if retransmit {
                 let rseg = self.conns[ci as usize].tx.retransmit_segment(now_ps);
+                self.stats.fast_retransmits += 1;
+                self.tele.hub.incr(self.tele.fast_retransmits);
+                self.tele.hub.trace(
+                    now_ps,
+                    self.tele.scope,
+                    TraceEvent::Rollback {
+                        cause: "tcp-fast-retx",
+                        to_psn: rseg.seq as u32,
+                        pkts: 1,
+                    },
+                );
                 self.rtx.push_back((ci, rseg));
             }
             // Saturating senders keep the stream fed: top the backlog up
@@ -463,6 +511,7 @@ impl TcpHost {
                 }
                 KernelOp::RxDeliver { conn } => {
                     self.stats.msgs_delivered += 1;
+                    self.tele.hub.incr(self.tele.msgs_delivered);
                     let app = self.conns[conn as usize].app;
                     match app {
                         TcpApp::Echo { reply_len } => {
@@ -526,7 +575,17 @@ impl Node for TcpHost {
                 for i in 0..self.conns.len() {
                     if self.conns[i].tx.check_rto(now) {
                         self.stats.timeouts += 1;
+                        self.tele.hub.incr(self.tele.timeouts);
                         let seg = self.conns[i].tx.retransmit_segment(now);
+                        self.tele.hub.trace(
+                            now,
+                            self.tele.scope,
+                            TraceEvent::Rollback {
+                                cause: "tcp-rto",
+                                to_psn: seg.seq as u32,
+                                pkts: 1,
+                            },
+                        );
                         self.rtx.push_back((i as u32, seg));
                     }
                 }

@@ -60,6 +60,26 @@ pub enum Completion {
     },
 }
 
+/// A notable transport-level state transition, exposed for telemetry.
+///
+/// Like [`PacketDesc`] control output and [`Completion`]s, these are
+/// queued sans-IO: the state machine records them and the NIC adapter
+/// drains them (forwarding to the metrics hub's flight recorder), so the
+/// transport crate stays free of any monitoring dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportEvent {
+    /// The requester rewound its send pointer (go-back-N / go-back-0).
+    Rollback {
+        /// What triggered it: `"nak"` or `"rto"`.
+        cause: &'static str,
+        /// PSN the sender rewound to.
+        to_psn: u32,
+        /// PSNs between the old and new send pointer — the retransmit
+        /// volume this rollback commits to.
+        pkts: u32,
+    },
+}
+
 /// A transport packet, as produced by / consumed from the state machine.
 /// The NIC adapter adds addressing (QPNs, IPs, UDP source port) when
 /// materializing a wire packet.
@@ -193,6 +213,7 @@ pub struct QpEndpoint {
     // ---- outputs ----
     ctrl_out: VecDeque<PacketDesc>,
     completions: Vec<Completion>,
+    events_out: VecDeque<TransportEvent>,
 
     /// Counters.
     pub stats: QpStats,
@@ -217,6 +238,7 @@ impl QpEndpoint {
             cur_msg_is_read_resp: false,
             ctrl_out: VecDeque::new(),
             completions: Vec::new(),
+            events_out: VecDeque::new(),
             stats: QpStats::default(),
         }
     }
@@ -319,6 +341,11 @@ impl QpEndpoint {
         std::mem::take(&mut self.completions)
     }
 
+    /// Pop a telemetry event recorded since the last drain (rollbacks).
+    pub fn pop_event(&mut self) -> Option<TransportEvent> {
+        self.events_out.pop_front()
+    }
+
     /// Feed an incoming transport packet (data or control) from the peer.
     pub fn on_packet(&mut self, desc: &PacketDesc, now_ps: u64) {
         match desc.opcode {
@@ -395,6 +422,11 @@ impl QpEndpoint {
             }
         };
         if target < self.snd_nxt {
+            self.events_out.push_back(TransportEvent::Rollback {
+                cause: "nak",
+                to_psn: target,
+                pkts: self.snd_nxt - target,
+            });
             self.snd_nxt = target;
         }
         self.last_progress_ps = now_ps;
@@ -412,7 +444,7 @@ impl QpEndpoint {
         }
         self.stats.rto_rewinds += 1;
         self.last_progress_ps = now_ps;
-        self.snd_nxt = match self.cfg.recovery {
+        let target = match self.cfg.recovery {
             LossRecovery::GoBackN => self.snd_una,
             LossRecovery::GoBack0 => {
                 let base = self
@@ -425,6 +457,12 @@ impl QpEndpoint {
                 base
             }
         };
+        self.events_out.push_back(TransportEvent::Rollback {
+            cause: "rto",
+            to_psn: target,
+            pkts: self.snd_nxt.saturating_sub(target),
+        });
+        self.snd_nxt = target;
         true
     }
 
@@ -846,6 +884,45 @@ mod tests {
         assert_eq!(b.goodput_bytes(), 100 * 1024);
         // Flight never exceeded the window (spot check via stats).
         assert!(a.stats.data_pkts_tx >= 100);
+    }
+
+    #[test]
+    fn rollback_events_carry_cause_and_volume() {
+        // NAK-driven rollback.
+        let (mut a, mut b) = pair(LossRecovery::GoBackN);
+        a.post(Verb::Send { len: 10 * 1024 }, WrId(1));
+        let _lost = a.next_data_tx(0).unwrap(); // PSN 0 dropped
+        for _ in 1..4 {
+            let d = a.next_data_tx(0).unwrap();
+            b.on_packet(&d, 0);
+        }
+        while let Some(c) = b.pop_ctrl_tx() {
+            a.on_packet(&c, 0);
+        }
+        assert_eq!(
+            a.pop_event(),
+            Some(TransportEvent::Rollback {
+                cause: "nak",
+                to_psn: 0,
+                pkts: 4
+            })
+        );
+        assert_eq!(a.pop_event(), None);
+
+        // RTO-driven rollback.
+        let (mut a, _b) = pair(LossRecovery::GoBackN);
+        a.post(Verb::Send { len: 2048 }, WrId(1));
+        a.next_data_tx(0).unwrap();
+        a.next_data_tx(0).unwrap();
+        assert!(a.check_timeout(a.config().rto_ps + 1));
+        assert_eq!(
+            a.pop_event(),
+            Some(TransportEvent::Rollback {
+                cause: "rto",
+                to_psn: 0,
+                pkts: 2
+            })
+        );
     }
 
     #[test]

@@ -42,5 +42,5 @@
 mod endpoint;
 
 pub use endpoint::{
-    Completion, LossRecovery, PacketDesc, QpConfig, QpEndpoint, QpStats, Verb, WrId,
+    Completion, LossRecovery, PacketDesc, QpConfig, QpEndpoint, QpStats, TransportEvent, Verb, WrId,
 };

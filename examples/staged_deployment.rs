@@ -14,7 +14,7 @@
 //! cargo run --release --example staged_deployment
 //! ```
 
-use rocescale::core::{ClusterBuilder, DeploymentStage};
+use rocescale::core::{ClusterBuilder, DeploymentStage, FabricProfile, TransportProfile};
 use rocescale::monitor::config::{diff, RdmaConfig};
 use rocescale::nic::QpApp;
 use rocescale::switch::DropReason;
@@ -30,8 +30,8 @@ fn main() {
         DeploymentStage::Spine,
     ] {
         let mut c = ClusterBuilder::two_tier(2, 4)
-            .stage(stage)
-            .dcqcn(false)
+            .fabric(FabricProfile::paper_default().stage(stage))
+            .transport(TransportProfile::paper_default().dcqcn(false))
             .seed(13)
             .build();
         let rack0 = c.servers_under(0, 0);

@@ -13,11 +13,13 @@
 //! per-figure reproduction results.
 //!
 //! ```no_run
-//! use rocescale::core::{ClusterBuilder, PfcMode};
+//! use rocescale::core::{ClusterBuilder, FabricProfile, PfcMode};
 //!
 //! // Two racks of four servers under one ToR pair, DSCP-based PFC,
 //! // DCQCN on, go-back-N loss recovery: the paper's recommended config.
-//! let mut cluster = ClusterBuilder::two_tier(2, 4).pfc_mode(PfcMode::Dscp).build();
+//! let mut cluster = ClusterBuilder::two_tier(2, 4)
+//!     .fabric(FabricProfile::paper_default().pfc_mode(PfcMode::Dscp))
+//!     .build();
 //! cluster.run_for_millis(10);
 //! ```
 

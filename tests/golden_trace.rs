@@ -12,6 +12,7 @@
 //! constant is the explicit, reviewable act of accepting the new trace.
 
 use rocescale_core::{ClusterBuilder, ServerId};
+use rocescale_monitor::MetricsHub;
 use rocescale_nic::QpApp;
 use rocescale_sim::{EngineKind, SimTime};
 
@@ -22,9 +23,14 @@ const GOLDEN_DIGEST: u64 = 5655298337002817904;
 const GOLDEN_EVENTS: u64 = 13800;
 
 fn run(engine: EngineKind) -> (u64, u64) {
+    run_with_hub(engine, MetricsHub::disabled()).0
+}
+
+fn run_with_hub(engine: EngineKind, hub: MetricsHub) -> ((u64, u64), MetricsHub) {
     let mut cl = ClusterBuilder::two_tier(2, 4)
         .seed(7)
         .engine(engine)
+        .telemetry(hub)
         .build();
     for i in 1..4usize {
         cl.connect_qp(
@@ -39,7 +45,8 @@ fn run(engine: EngineKind) -> (u64, u64) {
         );
     }
     cl.run_until(SimTime::from_micros(500));
-    (cl.world.dispatch_digest(), cl.world.events_processed())
+    let out = (cl.world.dispatch_digest(), cl.world.events_processed());
+    (out, cl.telemetry().clone())
 }
 
 #[test]
@@ -58,4 +65,23 @@ fn both_engines_dispatch_byte_identical_traces() {
         (GOLDEN_DIGEST, GOLDEN_EVENTS),
         "binary-heap trace deviates from the wheel's"
     );
+}
+
+/// The telemetry bus must be a pure observer: running the pinned
+/// scenario with a live hub — counters, flight recorder, and chunked
+/// sampled `run_until` all active — must reproduce the exact golden
+/// digest, byte for byte, while actually collecting data.
+#[test]
+fn telemetry_does_not_perturb_the_dispatch_trace() {
+    let (out, hub) = run_with_hub(EngineKind::Wheel, MetricsHub::enabled());
+    assert_eq!(
+        out,
+        (GOLDEN_DIGEST, GOLDEN_EVENTS),
+        "telemetry-on trace deviates from the committed golden digest"
+    );
+    // And it must really have observed the run, not silently no-opped.
+    assert!(hub.samples_taken() > 0, "sampling never ran");
+    let counters = hub.counters_snapshot();
+    let total: u64 = counters.iter().map(|(_, v)| v).sum();
+    assert!(total > 0, "no counter ever incremented: {counters:?}");
 }

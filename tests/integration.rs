@@ -2,7 +2,9 @@
 //! packets through transport through NICs through switches over real
 //! topologies, with the monitoring subsystem as the observer.
 
-use rocescale::core::{ClusterBuilder, DeploymentStage, PfcMode, ServerId, ServerKind};
+use rocescale::core::{
+    ClusterBuilder, DeploymentStage, FabricProfile, PfcMode, ServerId, ServerKind, TransportProfile,
+};
 use rocescale::monitor::pingmesh::{ProbeResult, Scope};
 use rocescale::monitor::{Percentiles, Pingmesh, ProgressTracker};
 use rocescale::nic::QpApp;
@@ -55,8 +57,8 @@ fn cross_pod_transfer_with_agreeing_counters() {
 fn staged_deployment_controls_where_loss_can_happen() {
     let run_stage = |stage: DeploymentStage| {
         let mut c = ClusterBuilder::two_tier(2, 4)
-            .stage(stage)
-            .dcqcn(false)
+            .fabric(FabricProfile::paper_default().stage(stage))
+            .transport(TransportProfile::paper_default().dcqcn(false))
             .seed(13)
             .build();
         let rack0 = c.servers_under(0, 0);
@@ -95,8 +97,8 @@ fn staged_deployment_controls_where_loss_can_happen() {
 fn pfc_modes_equivalent_for_rdma() {
     let run_mode = |mode: PfcMode| {
         let mut c = ClusterBuilder::single_tor(3)
-            .pfc_mode(mode)
-            .dcqcn(false)
+            .fabric(FabricProfile::paper_default().pfc_mode(mode))
+            .transport(TransportProfile::paper_default().dcqcn(false))
             .seed(3)
             .build();
         for i in 1..3usize {
@@ -347,7 +349,7 @@ fn pingmesh_service_end_to_end() {
 #[test]
 fn per_switch_type_misconfiguration() {
     let mut c = ClusterBuilder::two_tier(2, 4)
-        .dcqcn(false)
+        .transport(TransportProfile::paper_default().dcqcn(false))
         .switch_tweak(|name, cfg| {
             if name == "pod0-tor1" {
                 cfg.buffer.alpha = Some(1.0 / 256.0); // absurdly jumpy
