@@ -7,7 +7,7 @@ use rocescale_bench::harness::{bench, bench_elements, section, write_json_artifa
 use rocescale_core::{Cluster, ClusterBuilder, ServerId};
 use rocescale_nic::QpApp;
 use rocescale_sim::sched::EventQueue;
-use rocescale_sim::{EngineKind, SimRng, SimTime};
+use rocescale_sim::{DigestMode, EngineKind, SimRng, SimTime};
 use rocescale_topology::ClosSpec;
 
 const ENGINES: [EngineKind; 2] = [EngineKind::Wheel, EngineKind::BinaryHeap];
@@ -65,8 +65,12 @@ fn sched_dense_bursts(out: &mut Vec<Measurement>) {
 }
 
 /// A `fan_in`:1 incast onto server 0 of the given fabric.
-fn build_incast(spec: ClosSpec, fan_in: usize, engine: EngineKind) -> Cluster {
-    let mut cl = ClusterBuilder::new(spec).seed(11).engine(engine).build();
+fn build_incast(spec: ClosSpec, fan_in: usize, engine: EngineKind, digest: DigestMode) -> Cluster {
+    let mut cl = ClusterBuilder::new(spec)
+        .seed(11)
+        .engine(engine)
+        .digest(digest)
+        .build();
     for i in 1..=fan_in {
         cl.connect_qp(
             ServerId(i),
@@ -95,7 +99,7 @@ fn sched_clos_incast(out: &mut Vec<Measurement>) {
     let window = SimTime::from_micros(200);
     for (name, spec, fan_in) in fabrics {
         let events = {
-            let mut cl = build_incast(spec, fan_in, EngineKind::Wheel);
+            let mut cl = build_incast(spec, fan_in, EngineKind::Wheel, DigestMode::On);
             cl.run_until(window);
             cl.world.events_processed()
         };
@@ -104,12 +108,23 @@ fn sched_clos_incast(out: &mut Vec<Measurement>) {
                 &format!("incast_{name}/{engine:?}"),
                 events,
                 || {
-                    let mut cl = build_incast(spec, fan_in, engine);
+                    let mut cl = build_incast(spec, fan_in, engine, DigestMode::On);
                     cl.run_until(window);
                     cl.world.events_processed()
                 },
             ));
         }
+        // The dispatch-digest opt-out (fleet/bench fast path): same event
+        // stream, no per-event FNV fold.
+        out.push(bench_elements(
+            &format!("incast_{name}/Wheel+digest_off"),
+            events,
+            || {
+                let mut cl = build_incast(spec, fan_in, EngineKind::Wheel, DigestMode::Off);
+                cl.run_until(window);
+                cl.world.events_processed()
+            },
+        ));
     }
 }
 

@@ -1,55 +1,5 @@
-//! §1 — kernel TCP CPU cost at 40 Gb/s vs RDMA's near-zero.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::cpu;
-use rocescale_sim::SimTime;
-
-struct ExpCpu;
-
-impl ScenarioReport for ExpCpu {
-    fn id(&self) -> &str {
-        "EXP-CPU (§1)"
-    }
-    fn title(&self) -> &str {
-        "kernel TCP CPU cost vs RDMA"
-    }
-    fn claim(&self) -> &str {
-        "sending at 40 Gb/s over 8 TCP connections costs 6% of a 32-core server; \
-         receiving costs 12%; RDMA does the same work at ≈0% CPU"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let r = cpu::run(SimTime::from_millis(60));
-        let mut t = Table::new(
-            "stacks",
-            &["stack", "throughput(Gb/s)", "tx cpu(%)", "rx cpu(%)"],
-        );
-        t.row(vec![
-            Cell::s("TCP"),
-            Cell::f1(r.tcp_gbps),
-            Cell::f2(r.tcp_tx_cpu_pct),
-            Cell::f2(r.tcp_rx_cpu_pct),
-        ]);
-        t.row(vec![
-            Cell::s("RDMA"),
-            Cell::f1(r.rdma_gbps),
-            Cell::f2(r.rdma_cpu_pct),
-            Cell::f2(r.rdma_cpu_pct),
-        ]);
-        let mut rep = Report::new();
-        rep.table(t);
-        rep.scalar(
-            "tcp_tx_cpu_pct_at_40g",
-            Cell::f1(r.tcp_tx_cpu_pct * 40.0 / r.tcp_gbps),
-        );
-        rep.scalar(
-            "tcp_rx_cpu_pct_at_40g",
-            Cell::f1(r.tcp_rx_cpu_pct * 40.0 / r.tcp_gbps),
-        );
-        rep.note("normalized to 40 Gb/s (paper: 6% tx / 12% rx)");
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&ExpCpu)
+    rocescale_bench::main_for(&rocescale_bench::suite::ExpCpuOverhead);
 }

@@ -1,56 +1,5 @@
-//! §2 ablation — "Though DCQCN helps reduce the number of PFC pause
-//! frames, it is PFC that protects packets from being dropped as the
-//! last defense."
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::dcqcn_ablation;
-use rocescale_sim::SimTime;
-
-struct ExpDcqcn;
-
-impl ScenarioReport for ExpDcqcn {
-    fn id(&self) -> &str {
-        "EXP-DCQCN (§2)"
-    }
-    fn title(&self) -> &str {
-        "DCQCN off vs on: PFC is the last defense"
-    }
-    fn claim(&self) -> &str {
-        "DCQCN keeps switch queues short so PFC rarely fires; with it off the same \
-         incast is still loss-free — PFC is the last defense — but pauses constantly"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let dur = SimTime::from_millis(15);
-        let mut t = Table::new(
-            "arms",
-            &[
-                "dcqcn",
-                "pauses",
-                "ecn marks",
-                "cnps",
-                "goodput(Gb/s)",
-                "peak queue(KB)",
-                "ll drops",
-            ],
-        );
-        for dcqcn in [false, true] {
-            let r = dcqcn_ablation::run(dcqcn, 4, dur);
-            t.row(vec![
-                Cell::Bool(r.dcqcn),
-                Cell::U64(r.pauses),
-                Cell::U64(r.ecn_marked),
-                Cell::U64(r.cnps),
-                Cell::f2(r.goodput_gbps),
-                Cell::f1(r.peak_queue_bytes as f64 / 1024.0),
-                Cell::U64(r.lossless_drops),
-            ]);
-        }
-        let mut rep = Report::new();
-        rep.table(t);
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&ExpDcqcn)
+    rocescale_bench::main_for(&rocescale_bench::suite::ExpDcqcnAblation);
 }

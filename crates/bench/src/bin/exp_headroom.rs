@@ -1,42 +1,5 @@
-//! §2 — PFC headroom sweep: the gray-period formula validated by
-//! violation on 300 m cables.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::headroom;
-use rocescale_sim::SimTime;
-
-struct ExpHeadroom;
-
-impl ScenarioReport for ExpHeadroom {
-    fn id(&self) -> &str {
-        "EXP-HEADROOM (§2)"
-    }
-    fn title(&self) -> &str {
-        "PFC headroom sweep"
-    }
-    fn claim(&self) -> &str {
-        "headroom absorbs the packets in flight during the XOFF 'gray period' — sized \
-         from MTU, PFC reaction time, and propagation delay (300 m worst case); \
-         undersize it and the lossless guarantee breaks"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let dur = SimTime::from_millis(6);
-        let mut t = Table::new("sweep", &["fraction", "headroom(B)", "ll drops", "pauses"]);
-        for fraction in [0.1, 0.25, 0.5, 0.75, 1.0, 1.5] {
-            let r = headroom::run(fraction, dur);
-            t.row(vec![
-                Cell::s(format!("{:.2}x", r.fraction)),
-                Cell::U64(r.headroom_bytes),
-                Cell::U64(r.lossless_drops),
-                Cell::U64(r.pauses),
-            ]);
-        }
-        let mut rep = Report::new();
-        rep.table(t);
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&ExpHeadroom)
+    rocescale_bench::main_for(&rocescale_bench::suite::ExpHeadroom);
 }

@@ -1,56 +1,5 @@
-//! §4.1 — RDMA transport livelock: go-back-0 vs go-back-N under a
-//! deterministic 1/256 drop, for SEND / WRITE / READ.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::livelock::{self, Workload};
-use rocescale_sim::SimTime;
-use rocescale_transport::LossRecovery;
-
-struct ExpLivelock;
-
-impl ScenarioReport for ExpLivelock {
-    fn id(&self) -> &str {
-        "EXP-LIVELOCK (§4.1)"
-    }
-    fn title(&self) -> &str {
-        "go-back-0 livelock vs go-back-N"
-    }
-    fn claim(&self) -> &str {
-        "goodput 0 with go-back-0 at 1/256 deterministic drop while the link runs at \
-         line rate; go-back-N restores goodput"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let dur = SimTime::from_millis(20);
-        let mut t = Table::new(
-            "arms",
-            &[
-                "verb",
-                "recovery",
-                "goodput(Gb/s)",
-                "wire(Gb/s)",
-                "msgs",
-                "drops",
-            ],
-        );
-        for workload in [Workload::Send, Workload::Write, Workload::Read] {
-            for recovery in [LossRecovery::GoBack0, LossRecovery::GoBackN] {
-                let r = livelock::run(recovery, workload, dur);
-                t.row(vec![
-                    Cell::s(format!("{workload:?}")),
-                    Cell::s(format!("{recovery:?}")),
-                    Cell::f2(r.goodput_gbps),
-                    Cell::f2(r.wire_gbps),
-                    Cell::U64(r.messages_done),
-                    Cell::U64(r.filter_drops),
-                ]);
-            }
-        }
-        let mut rep = Report::new();
-        rep.table(t);
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&ExpLivelock)
+    rocescale_bench::main_for(&rocescale_bench::suite::ExpLivelock);
 }

@@ -1,58 +1,5 @@
-//! §8.1 (future work) — per-packet routing vs per-flow ECMP for RDMA.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::spray;
-use rocescale_sim::SimTime;
-
-struct ExpSpray;
-
-impl ScenarioReport for ExpSpray {
-    fn id(&self) -> &str {
-        "EXP-PER-PACKET-ROUTING (§8.1)"
-    }
-    fn title(&self) -> &str {
-        "per-packet routing vs per-flow ECMP"
-    }
-    fn claim(&self) -> &str {
-        "\"there are MPTCP and per-packet routing for better network utilization. How to \
-         make these designs work for RDMA in the lossless network context will be an \
-         interesting challenge\" — here is the challenge, quantified on a two-path \
-         diamond with a 5 m vs 300 m skew"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let dur = SimTime::from_millis(10);
-        let mut t = Table::new(
-            "arms",
-            &[
-                "routing",
-                "goodput(Gb/s)",
-                "wire(Gb/s)",
-                "out-of-seq",
-                "naks",
-                "drops",
-            ],
-        );
-        for spraying in [false, true] {
-            let r = spray::run(spraying, dur);
-            t.row(vec![
-                Cell::s(if spraying { "per-packet" } else { "per-flow" }),
-                Cell::f2(r.goodput_gbps),
-                Cell::f2(r.wire_gbps),
-                Cell::U64(r.out_of_seq),
-                Cell::U64(r.naks),
-                Cell::U64(r.drops),
-            ]);
-        }
-        let mut rep = Report::new();
-        rep.table(t);
-        rep.note(
-            "per-packet spraying loses nothing in the fabric, yet go-back-N treats the \
-             reordering as loss — the transport, not the network, is the blocker.",
-        );
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&ExpSpray)
+    rocescale_bench::main_for(&rocescale_bench::suite::ExpPerPacketRouting);
 }

@@ -1,56 +1,5 @@
-//! §4.4 — the slow-receiver symptom: MTT thrash turns the *server* into a
-//! pause source; 2 MB pages and dynamic buffer sharing mitigate.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::slow_receiver::{self, PageSize};
-use rocescale_sim::SimTime;
-
-struct ExpSlowReceiver;
-
-impl ScenarioReport for ExpSlowReceiver {
-    fn id(&self) -> &str {
-        "EXP-SLOW-RECEIVER (§4.4)"
-    }
-    fn title(&self) -> &str {
-        "MTT thrash makes the server a pause source"
-    }
-    fn claim(&self) -> &str {
-        "MTT misses stall the NIC receive pipeline; the buffer crosses XOFF and the \
-         server pauses its ToR; 2 MB pages cut the misses, dynamic switch buffers \
-         absorb the churn instead of propagating it"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let dur = SimTime::from_millis(15);
-        let mut t = Table::new(
-            "arms",
-            &[
-                "pages",
-                "dynamic",
-                "server pauses",
-                "upstream pauses",
-                "goodput(Gb/s)",
-                "MTT miss(%)",
-            ],
-        );
-        for pages in [PageSize::Small, PageSize::Large] {
-            for dynamic in [true, false] {
-                let r = slow_receiver::run(pages, dynamic, dur);
-                t.row(vec![
-                    Cell::s(format!("{pages:?}")),
-                    Cell::Bool(r.dynamic_buffers),
-                    Cell::U64(r.server_pause_tx),
-                    Cell::U64(r.upstream_pause_tx),
-                    Cell::f2(r.goodput_gbps),
-                    Cell::f1(r.mtt_miss_ratio * 100.0),
-                ]);
-            }
-        }
-        let mut rep = Report::new();
-        rep.table(t);
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&ExpSlowReceiver)
+    rocescale_bench::main_for(&rocescale_bench::suite::ExpSlowReceiver);
 }

@@ -1,69 +1,5 @@
-//! Figure 10 / §6.2 — the α = 1/64 dynamic-buffer misconfiguration
-//! incident, swept across α values.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::buffer_misconfig;
-use rocescale_sim::SimTime;
-
-struct Fig10;
-
-impl ScenarioReport for Fig10 {
-    fn id(&self) -> &str {
-        "FIG-10 (§6.2)"
-    }
-    fn title(&self) -> &str {
-        "the α = 1/64 buffer misconfiguration incident"
-    }
-    fn claim(&self) -> &str {
-        "a new ToR type shipped α = 1/64 instead of the fleet's 1/16; chatty incast \
-         then triggered pause storms (up to 60k pauses / 5 min) and latency spikes; \
-         tuning α back fixed it — and config monitoring should have caught it"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let dur = SimTime::from_millis(25);
-        let mut t = Table::new(
-            "alpha sweep",
-            &[
-                "alpha",
-                "tor pauses",
-                "server pauses",
-                "p50(us)",
-                "p99(us)",
-                "cfg-deviations",
-            ],
-        );
-        for alpha in [1.0 / 64.0, 1.0 / 32.0, 1.0 / 16.0, 1.0 / 8.0] {
-            let r = buffer_misconfig::run(alpha, dur);
-            t.row(vec![
-                Cell::s(format!("1/{:.0}", 1.0 / alpha)),
-                Cell::U64(r.tor_pauses),
-                Cell::U64(r.server_pause_rx),
-                Cell::f1(r.latency.p50_us),
-                Cell::f1(r.latency.p99_us),
-                Cell::U64(r.config_deviations as u64),
-            ]);
-        }
-        let mut rep = Report::new();
-        rep.table(t);
-        let mut series = Table::new(
-            "pause frames per window, Figure 10(b) form (cumulative at window end)",
-            &["alpha", "t(ms)", "pauses"],
-        );
-        for alpha in [1.0 / 64.0, 1.0 / 16.0] {
-            let s = buffer_misconfig::pause_series(alpha, dur, 5);
-            for (t_ps, v) in s.points() {
-                series.row(vec![
-                    Cell::s(format!("1/{:.0}", 1.0 / alpha)),
-                    Cell::U64(*t_ps / 1_000_000_000),
-                    Cell::F64 { v: *v, prec: 0 },
-                ]);
-            }
-        }
-        rep.table(series);
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&Fig10)
+    rocescale_bench::main_for(&rocescale_bench::suite::Fig10BufferMisconfig);
 }

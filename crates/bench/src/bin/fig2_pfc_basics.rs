@@ -1,44 +1,5 @@
-//! Figure 2 — PFC mechanics: lossless classes pause, lossy classes drop.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::pfc_basics;
-use rocescale_sim::SimTime;
-
-struct Fig2;
-
-impl ScenarioReport for Fig2 {
-    fn id(&self) -> &str {
-        "FIG-2 (§2)"
-    }
-    fn title(&self) -> &str {
-        "PFC mechanics: pause vs drop"
-    }
-    fn claim(&self) -> &str {
-        "PFC prevents buffer overflow by pausing the upstream sender (XOFF/XON); \
-         without it, the same incast drops packets"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let dur = SimTime::from_millis(10);
-        let mut t = Table::new(
-            "arms",
-            &["pfc", "pauses", "resumes", "drops", "goodput(Gb/s)"],
-        );
-        for pfc in [true, false] {
-            let r = pfc_basics::run(pfc, 4, dur);
-            t.row(vec![
-                Cell::Bool(r.pfc),
-                Cell::U64(r.pauses),
-                Cell::U64(r.resumes),
-                Cell::U64(r.drops),
-                Cell::f2(r.goodput_gbps),
-            ]);
-        }
-        let mut rep = Report::new();
-        rep.table(t);
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&Fig2)
+    rocescale_bench::main_for(&rocescale_bench::suite::Fig2PfcBasics);
 }

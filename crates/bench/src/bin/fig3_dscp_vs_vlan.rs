@@ -1,55 +1,5 @@
-//! Figure 3 / §3 — DSCP-based vs VLAN-based PFC: equal protection,
-//! but VLAN trunk mode breaks PXE boot.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::dscp_vlan;
-use rocescale_core::PfcMode;
-use rocescale_sim::SimTime;
-
-struct Fig3;
-
-impl ScenarioReport for Fig3 {
-    fn id(&self) -> &str {
-        "FIG-3 (§3)"
-    }
-    fn title(&self) -> &str {
-        "DSCP-based vs VLAN-based PFC"
-    }
-    fn claim(&self) -> &str {
-        "both PFC flavours protect RDMA identically (the pause frame has no VLAN tag); \
-         VLAN-based PFC's trunk-mode server ports break untagged PXE-boot traffic"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let dur = SimTime::from_millis(8);
-        let mut t = Table::new(
-            "arms",
-            &[
-                "mode",
-                "rdma(Gb/s)",
-                "ll-drops",
-                "pauses",
-                "pxe delivered",
-                "pxe dropped",
-            ],
-        );
-        for mode in [PfcMode::Dscp, PfcMode::Vlan] {
-            let r = dscp_vlan::run(mode, dur);
-            let (pxe_ok, pxe_drop) = dscp_vlan::run_pxe(mode, 20);
-            t.row(vec![
-                Cell::s(format!("{mode:?}")),
-                Cell::f2(r.rdma_goodput_gbps),
-                Cell::U64(r.lossless_drops),
-                Cell::U64(r.pauses),
-                Cell::U64(pxe_ok),
-                Cell::U64(pxe_drop),
-            ]);
-        }
-        let mut rep = Report::new();
-        rep.table(t);
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&Fig3)
+    rocescale_bench::main_for(&rocescale_bench::suite::Fig3DscpVsVlan);
 }

@@ -1,56 +1,5 @@
-//! Figure 4 / §4.2 — PFC + Ethernet flooding deadlock, and the
-//! drop-on-incomplete-ARP fix.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::deadlock;
-use rocescale_sim::SimTime;
-
-struct Fig4;
-
-impl ScenarioReport for Fig4 {
-    fn id(&self) -> &str {
-        "FIG-4 (§4.2)"
-    }
-    fn title(&self) -> &str {
-        "flooding deadlock and the incomplete-ARP fix"
-    }
-    fn claim(&self) -> &str {
-        "incomplete ARP entries make ToRs flood lossless packets; flood copies parked \
-         on paused fabric ports close a cyclic buffer dependency and the fabric wedges \
-         permanently; dropping lossless packets on incomplete ARP prevents it"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let dur = SimTime::from_millis(40);
-        let mut t = Table::new(
-            "arms",
-            &[
-                "fix",
-                "deadlocked switches",
-                "tail MB (live)",
-                "pauses",
-                "fix drops",
-            ],
-        );
-        let mut rep = Report::new();
-        for fix in [false, true] {
-            let r = deadlock::run(fix, dur);
-            t.row(vec![
-                Cell::Bool(r.fix_enabled),
-                Cell::s(format!("{:?}", r.deadlocked_switches)),
-                Cell::f1(r.tail_goodput_bytes as f64 / 1e6),
-                Cell::U64(r.pauses),
-                Cell::U64(r.fix_drops),
-            ]);
-            match r.wait_cycle {
-                Some(c) => rep.note(format!("fix={fix}: pause-wait cycle: {}", c.join(" -> "))),
-                None => rep.note(format!("fix={fix}: pause-wait graph: acyclic")),
-            }
-        }
-        rep.table(t);
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&Fig4)
+    rocescale_bench::main_for(&rocescale_bench::suite::Fig4Deadlock);
 }

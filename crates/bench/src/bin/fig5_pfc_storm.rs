@@ -1,53 +1,5 @@
-//! Figure 5 / §4.3 — one malfunctioning NIC's pause storm vs the two
-//! watchdogs.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::storm;
-use rocescale_sim::SimTime;
-
-struct Fig5;
-
-impl ScenarioReport for Fig5 {
-    fn id(&self) -> &str {
-        "FIG-5 (§4.3)"
-    }
-    fn title(&self) -> &str {
-        "NIC pause storm vs the watchdogs"
-    }
-    fn claim(&self) -> &str {
-        "a single malfunctioning NIC may block the entire network from transmitting; \
-         complementary NIC-side and switch-side watchdogs contain it"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let dur = SimTime::from_millis(40);
-        let mut t = Table::new(
-            "arms",
-            &[
-                "watchdogs",
-                "healthy pairs",
-                "total pairs",
-                "victim pauses",
-                "nic wd",
-                "switch wd",
-            ],
-        );
-        for watchdogs in [false, true] {
-            let r = storm::run(watchdogs, dur);
-            t.row(vec![
-                Cell::Bool(r.watchdogs),
-                Cell::U64(r.healthy_pairs as u64),
-                Cell::U64(r.total_pairs as u64),
-                Cell::U64(r.victim_pause_rx),
-                Cell::Bool(r.nic_watchdog_fired),
-                Cell::Bool(r.switch_watchdog_fired),
-            ]);
-        }
-        let mut rep = Report::new();
-        rep.table(t);
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&Fig5)
+    rocescale_bench::main_for(&rocescale_bench::suite::Fig5PfcStorm);
 }

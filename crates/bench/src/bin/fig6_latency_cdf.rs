@@ -1,85 +1,5 @@
-//! Figure 6 / §5.4 — RDMA vs TCP end-to-end latency for the
-//! latency-sensitive incast service.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::latency::{self, LatencySummary};
-use rocescale_monitor::Percentiles;
-use rocescale_sim::SimTime;
-
-fn latency_row(label: &str, s: &LatencySummary) -> Vec<Cell> {
-    vec![
-        Cell::s(label),
-        Cell::U64(s.samples as u64),
-        Cell::f1(s.p50_us),
-        Cell::f1(s.p99_us),
-        Cell::f1(s.p999_us),
-        Cell::f1(s.max_us),
-    ]
-}
-
-struct Fig6;
-
-impl ScenarioReport for Fig6 {
-    fn id(&self) -> &str {
-        "FIG-6 (§5.4)"
-    }
-    fn title(&self) -> &str {
-        "RDMA vs TCP latency CDF"
-    }
-    fn claim(&self) -> &str {
-        "p99: RDMA ≈ 90 µs vs TCP ≈ 700 µs (TCP spikes to several ms); RDMA's p99.9 \
-         (≈200 µs) is below TCP's p99 — same fabric, same incast workload"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let r = latency::run(
-            SimTime::from_millis(80),
-            4,
-            16 * 1024,
-            SimTime::from_millis(2),
-        );
-        let mut t = Table::new(
-            "latency",
-            &[
-                "series",
-                "samples",
-                "p50(us)",
-                "p99(us)",
-                "p99.9(us)",
-                "max(us)",
-            ],
-        );
-        t.row(latency_row("RDMA", &r.rdma));
-        t.row(latency_row("TCP", &r.tcp));
-
-        // The figure itself is a CDF; tabulate its key quantiles.
-        let mut rdma = Percentiles::from_samples(&r.rdma_samples_ps);
-        let mut tcp = Percentiles::from_samples(&r.tcp_samples_ps);
-        let mut cdf = Table::new("cdf", &["quantile", "RDMA (us)", "TCP (us)"]);
-        for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999] {
-            let us = |v: Option<u64>| v.map_or(0.0, |v| v as f64 / 1e6);
-            cdf.row(vec![
-                Cell::s(format!("{:.1}%", q * 100.0)),
-                Cell::f1(us(rdma.quantile(q))),
-                Cell::f1(us(tcp.quantile(q))),
-            ]);
-        }
-
-        let mut rep = Report::new();
-        rep.table(t);
-        rep.table(cdf);
-        rep.scalar("lossless_drops", Cell::U64(r.lossless_drops));
-        rep.scalar(
-            "tcp_p99_over_rdma_p99",
-            Cell::f1(r.tcp.p99_us / r.rdma.p99_us),
-        );
-        rep.scalar(
-            "rdma_p999_below_tcp_p99",
-            Cell::Bool(r.rdma.p999_us < r.tcp.p99_us),
-        );
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&Fig6)
+    rocescale_bench::main_for(&rocescale_bench::suite::Fig6LatencyCdf);
 }

@@ -1,107 +1,5 @@
-//! Figure 7 / §5.4 — aggregate RDMA throughput under the two-podset
-//! ToR-pair stress: the ECMP ≈ 60% ceiling with zero drops.
-//!
-//! Pass `--full-scale` for the larger fabric (slower), `--no-pfc` for the
-//! sensitivity arm showing the ceiling is ECMP, not PFC.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::throughput;
-use rocescale_sim::SimTime;
-
-struct Fig7;
-
-impl ScenarioReport for Fig7 {
-    fn id(&self) -> &str {
-        "FIG-7 (§5.4)"
-    }
-    fn title(&self) -> &str {
-        "Clos aggregate throughput, ECMP ceiling"
-    }
-    fn claim(&self) -> &str {
-        "two-podset ToR-pair stress: 3.0 Tb/s of 5.12 Tb/s (60%); \"not a single packet \
-         was dropped\"; the 60% ceiling is ECMP hash collision, not PFC or HOL blocking"
-    }
-    fn run(&self, args: &CliArgs) -> Report {
-        let full = args.has("--full-scale");
-        let no_pfc_arm = args.has("--no-pfc");
-        // Default: the paper's oversubscription ratios with ≈24 flows per
-        // Leaf–Spine link (the paper's 3074/128 ratio). --full-scale
-        // doubles the QP fan-out.
-        let (spec, servers, qps, warmup, dur) = if full {
-            (
-                throughput::scaled_spec(),
-                8,
-                8,
-                SimTime::from_millis(20),
-                SimTime::from_millis(60),
-            )
-        } else {
-            (
-                throughput::scaled_spec(),
-                8,
-                4,
-                SimTime::from_millis(20),
-                SimTime::from_millis(50),
-            )
-        };
-        let mut rep = Report::new();
-        rep.note(format!(
-            "fabric: {} podsets × ({} ToRs, {} leaves) × {} spines, {} servers/ToR; \
-             oversub ToR {:.1}:1, Leaf {:.2}:1",
-            spec.pods,
-            spec.tors_per_pod,
-            spec.leaves_per_pod,
-            spec.spines,
-            spec.servers_per_tor,
-            spec.tor_oversubscription(),
-            spec.leaf_oversubscription(),
-        ));
-        let mut t = Table::new(
-            "arms",
-            &[
-                "pfc",
-                "connections",
-                "aggregate(Gb/s)",
-                "capacity(Gb/s)",
-                "utilization(%)",
-                "drops",
-                "pauses",
-            ],
-        );
-        let arms: &[bool] = if no_pfc_arm { &[true, false] } else { &[true] };
-        for &pfc in arms {
-            let r = throughput::run(spec, servers, qps, warmup, dur, pfc);
-            t.row(vec![
-                Cell::Bool(pfc),
-                Cell::U64(r.connections as u64),
-                Cell::f1(r.aggregate_gbps),
-                Cell::f1(r.bottleneck_capacity_gbps),
-                Cell::f1(r.utilization * 100.0),
-                Cell::U64(r.drops),
-                Cell::U64(r.pauses),
-            ]);
-        }
-        rep.table(t);
-        let mut ecmp = Table::new(
-            "analytical ECMP collision model (fraction of bottleneck links carrying ≥1 flow)",
-            &["flows/link", "links used(%)"],
-        );
-        for flows_per_link in [1usize, 4, 24] {
-            let links = 16;
-            let u = throughput::ecmp_collision_utilization(links, links * flows_per_link, 42);
-            ecmp.row(vec![
-                Cell::U64(flows_per_link as u64),
-                Cell::F64 {
-                    v: u * 100.0,
-                    prec: 0,
-                },
-            ]);
-        }
-        rep.table(ecmp);
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&Fig7)
+    rocescale_bench::main_for(&rocescale_bench::suite::Fig7ClosThroughput);
 }

@@ -1,71 +1,5 @@
-//! Figure 8 / §5.4 — RDMA latency before vs during the saturating stress,
-//! and TCP's isolation in its own queue.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::latency::LatencySummary;
-use rocescale_core::scenarios::load_latency;
-use rocescale_sim::SimTime;
-
-fn latency_row(label: &str, s: &LatencySummary) -> Vec<Cell> {
-    vec![
-        Cell::s(label),
-        Cell::U64(s.samples as u64),
-        Cell::f1(s.p50_us),
-        Cell::f1(s.p99_us),
-        Cell::f1(s.p999_us),
-        Cell::f1(s.max_us),
-    ]
-}
-
-struct Fig8;
-
-impl ScenarioReport for Fig8 {
-    fn id(&self) -> &str {
-        "FIG-8 (§5.4)"
-    }
-    fn title(&self) -> &str {
-        "latency under saturating load"
-    }
-    fn claim(&self) -> &str {
-        "once the stress starts, RDMA p99 jumps 50→400 µs and p99.9 80→800 µs — queues \
-         and pauses, not losses; TCP's p99 in its own switch queue does not change"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let r = load_latency::run(SimTime::from_millis(10), SimTime::from_millis(30));
-        let mut t = Table::new(
-            "latency",
-            &[
-                "series",
-                "samples",
-                "p50(us)",
-                "p99(us)",
-                "p99.9(us)",
-                "max(us)",
-            ],
-        );
-        t.row(latency_row("RDMA idle", &r.rdma_idle));
-        t.row(latency_row("RDMA under load", &r.rdma_loaded));
-        t.row(latency_row("TCP idle", &r.tcp_idle));
-        t.row(latency_row("TCP under load", &r.tcp_loaded));
-        let mut rep = Report::new();
-        rep.table(t);
-        rep.scalar("lossless_drops", Cell::U64(r.lossless_drops));
-        rep.scalar(
-            "rdma_p99_jump",
-            Cell::f1(r.rdma_loaded.p99_us / r.rdma_idle.p99_us),
-        );
-        rep.scalar(
-            "rdma_p999_jump",
-            Cell::f1(r.rdma_loaded.p999_us / r.rdma_idle.p999_us),
-        );
-        rep.scalar(
-            "tcp_p99_ratio",
-            Cell::f2(r.tcp_loaded.p99_us / r.tcp_idle.p99_us),
-        );
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&Fig8)
+    rocescale_bench::main_for(&rocescale_bench::suite::Fig8LatencyVsLoad);
 }

@@ -1,55 +1,5 @@
-//! Figure 9 / §6.2 — the NIC PFC storm *incident*: server availability
-//! collapses while one F-state server sprays pause frames; the watchdogs
-//! end the class of incident.
-
-use rocescale_bench::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};
-use rocescale_core::scenarios::storm;
-use rocescale_sim::SimTime;
-
-struct Fig9;
-
-impl ScenarioReport for Fig9 {
-    fn id(&self) -> &str {
-        "FIG-9 (§6.2)"
-    }
-    fn title(&self) -> &str {
-        "the pause-storm incident: availability collapse"
-    }
-    fn claim(&self) -> &str {
-        "one unresponsive server emitting >2000 pauses/s made half the customer's \
-         servers unhealthy; after deploying the watchdogs such incidents stopped"
-    }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let dur = SimTime::from_millis(40);
-        let mut rep = Report::new();
-        rep.note("victim-pair availability per 4 ms window (storm starts at 8 ms)");
-        let mut avail = Table::new("availability", &["watchdogs", "t(ms)", "available(%)"]);
-        for watchdogs in [false, true] {
-            for (t, a) in storm::availability_series(watchdogs, dur, 10) {
-                avail.row(vec![
-                    Cell::Bool(watchdogs),
-                    Cell::U64(t.as_millis()),
-                    Cell::F64 {
-                        v: a * 100.0,
-                        prec: 0,
-                    },
-                ]);
-            }
-        }
-        rep.table(avail);
-        let mut pauses = Table::new(
-            "pause frames received by servers (Figure 9(b) analogue)",
-            &["watchdogs", "victim pause rx"],
-        );
-        for watchdogs in [false, true] {
-            let r = storm::run(watchdogs, dur);
-            pauses.row(vec![Cell::Bool(watchdogs), Cell::U64(r.victim_pause_rx)]);
-        }
-        rep.table(pauses);
-        rep
-    }
-}
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
 
 fn main() {
-    main_for(&Fig9)
+    rocescale_bench::main_for(&rocescale_bench::suite::Fig9StormIncident);
 }

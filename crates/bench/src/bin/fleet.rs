@@ -1,0 +1,120 @@
+//! Run the full experiment suite — every figure and section experiment —
+//! in one invocation, spread across worker threads.
+//!
+//! ```text
+//! fleet [--jobs N] [--json] [--bench-out PATH] [scenario flags…]
+//! ```
+//!
+//! * `--jobs N` — worker threads (default: available parallelism).
+//! * `--json` — emit one JSON document `{"scenarios": [...]}`, each
+//!   element the same schema the standalone binaries emit with `--json`
+//!   (validated by `json_check`).
+//! * `--bench-out PATH` — time the suite at `--jobs 1` and at `--jobs N`,
+//!   check the outputs are byte-identical, and write a JSON artifact
+//!   (e.g. `BENCH_fleet.json`) with the headline numbers.
+//! * anything else (e.g. `--full-scale`, `--no-pfc`) is forwarded to
+//!   every scenario.
+//!
+//! Output on stdout is a pure function of the job list — worker count
+//! only changes wall-clock time, which goes to stderr.
+
+use std::time::Instant;
+
+use rocescale_bench::fleet::{run_suite, suite_json};
+use rocescale_bench::CliArgs;
+use rocescale_monitor::Json;
+
+fn usage() -> ! {
+    eprintln!("usage: fleet [--jobs N] [--json] [--bench-out PATH] [scenario flags...]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut bench_out: Option<String> = None;
+    let mut cli = CliArgs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => usage(),
+            },
+            "--json" => cli.json = true,
+            "--bench-out" => match args.next() {
+                Some(p) => bench_out = Some(p),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => cli.flags.push(other.to_string()),
+        }
+    }
+
+    if let Some(path) = bench_out {
+        bench_mode(&cli, jobs, &path);
+        return;
+    }
+
+    let t0 = Instant::now();
+    let outcomes = run_suite(&cli, jobs);
+    let secs = t0.elapsed().as_secs_f64();
+    if cli.json {
+        println!("{}", suite_json(&outcomes).render());
+    } else {
+        for (i, o) in outcomes.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", o.text);
+        }
+    }
+    eprintln!(
+        "fleet: {} scenarios on {} worker(s) in {:.2}s",
+        outcomes.len(),
+        jobs,
+        secs
+    );
+}
+
+/// Time the suite serially and at `jobs` workers, insist the rendered
+/// output is byte-identical, and write the headline artifact.
+fn bench_mode(cli: &CliArgs, jobs: usize, path: &str) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("fleet bench: full suite at --jobs 1 ...");
+    let t0 = Instant::now();
+    let serial = run_suite(cli, 1);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!("fleet bench: full suite at --jobs {jobs} ...");
+    let t1 = Instant::now();
+    let parallel = run_suite(cli, jobs);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let a = suite_json(&serial).render();
+    let b = suite_json(&parallel).render();
+    assert_eq!(
+        a, b,
+        "fleet output must be byte-identical across worker counts"
+    );
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("fleet".to_string())),
+        ("cores", Json::U64(cores as u64)),
+        ("jobs", Json::U64(jobs as u64)),
+        ("scenarios", Json::U64(serial.len() as u64)),
+        ("serial_ms", Json::F64(serial_ms)),
+        ("parallel_ms", Json::F64(parallel_ms)),
+        ("speedup", Json::F64(serial_ms / parallel_ms)),
+        ("identical_output", Json::Bool(true)),
+    ]);
+    std::fs::write(path, doc.render() + "\n").expect("write fleet bench artifact");
+    eprintln!(
+        "fleet bench: serial {serial_ms:.0} ms, --jobs {jobs} {parallel_ms:.0} ms \
+         (speedup {:.2}x on {cores} core(s)); wrote {path}",
+        serial_ms / parallel_ms
+    );
+}

@@ -2,7 +2,10 @@
 //! document from stdin, parses it with the in-tree strict parser, and
 //! checks the report schema (`id`/`title`/`paper`/`tables`/`scalars`/
 //! `notes`, with each table carrying `name`/`columns`/`rows` and every
-//! row as wide as its column list). Exits non-zero with a message on any
+//! row as wide as its column list). A fleet document —
+//! `{"scenarios": [<report>, ...]}` from `fleet --json` — is also
+//! accepted: every element is validated against the report schema and
+//! scenario ids must be unique. Exits non-zero with a message on any
 //! violation — the CI smoke gate for the JSON export path.
 
 use std::io::Read;
@@ -14,6 +17,56 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Validate one report document; returns (id, tables, rows) for the
+/// summary line.
+fn check_report(doc: &Json, ctx: &str) -> (String, usize, usize) {
+    for key in ["id", "title", "paper", "tables", "scalars", "notes"] {
+        if doc.get(key).is_none() {
+            fail(&format!("{ctx}missing top-level key {key:?}"));
+        }
+    }
+    for key in ["id", "title", "paper"] {
+        if doc.get(key).and_then(Json::as_str).is_none() {
+            fail(&format!("{ctx}{key:?} must be a string"));
+        }
+    }
+    let Some(tables) = doc.get("tables").and_then(Json::as_arr) else {
+        fail(&format!("{ctx}\"tables\" must be an array"));
+    };
+    for (i, t) in tables.iter().enumerate() {
+        let Some(cols) = t.get("columns").and_then(Json::as_arr) else {
+            fail(&format!("{ctx}table {i}: \"columns\" must be an array"));
+        };
+        if t.get("name").and_then(Json::as_str).is_none() {
+            fail(&format!("{ctx}table {i}: \"name\" must be a string"));
+        }
+        let Some(rows) = t.get("rows").and_then(Json::as_arr) else {
+            fail(&format!("{ctx}table {i}: \"rows\" must be an array"));
+        };
+        for (j, row) in rows.iter().enumerate() {
+            let Some(cells) = row.as_arr() else {
+                fail(&format!("{ctx}table {i} row {j}: not an array"));
+            };
+            if cells.len() != cols.len() {
+                fail(&format!(
+                    "{ctx}table {i} row {j}: {} cells for {} columns",
+                    cells.len(),
+                    cols.len()
+                ));
+            }
+        }
+    }
+    if doc.get("notes").and_then(Json::as_arr).is_none() {
+        fail(&format!("{ctx}\"notes\" must be an array"));
+    }
+    let id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+    let rows = tables
+        .iter()
+        .map(|t| t.get("rows").and_then(Json::as_arr).map_or(0, |r| r.len()))
+        .sum::<usize>();
+    (id, tables.len(), rows)
+}
+
 fn main() {
     let mut input = String::new();
     std::io::stdin()
@@ -23,52 +76,31 @@ fn main() {
         Ok(d) => d,
         Err(e) => fail(&format!("parse error at byte {}: {}", e.at, e.msg)),
     };
-    for key in ["id", "title", "paper", "tables", "scalars", "notes"] {
-        if doc.get(key).is_none() {
-            fail(&format!("missing top-level key {key:?}"));
-        }
-    }
-    for key in ["id", "title", "paper"] {
-        if doc.get(key).and_then(Json::as_str).is_none() {
-            fail(&format!("{key:?} must be a string"));
-        }
-    }
-    let Some(tables) = doc.get("tables").and_then(Json::as_arr) else {
-        fail("\"tables\" must be an array");
-    };
-    for (i, t) in tables.iter().enumerate() {
-        let Some(cols) = t.get("columns").and_then(Json::as_arr) else {
-            fail(&format!("table {i}: \"columns\" must be an array"));
+    if let Some(scenarios) = doc.get("scenarios") {
+        // Fleet document: an array of report documents.
+        let Some(scenarios) = scenarios.as_arr() else {
+            fail("\"scenarios\" must be an array");
         };
-        if t.get("name").and_then(Json::as_str).is_none() {
-            fail(&format!("table {i}: \"name\" must be a string"));
+        if scenarios.is_empty() {
+            fail("\"scenarios\" is empty");
         }
-        let Some(rows) = t.get("rows").and_then(Json::as_arr) else {
-            fail(&format!("table {i}: \"rows\" must be an array"));
-        };
-        for (j, row) in rows.iter().enumerate() {
-            let Some(cells) = row.as_arr() else {
-                fail(&format!("table {i} row {j}: not an array"));
-            };
-            if cells.len() != cols.len() {
-                fail(&format!(
-                    "table {i} row {j}: {} cells for {} columns",
-                    cells.len(),
-                    cols.len()
-                ));
+        let mut ids = Vec::new();
+        let (mut tables, mut rows) = (0, 0);
+        for (i, s) in scenarios.iter().enumerate() {
+            let (id, t, r) = check_report(s, &format!("scenario {i}: "));
+            if ids.contains(&id) {
+                fail(&format!("scenario {i}: duplicate id {id:?}"));
             }
+            ids.push(id);
+            tables += t;
+            rows += r;
         }
+        println!(
+            "json_check: ok — fleet: {} scenario(s), {tables} table(s), {rows} row(s)",
+            scenarios.len()
+        );
+    } else {
+        let (id, tables, rows) = check_report(&doc, "");
+        println!("json_check: ok — {id}: {tables} table(s), {rows} row(s)");
     }
-    if doc.get("notes").and_then(Json::as_arr).is_none() {
-        fail("\"notes\" must be an array");
-    }
-    let id = doc.get("id").and_then(Json::as_str).unwrap();
-    println!(
-        "json_check: ok — {id}: {} table(s), {} row(s)",
-        tables.len(),
-        tables
-            .iter()
-            .map(|t| t.get("rows").and_then(Json::as_arr).map_or(0, |r| r.len()))
-            .sum::<usize>()
-    );
 }

@@ -4,12 +4,17 @@
 //! regenerates it (see `DESIGN.md` §4 for the index). Each binary is a
 //! declarative [`ScenarioReport`] spec; [`main_for`] renders it either as
 //! aligned text tables (easy to diff against `EXPERIMENTS.md`) or, with
-//! `--json`, as machine-readable JSON.
+//! `--json`, as machine-readable JSON. The scenario implementations live
+//! in [`suite`], and [`fleet`] runs the whole suite — or a declarative
+//! sweep — across worker threads with deterministic output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod harness;
 pub mod report;
+pub mod suite;
 
+pub use fleet::{run_indexed, FleetOutcome};
 pub use report::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};

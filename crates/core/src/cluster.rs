@@ -5,7 +5,7 @@ use rocescale_monitor::deadlock::Snapshot;
 use rocescale_monitor::{GaugeId, MetricsHub};
 use rocescale_nic::{host::TOK_INJECT_STORM, HostPfcMode, NicConfig, QpApp, QpHandle, RdmaHost};
 use rocescale_packet::MacAddr;
-use rocescale_sim::{EngineKind, LinkSpec, NodeId, SimTime, World};
+use rocescale_sim::{DigestMode, EngineKind, LinkSpec, NodeId, SimTime, World};
 use rocescale_switch::{
     BufferConfig, ClassifyMode, DropReason, EcmpGroup, PortRole, Switch, SwitchConfig,
     WatchdogConfig,
@@ -55,18 +55,22 @@ pub struct ClusterBuilder {
     telemetry: MetricsHub,
     seed: u64,
     engine: EngineKind,
-    server_kind: Box<dyn FnMut(usize) -> ServerKind>,
+    digest: DigestMode,
+    server_kind: Box<dyn FnMut(usize) -> ServerKind + Send>,
     host_tweak: HostTweak,
     tcp_tweak: TcpTweak,
     switch_tweak: SwitchTweak,
 }
 
 /// Per-server hook mutating a NIC config before the host is built.
-type HostTweak = Box<dyn FnMut(usize, &mut NicConfig)>;
+///
+/// Hooks are `Send` (like the builder itself) so the fleet runner can
+/// construct whole clusters inside worker threads.
+type HostTweak = Box<dyn FnMut(usize, &mut NicConfig) + Send>;
 /// Per-server hook mutating a TCP host config before the host is built.
-type TcpTweak = Box<dyn FnMut(usize, &mut TcpHostConfig)>;
+type TcpTweak = Box<dyn FnMut(usize, &mut TcpHostConfig) + Send>;
 /// Per-switch hook (keyed by name) mutating a switch config.
-type SwitchTweak = Box<dyn FnMut(&str, &mut SwitchConfig)>;
+type SwitchTweak = Box<dyn FnMut(&str, &mut SwitchConfig) + Send>;
 
 impl ClusterBuilder {
     /// A cluster over an arbitrary Clos spec, with the paper's
@@ -81,6 +85,7 @@ impl ClusterBuilder {
             telemetry: MetricsHub::disabled(),
             seed: 1,
             engine: EngineKind::default(),
+            digest: DigestMode::default(),
             server_kind: Box::new(|_| ServerKind::Rdma),
             host_tweak: Box::new(|_, _| {}),
             tcp_tweak: Box::new(|_, _| {}),
@@ -140,27 +145,35 @@ impl ClusterBuilder {
         self
     }
 
+    /// Dispatch-digest mode for the world (default: on). Fleet/bench runs
+    /// that don't check golden traces can switch it off to trim the
+    /// per-event hot path; results are identical either way.
+    pub fn digest(mut self, d: DigestMode) -> Self {
+        self.digest = d;
+        self
+    }
+
     /// Choose per-server kind (index = server order in the topology).
-    pub fn server_kind(mut self, f: impl FnMut(usize) -> ServerKind + 'static) -> Self {
+    pub fn server_kind(mut self, f: impl FnMut(usize) -> ServerKind + Send + 'static) -> Self {
         self.server_kind = Box::new(f);
         self
     }
 
     /// Post-process each RDMA host's config (MTT models, custom DCQCN…).
-    pub fn host_tweak(mut self, f: impl FnMut(usize, &mut NicConfig) + 'static) -> Self {
+    pub fn host_tweak(mut self, f: impl FnMut(usize, &mut NicConfig) + Send + 'static) -> Self {
         self.host_tweak = Box::new(f);
         self
     }
 
     /// Post-process each TCP host's config (kernel model, RTO…).
-    pub fn tcp_tweak(mut self, f: impl FnMut(usize, &mut TcpHostConfig) + 'static) -> Self {
+    pub fn tcp_tweak(mut self, f: impl FnMut(usize, &mut TcpHostConfig) + Send + 'static) -> Self {
         self.tcp_tweak = Box::new(f);
         self
     }
 
     /// Post-process each switch's config by name (headroom overrides,
     /// per-type buffer settings — the §6.2 "new switch type" situation).
-    pub fn switch_tweak(mut self, f: impl FnMut(&str, &mut SwitchConfig) + 'static) -> Self {
+    pub fn switch_tweak(mut self, f: impl FnMut(&str, &mut SwitchConfig) + Send + 'static) -> Self {
         self.switch_tweak = Box::new(f);
         self
     }
@@ -169,6 +182,7 @@ impl ClusterBuilder {
     pub fn build(mut self) -> Cluster {
         let topo = Topology::clos(&self.spec);
         let mut world = World::new_with_engine(self.seed, self.engine);
+        world.set_digest_mode(self.digest);
         let n = topo.nodes.len();
 
         // MAC conventions: switches get 0x00F0_0000 + idx, servers idx+1.
@@ -842,6 +856,43 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_is_send() {
+        // The fleet runner moves builders (or closures that construct
+        // them) into worker threads; compile-time proof it stays legal.
+        fn assert_send<T: Send>() {}
+        assert_send::<ClusterBuilder>();
+    }
+
+    #[test]
+    fn digest_off_cluster_matches_on_cluster() {
+        let run = |mode| {
+            let mut c = ClusterBuilder::single_tor(3).seed(5).digest(mode).build();
+            let ids = c.all_servers();
+            c.connect_qp(
+                ids[1],
+                ids[0],
+                5000,
+                QpApp::Saturate {
+                    msg_len: 64 * 1024,
+                    inflight: 2,
+                },
+                QpApp::None,
+            );
+            c.run_for_millis(1);
+            (
+                c.total_rdma_goodput(),
+                c.world.events_processed(),
+                c.world.dispatch_digest(),
+            )
+        };
+        let on = run(DigestMode::On);
+        let off = run(DigestMode::Off);
+        assert_eq!(on.0, off.0, "goodput must not depend on digest mode");
+        assert_eq!(on.1, off.1, "event count must not depend on digest mode");
+        assert_ne!(on.2, off.2, "off-mode digest stays at the basis");
+    }
 
     #[test]
     fn builds_and_runs_a_small_cluster() {

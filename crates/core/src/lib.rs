@@ -25,7 +25,9 @@ pub mod cluster;
 pub mod deployment;
 pub mod profiles;
 pub mod scenarios;
+pub mod sweep;
 
 pub use cluster::{Cluster, ClusterBuilder, PfcMode, ServerId, ServerKind};
 pub use deployment::DeploymentStage;
 pub use profiles::{FabricProfile, FaultProfile, TransportProfile};
+pub use sweep::{SweepAxis, SweepJob, SweepPoint, SweepSpec, SweepVariant};

@@ -1,0 +1,339 @@
+//! Cross-run report aggregation for the fleet runner: merge N replicate
+//! reports (same scenario, different RNG seeds) into one report of the
+//! same JSON schema, summarizing every numeric cell as min/mean/max.
+//!
+//! The paper's figures are statistics over repeated runs; the fleet
+//! runner regenerates them by sweeping seeds and folding the per-seed
+//! [`Json`] reports through [`merge_reports`]. Two properties are
+//! load-bearing:
+//!
+//! * **Schema stability.** The merged document has exactly the
+//!   `{id,title,paper,tables,scalars,notes}` shape of a single report, so
+//!   `json_check` and downstream tooling need no second schema. A numeric
+//!   cell whose replicate values differ becomes
+//!   `{"min":..,"mean":..,"max":..}`; a cell whose values agree (the
+//!   common case for deterministic sims) passes through verbatim.
+//! * **Determinism.** Output depends only on the input reports and their
+//!   order; merging the same reports always renders byte-identical text.
+//!   The fleet sorts replicates by job index before merging.
+
+use crate::json::Json;
+
+/// Numeric view of a scalar JSON cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Num {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Num {
+    fn of(j: &Json) -> Option<Num> {
+        match *j {
+            Json::U64(v) => Some(Num::U(v)),
+            Json::I64(v) => Some(Num::I(v)),
+            Json::F64(v) => Some(Num::F(v)),
+            _ => None,
+        }
+    }
+
+    fn as_f64(self) -> f64 {
+        match self {
+            Num::U(v) => v as f64,
+            Num::I(v) => v as f64,
+            Num::F(v) => v,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        match self {
+            Num::U(v) => Json::U64(v),
+            Num::I(v) => Json::I64(v),
+            Num::F(v) => Json::F64(v),
+        }
+    }
+}
+
+/// Merge one cell position across all replicates.
+///
+/// Identical values (numeric or not) pass through verbatim; differing
+/// numerics fold to a `{"min","mean","max"}` object; differing
+/// non-numerics are a shape mismatch.
+fn merge_cells(cells: &[&Json], at: &str) -> Result<Json, String> {
+    let first = cells[0];
+    if cells.iter().all(|c| *c == first) {
+        return Ok((*first).clone());
+    }
+    let nums: Option<Vec<Num>> = cells.iter().map(|c| Num::of(c)).collect();
+    let Some(nums) = nums else {
+        return Err(format!(
+            "non-numeric cells differ across replicates at {at}"
+        ));
+    };
+    let min = nums
+        .iter()
+        .copied()
+        .min_by(|a, b| a.as_f64().total_cmp(&b.as_f64()))
+        .expect("non-empty");
+    let max = nums
+        .iter()
+        .copied()
+        .max_by(|a, b| a.as_f64().total_cmp(&b.as_f64()))
+        .expect("non-empty");
+    let mean = nums.iter().map(|n| n.as_f64()).sum::<f64>() / nums.len() as f64;
+    Ok(Json::obj(vec![
+        ("min", min.to_json()),
+        ("mean", Json::F64(mean)),
+        ("max", max.to_json()),
+    ]))
+}
+
+fn str_field<'a>(j: &'a Json, key: &str) -> Result<&'a str, String> {
+    j.get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("report missing string field {key:?}"))
+}
+
+/// Merge N replicate reports of the same scenario into one report of the
+/// same schema.
+///
+/// All reports must agree on `id`/`title`/`paper`, table shapes (names,
+/// columns, row counts), scalar keys, and notes — replicates of a
+/// deterministic scenario differ only in cell *values*. A single report
+/// is returned unchanged; for N > 1 every differing numeric cell becomes
+/// a `{"min","mean","max"}` object and a note records the replicate
+/// count.
+pub fn merge_reports(reports: &[Json]) -> Result<Json, String> {
+    let first = reports.first().ok_or("merge_reports: no reports")?;
+    if reports.len() == 1 {
+        return Ok(first.clone());
+    }
+    let id = str_field(first, "id")?;
+    for r in &reports[1..] {
+        if str_field(r, "id")? != id {
+            return Err(format!(
+                "replicates mix scenarios: {id:?} vs {:?}",
+                str_field(r, "id")?
+            ));
+        }
+    }
+
+    let all_tables: Vec<&[Json]> = reports
+        .iter()
+        .map(|r| {
+            r.get("tables")
+                .and_then(|t| t.as_arr())
+                .ok_or_else(|| format!("{id}: report missing tables array"))
+        })
+        .collect::<Result<_, _>>()?;
+    let n_tables = all_tables[0].len();
+    if all_tables.iter().any(|t| t.len() != n_tables) {
+        return Err(format!("{id}: table count differs across replicates"));
+    }
+
+    let mut tables = Vec::with_capacity(n_tables);
+    for ti in 0..n_tables {
+        let heads: Vec<&Json> = all_tables.iter().map(|t| &t[ti]).collect();
+        let name = heads[0].get("name").cloned().unwrap_or(Json::Null);
+        let columns = heads[0].get("columns").cloned().unwrap_or(Json::Null);
+        let all_rows: Vec<&[Json]> = heads
+            .iter()
+            .map(|h| {
+                h.get("rows")
+                    .and_then(|r| r.as_arr())
+                    .ok_or_else(|| format!("{id}: table {ti} missing rows"))
+            })
+            .collect::<Result<_, _>>()?;
+        let n_rows = all_rows[0].len();
+        if all_rows.iter().any(|r| r.len() != n_rows) {
+            return Err(format!("{id}: row count differs in table {ti}"));
+        }
+        let mut rows = Vec::with_capacity(n_rows);
+        for ri in 0..n_rows {
+            let all_cells: Vec<&[Json]> = all_rows
+                .iter()
+                .map(|r| {
+                    r[ri]
+                        .as_arr()
+                        .ok_or_else(|| format!("{id}: table {ti} row {ri} is not an array"))
+                })
+                .collect::<Result<_, _>>()?;
+            let n_cells = all_cells[0].len();
+            if all_cells.iter().any(|c| c.len() != n_cells) {
+                return Err(format!("{id}: cell count differs in table {ti} row {ri}"));
+            }
+            let mut row = Vec::with_capacity(n_cells);
+            for ci in 0..n_cells {
+                let cells: Vec<&Json> = all_cells.iter().map(|c| &c[ci]).collect();
+                row.push(merge_cells(
+                    &cells,
+                    &format!("{id} table {ti} row {ri} col {ci}"),
+                )?);
+            }
+            rows.push(Json::Arr(row));
+        }
+        tables.push(Json::Obj(vec![
+            ("name".to_string(), name),
+            ("columns".to_string(), columns),
+            ("rows".to_string(), Json::Arr(rows)),
+        ]));
+    }
+
+    let all_scalars: Vec<&[(String, Json)]> = reports
+        .iter()
+        .map(|r| match r.get("scalars") {
+            Some(Json::Obj(pairs)) => Ok(pairs.as_slice()),
+            _ => Err(format!("{id}: report missing scalars object")),
+        })
+        .collect::<Result<_, _>>()?;
+    let n_scalars = all_scalars[0].len();
+    let mut scalars = Vec::with_capacity(n_scalars);
+    for si in 0..n_scalars {
+        let key = &all_scalars[0][si].0;
+        let vals: Vec<&Json> = all_scalars
+            .iter()
+            .map(|s| {
+                s.get(si)
+                    .filter(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| format!("{id}: scalar keys differ across replicates at {key}"))
+            })
+            .collect::<Result<_, _>>()?;
+        scalars.push((
+            key.clone(),
+            merge_cells(&vals, &format!("{id} scalar {key:?}"))?,
+        ));
+    }
+
+    let mut notes: Vec<Json> = first
+        .get("notes")
+        .and_then(|n| n.as_arr())
+        .map(|n| n.to_vec())
+        .unwrap_or_default();
+    notes.push(Json::Str(format!(
+        "aggregated min/mean/max over {} replicates",
+        reports.len()
+    )));
+
+    Ok(Json::obj(vec![
+        ("id", Json::Str(id.to_string())),
+        ("title", first.get("title").cloned().unwrap_or(Json::Null)),
+        ("paper", first.get("paper").cloned().unwrap_or(Json::Null)),
+        ("tables", Json::Arr(tables)),
+        ("scalars", Json::Obj(scalars)),
+        ("notes", Json::Arr(notes)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(goodput: u64, ratio: f64) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str("FIG-T".into())),
+            ("title", Json::Str("test".into())),
+            ("paper", Json::Str("claim".into())),
+            (
+                "tables",
+                Json::Arr(vec![Json::obj(vec![
+                    ("name", Json::Str("arms".into())),
+                    (
+                        "columns",
+                        Json::Arr(vec![Json::Str("arm".into()), Json::Str("goodput".into())]),
+                    ),
+                    (
+                        "rows",
+                        Json::Arr(vec![Json::Arr(vec![
+                            Json::Str("a".into()),
+                            Json::U64(goodput),
+                        ])]),
+                    ),
+                ])]),
+            ),
+            (
+                "scalars",
+                Json::Obj(vec![("ratio".to_string(), Json::F64(ratio))]),
+            ),
+            ("notes", Json::Arr(vec![Json::Str("n".into())])),
+        ])
+    }
+
+    #[test]
+    fn single_report_passes_through() {
+        let r = report(5, 1.5);
+        assert_eq!(merge_reports(std::slice::from_ref(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn identical_replicates_keep_cells_verbatim() {
+        let r = report(5, 1.5);
+        let m = merge_reports(&[r.clone(), r.clone(), r]).unwrap();
+        let rows = m.get("tables").unwrap().as_arr().unwrap()[0]
+            .get("rows")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(rows[0].as_arr().unwrap()[1], Json::U64(5));
+        assert_eq!(
+            m.get("scalars").unwrap().get("ratio"),
+            Some(&Json::F64(1.5))
+        );
+        let notes = m.get("notes").unwrap().as_arr().unwrap();
+        assert!(notes
+            .last()
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("3 replicates"));
+    }
+
+    #[test]
+    fn differing_numerics_fold_to_min_mean_max() {
+        let m = merge_reports(&[report(4, 1.0), report(8, 3.0)]).unwrap();
+        let rows = m.get("tables").unwrap().as_arr().unwrap()[0]
+            .get("rows")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        let cell = &rows[0].as_arr().unwrap()[1];
+        assert_eq!(cell.get("min"), Some(&Json::U64(4)));
+        assert_eq!(cell.get("mean"), Some(&Json::F64(6.0)));
+        assert_eq!(cell.get("max"), Some(&Json::U64(8)));
+        let ratio = m.get("scalars").unwrap().get("ratio").unwrap();
+        assert_eq!(ratio.get("mean"), Some(&Json::F64(2.0)));
+    }
+
+    #[test]
+    fn merged_output_is_deterministic() {
+        let inputs = [report(4, 1.0), report(8, 3.0), report(6, 2.0)];
+        let a = merge_reports(&inputs).unwrap().render();
+        let b = merge_reports(&inputs).unwrap().render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mismatches_are_rejected() {
+        // Different scenario ids.
+        let mut other = report(4, 1.0);
+        if let Json::Obj(pairs) = &mut other {
+            pairs[0].1 = Json::Str("FIG-X".into());
+        }
+        assert!(merge_reports(&[report(4, 1.0), other]).is_err());
+        // Different string cells.
+        let mut renamed = report(4, 1.0);
+        if let Json::Obj(pairs) = &mut renamed {
+            if let Json::Arr(tables) = &mut pairs[3].1 {
+                if let Json::Obj(t) = &mut tables[0] {
+                    if let Json::Arr(rows) = &mut t[2].1 {
+                        if let Json::Arr(cells) = &mut rows[0] {
+                            cells[0] = Json::Str("b".into());
+                        }
+                    }
+                }
+            }
+        }
+        assert!(merge_reports(&[report(4, 1.0), renamed]).is_err());
+        assert!(merge_reports(&[]).is_err());
+    }
+}

@@ -27,11 +27,14 @@
 //! histograms) registered under hierarchical dotted names by every layer
 //! of the stack, plus a bounded flight recorder of structured trace
 //! events. [`json`] provides the serde-free JSON tree every experiment
-//! renders its machine-readable report through.
+//! renders its machine-readable report through, and [`aggregate`] folds
+//! replicate reports from the fleet runner into one min/mean/max summary
+//! of the same schema.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod config;
 pub mod deadlock;
 pub mod engine;
@@ -40,6 +43,7 @@ pub mod pingmesh;
 pub mod stats;
 pub mod telemetry;
 
+pub use aggregate::merge_reports;
 pub use config::{ConfigDeviation, RdmaConfig};
 pub use deadlock::{ProgressTracker, WaitGraph};
 pub use engine::EngineReport;

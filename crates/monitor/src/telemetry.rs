@@ -14,7 +14,7 @@
 //! Two invariants shape the design:
 //!
 //! * **Zero cost when disabled.** The hub handle is an
-//!   `Option<Rc<RefCell<..>>>`; a disabled hub hands out sentinel
+//!   `Option<Arc<Mutex<..>>>`; a disabled hub hands out sentinel
 //!   instrument ids without allocating and every record call is an
 //!   inlined no-op. Scenarios that don't opt in pay a null check.
 //! * **Digest neutrality.** The hub never schedules simulator events,
@@ -23,10 +23,9 @@
 //!   `run_until` at sampling boundaries), so the golden dispatch digest
 //!   is byte-identical with telemetry on or off; a tier-1 test pins this.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::json::Json;
 use crate::stats::{Percentiles, TimeSeries};
@@ -352,11 +351,16 @@ impl HubInner {
 
 /// Cloneable handle to the telemetry bus. `MetricsHub::disabled()` (the
 /// `Default`) is a free-to-clone null hub; [`MetricsHub::enabled`] backs
-/// the handle with shared state. The simulator is single-threaded, so the
-/// shared state is `Rc<RefCell<..>>`.
+/// the handle with shared state. Each simulated world is single-threaded,
+/// but the fleet runner constructs whole clusters inside worker threads,
+/// so the handle must be `Send`: the shared state is `Arc<Mutex<..>>`.
+/// The mutex is never contended in practice — all clones of one hub live
+/// on the thread that built the cluster — so `lock()` is an uncontended
+/// atomic, and a poisoned lock (a panic mid-record) is a bug we surface
+/// by unwrapping.
 #[derive(Clone, Default)]
 pub struct MetricsHub {
-    inner: Option<Rc<RefCell<HubInner>>>,
+    inner: Option<Arc<Mutex<HubInner>>>,
 }
 
 impl std::fmt::Debug for MetricsHub {
@@ -364,7 +368,7 @@ impl std::fmt::Debug for MetricsHub {
         match &self.inner {
             None => write!(f, "MetricsHub(disabled)"),
             Some(h) => {
-                let h = h.borrow();
+                let h = h.lock().unwrap();
                 write!(
                     f,
                     "MetricsHub({} counters, {} gauges, {} histograms, {} trace records)",
@@ -392,7 +396,7 @@ impl MetricsHub {
     /// An active hub with explicit configuration.
     pub fn with_config(cfg: TelemetryConfig) -> MetricsHub {
         MetricsHub {
-            inner: Some(Rc::new(RefCell::new(HubInner::new(cfg)))),
+            inner: Some(Arc::new(Mutex::new(HubInner::new(cfg)))),
         }
     }
 
@@ -410,7 +414,7 @@ impl MetricsHub {
         let Some(inner) = &self.inner else {
             return CounterId::sentinel();
         };
-        let mut h = inner.borrow_mut();
+        let mut h = inner.lock().unwrap();
         let key = format!("c:{name}");
         if let Some(&id) = h.names.get(&key) {
             return CounterId(id);
@@ -430,7 +434,7 @@ impl MetricsHub {
         let Some(inner) = &self.inner else {
             return GaugeId::sentinel();
         };
-        let mut h = inner.borrow_mut();
+        let mut h = inner.lock().unwrap();
         let key = format!("g:{name}");
         if let Some(&id) = h.names.get(&key) {
             return GaugeId(id);
@@ -450,7 +454,7 @@ impl MetricsHub {
         let Some(inner) = &self.inner else {
             return HistogramId::sentinel();
         };
-        let mut h = inner.borrow_mut();
+        let mut h = inner.lock().unwrap();
         let key = format!("h:{name}");
         if let Some(&id) = h.names.get(&key) {
             return HistogramId(id);
@@ -467,7 +471,7 @@ impl MetricsHub {
         let Some(inner) = &self.inner else {
             return ScopeId::sentinel();
         };
-        let mut h = inner.borrow_mut();
+        let mut h = inner.lock().unwrap();
         let key = format!("s:{name}");
         if let Some(&id) = h.names.get(&key) {
             return ScopeId(id);
@@ -485,7 +489,7 @@ impl MetricsHub {
     pub fn add(&self, id: CounterId, n: u64) {
         if let Some(inner) = &self.inner {
             if id.0 != SENTINEL {
-                inner.borrow_mut().counters[id.0 as usize].value += n;
+                inner.lock().unwrap().counters[id.0 as usize].value += n;
             }
         }
     }
@@ -501,7 +505,7 @@ impl MetricsHub {
     pub fn set_gauge(&self, id: GaugeId, v: f64) {
         if let Some(inner) = &self.inner {
             if id.0 != SENTINEL {
-                inner.borrow_mut().gauges[id.0 as usize].value = v;
+                inner.lock().unwrap().gauges[id.0 as usize].value = v;
             }
         }
     }
@@ -511,7 +515,7 @@ impl MetricsHub {
     pub fn observe(&self, id: HistogramId, v: u64) {
         if let Some(inner) = &self.inner {
             if id.0 != SENTINEL {
-                inner.borrow_mut().histograms[id.0 as usize].add(v);
+                inner.lock().unwrap().histograms[id.0 as usize].add(v);
             }
         }
     }
@@ -520,7 +524,7 @@ impl MetricsHub {
     #[inline]
     pub fn trace(&self, t_ps: u64, scope: ScopeId, event: TraceEvent) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().flight.record(t_ps, scope, event);
+            inner.lock().unwrap().flight.record(t_ps, scope, event);
         }
     }
 
@@ -528,14 +532,18 @@ impl MetricsHub {
 
     /// The sampling cadence, if enabled.
     pub fn sample_every_ps(&self) -> Option<u64> {
-        self.inner.as_ref().map(|i| i.borrow().cfg.sample_every_ps)
+        self.inner
+            .as_ref()
+            .map(|i| i.lock().unwrap().cfg.sample_every_ps)
     }
 
     /// The next simulated time at which [`MetricsHub::maybe_sample`]
     /// will take a sample, if enabled. Drives the caller's run-loop
     /// chunking; the hub itself never schedules simulator events.
     pub fn next_sample_ps(&self) -> Option<u64> {
-        self.inner.as_ref().map(|i| i.borrow().next_sample_ps)
+        self.inner
+            .as_ref()
+            .map(|i| i.lock().unwrap().next_sample_ps)
     }
 
     /// Sample every counter and gauge into its time series if `now_ps`
@@ -544,7 +552,7 @@ impl MetricsHub {
     /// (series stay monotone; no catch-up fabrication).
     pub fn maybe_sample(&self, now_ps: u64) {
         let Some(inner) = &self.inner else { return };
-        let mut h = inner.borrow_mut();
+        let mut h = inner.lock().unwrap();
         if now_ps < h.next_sample_ps {
             return;
         }
@@ -556,7 +564,9 @@ impl MetricsHub {
 
     /// Number of sampling passes taken so far.
     pub fn samples_taken(&self) -> u64 {
-        self.inner.as_ref().map_or(0, |i| i.borrow().samples_taken)
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.lock().unwrap().samples_taken)
     }
 
     // ---- inspection ---------------------------------------------------
@@ -564,7 +574,7 @@ impl MetricsHub {
     /// Current value of a counter by name, if registered.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
         let inner = self.inner.as_ref()?;
-        let h = inner.borrow();
+        let h = inner.lock().unwrap();
         let id = *h.names.get(&format!("c:{name}"))?;
         Some(h.counters[id as usize].value)
     }
@@ -572,7 +582,7 @@ impl MetricsHub {
     /// Current value of a gauge by name, if registered.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
         let inner = self.inner.as_ref()?;
-        let h = inner.borrow();
+        let h = inner.lock().unwrap();
         let id = *h.names.get(&format!("g:{name}"))?;
         Some(h.gauges[id as usize].value)
     }
@@ -580,7 +590,7 @@ impl MetricsHub {
     /// Clone of a counter's sampled time series by name.
     pub fn counter_series(&self, name: &str) -> Option<TimeSeries> {
         let inner = self.inner.as_ref()?;
-        let h = inner.borrow();
+        let h = inner.lock().unwrap();
         let id = *h.names.get(&format!("c:{name}"))?;
         Some(h.counters[id as usize].series.clone())
     }
@@ -588,7 +598,7 @@ impl MetricsHub {
     /// Clone of a histogram's samples by name.
     pub fn histogram_snapshot(&self, name: &str) -> Option<Percentiles> {
         let inner = self.inner.as_ref()?;
-        let h = inner.borrow();
+        let h = inner.lock().unwrap();
         let id = *h.names.get(&format!("h:{name}"))?;
         Some(h.histograms[id as usize].clone())
     }
@@ -598,7 +608,7 @@ impl MetricsHub {
         let Some(inner) = &self.inner else {
             return Vec::new();
         };
-        let h = inner.borrow();
+        let h = inner.lock().unwrap();
         let mut out: Vec<(String, u64)> = h
             .counter_names
             .iter()
@@ -615,7 +625,7 @@ impl MetricsHub {
         let Some(inner) = &self.inner else {
             return (Vec::new(), 0);
         };
-        let h = inner.borrow();
+        let h = inner.lock().unwrap();
         let rows = h
             .flight
             .records()
@@ -636,7 +646,7 @@ impl MetricsHub {
         let Some(inner) = &self.inner else {
             return Vec::new();
         };
-        let h = inner.borrow();
+        let h = inner.lock().unwrap();
         let mut counts: HashMap<&'static str, u64> = HashMap::new();
         for r in h.flight.records() {
             *counts.entry(r.event.kind()).or_insert(0) += 1;
@@ -655,7 +665,7 @@ impl MetricsHub {
         let Some(inner) = &self.inner else {
             return Json::obj(vec![("enabled", Json::Bool(false))]);
         };
-        let h = inner.borrow();
+        let h = inner.lock().unwrap();
 
         let mut counters: Vec<(String, Json)> = h
             .counter_names
@@ -895,6 +905,14 @@ mod tests {
         assert_eq!(hist.get("p50"), Some(&Json::U64(20)));
         let flight = back.get("flight_recorder").unwrap();
         assert_eq!(flight.get("records").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn hub_handles_are_send_and_sync() {
+        // The fleet runner moves cluster construction (hub included) into
+        // worker threads; this fails to compile if that ever regresses.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MetricsHub>();
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod world;
 pub use rng::SimRng;
 pub use sched::{EngineKind, SchedStats};
 pub use time::SimTime;
-pub use world::{Ctx, LinkSpec, Node, NodeId, PortId, TxError, World};
+pub use world::{Ctx, DigestMode, LinkSpec, Node, NodeId, PortId, TxError, World};
 
 /// Speed of signal propagation in copper/fiber used for cable-length →
 /// delay conversion: ~2/3 c ≈ 5 ns per metre.

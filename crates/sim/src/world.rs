@@ -59,6 +59,23 @@ impl LinkSpec {
     }
 }
 
+/// Whether the world folds its FNV-1a dispatch digest on the hot path.
+///
+/// The digest is the golden-trace hook: with it on, two runs dispatched
+/// the same events iff their digests match. Folding costs a few
+/// multiplies per event, so throughput-oriented runs (the fleet runner,
+/// benches) can opt out — dispatch *order and content* are identical
+/// either way; only the fingerprint bookkeeping is skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DigestMode {
+    /// Fold every dispatched event into the digest (the default).
+    #[default]
+    On,
+    /// Skip digest folding; [`World::dispatch_digest`] stays at the FNV
+    /// offset basis.
+    Off,
+}
+
 /// Error returned by [`Ctx::transmit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxError {
@@ -88,6 +105,11 @@ pub trait Node: Any {
     /// A timer set via [`Ctx::set_timer`] fired. `token` is the caller's
     /// value; stale timers must be filtered by the node itself.
     fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+
+    /// The world is compacting at quiescence ([`World::compact`]): shed
+    /// queue capacity retained from past bursts. Purely a memory
+    /// operation — implementations must not change any observable state.
+    fn compact(&mut self) {}
 
     /// Downcast support so experiments can read node-specific state.
     fn as_any(&self) -> &dyn Any;
@@ -142,6 +164,8 @@ struct WorldCore {
     /// node, detail per event) — the golden-trace hook: two runs are
     /// event-for-event identical iff their digests match.
     digest: u64,
+    /// Hot-path gate for digest folding (see [`DigestMode`]).
+    digest_on: bool,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -185,7 +209,7 @@ impl WorldCore {
 /// The simulation world: nodes, links, and the event queue.
 pub struct World {
     core: WorldCore,
-    nodes: Vec<Option<Box<dyn Node>>>,
+    nodes: Vec<Box<dyn Node>>,
     started: bool,
 }
 
@@ -211,6 +235,7 @@ impl World {
                 packets: Vec::new(),
                 free_slots: Vec::new(),
                 digest: FNV_OFFSET,
+                digest_on: true,
             },
             nodes: Vec::new(),
             started: false,
@@ -220,7 +245,7 @@ impl World {
     /// Add a node; returns its id. Nodes must be added before [`Self::run_until`].
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Some(node));
+        self.nodes.push(node);
         self.core.ports.push(Vec::new());
         id
     }
@@ -282,16 +307,31 @@ impl World {
     /// FNV-1a fingerprint of every event dispatched so far: `(time,
     /// kind, node, detail)` per event. Two runs dispatched the same
     /// events in the same order iff their digests match — the basis of
-    /// the golden-trace and engine-equivalence tests.
+    /// the golden-trace and engine-equivalence tests. Stays at the FNV
+    /// offset basis under [`DigestMode::Off`].
     pub fn dispatch_digest(&self) -> u64 {
         self.core.digest
+    }
+
+    /// Switch digest folding on or off. Dispatch order and all simulated
+    /// results are unaffected; only the fingerprint bookkeeping changes.
+    /// Flip it before running — a mid-run switch leaves a partial digest.
+    pub fn set_digest_mode(&mut self, mode: DigestMode) {
+        self.core.digest_on = mode == DigestMode::On;
+    }
+
+    /// The current digest mode.
+    pub fn digest_mode(&self) -> DigestMode {
+        if self.core.digest_on {
+            DigestMode::On
+        } else {
+            DigestMode::Off
+        }
     }
 
     /// Borrow a node, downcast to its concrete type.
     pub fn node<T: Node>(&self, id: NodeId) -> &T {
         self.nodes[id.0 as usize]
-            .as_ref()
-            .expect("node is being dispatched")
             .as_any()
             .downcast_ref::<T>()
             .expect("node type mismatch")
@@ -300,8 +340,6 @@ impl World {
     /// Mutably borrow a node, downcast to its concrete type.
     pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
         self.nodes[id.0 as usize]
-            .as_mut()
-            .expect("node is being dispatched")
             .as_any_mut()
             .downcast_mut::<T>()
             .expect("node type mismatch")
@@ -347,38 +385,71 @@ impl World {
             | EventKind::PortIdle { node, .. }
             | EventKind::Timer { node, .. } => node,
         };
-        let mut node = self.nodes[node_id.0 as usize]
-            .take()
-            .expect("recursive dispatch");
-        {
-            let mut ctx = Ctx {
-                core: &mut self.core,
-                node: node_id,
-            };
-            match kind {
-                EventKind::Start { .. } => {
-                    ctx.fold_digest(time, 0, node_id, 0);
-                    node.on_start(&mut ctx);
-                }
-                EventKind::Arrival { port, slot, .. } => {
-                    let pkt = ctx.core.take_packet(slot);
-                    // Digest the packet id, not the slab slot: the slot is
-                    // an allocator artifact, the id is the semantic event.
-                    ctx.fold_digest(time, 1, node_id, ((port.0 as u64) << 32) | pkt.id);
-                    node.on_packet(port, pkt, &mut ctx);
-                }
-                EventKind::PortIdle { port, .. } => {
-                    ctx.fold_digest(time, 2, node_id, port.0 as u64);
-                    node.on_port_idle(port, &mut ctx);
-                }
-                EventKind::Timer { token, .. } => {
-                    ctx.fold_digest(time, 3, node_id, token);
-                    node.on_timer(token, &mut ctx);
-                }
+        // Split borrow: the node lives in `self.nodes`, the scheduler in
+        // `self.core` — disjoint fields, so the handler can hold `&mut`
+        // to both without the old `Option::take`/put double write per
+        // event (which cost two stores and a panic branch on the hottest
+        // path in the simulator).
+        let node: &mut dyn Node = &mut *self.nodes[node_id.0 as usize];
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node: node_id,
+        };
+        match kind {
+            EventKind::Start { .. } => {
+                ctx.fold_digest(time, 0, node_id, 0);
+                node.on_start(&mut ctx);
+            }
+            EventKind::Arrival { port, slot, .. } => {
+                let pkt = ctx.core.take_packet(slot);
+                // Digest the packet id, not the slab slot: the slot is
+                // an allocator artifact, the id is the semantic event.
+                ctx.fold_digest(time, 1, node_id, ((port.0 as u64) << 32) | pkt.id);
+                node.on_packet(port, pkt, &mut ctx);
+            }
+            EventKind::PortIdle { port, .. } => {
+                ctx.fold_digest(time, 2, node_id, port.0 as u64);
+                node.on_port_idle(port, &mut ctx);
+            }
+            EventKind::Timer { token, .. } => {
+                ctx.fold_digest(time, 3, node_id, token);
+                node.on_timer(token, &mut ctx);
             }
         }
-        self.nodes[node_id.0 as usize] = Some(node);
         true
+    }
+
+    /// Shed heap capacity retained from past bursts. The packet slab,
+    /// its free list, and every node's internal queues keep their peak
+    /// capacity forever otherwise — after an incast burst that is
+    /// megabytes of idle `Vec`/`VecDeque` backing storage per world.
+    /// Call at quiescence (between experiment phases or after
+    /// [`Self::run_until_idle`]); purely a memory operation, observable
+    /// state and the dispatch digest are untouched.
+    pub fn compact(&mut self) {
+        // Drop trailing empty slab entries, then remap the free list to
+        // the surviving prefix. In-flight packets (occupied slots) are
+        // preserved wherever they sit.
+        while matches!(self.core.packets.last(), Some(None)) {
+            self.core.packets.pop();
+        }
+        let live = self.core.packets.len() as u32;
+        self.core.free_slots.retain(|&s| s < live);
+        self.core.packets.shrink_to_fit();
+        self.core.free_slots.shrink_to_fit();
+        for node in &mut self.nodes {
+            node.compact();
+        }
+    }
+
+    /// Capacity of the in-flight packet slab (memory-bound tests).
+    pub fn packet_slab_capacity(&self) -> usize {
+        self.core.packets.capacity()
+    }
+
+    /// Length of the in-flight packet slab.
+    pub fn packet_slab_len(&self) -> usize {
+        self.core.packets.len()
     }
 
     /// Run until simulated time reaches `deadline` (events at exactly
@@ -432,6 +503,9 @@ impl Ctx<'_> {
     }
 
     fn fold_digest(&mut self, time: SimTime, tag: u64, node: NodeId, detail: u64) {
+        if !self.core.digest_on {
+            return;
+        }
         let mut h = self.core.digest;
         h = fnv1a(h, time.as_ps());
         h = fnv1a(h, tag);
@@ -654,6 +728,57 @@ mod tests {
             w.core.packets.len()
         );
         assert_eq!(w.core.free_slots.len(), w.core.packets.len());
+    }
+
+    #[test]
+    fn digest_off_dispatches_identically() {
+        let run = |mode| {
+            let (mut w, a, b) = two_node_world(200);
+            w.set_digest_mode(mode);
+            assert_eq!(w.digest_mode(), mode);
+            w.run_until_idle(100_000);
+            (
+                w.events_processed(),
+                w.node::<Chatter>(b).received.clone(),
+                w.node::<Chatter>(a).sent,
+                w.dispatch_digest(),
+            )
+        };
+        let on = run(DigestMode::On);
+        let off = run(DigestMode::Off);
+        // Same events, same arrivals, same results — only the
+        // fingerprint differs (off stays at the FNV offset basis).
+        assert_eq!(on.0, off.0);
+        assert_eq!(on.1, off.1);
+        assert_eq!(on.2, off.2);
+        assert_ne!(on.3, FNV_OFFSET, "on-mode must fold events");
+        assert_eq!(off.3, FNV_OFFSET, "off-mode must not fold events");
+    }
+
+    #[test]
+    fn compact_bounds_slab_memory() {
+        let (mut w, _a, _b) = two_node_world(500);
+        assert!(w.run_until_idle(100_000));
+        let peak = w.packet_slab_capacity();
+        assert!(peak > 0);
+        w.compact();
+        // At quiescence every packet has been consumed, so compaction
+        // empties the slab entirely.
+        assert_eq!(w.packet_slab_len(), 0);
+        assert!(w.packet_slab_capacity() <= peak);
+        assert_eq!(w.core.free_slots.len(), 0);
+        // Compacting must not perturb replay: a compacted world resumed
+        // mid-run produces the same trace as an untouched one.
+        let traced = |compact_at: Option<SimTime>| {
+            let (mut w, _a, b) = two_node_world(300);
+            if let Some(t) = compact_at {
+                w.run_until(t);
+                w.compact();
+            }
+            w.run_until_idle(100_000);
+            (w.dispatch_digest(), w.node::<Chatter>(b).received.clone())
+        };
+        assert_eq!(traced(None), traced(Some(SimTime::from_micros(50))));
     }
 
     #[test]

@@ -172,12 +172,25 @@ struct QueuedPkt {
 /// DWRR quantum per weight unit, bytes.
 const DWRR_QUANTUM: u64 = 1600;
 
+/// A queued PFC control frame, stored as a compact descriptor rather
+/// than a full [`Packet`]. The packet id is allocated when the frame is
+/// *queued* (so the global id sequence — and with it every dispatch
+/// digest — matches the old by-value path exactly); the `Packet` itself
+/// is materialized once at transmit instead of being copied into and
+/// back out of the queue.
+#[derive(Debug, Clone, Copy)]
+struct CtrlFrame {
+    id: u64,
+    frame: PauseFrame,
+    created_ps: u64,
+}
+
 #[derive(Debug, Clone)]
 struct EgressPort {
     queues: [VecDeque<QueuedPkt>; Priority::COUNT],
     queue_bytes: [u64; Priority::COUNT],
     /// Control frames (PFC) bypass the data queues entirely.
-    ctrl: VecDeque<Packet>,
+    ctrl: VecDeque<CtrlFrame>,
     paused_until: [SimTime; Priority::COUNT],
     deficit: [u64; Priority::COUNT],
     rr: usize,
@@ -439,6 +452,15 @@ impl Switch {
             - self.stats.resume_tx.iter().sum::<u64>()
     }
 
+    /// Total retained capacity (entries) across all egress data queues
+    /// and control queues — the memory-bound hook for compaction tests.
+    pub fn egress_queue_capacity(&self) -> usize {
+        self.egress
+            .iter()
+            .map(|e| e.queues.iter().map(|q| q.capacity()).sum::<usize>() + e.ctrl.capacity())
+            .sum()
+    }
+
     /// Is `port`'s egress currently paused for `prio`?
     pub fn is_paused(&self, port: PortId, prio: Priority, now: SimTime) -> bool {
         self.egress[port.index()].paused_until[prio.index()] > now
@@ -556,18 +578,11 @@ impl Switch {
         } else {
             PauseFrame::pause(pg, quanta)
         };
-        let pkt = Packet {
+        self.egress[port.index()].ctrl.push_back(CtrlFrame {
             id: ctx.next_packet_id(),
-            eth: rocescale_packet::EthMeta {
-                src: self.router_mac,
-                dst: MacAddr::PAUSE_MULTICAST,
-                vlan: None,
-            },
-            ip: None,
-            kind: PacketKind::Pfc(frame),
+            frame,
             created_ps: ctx.now().as_ps(),
-        };
-        self.egress[port.index()].ctrl.push_back(pkt);
+        });
         self.try_send(port, ctx);
     }
 
@@ -844,7 +859,18 @@ impl Switch {
         }
         let now = ctx.now();
         // Control frames (PFC) first; they are never paused.
-        if let Some(pkt) = self.egress[port.index()].ctrl.pop_front() {
+        if let Some(cf) = self.egress[port.index()].ctrl.pop_front() {
+            let pkt = Packet {
+                id: cf.id,
+                eth: rocescale_packet::EthMeta {
+                    src: self.router_mac,
+                    dst: MacAddr::PAUSE_MULTICAST,
+                    vlan: None,
+                },
+                ip: None,
+                kind: PacketKind::Pfc(cf.frame),
+                created_ps: cf.created_ps,
+            };
             self.stats.tx_pkts[port.index()] += 1;
             self.stats.tx_bytes[port.index()] += pkt.wire_size() as u64;
             let _ = ctx.transmit(port, pkt);
@@ -1018,6 +1044,15 @@ impl Node for Switch {
             }
             TOK_WATCHDOG => self.watchdog_scan(ctx),
             _ => {}
+        }
+    }
+
+    fn compact(&mut self) {
+        for e in &mut self.egress {
+            for q in &mut e.queues {
+                q.shrink_to_fit();
+            }
+            e.ctrl.shrink_to_fit();
         }
     }
 

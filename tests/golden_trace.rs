@@ -14,7 +14,7 @@
 use rocescale_core::{ClusterBuilder, ServerId};
 use rocescale_monitor::MetricsHub;
 use rocescale_nic::QpApp;
-use rocescale_sim::{EngineKind, SimTime};
+use rocescale_sim::{DigestMode, EngineKind, SimTime};
 
 /// Digest pinned at the timer-wheel engine's introduction (identical to
 /// the binary heap's on the same scenario).
@@ -23,14 +23,19 @@ const GOLDEN_DIGEST: u64 = 5655298337002817904;
 const GOLDEN_EVENTS: u64 = 13800;
 
 fn run(engine: EngineKind) -> (u64, u64) {
-    run_with_hub(engine, MetricsHub::disabled()).0
+    run_full(engine, MetricsHub::disabled(), DigestMode::On).0
 }
 
 fn run_with_hub(engine: EngineKind, hub: MetricsHub) -> ((u64, u64), MetricsHub) {
+    run_full(engine, hub, DigestMode::On)
+}
+
+fn run_full(engine: EngineKind, hub: MetricsHub, digest: DigestMode) -> ((u64, u64), MetricsHub) {
     let mut cl = ClusterBuilder::two_tier(2, 4)
         .seed(7)
         .engine(engine)
         .telemetry(hub)
+        .digest(digest)
         .build();
     for i in 1..4usize {
         cl.connect_qp(
@@ -64,6 +69,23 @@ fn both_engines_dispatch_byte_identical_traces() {
         run(EngineKind::BinaryHeap),
         (GOLDEN_DIGEST, GOLDEN_EVENTS),
         "binary-heap trace deviates from the wheel's"
+    );
+}
+
+/// `DigestMode::Off` (the fleet/bench fast path) must skip only the
+/// fold, not change the simulation: the pinned scenario dispatches the
+/// exact golden event count while the digest stays at the FNV basis.
+#[test]
+fn digest_off_dispatches_the_same_event_stream() {
+    let ((digest, events), _) =
+        run_full(EngineKind::Wheel, MetricsHub::disabled(), DigestMode::Off);
+    assert_eq!(
+        events, GOLDEN_EVENTS,
+        "digest mode must not change the event stream"
+    );
+    assert_ne!(
+        digest, GOLDEN_DIGEST,
+        "off mode must not accidentally keep folding"
     );
 }
 
