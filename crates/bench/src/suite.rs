@@ -8,10 +8,10 @@
 
 use rocescale_core::scenarios::latency::LatencySummary;
 use rocescale_core::scenarios::{
-    buffer_misconfig, cpu, dcqcn_ablation, deadlock, dscp_vlan, headroom, latency, livelock,
-    load_latency, pfc_basics, slow_receiver, spray, storm, throughput,
+    buffer_misconfig, cc_ablation, cpu, dcqcn_ablation, deadlock, dscp_vlan, headroom, latency,
+    livelock, load_latency, pfc_basics, slow_receiver, spray, storm, throughput,
 };
-use rocescale_core::PfcMode;
+use rocescale_core::{CcKind, PfcMode};
 use rocescale_monitor::Percentiles;
 use rocescale_sim::SimTime;
 
@@ -37,6 +37,7 @@ pub fn all() -> &'static [&'static (dyn ScenarioReport + Sync)] {
         &ExpDcqcnAblation,
         &ExpHeadroom,
         &ExpPerPacketRouting,
+        &ExpCcAblation,
     ]
 }
 
@@ -549,8 +550,9 @@ impl ScenarioReport for Fig10BufferMisconfig {
     }
 }
 
-/// §4.1 — RDMA transport livelock: go-back-0 vs go-back-N under a
-/// deterministic 1/256 drop, for SEND / WRITE / READ.
+/// §4.1 — RDMA transport livelock: go-back-0 vs go-back-N vs IRN-style
+/// selective repeat under a deterministic 1/256 drop, for SEND / WRITE /
+/// READ.
 pub struct ExpLivelock;
 
 impl ScenarioReport for ExpLivelock {
@@ -558,11 +560,12 @@ impl ScenarioReport for ExpLivelock {
         "EXP-LIVELOCK (§4.1)"
     }
     fn title(&self) -> &str {
-        "go-back-0 livelock vs go-back-N"
+        "go-back-0 livelock vs go-back-N vs selective repeat"
     }
     fn claim(&self) -> &str {
         "goodput 0 with go-back-0 at 1/256 deterministic drop while the link runs at \
-         line rate; go-back-N restores goodput"
+         line rate; go-back-N restores goodput; selective repeat restores it while \
+         retransmitting only the dropped packets"
     }
     fn run(&self, _args: &CliArgs) -> Report {
         use livelock::Workload;
@@ -577,10 +580,15 @@ impl ScenarioReport for ExpLivelock {
                 "wire(Gb/s)",
                 "msgs",
                 "drops",
+                "retx(MB)",
             ],
         );
         for workload in [Workload::Send, Workload::Write, Workload::Read] {
-            for recovery in [LossRecovery::GoBack0, LossRecovery::GoBackN] {
+            for recovery in [
+                LossRecovery::GoBack0,
+                LossRecovery::GoBackN,
+                LossRecovery::SelectiveRepeat,
+            ] {
                 let r = livelock::run(recovery, workload, dur);
                 t.row(vec![
                     Cell::s(format!("{workload:?}")),
@@ -589,11 +597,16 @@ impl ScenarioReport for ExpLivelock {
                     Cell::f2(r.wire_gbps),
                     Cell::U64(r.messages_done),
                     Cell::U64(r.filter_drops),
+                    Cell::f2(r.retx_bytes as f64 / 1e6),
                 ]);
             }
         }
         let mut rep = Report::new();
         rep.table(t);
+        rep.note(
+            "go-back-N resends the whole window tail on every drop; selective repeat \
+             resends only the holes, so its retx volume tracks the 1/256 drop rate.",
+        );
         rep
     }
 }
@@ -826,14 +839,66 @@ impl ScenarioReport for ExpPerPacketRouting {
     }
 }
 
+/// §7 contrast on the pluggable CC layer — DCQCN vs a TIMELY-style
+/// delay-gradient controller vs no end-to-end control, same incast.
+pub struct ExpCcAblation;
+
+impl ScenarioReport for ExpCcAblation {
+    fn id(&self) -> &str {
+        "EXP-CC (§7)"
+    }
+    fn title(&self) -> &str {
+        "congestion control ablation: DCQCN vs TIMELY vs off"
+    }
+    fn claim(&self) -> &str {
+        "either controller — ECN-driven DCQCN or delay-driven TIMELY — keeps the \
+         incast queue short and collapses pause generation; with both off PFC alone \
+         stays loss-free but pauses constantly"
+    }
+    fn run(&self, _args: &CliArgs) -> Report {
+        let dur = SimTime::from_millis(15);
+        let mut t = Table::new(
+            "arms",
+            &[
+                "cc",
+                "pauses",
+                "ecn marks",
+                "cnps",
+                "goodput(Gb/s)",
+                "peak queue(KB)",
+                "ll drops",
+            ],
+        );
+        for cc in [CcKind::Off, CcKind::Dcqcn, CcKind::Timely] {
+            let r = cc_ablation::run(cc, 4, dur);
+            t.row(vec![
+                Cell::s(r.cc.name()),
+                Cell::U64(r.pauses),
+                Cell::U64(r.ecn_marked),
+                Cell::U64(r.cnps),
+                Cell::f2(r.goodput_gbps),
+                Cell::f1(r.peak_queue_bytes as f64 / 1024.0),
+                Cell::U64(r.lossless_drops),
+            ]);
+        }
+        let mut rep = Report::new();
+        rep.table(t);
+        rep.note(
+            "CNPs are generated by the NP state machine regardless of the sender's \
+             controller; TIMELY ignores them and reacts to RTT inflation instead.",
+        );
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn registry_lists_all_fifteen_scenarios() {
+    fn registry_lists_all_sixteen_scenarios() {
         let suite = all();
-        assert_eq!(suite.len(), 15);
+        assert_eq!(suite.len(), 16);
         let ids: Vec<&str> = suite.iter().map(|s| s.id()).collect();
         let mut dedup = ids.clone();
         dedup.sort();
@@ -841,5 +906,6 @@ mod tests {
         assert_eq!(dedup.len(), ids.len(), "scenario ids must be unique");
         assert_eq!(ids[0], "FIG-2 (§2)");
         assert_eq!(ids[14], "EXP-PER-PACKET-ROUTING (§8.1)");
+        assert_eq!(ids[15], "EXP-CC (§7)");
     }
 }

@@ -129,5 +129,28 @@ fn suite_registry_is_fleet_ready() {
     // and Sync (shared across worker threads by reference).
     fn assert_sync<T: Sync + ?Sized>() {}
     assert_sync::<dyn rocescale_bench::ScenarioReport + Sync>();
-    assert_eq!(rocescale_bench::suite::all().len(), 15);
+    assert_eq!(rocescale_bench::suite::all().len(), 16);
+}
+
+/// The congestion-control axis (dcqcn / timely / off) must be exactly as
+/// worker-count invariant as the hand-built axes above: same digests,
+/// same JSON, on 1 worker and on 2.
+#[test]
+fn cc_ablation_sweep_is_jobs_invariant() {
+    let spec = SweepSpec::new().axis(SweepAxis::cc());
+    let outputs = |workers: usize| {
+        let results = run_sweep(&spec, workers, run_job);
+        let digests: Vec<u64> = results.iter().map(|(_, (d, _))| *d).collect();
+        let jsons: Vec<String> = results.iter().map(|(_, (_, j))| j.render()).collect();
+        (digests, jsons)
+    };
+    let (d1, j1) = outputs(1);
+    let (d2, j2) = outputs(2);
+    assert_eq!(d1, d2, "per-run digests must not depend on --jobs");
+    assert_eq!(j1, j2, "per-run JSON must be byte-identical");
+    assert_eq!(d1.len(), 3, "one job per controller");
+    // Each controller really steers the simulation differently.
+    assert_ne!(d1[0], d1[2], "dcqcn vs off must differ");
+    assert_ne!(d1[1], d1[2], "timely vs off must differ");
+    assert_ne!(d1[0], d1[1], "dcqcn vs timely must differ");
 }

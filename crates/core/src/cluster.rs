@@ -1,5 +1,6 @@
 //! Cluster construction and operation: topology → simulated fabric.
 
+use rocescale_cc::CcParams;
 use rocescale_dcqcn::CpParams;
 use rocescale_monitor::deadlock::Snapshot;
 use rocescale_monitor::{GaugeId, MetricsHub};
@@ -342,9 +343,10 @@ impl ClusterBuilder {
                         rto_ps: self.transport.qp_rto.as_ps(),
                         ..QpConfig::default()
                     };
-                    if !self.transport.dcqcn {
-                        cfg.dcqcn_rp = None;
-                    }
+                    // Sender-role congestion control, with parameters
+                    // derived from the host's line rate (for DCQCN this
+                    // reproduces the NicConfig default exactly).
+                    cfg.cc = CcParams::for_line_rate(self.transport.cc, cfg.link_bps);
                     cfg.nic_watchdog_after = self.transport.nic_watchdog;
                     cfg.telemetry = self.telemetry.clone();
                     (self.host_tweak)(order, &mut cfg);

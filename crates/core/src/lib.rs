@@ -30,4 +30,5 @@ pub mod sweep;
 pub use cluster::{Cluster, ClusterBuilder, PfcMode, ServerId, ServerKind};
 pub use deployment::DeploymentStage;
 pub use profiles::{FabricProfile, FaultProfile, TransportProfile};
+pub use rocescale_cc::CcKind;
 pub use sweep::{SweepAxis, SweepJob, SweepPoint, SweepSpec, SweepVariant};

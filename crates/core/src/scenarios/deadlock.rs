@@ -131,7 +131,7 @@ fn build(fix_enabled: bool) -> Fabric {
 
     let host = |name: &str, id: u32, ip: u32, gw: MacAddr| {
         let mut cfg = NicConfig::new(name, id, ip, gw);
-        cfg.dcqcn_rp = None; // raw PFC dynamics, as in the paper's stress test
+        cfg.cc = rocescale_cc::CcParams::Off; // raw PFC dynamics, as in the paper's stress test
         cfg.qp_defaults = QpConfig {
             rto_ps: 200_000_000, // 200 µs: senders to dead peers keep the wire busy
             ..QpConfig::default()

@@ -43,6 +43,11 @@ pub struct LivelockResult {
     pub filter_drops: u64,
     /// Messages completed.
     pub messages_done: u64,
+    /// Packets retransmitted by the data sender (go-back-N resends the
+    /// whole window tail; selective repeat resends only the holes).
+    pub retx_pkts: u64,
+    /// Bytes retransmitted by the data sender.
+    pub retx_bytes: u64,
 }
 
 /// Run the experiment: A and B under one switch, deterministic 1/256
@@ -60,7 +65,10 @@ pub fn run(recovery: LossRecovery, workload: Workload, dur: SimTime) -> Livelock
         .faults(FaultProfile::paper_default().drop_ip_id_low_byte(Some(0xff)))
         .build();
     let (a, b) = (ServerId(0), ServerId(1));
-    match workload {
+    // `qa` is always the endpoint streaming the 4 MB of data A→B (READ
+    // responses included), so its retransmission counters are the ones
+    // the recovery schemes differ on.
+    let qa = match workload {
         Workload::Send | Workload::Write => {
             // A pushes to B as fast as possible.
             let (qa, _qb) = c.connect_qp(a, b, 5000, QpApp::None, QpApp::None);
@@ -76,18 +84,20 @@ pub fn run(recovery: LossRecovery, workload: Workload, dur: SimTime) -> Livelock
             for _ in 0..posts {
                 c.rdma_mut(a).post(qa, verb(MSG), SimTime::ZERO, false);
             }
+            qa
         }
         Workload::Read => {
             // B reads 4 MB chunks from A: the data flows A→B as READ
             // responses.
-            let (_qa, qb) = c.connect_qp(a, b, 5000, QpApp::None, QpApp::None);
+            let (qa, qb) = c.connect_qp(a, b, 5000, QpApp::None, QpApp::None);
             let posts = (dur.as_secs_f64() * 40e9 / 8.0 / MSG as f64).ceil() as u32 + 8;
             for _ in 0..posts {
                 c.rdma_mut(b)
                     .post(qb, Verb::Read { len: MSG }, SimTime::ZERO, false);
             }
+            qa
         }
-    }
+    };
     c.run_until(dur);
     let (goodput_bytes, msgs, wire_bytes) = match workload {
         Workload::Send | Workload::Write => {
@@ -110,6 +120,8 @@ pub fn run(recovery: LossRecovery, workload: Workload, dur: SimTime) -> Livelock
         }
     };
     let tor = c.switches_of_tier(rocescale_topology::Tier::Tor)[0];
+    let sender_ep = c.rdma(a).qp_endpoint(qa);
+    let (retx_pkts, retx_bytes) = (sender_ep.stats.retx_pkts, sender_ep.stats.retx_bytes);
     LivelockResult {
         recovery,
         workload,
@@ -117,6 +129,8 @@ pub fn run(recovery: LossRecovery, workload: Workload, dur: SimTime) -> Livelock
         wire_gbps: gbps(wire_bytes, dur),
         filter_drops: c.switch(tor).stats.drops_of(DropReason::InjectedFilter),
         messages_done: msgs,
+        retx_pkts,
+        retx_bytes,
     }
 }
 
@@ -148,5 +162,24 @@ mod tests {
             );
             assert!(rn.messages_done >= 5, "{wl:?}: {}", rn.messages_done);
         }
+    }
+
+    /// The IRN-style contrast: selective repeat also escapes the
+    /// livelock, and does so resending only the dropped holes — strictly
+    /// fewer retransmitted bytes than go-back-N's window tails.
+    #[test]
+    fn selective_repeat_recovers_with_fewer_retransmitted_bytes() {
+        let dur = SimTime::from_millis(8);
+        let gbn = run(LossRecovery::GoBackN, Workload::Send, dur);
+        let sr = run(LossRecovery::SelectiveRepeat, Workload::Send, dur);
+        assert!(sr.goodput_gbps > 20.0, "SR goodput: {}", sr.goodput_gbps);
+        assert!(sr.messages_done >= 5, "SR msgs: {}", sr.messages_done);
+        assert!(sr.retx_pkts > 0, "the 1/256 filter must have bitten");
+        assert!(
+            sr.retx_bytes < gbn.retx_bytes,
+            "selective repeat must resend fewer bytes: {} vs {}",
+            sr.retx_bytes,
+            gbn.retx_bytes
+        );
     }
 }

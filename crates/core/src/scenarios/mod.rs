@@ -18,9 +18,11 @@
 //! | [`cpu`] | §1 — kernel TCP CPU cost vs RDMA |
 //! | [`spray`] | §8.1 — per-packet routing vs per-flow ECMP (future work) |
 //! | [`dcqcn_ablation`] | §2 — DCQCN reduces pauses; PFC is the last defense |
+//! | [`cc_ablation`] | §7 — pluggable CC: DCQCN vs TIMELY vs off on one incast |
 //! | [`headroom`] | §2 — the gray-period headroom formula, validated by violation |
 
 pub mod buffer_misconfig;
+pub mod cc_ablation;
 pub mod cpu;
 pub mod dcqcn_ablation;
 pub mod deadlock;

@@ -30,6 +30,8 @@
 
 use std::sync::Arc;
 
+use rocescale_cc::CcKind;
+
 use crate::profiles::{FabricProfile, FaultProfile, TransportProfile};
 
 /// One point in configuration space: the three profiles plus the RNG
@@ -102,6 +104,18 @@ impl SweepAxis {
             apply: Arc::new(apply),
         });
         self
+    }
+
+    /// The congestion-control axis: one variant per [`CcKind`], labelled
+    /// with the controller's name (`cc=dcqcn`, `cc=timely`, `cc=off`).
+    pub fn cc() -> SweepAxis {
+        let mut axis = SweepAxis::new("cc");
+        for kind in [CcKind::Dcqcn, CcKind::Timely, CcKind::Off] {
+            axis = axis.variant(kind.name(), move |p| {
+                p.transport = p.transport.cc(kind);
+            });
+        }
+        axis
     }
 }
 
@@ -334,6 +348,26 @@ mod tests {
         let jobs = SweepSpec::new().base(base).replicates(3).jobs();
         let seeds: Vec<u64> = jobs.iter().map(|j| j.point.seed).collect();
         assert_eq!(seeds, vec![40, 41, 42]);
+    }
+
+    #[test]
+    fn cc_axis_covers_every_controller() {
+        let jobs = SweepSpec::new().axis(SweepAxis::cc()).jobs();
+        assert_eq!(jobs.len(), 3);
+        let labels: Vec<&str> = jobs.iter().map(|j| j.labels[0].as_str()).collect();
+        assert_eq!(labels, vec!["cc=dcqcn", "cc=timely", "cc=off"]);
+        assert_eq!(jobs[0].point.transport.cc, CcKind::Dcqcn);
+        assert_eq!(jobs[1].point.transport.cc, CcKind::Timely);
+        assert_eq!(jobs[2].point.transport.cc, CcKind::Off);
+        // The deprecated shim composes with the axis without churn.
+        let spec = SweepSpec::new().axis(
+            SweepAxis::new("dcqcn")
+                .variant("on", |p| p.transport = p.transport.dcqcn(true))
+                .variant("off", |p| p.transport = p.transport.dcqcn(false)),
+        );
+        let shimmed = spec.jobs();
+        assert_eq!(shimmed[0].point.transport.cc, CcKind::Dcqcn);
+        assert_eq!(shimmed[1].point.transport.cc, CcKind::Off);
     }
 
     #[test]

@@ -155,11 +155,13 @@ pub enum TraceEvent {
         /// volume).
         pkts: u32,
     },
-    /// DCQCN changed a QP's sending rate.
+    /// A congestion controller changed a QP's sending rate.
     RateChange {
+        /// Which controller acted (`"dcqcn"`, `"timely"`).
+        cc: &'static str,
         /// New rate in Mbit/s.
         rate_mbps: u32,
-        /// What moved it (`"cnp"`, `"increase"`).
+        /// What moved it (`"cnp"`, `"increase"`, `"rtt-high"`, …).
         cause: &'static str,
     },
     /// A deliberate pause-storm injection began (experiment fault).
@@ -206,7 +208,12 @@ impl TraceEvent {
                 d.push(("to_psn".into(), Json::U64(to_psn as u64)));
                 d.push(("pkts".into(), Json::U64(pkts as u64)));
             }
-            TraceEvent::RateChange { rate_mbps, cause } => {
+            TraceEvent::RateChange {
+                cc,
+                rate_mbps,
+                cause,
+            } => {
+                d.push(("cc".into(), Json::Str(cc.into())));
                 d.push(("rate_mbps".into(), Json::U64(rate_mbps as u64)));
                 d.push(("cause".into(), Json::Str(cause.into())));
             }
@@ -886,6 +893,7 @@ mod tests {
             5,
             s,
             TraceEvent::RateChange {
+                cc: "dcqcn",
                 rate_mbps: 1000,
                 cause: "cnp",
             },

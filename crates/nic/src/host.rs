@@ -1,10 +1,17 @@
-//! The RDMA host node: QPs, pacing, DCQCN, host-side PFC, the receive
-//! pipeline, and built-in workload applications.
+//! The RDMA host node: QPs, pacing, congestion control, host-side PFC,
+//! the receive pipeline, and built-in workload applications.
+//!
+//! Congestion control is pluggable: the host drives the sans-IO
+//! [`rocescale_cc::SenderCc`] / [`rocescale_cc::ReceiverCc`] roles via
+//! typed signals instead of a concrete DCQCN implementation, so DCQCN,
+//! TIMELY-style delay-gradient control, and fixed-rate pacing all thread
+//! through the same pump/receive paths.
 
 use std::any::Any;
 use std::collections::VecDeque;
 
-use rocescale_dcqcn::{NpParams, NpState, RpParams, RpState};
+use rocescale_cc::{CcAction, CcParams, CcSignal, CongestionControl, ReceiverCc, SenderCc};
+use rocescale_dcqcn::{NpParams, RpParams};
 use rocescale_monitor::{CounterId, HistogramId, MetricsHub, ScopeId, TraceEvent};
 use rocescale_packet::{
     EcnCodepoint, EthMeta, Ipv4Meta, MacAddr, Packet, PacketKind, PauseFrame, PfcPauseFrame,
@@ -77,9 +84,14 @@ pub struct NicConfig {
     pub qp_defaults: QpConfig,
     /// Priority class for RDMA traffic (the paper's bulk lossless class).
     pub rdma_priority: Priority,
-    /// DCQCN sender (RP) parameters; `None` disables rate control.
-    pub dcqcn_rp: Option<RpParams>,
-    /// DCQCN receiver (NP) parameters.
+    /// Sender-side congestion control: DCQCN reaction point, TIMELY-style
+    /// delay gradient, or fixed-rate pacing ([`CcParams::Off`] disables
+    /// rate control).
+    pub cc: CcParams,
+    /// DCQCN receiver (NP) parameters. The notification point runs
+    /// regardless of the sender's controller — non-DCQCN senders simply
+    /// ignore CNPs — which keeps receive-side behaviour identical across
+    /// congestion-control ablations.
     pub dcqcn_np: NpParams,
     /// Receive pipeline.
     pub rx: RxConfig,
@@ -107,7 +119,7 @@ impl NicConfig {
             pfc_mode: HostPfcMode::Dscp,
             qp_defaults: QpConfig::default(),
             rdma_priority: Priority::new(3),
-            dcqcn_rp: Some(RpParams::for_line_rate(40_000_000_000)),
+            cc: CcParams::Dcqcn(RpParams::for_line_rate(40_000_000_000)),
             dcqcn_np: NpParams::default(),
             rx: RxConfig::default(),
             nic_watchdog_after: None,
@@ -207,8 +219,10 @@ struct Qp {
     peer_qp: u32,
     udp_src: u16,
     prio: Priority,
-    rp: Option<RpState>,
-    np: NpState,
+    /// Sender-role congestion control (enum dispatch: determinism-cheap).
+    cc: SenderCc,
+    /// Receiver-role congestion notification.
+    np: ReceiverCc,
     /// Next time pacing allows a data packet, ps.
     next_tx_ps: u64,
     app: QpApp,
@@ -223,7 +237,7 @@ struct Qp {
 
 // Timer tokens.
 const TOK_PUMP: u64 = 1;
-const TOK_DCQCN: u64 = 2;
+const TOK_CC_TICK: u64 = 2;
 const TOK_RX_DONE: u64 = 3;
 const TOK_RTO: u64 = 4;
 const TOK_QP_APP_BASE: u64 = 1 << 32; // + qpn
@@ -234,7 +248,8 @@ const TOK_STORM_TICK: u64 = 7;
 /// put the NIC into storm mode at a chosen instant (§4.3 fault injection).
 pub const TOK_INJECT_STORM: u64 = 100;
 
-const DCQCN_TICK: SimTime = SimTime::from_micros(55);
+// (Token 2 is the periodic congestion-control tick; its period comes from
+// `CcParams::tick_period_ps` — 55 µs for DCQCN's alpha/increase timers.)
 const RTO_SCAN: SimTime = SimTime::from_micros(100);
 const STORM_REFRESH: SimTime = SimTime::from_micros(100);
 
@@ -255,7 +270,8 @@ struct NicTele {
     rtt_ps: HistogramId,
     /// Per-QP `nic.{name}.qp.{qpn}.retransmits` (rollback PSN volume).
     qp_retransmits: Vec<CounterId>,
-    /// Per-QP `nic.{name}.qp.{qpn}.rate_changes` (DCQCN rate moves).
+    /// Per-QP `nic.{name}.qp.{qpn}.{controller}.rate_changes` (pacing
+    /// rate moves, named for the controller that made them).
     qp_rate_changes: Vec<CounterId>,
 }
 
@@ -381,8 +397,8 @@ impl RdmaHost {
             peer_qp,
             udp_src,
             prio: self.cfg.rdma_priority,
-            rp: self.cfg.dcqcn_rp.map(RpState::new),
-            np: NpState::new(self.cfg.dcqcn_np),
+            cc: SenderCc::new(&self.cfg.cc, self.cfg.link_bps),
+            np: ReceiverCc::dcqcn(self.cfg.dcqcn_np),
             next_tx_ps: 0,
             app,
             pending_rtt: VecDeque::new(),
@@ -405,9 +421,10 @@ impl RdmaHost {
         self.tele
             .qp_retransmits
             .push(hub.counter(&format!("nic.{name}.qp.{qpn}.retransmits")));
+        let cc_name = self.cfg.cc.kind().name();
         self.tele
             .qp_rate_changes
-            .push(hub.counter(&format!("nic.{name}.qp.{qpn}.rate_changes")));
+            .push(hub.counter(&format!("nic.{name}.qp.{qpn}.{cc_name}.rate_changes")));
         QpHandle(qpn)
     }
 
@@ -433,13 +450,10 @@ impl RdmaHost {
         &self.qps[qp.0 as usize].endpoint
     }
 
-    /// Current DCQCN rate of a QP, b/s (line rate if DCQCN is off).
+    /// Current congestion-controlled pacing rate of a QP, b/s (line rate
+    /// when congestion control is off).
     pub fn qp_rate_bps(&self, qp: QpHandle) -> f64 {
-        self.qps[qp.0 as usize]
-            .rp
-            .as_ref()
-            .map(|r| r.rate_bps())
-            .unwrap_or(self.cfg.link_bps as f64)
+        self.qps[qp.0 as usize].cc.rate_bps()
     }
 
     /// Number of QPs.
@@ -601,16 +615,13 @@ impl RdmaHost {
                 .expect("has_data_tx checked");
             let pkt = self.materialize(i as u32, &desc, ctx);
             let bytes = pkt.wire_size() as u64;
-            let rate = self.qps[i]
-                .rp
-                .as_ref()
-                .map(|r| r.rate_bps())
-                .unwrap_or(self.cfg.link_bps as f64);
+            let rate = self.qps[i].cc.rate_bps();
             let gap_ps = (bytes as f64 * 8.0 * 1e12 / rate) as u64;
             let q = &mut self.qps[i];
             q.next_tx_ps = now.as_ps().max(q.next_tx_ps) + gap_ps;
-            if let Some(rp) = q.rp.as_mut() {
-                rp.on_bytes_sent(bytes);
+            let act = q.cc.on_signal(CcSignal::BytesSent { bytes }, now.as_ps());
+            if let Some(act) = act {
+                self.note_cc_action(i as u32, act, now.as_ps());
             }
             self.stats.data_pkts_tx += 1;
             self.stats.tx_bytes += bytes;
@@ -754,21 +765,10 @@ impl RdmaHost {
         if r.opcode == RoceOpcode::Cnp {
             self.stats.cnp_rx += 1;
             self.tele.hub.incr(self.tele.cnp_rx);
-            if let Some(rp) = self.qps[qpn as usize].rp.as_mut() {
-                let before = rp.rate_bps();
-                rp.on_cnp();
-                let after = rp.rate_bps();
-                if after != before {
-                    self.tele.hub.incr(self.tele.qp_rate_changes[qpn as usize]);
-                    self.tele.hub.trace(
-                        ctx.now().as_ps(),
-                        self.tele.scope,
-                        TraceEvent::RateChange {
-                            rate_mbps: (after / 1e6) as u32,
-                            cause: "cnp",
-                        },
-                    );
-                }
+            let now_ps = ctx.now().as_ps();
+            let act = self.qps[qpn as usize].cc.on_signal(CcSignal::Cnp, now_ps);
+            if let Some(act) = act {
+                self.note_cc_action(qpn, act, now_ps);
             }
             return;
         }
@@ -788,10 +788,40 @@ impl RdmaHost {
             }
             q.endpoint.on_packet(&desc, now_ps);
         }
+        // Delay-based controllers: feed the RTT samples this packet's
+        // cumulative-ACK processing produced (no-op signals for DCQCN and
+        // fixed-rate, so the paper-default event stream is untouched).
+        while let Some(rtt_ps) = self.qps[qpn as usize].endpoint.take_rtt_sample() {
+            let act = self.qps[qpn as usize]
+                .cc
+                .on_signal(CcSignal::AckRtt { rtt_ps }, now_ps);
+            if let Some(act) = act {
+                self.note_cc_action(qpn, act, now_ps);
+            }
+        }
         self.drain_ctrl(qpn, ctx);
         self.drain_transport_events(qpn, now_ps);
         self.handle_completions(qpn, ctx);
         self.pump(ctx);
+    }
+
+    /// Record a congestion-control action: per-QP counter plus a trace
+    /// event naming the controller that acted.
+    fn note_cc_action(&mut self, qpn: u32, act: CcAction, now_ps: u64) {
+        match act {
+            CcAction::RateChange { rate_bps, cause } => {
+                self.tele.hub.incr(self.tele.qp_rate_changes[qpn as usize]);
+                self.tele.hub.trace(
+                    now_ps,
+                    self.tele.scope,
+                    TraceEvent::RateChange {
+                        cc: self.qps[qpn as usize].cc.kind().name(),
+                        rate_mbps: (rate_bps / 1e6) as u32,
+                        cause,
+                    },
+                );
+            }
+        }
     }
 
     fn handle_completions(&mut self, qpn: u32, ctx: &mut Ctx<'_>) {
@@ -897,8 +927,8 @@ impl RdmaHost {
 impl Node for RdmaHost {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         // Periodic machinery.
-        if self.cfg.dcqcn_rp.is_some() {
-            ctx.set_timer(DCQCN_TICK, TOK_DCQCN);
+        if let Some(period) = self.cfg.cc.tick_period_ps() {
+            ctx.set_timer(SimTime(period), TOK_CC_TICK);
         }
         ctx.set_timer(RTO_SCAN, TOK_RTO);
         // Prime per-QP apps.
@@ -940,14 +970,17 @@ impl Node for RdmaHost {
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         match token {
             TOK_PUMP => self.pump(ctx),
-            TOK_DCQCN => {
-                for q in &mut self.qps {
-                    if let Some(rp) = q.rp.as_mut() {
-                        rp.on_alpha_timer();
-                        rp.on_increase_timer();
+            TOK_CC_TICK => {
+                let now_ps = ctx.now().as_ps();
+                for i in 0..self.qps.len() {
+                    let act = self.qps[i].cc.on_signal(CcSignal::Tick, now_ps);
+                    if let Some(act) = act {
+                        self.note_cc_action(i as u32, act, now_ps);
                     }
                 }
-                ctx.set_timer(DCQCN_TICK, TOK_DCQCN);
+                if let Some(period) = self.cfg.cc.tick_period_ps() {
+                    ctx.set_timer(SimTime(period), TOK_CC_TICK);
+                }
                 self.pump(ctx);
             }
             TOK_RX_DONE => self.finish_rx_service(ctx),

@@ -217,7 +217,7 @@ fn host_pfc_protects_its_rx_buffer() {
             // A receiver with a deliberately slow pipeline.
             cfg.rx.per_packet_ps = 400_000; // 2.5 M pps < line rate
         }
-        cfg.dcqcn_rp = None;
+        cfg.cc = rocescale_cc::CcParams::Off;
     });
     for i in 1..3 {
         connect_qp(

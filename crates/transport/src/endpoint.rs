@@ -1,6 +1,6 @@
 //! The RC queue-pair endpoint state machine.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use rocescale_packet::RoceOpcode;
 
@@ -12,6 +12,12 @@ pub enum LossRecovery {
     GoBack0,
     /// Resume from the first lost packet (the paper's fix).
     GoBackN,
+    /// IRN-style selective repeat (Mittal et al., "Revisiting Network
+    /// Support for RDMA"): the responder buffers out-of-order packets and
+    /// NAKs each missing PSN exactly once; the requester retransmits only
+    /// the NAK'd PSNs, tracked in a retransmit bitmap. RTO still covers
+    /// tail loss by re-queuing everything outstanding.
+    SelectiveRepeat,
 }
 
 /// Work request identifier chosen by the application.
@@ -131,6 +137,12 @@ impl Default for QpConfig {
     }
 }
 
+/// In-flight PSNs whose send time is tracked for RTT sampling (more
+/// outstanding packets than this simply go unsampled).
+const RTT_TRACK_CAP: usize = 64;
+/// Measured RTT samples buffered until the NIC drains them.
+const RTT_OUT_CAP: usize = 16;
+
 /// What a queued transmit message is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TxKind {
@@ -175,6 +187,12 @@ pub struct QpStats {
     pub rto_rewinds: u64,
     /// Messages fully acknowledged (sender side).
     pub msgs_completed: u64,
+    /// Data packets transmitted more than once (subset of
+    /// `data_pkts_tx`) — the waste a recovery scheme commits to.
+    pub retx_pkts: u64,
+    /// Payload bytes of those retransmissions (subset of
+    /// `data_bytes_tx`).
+    pub retx_bytes: u64,
 }
 
 /// One end of an RC queue pair: requester + responder halves.
@@ -194,12 +212,34 @@ pub struct QpEndpoint {
     last_progress_ps: u64,
     /// READ work requests awaiting their response message, FIFO.
     pending_reads: VecDeque<(WrId, u32)>,
+    /// One past the highest PSN ever handed to the wire — transmissions
+    /// below it are retransmissions.
+    snd_max: u32,
+    /// Selective repeat: NAK'd PSNs awaiting retransmission, in NAK
+    /// order…
+    retx_queue: VecDeque<u32>,
+    /// …and the same PSNs as a membership bitmap, so a PSN is queued at
+    /// most once however many signals implicate it.
+    retx_bitmap: BTreeSet<u32>,
+    /// Send times of in-flight PSNs awaiting an RTT sample. Karn's rule:
+    /// a retransmitted PSN is evicted (its ACK would be ambiguous).
+    rtt_track: VecDeque<(u32, u64)>,
+    /// Measured RTT samples awaiting pickup via [`take_rtt_sample`]
+    /// (QpEndpoint::take_rtt_sample), bounded.
+    rtt_out: VecDeque<u64>,
 
     // ---- receive (responder) side ----
     /// Next expected PSN from the peer.
     rcv_nxt: u32,
     /// Whether a NAK may be sent for the current gap.
     nak_armed: bool,
+    /// Selective repeat: out-of-order packets buffered until the gap
+    /// fills (its key set is the receive-side bitmap).
+    rx_buf: BTreeMap<u32, PacketDesc>,
+    /// Selective repeat: missing PSNs already NAK'd (each is NAK'd
+    /// exactly once; RTO covers a lost NAK), pruned as `rcv_nxt`
+    /// advances.
+    sr_naked: BTreeSet<u32>,
     /// In-order data packets since the last ACK.
     pkts_since_ack: u32,
     /// PSN of the first packet of the message currently being reassembled
@@ -230,8 +270,15 @@ impl QpEndpoint {
             snd_una: 0,
             last_progress_ps: 0,
             pending_reads: VecDeque::new(),
+            snd_max: 0,
+            retx_queue: VecDeque::new(),
+            retx_bitmap: BTreeSet::new(),
+            rtt_track: VecDeque::new(),
+            rtt_out: VecDeque::new(),
             rcv_nxt: 0,
             nak_armed: true,
+            rx_buf: BTreeMap::new(),
+            sr_naked: BTreeSet::new(),
             pkts_since_ack: 0,
             cur_msg_base: 0,
             cur_msg_bytes: 0,
@@ -272,25 +319,27 @@ impl QpEndpoint {
         self.psn_alloc += npkts;
     }
 
-    /// True if the data path has a packet ready to transmit (and the
-    /// send window allows it).
+    /// True if the data path has a packet ready to transmit: a pending
+    /// selective-repeat retransmission, or fresh data the send window
+    /// allows.
     pub fn has_data_tx(&self) -> bool {
+        !self.retx_queue.is_empty() || self.has_fresh_tx()
+    }
+
+    fn has_fresh_tx(&self) -> bool {
         self.snd_nxt < self.psn_alloc
             && self.snd_nxt.wrapping_sub(self.snd_una) < self.cfg.max_outstanding
     }
 
-    /// Produce the next data packet (advances `snd_nxt`). `now_ps` seeds
-    /// the RTO clock on the first outstanding packet.
-    pub fn next_data_tx(&mut self, now_ps: u64) -> Option<PacketDesc> {
-        if !self.has_data_tx() {
-            return None;
-        }
+    /// Materialize the wire packet for `psn` from its (un-completed)
+    /// message.
+    fn desc_for_psn(&self, psn: u32) -> PacketDesc {
         let msg = *self
             .msgs
             .iter()
-            .find(|m| self.snd_nxt >= m.base_psn && self.snd_nxt < m.base_psn + m.npkts)
-            .expect("snd_nxt within an un-completed message");
-        let off = self.snd_nxt - msg.base_psn;
+            .find(|m| psn >= m.base_psn && psn < m.base_psn + m.npkts)
+            .expect("psn within an un-completed message");
+        let off = psn - msg.base_psn;
         let is_first = off == 0;
         let is_last = off == msg.npkts - 1;
         let payload = match msg.kind {
@@ -306,23 +355,70 @@ impl QpEndpoint {
             TxKind::ReadRequest => RoceOpcode::ReadRequest,
             TxKind::ReadResponse => RoceOpcode::ReadResponse,
         };
-        let desc = PacketDesc {
+        PacketDesc {
             opcode,
-            psn: self.snd_nxt,
+            psn,
             payload,
             is_first,
             is_last,
             ack_req: is_last,
-        };
+        }
+    }
+
+    /// Transmit-side accounting shared by fresh sends and
+    /// retransmissions: byte/packet counters, the retransmission subset,
+    /// and the RTT sample book-keeping.
+    fn count_data_tx(&mut self, desc: &PacketDesc, now_ps: u64) {
+        self.stats.data_pkts_tx += 1;
+        let data = desc.opcode.carries_data();
+        if data {
+            self.stats.data_bytes_tx += desc.payload as u64;
+        }
+        if desc.psn < self.snd_max {
+            self.stats.retx_pkts += 1;
+            if data {
+                self.stats.retx_bytes += desc.payload as u64;
+            }
+            // Karn's rule: an ACK covering a retransmitted PSN cannot be
+            // attributed to either copy — drop its pending RTT sample.
+            if let Some(i) = self.rtt_track.iter().position(|&(p, _)| p == desc.psn) {
+                self.rtt_track.remove(i);
+            }
+        } else {
+            self.snd_max = desc.psn + 1;
+            if self.rtt_track.len() < RTT_TRACK_CAP {
+                self.rtt_track.push_back((desc.psn, now_ps));
+            }
+        }
+    }
+
+    /// Produce the next data packet: a queued selective-repeat
+    /// retransmission if one is pending, else fresh data (advancing
+    /// `snd_nxt`). `now_ps` seeds the RTO clock on the first outstanding
+    /// packet.
+    pub fn next_data_tx(&mut self, now_ps: u64) -> Option<PacketDesc> {
+        while let Some(psn) = self.retx_queue.pop_front() {
+            self.retx_bitmap.remove(&psn);
+            if psn < self.snd_una {
+                continue; // acknowledged while queued
+            }
+            let mut desc = self.desc_for_psn(psn);
+            // A retransmission plugs a known hole; ask for the ACK that
+            // confirms it immediately.
+            desc.ack_req = true;
+            self.count_data_tx(&desc, now_ps);
+            return Some(desc);
+        }
+        if !self.has_fresh_tx() {
+            return None;
+        }
+        let desc = self.desc_for_psn(self.snd_nxt);
         if self.snd_una == self.snd_nxt {
             // First outstanding packet: start the RTO clock fresh.
             self.last_progress_ps = now_ps;
         }
         self.snd_nxt += 1;
-        self.stats.data_pkts_tx += 1;
-        if opcode.carries_data() {
-            self.stats.data_bytes_tx += payload as u64;
-        }
+        self.count_data_tx(&desc, now_ps);
         Some(desc)
     }
 
@@ -371,7 +467,35 @@ impl QpEndpoint {
         }
         self.snd_una = new_una;
         self.last_progress_ps = now_ps;
+        // Harvest an RTT sample from the newest packet this ACK covers
+        // (untouched by Karn eviction), and retire the older entries.
+        let mut newest_sent = None;
+        while let Some(&(p, sent)) = self.rtt_track.front() {
+            if p >= self.snd_una {
+                break;
+            }
+            newest_sent = Some(sent);
+            self.rtt_track.pop_front();
+        }
+        if let Some(sent) = newest_sent {
+            if self.rtt_out.len() < RTT_OUT_CAP {
+                self.rtt_out.push_back(now_ps.saturating_sub(sent));
+            }
+        }
+        // Selective repeat: retransmissions the ACK made moot.
+        if !self.retx_queue.is_empty() {
+            let una = self.snd_una;
+            self.retx_queue.retain(|&p| p >= una);
+            self.retx_bitmap.retain(|&p| p >= una);
+        }
         self.complete_acked_msgs();
+    }
+
+    /// Pop a measured round-trip time (send→cumulative-ACK, picoseconds),
+    /// for delay-based congestion control. Samples follow Karn's rule:
+    /// retransmitted PSNs never produce one.
+    pub fn take_rtt_sample(&mut self) -> Option<u64> {
+        self.rtt_out.pop_front()
     }
 
     fn complete_acked_msgs(&mut self) {
@@ -401,6 +525,20 @@ impl QpEndpoint {
         }
         self.stats.naks_rx += 1;
         let target = match self.cfg.recovery {
+            // Selective repeat: no rewind — queue exactly this PSN for
+            // retransmission (once, however many NAKs implicate it).
+            LossRecovery::SelectiveRepeat => {
+                if psn >= self.snd_una && self.retx_bitmap.insert(psn) {
+                    self.retx_queue.push_back(psn);
+                    self.events_out.push_back(TransportEvent::Rollback {
+                        cause: "nak",
+                        to_psn: psn,
+                        pkts: 1,
+                    });
+                }
+                self.last_progress_ps = now_ps;
+                return;
+            }
             LossRecovery::GoBackN => psn.max(self.snd_una),
             // Go-back-0: restart the message containing `psn` from its
             // first packet. The responder NAKs the message base and has
@@ -445,6 +583,22 @@ impl QpEndpoint {
         self.stats.rto_rewinds += 1;
         self.last_progress_ps = now_ps;
         let target = match self.cfg.recovery {
+            // Selective repeat: no rewind — requeue everything
+            // outstanding (tail loss means the NAK/ACK dialogue stalled,
+            // possibly because a NAK itself was lost).
+            LossRecovery::SelectiveRepeat => {
+                for psn in self.snd_una..self.snd_nxt {
+                    if self.retx_bitmap.insert(psn) {
+                        self.retx_queue.push_back(psn);
+                    }
+                }
+                self.events_out.push_back(TransportEvent::Rollback {
+                    cause: "rto",
+                    to_psn: self.snd_una,
+                    pkts: self.snd_nxt - self.snd_una,
+                });
+                return true;
+            }
             LossRecovery::GoBackN => self.snd_una,
             LossRecovery::GoBack0 => {
                 let base = self
@@ -475,7 +629,9 @@ impl QpEndpoint {
     // ---- responder half ----
 
     fn on_data(&mut self, desc: &PacketDesc) {
-        if desc.psn == self.rcv_nxt {
+        if self.cfg.recovery == LossRecovery::SelectiveRepeat {
+            self.on_data_sr(desc);
+        } else if desc.psn == self.rcv_nxt {
             self.accept_in_order(desc);
         } else if desc.psn > self.rcv_nxt {
             // Gap: the expected packet was lost. NAK once per gap; re-arm
@@ -495,6 +651,9 @@ impl QpEndpoint {
                         self.pkts_since_ack = 0;
                         self.cur_msg_base
                     }
+                    LossRecovery::SelectiveRepeat => {
+                        unreachable!("selective repeat handled by on_data_sr")
+                    }
                 };
                 self.stats.naks_tx += 1;
                 self.ctrl_out.push_back(PacketDesc {
@@ -509,6 +668,50 @@ impl QpEndpoint {
         } else {
             // Duplicate from a go-back overlap; drop silently (the
             // cumulative ACK of in-order traffic keeps the sender moving).
+            self.stats.duplicate_rx += 1;
+        }
+    }
+
+    /// Selective-repeat responder: buffer out-of-order arrivals and NAK
+    /// every missing PSN exactly once; the retransmission that plugs the
+    /// gap drains the buffer through the normal in-order path.
+    fn on_data_sr(&mut self, desc: &PacketDesc) {
+        if desc.psn == self.rcv_nxt {
+            self.accept_in_order(desc);
+            // The gap closed: consume everything now consecutive.
+            while let Some(d) = self.rx_buf.remove(&self.rcv_nxt) {
+                self.accept_in_order(&d);
+            }
+            // NAK-bitmap entries below the new edge are history.
+            while let Some(&p) = self.sr_naked.first() {
+                if p >= self.rcv_nxt {
+                    break;
+                }
+                self.sr_naked.remove(&p);
+            }
+        } else if desc.psn > self.rcv_nxt {
+            if self.rx_buf.contains_key(&desc.psn) {
+                self.stats.duplicate_rx += 1;
+                return;
+            }
+            self.stats.out_of_seq_rx += 1;
+            self.rx_buf.insert(desc.psn, *desc);
+            // NAK each PSN this arrival proves missing, exactly once. A
+            // lost NAK is covered by the sender's RTO, not repetition.
+            for psn in self.rcv_nxt..desc.psn {
+                if !self.rx_buf.contains_key(&psn) && self.sr_naked.insert(psn) {
+                    self.stats.naks_tx += 1;
+                    self.ctrl_out.push_back(PacketDesc {
+                        opcode: RoceOpcode::Nak,
+                        psn,
+                        payload: 0,
+                        is_first: true,
+                        is_last: true,
+                        ack_req: false,
+                    });
+                }
+            }
+        } else {
             self.stats.duplicate_rx += 1;
         }
     }
@@ -644,7 +847,15 @@ mod tests {
             if a.check_timeout(now) || b.check_timeout(now) {
                 progressed = true;
             }
-            if !progressed && !a.has_data_tx() && !b.has_data_tx() {
+            // Idle with nothing outstanding ⇒ quiescent. (Outstanding
+            // data with nothing to send is *not* quiescent: selective
+            // repeat sits idle until its RTO re-queues a lost tail.)
+            if !progressed
+                && !a.has_data_tx()
+                && !b.has_data_tx()
+                && a.rto_deadline_ps().is_none()
+                && b.rto_deadline_ps().is_none()
+            {
                 break;
             }
         }
@@ -923,6 +1134,129 @@ mod tests {
                 pkts: 2
             })
         );
+    }
+
+    /// Property check, exhaustively enumerated (the in-tree idiom):
+    /// under selective repeat, a PSN whose first transmission is dropped
+    /// is retransmitted exactly once, and every other PSN is transmitted
+    /// exactly once.
+    #[test]
+    fn selective_repeat_retransmits_each_dropped_psn_exactly_once() {
+        use std::collections::HashMap;
+        let (mut a, mut b) = pair(LossRecovery::SelectiveRepeat);
+        a.post(Verb::Send { len: 100 * 1024 }, WrId(1)); // 100 packets
+        let drop: std::collections::BTreeSet<u32> = [5, 17, 42, 97].into_iter().collect();
+        let mut tx_per_psn: HashMap<u32, u32> = HashMap::new();
+        let mut already_dropped = std::collections::BTreeSet::new();
+        let mut now = 0u64;
+        for _ in 0..10_000 {
+            now += 1_000_000;
+            let mut progressed = false;
+            if let Some(d) = a.next_data_tx(now) {
+                progressed = true;
+                *tx_per_psn.entry(d.psn).or_insert(0) += 1;
+                // Lose only the *first* copy of each marked PSN.
+                if !(drop.contains(&d.psn) && already_dropped.insert(d.psn)) {
+                    b.on_packet(&d, now);
+                }
+            }
+            while let Some(c) = b.pop_ctrl_tx() {
+                a.on_packet(&c, now);
+                progressed = true;
+            }
+            if a.check_timeout(now) {
+                progressed = true;
+            }
+            if !progressed && !a.has_data_tx() && a.rto_deadline_ps().is_none() {
+                break;
+            }
+        }
+        assert_eq!(b.goodput_bytes(), 100 * 1024);
+        assert!(a
+            .take_completions()
+            .contains(&Completion::SendDone { wr: WrId(1) }));
+        for psn in 0..100u32 {
+            let expect = if drop.contains(&psn) { 2 } else { 1 };
+            assert_eq!(tx_per_psn[&psn], expect, "psn {psn}");
+        }
+        assert_eq!(a.stats.retx_pkts, drop.len() as u64);
+        assert_eq!(a.stats.retx_bytes, drop.len() as u64 * 1024);
+        assert_eq!(b.stats.duplicate_rx, 0, "no spurious retransmissions");
+    }
+
+    /// Under the livelock drop pattern (every 256th transmission lost),
+    /// selective repeat completes the 4 MB transfer with strictly fewer
+    /// retransmitted bytes — and no more total bytes — than go-back-N.
+    #[test]
+    fn selective_repeat_beats_goback_n_byte_volume() {
+        let (mut a_sr, mut b_sr) = pair(LossRecovery::SelectiveRepeat);
+        a_sr.post(Verb::Send { len: MB4 }, WrId(1));
+        run_channel(&mut a_sr, &mut b_sr, 256, 100_000);
+        assert_eq!(b_sr.goodput_bytes(), MB4 as u64, "SR must complete");
+
+        let (mut a_gbn, mut b_gbn) = pair(LossRecovery::GoBackN);
+        a_gbn.post(Verb::Send { len: MB4 }, WrId(1));
+        run_channel(&mut a_gbn, &mut b_gbn, 256, 100_000);
+        assert_eq!(b_gbn.goodput_bytes(), MB4 as u64, "GBN must complete");
+
+        assert!(
+            a_sr.stats.retx_bytes < a_gbn.stats.retx_bytes,
+            "SR retx {} !< GBN retx {}",
+            a_sr.stats.retx_bytes,
+            a_gbn.stats.retx_bytes
+        );
+        assert!(
+            a_sr.stats.data_bytes_tx <= a_gbn.stats.data_bytes_tx,
+            "SR total {} > GBN total {}",
+            a_sr.stats.data_bytes_tx,
+            a_gbn.stats.data_bytes_tx
+        );
+        // ~16 first-pass drops (4096/256) force at least that many
+        // retransmissions; go-back-N multiplies them into whole windows.
+        assert!(a_sr.stats.retx_pkts >= 16, "{}", a_sr.stats.retx_pkts);
+        assert!(a_gbn.stats.retx_pkts > a_sr.stats.retx_pkts);
+    }
+
+    #[test]
+    fn rtt_samples_harvested_with_karns_rule() {
+        // Clean transfer: the cumulative ACK yields one sample, measured
+        // from the newest packet it covers.
+        let (mut a, mut b) = pair(LossRecovery::GoBackN);
+        a.post(Verb::Send { len: 4096 }, WrId(1)); // 4 packets
+        let mut now = 1_000_000;
+        for _ in 0..4 {
+            let d = a.next_data_tx(now).unwrap();
+            b.on_packet(&d, now);
+            now += 1_000_000;
+        }
+        while let Some(c) = b.pop_ctrl_tx() {
+            a.on_packet(&c, now);
+        }
+        // Last data packet left at now-1µs; its ACK landed at now.
+        assert_eq!(a.take_rtt_sample(), Some(1_000_000));
+        assert_eq!(a.take_rtt_sample(), None);
+
+        // Karn's rule: a rewind retransmits the PSNs, so their eventual
+        // ACK must produce no sample.
+        let (mut a, mut b) = pair(LossRecovery::GoBackN);
+        a.post(Verb::Send { len: 2048 }, WrId(1)); // 2 packets
+        let _lost = a.next_data_tx(0).unwrap();
+        let d1 = a.next_data_tx(1000).unwrap();
+        b.on_packet(&d1, 1000); // gap → NAK 0
+        while let Some(c) = b.pop_ctrl_tx() {
+            a.on_packet(&c, 2000);
+        }
+        for t in [3000u64, 4000] {
+            let d = a.next_data_tx(t).unwrap();
+            b.on_packet(&d, t);
+        }
+        while let Some(c) = b.pop_ctrl_tx() {
+            a.on_packet(&c, 5000);
+        }
+        assert!(a
+            .take_completions()
+            .contains(&Completion::SendDone { wr: WrId(1) }));
+        assert_eq!(a.take_rtt_sample(), None, "retransmitted PSNs are evicted");
     }
 
     #[test]

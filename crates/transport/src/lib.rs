@@ -15,6 +15,13 @@
 //!   resumes from the first dropped packet; previously received packets
 //!   are not resent. "Go-back-N is almost as simple as go-back-0, and it
 //!   avoids livelock."
+//! * [`LossRecovery::SelectiveRepeat`]: the IRN-style scheme ("Revisiting
+//!   Network Support for RDMA", Mittal et al.) that the paper's go-back-N
+//!   choice is measured against. The responder buffers out-of-order
+//!   packets and NAKs each missing PSN exactly once; the requester keeps a
+//!   retransmit bitmap and resends only what was lost, so retransmitted
+//!   byte volume stays a small constant factor of the drop count instead
+//!   of a whole window per loss.
 //!
 //! A [`QpEndpoint`] contains both halves of one end of a queue pair: the
 //! requester (transmit PSN space: SEND/WRITE data, READ requests, READ

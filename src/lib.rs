@@ -23,6 +23,7 @@
 //! cluster.run_for_millis(10);
 //! ```
 
+pub use rocescale_cc as cc;
 pub use rocescale_core as core;
 pub use rocescale_dcqcn as dcqcn;
 pub use rocescale_monitor as monitor;

@@ -89,6 +89,29 @@ fn digest_off_dispatches_the_same_event_stream() {
     );
 }
 
+/// The pluggable congestion-control layer must leave the paper-default
+/// path untouched: `paper_default()` still selects DCQCN + go-back-N,
+/// and the pinned scenario — which is built from exactly that profile —
+/// still dispatches the committed golden trace. Together with
+/// [`dispatch_trace_matches_committed_golden`] this pins the refactor
+/// as digest-neutral: swapping the concrete RP/NP state machines for
+/// the `CongestionControl` trait moved code, not events.
+#[test]
+fn paper_default_cc_selection_preserves_the_golden_trace() {
+    use rocescale_core::{CcKind, TransportProfile};
+    use rocescale_transport::LossRecovery;
+    let t = TransportProfile::paper_default();
+    assert_eq!(t.cc, CcKind::Dcqcn, "paper default must stay DCQCN");
+    assert_eq!(t.recovery, LossRecovery::GoBackN);
+    // And the deprecated shim still lands on the same controller.
+    assert_eq!(TransportProfile::paper_default().dcqcn(true).cc, t.cc);
+    assert_eq!(
+        run(EngineKind::Wheel),
+        (GOLDEN_DIGEST, GOLDEN_EVENTS),
+        "the CC layer must be digest-neutral on the paper-default path"
+    );
+}
+
 /// The telemetry bus must be a pure observer: running the pinned
 /// scenario with a live hub — counters, flight recorder, and chunked
 /// sampled `run_until` all active — must reproduce the exact golden
