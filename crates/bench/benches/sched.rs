@@ -3,11 +3,14 @@
 //! engines dispatch the identical `(time, seq)` stream, so every pair of
 //! lines below is the same work — only the queue differs.
 
-use rocescale_bench::harness::{bench, bench_elements, section, write_json_artifact, Measurement};
+use rocescale_bench::harness::{
+    bench, bench_elements, section, write_json_artifact_with, Measurement,
+};
 use rocescale_core::{Cluster, ClusterBuilder, ServerId};
+use rocescale_monitor::{profile_json, Json, MetricsHub};
 use rocescale_nic::QpApp;
 use rocescale_sim::sched::EventQueue;
-use rocescale_sim::{DigestMode, EngineKind, SimRng, SimTime};
+use rocescale_sim::{DigestMode, EngineKind, ProfileMode, SimRng, SimTime};
 use rocescale_topology::ClosSpec;
 
 const ENGINES: [EngineKind; 2] = [EngineKind::Wheel, EngineKind::BinaryHeap];
@@ -66,10 +69,32 @@ fn sched_dense_bursts(out: &mut Vec<Measurement>) {
 
 /// A `fan_in`:1 incast onto server 0 of the given fabric.
 fn build_incast(spec: ClosSpec, fan_in: usize, engine: EngineKind, digest: DigestMode) -> Cluster {
+    build_incast_full(
+        spec,
+        fan_in,
+        engine,
+        digest,
+        MetricsHub::disabled(),
+        ProfileMode::Off,
+    )
+}
+
+/// [`build_incast`] with an explicit telemetry hub and profiler mode —
+/// the `fast_tele` arms and the dispatch-breakdown capture use this.
+fn build_incast_full(
+    spec: ClosSpec,
+    fan_in: usize,
+    engine: EngineKind,
+    digest: DigestMode,
+    hub: MetricsHub,
+    profile: ProfileMode,
+) -> Cluster {
     let mut cl = ClusterBuilder::new(spec)
         .seed(11)
         .engine(engine)
         .digest(digest)
+        .telemetry(hub)
+        .profile(profile)
         .build();
     for i in 1..=fan_in {
         cl.connect_qp(
@@ -89,7 +114,7 @@ fn build_incast(spec: ClosSpec, fan_in: usize, engine: EngineKind, digest: Diges
 /// Full-fabric Clos incasts at three sizes: a rack, a pod, and a
 /// two-podset fabric. Event count (and thus pending-event depth) grows
 /// with fabric size; the wheel must stay at parity or better throughout.
-fn sched_clos_incast(out: &mut Vec<Measurement>) {
+fn sched_clos_incast(out: &mut Vec<Measurement>, profiles: &mut Vec<(String, Json)>) {
     section("sched_clos_incast");
     let fabrics: [(&str, ClosSpec, usize); 3] = [
         ("rack_8", ClosSpec::uniform_40g(1, 1, 1, 1, 8), 7),
@@ -125,6 +150,43 @@ fn sched_clos_incast(out: &mut Vec<Measurement>) {
                 cl.world.events_processed()
             },
         ));
+        // Telemetry enabled through the lock-free fast path: the same
+        // incast with every switch/NIC instrument live. The gap between
+        // this line and the plain Wheel line is the whole telemetry tax.
+        out.push(bench_elements(
+            &format!("incast_{name}/Wheel+fast_tele"),
+            events,
+            || {
+                let mut cl = build_incast_full(
+                    spec,
+                    fan_in,
+                    EngineKind::Wheel,
+                    DigestMode::On,
+                    MetricsHub::enabled(),
+                    ProfileMode::Off,
+                );
+                cl.run_until(window);
+                cl.world.events_processed()
+            },
+        ));
+        // One profiled run per fabric (outside the timed loops): the
+        // per-event-kind dispatch breakdown recorded into the artifact.
+        let mut cl = build_incast_full(
+            spec,
+            fan_in,
+            EngineKind::Wheel,
+            DigestMode::On,
+            MetricsHub::enabled(),
+            ProfileMode::On,
+        );
+        cl.run_until(window);
+        let p = cl.world.event_profile();
+        println!(
+            "incast_{name} dispatch profile: {} events, {} ns handler time",
+            p.total_events(),
+            p.total_nanos()
+        );
+        profiles.push((format!("incast_{name}"), profile_json(&p)));
     }
 }
 
@@ -136,10 +198,12 @@ fn main() {
             .unwrap_or("BENCH_sched.json".into())
     });
     let mut results = Vec::new();
+    let mut profiles = Vec::new();
     sched_churn(&mut results);
     sched_dense_bursts(&mut results);
-    sched_clos_incast(&mut results);
+    sched_clos_incast(&mut results, &mut profiles);
     if let Some(path) = json_out {
-        write_json_artifact(&path, "sched", &results);
+        let profile_obj = Json::Obj(profiles);
+        write_json_artifact_with(&path, "sched", &results, vec![("profiles", profile_obj)]);
     }
 }

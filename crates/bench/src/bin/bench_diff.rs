@@ -1,0 +1,159 @@
+//! Bench-regression diff: compares a freshly generated bench artifact
+//! against the committed baseline and emits GitHub warning annotations
+//! for anything outside tolerance. **Warn-only by design** — shared CI
+//! runners are too noisy for a hard perf gate, so the exit code is
+//! always 0; drift shows up as `::warning::` lines on the run instead
+//! of a red build.
+//!
+//! Usage: `bench_diff <baseline.json> <fresh.json> [--tolerance-pct N]`
+//!
+//! Two artifact shapes are understood:
+//!
+//! * **sched** — `{"bench":"sched","results":[{name, ns_per_iter, ...}]}`:
+//!   measurements are matched by `name` and `ns_per_iter` compared.
+//! * **fleet** — `{"bench":"fleet", serial_ms, parallel_ms, ...}`: a flat
+//!   document; the numeric wall-clock fields are compared by key.
+//!
+//! Arms present on only one side are reported (a renamed or new arm is
+//! itself worth a look) but never fail the run.
+
+use rocescale_monitor::{json, Json};
+
+/// Default relative tolerance, percent. Bench numbers on shared runners
+/// jitter ±20% routinely; anything inside that band is noise.
+const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
+
+fn read_doc(path: &str) -> Option<Json> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("::warning::bench_diff: cannot read {path}: {e}");
+            return None;
+        }
+    };
+    match json::parse(&text) {
+        Ok(d) => Some(d),
+        Err(e) => {
+            println!(
+                "::warning::bench_diff: {path}: parse error at byte {}: {}",
+                e.at, e.msg
+            );
+            None
+        }
+    }
+}
+
+fn as_f64(j: &Json) -> Option<f64> {
+    match j {
+        Json::F64(v) => Some(*v),
+        Json::U64(v) => Some(*v as f64),
+        Json::I64(v) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+/// `(label, value)` pairs to compare, extracted per artifact shape.
+fn comparable_series(doc: &Json) -> Vec<(String, f64)> {
+    if let Some(results) = doc.get("results").and_then(Json::as_arr) {
+        // sched shape: one (name, ns_per_iter) per measurement.
+        return results
+            .iter()
+            .filter_map(|m| {
+                let name = m.get("name")?.as_str()?.to_string();
+                let ns = m.get("ns_per_iter").and_then(as_f64)?;
+                Some((name, ns))
+            })
+            .collect();
+    }
+    // fleet shape: flat numeric wall-clock fields.
+    ["serial_ms", "parallel_ms"]
+        .iter()
+        .filter_map(|key| {
+            let v = doc.get(key).and_then(as_f64)?;
+            Some((key.to_string(), v))
+        })
+        .collect()
+}
+
+/// Diff one baseline/fresh pair; returns the number of warnings emitted.
+fn diff(baseline_path: &str, fresh_path: &str, tolerance_pct: f64) -> usize {
+    let (Some(base), Some(fresh)) = (read_doc(baseline_path), read_doc(fresh_path)) else {
+        return 1; // read_doc already warned
+    };
+    let base_series = comparable_series(&base);
+    let fresh_series = comparable_series(&fresh);
+    let mut warnings = 0;
+    for (name, base_val) in &base_series {
+        let Some((_, fresh_val)) = fresh_series.iter().find(|(n, _)| n == name) else {
+            println!(
+                "::warning::bench_diff: {name} present in {baseline_path} but missing \
+                 from {fresh_path}"
+            );
+            warnings += 1;
+            continue;
+        };
+        if *base_val <= 0.0 {
+            continue;
+        }
+        let delta_pct = (fresh_val - base_val) / base_val * 100.0;
+        let direction = if delta_pct > 0.0 { "slower" } else { "faster" };
+        if delta_pct.abs() > tolerance_pct {
+            println!(
+                "::warning::bench_diff: {name}: {fresh_val:.1} vs baseline {base_val:.1} \
+                 ({:+.1}% — {direction}, tolerance ±{tolerance_pct:.0}%)",
+                delta_pct
+            );
+            warnings += 1;
+        } else {
+            println!("bench_diff: {name}: {fresh_val:.1} vs {base_val:.1} ({delta_pct:+.1}%) ok");
+        }
+    }
+    for (name, _) in &fresh_series {
+        if !base_series.iter().any(|(n, _)| n == name) {
+            println!(
+                "::warning::bench_diff: {name} is new in {fresh_path} (no committed baseline)"
+            );
+            warnings += 1;
+        }
+    }
+    warnings
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance_pct = DEFAULT_TOLERANCE_PCT;
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tolerance-pct" {
+            tolerance_pct = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_TOLERANCE_PCT);
+            i += 2;
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
+    if paths.len() != 2 {
+        println!(
+            "::warning::bench_diff: usage: bench_diff <baseline.json> <fresh.json> \
+             [--tolerance-pct N]"
+        );
+        return; // warn-only: never a red build
+    }
+    let warnings = diff(&paths[0], &paths[1], tolerance_pct);
+    if warnings == 0 {
+        println!(
+            "bench_diff: {} vs {}: all within tolerance",
+            paths[0], paths[1]
+        );
+    } else {
+        println!(
+            "bench_diff: {} vs {}: {warnings} warning(s) — informational only",
+            paths[0], paths[1]
+        );
+    }
+    // Exit 0 unconditionally: this is a tripwire, not a gate.
+}

@@ -109,13 +109,26 @@ pub fn section(title: &str) {
 /// Write a set of measurements as a JSON artifact (e.g.
 /// `BENCH_sched.json`): `{"bench": name, "results": [...]}`.
 pub fn write_json_artifact(path: &str, bench_name: &str, results: &[Measurement]) {
-    let doc = Json::obj(vec![
+    write_json_artifact_with(path, bench_name, results, Vec::new());
+}
+
+/// Like [`write_json_artifact`], with extra top-level keys appended
+/// after `results` (e.g. the sched bench's dispatch-profile breakdown).
+pub fn write_json_artifact_with(
+    path: &str,
+    bench_name: &str,
+    results: &[Measurement],
+    extra: Vec<(&str, Json)>,
+) {
+    let mut pairs = vec![
         ("bench", Json::Str(bench_name.to_string())),
         (
             "results",
             Json::Arr(results.iter().map(|m| m.to_json()).collect()),
         ),
-    ]);
+    ];
+    pairs.extend(extra);
+    let doc = Json::obj(pairs);
     std::fs::write(path, doc.render() + "\n").expect("write bench artifact");
     println!("\nwrote {path}");
 }

@@ -6,7 +6,7 @@ use rocescale_monitor::deadlock::Snapshot;
 use rocescale_monitor::{GaugeId, MetricsHub};
 use rocescale_nic::{host::TOK_INJECT_STORM, HostPfcMode, NicConfig, QpApp, QpHandle, RdmaHost};
 use rocescale_packet::MacAddr;
-use rocescale_sim::{DigestMode, EngineKind, LinkSpec, NodeId, SimTime, World};
+use rocescale_sim::{DigestMode, EngineKind, LinkSpec, NodeId, ProfileMode, SimTime, World};
 use rocescale_switch::{
     BufferConfig, ClassifyMode, DropReason, EcmpGroup, PortRole, Switch, SwitchConfig,
     WatchdogConfig,
@@ -57,6 +57,7 @@ pub struct ClusterBuilder {
     seed: u64,
     engine: EngineKind,
     digest: DigestMode,
+    profile: ProfileMode,
     server_kind: Box<dyn FnMut(usize) -> ServerKind + Send>,
     host_tweak: HostTweak,
     tcp_tweak: TcpTweak,
@@ -87,6 +88,7 @@ impl ClusterBuilder {
             seed: 1,
             engine: EngineKind::default(),
             digest: DigestMode::default(),
+            profile: ProfileMode::default(),
             server_kind: Box::new(|_| ServerKind::Rdma),
             host_tweak: Box::new(|_, _| {}),
             tcp_tweak: Box::new(|_, _| {}),
@@ -154,6 +156,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Dispatch-profiler mode for the world (default: off). With it on,
+    /// the world wall-clocks every handler dispatch bucketed by event
+    /// kind; read the result via [`rocescale_sim::World::event_profile`]
+    /// on `cluster.world`. Simulated results and the dispatch digest are
+    /// identical either way.
+    pub fn profile(mut self, p: ProfileMode) -> Self {
+        self.profile = p;
+        self
+    }
+
     /// Choose per-server kind (index = server order in the topology).
     pub fn server_kind(mut self, f: impl FnMut(usize) -> ServerKind + Send + 'static) -> Self {
         self.server_kind = Box::new(f);
@@ -184,6 +196,7 @@ impl ClusterBuilder {
         let topo = Topology::clos(&self.spec);
         let mut world = World::new_with_engine(self.seed, self.engine);
         world.set_digest_mode(self.digest);
+        world.set_profile_mode(self.profile);
         let n = topo.nodes.len();
 
         // MAC conventions: switches get 0x00F0_0000 + idx, servers idx+1.

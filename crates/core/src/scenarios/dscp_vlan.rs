@@ -69,20 +69,20 @@ impl Node for PxeBooter {
 impl PxeBooter {
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
         while !ctx.port_busy(PortId(0)) && self.queue.pop_front().is_some() {
-            let pkt = Packet {
-                id: ctx.next_packet_id(),
-                eth: EthMeta {
+            let pkt = Packet::new(
+                ctx.next_packet_id(),
+                EthMeta {
                     src: self.mac,
                     dst: self.dst,
                     vlan: None, // PXE: the NIC has no VLAN configuration
                 },
-                ip: None,
-                kind: PacketKind::Raw {
+                None,
+                PacketKind::Raw {
                     label: 67,
                     size: 400,
                 },
-                created_ps: ctx.now().as_ps(),
-            };
+                ctx.now().as_ps(),
+            );
             ctx.transmit(PortId(0), pkt).expect("port idle");
         }
     }

@@ -4,7 +4,8 @@
 //! occupancy explodes) is the simulation-side analogue of a PFC storm —
 //! these snapshots make that visible in experiment output.
 
-use rocescale_sim::{EngineKind, SchedStats, World};
+use crate::json::Json;
+use rocescale_sim::{EngineKind, EventProfile, ProfileMode, SchedStats, World};
 
 /// A point-in-time snapshot of the event engine's health counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +19,9 @@ pub struct EngineReport {
     pub events_processed: u64,
     /// Simulated time of the capture, in picoseconds.
     pub now_ps: u64,
+    /// Per-event-kind dispatch counts and handler wall-time, present
+    /// when the world ran under [`ProfileMode::On`].
+    pub profile: Option<EventProfile>,
 }
 
 impl EngineReport {
@@ -28,6 +32,7 @@ impl EngineReport {
             stats: world.sched_stats(),
             events_processed: world.events_processed(),
             now_ps: world.now().as_ps(),
+            profile: (world.profile_mode() == ProfileMode::On).then(|| world.event_profile()),
         }
     }
 
@@ -79,8 +84,64 @@ impl EngineReport {
             self.stats.overflow_migrations
         );
         let _ = writeln!(out, "cascades/event      {:.4}", self.cascades_per_event());
+        if let Some(p) = &self.profile {
+            for (i, kind) in EventProfile::KINDS.iter().enumerate() {
+                let mean = if p.counts[i] == 0 {
+                    0.0
+                } else {
+                    p.nanos[i] as f64 / p.counts[i] as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "dispatch {:<11} {} events, {} ns total, {:.1} ns/event",
+                    kind, p.counts[i], p.nanos[i], mean
+                );
+            }
+        }
         out
     }
+
+    /// Machine-readable form for `--json` output and bench artifacts.
+    /// The `profile` key is present only when the world was profiled.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("engine", Json::Str(format!("{:?}", self.kind))),
+            ("events_processed", Json::U64(self.events_processed)),
+            ("events_pushed", Json::U64(self.stats.pushed)),
+            ("events_cancelled", Json::U64(self.stats.cancelled)),
+            ("pending", Json::U64(self.pending())),
+            ("max_occupancy", Json::U64(self.stats.max_occupancy)),
+            ("cascades", Json::U64(self.stats.cascades)),
+            ("cascades_per_event", Json::F64(self.cascades_per_event())),
+            ("now_ps", Json::U64(self.now_ps)),
+        ];
+        if let Some(p) = &self.profile {
+            pairs.push(("profile", profile_json(p)));
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// Render an [`EventProfile`] as a JSON object keyed by event kind, each
+/// with `count` and `nanos`, plus totals — the dispatch breakdown the
+/// bench artifacts record.
+pub fn profile_json(p: &EventProfile) -> Json {
+    let mut pairs: Vec<(&str, Json)> = EventProfile::KINDS
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            (
+                *kind,
+                Json::obj(vec![
+                    ("count", Json::U64(p.counts[i])),
+                    ("nanos", Json::U64(p.nanos[i])),
+                ]),
+            )
+        })
+        .collect();
+    pairs.push(("total_events", Json::U64(p.total_events())));
+    pairs.push(("total_nanos", Json::U64(p.total_nanos())));
+    Json::obj(pairs)
 }
 
 #[cfg(test)]
@@ -101,5 +162,26 @@ mod tests {
         let text = r.render();
         assert!(text.contains("engine"));
         assert!(text.contains("max occupancy"));
+        // Unprofiled world: no profile in the report or its JSON.
+        assert!(r.profile.is_none());
+        assert!(r.to_json().get("profile").is_none());
+    }
+
+    #[test]
+    fn profiled_world_surfaces_breakdown() {
+        let mut w = World::new(7);
+        w.set_profile_mode(ProfileMode::On);
+        w.run_until(SimTime::from_nanos(10));
+        let r = EngineReport::capture(&w);
+        let p = r.profile.expect("profile captured when mode is on");
+        // Zero nodes → zero events, but the structure is fully present.
+        assert_eq!(p.total_events(), 0);
+        let json = r.to_json();
+        let prof = json.get("profile").expect("profile key in json");
+        for kind in EventProfile::KINDS {
+            let entry = prof.get(kind).expect("kind entry");
+            assert!(entry.get("count").is_some() && entry.get("nanos").is_some());
+        }
+        assert!(r.render().contains("dispatch arrival"));
     }
 }

@@ -46,7 +46,7 @@ pub mod telemetry;
 pub use aggregate::merge_reports;
 pub use config::{ConfigDeviation, RdmaConfig};
 pub use deadlock::{ProgressTracker, WaitGraph};
-pub use engine::EngineReport;
+pub use engine::{profile_json, EngineReport};
 pub use json::Json;
 pub use pingmesh::Pingmesh;
 pub use stats::{Percentiles, TimeSeries};

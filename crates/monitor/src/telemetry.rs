@@ -11,12 +11,22 @@
 //! watchdog fires, ARP-incomplete drops, go-back-N rollbacks, DCQCN rate
 //! cuts) land in a flight-recorder ring for post-mortem inspection.
 //!
-//! Two invariants shape the design:
+//! Three invariants shape the design:
 //!
 //! * **Zero cost when disabled.** The hub handle is an
-//!   `Option<Arc<Mutex<..>>>`; a disabled hub hands out sentinel
-//!   instrument ids without allocating and every record call is an
-//!   inlined no-op. Scenarios that don't opt in pay a null check.
+//!   `Option<Arc<..>>`; a disabled hub hands out sentinel instrument ids
+//!   without allocating and every record call is an inlined no-op behind
+//!   a single sentinel compare.
+//! * **Lock-free on the hot path.** Counter and gauge *updates* are the
+//!   per-packet/per-event path (every hop increments several counters),
+//!   so they never take a lock: values live in preallocated chunks of
+//!   `AtomicU64` slots indexed directly by the `CounterId`/`GaugeId`
+//!   handed out at registration, and an update is one relaxed
+//!   `fetch_add`/`store` with no allocation. Only registration,
+//!   sampling, and snapshot/export — the rare paths — take the `Mutex`.
+//!   The flight recorder keeps its own small mutex, separate from the
+//!   registration lock: trace events (drops, pauses, watchdog fires) are
+//!   orders of magnitude rarer than counter bumps.
 //! * **Digest neutrality.** The hub never schedules simulator events,
 //!   never draws randomness, and never touches packet contents — it only
 //!   observes. Sampling is driven by the caller (the cluster chunks its
@@ -25,7 +35,8 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::json::Json;
 use crate::stats::{Percentiles, TimeSeries};
@@ -41,6 +52,13 @@ pub struct TelemetryConfig {
     /// Flight-recorder capacity in records; the oldest record is evicted
     /// (and counted) once full.
     pub flight_capacity: usize,
+    /// Route counter/gauge updates through the registration mutex into a
+    /// shadow value table instead of the lock-free atomic bank. This is
+    /// the pre-optimization reference path, kept selectable so a
+    /// lockstep test can prove the atomic fast path observes the exact
+    /// same values on the exact same event stream. Never enable it for
+    /// performance work.
+    pub locked_reference: bool,
 }
 
 impl Default for TelemetryConfig {
@@ -48,6 +66,7 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             sample_every_ps: 100_000_000, // 100 µs
             flight_capacity: 4096,
+            locked_reference: false,
         }
     }
 }
@@ -302,27 +321,76 @@ impl FlightRecorder {
     }
 }
 
-struct Counter {
-    value: u64,
-    series: TimeSeries,
+/// Slots per lazily-allocated chunk. 256 × 8 bytes = one 2 KiB
+/// allocation per chunk; small hubs touch one chunk, a full podset's
+/// per-port/per-QP instrument population spreads over a handful.
+const CHUNK_SLOTS: usize = 256;
+/// Chunk-table capacity: 256 × 256 = 65 536 instruments of each type,
+/// far beyond any topology the simulator builds.
+const MAX_CHUNKS: usize = 256;
+
+/// Lock-free value store: a fixed table of lazily-initialized chunks of
+/// atomic slots, indexed directly by instrument id. Chunks are allocated
+/// under the registration mutex (`ensure`); the update path does one
+/// bounds check, one `OnceLock` acquire-load, and one relaxed atomic op.
+/// Slots are never freed or moved, so a handle stays valid for the hub's
+/// lifetime.
+struct AtomicBank {
+    chunks: [OnceLock<Box<[AtomicU64]>>; MAX_CHUNKS],
 }
 
-struct Gauge {
-    value: f64,
-    series: TimeSeries,
+impl AtomicBank {
+    fn new() -> AtomicBank {
+        AtomicBank {
+            chunks: std::array::from_fn(|_| OnceLock::new()),
+        }
+    }
+
+    /// Allocate the chunk holding `id` if it does not exist yet. Called
+    /// at registration time, under the registration mutex.
+    fn ensure(&self, id: u32) {
+        let chunk = id as usize / CHUNK_SLOTS;
+        assert!(
+            chunk < MAX_CHUNKS,
+            "telemetry instrument id {id} exceeds bank capacity"
+        );
+        self.chunks[chunk].get_or_init(|| (0..CHUNK_SLOTS).map(|_| AtomicU64::new(0)).collect());
+    }
+
+    /// The slot for `id`, if its chunk has been allocated.
+    #[inline]
+    fn slot(&self, id: u32) -> Option<&AtomicU64> {
+        let idx = id as usize;
+        self.chunks
+            .get(idx / CHUNK_SLOTS)?
+            .get()
+            .map(|c| &c[idx % CHUNK_SLOTS])
+    }
+
+    /// Current raw value of `id` (0 if the chunk was never allocated).
+    fn load(&self, id: u32) -> u64 {
+        self.slot(id).map_or(0, |s| s.load(Ordering::Relaxed))
+    }
 }
 
 struct HubInner {
     cfg: TelemetryConfig,
     names: HashMap<String, u32>,
     counter_names: Vec<String>,
-    counters: Vec<Counter>,
+    counter_series: Vec<TimeSeries>,
+    /// Counter ids ordered by name — built incrementally at registration
+    /// so snapshot/export paths never sort.
+    counters_by_name: Vec<u32>,
+    /// Shadow values for the `locked_reference` mode only.
+    locked_counters: Vec<u64>,
     gauge_names: Vec<String>,
-    gauges: Vec<Gauge>,
+    gauge_series: Vec<TimeSeries>,
+    gauges_by_name: Vec<u32>,
+    locked_gauges: Vec<f64>,
     histogram_names: Vec<String>,
     histograms: Vec<Percentiles>,
+    histograms_by_name: Vec<u32>,
     scope_names: Vec<String>,
-    flight: FlightRecorder,
     next_sample_ps: u64,
     samples_taken: u64,
 }
@@ -333,56 +401,91 @@ impl HubInner {
             cfg,
             names: HashMap::new(),
             counter_names: Vec::new(),
-            counters: Vec::new(),
+            counter_series: Vec::new(),
+            counters_by_name: Vec::new(),
+            locked_counters: Vec::new(),
             gauge_names: Vec::new(),
-            gauges: Vec::new(),
+            gauge_series: Vec::new(),
+            gauges_by_name: Vec::new(),
+            locked_gauges: Vec::new(),
             histogram_names: Vec::new(),
             histograms: Vec::new(),
+            histograms_by_name: Vec::new(),
             scope_names: Vec::new(),
-            flight: FlightRecorder::new(cfg.flight_capacity),
             next_sample_ps: 0,
             samples_taken: 0,
         }
     }
+}
 
-    fn sample(&mut self, t_ps: u64) {
-        for c in &mut self.counters {
-            c.series.push(t_ps, c.value as f64);
+/// Insert `id` into `order` keeping it sorted by `names[id]`. Names are
+/// unique per instrument type, so position is unambiguous.
+fn insert_sorted(order: &mut Vec<u32>, names: &[String], id: u32) {
+    let name = names[id as usize].as_str();
+    let pos = order.partition_point(|&i| names[i as usize].as_str() < name);
+    order.insert(pos, id);
+}
+
+/// Shared state behind an enabled hub: the lock-free value banks, the
+/// flight recorder under its own small mutex, and everything rare
+/// (registration, series, histograms, sampling) under the inner mutex.
+struct HubShared {
+    counters: AtomicBank,
+    gauges: AtomicBank,
+    flight: Mutex<FlightRecorder>,
+    inner: Mutex<HubInner>,
+    /// Copied out of `TelemetryConfig` so the hot path reads it without
+    /// locking.
+    locked_reference: bool,
+}
+
+impl HubShared {
+    /// Current value of counter `id`, honoring the reference mode.
+    fn counter_val(&self, h: &HubInner, id: usize) -> u64 {
+        if self.locked_reference {
+            h.locked_counters[id]
+        } else {
+            self.counters.load(id as u32)
         }
-        for g in &mut self.gauges {
-            g.series.push(t_ps, g.value);
+    }
+
+    /// Current value of gauge `id`, honoring the reference mode.
+    fn gauge_val(&self, h: &HubInner, id: usize) -> f64 {
+        if self.locked_reference {
+            h.locked_gauges[id]
+        } else {
+            f64::from_bits(self.gauges.load(id as u32))
         }
-        self.samples_taken += 1;
     }
 }
 
 /// Cloneable handle to the telemetry bus. `MetricsHub::disabled()` (the
 /// `Default`) is a free-to-clone null hub; [`MetricsHub::enabled`] backs
-/// the handle with shared state. Each simulated world is single-threaded,
-/// but the fleet runner constructs whole clusters inside worker threads,
-/// so the handle must be `Send`: the shared state is `Arc<Mutex<..>>`.
-/// The mutex is never contended in practice — all clones of one hub live
-/// on the thread that built the cluster — so `lock()` is an uncontended
-/// atomic, and a poisoned lock (a panic mid-record) is a bug we surface
-/// by unwrapping.
+/// the handle with shared state. Counter/gauge updates go straight to
+/// atomic slots (see [`AtomicBank`]); the mutexes guard only
+/// registration, sampling, snapshots, and the flight recorder. The
+/// handle stays `Send + Sync` for the fleet runner, which constructs
+/// whole clusters inside worker threads; a poisoned lock (a panic
+/// mid-registration) is a bug we surface by unwrapping.
 #[derive(Clone, Default)]
 pub struct MetricsHub {
-    inner: Option<Arc<Mutex<HubInner>>>,
+    inner: Option<Arc<HubShared>>,
 }
 
 impl std::fmt::Debug for MetricsHub {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.inner {
             None => write!(f, "MetricsHub(disabled)"),
-            Some(h) => {
-                let h = h.lock().unwrap();
+            Some(s) => {
+                let h = s.inner.lock().unwrap();
+                let flight_len = s.flight.lock().unwrap().len();
                 write!(
                     f,
                     "MetricsHub({} counters, {} gauges, {} histograms, {} trace records)",
-                    h.counters.len(),
-                    h.gauges.len(),
+                    h.counter_names.len(),
+                    h.gauge_names.len(),
                     h.histograms.len(),
-                    h.flight.len()
+                    flight_len
                 )
             }
         }
@@ -400,10 +503,27 @@ impl MetricsHub {
         MetricsHub::with_config(TelemetryConfig::default())
     }
 
+    /// An active hub on the pre-optimization mutex reference path — every
+    /// update takes the registration lock. Exists so the lockstep test
+    /// can pin the atomic fast path against it; see
+    /// [`TelemetryConfig::locked_reference`].
+    pub fn enabled_locked_reference() -> MetricsHub {
+        MetricsHub::with_config(TelemetryConfig {
+            locked_reference: true,
+            ..TelemetryConfig::default()
+        })
+    }
+
     /// An active hub with explicit configuration.
     pub fn with_config(cfg: TelemetryConfig) -> MetricsHub {
         MetricsHub {
-            inner: Some(Arc::new(Mutex::new(HubInner::new(cfg)))),
+            inner: Some(Arc::new(HubShared {
+                counters: AtomicBank::new(),
+                gauges: AtomicBank::new(),
+                flight: Mutex::new(FlightRecorder::new(cfg.flight_capacity)),
+                inner: Mutex::new(HubInner::new(cfg)),
+                locked_reference: cfg.locked_reference,
+            })),
         }
     }
 
@@ -418,50 +538,60 @@ impl MetricsHub {
     /// Register (or look up) a counter under a hierarchical dotted name.
     /// Re-registering a name returns the same id.
     pub fn counter(&self, name: &str) -> CounterId {
-        let Some(inner) = &self.inner else {
+        let Some(s) = &self.inner else {
             return CounterId::sentinel();
         };
-        let mut h = inner.lock().unwrap();
+        let mut h = s.inner.lock().unwrap();
         let key = format!("c:{name}");
         if let Some(&id) = h.names.get(&key) {
             return CounterId(id);
         }
-        let id = h.counters.len() as u32;
-        h.counters.push(Counter {
-            value: 0,
-            series: TimeSeries::new(),
-        });
+        let id = h.counter_names.len() as u32;
+        s.counters.ensure(id);
         h.counter_names.push(name.to_string());
+        h.counter_series.push(TimeSeries::new());
+        h.locked_counters.push(0);
+        let HubInner {
+            counters_by_name,
+            counter_names,
+            ..
+        } = &mut *h;
+        insert_sorted(counters_by_name, counter_names, id);
         h.names.insert(key, id);
         CounterId(id)
     }
 
     /// Register (or look up) a gauge.
     pub fn gauge(&self, name: &str) -> GaugeId {
-        let Some(inner) = &self.inner else {
+        let Some(s) = &self.inner else {
             return GaugeId::sentinel();
         };
-        let mut h = inner.lock().unwrap();
+        let mut h = s.inner.lock().unwrap();
         let key = format!("g:{name}");
         if let Some(&id) = h.names.get(&key) {
             return GaugeId(id);
         }
-        let id = h.gauges.len() as u32;
-        h.gauges.push(Gauge {
-            value: 0.0,
-            series: TimeSeries::new(),
-        });
+        let id = h.gauge_names.len() as u32;
+        s.gauges.ensure(id);
         h.gauge_names.push(name.to_string());
+        h.gauge_series.push(TimeSeries::new());
+        h.locked_gauges.push(0.0);
+        let HubInner {
+            gauges_by_name,
+            gauge_names,
+            ..
+        } = &mut *h;
+        insert_sorted(gauges_by_name, gauge_names, id);
         h.names.insert(key, id);
         GaugeId(id)
     }
 
     /// Register (or look up) an exact histogram.
     pub fn histogram(&self, name: &str) -> HistogramId {
-        let Some(inner) = &self.inner else {
+        let Some(s) = &self.inner else {
             return HistogramId::sentinel();
         };
-        let mut h = inner.lock().unwrap();
+        let mut h = s.inner.lock().unwrap();
         let key = format!("h:{name}");
         if let Some(&id) = h.names.get(&key) {
             return HistogramId(id);
@@ -469,16 +599,22 @@ impl MetricsHub {
         let id = h.histograms.len() as u32;
         h.histograms.push(Percentiles::new());
         h.histogram_names.push(name.to_string());
+        let HubInner {
+            histograms_by_name,
+            histogram_names,
+            ..
+        } = &mut *h;
+        insert_sorted(histograms_by_name, histogram_names, id);
         h.names.insert(key, id);
         HistogramId(id)
     }
 
     /// Register a flight-recorder scope (the emitting component's name).
     pub fn scope(&self, name: &str) -> ScopeId {
-        let Some(inner) = &self.inner else {
+        let Some(s) = &self.inner else {
             return ScopeId::sentinel();
         };
-        let mut h = inner.lock().unwrap();
+        let mut h = s.inner.lock().unwrap();
         let key = format!("s:{name}");
         if let Some(&id) = h.names.get(&key) {
             return ScopeId(id);
@@ -491,13 +627,18 @@ impl MetricsHub {
 
     // ---- recording ----------------------------------------------------
 
-    /// Add `n` to a counter.
+    /// Add `n` to a counter. Lock-free: one relaxed `fetch_add` on the
+    /// preallocated slot; a no-op behind a single compare when disabled.
     #[inline]
     pub fn add(&self, id: CounterId, n: u64) {
-        if let Some(inner) = &self.inner {
-            if id.0 != SENTINEL {
-                inner.lock().unwrap().counters[id.0 as usize].value += n;
-            }
+        if id.0 == SENTINEL {
+            return;
+        }
+        let Some(s) = &self.inner else { return };
+        if s.locked_reference {
+            s.inner.lock().unwrap().locked_counters[id.0 as usize] += n;
+        } else if let Some(slot) = s.counters.slot(id.0) {
+            slot.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -507,31 +648,39 @@ impl MetricsHub {
         self.add(id, 1);
     }
 
-    /// Set a gauge's current value.
+    /// Set a gauge's current value. Lock-free: one relaxed store of the
+    /// value's bit pattern.
     #[inline]
     pub fn set_gauge(&self, id: GaugeId, v: f64) {
-        if let Some(inner) = &self.inner {
-            if id.0 != SENTINEL {
-                inner.lock().unwrap().gauges[id.0 as usize].value = v;
-            }
+        if id.0 == SENTINEL {
+            return;
+        }
+        let Some(s) = &self.inner else { return };
+        if s.locked_reference {
+            s.inner.lock().unwrap().locked_gauges[id.0 as usize] = v;
+        } else if let Some(slot) = s.gauges.slot(id.0) {
+            slot.store(v.to_bits(), Ordering::Relaxed);
         }
     }
 
-    /// Record one histogram observation.
+    /// Record one histogram observation. Histograms stay under the inner
+    /// mutex: observations are per-message (RTT samples), not per-packet.
     #[inline]
     pub fn observe(&self, id: HistogramId, v: u64) {
-        if let Some(inner) = &self.inner {
-            if id.0 != SENTINEL {
-                inner.lock().unwrap().histograms[id.0 as usize].add(v);
-            }
+        if id.0 == SENTINEL {
+            return;
+        }
+        if let Some(s) = &self.inner {
+            s.inner.lock().unwrap().histograms[id.0 as usize].add(v);
         }
     }
 
-    /// Append a trace event to the flight recorder.
+    /// Append a trace event to the flight recorder. Takes only the
+    /// recorder's own mutex, never the registration lock.
     #[inline]
     pub fn trace(&self, t_ps: u64, scope: ScopeId, event: TraceEvent) {
-        if let Some(inner) = &self.inner {
-            inner.lock().unwrap().flight.record(t_ps, scope, event);
+        if let Some(s) = &self.inner {
+            s.flight.lock().unwrap().record(t_ps, scope, event);
         }
     }
 
@@ -541,7 +690,7 @@ impl MetricsHub {
     pub fn sample_every_ps(&self) -> Option<u64> {
         self.inner
             .as_ref()
-            .map(|i| i.lock().unwrap().cfg.sample_every_ps)
+            .map(|s| s.inner.lock().unwrap().cfg.sample_every_ps)
     }
 
     /// The next simulated time at which [`MetricsHub::maybe_sample`]
@@ -550,7 +699,7 @@ impl MetricsHub {
     pub fn next_sample_ps(&self) -> Option<u64> {
         self.inner
             .as_ref()
-            .map(|i| i.lock().unwrap().next_sample_ps)
+            .map(|s| s.inner.lock().unwrap().next_sample_ps)
     }
 
     /// Sample every counter and gauge into its time series if `now_ps`
@@ -558,12 +707,20 @@ impl MetricsHub {
     /// crossed in one call collapse into a single sample at `now_ps`
     /// (series stay monotone; no catch-up fabrication).
     pub fn maybe_sample(&self, now_ps: u64) {
-        let Some(inner) = &self.inner else { return };
-        let mut h = inner.lock().unwrap();
+        let Some(s) = &self.inner else { return };
+        let mut h = s.inner.lock().unwrap();
         if now_ps < h.next_sample_ps {
             return;
         }
-        h.sample(now_ps);
+        for id in 0..h.counter_series.len() {
+            let v = s.counter_val(&h, id) as f64;
+            h.counter_series[id].push(now_ps, v);
+        }
+        for id in 0..h.gauge_series.len() {
+            let v = s.gauge_val(&h, id);
+            h.gauge_series[id].push(now_ps, v);
+        }
+        h.samples_taken += 1;
         let every = h.cfg.sample_every_ps.max(1);
         // Next boundary strictly after now.
         h.next_sample_ps = (now_ps / every + 1) * every;
@@ -573,68 +730,88 @@ impl MetricsHub {
     pub fn samples_taken(&self) -> u64 {
         self.inner
             .as_ref()
-            .map_or(0, |i| i.lock().unwrap().samples_taken)
+            .map_or(0, |s| s.inner.lock().unwrap().samples_taken)
     }
 
     // ---- inspection ---------------------------------------------------
 
     /// Current value of a counter by name, if registered.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
-        let inner = self.inner.as_ref()?;
-        let h = inner.lock().unwrap();
+        let s = self.inner.as_ref()?;
+        let h = s.inner.lock().unwrap();
         let id = *h.names.get(&format!("c:{name}"))?;
-        Some(h.counters[id as usize].value)
+        Some(s.counter_val(&h, id as usize))
     }
 
     /// Current value of a gauge by name, if registered.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
-        let inner = self.inner.as_ref()?;
-        let h = inner.lock().unwrap();
+        let s = self.inner.as_ref()?;
+        let h = s.inner.lock().unwrap();
         let id = *h.names.get(&format!("g:{name}"))?;
-        Some(h.gauges[id as usize].value)
+        Some(s.gauge_val(&h, id as usize))
     }
 
     /// Clone of a counter's sampled time series by name.
     pub fn counter_series(&self, name: &str) -> Option<TimeSeries> {
-        let inner = self.inner.as_ref()?;
-        let h = inner.lock().unwrap();
+        let s = self.inner.as_ref()?;
+        let h = s.inner.lock().unwrap();
         let id = *h.names.get(&format!("c:{name}"))?;
-        Some(h.counters[id as usize].series.clone())
+        Some(h.counter_series[id as usize].clone())
     }
 
     /// Clone of a histogram's samples by name.
     pub fn histogram_snapshot(&self, name: &str) -> Option<Percentiles> {
-        let inner = self.inner.as_ref()?;
-        let h = inner.lock().unwrap();
+        let s = self.inner.as_ref()?;
+        let h = s.inner.lock().unwrap();
         let id = *h.names.get(&format!("h:{name}"))?;
         Some(h.histograms[id as usize].clone())
     }
 
-    /// All registered counter names (sorted) with current values.
+    /// All registered counter names (sorted) with current values. The
+    /// name order is maintained at registration time — no per-call sort.
     pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
-        let Some(inner) = &self.inner else {
+        let Some(s) = &self.inner else {
             return Vec::new();
         };
-        let h = inner.lock().unwrap();
-        let mut out: Vec<(String, u64)> = h
-            .counter_names
+        let h = s.inner.lock().unwrap();
+        h.counters_by_name
             .iter()
-            .zip(&h.counters)
-            .map(|(n, c)| (n.clone(), c.value))
-            .collect();
-        out.sort();
-        out
+            .map(|&id| {
+                (
+                    h.counter_names[id as usize].clone(),
+                    s.counter_val(&h, id as usize),
+                )
+            })
+            .collect()
+    }
+
+    /// All registered gauge names (sorted) with current values. Like
+    /// [`Self::counters_snapshot`], order is maintained at registration.
+    pub fn gauges_snapshot(&self) -> Vec<(String, f64)> {
+        let Some(s) = &self.inner else {
+            return Vec::new();
+        };
+        let h = s.inner.lock().unwrap();
+        h.gauges_by_name
+            .iter()
+            .map(|&id| {
+                (
+                    h.gauge_names[id as usize].clone(),
+                    s.gauge_val(&h, id as usize),
+                )
+            })
+            .collect()
     }
 
     /// Flight-recorder records (oldest retained first) with scope names
     /// resolved, plus the evicted-record count.
     pub fn flight_snapshot(&self) -> (Vec<(u64, u64, String, TraceEvent)>, u64) {
-        let Some(inner) = &self.inner else {
+        let Some(s) = &self.inner else {
             return (Vec::new(), 0);
         };
-        let h = inner.lock().unwrap();
-        let rows = h
-            .flight
+        let h = s.inner.lock().unwrap();
+        let flight = s.flight.lock().unwrap();
+        let rows = flight
             .records()
             .map(|r| {
                 let scope = h
@@ -645,17 +822,17 @@ impl MetricsHub {
                 (r.seq, r.t_ps, scope, r.event)
             })
             .collect();
-        (rows, h.flight.dropped())
+        (rows, flight.dropped())
     }
 
     /// Count of flight records by event kind (sorted by kind).
     pub fn flight_kind_counts(&self) -> Vec<(&'static str, u64)> {
-        let Some(inner) = &self.inner else {
+        let Some(s) = &self.inner else {
             return Vec::new();
         };
-        let h = inner.lock().unwrap();
+        let flight = s.flight.lock().unwrap();
         let mut counts: HashMap<&'static str, u64> = HashMap::new();
-        for r in h.flight.records() {
+        for r in flight.records() {
             *counts.entry(r.event.kind()).or_insert(0) += 1;
         }
         let mut out: Vec<_> = counts.into_iter().collect();
@@ -666,36 +843,43 @@ impl MetricsHub {
     // ---- export -------------------------------------------------------
 
     /// Render the whole hub (instruments, series, flight recorder) as a
-    /// JSON tree. Names are sorted so output is deterministic regardless
-    /// of registration order.
+    /// JSON tree. Names come out sorted regardless of registration order;
+    /// the order is maintained incrementally at registration, so no
+    /// export-time sort or name re-formatting happens here.
     pub fn render_json(&self) -> Json {
-        let Some(inner) = &self.inner else {
+        let Some(s) = &self.inner else {
             return Json::obj(vec![("enabled", Json::Bool(false))]);
         };
-        let h = inner.lock().unwrap();
+        let h = s.inner.lock().unwrap();
 
-        let mut counters: Vec<(String, Json)> = h
-            .counter_names
+        let counters: Vec<(String, Json)> = h
+            .counters_by_name
             .iter()
-            .zip(&h.counters)
-            .map(|(n, c)| (n.clone(), Json::U64(c.value)))
+            .map(|&id| {
+                (
+                    h.counter_names[id as usize].clone(),
+                    Json::U64(s.counter_val(&h, id as usize)),
+                )
+            })
             .collect();
-        counters.sort_by(|a, b| a.0.cmp(&b.0));
 
-        let mut gauges: Vec<(String, Json)> = h
-            .gauge_names
+        let gauges: Vec<(String, Json)> = h
+            .gauges_by_name
             .iter()
-            .zip(&h.gauges)
-            .map(|(n, g)| (n.clone(), Json::F64(g.value)))
+            .map(|&id| {
+                (
+                    h.gauge_names[id as usize].clone(),
+                    Json::F64(s.gauge_val(&h, id as usize)),
+                )
+            })
             .collect();
-        gauges.sort_by(|a, b| a.0.cmp(&b.0));
 
-        let mut histograms: Vec<(String, Json)> = h
-            .histogram_names
+        let histograms: Vec<(String, Json)> = h
+            .histograms_by_name
             .iter()
-            .zip(&h.histograms)
-            .map(|(n, p)| {
-                let mut p = p.clone();
+            .map(|&id| {
+                let n = &h.histogram_names[id as usize];
+                let mut p = h.histograms[id as usize].clone();
                 (
                     n.clone(),
                     Json::obj(vec![
@@ -709,25 +893,38 @@ impl MetricsHub {
                 )
             })
             .collect();
-        histograms.sort_by(|a, b| a.0.cmp(&b.0));
 
-        let mut series: Vec<(String, Json)> = h
-            .counter_names
-            .iter()
-            .zip(&h.counters)
-            .map(|(n, c)| (n.clone(), series_json(&c.series)))
-            .chain(
-                h.gauge_names
-                    .iter()
-                    .zip(&h.gauges)
-                    .map(|(n, g)| (n.clone(), series_json(&g.series))),
-            )
-            .filter(|(_, j)| j.as_arr().is_some_and(|a| !a.is_empty()))
-            .collect();
-        series.sort_by(|a, b| a.0.cmp(&b.0));
+        // Counter and gauge series merge into one name-sorted map. Both
+        // sides are already sorted, so a linear merge suffices.
+        let mut series: Vec<(String, Json)> = Vec::new();
+        {
+            let mut ci = 0;
+            let mut gi = 0;
+            while ci < h.counters_by_name.len() || gi < h.gauges_by_name.len() {
+                let take_counter = match (h.counters_by_name.get(ci), h.gauges_by_name.get(gi)) {
+                    (Some(&c), Some(&g)) => {
+                        h.counter_names[c as usize] <= h.gauge_names[g as usize]
+                    }
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
+                let (name, ts) = if take_counter {
+                    let id = h.counters_by_name[ci] as usize;
+                    ci += 1;
+                    (&h.counter_names[id], &h.counter_series[id])
+                } else {
+                    let id = h.gauges_by_name[gi] as usize;
+                    gi += 1;
+                    (&h.gauge_names[id], &h.gauge_series[id])
+                };
+                if !ts.points().is_empty() {
+                    series.push((name.clone(), series_json(ts)));
+                }
+            }
+        }
 
-        let flight: Vec<Json> = h
-            .flight
+        let flight_lock = s.flight.lock().unwrap();
+        let flight: Vec<Json> = flight_lock
             .records()
             .map(|r| {
                 let scope = h
@@ -757,8 +954,8 @@ impl MetricsHub {
             (
                 "flight_recorder",
                 Json::obj(vec![
-                    ("dropped", Json::U64(h.flight.dropped())),
-                    ("total_recorded", Json::U64(h.flight.total_recorded())),
+                    ("dropped", Json::U64(flight_lock.dropped())),
+                    ("total_recorded", Json::U64(flight_lock.total_recorded())),
                     ("records", Json::Arr(flight)),
                 ]),
             ),
@@ -825,6 +1022,7 @@ mod tests {
         let hub = MetricsHub::with_config(TelemetryConfig {
             sample_every_ps: 100,
             flight_capacity: 8,
+            ..TelemetryConfig::default()
         });
         let c = hub.counter("x");
         hub.maybe_sample(0); // boundary 0: sample
@@ -879,6 +1077,7 @@ mod tests {
         let hub = MetricsHub::with_config(TelemetryConfig {
             sample_every_ps: 10,
             flight_capacity: 4,
+            ..TelemetryConfig::default()
         });
         let z = hub.counter("z.last");
         let a = hub.counter("a.first");
@@ -930,5 +1129,65 @@ mod tests {
         let clone = hub.clone();
         clone.add(c, 4);
         assert_eq!(hub.counter_value("shared"), Some(4));
+    }
+
+    /// The atomic fast path and the mutex reference path must be
+    /// observationally identical for the same operation stream.
+    #[test]
+    fn locked_reference_matches_atomic_path() {
+        let fast = MetricsHub::enabled();
+        let slow = MetricsHub::enabled_locked_reference();
+        for hub in [&fast, &slow] {
+            let c1 = hub.counter("b.bytes");
+            let c2 = hub.counter("a.pkts");
+            let g = hub.gauge("q.depth");
+            for i in 0..100u64 {
+                hub.add(c1, i);
+                hub.incr(c2);
+                hub.set_gauge(g, i as f64 * 0.5);
+            }
+            hub.maybe_sample(100);
+        }
+        assert_eq!(fast.counters_snapshot(), slow.counters_snapshot());
+        assert_eq!(fast.gauge_value("q.depth"), slow.gauge_value("q.depth"));
+        assert_eq!(
+            fast.counter_series("a.pkts").unwrap().points(),
+            slow.counter_series("a.pkts").unwrap().points()
+        );
+    }
+
+    /// Snapshot order is maintained at registration, including ids that
+    /// land in the middle of the existing name order.
+    #[test]
+    fn snapshot_sorted_without_export_sort() {
+        let hub = MetricsHub::enabled();
+        for name in ["m.mid", "z.last", "a.first", "m.aaa"] {
+            hub.incr(hub.counter(name));
+        }
+        let names: Vec<String> = hub
+            .counters_snapshot()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["a.first", "m.aaa", "m.mid", "z.last"]);
+    }
+
+    /// Updates from several threads land without loss — the property the
+    /// atomic bank must give the fleet's Send story.
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let hub = MetricsHub::enabled();
+        let c = hub.counter("racy");
+        std::thread::scope(|sc| {
+            for _ in 0..4 {
+                let h = hub.clone();
+                sc.spawn(move || {
+                    for _ in 0..10_000 {
+                        h.incr(c);
+                    }
+                });
+            }
+        });
+        assert_eq!(hub.counter_value("racy"), Some(40_000));
     }
 }

@@ -513,14 +513,14 @@ impl RdmaHost {
             EcnCodepoint::NotEct
         };
         let id = self.next_ip_id();
-        Packet {
-            id: ctx.next_packet_id(),
-            eth: EthMeta {
+        Packet::new(
+            ctx.next_packet_id(),
+            EthMeta {
                 src: self.cfg.mac,
                 dst: self.cfg.gateway_mac,
                 vlan: self.vlan_for(prio),
             },
-            ip: Some(Ipv4Meta {
+            Some(Ipv4Meta {
                 src: self.cfg.ip,
                 dst: peer_ip,
                 dscp: prio.value(),
@@ -528,7 +528,7 @@ impl RdmaHost {
                 id,
                 ttl: 64,
             }),
-            kind: PacketKind::Roce(RocePacket {
+            PacketKind::Roce(RocePacket {
                 opcode: desc.opcode,
                 dest_qp: peer_qp,
                 src_qp: qpn,
@@ -538,8 +538,8 @@ impl RdmaHost {
                 is_last: desc.is_last,
                 udp_src,
             }),
-            created_ps: ctx.now().as_ps(),
-        }
+            ctx.now().as_ps(),
+        )
     }
 
     fn pause_packet(&mut self, prio: Priority, quanta: u16, ctx: &mut Ctx<'_>) -> Packet {
@@ -548,17 +548,17 @@ impl RdmaHost {
         } else {
             PauseFrame::pause(prio, quanta)
         };
-        Packet {
-            id: ctx.next_packet_id(),
-            eth: EthMeta {
+        Packet::new(
+            ctx.next_packet_id(),
+            EthMeta {
                 src: self.cfg.mac,
                 dst: MacAddr::PAUSE_MULTICAST,
                 vlan: None,
             },
-            ip: None,
-            kind: PacketKind::Pfc(frame),
-            created_ps: ctx.now().as_ps(),
-        }
+            None,
+            PacketKind::Pfc(frame),
+            ctx.now().as_ps(),
+        )
     }
 
     // ---- transmit pump ----

@@ -306,6 +306,15 @@ pub enum PacketKind {
 }
 
 /// A packet in flight in the simulator.
+///
+/// Construct with [`Packet::new`]: the wire size is computed once from
+/// the real header encodings and cached (`wire`), because the switch
+/// pipeline consults it several times per hop (admission, queue byte
+/// accounting, DWRR deficits, serialization delay). The field is private
+/// so no construction path can skip the computation; nothing that exists
+/// post-construction mutates a size-affecting field (VLAN presence and
+/// the packet body are fixed at creation — forwarding only rewrites
+/// MACs, TTL, and ECN bits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Unique id for tracing.
@@ -319,20 +328,50 @@ pub struct Packet {
     /// Simulation timestamp (picoseconds) when the packet was created by
     /// its original sender; used for end-to-end latency accounting.
     pub created_ps: u64,
+    /// Cached [`Packet::compute_wire_size`] of `eth`/`kind`, filled at
+    /// construction.
+    wire: u32,
 }
 
 impl Packet {
+    /// Construct a packet, computing and caching its wire size.
+    pub fn new(
+        id: u64,
+        eth: EthMeta,
+        ip: Option<Ipv4Meta>,
+        kind: PacketKind,
+        created_ps: u64,
+    ) -> Packet {
+        let wire = Packet::compute_wire_size(&eth, &kind);
+        Packet {
+            id,
+            eth,
+            ip,
+            kind,
+            created_ps,
+            wire,
+        }
+    }
+
     /// The total size of this packet on the wire, in bytes, including the
-    /// Ethernet header, any VLAN tag, and the FCS. Computed from the real
-    /// header encodings.
+    /// Ethernet header, any VLAN tag, and the FCS — cached at
+    /// construction; a property test pins it against
+    /// [`Packet::compute_wire_size`].
+    #[inline]
     pub fn wire_size(&self) -> u32 {
+        self.wire
+    }
+
+    /// Recompute the wire size from the real header encodings. The
+    /// reference arithmetic behind the cached [`Packet::wire_size`].
+    pub fn compute_wire_size(meta: &EthMeta, kind: &PacketKind) -> u32 {
         let eth = EthernetHeader::WIRE_LEN as u32 + EthernetHeader::FCS_LEN as u32;
-        let vlan = if self.eth.vlan.is_some() {
+        let vlan = if meta.vlan.is_some() {
             VlanTag::WIRE_LEN as u32
         } else {
             0
         };
-        match &self.kind {
+        match kind {
             PacketKind::Roce(r) => {
                 let op = r.bth_opcode();
                 let mut n = eth
@@ -359,6 +398,12 @@ impl Packet {
             }
             PacketKind::Raw { size, .. } => (*size).max(64),
         }
+    }
+
+    /// Debug-assert the cached wire size still matches the reference
+    /// arithmetic (used by property tests; free in release builds).
+    pub fn wire_size_is_fresh(&self) -> bool {
+        self.wire == Packet::compute_wire_size(&self.eth, &self.kind)
     }
 
     /// The ECMP five-tuple, if this packet has one.
@@ -407,15 +452,21 @@ impl Packet {
 mod tests {
     use super::*;
 
-    fn roce_data(payload: u32, vlan: Option<(u8, u16)>) -> Packet {
-        Packet {
-            id: 1,
-            eth: EthMeta {
+    fn roce_pkt(
+        payload: u32,
+        vlan: Option<(u8, u16)>,
+        opcode: RoceOpcode,
+        is_first: bool,
+        is_last: bool,
+    ) -> Packet {
+        Packet::new(
+            1,
+            EthMeta {
                 src: MacAddr::from_id(1),
                 dst: MacAddr::from_id(2),
                 vlan,
             },
-            ip: Some(Ipv4Meta {
+            Some(Ipv4Meta {
                 src: 1,
                 dst: 2,
                 dscp: 26,
@@ -423,18 +474,22 @@ mod tests {
                 id: 0,
                 ttl: 64,
             }),
-            kind: PacketKind::Roce(RocePacket {
-                opcode: RoceOpcode::Send,
+            PacketKind::Roce(RocePacket {
+                opcode,
                 dest_qp: 1,
                 src_qp: 2,
                 psn: 0,
                 payload,
-                is_first: false,
-                is_last: false,
+                is_first,
+                is_last,
                 udp_src: 50000,
             }),
-            created_ps: 0,
-        }
+            0,
+        )
+    }
+
+    fn roce_data(payload: u32, vlan: Option<(u8, u16)>) -> Packet {
+        roce_pkt(payload, vlan, RoceOpcode::Send, false, false)
     }
 
     /// §5.4: "The RDMA frame size is 1086 bytes with 1024 bytes as
@@ -451,40 +506,42 @@ mod tests {
 
     #[test]
     fn ack_packet_size() {
-        let mut p = roce_data(0, None);
-        if let PacketKind::Roce(r) = &mut p.kind {
-            r.opcode = RoceOpcode::Ack;
-            r.is_first = true;
-            r.is_last = true;
-        }
+        let p = roce_pkt(0, None, RoceOpcode::Ack, true, true);
         // 14+20+8+12+4(AETH)+4(ICRC)+4(FCS) = 66
         assert_eq!(p.wire_size(), 66);
     }
 
     #[test]
     fn small_frames_padded_to_64() {
-        let mut p = roce_data(0, None);
-        if let PacketKind::Roce(r) = &mut p.kind {
-            r.opcode = RoceOpcode::Cnp;
-        }
+        let p = roce_pkt(0, None, RoceOpcode::Cnp, false, false);
         assert_eq!(p.wire_size(), 64);
-        let pause = Packet {
-            kind: PacketKind::Pfc(PauseFrame::pause(Priority::new(3), 0xffff)),
-            ip: None,
-            ..p
-        };
+        let pause = Packet::new(
+            p.id,
+            p.eth,
+            None,
+            PacketKind::Pfc(PauseFrame::pause(Priority::new(3), 0xffff)),
+            p.created_ps,
+        );
         assert_eq!(pause.wire_size(), 64);
         assert!(pause.is_pause());
     }
 
     #[test]
     fn write_first_carries_reth() {
-        let mut p = roce_data(1024, None);
-        if let PacketKind::Roce(r) = &mut p.kind {
-            r.opcode = RoceOpcode::Write;
-            r.is_first = true;
-        }
+        let p = roce_pkt(1024, None, RoceOpcode::Write, true, false);
         assert_eq!(p.wire_size(), 1086 + 16);
+    }
+
+    #[test]
+    fn cached_wire_size_matches_reference() {
+        for p in [
+            roce_data(1024, None),
+            roce_data(0, Some((3, 100))),
+            roce_pkt(0, None, RoceOpcode::Ack, true, true),
+        ] {
+            assert!(p.wire_size_is_fresh());
+            assert_eq!(p.wire_size(), Packet::compute_wire_size(&p.eth, &p.kind));
+        }
     }
 
     #[test]

@@ -5,8 +5,8 @@
 
 use rocescale_packet::{
     Aeth, AethCode, ArpOp, ArpPacket, Bth, BthOpcode, EcnCodepoint, EthMeta, EtherType,
-    EthernetHeader, Ipv4Header, Ipv4Meta, MacAddr, Packet, PacketKind, PfcPauseFrame, RoceOpcode,
-    RocePacket, UdpHeader, VlanTag,
+    EthernetHeader, Ipv4Header, Ipv4Meta, MacAddr, Packet, PacketKind, PauseFrame, PfcPauseFrame,
+    Priority, RoceOpcode, RocePacket, TcpFlags, TcpSegment, UdpHeader, VlanTag,
 };
 use rocescale_sim::SimRng;
 
@@ -232,36 +232,129 @@ fn wire_size_is_affine_in_payload() {
         let first = rng.gen_bool(0.5);
         let last = rng.gen_bool(0.5);
         let op = OPS[rng.gen_index(OPS.len())];
-        let mk = |payload| Packet {
-            id: 0,
-            eth: EthMeta {
-                src: MacAddr::from_id(1),
-                dst: MacAddr::from_id(2),
-                vlan: None,
-            },
-            ip: Some(Ipv4Meta {
-                src: 1,
-                dst: 2,
-                dscp: 26,
-                ecn: EcnCodepoint::Ect,
-                id: 0,
-                ttl: 64,
-            }),
-            kind: PacketKind::Roce(RocePacket {
-                opcode: op,
-                dest_qp: 0,
-                src_qp: 0,
-                psn: 0,
-                payload,
-                is_first: first,
-                is_last: last,
-                udp_src: 1,
-            }),
-            created_ps: 0,
+        let mk = |payload| {
+            Packet::new(
+                0,
+                EthMeta {
+                    src: MacAddr::from_id(1),
+                    dst: MacAddr::from_id(2),
+                    vlan: None,
+                },
+                Some(Ipv4Meta {
+                    src: 1,
+                    dst: 2,
+                    dscp: 26,
+                    ecn: EcnCodepoint::Ect,
+                    id: 0,
+                    ttl: 64,
+                }),
+                PacketKind::Roce(RocePacket {
+                    opcode: op,
+                    dest_qp: 0,
+                    src_qp: 0,
+                    psn: 0,
+                    payload,
+                    is_first: first,
+                    is_last: last,
+                    udp_src: 1,
+                }),
+                0,
+            )
         };
         let a = mk(payload).wire_size();
         let b = mk(payload + 100).wire_size();
         assert_eq!(b - a, 100);
         assert!(a >= 64);
+    }
+}
+
+/// The wire size cached on `Packet` at construction must equal the
+/// recomputed header arithmetic for arbitrary packet kinds — including
+/// payloads small enough to hit the 64-byte minimum-frame clamp — and
+/// with and without a VLAN tag.
+#[test]
+fn cached_wire_size_matches_recomputation() {
+    const OPS: [RoceOpcode; 7] = [
+        RoceOpcode::Send,
+        RoceOpcode::Write,
+        RoceOpcode::ReadRequest,
+        RoceOpcode::ReadResponse,
+        RoceOpcode::Ack,
+        RoceOpcode::Nak,
+        RoceOpcode::Cnp,
+    ];
+    let mut rng = SimRng::from_seed(0xE7E7_000B);
+    for case in 0..CASES {
+        let vlan = if rng.gen_bool(0.5) {
+            Some((rng.gen_below(8) as u8, rng.gen_below(4096) as u16))
+        } else {
+            None
+        };
+        let eth = EthMeta {
+            src: rand_mac(&mut rng),
+            dst: rand_mac(&mut rng),
+            vlan,
+        };
+        let ip = Some(Ipv4Meta {
+            src: rng.next_u32(),
+            dst: rng.next_u32(),
+            dscp: rng.gen_below(64) as u8,
+            ecn: EcnCodepoint::Ect,
+            id: rng.next_u32() as u16,
+            ttl: 64,
+        });
+        // Bias payloads toward tiny values so the 64-byte clamp is
+        // exercised often, not just occasionally.
+        let payload = if rng.gen_bool(0.5) {
+            rng.gen_below(16) as u32
+        } else {
+            rng.gen_below(4096) as u32
+        };
+        let kind = match case % 5 {
+            0 => PacketKind::Roce(RocePacket {
+                opcode: OPS[rng.gen_index(OPS.len())],
+                dest_qp: rng.gen_below(1 << 24) as u32,
+                src_qp: rng.gen_below(1 << 24) as u32,
+                psn: rng.gen_below(1 << 24) as u32,
+                payload,
+                is_first: rng.gen_bool(0.5),
+                is_last: rng.gen_bool(0.5),
+                udp_src: rng.next_u32() as u16,
+            }),
+            1 => PacketKind::Pfc(PauseFrame::pause(
+                Priority::new(rng.gen_below(8) as u8),
+                rng.next_u32() as u16,
+            )),
+            2 => PacketKind::Arp {
+                request: rng.gen_bool(0.5),
+                target_ip: rng.next_u32(),
+            },
+            3 => PacketKind::Tcp(TcpSegment {
+                src_port: rng.next_u32() as u16,
+                dst_port: rng.next_u32() as u16,
+                seq: rng.next_u64(),
+                ack: rng.next_u64(),
+                flags: TcpFlags::default(),
+                payload,
+                ece: rng.gen_bool(0.5),
+            }),
+            _ => PacketKind::Raw {
+                label: rng.next_u32() as u16,
+                size: rng.gen_below(2048) as u32, // includes sizes < 64
+            },
+        };
+        let ip = if matches!(kind, PacketKind::Roce(_) | PacketKind::Tcp(_)) {
+            ip
+        } else {
+            None
+        };
+        let pkt = Packet::new(case as u64, eth, ip, kind, 0);
+        assert_eq!(
+            pkt.wire_size(),
+            Packet::compute_wire_size(&pkt.eth, &pkt.kind),
+            "cached wire size deviates from reference arithmetic: {pkt:?}"
+        );
+        assert!(pkt.wire_size_is_fresh());
+        assert!(pkt.wire_size() >= 64, "minimum frame clamp violated");
     }
 }

@@ -35,15 +35,26 @@ mod world;
 pub use rng::SimRng;
 pub use sched::{EngineKind, SchedStats};
 pub use time::SimTime;
-pub use world::{Ctx, DigestMode, LinkSpec, Node, NodeId, PortId, TxError, World};
+pub use world::{
+    Ctx, DigestMode, EventProfile, LinkSpec, Node, NodeId, PortId, ProfileMode, TxError, World,
+};
 
 /// Speed of signal propagation in copper/fiber used for cable-length →
 /// delay conversion: ~2/3 c ≈ 5 ns per metre.
 pub const PROPAGATION_PS_PER_METER: u64 = 5_000;
 
 /// Picoseconds to serialize `bytes` at `bps` bits/second.
+#[inline]
 pub fn serialization_ps(bytes: u32, bps: u64) -> u64 {
-    ((bytes as u128) * 8 * 1_000_000_000_000 / bps as u128) as u64
+    // `bytes * 8e12` fits u64 up to ~2.3 MB frames, which covers every
+    // real wire size — so the per-transmit path stays in one u64
+    // division instead of a u128 libcall. Results are bit-identical.
+    const PS_PER_BYTE_NUM: u64 = 8 * 1_000_000_000_000;
+    if let Some(num) = (bytes as u64).checked_mul(PS_PER_BYTE_NUM) {
+        num / bps
+    } else {
+        ((bytes as u128) * PS_PER_BYTE_NUM as u128 / bps as u128) as u64
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,52 @@ pub enum DigestMode {
     Off,
 }
 
+/// Whether the world records per-event-kind dispatch profiles.
+///
+/// With profiling on, [`World::step`] wall-clocks every handler
+/// dispatch and accumulates counts and nanoseconds per event kind
+/// (start / arrival / port-idle / timer). Like [`DigestMode`], the
+/// profile is pure bookkeeping: dispatch order, simulated results, and
+/// the dispatch digest are identical either way. The `Instant` pair per
+/// event costs more than digest folding, so it defaults to off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileMode {
+    /// Wall-clock every dispatch, bucketed by event kind.
+    On,
+    /// Skip profiling; [`World::event_profile`] returns zeros (the
+    /// default).
+    #[default]
+    Off,
+}
+
+/// Per-event-kind dispatch counts and cumulative handler wall-time,
+/// collected by [`World::step`] under [`ProfileMode::On`].
+///
+/// Index order matches the digest tags: 0 = start, 1 = arrival,
+/// 2 = port-idle, 3 = timer (see [`EventProfile::KINDS`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventProfile {
+    /// Events dispatched, per kind.
+    pub counts: [u64; 4],
+    /// Cumulative handler wall-time in nanoseconds, per kind.
+    pub nanos: [u64; 4],
+}
+
+impl EventProfile {
+    /// Human-readable names for the four kind buckets, in index order.
+    pub const KINDS: [&'static str; 4] = ["start", "arrival", "port_idle", "timer"];
+
+    /// Total events across all kinds.
+    pub fn total_events(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total handler wall-time across all kinds, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+}
+
 /// Error returned by [`Ctx::transmit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxError {
@@ -211,6 +257,9 @@ pub struct World {
     core: WorldCore,
     nodes: Vec<Box<dyn Node>>,
     started: bool,
+    /// Hot-path gate for dispatch profiling (see [`ProfileMode`]).
+    profile_on: bool,
+    profile: EventProfile,
 }
 
 impl World {
@@ -239,6 +288,8 @@ impl World {
             },
             nodes: Vec::new(),
             started: false,
+            profile_on: false,
+            profile: EventProfile::default(),
         }
     }
 
@@ -329,6 +380,34 @@ impl World {
         }
     }
 
+    /// Switch dispatch profiling on or off. Dispatch order, simulated
+    /// results, and the digest are unaffected; only wall-clock
+    /// bookkeeping changes. Accumulation continues across a mid-run
+    /// switch; use [`Self::reset_event_profile`] for a clean window.
+    pub fn set_profile_mode(&mut self, mode: ProfileMode) {
+        self.profile_on = mode == ProfileMode::On;
+    }
+
+    /// The current profile mode.
+    pub fn profile_mode(&self) -> ProfileMode {
+        if self.profile_on {
+            ProfileMode::On
+        } else {
+            ProfileMode::Off
+        }
+    }
+
+    /// The accumulated dispatch profile (all zeros unless
+    /// [`ProfileMode::On`] was set before running).
+    pub fn event_profile(&self) -> EventProfile {
+        self.profile
+    }
+
+    /// Zero the accumulated dispatch profile (e.g. to exclude warmup).
+    pub fn reset_event_profile(&mut self) {
+        self.profile = EventProfile::default();
+    }
+
     /// Borrow a node, downcast to its concrete type.
     pub fn node<T: Node>(&self, id: NodeId) -> &T {
         self.nodes[id.0 as usize]
@@ -395,12 +474,23 @@ impl World {
             core: &mut self.core,
             node: node_id,
         };
+        // Profile bookkeeping stays out of the un-profiled hot path: one
+        // branch when off, an `Instant` pair per event when on. The kind
+        // index mirrors the digest tags (0..=3).
+        let started_at = if self.profile_on {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let kind_idx: usize;
         match kind {
             EventKind::Start { .. } => {
+                kind_idx = 0;
                 ctx.fold_digest(time, 0, node_id, 0);
                 node.on_start(&mut ctx);
             }
             EventKind::Arrival { port, slot, .. } => {
+                kind_idx = 1;
                 let pkt = ctx.core.take_packet(slot);
                 // Digest the packet id, not the slab slot: the slot is
                 // an allocator artifact, the id is the semantic event.
@@ -408,13 +498,19 @@ impl World {
                 node.on_packet(port, pkt, &mut ctx);
             }
             EventKind::PortIdle { port, .. } => {
+                kind_idx = 2;
                 ctx.fold_digest(time, 2, node_id, port.0 as u64);
                 node.on_port_idle(port, &mut ctx);
             }
             EventKind::Timer { token, .. } => {
+                kind_idx = 3;
                 ctx.fold_digest(time, 3, node_id, token);
                 node.on_timer(token, &mut ctx);
             }
+        }
+        if let Some(t0) = started_at {
+            self.profile.counts[kind_idx] += 1;
+            self.profile.nanos[kind_idx] += t0.elapsed().as_nanos() as u64;
         }
         true
     }
@@ -637,20 +733,20 @@ mod tests {
         fn pump(&mut self, ctx: &mut Ctx<'_>) {
             while self.sent < self.to_send {
                 let id = ctx.next_packet_id();
-                let pkt = Packet {
+                let pkt = Packet::new(
                     id,
-                    eth: EthMeta {
+                    EthMeta {
                         src: MacAddr::from_id(0),
                         dst: MacAddr::from_id(1),
                         vlan: None,
                     },
-                    ip: None,
-                    kind: PacketKind::Raw {
+                    None,
+                    PacketKind::Raw {
                         label: 0,
                         size: 1000,
                     },
-                    created_ps: ctx.now().as_ps(),
-                };
+                    ctx.now().as_ps(),
+                );
                 match ctx.transmit(PortId(0), pkt) {
                     Ok(()) => self.sent += 1,
                     Err(TxError::Busy) => break,
@@ -809,19 +905,21 @@ mod tests {
         }
         impl Node for Greedy {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-                let mk = |id| Packet {
-                    id,
-                    eth: EthMeta {
-                        src: MacAddr::from_id(0),
-                        dst: MacAddr::from_id(1),
-                        vlan: None,
-                    },
-                    ip: None,
-                    kind: PacketKind::Raw {
-                        label: 0,
-                        size: 500,
-                    },
-                    created_ps: 0,
+                let mk = |id| {
+                    Packet::new(
+                        id,
+                        EthMeta {
+                            src: MacAddr::from_id(0),
+                            dst: MacAddr::from_id(1),
+                            vlan: None,
+                        },
+                        None,
+                        PacketKind::Raw {
+                            label: 0,
+                            size: 500,
+                        },
+                        0,
+                    )
                 };
                 self.results.push(ctx.transmit(PortId(0), mk(1)));
                 self.results.push(ctx.transmit(PortId(0), mk(2)));

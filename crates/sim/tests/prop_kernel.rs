@@ -29,17 +29,17 @@ impl Scripted {
         }
         self.cursor += 1;
         self.sent_at.push(ctx.now().as_ps());
-        let pkt = Packet {
-            id: ctx.next_packet_id(),
-            eth: EthMeta {
+        let pkt = Packet::new(
+            ctx.next_packet_id(),
+            EthMeta {
                 src: MacAddr::from_id(1),
                 dst: MacAddr::from_id(2),
                 vlan: None,
             },
-            ip: None,
-            kind: PacketKind::Raw { label: 0, size },
-            created_ps: ctx.now().as_ps(),
-        };
+            None,
+            PacketKind::Raw { label: 0, size },
+            ctx.now().as_ps(),
+        );
         ctx.transmit(PortId(0), pkt).expect("idle");
     }
 }

@@ -7,7 +7,7 @@ use std::collections::VecDeque;
 use rocescale_dcqcn::CpState;
 use rocescale_monitor::{CounterId, MetricsHub, ScopeId, TraceEvent};
 use rocescale_packet::{
-    EcnCodepoint, MacAddr, Packet, PacketKind, PauseFrame, PfcPauseFrame, Priority,
+    EcnCodepoint, FiveTuple, MacAddr, Packet, PacketKind, PauseFrame, PfcPauseFrame, Priority,
 };
 use rocescale_sim::{Ctx, Node, PortId, SimTime, TxError};
 
@@ -288,6 +288,43 @@ impl SwitchTele {
     }
 }
 
+/// Slots in the per-switch flow-decision cache (power of two,
+/// direct-mapped). 1024 × 24-byte entries ≈ 24 KiB per switch.
+const FLOW_CACHE_SLOTS: usize = 1024;
+
+/// One resolved ECMP decision: this exact five-tuple egresses on `port`.
+#[derive(Clone, Copy)]
+struct FlowCacheEntry {
+    key: FiveTuple,
+    port: PortId,
+}
+
+/// Flow-decision cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowCacheStats {
+    /// Lookups answered from the cache (FIB walk + ECMP hash skipped).
+    pub hits: u64,
+    /// Lookups that fell through to the full route lookup.
+    pub misses: u64,
+    /// Times the whole cache was flushed because the route table was
+    /// opened for mutation.
+    pub invalidations: u64,
+}
+
+/// Direct-mapped slot for a five-tuple: a cheap word mix, deliberately
+/// *not* [`hash_five_tuple`] — the cache must be faster than the hash it
+/// short-circuits, and correctness never depends on this function (hits
+/// require full key equality).
+#[inline]
+fn flow_slot(t: &FiveTuple) -> usize {
+    let x = (t.src_ip as u64)
+        ^ ((t.dst_ip as u64) << 16)
+        ^ ((t.src_port as u64) << 32)
+        ^ ((t.dst_port as u64) << 43)
+        ^ ((t.protocol as u64) << 59);
+    (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 54) as usize % FLOW_CACHE_SLOTS
+}
+
 /// The switch node.
 pub struct Switch {
     cfg: SwitchConfig,
@@ -307,6 +344,16 @@ pub struct Switch {
     wd: Vec<WatchdogPort>,
     /// Round-robin counter for per-packet spraying (§8.1 ablation).
     spray_counter: u64,
+    /// DSCP→priority classification, precomputed from
+    /// `cfg.dscp_to_priority` over the full 6-bit DSCP space so the
+    /// per-packet path is one table index instead of an indirect call.
+    dscp_lut: [Priority; 64],
+    /// Direct-mapped five-tuple → egress-port cache for ECMP `Via`
+    /// decisions; flushed whenever the route table is opened for
+    /// mutation ([`Switch::routes_mut`]).
+    flow_cache: Vec<Option<FlowCacheEntry>>,
+    /// Flow-cache effectiveness counters.
+    flow_stats: FlowCacheStats,
     /// Telemetry instruments (sentinels when the hub is disabled).
     tele: SwitchTele,
     /// Counters.
@@ -329,6 +376,8 @@ impl Switch {
             })
             .collect();
         let tele = SwitchTele::register(cfg.telemetry.clone(), &cfg.name, ports);
+        // DSCP is a 6-bit field; enumerate the map once.
+        let dscp_lut = std::array::from_fn(|d| (cfg.dscp_to_priority)(d as u8));
         Switch {
             mac_table: MacTable::new(cfg.mac_timeout),
             arp_table: ArpTable::new(cfg.arp_timeout),
@@ -338,6 +387,9 @@ impl Switch {
             cp,
             wd: vec![WatchdogPort::default(); ports],
             spray_counter: 0,
+            dscp_lut,
+            flow_cache: vec![None; FLOW_CACHE_SLOTS],
+            flow_stats: FlowCacheStats::default(),
             tele,
             stats: SwitchStats::new(ports),
             buffer,
@@ -382,9 +434,19 @@ impl Switch {
         &self.cfg
     }
 
-    /// Mutable route table (topology wiring).
+    /// Mutable route table (topology wiring). Opening the table for
+    /// mutation flushes the flow-decision cache: cached egress ports were
+    /// resolved against the table about to change, and a stale `Via`
+    /// decision would silently diverge from the FIB.
     pub fn routes_mut(&mut self) -> &mut RouteTable {
+        self.flow_cache.iter_mut().for_each(|e| *e = None);
+        self.flow_stats.invalidations += 1;
         &mut self.routes
+    }
+
+    /// Flow-decision cache effectiveness counters.
+    pub fn flow_cache_stats(&self) -> FlowCacheStats {
+        self.flow_stats
     }
 
     /// Set the L3 peer MAC behind a fabric port (topology wiring).
@@ -476,7 +538,7 @@ impl Switch {
             ClassifyMode::Vlan => pkt.pcp_priority().unwrap_or(self.cfg.untagged_priority),
             ClassifyMode::Dscp => pkt
                 .ip
-                .map(|ip| (self.cfg.dscp_to_priority)(ip.dscp))
+                .map(|ip| self.dscp_lut[(ip.dscp & 0x3f) as usize])
                 .unwrap_or(self.cfg.untagged_priority),
         }
     }
@@ -637,24 +699,55 @@ impl Switch {
                 Via(PortId),
                 Connected,
             }
-            let decision = match self.routes.lookup(dst_ip) {
-                None => {
-                    self.note_drop(DropReason::NoRoute, now);
-                    return;
-                }
-                Some(NextHop::Via(group)) => {
-                    let port = if self.cfg.per_packet_spraying {
-                        self.spray_counter += 1;
-                        group.ports()[(self.spray_counter as usize) % group.ports().len()]
+            // Flow-decision cache: a five-tuple previously resolved to an
+            // ECMP `Via` port short-circuits the FIB walk and the ECMP
+            // hash. A hit requires full key equality, and the cache only
+            // ever holds tuple-selected `Via` decisions, so for any fixed
+            // route table the answer is bit-identical to the slow path;
+            // `routes_mut` flushes it before the table can change.
+            // Spraying bypasses it (the decision is stateful per packet).
+            let cached = if self.cfg.per_packet_spraying {
+                None
+            } else {
+                pkt.five_tuple().and_then(|t| {
+                    let hit = self.flow_cache[flow_slot(&t)]
+                        .filter(|e| e.key == t)
+                        .map(|e| e.port);
+                    if hit.is_some() {
+                        self.flow_stats.hits += 1;
                     } else {
-                        match pkt.five_tuple() {
-                            Some(t) => group.select(&t, self.salt),
-                            None => group.ports()[(dst_ip as usize) % group.ports().len()],
-                        }
-                    };
-                    Decision::Via(port)
+                        self.flow_stats.misses += 1;
+                    }
+                    hit
+                })
+            };
+            let decision = if let Some(port) = cached {
+                Decision::Via(port)
+            } else {
+                match self.routes.lookup(dst_ip) {
+                    None => {
+                        self.note_drop(DropReason::NoRoute, now);
+                        return;
+                    }
+                    Some(NextHop::Via(group)) => {
+                        let port = if self.cfg.per_packet_spraying {
+                            self.spray_counter += 1;
+                            group.ports()[(self.spray_counter as usize) % group.ports().len()]
+                        } else {
+                            match pkt.five_tuple() {
+                                Some(t) => {
+                                    let port = group.select(&t, self.salt);
+                                    self.flow_cache[flow_slot(&t)] =
+                                        Some(FlowCacheEntry { key: t, port });
+                                    port
+                                }
+                                None => group.ports()[(dst_ip as usize) % group.ports().len()],
+                            }
+                        };
+                        Decision::Via(port)
+                    }
+                    Some(NextHop::Connected) => Decision::Connected,
                 }
-                Some(NextHop::Connected) => Decision::Connected,
             };
             match decision {
                 Decision::Via(port) => {
@@ -860,17 +953,17 @@ impl Switch {
         let now = ctx.now();
         // Control frames (PFC) first; they are never paused.
         if let Some(cf) = self.egress[port.index()].ctrl.pop_front() {
-            let pkt = Packet {
-                id: cf.id,
-                eth: rocescale_packet::EthMeta {
+            let pkt = Packet::new(
+                cf.id,
+                rocescale_packet::EthMeta {
                     src: self.router_mac,
                     dst: MacAddr::PAUSE_MULTICAST,
                     vlan: None,
                 },
-                ip: None,
-                kind: PacketKind::Pfc(cf.frame),
-                created_ps: cf.created_ps,
-            };
+                None,
+                PacketKind::Pfc(cf.frame),
+                cf.created_ps,
+            );
             self.stats.tx_pkts[port.index()] += 1;
             self.stats.tx_bytes[port.index()] += pkt.wire_size() as u64;
             let _ = ctx.transmit(port, pkt);

@@ -9,9 +9,43 @@
 //! flood — which, combined with PFC, builds the deadlock of Figure 4.
 
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 
 use rocescale_packet::MacAddr;
 use rocescale_sim::{PortId, SimTime};
+
+/// Multiply-mix hasher for the small fixed-width keys these tables use
+/// (`u32` IPs, 6-byte MACs). Both lookups sit on the per-packet L2/L3
+/// resolution path of every ToR, where SipHash's per-call setup is pure
+/// overhead; these keys need mixing, not DoS resistance — the simulator
+/// generates them itself.
+#[derive(Debug, Default)]
+pub struct IntHasher(u64);
+
+impl std::hash::Hasher for IntHasher {
+    fn finish(&self) -> u64 {
+        // fmix64 (MurmurHash3 finalizer): full avalanche over the
+        // accumulated key bits.
+        let mut x = self.0;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.0 ^= (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 ^= v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<IntHasher>>;
 
 #[derive(Debug, Clone, Copy)]
 struct Timestamped<T> {
@@ -23,7 +57,7 @@ struct Timestamped<T> {
 /// source addresses, short timeout (~5 min).
 #[derive(Debug, Clone)]
 pub struct MacTable {
-    entries: HashMap<MacAddr, Timestamped<PortId>>,
+    entries: FastMap<MacAddr, Timestamped<PortId>>,
     timeout: SimTime,
 }
 
@@ -31,7 +65,7 @@ impl MacTable {
     /// Create with the given entry timeout.
     pub fn new(timeout: SimTime) -> MacTable {
         MacTable {
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             timeout,
         }
     }
@@ -80,7 +114,7 @@ impl MacTable {
 /// protocol, long timeout (~4 h).
 #[derive(Debug, Clone)]
 pub struct ArpTable {
-    entries: HashMap<u32, Timestamped<MacAddr>>,
+    entries: FastMap<u32, Timestamped<MacAddr>>,
     timeout: SimTime,
 }
 
@@ -88,7 +122,7 @@ impl ArpTable {
     /// Create with the given entry timeout.
     pub fn new(timeout: SimTime) -> ArpTable {
         ArpTable {
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             timeout,
         }
     }

@@ -25,14 +25,14 @@ struct Blaster {
 impl Blaster {
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
         while !ctx.port_busy(PortId(0)) {
-            let pkt = Packet {
-                id: ctx.next_packet_id(),
-                eth: EthMeta {
+            let pkt = Packet::new(
+                ctx.next_packet_id(),
+                EthMeta {
                     src: self.mac,
                     dst: self.gw,
                     vlan: None,
                 },
-                ip: Some(Ipv4Meta {
+                Some(Ipv4Meta {
                     src: 1,
                     dst: self.dst_ip,
                     dscp: self.dscp,
@@ -40,7 +40,7 @@ impl Blaster {
                     id: self.sent as u16,
                     ttl: 64,
                 }),
-                kind: PacketKind::Roce(RocePacket {
+                PacketKind::Roce(RocePacket {
                     opcode: RoceOpcode::Send,
                     dest_qp: 0,
                     src_qp: 0,
@@ -50,8 +50,8 @@ impl Blaster {
                     is_last: false,
                     udp_src: self.udp_src,
                 }),
-                created_ps: ctx.now().as_ps(),
-            };
+                ctx.now().as_ps(),
+            );
             self.sent += 1;
             ctx.transmit(PortId(0), pkt).expect("idle");
         }

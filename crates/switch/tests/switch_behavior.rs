@@ -51,17 +51,17 @@ impl TestHost {
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
         if self.storm {
             if !ctx.port_busy(PortId(0)) && !self.storm_armed {
-                let pkt = Packet {
-                    id: ctx.next_packet_id(),
-                    eth: EthMeta {
+                let pkt = Packet::new(
+                    ctx.next_packet_id(),
+                    EthMeta {
                         src: self.mac,
                         dst: MacAddr::PAUSE_MULTICAST,
                         vlan: None,
                     },
-                    ip: None,
-                    kind: PacketKind::Pfc(PauseFrame::pause(Priority::new(3), u16::MAX)),
-                    created_ps: ctx.now().as_ps(),
-                };
+                    None,
+                    PacketKind::Pfc(PauseFrame::pause(Priority::new(3), u16::MAX)),
+                    ctx.now().as_ps(),
+                );
                 let _ = ctx.transmit(PortId(0), pkt);
                 self.storm_armed = true;
                 ctx.set_timer(SimTime::from_micros(100), TOK_STORM);
@@ -134,14 +134,14 @@ fn roce_data(
     payload: u32,
     udp_src: u16,
 ) -> Packet {
-    Packet {
+    Packet::new(
         id,
-        eth: EthMeta {
+        EthMeta {
             src: src_mac,
             dst: dst_mac,
             vlan: None,
         },
-        ip: Some(Ipv4Meta {
+        Some(Ipv4Meta {
             src: src_ip,
             dst: dst_ip,
             dscp,
@@ -149,7 +149,7 @@ fn roce_data(
             id: ip_id,
             ttl: 64,
         }),
-        kind: PacketKind::Roce(RocePacket {
+        PacketKind::Roce(RocePacket {
             opcode: RoceOpcode::Send,
             dest_qp: 1,
             src_qp: 1,
@@ -159,8 +159,8 @@ fn roce_data(
             is_last: false,
             udp_src,
         }),
-        created_ps: 0,
-    }
+        0,
+    )
 }
 
 const IP_A: u32 = 0x0a000001;
@@ -343,19 +343,21 @@ fn deadlock_fix_drops_lossless_on_incomplete_arp() {
 /// untagged frames PXE boot relies on. DSCP mode forwards them.
 #[test]
 fn vlan_trunk_mode_breaks_untagged_pxe() {
-    let untagged = |id| Packet {
-        id,
-        eth: EthMeta {
-            src: MacAddr::from_id(1),
-            dst: MacAddr::from_id(2),
-            vlan: None,
-        },
-        ip: None,
-        kind: PacketKind::Raw {
-            label: 67,
-            size: 300,
-        }, // a DHCP/PXE-ish frame
-        created_ps: 0,
+    let untagged = |id| {
+        Packet::new(
+            id,
+            EthMeta {
+                src: MacAddr::from_id(1),
+                dst: MacAddr::from_id(2),
+                vlan: None,
+            },
+            None,
+            PacketKind::Raw {
+                label: 67,
+                size: 300,
+            }, // a DHCP/PXE-ish frame
+            0,
+        )
     };
     for (mode, delivered) in [(ClassifyMode::Vlan, 0usize), (ClassifyMode::Dscp, 3usize)] {
         let mut cfg = SwitchConfig::new("tor", 2);
@@ -474,4 +476,75 @@ fn ecmp_spreads_qps_across_uplinks() {
             );
         }
     }
+    // The repeated five-tuples were served by the flow-decision cache:
+    // 40 QPs → 40 misses (first packet of each), the rest hits.
+    let stats = world.node::<Switch>(sw_id).flow_cache_stats();
+    assert_eq!(stats.hits + stats.misses, 400);
+    assert!(stats.hits >= 300, "cache barely used: {stats:?}");
+}
+
+/// A route change through `routes_mut` must flush the flow-decision
+/// cache: flows that cached an ECMP pick on the old table follow the new
+/// table immediately, not their stale cached port.
+#[test]
+fn flow_cache_invalidated_on_route_change() {
+    let sw_mac = MacAddr::from_id(100);
+    let a_mac = MacAddr::from_id(1);
+    let mut cfg = SwitchConfig::new("leaf", 3);
+    cfg.port_roles = vec![PortRole::Server, PortRole::Fabric, PortRole::Fabric];
+    let mut sw = Switch::new(cfg, sw_mac, 7);
+    sw.routes_mut()
+        .add(0x0a010000, 24, EcmpGroup::new(vec![PortId(1), PortId(2)]));
+    sw.set_peer_mac(PortId(1), MacAddr::from_id(201));
+    sw.set_peer_mac(PortId(2), MacAddr::from_id(202));
+    let mut world = World::new(1);
+    let sw_id = world.add_node(Box::new(sw));
+    let a = world.add_node(Box::new(TestHost::new(a_mac)));
+    let up1 = world.add_node(Box::new(TestHost::new(MacAddr::from_id(201))));
+    let up2 = world.add_node(Box::new(TestHost::new(MacAddr::from_id(202))));
+    world.connect(a, PortId(0), sw_id, PortId(0), LinkSpec::server_40g());
+    world.connect(up1, PortId(0), sw_id, PortId(1), LinkSpec::tor_leaf_40g());
+    world.connect(up2, PortId(0), sw_id, PortId(2), LinkSpec::tor_leaf_40g());
+    let enqueue = |world: &mut World, base: u64| {
+        let host = world.node_mut::<TestHost>(a);
+        for i in 0..100u64 {
+            let udp_src = 5000 + (i % 10) as u16; // 10 QPs, 10 packets each
+            host.queue.push_back(roce_data(
+                base + i,
+                a_mac,
+                sw_mac,
+                IP_A,
+                0x0a010005,
+                3,
+                i as u16,
+                256,
+                udp_src,
+            ));
+        }
+    };
+    enqueue(&mut world, 0);
+    assert!(world.run_until_idle(1_000_000));
+    let warm = world.node::<Switch>(sw_id).flow_cache_stats();
+    assert!(warm.hits > 0, "cache never hit during warmup: {warm:?}");
+    let before1 = world.node::<TestHost>(up1).received.len();
+    let before2 = world.node::<TestHost>(up2).received.len();
+    assert!(
+        before1 > 0 && before2 > 0,
+        "ECMP imbalance: {before1}/{before2}"
+    );
+    // Reroute: a /32 for the destination via uplink 2 only. `routes_mut`
+    // must flush every cached decision, including flows pinned to port 1.
+    world
+        .node_mut::<Switch>(sw_id)
+        .routes_mut()
+        .add(0x0a010005, 32, EcmpGroup::single(PortId(2)));
+    enqueue(&mut world, 1000);
+    world.schedule_timer(world.now(), a, TOK_RESUME_CHECK);
+    assert!(world.run_until_idle(1_000_000));
+    let after1 = world.node::<TestHost>(up1).received.len();
+    let after2 = world.node::<TestHost>(up2).received.len();
+    assert_eq!(after1, before1, "stale cached decision used after reroute");
+    assert_eq!(after2, before2 + 100, "reroute did not take effect");
+    let stats = world.node::<Switch>(sw_id).flow_cache_stats();
+    assert!(stats.invalidations >= 1, "no flush recorded: {stats:?}");
 }

@@ -355,14 +355,14 @@ impl TcpHost {
         seg.dst_port = c.peer_port;
         let id = self.ip_id;
         self.ip_id = self.ip_id.wrapping_add(1);
-        Packet {
-            id: ctx.next_packet_id(),
-            eth: EthMeta {
+        Packet::new(
+            ctx.next_packet_id(),
+            EthMeta {
                 src: self.cfg.mac,
                 dst: self.cfg.gateway_mac,
                 vlan: None,
             },
-            ip: Some(Ipv4Meta {
+            Some(Ipv4Meta {
                 src: self.cfg.ip,
                 dst: c.peer_ip,
                 dscp: self.cfg.priority.value(),
@@ -370,9 +370,9 @@ impl TcpHost {
                 id,
                 ttl: 64,
             }),
-            kind: PacketKind::Tcp(seg),
-            created_ps: ctx.now().as_ps(),
-        }
+            PacketKind::Tcp(seg),
+            ctx.now().as_ps(),
+        )
     }
 
     fn pump(&mut self, ctx: &mut Ctx<'_>) {

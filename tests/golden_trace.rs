@@ -14,7 +14,7 @@
 use rocescale_core::{ClusterBuilder, ServerId};
 use rocescale_monitor::MetricsHub;
 use rocescale_nic::QpApp;
-use rocescale_sim::{DigestMode, EngineKind, SimTime};
+use rocescale_sim::{DigestMode, EngineKind, EventProfile, ProfileMode, SimTime};
 
 /// Digest pinned at the timer-wheel engine's introduction (identical to
 /// the binary heap's on the same scenario).
@@ -23,19 +23,41 @@ const GOLDEN_DIGEST: u64 = 5655298337002817904;
 const GOLDEN_EVENTS: u64 = 13800;
 
 fn run(engine: EngineKind) -> (u64, u64) {
-    run_full(engine, MetricsHub::disabled(), DigestMode::On).0
+    run_full(
+        engine,
+        MetricsHub::disabled(),
+        DigestMode::On,
+        ProfileMode::Off,
+    )
+    .0
 }
 
 fn run_with_hub(engine: EngineKind, hub: MetricsHub) -> ((u64, u64), MetricsHub) {
-    run_full(engine, hub, DigestMode::On)
+    run_full(engine, hub, DigestMode::On, ProfileMode::Off)
 }
 
-fn run_full(engine: EngineKind, hub: MetricsHub, digest: DigestMode) -> ((u64, u64), MetricsHub) {
+fn run_full(
+    engine: EngineKind,
+    hub: MetricsHub,
+    digest: DigestMode,
+    profile: ProfileMode,
+) -> ((u64, u64), MetricsHub) {
+    let (out, hub, _) = run_profiled(engine, hub, digest, profile);
+    (out, hub)
+}
+
+fn run_profiled(
+    engine: EngineKind,
+    hub: MetricsHub,
+    digest: DigestMode,
+    profile: ProfileMode,
+) -> ((u64, u64), MetricsHub, EventProfile) {
     let mut cl = ClusterBuilder::two_tier(2, 4)
         .seed(7)
         .engine(engine)
         .telemetry(hub)
         .digest(digest)
+        .profile(profile)
         .build();
     for i in 1..4usize {
         cl.connect_qp(
@@ -51,7 +73,8 @@ fn run_full(engine: EngineKind, hub: MetricsHub, digest: DigestMode) -> ((u64, u
     }
     cl.run_until(SimTime::from_micros(500));
     let out = (cl.world.dispatch_digest(), cl.world.events_processed());
-    (out, cl.telemetry().clone())
+    let profile = cl.world.event_profile();
+    (out, cl.telemetry().clone(), profile)
 }
 
 #[test]
@@ -77,8 +100,12 @@ fn both_engines_dispatch_byte_identical_traces() {
 /// exact golden event count while the digest stays at the FNV basis.
 #[test]
 fn digest_off_dispatches_the_same_event_stream() {
-    let ((digest, events), _) =
-        run_full(EngineKind::Wheel, MetricsHub::disabled(), DigestMode::Off);
+    let ((digest, events), _) = run_full(
+        EngineKind::Wheel,
+        MetricsHub::disabled(),
+        DigestMode::Off,
+        ProfileMode::Off,
+    );
     assert_eq!(
         events, GOLDEN_EVENTS,
         "digest mode must not change the event stream"
@@ -129,4 +156,33 @@ fn telemetry_does_not_perturb_the_dispatch_trace() {
     let counters = hub.counters_snapshot();
     let total: u64 = counters.iter().map(|(_, v)| v).sum();
     assert!(total > 0, "no counter ever incremented: {counters:?}");
+}
+
+/// The dispatch profiler must also be a pure observer: with profiling
+/// *and* telemetry both live, the pinned scenario still dispatches the
+/// exact golden trace, and the profile's per-kind counts sum to the
+/// golden event count (wall-clock timing is bookkeeping, not events).
+#[test]
+fn profiler_does_not_perturb_the_dispatch_trace() {
+    let (out, _, profile) = run_profiled(
+        EngineKind::Wheel,
+        MetricsHub::enabled(),
+        DigestMode::On,
+        ProfileMode::On,
+    );
+    assert_eq!(
+        out,
+        (GOLDEN_DIGEST, GOLDEN_EVENTS),
+        "profiler-on trace deviates from the committed golden digest"
+    );
+    assert_eq!(
+        profile.total_events(),
+        GOLDEN_EVENTS,
+        "profile counts must cover every dispatched event"
+    );
+    // Arrivals dominate a saturating incast; the breakdown must show it.
+    assert!(
+        profile.counts[1] > 0 && profile.counts[3] > 0,
+        "expected arrival and timer events in the breakdown: {profile:?}"
+    );
 }
