@@ -1,0 +1,5 @@
+//! Thin wrapper: the implementation lives in `rocescale_bench::suite`.
+
+fn main() {
+    rocescale_bench::main_for(&rocescale_bench::suite::IncDeadRemembered);
+}

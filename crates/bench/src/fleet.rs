@@ -88,7 +88,8 @@ pub struct FleetOutcome {
     pub json: Json,
 }
 
-/// Run the full 15-scenario suite on `workers` threads.
+/// Run the full scenario suite (every entry of [`suite::all`]) on
+/// `workers` threads.
 ///
 /// `args` is forwarded to every scenario (so e.g. `--full-scale` reaches
 /// FIG-7). Outcomes come back in [`suite::all`] order.

@@ -8,8 +8,8 @@
 
 use rocescale_core::scenarios::latency::LatencySummary;
 use rocescale_core::scenarios::{
-    buffer_misconfig, cc_ablation, cpu, dcqcn_ablation, deadlock, dscp_vlan, headroom, latency,
-    livelock, load_latency, pfc_basics, slow_receiver, spray, storm, throughput,
+    buffer_misconfig, cc_ablation, cpu, dcqcn_ablation, deadlock, dscp_vlan, headroom, incident,
+    latency, livelock, load_latency, pfc_basics, slow_receiver, spray, storm, throughput,
 };
 use rocescale_core::{CcKind, PfcMode};
 use rocescale_monitor::Percentiles;
@@ -17,9 +17,10 @@ use rocescale_sim::SimTime;
 
 use crate::report::{Cell, CliArgs, Report, ScenarioReport, Table};
 
-/// Every scenario in suite order: figures 2–10, then the section
-/// experiments. This is the fleet's canonical enumeration; job indices —
-/// and therefore output order — follow it.
+/// Every scenario in suite order: figures 2–10, the section
+/// experiments, then the scripted incident replays. This is the fleet's
+/// canonical enumeration; job indices — and therefore output order —
+/// follow it.
 pub fn all() -> &'static [&'static (dyn ScenarioReport + Sync)] {
     &[
         &Fig2PfcBasics,
@@ -38,6 +39,10 @@ pub fn all() -> &'static [&'static (dyn ScenarioReport + Sync)] {
         &ExpHeadroom,
         &ExpPerPacketRouting,
         &ExpCcAblation,
+        &IncScriptedDeadlock,
+        &IncReroute,
+        &IncCascadeStorm,
+        &IncDeadRemembered,
     ]
 }
 
@@ -891,14 +896,202 @@ impl ScenarioReport for ExpCcAblation {
     }
 }
 
+/// §4.2 incident replay — the deadlock formed *live* by a scripted MAC
+/// eviction, watched by the in-fabric detector; then the same script
+/// with the fix on.
+pub struct IncScriptedDeadlock;
+
+impl ScenarioReport for IncScriptedDeadlock {
+    fn id(&self) -> &str {
+        "INC-DEADLOCK (§4.2)"
+    }
+    fn title(&self) -> &str {
+        "incident replay: scripted MAC eviction forms a live deadlock"
+    }
+    fn claim(&self) -> &str {
+        "evicting a dead server's MAC entry mid-run (ARP surviving) recreates the \
+         §4.2 deadlock while traffic flows: the live detector reports the wait cycle \
+         mid-run; with drop-on-incomplete-ARP the same script stays cycle-free"
+    }
+    fn run(&self, _args: &CliArgs) -> Report {
+        let dur = SimTime::from_millis(40);
+        let mut t = Table::new(
+            "arms",
+            &[
+                "fix",
+                "first cycle(ms)",
+                "cycle epochs",
+                "epochs",
+                "verdict",
+                "fix drops",
+                "tail MB (live)",
+            ],
+        );
+        let mut rep = Report::new();
+        for fix in [false, true] {
+            let r = deadlock::run_scripted(fix, dur);
+            t.row(vec![
+                Cell::Bool(r.fix_enabled),
+                match r.first_cycle_at {
+                    Some(at) => Cell::f1(at.as_ps() as f64 / 1e9),
+                    None => Cell::s("-"),
+                },
+                Cell::U64(r.cycle_epochs),
+                Cell::U64(r.epochs),
+                Cell::s(format!("{:?}", r.deadlocked_switches)),
+                Cell::U64(r.fix_drops),
+                Cell::f1(r.tail_goodput_bytes as f64 / 1e6),
+            ]);
+            rep.scalar(format!("digest_fix_{fix}"), Cell::U64(r.digest));
+            rep.scalar(format!("events_fix_{fix}"), Cell::U64(r.events));
+        }
+        rep.note(format!("evictions fire at 4 ms on both ToRs; run = {dur}"));
+        rep.table(t);
+        rep
+    }
+}
+
+/// Mid-incast reroute incident: one real flow-cache flush, a miss storm,
+/// and the incast survives.
+pub struct IncReroute;
+
+impl ScenarioReport for IncReroute {
+    fn id(&self) -> &str {
+        "INC-REROUTE (§5)"
+    }
+    fn title(&self) -> &str {
+        "incident replay: mid-incast reroute and the flow-cache miss storm"
+    }
+    fn claim(&self) -> &str {
+        "opening the route table mid-incast flushes the hot flow-decision cache \
+         exactly once; live flows re-resolve (a miss storm) and the incast survives \
+         the path change"
+    }
+    fn run(&self, _args: &CliArgs) -> Report {
+        let r = incident::run_reroute(SimTime::from_millis(10));
+        let mut t = Table::new(
+            "reroute",
+            &[
+                "invalidations",
+                "hits",
+                "misses before",
+                "misses after",
+                "tail MB",
+            ],
+        );
+        t.row(vec![
+            Cell::U64(r.invalidations),
+            Cell::U64(r.hits),
+            Cell::U64(r.misses_before),
+            Cell::U64(r.misses_after),
+            Cell::f1(r.tail_goodput_bytes as f64 / 1e6),
+        ]);
+        let mut rep = Report::new();
+        rep.scalar("digest", Cell::U64(r.digest));
+        rep.scalar("events", Cell::U64(r.events));
+        rep.table(t);
+        rep
+    }
+}
+
+/// Cascading pause storm incident with a scripted stop.
+pub struct IncCascadeStorm;
+
+impl ScenarioReport for IncCascadeStorm {
+    fn id(&self) -> &str {
+        "INC-CASCADE (§4.3)"
+    }
+    fn title(&self) -> &str {
+        "incident replay: cascading pause storm, scripted stop, clean recovery"
+    }
+    fn claim(&self) -> &str {
+        "two staggered NIC pause storms cascade backpressure up the fabric without \
+         losing a packet; stopping the storms restores goodput; the live deadlock \
+         detector stays silent — a pause storm is a tree, not a cycle"
+    }
+    fn run(&self, _args: &CliArgs) -> Report {
+        let r = incident::run_cascade(SimTime::from_millis(12));
+        let mut t = Table::new(
+            "cascade",
+            &[
+                "storm pauses",
+                "storm rx drops",
+                "MB during",
+                "MB after",
+                "cycle epochs",
+                "ll drops",
+            ],
+        );
+        t.row(vec![
+            Cell::U64(r.storm_pauses),
+            Cell::U64(r.storm_dropped),
+            Cell::f1(r.goodput_during as f64 / 1e6),
+            Cell::f1(r.goodput_after as f64 / 1e6),
+            Cell::U64(r.cycle_epochs),
+            Cell::U64(r.lossless_drops),
+        ]);
+        let mut rep = Report::new();
+        rep.scalar("digest", Cell::U64(r.digest));
+        rep.scalar("events", Cell::U64(r.events));
+        rep.note(format!("detector ran {} epochs", r.epochs));
+        rep.table(t);
+        rep
+    }
+}
+
+/// Dead-but-remembered server incident (§4.2 precondition) with
+/// resurrection.
+pub struct IncDeadRemembered;
+
+impl ScenarioReport for IncDeadRemembered {
+    fn id(&self) -> &str {
+        "INC-DEAD-SERVER (§4.2)"
+    }
+    fn title(&self) -> &str {
+        "incident replay: dead-but-remembered server, then resurrection"
+    }
+    fn claim(&self) -> &str {
+        "a mid-run MAC eviction leaves a server dead-but-remembered: with the fix on, \
+         lossless traffic to it is dropped at the ToR (no flood, no cycle) and \
+         goodput resumes the moment the entry is re-learned"
+    }
+    fn run(&self, _args: &CliArgs) -> Report {
+        let r = incident::run_dead_remembered(SimTime::from_millis(10));
+        let mut t = Table::new(
+            "dead server",
+            &[
+                "arp drops before",
+                "arp drops total",
+                "MB before",
+                "MB dead",
+                "MB resumed",
+                "cycle epochs",
+            ],
+        );
+        t.row(vec![
+            Cell::U64(r.arp_drops_before),
+            Cell::U64(r.arp_drops_total),
+            Cell::f1(r.goodput_before_death as f64 / 1e6),
+            Cell::f1(r.goodput_while_dead as f64 / 1e6),
+            Cell::f1(r.goodput_after_resurrect as f64 / 1e6),
+            Cell::U64(r.cycle_epochs),
+        ]);
+        let mut rep = Report::new();
+        rep.scalar("digest", Cell::U64(r.digest));
+        rep.scalar("events", Cell::U64(r.events));
+        rep.table(t);
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn registry_lists_all_sixteen_scenarios() {
+    fn registry_lists_all_twenty_scenarios() {
         let suite = all();
-        assert_eq!(suite.len(), 16);
+        assert_eq!(suite.len(), 20);
         let ids: Vec<&str> = suite.iter().map(|s| s.id()).collect();
         let mut dedup = ids.clone();
         dedup.sort();
@@ -907,5 +1100,7 @@ mod tests {
         assert_eq!(ids[0], "FIG-2 (§2)");
         assert_eq!(ids[14], "EXP-PER-PACKET-ROUTING (§8.1)");
         assert_eq!(ids[15], "EXP-CC (§7)");
+        assert_eq!(ids[16], "INC-DEADLOCK (§4.2)");
+        assert_eq!(ids[19], "INC-DEAD-SERVER (§4.2)");
     }
 }

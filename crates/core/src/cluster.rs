@@ -4,18 +4,31 @@ use rocescale_cc::CcParams;
 use rocescale_dcqcn::CpParams;
 use rocescale_monitor::deadlock::Snapshot;
 use rocescale_monitor::{GaugeId, MetricsHub};
-use rocescale_nic::{host::TOK_INJECT_STORM, HostPfcMode, NicConfig, QpApp, QpHandle, RdmaHost};
-use rocescale_packet::MacAddr;
-use rocescale_sim::{DigestMode, EngineKind, LinkSpec, NodeId, ProfileMode, SimTime, World};
+use rocescale_nic::{
+    host::{TOK_INJECT_STORM, TOK_STOP_STORM},
+    HostPfcMode, NicConfig, QpApp, QpHandle, RdmaHost,
+};
+use rocescale_packet::{MacAddr, Priority};
+use rocescale_sim::{
+    DigestMode, EngineKind, LinkSpec, NodeId, PortId, ProfileMode, SimTime, World,
+};
 use rocescale_switch::{
-    BufferConfig, ClassifyMode, DropReason, EcmpGroup, PortRole, Switch, SwitchConfig,
+    AdminAction, BufferConfig, ClassifyMode, DropReason, EcmpGroup, PortRole, Switch, SwitchConfig,
     WatchdogConfig,
 };
 use rocescale_tcp::{ConnHandle, TcpApp, TcpHost, TcpHostConfig};
 use rocescale_topology::{ClosSpec, RouteSpec, Tier, Topology};
 use rocescale_transport::QpConfig;
 
-use crate::profiles::{FabricProfile, FaultProfile, TransportProfile};
+use crate::detect::{DeadlockProbe, ProbeLink};
+use crate::profiles::{FabricProfile, FaultProfile, ScriptAction, TransportProfile};
+
+/// Park an admin action in a switch and schedule the timer that fires it
+/// — the build-time translation of one scripted incident step.
+fn sched_admin(world: &mut World, at: SimTime, sim: NodeId, action: AdminAction) {
+    let token = world.node_mut::<Switch>(sim).schedule_admin(action);
+    world.schedule_timer(at, sim, token);
+}
 
 /// PFC flavour for the whole cluster (§3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -407,6 +420,200 @@ impl ClusterBuilder {
             world.schedule_timer(*at, node, TOK_INJECT_STORM);
         }
 
+        // Incident-replay script (FaultProfile::at): every action becomes
+        // either a NIC storm timer or a switch admin action fired by an
+        // ordinary Timer event, so scripted runs stay deterministic and
+        // digest-pinnable — and an empty script changes nothing.
+        {
+            let find_switch = |name: &str| -> &SwitchInfo {
+                switches
+                    .iter()
+                    .find(|s| s.name == name)
+                    .unwrap_or_else(|| panic!("script names unknown switch {name:?}"))
+            };
+            // A server's ToR-side attachment: (ToR sim node, ToR port
+            // facing the server, server topo index).
+            let tor_attach = |server: usize| -> (NodeId, PortId, usize) {
+                let info = servers
+                    .get(server)
+                    .unwrap_or_else(|| panic!("script server {server} out of range"));
+                let (tor_t, srv_t) = (info.tor_topo_idx, info.topo_idx);
+                let port = topo
+                    .links
+                    .iter()
+                    .find_map(|l| {
+                        if l.a.0 == tor_t && l.b.0 == srv_t {
+                            Some(l.a.1)
+                        } else if l.b.0 == tor_t && l.a.0 == srv_t {
+                            Some(l.b.1)
+                        } else {
+                            None
+                        }
+                    })
+                    .expect("server has a ToR link");
+                (sim_ids[tor_t].expect("ToR instantiated"), port, srv_t)
+            };
+            let script = std::mem::take(&mut self.faults.script);
+            for (at, action) in &script {
+                match action {
+                    ScriptAction::ServerLink { server, up } => {
+                        let (tor, port, _) = tor_attach(*server);
+                        sched_admin(&mut world, *at, tor, AdminAction::LinkSet { port, up: *up });
+                    }
+                    ScriptAction::FabricLink { a, b, up } => {
+                        let (sa, sb) = (find_switch(a), find_switch(b));
+                        let port = topo
+                            .links
+                            .iter()
+                            .find_map(|l| {
+                                if l.a.0 == sa.topo_idx && l.b.0 == sb.topo_idx {
+                                    Some(l.a.1)
+                                } else if l.b.0 == sa.topo_idx && l.a.0 == sb.topo_idx {
+                                    Some(l.b.1)
+                                } else {
+                                    None
+                                }
+                            })
+                            .unwrap_or_else(|| panic!("no fabric link {a:?} <-> {b:?}"));
+                        sched_admin(
+                            &mut world,
+                            *at,
+                            sa.sim,
+                            AdminAction::LinkSet { port, up: *up },
+                        );
+                    }
+                    ScriptAction::StormStart { server } => {
+                        let node = servers
+                            .get(*server)
+                            .unwrap_or_else(|| panic!("script server {server} out of range"))
+                            .sim;
+                        world.schedule_timer(*at, node, TOK_INJECT_STORM);
+                    }
+                    ScriptAction::StormStop { server } => {
+                        let node = servers
+                            .get(*server)
+                            .unwrap_or_else(|| panic!("script server {server} out of range"))
+                            .sim;
+                        world.schedule_timer(*at, node, TOK_STOP_STORM);
+                    }
+                    ScriptAction::ServerDeath { server } => {
+                        // A dead server is *silent*: its link goes down
+                        // (no frames to re-learn the MAC from) and its
+                        // MAC entry is evicted — while the ARP entry
+                        // survives, the §4.2 "dead but remembered" state.
+                        let (tor, port, srv_t) = tor_attach(*server);
+                        sched_admin(
+                            &mut world,
+                            *at,
+                            tor,
+                            AdminAction::LinkSet { port, up: false },
+                        );
+                        sched_admin(
+                            &mut world,
+                            *at,
+                            tor,
+                            AdminAction::EvictMac {
+                                mac: server_mac(srv_t),
+                            },
+                        );
+                    }
+                    ScriptAction::ServerResurrect { server } => {
+                        let (tor, port, srv_t) = tor_attach(*server);
+                        sched_admin(
+                            &mut world,
+                            *at,
+                            tor,
+                            AdminAction::LinkSet { port, up: true },
+                        );
+                        sched_admin(
+                            &mut world,
+                            *at,
+                            tor,
+                            AdminAction::SeedMac {
+                                mac: server_mac(srv_t),
+                                port,
+                            },
+                        );
+                    }
+                    ScriptAction::PfcThreshold {
+                        switch,
+                        alpha,
+                        xoff_static,
+                    } => {
+                        let sim = find_switch(switch).sim;
+                        sched_admin(
+                            &mut world,
+                            *at,
+                            sim,
+                            AdminAction::SetThresholds {
+                                alpha: *alpha,
+                                xoff_static: *xoff_static,
+                            },
+                        );
+                    }
+                    ScriptAction::SetLossless { switch, prio, on } => {
+                        let sim = find_switch(switch).sim;
+                        sched_admin(
+                            &mut world,
+                            *at,
+                            sim,
+                            AdminAction::SetLossless {
+                                prio: *prio,
+                                on: *on,
+                            },
+                        );
+                    }
+                    ScriptAction::Reroute {
+                        switch,
+                        prefix,
+                        len,
+                        ports,
+                    } => {
+                        let sim = find_switch(switch).sim;
+                        sched_admin(
+                            &mut world,
+                            *at,
+                            sim,
+                            AdminAction::Reroute {
+                                prefix: *prefix,
+                                len: *len,
+                                ports: ports.iter().map(|p| PortId(*p)).collect(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Live deadlock probe over every switch egress that faces another
+        // device (fabric links both directions, plus switch→server ports
+        // so storm victims show up as wait-chain leaves).
+        let probe_switches: Vec<(String, NodeId)> =
+            switches.iter().map(|s| (s.name.clone(), s.sim)).collect();
+        let mut probe_links = Vec::new();
+        for l in &topo.links {
+            for (me, peer) in [(l.a, l.b), (l.b, l.a)] {
+                if topo.nodes[me.0].tier == Tier::Server {
+                    continue;
+                }
+                let Some(sw_idx) = switches.iter().position(|s| s.topo_idx == me.0) else {
+                    continue;
+                };
+                probe_links.push(ProbeLink {
+                    switch: sw_idx,
+                    port: me.1,
+                    peer: topo.nodes[peer.0].name.clone(),
+                });
+            }
+        }
+        let deadlock = DeadlockProbe::new(
+            &self.telemetry,
+            probe_switches,
+            probe_links,
+            vec![Priority::new(3), Priority::new(4)],
+            3,
+        );
+
         // Fleet-level gauges published at each sample tick.
         let tele = ClusterTele::register(&self.telemetry, &switches);
 
@@ -418,6 +625,7 @@ impl ClusterBuilder {
             switches,
             telemetry: self.telemetry,
             tele,
+            deadlock,
         }
     }
 }
@@ -474,6 +682,7 @@ pub struct Cluster {
     switches: Vec<SwitchInfo>,
     telemetry: MetricsHub,
     tele: ClusterTele,
+    deadlock: DeadlockProbe,
 }
 
 impl Cluster {
@@ -662,10 +871,25 @@ impl Cluster {
                 }
                 self.world.run_until(SimTime(ns));
                 self.publish_gauges();
+                self.deadlock.observe(&self.world, SimTime(ns));
                 self.telemetry.maybe_sample(ns);
             }
         }
         self.world.run_until(t);
+    }
+
+    /// The live deadlock probe: cycle history, verdicts, last wait graph.
+    /// Epochs run automatically at each telemetry sample boundary.
+    pub fn deadlock_probe(&self) -> &DeadlockProbe {
+        &self.deadlock
+    }
+
+    /// Force one deadlock-detection epoch right now (for runs without
+    /// telemetry sampling, or end-of-run checks). Returns the wait cycle
+    /// found this epoch, if any.
+    pub fn deadlock_observe_now(&mut self) -> Option<Vec<String>> {
+        let now = self.world.now();
+        self.deadlock.observe(&self.world, now)
     }
 
     /// The cluster's telemetry hub (disabled unless one was attached via
@@ -1055,6 +1279,100 @@ mod tests {
             "traffic to the dead server must hit the incomplete-ARP path"
         );
         assert_eq!(c.total_rdma_goodput(), 0);
+    }
+
+    #[test]
+    fn scripted_lossless_off_flushes_queued_packets_exactly_once() {
+        // A storming NIC pauses its ToR port so lossless packets queue
+        // behind it; the scripted SetLossless(off) must flush that queue
+        // once — counted once — and never again.
+        let mut c = ClusterBuilder::two_tier(2, 2)
+            .faults(
+                FaultProfile::paper_default()
+                    .storm_at(0, SimTime::from_millis(1))
+                    .at(
+                        SimTime::from_millis(3),
+                        ScriptAction::SetLossless {
+                            switch: "pod0-tor0".to_string(),
+                            prio: 3,
+                            on: false,
+                        },
+                    ),
+            )
+            .build();
+        let ids = c.all_servers();
+        c.connect_qp(
+            ids[2],
+            ids[0],
+            5000,
+            QpApp::Saturate {
+                msg_len: 128 * 1024,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+        c.run_until(SimTime::from_micros(2_900));
+        assert_eq!(
+            c.total_drops_of(DropReason::AdminLosslessOff),
+            0,
+            "no admin flush before the scripted action fires"
+        );
+        c.run_until(SimTime::from_millis(4));
+        let flushed = c.total_drops_of(DropReason::AdminLosslessOff);
+        assert!(flushed > 0, "queued lossless packets must be flushed");
+        c.run_for_millis(3);
+        assert_eq!(
+            c.total_drops_of(DropReason::AdminLosslessOff),
+            flushed,
+            "the flush happens exactly once"
+        );
+    }
+
+    #[test]
+    fn scripted_link_flap_stalls_then_resumes_traffic() {
+        let flap_down = SimTime::from_millis(1);
+        let flap_up = SimTime::from_millis(2);
+        let mut c = ClusterBuilder::single_tor(2)
+            .faults(
+                FaultProfile::paper_default()
+                    .at(
+                        flap_down,
+                        ScriptAction::ServerLink {
+                            server: 1,
+                            up: false,
+                        },
+                    )
+                    .at(
+                        flap_up,
+                        ScriptAction::ServerLink {
+                            server: 1,
+                            up: true,
+                        },
+                    ),
+            )
+            .build();
+        let ids = c.all_servers();
+        c.connect_qp(
+            ids[0],
+            ids[1],
+            5000,
+            QpApp::Saturate {
+                msg_len: 64 * 1024,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+        c.run_until(flap_down);
+        let before = c.total_rdma_goodput();
+        assert!(before > 0, "traffic must flow before the flap");
+        c.run_until(flap_up);
+        let during = c.total_rdma_goodput();
+        c.run_for_millis(3);
+        let after = c.total_rdma_goodput();
+        assert!(
+            after > during + 64 * 1024,
+            "traffic must resume after re-up: {during} -> {after}"
+        );
     }
 
     #[test]

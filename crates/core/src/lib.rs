@@ -23,12 +23,14 @@
 
 pub mod cluster;
 pub mod deployment;
+pub mod detect;
 pub mod profiles;
 pub mod scenarios;
 pub mod sweep;
 
 pub use cluster::{Cluster, ClusterBuilder, PfcMode, ServerId, ServerKind};
 pub use deployment::DeploymentStage;
-pub use profiles::{FabricProfile, FaultProfile, TransportProfile};
+pub use detect::{DeadlockProbe, ProbeLink};
+pub use profiles::{FabricProfile, FaultProfile, ScriptAction, TransportProfile};
 pub use rocescale_cc::CcKind;
 pub use sweep::{SweepAxis, SweepJob, SweepPoint, SweepSpec, SweepVariant};

@@ -200,9 +200,93 @@ impl Default for TransportProfile {
     }
 }
 
+/// One timed incident-replay action — the declarative fault-script
+/// vocabulary. Every action is resolved at cluster build time into an
+/// ordinary sim event (a switch admin action or a NIC storm token fired
+/// by a timer), so scripted incidents replay deterministically and stay
+/// digest-pinnable; a script that never fires adds zero events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptAction {
+    /// Flip the ToR↔server link of server `server` (both endpoints).
+    ServerLink {
+        /// Server index (build order).
+        server: usize,
+        /// New administrative link state.
+        up: bool,
+    },
+    /// Flip the fabric link between two switches, by switch name
+    /// (e.g. `"t0"`, `"l1"`, `"s0"`). Panics at build time if no such
+    /// link exists — a misspelled script is a construction bug.
+    FabricLink {
+        /// One endpoint switch name.
+        a: String,
+        /// The other endpoint switch name.
+        b: String,
+        /// New administrative link state.
+        up: bool,
+    },
+    /// Start a §4.3 NIC pause storm on server `server`.
+    StormStart {
+        /// Server index (build order).
+        server: usize,
+    },
+    /// Stop a previously started pause storm on server `server`.
+    StormStop {
+        /// Server index (build order).
+        server: usize,
+    },
+    /// Kill server `server` *mid-run* the §4.2 way: its link goes down
+    /// (a dead server is silent — nothing to re-learn the MAC from) and
+    /// its ToR's MAC entry is evicted (5-minute timeout) while the
+    /// 4-hour ARP entry survives — the dead-but-remembered state that
+    /// makes lossless packets flood.
+    ServerDeath {
+        /// Server index (build order).
+        server: usize,
+    },
+    /// Resurrect a dead server: its link comes back up and its ToR
+    /// relearns the MAC→port binding.
+    ServerResurrect {
+        /// Server index (build order).
+        server: usize,
+    },
+    /// Rewrite the PFC buffer thresholds on switch `switch` — the §6.2
+    /// misconfiguration as a runtime event.
+    PfcThreshold {
+        /// Switch name (e.g. `"t0"`).
+        switch: String,
+        /// Dynamic-sharing α, or `None` for static thresholds.
+        alpha: Option<f64>,
+        /// Static XOFF threshold in bytes (used when `alpha` is `None`).
+        xoff_static: u64,
+    },
+    /// Turn lossless mode for a priority on or off on switch `switch`,
+    /// flushing queued lossless packets on disable.
+    SetLossless {
+        /// Switch name.
+        switch: String,
+        /// Priority class index.
+        prio: u8,
+        /// New lossless state.
+        on: bool,
+    },
+    /// Replace the ECMP group for `prefix/len` on switch `switch` with
+    /// `ports` (switch-local port numbers), flushing its flow cache.
+    Reroute {
+        /// Switch name.
+        switch: String,
+        /// Route prefix (host byte order).
+        prefix: u32,
+        /// Prefix length in bits.
+        len: u8,
+        /// New equal-cost egress ports.
+        ports: Vec<u16>,
+    },
+}
+
 /// Fault injection: everything the healthy paper-default config does
 /// *not* do.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultProfile {
     /// §4.1 fault injection on every switch: drop any data packet whose
     /// IP ID has this low byte.
@@ -215,6 +299,9 @@ pub struct FaultProfile {
     /// reproducing the half-resolved state that triggers the §4.2
     /// flooding deadlock.
     pub dead_servers: Vec<usize>,
+    /// The incident-replay script: time-ordered [`ScriptAction`]s the
+    /// cluster schedules as ordinary sim events at build time.
+    pub script: Vec<(SimTime, ScriptAction)>,
 }
 
 impl FaultProfile {
@@ -238,6 +325,12 @@ impl FaultProfile {
     /// Mark server `idx` dead-but-remembered (incomplete ARP at its ToR).
     pub fn dead_server(mut self, idx: usize) -> Self {
         self.dead_servers.push(idx);
+        self
+    }
+
+    /// Append a scripted incident action firing at `at`.
+    pub fn at(mut self, at: SimTime, action: ScriptAction) -> Self {
+        self.script.push((at, action));
         self
     }
 }

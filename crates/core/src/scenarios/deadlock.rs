@@ -24,13 +24,15 @@
 //! With the paper's fix (drop lossless packets on incomplete ARP), the
 //! flood never happens and traffic to live servers keeps flowing.
 
-use rocescale_monitor::{ProgressTracker, WaitGraph};
+use rocescale_monitor::{MetricsHub, ProgressTracker, WaitGraph};
 use rocescale_nic::{NicConfig, QpApp, RdmaHost};
 use rocescale_packet::MacAddr;
 use rocescale_packet::Priority;
 use rocescale_sim::{LinkSpec, NodeId, PortId, SimTime, World};
-use rocescale_switch::{DropReason, EcmpGroup, PortRole, Switch, SwitchConfig};
+use rocescale_switch::{AdminAction, DropReason, EcmpGroup, PortRole, Switch, SwitchConfig};
 use rocescale_transport::QpConfig;
+
+use crate::detect::{DeadlockProbe, ProbeLink};
 
 /// Result of one deadlock run.
 #[derive(Debug, Clone)]
@@ -72,6 +74,13 @@ struct Fabric {
 }
 
 fn build(fix_enabled: bool) -> Fabric {
+    build_with_macs(fix_enabled, false)
+}
+
+/// `dead_macs_seeded` = true starts S2/S3 fully resolved (alive in both
+/// ARP and MAC tables) so a scripted mid-run `EvictMac` can recreate the
+/// §4.2 "dead but remembered" state while traffic is already flowing.
+fn build_with_macs(fix_enabled: bool, dead_macs_seeded: bool) -> Fabric {
     let mac = MacAddr::from_id;
     let (t0_mac, t1_mac, la_mac, lb_mac) = (mac(0xf0), mac(0xf1), mac(0xfa), mac(0xfb));
     let sw_cfg = |name: &str, ports: u16, roles: Vec<PortRole>| {
@@ -96,7 +105,11 @@ fn build(fix_enabled: bool) -> Fabric {
     t0.seed_mac(mac(1), PortId(0), SimTime::ZERO);
     t0.seed_mac(mac(6), PortId(4), SimTime::ZERO);
     // S2 is dead: MAC entry expired, ARP entry alive — the incomplete
-    // entry (its MAC is deliberately NOT seeded).
+    // entry (its MAC is deliberately NOT seeded)... unless the scripted
+    // variant starts it alive and evicts it mid-run.
+    if dead_macs_seeded {
+        t0.seed_mac(mac(2), PortId(1), SimTime::ZERO);
+    }
 
     // T1: p0=S3(dead) p1=S4 p2=S5 p3=La p4=Lb
     let mut t1 = Switch::new(sw_cfg("T1", 5, vec![S, S, S, F, F]), t1_mac, 11);
@@ -111,7 +124,10 @@ fn build(fix_enabled: bool) -> Fabric {
     t1.seed_arp(IP_S5, mac(5), SimTime::ZERO);
     t1.seed_mac(mac(4), PortId(1), SimTime::ZERO);
     t1.seed_mac(mac(5), PortId(2), SimTime::ZERO);
-    // S3 dead: no MAC entry.
+    // S3 dead: no MAC entry (same scripted-variant exception as S2).
+    if dead_macs_seeded {
+        t1.seed_mac(mac(3), PortId(0), SimTime::ZERO);
+    }
 
     // Leaves: p0=T0 p1=T1.
     let mut la = Switch::new(sw_cfg("La", 2, vec![F, F]), la_mac, 12);
@@ -317,11 +333,140 @@ fn run_impl(fix_enabled: bool, dur: SimTime, verbose: bool) -> DeadlockResult {
         .sum();
     DeadlockResult {
         fix_enabled,
-        deadlocked_switches: tracker.deadlocked(3),
+        deadlocked_switches: tracker.deadlocked(3, &graph),
         tail_goodput_bytes: final_goodput.saturating_sub(goodput_at_three_quarters),
         fix_drops,
         pauses,
         wait_cycle,
+    }
+}
+
+/// Result of one scripted §4.2 incident replay.
+#[derive(Debug, Clone)]
+pub struct ScriptedDeadlockResult {
+    /// Was the drop-on-incomplete-ARP fix enabled?
+    pub fix_enabled: bool,
+    /// When the scripted MAC evictions fired.
+    pub evict_at: SimTime,
+    /// First epoch at which the live detector saw a wait cycle, if ever.
+    pub first_cycle_at: Option<SimTime>,
+    /// Detection epochs with a cycle present / total epochs run.
+    pub cycle_epochs: u64,
+    /// Total detection epochs run.
+    pub epochs: u64,
+    /// The corroborated end-of-run verdict (stuck ∩ on a wait cycle).
+    pub deadlocked_switches: Vec<String>,
+    /// Lossless packets dropped by the fix (zero with the fix off).
+    pub fix_drops: u64,
+    /// S5's goodput over the last quarter of the run, bytes.
+    pub tail_goodput_bytes: u64,
+    /// Dispatch digest of the whole run (determinism pin).
+    pub digest: u64,
+    /// Events dispatched (pairs with the digest pin).
+    pub events: u64,
+}
+
+/// The §4.2 incident as a *live replay*: S2 and S3 start healthy (fully
+/// resolved), traffic flows, then a scripted admin action evicts their
+/// MAC entries mid-run — the switch tables now hold the "dead but
+/// remembered" state the paper describes, while ARP entries survive.
+/// A [`DeadlockProbe`] watches the fabric every 2 ms.
+///
+/// * Fix off: the flood starts at eviction, the cyclic buffer dependency
+///   forms, and the probe reports a live wait cycle mid-run.
+/// * Fix on: lossless packets to the evicted MACs are dropped instead of
+///   flooded; every epoch stays cycle-free and S5 keeps receiving.
+pub fn run_scripted(fix_enabled: bool, dur: SimTime) -> ScriptedDeadlockResult {
+    let mut f = build_with_macs(fix_enabled, true);
+    // Same traffic matrix as [`run`] — but S2/S3 are reachable at first.
+    saturate_toward(&mut f.world, f.s1, IP_S3, None, 7001);
+    saturate_toward(&mut f.world, f.s1, IP_S5, Some(f.s5), 7002);
+    saturate_toward(&mut f.world, f.s4, IP_S2, None, 7003);
+    saturate_toward(&mut f.world, f.s4, IP_S5, Some(f.s5), 7004);
+    saturate_toward(&mut f.world, f.s6, IP_S5, Some(f.s5), 7005);
+
+    // The incident: both ToRs lose the dead servers' MAC entries at the
+    // same maintenance tick (the paper's 5-minute MAC timeout, compressed).
+    let evict_at = SimTime::from_millis(4);
+    let mac = MacAddr::from_id;
+    for (tor, victim) in [(f.t0, mac(2)), (f.t1, mac(3))] {
+        let token = f
+            .world
+            .node_mut::<Switch>(tor)
+            .schedule_admin(AdminAction::EvictMac { mac: victim });
+        f.world.schedule_timer(evict_at, tor, token);
+    }
+
+    // Live detector over every switch egress (fabric links in both
+    // directions; server ports appear as chain leaves, never cycles).
+    let switches = vec![
+        ("T0".to_string(), f.t0),
+        ("T1".to_string(), f.t1),
+        ("La".to_string(), f.la),
+        ("Lb".to_string(), f.lb),
+    ];
+    let link = |switch: usize, port: u16, peer: &str| ProbeLink {
+        switch,
+        port: PortId(port),
+        peer: peer.to_string(),
+    };
+    let links = vec![
+        link(0, 0, "S1"),
+        link(0, 1, "S2"),
+        link(0, 2, "La"),
+        link(0, 3, "Lb"),
+        link(0, 4, "S6"),
+        link(1, 0, "S3"),
+        link(1, 1, "S4"),
+        link(1, 2, "S5"),
+        link(1, 3, "La"),
+        link(1, 4, "Lb"),
+        link(2, 0, "T0"),
+        link(2, 1, "T1"),
+        link(3, 0, "T0"),
+        link(3, 1, "T1"),
+    ];
+    let mut probe = DeadlockProbe::new(
+        &MetricsHub::disabled(),
+        switches.clone(),
+        links,
+        vec![Priority::new(3), Priority::new(4)],
+        3,
+    );
+
+    let sample = SimTime::from_millis(2);
+    let mut t = SimTime::ZERO;
+    let mut goodput_at_three_quarters = 0u64;
+    while t < dur {
+        t += sample;
+        f.world.run_until(t);
+        probe.observe(&f.world, t);
+        if t.as_ps() * 4 <= dur.as_ps() * 3 {
+            goodput_at_three_quarters = f.world.node::<RdmaHost>(f.s5).total_goodput_bytes();
+        }
+    }
+
+    let fix_drops: u64 = switches
+        .iter()
+        .map(|(_, id)| {
+            f.world
+                .node::<Switch>(*id)
+                .stats
+                .drops_of(DropReason::IncompleteArpLossless)
+        })
+        .sum();
+    let final_goodput = f.world.node::<RdmaHost>(f.s5).total_goodput_bytes();
+    ScriptedDeadlockResult {
+        fix_enabled,
+        evict_at,
+        first_cycle_at: probe.first_cycle_at(),
+        cycle_epochs: probe.cycle_epochs(),
+        epochs: probe.epochs(),
+        deadlocked_switches: probe.verdict(),
+        fix_drops,
+        tail_goodput_bytes: final_goodput.saturating_sub(goodput_at_three_quarters),
+        digest: f.world.dispatch_digest(),
+        events: f.world.events_processed(),
     }
 }
 
@@ -365,5 +510,71 @@ mod tests {
             r.tail_goodput_bytes
         );
         assert!(r.wait_cycle.is_none(), "no wait cycle with the fix");
+    }
+
+    /// Scripted replay, fix off: the fabric is healthy until the MAC
+    /// eviction, then the live detector reports a wait cycle *mid-run*
+    /// and the corroborated verdict names ≥2 switches. Digest-pinned.
+    #[test]
+    fn scripted_eviction_forms_live_cycle() {
+        let r = run_scripted(false, SimTime::from_millis(40));
+        let first = r.first_cycle_at.expect("detector must fire mid-run");
+        assert!(
+            first >= r.evict_at,
+            "no cycle before the eviction: {first} < {}",
+            r.evict_at
+        );
+        assert!(
+            first < SimTime::from_millis(40),
+            "cycle must be seen live, not only at the end"
+        );
+        assert!(r.cycle_epochs > 0 && r.cycle_epochs <= r.epochs);
+        assert!(
+            r.deadlocked_switches.len() >= 2,
+            "corroborated verdict needs ≥2 switches, got {:?}",
+            r.deadlocked_switches
+        );
+        assert_eq!(r.fix_drops, 0, "fix off ⇒ nothing dropped by it");
+        assert_eq!(r.tail_goodput_bytes, 0, "wedged fabric stops S5");
+    }
+
+    /// Scripted replay, fix on: same script, every epoch cycle-free —
+    /// the fix clears every injected cycle. Digest-pinned.
+    #[test]
+    fn scripted_eviction_with_fix_stays_clear() {
+        let r = run_scripted(true, SimTime::from_millis(40));
+        assert_eq!(
+            r.cycle_epochs, 0,
+            "fix on ⇒ no epoch may see a cycle (first at {:?})",
+            r.first_cycle_at
+        );
+        assert!(r.deadlocked_switches.is_empty());
+        assert!(r.fix_drops > 0, "the fix must be doing the dropping");
+        assert!(
+            r.tail_goodput_bytes > 10 << 20,
+            "S5 keeps receiving: {} bytes",
+            r.tail_goodput_bytes
+        );
+    }
+
+    /// Digest pins for both arms of the scripted incident: scripted
+    /// admin actions ride ordinary timer events, so each replay
+    /// dispatches exactly the committed event trace. Changing either
+    /// constant on purpose is the reviewable act of accepting a new
+    /// trace (same convention as `tests/golden_trace.rs`).
+    #[test]
+    fn scripted_replay_digests_are_pinned() {
+        let off = run_scripted(false, SimTime::from_millis(40));
+        assert_eq!(
+            (off.digest, off.events),
+            (8737866210602114976, 1535575),
+            "fix-off replay deviates from its committed trace"
+        );
+        let on = run_scripted(true, SimTime::from_millis(40));
+        assert_eq!(
+            (on.digest, on.events),
+            (14903120807112586635, 2762529),
+            "fix-on replay deviates from its committed trace"
+        );
     }
 }

@@ -20,6 +20,7 @@
 //! | [`dcqcn_ablation`] | §2 — DCQCN reduces pauses; PFC is the last defense |
 //! | [`cc_ablation`] | §7 — pluggable CC: DCQCN vs TIMELY vs off on one incast |
 //! | [`headroom`] | §2 — the gray-period headroom formula, validated by violation |
+//! | [`incident`] | §4/§6 — scripted incident replays: reroute, cascade storm, dead server |
 
 pub mod buffer_misconfig;
 pub mod cc_ablation;
@@ -28,6 +29,7 @@ pub mod dcqcn_ablation;
 pub mod deadlock;
 pub mod dscp_vlan;
 pub mod headroom;
+pub mod incident;
 pub mod latency;
 pub mod livelock;
 pub mod load_latency;

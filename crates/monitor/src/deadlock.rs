@@ -35,6 +35,11 @@ impl ProgressTracker {
 
     /// Feed one round of snapshots (all devices at the same instant).
     /// Returns the devices that were stuck this round.
+    ///
+    /// A device absent from a round is treated as reset: its history is
+    /// discarded, so a device that stops being snapshotted (decommissioned,
+    /// renamed, scraped out of rotation) cannot stay "stuck" forever on
+    /// stale state.
     pub fn observe(&mut self, round: &[(String, Snapshot)]) -> Vec<String> {
         let mut stuck = Vec::new();
         for (name, snap) in round {
@@ -49,13 +54,19 @@ impl ProgressTracker {
                 }
             }
         }
+        // Absence is reset: forget devices not in this round.
+        let seen: std::collections::HashSet<&str> = round.iter().map(|(n, _)| n.as_str()).collect();
+        self.last.retain(|n, _| seen.contains(n.as_str()));
+        self.stuck_rounds.retain(|n, _| seen.contains(n.as_str()));
         stuck
     }
 
     /// Devices stuck for at least `rounds` consecutive rounds — the
-    /// deadlock verdict. A genuine PFC deadlock involves ≥ 2 devices in a
-    /// cycle; a single stuck device is more likely a storm victim.
-    pub fn deadlocked(&self, rounds: u32) -> Vec<String> {
+    /// behavioural *suspicion*. This alone cannot distinguish a deadlock
+    /// from a storm victim (a single device starved by a pause storm also
+    /// makes zero progress while holding backlog); use
+    /// [`ProgressTracker::deadlocked`] for the corroborated verdict.
+    pub fn stuck(&self, rounds: u32) -> Vec<String> {
         let mut v: Vec<String> = self
             .stuck_rounds
             .iter()
@@ -64,6 +75,20 @@ impl ProgressTracker {
             .collect();
         v.sort();
         v
+    }
+
+    /// The deadlock verdict: devices stuck for at least `rounds`
+    /// consecutive rounds **and** on a cycle of the pause-wait graph. A
+    /// genuine PFC deadlock is a cyclic buffer dependency involving ≥ 2
+    /// devices (or a pathological self-wait); requiring cycle membership
+    /// keeps storm victims — stuck but waiting on a chain, not a cycle —
+    /// out of the verdict.
+    pub fn deadlocked(&self, rounds: u32, graph: &WaitGraph) -> Vec<String> {
+        let members = graph.cycle_members();
+        self.stuck(rounds)
+            .into_iter()
+            .filter(|n| members.iter().any(|m| m == n))
+            .collect()
     }
 }
 
@@ -151,6 +176,97 @@ impl WaitGraph {
         }
         None
     }
+
+    /// Every device on *some* cycle: the union of strongly connected
+    /// components of size ≥ 2, plus self-loops. Sorted and deduplicated.
+    /// This is the corroboration set [`ProgressTracker::deadlocked`]
+    /// intersects with — a device merely downstream of a cycle (a storm
+    /// victim on a pause chain) is not in it.
+    pub fn cycle_members(&self) -> Vec<String> {
+        use std::collections::HashMap;
+        let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+        let mut nodes: Vec<&str> = Vec::new();
+        for (a, b) in &self.edges {
+            adj.entry(a).or_default().push(b);
+            nodes.push(a);
+            nodes.push(b);
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+
+        // Iterative Tarjan SCC, deterministic over the sorted node list.
+        #[derive(Default, Clone, Copy)]
+        struct NodeState {
+            index: u32,
+            lowlink: u32,
+            on_stack: bool,
+            visited: bool,
+        }
+        let idx_of: HashMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let succs: Vec<Vec<usize>> = nodes
+            .iter()
+            .map(|n| {
+                adj.get(n)
+                    .map(|v| v.iter().map(|s| idx_of[s]).collect())
+                    .unwrap_or_default()
+            })
+            .collect();
+        let mut state = vec![NodeState::default(); nodes.len()];
+        let mut next_index = 0u32;
+        let mut stack: Vec<usize> = Vec::new();
+        let mut members: Vec<String> = Vec::new();
+        for root in 0..nodes.len() {
+            if state[root].visited {
+                continue;
+            }
+            // (node, next-successor cursor)
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(frame) = call.last_mut() {
+                let v = frame.0;
+                let cursor = frame.1;
+                frame.1 += 1;
+                if cursor == 0 {
+                    state[v].visited = true;
+                    state[v].index = next_index;
+                    state[v].lowlink = next_index;
+                    next_index += 1;
+                    state[v].on_stack = true;
+                    stack.push(v);
+                }
+                if let Some(&w) = succs[v].get(cursor) {
+                    if !state[w].visited {
+                        call.push((w, 0));
+                    } else if state[w].on_stack {
+                        state[v].lowlink = state[v].lowlink.min(state[w].index);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(p, _)) = call.last() {
+                        state[p].lowlink = state[p].lowlink.min(state[v].lowlink);
+                    }
+                    if state[v].lowlink == state[v].index {
+                        // Root of an SCC: pop it off.
+                        let mut scc: Vec<usize> = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            state[w].on_stack = false;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let cyclic = scc.len() >= 2 || succs[v].contains(&v);
+                        if cyclic {
+                            members.extend(scc.iter().map(|i| nodes[*i].to_string()));
+                        }
+                    }
+                }
+            }
+        }
+        members.sort();
+        members.dedup();
+        members
+    }
 }
 
 #[cfg(test)]
@@ -170,7 +286,7 @@ mod tests {
         t.observe(&[("sw0".into(), snap(100, 5000))]);
         t.observe(&[("sw0".into(), snap(200, 5000))]);
         t.observe(&[("sw0".into(), snap(300, 9000))]);
-        assert!(t.deadlocked(1).is_empty());
+        assert!(t.stuck(1).is_empty());
     }
 
     #[test]
@@ -182,7 +298,7 @@ mod tests {
                 ("sw1".into(), snap(80, 3000)),
             ]);
         }
-        assert_eq!(t.deadlocked(3), vec!["sw0".to_string(), "sw1".to_string()]);
+        assert_eq!(t.stuck(3), vec!["sw0".to_string(), "sw1".to_string()]);
     }
 
     #[test]
@@ -191,7 +307,65 @@ mod tests {
         for _ in 0..4 {
             t.observe(&[("sw0".into(), snap(100, 0))]); // no backlog: just idle
         }
-        assert!(t.deadlocked(1).is_empty());
+        assert!(t.stuck(1).is_empty());
+    }
+
+    /// Regression: a device that disappears from the snapshot rounds must
+    /// not stay "stuck" forever — absence is reset. Before the fix,
+    /// `sw0` here would remain in the verdict indefinitely on stale state.
+    #[test]
+    fn absent_device_resets_instead_of_sticking_forever() {
+        let mut t = ProgressTracker::new();
+        for _ in 0..4 {
+            t.observe(&[
+                ("sw0".into(), snap(100, 5000)),
+                ("sw1".into(), snap(80, 3000)),
+            ]);
+        }
+        assert_eq!(t.stuck(3), vec!["sw0".to_string(), "sw1".to_string()]);
+        // sw0 drops out of the scrape: only sw1 may stay stuck.
+        t.observe(&[("sw1".into(), snap(80, 3000))]);
+        assert_eq!(t.stuck(3), vec!["sw1".to_string()]);
+        // And when sw0 comes back, its history restarts from zero:
+        // one stuck round is not enough for a 3-round verdict.
+        t.observe(&[
+            ("sw0".into(), snap(100, 5000)),
+            ("sw1".into(), snap(80, 3000)),
+        ]);
+        t.observe(&[
+            ("sw0".into(), snap(100, 5000)),
+            ("sw1".into(), snap(80, 3000)),
+        ]);
+        assert_eq!(t.stuck(3), vec!["sw1".to_string()]);
+    }
+
+    /// The corroborated verdict: only stuck devices on a wait-graph cycle
+    /// are deadlocked. A storm victim (stuck, but waiting on a chain) is
+    /// excluded — the satellite-3 fix.
+    #[test]
+    fn deadlock_verdict_requires_cycle_membership() {
+        let mut t = ProgressTracker::new();
+        for _ in 0..4 {
+            t.observe(&[
+                ("T0".into(), snap(10, 5000)),
+                ("T1".into(), snap(20, 5000)),
+                ("victim".into(), snap(30, 4000)), // stuck, but not cyclic
+            ]);
+        }
+        assert_eq!(
+            t.stuck(3),
+            vec!["T0".to_string(), "T1".to_string(), "victim".to_string()]
+        );
+        let mut g = WaitGraph::new();
+        g.add_edge("T0", "T1");
+        g.add_edge("T1", "T0");
+        g.add_edge("victim", "T0"); // chained onto the cycle, not in it
+        assert_eq!(
+            t.deadlocked(3, &g),
+            vec!["T0".to_string(), "T1".to_string()]
+        );
+        // No cycle at all: nobody is deadlocked, however stuck.
+        assert!(t.deadlocked(3, &WaitGraph::new()).is_empty());
     }
 
     #[test]
@@ -227,6 +401,28 @@ mod tests {
         let mut g = WaitGraph::new();
         g.add_edge("sw", "sw");
         assert_eq!(g.find_cycle(), Some(vec!["sw".to_string()]));
+        assert_eq!(g.cycle_members(), vec!["sw".to_string()]);
+    }
+
+    /// `cycle_members` returns exactly the union of cyclic SCCs: the
+    /// Figure-4 cycle, not the dangling chain hanging off it.
+    #[test]
+    fn cycle_members_excludes_chains() {
+        let mut g = WaitGraph::new();
+        g.add_edge("La", "T1");
+        g.add_edge("T0", "La");
+        g.add_edge("Lb", "T0");
+        g.add_edge("T1", "Lb");
+        g.add_edge("victim", "La"); // waits on the cycle, not in it
+        g.add_edge("T9", "server42"); // disconnected chain
+        assert_eq!(
+            g.cycle_members(),
+            ["La", "Lb", "T0", "T1"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert!(WaitGraph::new().cycle_members().is_empty());
     }
 
     #[test]
@@ -236,6 +432,6 @@ mod tests {
         t.observe(&[("sw0".into(), snap(100, 5000))]); // stuck 1
         t.observe(&[("sw0".into(), snap(150, 1000))]); // progress
         t.observe(&[("sw0".into(), snap(150, 1000))]); // stuck 1 again
-        assert!(t.deadlocked(2).is_empty());
+        assert!(t.stuck(2).is_empty());
     }
 }

@@ -185,6 +185,14 @@ pub enum TraceEvent {
     },
     /// A deliberate pause-storm injection began (experiment fault).
     StormStart,
+    /// A deliberate pause-storm injection was stopped (fault script).
+    StormStop,
+    /// The live deadlock detector found a cycle in the pause-wait graph
+    /// with corroborating zero-progress devices (§4.2 signature).
+    DeadlockSuspected {
+        /// Number of devices around the detected wait cycle.
+        cycle_len: u16,
+    },
 }
 
 impl TraceEvent {
@@ -202,6 +210,8 @@ impl TraceEvent {
             TraceEvent::Rollback { .. } => "rollback",
             TraceEvent::RateChange { .. } => "rate_change",
             TraceEvent::StormStart => "storm_start",
+            TraceEvent::StormStop => "storm_stop",
+            TraceEvent::DeadlockSuspected { .. } => "deadlock_suspected",
         }
     }
 
@@ -236,9 +246,13 @@ impl TraceEvent {
                 d.push(("rate_mbps".into(), Json::U64(rate_mbps as u64)));
                 d.push(("cause".into(), Json::Str(cause.into())));
             }
+            TraceEvent::DeadlockSuspected { cycle_len } => {
+                d.push(("cycle_len".into(), Json::U64(cycle_len as u64)));
+            }
             TraceEvent::NicWatchdogFired
             | TraceEvent::ArpIncompleteDrop
-            | TraceEvent::StormStart => {}
+            | TraceEvent::StormStart
+            | TraceEvent::StormStop => {}
         }
         d
     }

@@ -247,6 +247,10 @@ const TOK_STORM_TICK: u64 = 7;
 /// Public token: schedule with [`rocescale_sim::World::schedule_timer`] to
 /// put the NIC into storm mode at a chosen instant (§4.3 fault injection).
 pub const TOK_INJECT_STORM: u64 = 100;
+/// Public token: end a pause storm started by [`TOK_INJECT_STORM`] — the
+/// fault-script "storm stop" action. The NIC resumes its peer (unless its
+/// own watchdog already cut pause generation) and restarts reception.
+pub const TOK_STOP_STORM: u64 = 101;
 
 // (Token 2 is the periodic congestion-control tick; its period comes from
 // `CcParams::tick_period_ps` — 55 µs for DCQCN's alpha/increase timers.)
@@ -1025,6 +1029,22 @@ impl Node for RdmaHost {
                     .hub
                     .trace(ctx.now().as_ps(), self.tele.scope, TraceEvent::StormStart);
                 self.storm_tick(ctx);
+            }
+            TOK_STOP_STORM if self.storm => {
+                self.storm = false;
+                self.tele
+                    .hub
+                    .trace(ctx.now().as_ps(), self.tele.scope, TraceEvent::StormStop);
+                // Resume the peer if we were the ones holding it down
+                // (the watchdog-disabled case already stopped pausing).
+                if self.host_xoff
+                    && !self.pause_gen_disabled
+                    && self.rx_occupancy <= self.cfg.rx.xon_bytes
+                {
+                    self.host_xoff = false;
+                    self.emit_pause(0, ctx);
+                }
+                self.pump(ctx);
             }
             t if t >= TOK_QP_APP_BASE => {
                 let i = (t - TOK_QP_APP_BASE) as usize;

@@ -168,6 +168,11 @@ struct PortState {
     peer: (NodeId, PortId),
     spec: LinkSpec,
     busy_until: SimTime,
+    /// Administrative link state. A downed link rejects new transmissions
+    /// (and reports as unconnected) on *both* endpoints; packets already
+    /// serialized onto the wire still arrive. Flipped by
+    /// [`Ctx::set_link_up`] — the fault-script "link flap" primitive.
+    up: bool,
 }
 
 /// A queued event. `Arrival` carries an index into the world's packet
@@ -324,12 +329,14 @@ impl World {
             peer: (b, b_port),
             spec,
             busy_until: SimTime::ZERO,
+            up: true,
         });
         let ib = slot(&mut self.core.ports[b.0 as usize], b_port);
         self.core.ports[b.0 as usize][ib] = Some(PortState {
             peer: (a, a_port),
             spec,
             busy_until: SimTime::ZERO,
+            up: true,
         });
     }
 
@@ -617,12 +624,11 @@ impl Ctx<'_> {
         id
     }
 
-    /// Is `port` connected to a link?
+    /// Is `port` connected to a link that is administratively up? A
+    /// downed link behaves exactly like a missing one for forwarding
+    /// purposes (transmit fails, floods skip it).
     pub fn port_connected(&self, port: PortId) -> bool {
-        self.core.ports[self.node.0 as usize]
-            .get(port.index())
-            .map(|s| s.is_some())
-            .unwrap_or(false)
+        self.port(port).map(|s| s.up).unwrap_or(false)
     }
 
     /// Is `port` currently serializing a packet?
@@ -653,6 +659,7 @@ impl Ctx<'_> {
         let state = self.core.ports[self.node.0 as usize]
             .get_mut(port.index())
             .and_then(|s| s.as_mut())
+            .filter(|s| s.up)
             .ok_or(TxError::Unconnected)?;
         if state.busy_until > now {
             return Err(TxError::Busy);
@@ -689,6 +696,47 @@ impl Ctx<'_> {
             EventKind::Timer {
                 node: self.node,
                 token,
+            },
+        );
+    }
+
+    /// Flip the administrative link state of `port` — and of the peer's
+    /// mirrored port, so both endpoints agree, as a physical link flap
+    /// would make them. Returns `false` (no-op) if the port was never
+    /// wired. In-flight packets are unaffected; new transmissions on a
+    /// downed link fail with [`TxError::Unconnected`] from either side.
+    pub fn set_link_up(&mut self, port: PortId, up: bool) -> bool {
+        let Some(state) = self.core.ports[self.node.0 as usize]
+            .get_mut(port.index())
+            .and_then(|s| s.as_mut())
+        else {
+            return false;
+        };
+        state.up = up;
+        let (peer_node, peer_port) = state.peer;
+        if let Some(peer) = self.core.ports[peer_node.0 as usize]
+            .get_mut(peer_port.index())
+            .and_then(|s| s.as_mut())
+        {
+            peer.up = up;
+        }
+        true
+    }
+
+    /// Schedule a [`Node::on_port_idle`] for the peer of `port` at the
+    /// current time — the "carrier returned" kick after a link comes back
+    /// up, letting the far end restart its transmit pump. No-op on an
+    /// unwired or downed port.
+    pub fn wake_peer(&mut self, port: PortId) {
+        let Some(state) = self.port(port).filter(|s| s.up) else {
+            return;
+        };
+        let (peer_node, peer_port) = state.peer;
+        self.core.push(
+            self.core.now,
+            EventKind::PortIdle {
+                node: peer_node,
+                port: peer_port,
             },
         );
     }

@@ -164,6 +164,17 @@ impl SharedBuffer {
     pub fn shared_capacity(&self) -> u64 {
         self.shared_capacity
     }
+
+    /// Rewrite the XOFF thresholds at runtime — the §6.2 incident knob
+    /// (a firmware update silently shipping α = 1/64 instead of 1/16).
+    /// `alpha = Some(a)` selects dynamic sharing at `a × unallocated`;
+    /// `None` selects the static threshold `xoff_static`. Occupancy and
+    /// headroom carving are untouched; only future admission and
+    /// XOFF/XON comparisons see the new values.
+    pub fn set_thresholds(&mut self, alpha: Option<f64>, xoff_static: u64) {
+        self.cfg.alpha = alpha;
+        self.cfg.xoff_static = xoff_static;
+    }
 }
 
 #[cfg(test)]

@@ -44,5 +44,5 @@ pub mod tables;
 pub use buffer::{AdmitOutcome, SharedBuffer};
 pub use config::{BufferConfig, ClassifyMode, PortRole, SwitchConfig, WatchdogConfig};
 pub use routing::{EcmpGroup, RouteTable};
-pub use switch::{DropReason, FlowCacheStats, Switch, SwitchStats};
+pub use switch::{AdminAction, DropReason, FlowCacheStats, Switch, SwitchStats};
 pub use tables::{ArpTable, MacTable};

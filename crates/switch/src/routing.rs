@@ -110,6 +110,18 @@ impl RouteTable {
         self.routes.sort_by_key(|r| std::cmp::Reverse(r.len));
     }
 
+    /// Replace the forwarding route for `prefix/len` with `group`,
+    /// removing any previous forwarding entry for the same prefix —
+    /// the mid-run reroute primitive ([`add`](Self::add) only appends,
+    /// so a reroute through it would leave the old, longer-lived entry
+    /// winning ties). Connected routes are untouched.
+    pub fn replace(&mut self, prefix: u32, len: u8, group: EcmpGroup) {
+        let prefix = prefix & Self::mask(len);
+        self.routes
+            .retain(|r| r.connected || r.len != len || r.prefix != prefix);
+        self.add(prefix, len, group);
+    }
+
     /// Mark `prefix/len` as directly connected (L2 resolution applies).
     pub fn add_connected(&mut self, prefix: u32, len: u8) {
         self.routes.push(Route {

@@ -44,6 +44,10 @@ pub enum DropReason {
     /// Lossless packet to/from a port whose lossless mode the storm
     /// watchdog disabled (§4.3).
     WatchdogLosslessOff,
+    /// Queued lossless packet flushed because an operator (fault script)
+    /// turned the priority's lossless mode off at runtime
+    /// ([`Switch::set_lossless`]).
+    AdminLosslessOff,
 }
 
 impl DropReason {
@@ -61,11 +65,12 @@ impl DropReason {
             DropReason::InjectedFilter => "InjectedFilter",
             DropReason::UntaggedOnTrunk => "UntaggedOnTrunk",
             DropReason::WatchdogLosslessOff => "WatchdogLosslessOff",
+            DropReason::AdminLosslessOff => "AdminLosslessOff",
         }
     }
 }
 
-const DROP_REASONS: [DropReason; 10] = [
+const DROP_REASONS: [DropReason; 11] = [
     DropReason::LossyOverflow,
     DropReason::LosslessOverflow,
     DropReason::NoRoute,
@@ -76,6 +81,7 @@ const DROP_REASONS: [DropReason; 10] = [
     DropReason::InjectedFilter,
     DropReason::UntaggedOnTrunk,
     DropReason::WatchdogLosslessOff,
+    DropReason::AdminLosslessOff,
 ];
 
 /// Switch counters, the ground truth the monitoring crate collects (§5.2:
@@ -236,6 +242,66 @@ const TOK_KIND_SHIFT: u64 = 56;
 const TOK_KICK: u64 = 1;
 const TOK_PAUSE_REFRESH: u64 = 2;
 const TOK_WATCHDOG: u64 = 3;
+const TOK_ADMIN: u64 = 4;
+
+/// A deferred administrative action on one switch — the switch half of
+/// the incident-replay fault-script layer. Actions are parked in the
+/// switch by [`Switch::schedule_admin`] and executed by the ordinary
+/// timer event whose token the call returns, so a scripted incident is
+/// scheduled exactly like any other sim event: deterministic, and
+/// invisible to the dispatch digest unless the timer actually fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminAction {
+    /// Administratively flip the link on `port` (both endpoints). On
+    /// re-up the switch restarts its own egress and kicks the peer.
+    LinkSet {
+        /// Port whose link flips.
+        port: PortId,
+        /// New administrative state.
+        up: bool,
+    },
+    /// Turn lossless mode for a priority on or off at runtime
+    /// ([`Switch::set_lossless`]).
+    SetLossless {
+        /// Priority class index.
+        prio: u8,
+        /// New lossless state.
+        on: bool,
+    },
+    /// Rewrite the shared-buffer PFC thresholds — the §6.2
+    /// misconfiguration (α silently changing from 1/16 to 1/64) as a
+    /// scriptable runtime event.
+    SetThresholds {
+        /// Dynamic-sharing α, or `None` for static thresholds.
+        alpha: Option<f64>,
+        /// Static XOFF threshold in bytes (used when `alpha` is `None`).
+        xoff_static: u64,
+    },
+    /// Replace the ECMP group for `prefix/len` mid-run (through
+    /// [`Switch::routes_mut`], so the flow cache flushes).
+    Reroute {
+        /// Route prefix (host byte order).
+        prefix: u32,
+        /// Prefix length in bits.
+        len: u8,
+        /// New equal-cost egress ports (must be non-empty).
+        ports: Vec<PortId>,
+    },
+    /// Forget where a MAC lives — the dead-server 5-minute MAC timeout
+    /// with the 4-hour ARP entry surviving (§4.2).
+    EvictMac {
+        /// MAC address to evict.
+        mac: MacAddr,
+    },
+    /// (Re)learn a MAC on a port — a resurrected server's gratuitous
+    /// traffic re-populating the table.
+    SeedMac {
+        /// MAC address to learn.
+        mac: MacAddr,
+        /// Port the MAC lives behind.
+        port: PortId,
+    },
+}
 
 fn tok_kick(port: PortId) -> u64 {
     (TOK_KICK << TOK_KIND_SHIFT) | port.0 as u64
@@ -356,6 +422,8 @@ pub struct Switch {
     flow_stats: FlowCacheStats,
     /// Telemetry instruments (sentinels when the hub is disabled).
     tele: SwitchTele,
+    /// Parked fault-script actions, addressed by admin timer tokens.
+    admin: Vec<AdminAction>,
     /// Counters.
     pub stats: SwitchStats,
 }
@@ -391,6 +459,7 @@ impl Switch {
             flow_cache: vec![None; FLOW_CACHE_SLOTS],
             flow_stats: FlowCacheStats::default(),
             tele,
+            admin: Vec::new(),
             stats: SwitchStats::new(ports),
             buffer,
             router_mac,
@@ -438,9 +507,19 @@ impl Switch {
     /// mutation flushes the flow-decision cache: cached egress ports were
     /// resolved against the table about to change, and a stale `Via`
     /// decision would silently diverge from the FIB.
+    ///
+    /// `invalidations` counts only *real* flushes — at least one live
+    /// entry discarded. Opening an empty cache (build-time wiring, or
+    /// repeated reroutes before any traffic) costs nothing and is not an
+    /// invalidation event.
     pub fn routes_mut(&mut self) -> &mut RouteTable {
-        self.flow_cache.iter_mut().for_each(|e| *e = None);
-        self.flow_stats.invalidations += 1;
+        let mut flushed = false;
+        for e in self.flow_cache.iter_mut() {
+            flushed |= e.take().is_some();
+        }
+        if flushed {
+            self.flow_stats.invalidations += 1;
+        }
         &mut self.routes
     }
 
@@ -1081,6 +1160,91 @@ impl Switch {
         }
         self.try_send(port, ctx);
     }
+
+    // ---- runtime administration (fault scripts) ----
+
+    /// Park an [`AdminAction`] and return the timer token that executes
+    /// it. Schedule the token (via `World::schedule_timer` or
+    /// `Ctx::set_timer_at`) at the incident time; an unscheduled or
+    /// never-fired token adds zero events, so an empty script is
+    /// digest-invisible.
+    pub fn schedule_admin(&mut self, action: AdminAction) -> u64 {
+        let idx = self.admin.len() as u64;
+        assert!(idx < (1 << 48), "admin action index overflow");
+        self.admin.push(action);
+        (TOK_ADMIN << TOK_KIND_SHIFT) | idx
+    }
+
+    /// Turn lossless mode for `prio` on or off at runtime. Turning it
+    /// *off* flushes every egress queue of that priority exactly once —
+    /// packets are released from the shared buffer (un-sticking any
+    /// upstream pause) and accounted as [`DropReason::AdminLosslessOff`]
+    /// drops — and clears the priority's pause state on every port.
+    /// Turning it back on only restores the flag; queues refill from
+    /// live traffic. A no-change call is a no-op.
+    pub fn set_lossless(&mut self, prio: Priority, on: bool, ctx: &mut Ctx<'_>) {
+        if self.cfg.lossless[prio.index()] == on {
+            return;
+        }
+        self.cfg.lossless[prio.index()] = on;
+        if on {
+            return;
+        }
+        let mut flushed: Vec<QueuedPkt> = Vec::new();
+        for p in 0..self.cfg.ports as usize {
+            let e = &mut self.egress[p];
+            e.paused_until[prio.index()] = SimTime::ZERO;
+            while let Some(qp) = e.queues[prio.index()].pop_front() {
+                e.queue_bytes[prio.index()] -= qp.pkt.wire_size() as u64;
+                flushed.push(qp);
+            }
+        }
+        for qp in &flushed {
+            self.release(qp, ctx);
+            self.note_drop(DropReason::AdminLosslessOff, ctx.now());
+        }
+        for p in 0..self.cfg.ports {
+            self.try_send(PortId(p), ctx);
+        }
+    }
+
+    /// Execute a parked admin action (the `TOK_ADMIN` timer handler).
+    fn apply_admin(&mut self, idx: usize, ctx: &mut Ctx<'_>) {
+        let Some(action) = self.admin.get(idx).cloned() else {
+            return;
+        };
+        match action {
+            AdminAction::LinkSet { port, up } => {
+                ctx.set_link_up(port, up);
+                if up {
+                    self.try_send(port, ctx);
+                    ctx.wake_peer(port);
+                }
+            }
+            AdminAction::SetLossless { prio, on } => {
+                self.set_lossless(Priority::new(prio), on, ctx);
+            }
+            AdminAction::SetThresholds { alpha, xoff_static } => {
+                self.buffer.set_thresholds(alpha, xoff_static);
+                // A tighter threshold can put counters over XOFF right
+                // now — surface the pauses immediately, as the ASIC's
+                // comparator would.
+                for p in 0..self.cfg.ports {
+                    for i in 0..Priority::COUNT {
+                        if self.cfg.lossless[i] {
+                            self.maybe_xoff(PortId(p), Priority::new(i as u8), ctx);
+                        }
+                    }
+                }
+            }
+            AdminAction::Reroute { prefix, len, ports } => {
+                self.routes_mut()
+                    .replace(prefix, len, crate::routing::EcmpGroup::new(ports));
+            }
+            AdminAction::EvictMac { mac } => self.evict_mac(mac),
+            AdminAction::SeedMac { mac, port } => self.seed_mac(mac, port, ctx.now()),
+        }
+    }
 }
 
 impl Node for Switch {
@@ -1136,6 +1300,7 @@ impl Node for Switch {
                 }
             }
             TOK_WATCHDOG => self.watchdog_scan(ctx),
+            TOK_ADMIN => self.apply_admin((token & ((1 << TOK_KIND_SHIFT) - 1)) as usize, ctx),
             _ => {}
         }
     }

@@ -158,6 +158,55 @@ fn telemetry_does_not_perturb_the_dispatch_trace() {
     assert!(total > 0, "no counter ever incremented: {counters:?}");
 }
 
+/// A configured-but-unfired fault script must be invisible: scripted
+/// actions ride ordinary timer events, so a script whose first action is
+/// scheduled *after* the run ends adds zero dispatched events and the
+/// pinned scenario — detector live, telemetry on — reproduces the exact
+/// golden digest.
+#[test]
+fn unfired_fault_script_preserves_the_golden_trace() {
+    use rocescale_core::{FaultProfile, ScriptAction};
+    let mut cl = ClusterBuilder::two_tier(2, 4)
+        .seed(7)
+        .telemetry(MetricsHub::enabled())
+        .faults(FaultProfile::paper_default().at(
+            SimTime::from_millis(1000), // run ends at 500 µs: never fires
+            ScriptAction::SetLossless {
+                switch: "pod0-tor0".to_string(),
+                prio: 3,
+                on: false,
+            },
+        ))
+        .build();
+    for i in 1..4usize {
+        cl.connect_qp(
+            ServerId(i),
+            ServerId(0),
+            6000 + i as u16,
+            QpApp::Saturate {
+                msg_len: 128 * 1024,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+    }
+    cl.run_until(SimTime::from_micros(500));
+    assert_eq!(
+        (cl.world.dispatch_digest(), cl.world.events_processed()),
+        (GOLDEN_DIGEST, GOLDEN_EVENTS),
+        "an unfired script must not perturb the dispatch trace"
+    );
+    assert_eq!(
+        cl.deadlock_probe().cycle_epochs(),
+        0,
+        "healthy pinned scenario must stay cycle-free"
+    );
+    assert!(
+        cl.deadlock_probe().epochs() > 0,
+        "the live detector must actually have run"
+    );
+}
+
 /// The dispatch profiler must also be a pure observer: with profiling
 /// *and* telemetry both live, the pinned scenario still dispatches the
 /// exact golden trace, and the profile's per-kind counts sum to the

@@ -257,7 +257,7 @@ fn progress_tracker_no_false_positives() {
         c.run_until(SimTime::from_millis(ms));
         tracker.observe(&c.switch_snapshots());
     }
-    assert!(tracker.deadlocked(3).is_empty());
+    assert!(tracker.stuck(3).is_empty());
 }
 
 /// Latency percentiles through the whole stack are physically sensible:
