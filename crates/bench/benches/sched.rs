@@ -191,12 +191,12 @@ fn sched_clos_incast(out: &mut Vec<Measurement>, profiles: &mut Vec<(String, Jso
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let json_out = args.iter().position(|a| a == "--json-out").map(|i| {
-        args.get(i + 1)
-            .cloned()
-            .unwrap_or("BENCH_sched.json".into())
-    });
+    let json_out = rocescale_bench::ScenarioCli::parse()
+        .unwrap_or_else(|e| {
+            eprintln!("sched: {e}");
+            std::process::exit(2);
+        })
+        .json_out;
     let mut results = Vec::new();
     let mut profiles = Vec::new();
     sched_churn(&mut results);

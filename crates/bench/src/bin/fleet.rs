@@ -2,18 +2,23 @@
 //! in one invocation, spread across worker threads.
 //!
 //! ```text
-//! fleet [--jobs N] [--json] [--bench-out PATH] [scenario flags…]
+//! fleet [--jobs N] [--json] [--json-out PATH] [--bench-out PATH] [scenario flags…]
 //! ```
 //!
 //! * `--jobs N` — worker threads (default: available parallelism).
 //! * `--json` — emit one JSON document `{"scenarios": [...]}`, each
 //!   element the same schema the standalone binaries emit with `--json`
 //!   (validated by `json_check`).
+//! * `--json-out PATH` — also write that document to a file.
 //! * `--bench-out PATH` — time the suite at `--jobs 1` and at `--jobs N`,
 //!   check the outputs are byte-identical, and write a JSON artifact
 //!   (e.g. `BENCH_fleet.json`) with the headline numbers.
 //! * anything else (e.g. `--full-scale`, `--no-pfc`) is forwarded to
 //!   every scenario.
+//!
+//! `--trace-out` is a standalone-binary feature: twenty scenarios racing
+//! to stream into one file would interleave garbage, so the fleet drops
+//! it with a warning instead of forwarding it.
 //!
 //! Output on stdout is a pure function of the job list — worker count
 //! only changes wall-clock time, which goes to stderr.
@@ -21,45 +26,58 @@
 use std::time::Instant;
 
 use rocescale_bench::fleet::{run_suite, suite_json};
+use rocescale_bench::harness::ScenarioCli;
 use rocescale_bench::CliArgs;
 use rocescale_monitor::Json;
 
-fn usage() -> ! {
-    eprintln!("usage: fleet [--jobs N] [--json] [--bench-out PATH] [scenario flags...]");
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("fleet: {msg}");
+    }
+    eprintln!(
+        "usage: fleet [--jobs N] [--json] [--json-out PATH] [--bench-out PATH] [scenario flags...]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut jobs = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let mut bench_out: Option<String> = None;
-    let mut cli = CliArgs::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => jobs = n,
-                _ => usage(),
-            },
-            "--json" => cli.json = true,
-            "--bench-out" => match args.next() {
-                Some(p) => bench_out = Some(p),
-                None => usage(),
-            },
-            "--help" | "-h" => usage(),
-            other => cli.flags.push(other.to_string()),
-        }
+    let cli = match ScenarioCli::parse() {
+        Ok(cli) => cli,
+        Err(msg) => usage(&msg),
+    };
+    if cli.has("--help") || cli.has("-h") {
+        usage("");
     }
+    let jobs = cli.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    if cli.trace_out.is_some() {
+        eprintln!("fleet: --trace-out is per-scenario; run the scenario's own binary. Ignoring.");
+    }
+    // The per-scenario view: the output flags the fleet owns must not
+    // also fire inside every worker.
+    let args = CliArgs {
+        json: cli.json,
+        json_out: None,
+        trace_out: None,
+        flags: cli.flags.clone(),
+    };
 
-    if let Some(path) = bench_out {
-        bench_mode(&cli, jobs, &path);
+    if let Some(path) = &cli.bench_out {
+        bench_mode(&args, jobs, path);
         return;
     }
 
     let t0 = Instant::now();
-    let outcomes = run_suite(&cli, jobs);
+    let outcomes = run_suite(&args, jobs);
     let secs = t0.elapsed().as_secs_f64();
+    if let Some(path) = &cli.json_out {
+        let doc = suite_json(&outcomes).render() + "\n";
+        std::fs::write(path, doc).unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
     if cli.json {
         println!("{}", suite_json(&outcomes).render());
     } else {

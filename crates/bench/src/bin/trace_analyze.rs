@@ -1,0 +1,34 @@
+//! Offline trace analysis: read a `--trace-out` JSONL export from any
+//! scenario binary and render queue-depth heatmaps, pause-propagation
+//! timelines and CC rate trajectories as the standard report tables.
+//!
+//! ```text
+//! trace_analyze TRACE.jsonl [--json] [--json-out PATH]
+//! ```
+//!
+//! The output is a normal scenario report (id `TRACE`), so `--json`
+//! emits the same schema every experiment binary does and pipes
+//! straight into `json_check`.
+
+use rocescale_bench::harness::ScenarioCli;
+use rocescale_bench::TraceDoc;
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("trace_analyze: {msg}");
+    }
+    eprintln!("usage: trace_analyze TRACE.jsonl [--json] [--json-out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let cli = match ScenarioCli::parse() {
+        Ok(cli) => cli,
+        Err(msg) => usage(&msg),
+    };
+    let [path] = cli.flags.as_slice() else {
+        usage("expected exactly one trace file argument");
+    };
+    let doc = TraceDoc::load(path).unwrap_or_else(|e| usage(&e));
+    rocescale_bench::main_for(&doc);
+}

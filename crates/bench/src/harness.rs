@@ -10,6 +10,90 @@ use std::time::Instant;
 
 use rocescale_monitor::Json;
 
+use crate::report::CliArgs;
+
+/// The one command line every experiment binary shares.
+///
+/// Twenty thin `src/bin/*` wrappers and the fleet runner all accept the
+/// same flags; before this parser each binary (and the fleet) re-parsed
+/// its own subset by hand, so a new flag (`--trace-out`) meant touching
+/// every copy. `ScenarioCli` is the single place flags are defined:
+///
+/// * `--json` — emit the JSON report instead of text tables.
+/// * `--json-out PATH` — additionally write the JSON report to a file.
+/// * `--trace-out PATH` — stream the scenario's structured trace
+///   (JSONL; see `rocescale_monitor::sink`) to a file for
+///   `trace_analyze`.
+/// * `--jobs N` — worker threads (fleet only; scenarios ignore it).
+/// * `--bench-out PATH` — fleet benchmark artifact (fleet only).
+/// * anything else lands in `flags` for scenario-specific switches
+///   (`--full-scale`, `--no-pfc`, …).
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioCli {
+    /// `--json`: emit the JSON report on stdout.
+    pub json: bool,
+    /// `--json-out PATH`: also write the JSON report to this file.
+    pub json_out: Option<String>,
+    /// `--trace-out PATH`: stream the structured JSONL trace here.
+    pub trace_out: Option<String>,
+    /// `--jobs N`: worker threads (consumed by the fleet runner).
+    pub jobs: Option<usize>,
+    /// `--bench-out PATH`: fleet self-benchmark artifact path.
+    pub bench_out: Option<String>,
+    /// Everything else, for scenario-specific flags.
+    pub flags: Vec<String>,
+}
+
+impl ScenarioCli {
+    /// Parse the process arguments; `Err` carries a usage message.
+    pub fn parse() -> Result<ScenarioCli, String> {
+        ScenarioCli::from_args(std::env::args().skip(1))
+    }
+
+    /// Parse from any argument source (tests, the fleet's forwarding).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Result<ScenarioCli, String> {
+        let mut cli = ScenarioCli::default();
+        let mut args = args.into_iter();
+        let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => cli.json = true,
+                "--json-out" => cli.json_out = Some(value("--json-out", &mut args)?),
+                "--trace-out" => cli.trace_out = Some(value("--trace-out", &mut args)?),
+                "--bench-out" => cli.bench_out = Some(value("--bench-out", &mut args)?),
+                "--jobs" => {
+                    let v = value("--jobs", &mut args)?;
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => cli.jobs = Some(n),
+                        _ => return Err(format!("--jobs needs a positive integer, got {v:?}")),
+                    }
+                }
+                _ => cli.flags.push(a),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Is a scenario-specific flag present?
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// The per-scenario argument view ([`CliArgs`]) of this command
+    /// line: what a [`crate::report::ScenarioReport`] receives. The
+    /// fleet-only knobs (`--jobs`, `--bench-out`) do not forward.
+    pub fn to_args(&self) -> CliArgs {
+        CliArgs {
+            json: self.json,
+            json_out: self.json_out.clone(),
+            trace_out: self.trace_out.clone(),
+            flags: self.flags.clone(),
+        }
+    }
+}
+
 /// Target wall-clock per timed batch, in nanoseconds (50 ms).
 const BATCH_TARGET_NS: u128 = 50_000_000;
 /// Timed batches per benchmark; the best is reported.
@@ -143,6 +227,45 @@ mod tests {
         assert!(m.ns_per_iter > 0.0);
         assert!(m.iters_per_batch >= 1);
         assert_eq!(m.elements_per_sec(), None);
+    }
+
+    #[test]
+    fn scenario_cli_parses_every_shared_flag() {
+        let argv = [
+            "--json",
+            "--json-out",
+            "out.json",
+            "--trace-out",
+            "trace.jsonl",
+            "--jobs",
+            "4",
+            "--bench-out",
+            "bench.json",
+            "--full-scale",
+        ];
+        let cli = ScenarioCli::from_args(argv.iter().map(|s| s.to_string())).unwrap();
+        assert!(cli.json);
+        assert_eq!(cli.json_out.as_deref(), Some("out.json"));
+        assert_eq!(cli.trace_out.as_deref(), Some("trace.jsonl"));
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.bench_out.as_deref(), Some("bench.json"));
+        assert!(cli.has("--full-scale"));
+        assert!(!cli.has("--no-pfc"));
+
+        let args = cli.to_args();
+        assert!(args.json);
+        assert_eq!(args.trace_out.as_deref(), Some("trace.jsonl"));
+        assert!(args.has("--full-scale"));
+    }
+
+    #[test]
+    fn scenario_cli_rejects_missing_or_bad_values() {
+        let err =
+            |argv: &[&str]| ScenarioCli::from_args(argv.iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err(&["--trace-out"]).contains("--trace-out"));
+        assert!(err(&["--json-out"]).contains("--json-out"));
+        assert!(err(&["--jobs", "zero"]).contains("--jobs"));
+        assert!(err(&["--jobs", "0"]).contains("--jobs"));
     }
 
     #[test]

@@ -7,14 +7,22 @@
 //! `--json`, as machine-readable JSON. The scenario implementations live
 //! in [`suite`], and [`fleet`] runs the whole suite — or a declarative
 //! sweep — across worker threads with deterministic output.
+//!
+//! Flags are parsed once, by [`harness::ScenarioCli`]; scenarios that
+//! support `--trace-out` stream a structured JSONL trace which the
+//! `trace_analyze` binary ([`analyze`]) folds back into paper-figure
+//! tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod fleet;
 pub mod harness;
 pub mod report;
 pub mod suite;
 
+pub use analyze::TraceDoc;
 pub use fleet::{run_indexed, FleetOutcome};
+pub use harness::ScenarioCli;
 pub use report::{main_for, Cell, CliArgs, Report, ScenarioReport, Table};

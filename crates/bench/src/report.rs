@@ -176,27 +176,33 @@ impl Report {
     }
 }
 
-/// Parsed command line shared by all experiment binaries.
+/// The argument view a scenario receives: the shared flags that affect
+/// a single run, parsed by [`crate::harness::ScenarioCli`] (the one
+/// place flag syntax lives).
 #[derive(Debug, Clone, Default)]
 pub struct CliArgs {
     /// `--json`: emit the JSON form instead of tables.
     pub json: bool,
+    /// `--json-out PATH`: also write the JSON form to this file.
+    pub json_out: Option<String>,
+    /// `--trace-out PATH`: scenarios that support trace export stream
+    /// their structured JSONL trace here (see `DESIGN.md` §Trace).
+    pub trace_out: Option<String>,
     /// All other arguments, for scenario-specific flags.
     pub flags: Vec<String>,
 }
 
 impl CliArgs {
-    /// Parse from the process arguments.
+    /// Parse from the process arguments; exits with a usage message on
+    /// a malformed shared flag.
     pub fn parse() -> CliArgs {
-        let mut args = CliArgs::default();
-        for a in std::env::args().skip(1) {
-            if a == "--json" {
-                args.json = true;
-            } else {
-                args.flags.push(a);
+        match crate::harness::ScenarioCli::parse() {
+            Ok(cli) => cli.to_args(),
+            Err(msg) => {
+                eprintln!("usage: {msg}");
+                std::process::exit(2);
             }
         }
-        args
     }
 
     /// Is a scenario-specific flag present?
@@ -286,10 +292,20 @@ pub fn to_text(s: &dyn ScenarioReport, r: &Report) -> String {
     out
 }
 
-/// The shared `main`: parse args, run, print text or JSON.
+/// The shared `main`: parse args, run, print text or JSON, and honor
+/// `--json-out` (the JSON document is written to the file regardless of
+/// which form stdout gets).
 pub fn main_for(s: &dyn ScenarioReport) {
     let args = CliArgs::parse();
     let report = s.run(&args);
+    if let Some(path) = &args.json_out {
+        let doc = to_json(s, &report).render() + "\n";
+        std::fs::write(path, doc).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
     if args.json {
         println!("{}", to_json(s, &report).render());
     } else {

@@ -11,11 +11,36 @@ use rocescale_core::scenarios::{
     buffer_misconfig, cc_ablation, cpu, dcqcn_ablation, deadlock, dscp_vlan, headroom, incident,
     latency, livelock, load_latency, pfc_basics, slow_receiver, spray, storm, throughput,
 };
-use rocescale_core::{CcKind, PfcMode};
+use rocescale_core::{CcKind, InstrumentationProfile, PfcMode};
 use rocescale_monitor::Percentiles;
 use rocescale_sim::SimTime;
 
 use crate::report::{Cell, CliArgs, Report, ScenarioReport, Table};
+
+/// Observation profile for one scenario arm: a JSONL sink streaming to
+/// `--trace-out`'s path when given, the paper default otherwise. The
+/// scenarios that honor the flag attach it to their headline arm and
+/// note the export in the report; `trace_analyze` reads the file back.
+fn trace_instr(args: &CliArgs) -> InstrumentationProfile {
+    match &args.trace_out {
+        Some(path) => InstrumentationProfile::paper_default()
+            .trace_jsonl(path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot create trace file {path}: {e}");
+                std::process::exit(1);
+            }),
+        None => InstrumentationProfile::paper_default(),
+    }
+}
+
+/// The report note recording where a traced arm streamed to.
+fn trace_note(rep: &mut Report, args: &CliArgs, arm: &str) {
+    if let Some(path) = &args.trace_out {
+        rep.note(format!(
+            "trace: streamed the {arm} arm's JSONL records to {path}"
+        ));
+    }
+}
 
 /// Every scenario in suite order: figures 2–10, the section
 /// experiments, then the scripted incident replays. This is the fleet's
@@ -71,14 +96,19 @@ impl ScenarioReport for Fig2PfcBasics {
         "PFC prevents buffer overflow by pausing the upstream sender (XOFF/XON); \
          without it, the same incast drops packets"
     }
-    fn run(&self, _args: &CliArgs) -> Report {
+    fn run(&self, args: &CliArgs) -> Report {
         let dur = SimTime::from_millis(10);
         let mut t = Table::new(
             "arms",
             &["pfc", "pauses", "resumes", "drops", "goodput(Gb/s)"],
         );
         for pfc in [true, false] {
-            let r = pfc_basics::run(pfc, 4, dur);
+            // `--trace-out` captures the lossless (paper) arm.
+            let r = if pfc {
+                pfc_basics::run_traced(pfc, 4, dur, trace_instr(args))
+            } else {
+                pfc_basics::run(pfc, 4, dur)
+            };
             t.row(vec![
                 Cell::Bool(r.pfc),
                 Cell::U64(r.pauses),
@@ -89,6 +119,7 @@ impl ScenarioReport for Fig2PfcBasics {
         }
         let mut rep = Report::new();
         rep.table(t);
+        trace_note(&mut rep, args, "pfc=true");
         rep
     }
 }
@@ -860,7 +891,7 @@ impl ScenarioReport for ExpCcAblation {
          incast queue short and collapses pause generation; with both off PFC alone \
          stays loss-free but pauses constantly"
     }
-    fn run(&self, _args: &CliArgs) -> Report {
+    fn run(&self, args: &CliArgs) -> Report {
         let dur = SimTime::from_millis(15);
         let mut t = Table::new(
             "arms",
@@ -875,7 +906,12 @@ impl ScenarioReport for ExpCcAblation {
             ],
         );
         for cc in [CcKind::Off, CcKind::Dcqcn, CcKind::Timely] {
-            let r = cc_ablation::run(cc, 4, dur);
+            // `--trace-out` captures the paper's deployed controller.
+            let r = if cc == CcKind::Dcqcn {
+                cc_ablation::run_traced(cc, 4, dur, trace_instr(args))
+            } else {
+                cc_ablation::run(cc, 4, dur)
+            };
             t.row(vec![
                 Cell::s(r.cc.name()),
                 Cell::U64(r.pauses),
@@ -892,6 +928,7 @@ impl ScenarioReport for ExpCcAblation {
             "CNPs are generated by the NP state machine regardless of the sender's \
              controller; TIMELY ignores them and reacts to RTT inflation instead.",
         );
+        trace_note(&mut rep, args, "cc=dcqcn");
         rep
     }
 }
@@ -1009,8 +1046,8 @@ impl ScenarioReport for IncCascadeStorm {
          losing a packet; stopping the storms restores goodput; the live deadlock \
          detector stays silent — a pause storm is a tree, not a cycle"
     }
-    fn run(&self, _args: &CliArgs) -> Report {
-        let r = incident::run_cascade(SimTime::from_millis(12));
+    fn run(&self, args: &CliArgs) -> Report {
+        let r = incident::run_cascade_traced(SimTime::from_millis(12), trace_instr(args));
         let mut t = Table::new(
             "cascade",
             &[
@@ -1035,6 +1072,7 @@ impl ScenarioReport for IncCascadeStorm {
         rep.scalar("events", Cell::U64(r.events));
         rep.note(format!("detector ran {} epochs", r.epochs));
         rep.table(t);
+        trace_note(&mut rep, args, "cascade");
         rep
     }
 }

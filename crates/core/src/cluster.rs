@@ -3,7 +3,7 @@
 use rocescale_cc::CcParams;
 use rocescale_dcqcn::CpParams;
 use rocescale_monitor::deadlock::Snapshot;
-use rocescale_monitor::{GaugeId, MetricsHub};
+use rocescale_monitor::{GaugeId, MetricsHub, QueueSample, ScopeId};
 use rocescale_nic::{
     host::{TOK_INJECT_STORM, TOK_STOP_STORM},
     HostPfcMode, NicConfig, QpApp, QpHandle, RdmaHost,
@@ -21,6 +21,7 @@ use rocescale_topology::{ClosSpec, RouteSpec, Tier, Topology};
 use rocescale_transport::QpConfig;
 
 use crate::detect::{DeadlockProbe, ProbeLink};
+use crate::instrument::InstrumentationProfile;
 use crate::profiles::{FabricProfile, FaultProfile, ScriptAction, TransportProfile};
 
 /// Park an admin action in a switch and schedule the timer that fires it
@@ -56,21 +57,20 @@ pub struct ServerId(pub usize);
 
 /// Builder for a [`Cluster`].
 ///
-/// Configuration is grouped into three profiles — [`FabricProfile`]
+/// Configuration is grouped into four profiles — [`FabricProfile`]
 /// (switches), [`TransportProfile`] (NICs), [`FaultProfile`] (injected
-/// failures) — each defaulting to the paper's deployed settings. The
-/// builder itself keeps only run mechanics (seed, engine backend,
-/// telemetry hub) and per-node escape hatches.
+/// failures), [`InstrumentationProfile`] (observation: telemetry hub,
+/// digest, profiler, trace sink) — each defaulting to the paper's
+/// deployed settings. The builder itself keeps only run mechanics
+/// (seed, engine backend) and per-node escape hatches.
 pub struct ClusterBuilder {
     spec: ClosSpec,
     fabric: FabricProfile,
     transport: TransportProfile,
     faults: FaultProfile,
-    telemetry: MetricsHub,
+    instr: InstrumentationProfile,
     seed: u64,
     engine: EngineKind,
-    digest: DigestMode,
-    profile: ProfileMode,
     server_kind: Box<dyn FnMut(usize) -> ServerKind + Send>,
     host_tweak: HostTweak,
     tcp_tweak: TcpTweak,
@@ -97,11 +97,9 @@ impl ClusterBuilder {
             fabric: FabricProfile::paper_default(),
             transport: TransportProfile::paper_default(),
             faults: FaultProfile::paper_default(),
-            telemetry: MetricsHub::disabled(),
+            instr: InstrumentationProfile::paper_default(),
             seed: 1,
             engine: EngineKind::default(),
-            digest: DigestMode::default(),
-            profile: ProfileMode::default(),
             server_kind: Box::new(|_| ServerKind::Rdma),
             host_tweak: Box::new(|_, _| {}),
             tcp_tweak: Box::new(|_, _| {}),
@@ -138,12 +136,27 @@ impl ClusterBuilder {
         self
     }
 
+    /// Replace the observation profile: telemetry hub, dispatch digest,
+    /// dispatch profiler, and streaming trace sink, as one coherent
+    /// group. This is the preferred surface; the loose
+    /// [`telemetry`](Self::telemetry) / [`digest`](Self::digest) /
+    /// [`profile`](Self::profile) setters below are shims into it.
+    pub fn instrumentation(mut self, i: InstrumentationProfile) -> Self {
+        self.instr = i;
+        self
+    }
+
     /// Attach a telemetry hub. Every switch, NIC and TCP host registers
     /// its instruments on it, and [`Cluster::run_until`] drives
     /// sim-time-aligned time-series sampling. The default (disabled) hub
     /// costs nothing and leaves the dispatch digest untouched.
+    ///
+    /// Deprecated shim into [`InstrumentationProfile::telemetry`], kept
+    /// so pre-profile callers keep compiling; it preserves any sink or
+    /// mode already set. New code should pass one
+    /// [`instrumentation`](Self::instrumentation) profile.
     pub fn telemetry(mut self, hub: MetricsHub) -> Self {
-        self.telemetry = hub;
+        self.instr.telemetry = hub;
         self
     }
 
@@ -164,8 +177,10 @@ impl ClusterBuilder {
     /// Dispatch-digest mode for the world (default: on). Fleet/bench runs
     /// that don't check golden traces can switch it off to trim the
     /// per-event hot path; results are identical either way.
+    ///
+    /// Deprecated shim into [`InstrumentationProfile::digest`].
     pub fn digest(mut self, d: DigestMode) -> Self {
-        self.digest = d;
+        self.instr.digest = d;
         self
     }
 
@@ -174,8 +189,10 @@ impl ClusterBuilder {
     /// kind; read the result via [`rocescale_sim::World::event_profile`]
     /// on `cluster.world`. Simulated results and the dispatch digest are
     /// identical either way.
+    ///
+    /// Deprecated shim into [`InstrumentationProfile::profiler`].
     pub fn profile(mut self, p: ProfileMode) -> Self {
-        self.profile = p;
+        self.instr.profile = p;
         self
     }
 
@@ -206,10 +223,20 @@ impl ClusterBuilder {
 
     /// Instantiate the cluster.
     pub fn build(mut self) -> Cluster {
+        // A trace sink needs a live hub to stream through; upgrade a
+        // disabled hub before any device registers instruments, then
+        // attach the sink so records flow from the first event on.
+        if self.instr.sink.is_some() && !self.instr.telemetry.is_enabled() {
+            self.instr.telemetry = MetricsHub::enabled();
+        }
+        if let Some((sink, filter)) = self.instr.sink.take() {
+            self.instr.telemetry.attach_sink(sink, filter);
+        }
+        let telemetry = self.instr.telemetry.clone();
         let topo = Topology::clos(&self.spec);
         let mut world = World::new_with_engine(self.seed, self.engine);
-        world.set_digest_mode(self.digest);
-        world.set_profile_mode(self.profile);
+        world.set_digest_mode(self.instr.digest);
+        world.set_profile_mode(self.instr.profile);
         let n = topo.nodes.len();
 
         // MAC conventions: switches get 0x00F0_0000 + idx, servers idx+1.
@@ -297,7 +324,7 @@ impl ClusterBuilder {
             cfg.drop_lossless_on_incomplete_arp = self.fabric.drop_lossless_on_incomplete_arp;
             cfg.drop_ip_id_low_byte = self.faults.drop_ip_id_low_byte;
             cfg.per_packet_spraying = self.fabric.per_packet_spraying;
-            cfg.telemetry = self.telemetry.clone();
+            cfg.telemetry = telemetry.clone();
             (self.switch_tweak)(&node.name.clone(), &mut cfg);
 
             let mut sw = Switch::new(cfg, switch_mac(idx), idx as u64 * 0x9e37 + 7);
@@ -374,7 +401,7 @@ impl ClusterBuilder {
                     // reproduces the NicConfig default exactly).
                     cfg.cc = CcParams::for_line_rate(self.transport.cc, cfg.link_bps);
                     cfg.nic_watchdog_after = self.transport.nic_watchdog;
-                    cfg.telemetry = self.telemetry.clone();
+                    cfg.telemetry = telemetry.clone();
                     (self.host_tweak)(order, &mut cfg);
                     world.add_node(Box::new(RdmaHost::new(cfg)))
                 }
@@ -382,7 +409,7 @@ impl ClusterBuilder {
                     let mut cfg =
                         TcpHostConfig::new(node.name.clone(), idx as u32 + 1, ip, gateway);
                     cfg.conn.min_rto_ps = self.transport.tcp_min_rto.as_ps();
-                    cfg.telemetry = self.telemetry.clone();
+                    cfg.telemetry = telemetry.clone();
                     (self.tcp_tweak)(order, &mut cfg);
                     world.add_node(Box::new(TcpHost::new(cfg)))
                 }
@@ -607,7 +634,7 @@ impl ClusterBuilder {
             }
         }
         let deadlock = DeadlockProbe::new(
-            &self.telemetry,
+            &telemetry,
             probe_switches,
             probe_links,
             vec![Priority::new(3), Priority::new(4)],
@@ -615,7 +642,7 @@ impl ClusterBuilder {
         );
 
         // Fleet-level gauges published at each sample tick.
-        let tele = ClusterTele::register(&self.telemetry, &switches);
+        let tele = ClusterTele::register(&telemetry, &switches);
 
         Cluster {
             world,
@@ -623,7 +650,7 @@ impl ClusterBuilder {
             spec: self.spec,
             servers,
             switches,
-            telemetry: self.telemetry,
+            telemetry,
             tele,
             deadlock,
         }
@@ -635,6 +662,10 @@ struct ClusterTele {
     engine_events: GaugeId,
     engine_pending: GaugeId,
     switch_backlog: Vec<GaugeId>,
+    /// Each switch's trace scope (`switch.{name}` — the same name its
+    /// own `SwitchTele` registers, so streamed queue samples land under
+    /// the same scope as the switch's hop records and events).
+    switch_scopes: Vec<ScopeId>,
 }
 
 impl ClusterTele {
@@ -645,6 +676,10 @@ impl ClusterTele {
             switch_backlog: switches
                 .iter()
                 .map(|sw| hub.gauge(&format!("switch.{}.lossless_backlog_bytes", sw.name)))
+                .collect(),
+            switch_scopes: switches
+                .iter()
+                .map(|sw| hub.scope(&format!("switch.{}", sw.name)))
                 .collect(),
         }
     }
@@ -859,10 +894,11 @@ impl Cluster {
     /// Run the simulation until `t`.
     ///
     /// With telemetry enabled the run is chunked at sample boundaries so
-    /// time-series points land on the hub's cadence. Chunked
-    /// `run_until` dispatches the exact same event sequence as one big
-    /// call, so the dispatch digest is byte-identical with telemetry on
-    /// or off.
+    /// time-series points land on the hub's cadence — and, with a trace
+    /// sink streaming queue samples, each epoch also emits one
+    /// [`QueueSample`] per switch. Chunked `run_until` dispatches the
+    /// exact same event sequence as one big call, so the dispatch digest
+    /// is byte-identical with telemetry (and any sink) on or off.
     pub fn run_until(&mut self, t: SimTime) {
         if self.telemetry.is_enabled() {
             while let Some(ns) = self.telemetry.next_sample_ps() {
@@ -871,11 +907,35 @@ impl Cluster {
                 }
                 self.world.run_until(SimTime(ns));
                 self.publish_gauges();
+                self.stream_queue_samples(ns);
                 self.deadlock.observe(&self.world, SimTime(ns));
                 self.telemetry.maybe_sample(ns);
             }
         }
         self.world.run_until(t);
+        // A run boundary is where readers expect the exported trace to
+        // be complete; no-op without a sink.
+        self.telemetry.flush_sink();
+    }
+
+    /// Stream one queue-depth sample per switch at epoch boundary `ns`
+    /// (no-op unless a sink with the queue class is attached).
+    fn stream_queue_samples(&self, ns: u64) {
+        if !self.telemetry.streams_queues() {
+            return;
+        }
+        for i in 0..self.switches.len() {
+            let sw = self.switch(i);
+            self.telemetry.stream_queue(
+                ns,
+                self.tele.switch_scopes[i],
+                QueueSample {
+                    backlog_bytes: sw.lossless_backlog(),
+                    max_port_bytes: sw.max_egress_depth(),
+                    tx_pkts: sw.total_data_tx_pkts(),
+                },
+            );
+        }
     }
 
     /// The live deadlock probe: cycle history, verdicts, last wait graph.
@@ -1047,7 +1107,10 @@ impl Cluster {
         pairs
     }
 
-    /// Aggregate all collected probe RTTs into a Pingmesh report.
+    /// Aggregate all collected probe RTTs into a Pingmesh report. The
+    /// report is bound to the cluster's telemetry hub, so with telemetry
+    /// enabled the per-scope percentiles also land in hub snapshots and
+    /// exported traces (`pingmesh.{tor,podset,dc}.*`).
     ///
     /// Because a host logs its RTT samples in completion order across all
     /// of its prober QPs, per-pair attribution uses each *prober host's*
@@ -1058,7 +1121,7 @@ impl Cluster {
         pairs: &[(ServerId, ServerId)],
     ) -> rocescale_monitor::Pingmesh {
         use rocescale_monitor::pingmesh::ProbeResult;
-        let mut pm = rocescale_monitor::Pingmesh::new();
+        let mut pm = rocescale_monitor::Pingmesh::with_hub(self.telemetry.clone());
         for (a, b) in pairs {
             let scope = self.scope_of(*a, *b);
             let samples = std::mem::take(

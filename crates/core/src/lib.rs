@@ -24,6 +24,7 @@
 pub mod cluster;
 pub mod deployment;
 pub mod detect;
+pub mod instrument;
 pub mod profiles;
 pub mod scenarios;
 pub mod sweep;
@@ -31,6 +32,7 @@ pub mod sweep;
 pub use cluster::{Cluster, ClusterBuilder, PfcMode, ServerId, ServerKind};
 pub use deployment::DeploymentStage;
 pub use detect::{DeadlockProbe, ProbeLink};
+pub use instrument::InstrumentationProfile;
 pub use profiles::{FabricProfile, FaultProfile, ScriptAction, TransportProfile};
 pub use rocescale_cc::CcKind;
 pub use sweep::{SweepAxis, SweepJob, SweepPoint, SweepSpec, SweepVariant};

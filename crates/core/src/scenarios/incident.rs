@@ -25,6 +25,7 @@ use rocescale_switch::DropReason;
 use rocescale_topology::{ClosSpec, RouteSpec, Topology};
 
 use crate::cluster::{Cluster, ClusterBuilder, ServerId};
+use crate::instrument::InstrumentationProfile;
 use crate::profiles::{FabricProfile, FaultProfile, ScriptAction};
 
 fn saturate(c: &mut Cluster, from: ServerId, to: ServerId, udp_src: u16) {
@@ -162,11 +163,22 @@ pub struct CascadeResult {
 /// stops both storms and the fabric drains. The switch watchdog is
 /// disarmed so recovery is attributable to the scripted stop alone.
 pub fn run_cascade(dur: SimTime) -> CascadeResult {
+    run_cascade_traced(dur, InstrumentationProfile::paper_default())
+}
+
+/// [`run_cascade`] under an explicit observation setup (`--trace-out`):
+/// the exported trace carries the storm's whole pause-propagation
+/// timeline — `pause_tx`/`resume_tx` events cascading up the fabric —
+/// plus per-epoch queue samples. The hub is always enabled here (the
+/// live deadlock detector needs it), so the traced and untraced runs
+/// are the same configuration and pin the same dispatch digest.
+pub fn run_cascade_traced(dur: SimTime, mut instr: InstrumentationProfile) -> CascadeResult {
+    instr.telemetry = rocescale_monitor::MetricsHub::enabled();
     let stop_at = SimTime::from_millis(6);
     let mut c = ClusterBuilder::two_tier(2, 4)
         .seed(23)
         .fabric(FabricProfile::paper_default().switch_watchdog(false))
-        .telemetry(rocescale_monitor::MetricsHub::enabled())
+        .instrumentation(instr)
         .faults(
             FaultProfile::paper_default()
                 .at(

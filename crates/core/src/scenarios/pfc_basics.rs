@@ -9,6 +9,7 @@ use rocescale_sim::SimTime;
 use rocescale_topology::Tier;
 
 use crate::cluster::{ClusterBuilder, ServerId};
+use crate::instrument::InstrumentationProfile;
 use crate::profiles::{FabricProfile, TransportProfile};
 use crate::scenarios::gbps;
 
@@ -29,10 +30,24 @@ pub struct PfcBasicsResult {
 
 /// Run one arm: `fanin` senders saturate one receiver for `dur`.
 pub fn run(pfc: bool, fanin: u32, dur: SimTime) -> PfcBasicsResult {
+    run_traced(pfc, fanin, dur, InstrumentationProfile::paper_default())
+}
+
+/// [`run`] under an explicit observation setup — e.g. a `--trace-out`
+/// JSONL sink streaming the incast's hops, pauses and queue samples.
+/// Instrumentation is observation-only, so every arm's numbers are
+/// identical to the untraced run.
+pub fn run_traced(
+    pfc: bool,
+    fanin: u32,
+    dur: SimTime,
+    instr: InstrumentationProfile,
+) -> PfcBasicsResult {
     let mut c = ClusterBuilder::single_tor(fanin + 1)
         .fabric(FabricProfile::paper_default().pfc(pfc))
         // Raw PFC behaviour, no rate control assist.
         .transport(TransportProfile::paper_default().dcqcn(false))
+        .instrumentation(instr)
         .build();
     let dst = ServerId(0);
     for i in 1..=fanin {

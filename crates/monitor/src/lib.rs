@@ -29,7 +29,11 @@
 //! events. [`json`] provides the serde-free JSON tree every experiment
 //! renders its machine-readable report through, and [`aggregate`] folds
 //! replicate reports from the fleet runner into one min/mean/max summary
-//! of the same schema.
+//! of the same schema. [`sink`] is the unbounded export path: a
+//! [`TraceSink`] attached to the hub streams every structured record —
+//! flight-recorder events plus per-packet hops, queue-depth samples and
+//! CC rate trajectories — out of the run as line-delimited JSON for
+//! offline analysis (`trace_analyze`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +44,7 @@ pub mod deadlock;
 pub mod engine;
 pub mod json;
 pub mod pingmesh;
+pub mod sink;
 pub mod stats;
 pub mod telemetry;
 
@@ -49,6 +54,10 @@ pub use deadlock::{ProgressTracker, WaitGraph};
 pub use engine::{profile_json, EngineReport};
 pub use json::Json;
 pub use pingmesh::Pingmesh;
+pub use sink::{
+    parse_jsonl, parse_line, HopRecord, JsonlSink, MemorySink, OwnedRecord, ParsedRecord,
+    QueueSample, RatePoint, RecordBody, StreamRecord, TraceFilter, TraceSink,
+};
 pub use stats::{Percentiles, TimeSeries};
 pub use telemetry::{
     CounterId, FlightRecorder, GaugeId, HistogramId, MetricsHub, ScopeId, TelemetryConfig,

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use crate::stats::Percentiles;
+use crate::telemetry::MetricsHub;
 
 /// The standard Pingmesh probe payload.
 pub const PROBE_BYTES: u32 = 512;
@@ -49,6 +50,12 @@ pub struct Pingmesh {
     per_scope: HashMap<Scope, Percentiles>,
     failures: HashMap<Scope, u64>,
     total: u64,
+    /// Telemetry hub the aggregation is mirrored into, if bound: each
+    /// scope's RTTs feed a `pingmesh.{scope}.rtt_ps` histogram, plus
+    /// probe/failure counters — so Pingmesh shows up in hub snapshots
+    /// and exported traces, not just this struct's render. A disabled
+    /// (or unbound) hub makes the mirroring a no-op.
+    hub: MetricsHub,
 }
 
 impl Pingmesh {
@@ -57,12 +64,31 @@ impl Pingmesh {
         Pingmesh::default()
     }
 
+    /// Empty aggregator mirroring into `hub` (§5's "RDMA Pingmesh data
+    /// feeds the same monitoring pipeline as the counters").
+    pub fn with_hub(hub: MetricsHub) -> Pingmesh {
+        Pingmesh {
+            hub,
+            ..Pingmesh::default()
+        }
+    }
+
     /// Record a probe outcome.
     pub fn record(&mut self, scope: Scope, result: ProbeResult) {
         self.total += 1;
+        self.hub
+            .incr(self.hub.counter(&format!("pingmesh.{scope}.probes")));
         match result {
-            ProbeResult::Rtt(ps) => self.per_scope.entry(scope).or_default().add(ps),
-            ProbeResult::Failed => *self.failures.entry(scope).or_default() += 1,
+            ProbeResult::Rtt(ps) => {
+                self.per_scope.entry(scope).or_default().add(ps);
+                self.hub
+                    .observe(self.hub.histogram(&format!("pingmesh.{scope}.rtt_ps")), ps);
+            }
+            ProbeResult::Failed => {
+                *self.failures.entry(scope).or_default() += 1;
+                self.hub
+                    .incr(self.hub.counter(&format!("pingmesh.{scope}.failures")));
+            }
         }
     }
 
@@ -167,6 +193,32 @@ mod tests {
             pm.record(Scope::IntraTor, ProbeResult::Failed);
         }
         assert!(!pm.healthy(Scope::IntraTor, 90_000_000));
+    }
+
+    /// A hub-bound aggregator mirrors every outcome into telemetry:
+    /// per-scope RTT histograms plus probe/failure counters, visible in
+    /// hub snapshots under `pingmesh.*` names.
+    #[test]
+    fn bound_hub_sees_percentiles_and_counts() {
+        let hub = MetricsHub::enabled();
+        let mut pm = Pingmesh::with_hub(hub.clone());
+        pm.record_samples(Scope::IntraTor, &[10_000, 20_000, 30_000]);
+        pm.record(Scope::IntraDc, ProbeResult::Rtt(90_000));
+        pm.record(Scope::IntraDc, ProbeResult::Failed);
+        assert_eq!(hub.counter_value("pingmesh.tor.probes"), Some(3));
+        assert_eq!(hub.counter_value("pingmesh.dc.probes"), Some(2));
+        assert_eq!(hub.counter_value("pingmesh.dc.failures"), Some(1));
+        assert_eq!(hub.counter_value("pingmesh.tor.failures"), None);
+        let mut h = hub.histogram_snapshot("pingmesh.tor.rtt_ps").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.p50(), Some(20_000));
+        // And the aggregator's own view is unchanged by the mirroring.
+        assert_eq!(pm.total(), 5);
+        assert_eq!(pm.scope_mut(Scope::IntraTor).unwrap().p50(), Some(20_000));
+        // An unbound aggregator stays hub-silent.
+        let mut silent = Pingmesh::new();
+        silent.record(Scope::IntraTor, ProbeResult::Rtt(1));
+        assert_eq!(hub.counter_value("pingmesh.tor.probes"), Some(3));
     }
 
     #[test]

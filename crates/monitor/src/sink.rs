@@ -1,0 +1,573 @@
+//! Streaming trace export: unbounded, structured, line-delimited.
+//!
+//! The flight recorder (§5's black box) keeps the most recent 4096
+//! [`TraceEvent`]s — enough for a post-mortem, useless for regenerating a
+//! paper figure. The paper's evidence is *trajectories*: queue depth over
+//! time (Figure 10), pause propagation (Figure 9), DCQCN rate curves,
+//! RTT distributions (Figure 6). This module is the export path those
+//! figures need: a [`TraceSink`] receives every record the fabric emits
+//! — flight-recorder events, per-packet hop records, periodic queue-depth
+//! samples, and congestion-control rate-change points — as it happens,
+//! and streams it out of the simulation (to a JSONL file, or into memory
+//! for tests) instead of into a bounded ring.
+//!
+//! Invariants:
+//!
+//! * **Digest neutrality.** A sink only observes. It never schedules
+//!   events, draws randomness, or touches packet contents, so the golden
+//!   dispatch digest is byte-identical with a sink attached or not; a
+//!   tier-1 test pins this the same way it pins telemetry, the profiler
+//!   and the deadlock detector.
+//! * **Zero cost detached.** Emission sites guard on one relaxed atomic
+//!   flag load; with no sink attached the per-packet hop path costs a
+//!   single compare.
+//! * **Self-describing lines.** Every record renders as one JSON object
+//!   with `t_ps`, `scope`, `kind` and kind-specific fields, through the
+//!   in-tree serde-free renderer. The strict [`parse_line`] parser reads
+//!   them back; `trace_analyze` is built on it, and a property test pins
+//!   the round trip.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::json::{self, Json};
+use crate::telemetry::TraceEvent;
+
+/// One per-packet hop: a data packet was enqueued at a switch egress
+/// port. The combination of (`scope`, `port`, `queue_bytes`) over time is
+/// the raw material of queue-depth heatmaps; (`src_ip`, `dst_ip`) ties
+/// hops into flow trajectories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopRecord {
+    /// Egress port the packet was queued on.
+    pub port: u16,
+    /// Priority class.
+    pub prio: u8,
+    /// Wire size of the packet, bytes.
+    pub bytes: u32,
+    /// IPv4 source (0 for non-IP frames).
+    pub src_ip: u32,
+    /// IPv4 destination (0 for non-IP frames).
+    pub dst_ip: u32,
+    /// Total bytes queued at the egress port *after* this enqueue.
+    pub queue_bytes: u64,
+}
+
+/// One periodic queue-depth sample for a switch, taken at every
+/// telemetry epoch by the cluster run loop — the Figure 10 time axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSample {
+    /// Lossless-class bytes queued across all egress ports.
+    pub backlog_bytes: u64,
+    /// Deepest single egress port right now, bytes (any class).
+    pub max_port_bytes: u64,
+    /// Cumulative data packets transmitted (progress corroboration).
+    pub tx_pkts: u64,
+}
+
+/// One congestion-control rate change on a QP — a point on the CC rate
+/// trajectory the DCQCN/TIMELY plots are drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatePoint {
+    /// QP number on the emitting NIC.
+    pub qp: u32,
+    /// New sending rate, Mbit/s.
+    pub rate_mbps: u32,
+    /// Controller that acted (`"dcqcn"`, `"timely"`).
+    pub cc: &'static str,
+    /// What moved it (`"cnp"`, `"increase"`, `"rtt-high"`, …).
+    pub cause: &'static str,
+}
+
+/// The payload of one streamed record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecordBody {
+    /// A flight-recorder event (drops, pauses, watchdogs, …), streamed
+    /// unbounded instead of ring-buffered.
+    Event(TraceEvent),
+    /// A per-packet hop at a switch egress.
+    Hop(HopRecord),
+    /// A periodic per-switch queue-depth sample.
+    Queue(QueueSample),
+    /// A CC rate-change trajectory point.
+    Rate(RatePoint),
+}
+
+impl RecordBody {
+    /// Stable kind tag for the `kind` field of the JSONL line.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RecordBody::Event(e) => e.kind(),
+            RecordBody::Hop(_) => "hop",
+            RecordBody::Queue(_) => "queue",
+            RecordBody::Rate(_) => "cc_rate",
+        }
+    }
+}
+
+/// One record as handed to a [`TraceSink`]: timestamp, resolved scope
+/// name (the emitting component), and the payload. Borrowed so the hub
+/// can stream without per-record allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamRecord<'a> {
+    /// Simulated time, picoseconds.
+    pub t_ps: u64,
+    /// Emitting component (e.g. `switch.pod0-tor0`, `nic.s3`).
+    pub scope: &'a str,
+    /// The payload.
+    pub body: RecordBody,
+}
+
+impl StreamRecord<'_> {
+    /// The canonical JSON object for this record — exactly what
+    /// [`JsonlSink`] writes per line and [`parse_line`] reads back.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("t_ps".to_string(), Json::U64(self.t_ps)),
+            ("scope".to_string(), Json::Str(self.scope.to_string())),
+            ("kind".to_string(), Json::Str(self.body.kind().to_string())),
+        ];
+        match self.body {
+            RecordBody::Event(e) => pairs.extend(e.detail_json()),
+            RecordBody::Hop(h) => {
+                pairs.push(("port".into(), Json::U64(h.port as u64)));
+                pairs.push(("prio".into(), Json::U64(h.prio as u64)));
+                pairs.push(("bytes".into(), Json::U64(h.bytes as u64)));
+                pairs.push(("src_ip".into(), Json::U64(h.src_ip as u64)));
+                pairs.push(("dst_ip".into(), Json::U64(h.dst_ip as u64)));
+                pairs.push(("queue_bytes".into(), Json::U64(h.queue_bytes)));
+            }
+            RecordBody::Queue(q) => {
+                pairs.push(("backlog_bytes".into(), Json::U64(q.backlog_bytes)));
+                pairs.push(("max_port_bytes".into(), Json::U64(q.max_port_bytes)));
+                pairs.push(("tx_pkts".into(), Json::U64(q.tx_pkts)));
+            }
+            RecordBody::Rate(r) => {
+                pairs.push(("qp".into(), Json::U64(r.qp as u64)));
+                pairs.push(("rate_mbps".into(), Json::U64(r.rate_mbps as u64)));
+                pairs.push(("cc".into(), Json::Str(r.cc.to_string())));
+                pairs.push(("cause".into(), Json::Str(r.cause.to_string())));
+            }
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// Which record classes a sink receives. Hop records dominate volume
+/// (one per packet per switch); analyses that only need trajectories can
+/// drop them at the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceFilter {
+    /// Flight-recorder events (drops, pauses, watchdogs, …).
+    pub events: bool,
+    /// Per-packet hop records.
+    pub hops: bool,
+    /// Periodic queue-depth samples.
+    pub queues: bool,
+    /// CC rate-change points.
+    pub rates: bool,
+}
+
+impl TraceFilter {
+    /// Everything (the default).
+    pub fn all() -> TraceFilter {
+        TraceFilter {
+            events: true,
+            hops: true,
+            queues: true,
+            rates: true,
+        }
+    }
+
+    /// Everything except per-packet hops — the compact trajectory trace.
+    pub fn no_hops() -> TraceFilter {
+        TraceFilter {
+            hops: false,
+            ..TraceFilter::all()
+        }
+    }
+
+    /// The bitmask the hub's lock-free emission guard loads. Non-zero
+    /// exactly when at least one class is selected.
+    pub fn bits(&self) -> u32 {
+        (self.events as u32)
+            | (self.hops as u32) << 1
+            | (self.queues as u32) << 2
+            | (self.rates as u32) << 3
+    }
+}
+
+impl Default for TraceFilter {
+    fn default() -> TraceFilter {
+        TraceFilter::all()
+    }
+}
+
+/// A destination for streamed trace records. Implementations must be
+/// `Send`: the fleet runner builds clusters (sink included) inside worker
+/// threads.
+pub trait TraceSink: Send {
+    /// Receive one record. Called inline from simulation dispatch; the
+    /// record borrows the hub's scope table, so copy out what you keep.
+    fn write(&mut self, rec: &StreamRecord<'_>);
+
+    /// Flush buffered output (end of run, or before a reader opens the
+    /// file). Default: no-op.
+    fn flush(&mut self) {}
+}
+
+/// Line-delimited JSON sink over any writer (file, pipe, `Vec<u8>`).
+/// One [`StreamRecord::to_json`] object per line, in emission order.
+pub struct JsonlSink {
+    w: Box<dyn Write + Send>,
+    records: u64,
+}
+
+impl JsonlSink {
+    /// Stream to a buffered file at `path` (created/truncated).
+    pub fn create(path: &str) -> std::io::Result<JsonlSink> {
+        let f = std::fs::File::create(path)?;
+        Ok(JsonlSink::to_writer(std::io::BufWriter::new(f)))
+    }
+
+    /// Stream to an arbitrary writer.
+    pub fn to_writer(w: impl Write + Send + 'static) -> JsonlSink {
+        JsonlSink {
+            w: Box::new(w),
+            records: 0,
+        }
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn write(&mut self, rec: &StreamRecord<'_>) {
+        let mut line = rec.to_json().render();
+        line.push('\n');
+        // A full disk mid-export is not a simulation error; the writer
+        // surfaces it on flush.
+        let _ = self.w.write_all(line.as_bytes());
+        self.records += 1;
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// One record copied out of the stream by a [`MemorySink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedRecord {
+    /// Simulated time, picoseconds.
+    pub t_ps: u64,
+    /// Emitting component.
+    pub scope: String,
+    /// The payload.
+    pub body: RecordBody,
+}
+
+impl OwnedRecord {
+    /// The same canonical JSON a [`JsonlSink`] would have written.
+    pub fn to_json(&self) -> Json {
+        StreamRecord {
+            t_ps: self.t_ps,
+            scope: &self.scope,
+            body: self.body,
+        }
+        .to_json()
+    }
+}
+
+/// In-memory sink for tests: clone the handle before attaching, read
+/// the records after the run. Clones share one record list.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    records: Arc<Mutex<Vec<OwnedRecord>>>,
+}
+
+impl MemorySink {
+    /// An empty shared sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Snapshot of everything recorded so far, in emission order.
+    pub fn records(&self) -> Vec<OwnedRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Number of records captured.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count of records of one kind.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.records
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|r| r.body.kind() == kind)
+            .count()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn write(&mut self, rec: &StreamRecord<'_>) {
+        self.records.lock().unwrap().push(OwnedRecord {
+            t_ps: rec.t_ps,
+            scope: rec.scope.to_string(),
+            body: rec.body,
+        });
+    }
+}
+
+/// One line of an exported trace, parsed back: the fixed header fields
+/// plus every kind-specific field as (name, value). This is the
+/// analyzer's working form — generic enough that new record kinds flow
+/// through without a schema change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRecord {
+    /// Simulated time, picoseconds.
+    pub t_ps: u64,
+    /// Emitting component.
+    pub scope: String,
+    /// Record kind tag (`"hop"`, `"queue"`, `"cc_rate"`, or an event
+    /// kind like `"pause_tx"`).
+    pub kind: String,
+    /// Kind-specific fields in line order.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl ParsedRecord {
+    /// A numeric field as `u64`, if present.
+    pub fn u64_field(&self, name: &str) -> Option<u64> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| match v {
+                Json::U64(u) => Some(*u),
+                Json::I64(i) => u64::try_from(*i).ok(),
+                _ => None,
+            })
+    }
+
+    /// A string field, if present.
+    pub fn str_field(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_str())
+    }
+
+    /// Re-render the canonical JSON line this record was parsed from.
+    /// `parse_line(line)?.to_json().render() == line` for every line a
+    /// [`JsonlSink`] writes — the round-trip property the tests pin.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("t_ps".to_string(), Json::U64(self.t_ps)),
+            ("scope".to_string(), Json::Str(self.scope.clone())),
+            ("kind".to_string(), Json::Str(self.kind.clone())),
+        ];
+        pairs.extend(self.fields.iter().cloned());
+        Json::Obj(pairs)
+    }
+}
+
+/// Parse one JSONL trace line. Strict about the header (`t_ps`, `scope`,
+/// `kind` must be present and correctly typed); everything else is
+/// carried through as kind-specific fields.
+pub fn parse_line(line: &str) -> Result<ParsedRecord, String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    let Json::Obj(pairs) = v else {
+        return Err("trace line is not a JSON object".to_string());
+    };
+    let mut t_ps = None;
+    let mut scope = None;
+    let mut kind = None;
+    let mut fields = Vec::new();
+    for (k, v) in pairs {
+        match (k.as_str(), &v) {
+            ("t_ps", Json::U64(t)) => t_ps = Some(*t),
+            ("t_ps", _) => return Err("\"t_ps\" must be an unsigned integer".to_string()),
+            ("scope", Json::Str(s)) => scope = Some(s.clone()),
+            ("scope", _) => return Err("\"scope\" must be a string".to_string()),
+            ("kind", Json::Str(s)) => kind = Some(s.clone()),
+            ("kind", _) => return Err("\"kind\" must be a string".to_string()),
+            _ => fields.push((k, v)),
+        }
+    }
+    Ok(ParsedRecord {
+        t_ps: t_ps.ok_or("missing \"t_ps\"")?,
+        scope: scope.ok_or("missing \"scope\"")?,
+        kind: kind.ok_or("missing \"kind\"")?,
+        fields,
+    })
+}
+
+/// Parse a whole exported trace (one record per line; blank lines
+/// allowed). Errors carry the 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<ParsedRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<OwnedRecord> {
+        vec![
+            OwnedRecord {
+                t_ps: 1_000,
+                scope: "switch.t0".into(),
+                body: RecordBody::Hop(HopRecord {
+                    port: 4,
+                    prio: 3,
+                    bytes: 1120,
+                    src_ip: 0x0a000001,
+                    dst_ip: 0x0a000002,
+                    queue_bytes: 2240,
+                }),
+            },
+            OwnedRecord {
+                t_ps: 2_000,
+                scope: "switch.t0".into(),
+                body: RecordBody::Event(TraceEvent::PauseTx { port: 1, prio: 3 }),
+            },
+            OwnedRecord {
+                t_ps: 3_000,
+                scope: "nic.s1".into(),
+                body: RecordBody::Rate(RatePoint {
+                    qp: 0,
+                    rate_mbps: 20_000,
+                    cc: "dcqcn",
+                    cause: "cnp",
+                }),
+            },
+            OwnedRecord {
+                t_ps: 100_000_000,
+                scope: "switch.t0".into(),
+                body: RecordBody::Queue(QueueSample {
+                    backlog_bytes: 1 << 20,
+                    max_port_bytes: 1 << 19,
+                    tx_pkts: 42,
+                }),
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = Arc::new(Mutex::new(buf));
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::to_writer(SharedWriter(shared.clone()));
+        for r in sample_records() {
+            sink.write(&StreamRecord {
+                t_ps: r.t_ps,
+                scope: &r.scope,
+                body: r.body,
+            });
+        }
+        sink.flush();
+        assert_eq!(sink.records_written(), 4);
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(parsed[0].kind, "hop");
+        assert_eq!(parsed[1].kind, "pause_tx");
+        assert_eq!(parsed[2].kind, "cc_rate");
+        assert_eq!(parsed[3].kind, "queue");
+        assert_eq!(parsed[3].u64_field("backlog_bytes"), Some(1 << 20));
+        assert_eq!(parsed[2].str_field("cc"), Some("dcqcn"));
+    }
+
+    /// Canonical round trip: render → parse → re-render is the identity
+    /// on bytes, for every record kind.
+    #[test]
+    fn parse_reaches_fixpoint_on_canonical_lines() {
+        for r in sample_records() {
+            let line = r.to_json().render();
+            let back = parse_line(&line).unwrap();
+            assert_eq!(back.to_json().render(), line);
+            assert_eq!(back.t_ps, r.t_ps);
+            assert_eq!(back.scope, r.scope);
+            assert_eq!(back.kind, r.body.kind());
+        }
+    }
+
+    #[test]
+    fn memory_sink_copies_records() {
+        let sink = MemorySink::new();
+        let mut writer = sink.clone();
+        for r in sample_records() {
+            writer.write(&StreamRecord {
+                t_ps: r.t_ps,
+                scope: &r.scope,
+                body: r.body,
+            });
+        }
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.count_kind("hop"), 1);
+        assert_eq!(sink.records(), sample_records());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("[1,2]").is_err());
+        assert!(parse_line(r#"{"scope":"x","kind":"hop"}"#).is_err()); // no t_ps
+        assert!(parse_line(r#"{"t_ps":-1,"scope":"x","kind":"hop"}"#).is_err());
+        assert!(parse_line(r#"{"t_ps":1,"scope":2,"kind":"hop"}"#).is_err());
+        assert!(
+            parse_jsonl("{\"t_ps\":1,\"scope\":\"s\",\"kind\":\"k\"}\ngarbage\n")
+                .unwrap_err()
+                .contains("line 2")
+        );
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "\n{\"t_ps\":1,\"scope\":\"s\",\"kind\":\"k\"}\n\n";
+        assert_eq!(parse_jsonl(text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn filter_bits() {
+        assert_eq!(TraceFilter::all().bits(), 0b1111);
+        assert_eq!(TraceFilter::no_hops().bits(), 0b1101);
+        let none = TraceFilter {
+            events: false,
+            hops: false,
+            queues: false,
+            rates: false,
+        };
+        assert_eq!(none.bits(), 0);
+    }
+}

@@ -35,10 +35,13 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::json::Json;
+use crate::sink::{
+    HopRecord, QueueSample, RatePoint, RecordBody, StreamRecord, TraceFilter, TraceSink,
+};
 use crate::stats::{Percentiles, TimeSeries};
 
 /// Hub tuning knobs.
@@ -88,6 +91,15 @@ pub struct HistogramId(u32);
 pub struct ScopeId(u32);
 
 const SENTINEL: u32 = u32::MAX;
+
+/// Sink-filter bit for flight-recorder events ([`TraceFilter::bits`]).
+const SINK_EVENTS: u32 = 1;
+/// Sink-filter bit for per-packet hop records.
+const SINK_HOPS: u32 = 1 << 1;
+/// Sink-filter bit for periodic queue-depth samples.
+const SINK_QUEUES: u32 = 1 << 2;
+/// Sink-filter bit for CC rate-change points.
+const SINK_RATES: u32 = 1 << 3;
 
 impl CounterId {
     /// The id handed out by a disabled hub.
@@ -215,7 +227,7 @@ impl TraceEvent {
         }
     }
 
-    fn detail_json(&self) -> Vec<(String, Json)> {
+    pub(crate) fn detail_json(&self) -> Vec<(String, Json)> {
         let mut d = Vec::new();
         match *self {
             TraceEvent::Drop { reason } => d.push(("reason".into(), Json::Str(reason.into()))),
@@ -451,6 +463,15 @@ struct HubShared {
     /// Copied out of `TelemetryConfig` so the hot path reads it without
     /// locking.
     locked_reference: bool,
+    /// Attached streaming trace sink, if any. Locked only while writing
+    /// a record; lock order is always `inner` → `sink` (scope-name
+    /// resolution happens under `inner` so the borrowed record can be
+    /// written without cloning the name).
+    sink: Mutex<Option<Box<dyn TraceSink>>>,
+    /// [`TraceFilter::bits`] of the attached sink, 0 when detached. The
+    /// per-packet emission guard is one relaxed load of this word — with
+    /// no sink the hop path costs a single compare, like a disabled hub.
+    sink_flags: AtomicU32,
 }
 
 impl HubShared {
@@ -537,6 +558,8 @@ impl MetricsHub {
                 flight: Mutex::new(FlightRecorder::new(cfg.flight_capacity)),
                 inner: Mutex::new(HubInner::new(cfg)),
                 locked_reference: cfg.locked_reference,
+                sink: Mutex::new(None),
+                sink_flags: AtomicU32::new(0),
             })),
         }
     }
@@ -690,11 +713,139 @@ impl MetricsHub {
     }
 
     /// Append a trace event to the flight recorder. Takes only the
-    /// recorder's own mutex, never the registration lock.
+    /// recorder's own mutex, never the registration lock — unless a
+    /// sink is attached with the events class selected, in which case
+    /// the event is also teed into the unbounded stream.
     #[inline]
     pub fn trace(&self, t_ps: u64, scope: ScopeId, event: TraceEvent) {
         if let Some(s) = &self.inner {
             s.flight.lock().unwrap().record(t_ps, scope, event);
+            if s.sink_flags.load(Ordering::Relaxed) & SINK_EVENTS != 0 {
+                self.stream(t_ps, scope, RecordBody::Event(event));
+            }
+        }
+    }
+
+    // ---- trace streaming ----------------------------------------------
+
+    /// Attach a streaming trace sink. Records matching `filter` flow to
+    /// it from now on; any previously attached sink is flushed and
+    /// returned. The sink only observes — attaching one never perturbs
+    /// the dispatch trace (a tier-1 test pins this against the golden
+    /// digest). No-op returning the sink on a disabled hub.
+    pub fn attach_sink(
+        &self,
+        sink: Box<dyn TraceSink>,
+        filter: TraceFilter,
+    ) -> Option<Box<dyn TraceSink>> {
+        let Some(s) = &self.inner else {
+            return Some(sink);
+        };
+        let mut slot = s.sink.lock().unwrap();
+        let mut old = slot.replace(sink);
+        if let Some(prev) = old.as_mut() {
+            prev.flush();
+        }
+        s.sink_flags.store(filter.bits(), Ordering::Relaxed);
+        old
+    }
+
+    /// Detach the current sink (flushed), stopping all streaming.
+    pub fn detach_sink(&self) -> Option<Box<dyn TraceSink>> {
+        let s = self.inner.as_ref()?;
+        s.sink_flags.store(0, Ordering::Relaxed);
+        let mut old = s.sink.lock().unwrap().take();
+        if let Some(prev) = old.as_mut() {
+            prev.flush();
+        }
+        old
+    }
+
+    /// Flush the attached sink's buffered output, if any.
+    pub fn flush_sink(&self) {
+        if let Some(s) = &self.inner {
+            if let Some(sink) = s.sink.lock().unwrap().as_mut() {
+                sink.flush();
+            }
+        }
+    }
+
+    /// Whether a sink is attached with at least one record class live.
+    #[inline]
+    pub fn has_sink(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|s| s.sink_flags.load(Ordering::Relaxed) != 0)
+    }
+
+    /// Whether per-packet hop records are being streamed. Emission sites
+    /// guard on this before assembling a [`HopRecord`], so a detached
+    /// sink keeps the per-packet path at a single relaxed load.
+    #[inline]
+    pub fn streams_hops(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|s| s.sink_flags.load(Ordering::Relaxed) & SINK_HOPS != 0)
+    }
+
+    /// Whether periodic queue-depth samples are being streamed.
+    #[inline]
+    pub fn streams_queues(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|s| s.sink_flags.load(Ordering::Relaxed) & SINK_QUEUES != 0)
+    }
+
+    /// Whether CC rate-change points are being streamed.
+    #[inline]
+    pub fn streams_rates(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|s| s.sink_flags.load(Ordering::Relaxed) & SINK_RATES != 0)
+    }
+
+    /// Stream one per-packet hop record (guard with
+    /// [`Self::streams_hops`] to skip field extraction when detached).
+    #[inline]
+    pub fn stream_hop(&self, t_ps: u64, scope: ScopeId, hop: HopRecord) {
+        if self.streams_hops() {
+            self.stream(t_ps, scope, RecordBody::Hop(hop));
+        }
+    }
+
+    /// Stream one periodic queue-depth sample.
+    #[inline]
+    pub fn stream_queue(&self, t_ps: u64, scope: ScopeId, q: QueueSample) {
+        if self.streams_queues() {
+            self.stream(t_ps, scope, RecordBody::Queue(q));
+        }
+    }
+
+    /// Stream one CC rate-change trajectory point.
+    #[inline]
+    pub fn stream_rate(&self, t_ps: u64, scope: ScopeId, r: RatePoint) {
+        if self.streams_rates() {
+            self.stream(t_ps, scope, RecordBody::Rate(r));
+        }
+    }
+
+    /// Resolve the scope name and hand one record to the sink. Cold
+    /// relative to the guards above; takes `inner` then `sink` (the
+    /// global lock order).
+    fn stream(&self, t_ps: u64, scope: ScopeId, body: RecordBody) {
+        let Some(s) = &self.inner else { return };
+        let h = s.inner.lock().unwrap();
+        let name = h
+            .scope_names
+            .get(scope.0 as usize)
+            .map(|n| n.as_str())
+            .unwrap_or("?");
+        if let Some(sink) = s.sink.lock().unwrap().as_mut() {
+            sink.write(&StreamRecord {
+                t_ps,
+                scope: name,
+                body,
+            });
         }
     }
 
@@ -1184,6 +1335,83 @@ mod tests {
             .map(|(n, _)| n)
             .collect();
         assert_eq!(names, vec!["a.first", "m.aaa", "m.mid", "z.last"]);
+    }
+
+    /// A sink attached to the hub receives flight events (teed), hop
+    /// records, queue samples, and rate points with scope names
+    /// resolved, honors the filter, and stops cleanly on detach.
+    #[test]
+    fn sink_tee_streams_filtered_records() {
+        use crate::sink::{HopRecord, MemorySink, QueueSample, RatePoint, TraceFilter};
+        let hub = MetricsHub::enabled();
+        let sw = hub.scope("switch.t0");
+        let nic = hub.scope("nic.s1");
+        assert!(!hub.has_sink());
+        // Nothing attached: streaming guards are off, calls are no-ops.
+        assert!(!hub.streams_hops());
+        hub.stream_queue(
+            0,
+            sw,
+            QueueSample {
+                backlog_bytes: 0,
+                max_port_bytes: 0,
+                tx_pkts: 0,
+            },
+        );
+
+        let mem = MemorySink::new();
+        hub.attach_sink(Box::new(mem.clone()), TraceFilter::no_hops());
+        assert!(hub.has_sink());
+        assert!(!hub.streams_hops());
+        assert!(hub.streams_queues() && hub.streams_rates());
+
+        hub.trace(10, sw, TraceEvent::PauseTx { port: 2, prio: 3 });
+        hub.stream_hop(
+            11,
+            sw,
+            HopRecord {
+                port: 1,
+                prio: 3,
+                bytes: 1000,
+                src_ip: 1,
+                dst_ip: 2,
+                queue_bytes: 1000,
+            },
+        ); // filtered out
+        hub.stream_queue(
+            12,
+            sw,
+            QueueSample {
+                backlog_bytes: 5,
+                max_port_bytes: 5,
+                tx_pkts: 1,
+            },
+        );
+        hub.stream_rate(
+            13,
+            nic,
+            RatePoint {
+                qp: 0,
+                rate_mbps: 40_000,
+                cc: "dcqcn",
+                cause: "cnp",
+            },
+        );
+
+        let recs = mem.records();
+        assert_eq!(recs.len(), 3, "hop must be filtered: {recs:?}");
+        assert_eq!(recs[0].body.kind(), "pause_tx");
+        assert_eq!(recs[0].scope, "switch.t0");
+        assert_eq!(recs[1].body.kind(), "queue");
+        assert_eq!(recs[2].body.kind(), "cc_rate");
+        assert_eq!(recs[2].scope, "nic.s1");
+        // The flight recorder still got the event (tee, not a move).
+        assert_eq!(hub.flight_kind_counts(), vec![("pause_tx", 1)]);
+
+        hub.detach_sink();
+        assert!(!hub.has_sink());
+        hub.trace(20, sw, TraceEvent::StormStart);
+        assert_eq!(mem.len(), 3, "detached sink must see nothing new");
     }
 
     /// Updates from several threads land without loss — the property the

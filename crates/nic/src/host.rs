@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 
 use rocescale_cc::{CcAction, CcParams, CcSignal, CongestionControl, ReceiverCc, SenderCc};
 use rocescale_dcqcn::{NpParams, RpParams};
-use rocescale_monitor::{CounterId, HistogramId, MetricsHub, ScopeId, TraceEvent};
+use rocescale_monitor::{CounterId, HistogramId, MetricsHub, RatePoint, ScopeId, TraceEvent};
 use rocescale_packet::{
     EcnCodepoint, EthMeta, Ipv4Meta, MacAddr, Packet, PacketKind, PauseFrame, PfcPauseFrame,
     Priority, RoceOpcode, RocePacket,
@@ -810,17 +810,31 @@ impl RdmaHost {
     }
 
     /// Record a congestion-control action: per-QP counter plus a trace
-    /// event naming the controller that acted.
+    /// event naming the controller that acted, plus — with a sink
+    /// streaming rate points — one trajectory point carrying the QP
+    /// identity the flight event elides.
     fn note_cc_action(&mut self, qpn: u32, act: CcAction, now_ps: u64) {
         match act {
             CcAction::RateChange { rate_bps, cause } => {
                 self.tele.hub.incr(self.tele.qp_rate_changes[qpn as usize]);
+                let cc = self.qps[qpn as usize].cc.kind().name();
+                let rate_mbps = (rate_bps / 1e6) as u32;
                 self.tele.hub.trace(
                     now_ps,
                     self.tele.scope,
                     TraceEvent::RateChange {
-                        cc: self.qps[qpn as usize].cc.kind().name(),
-                        rate_mbps: (rate_bps / 1e6) as u32,
+                        cc,
+                        rate_mbps,
+                        cause,
+                    },
+                );
+                self.tele.hub.stream_rate(
+                    now_ps,
+                    self.tele.scope,
+                    RatePoint {
+                        qp: qpn,
+                        rate_mbps,
+                        cc,
                         cause,
                     },
                 );

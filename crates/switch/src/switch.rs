@@ -5,7 +5,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 
 use rocescale_dcqcn::CpState;
-use rocescale_monitor::{CounterId, MetricsHub, ScopeId, TraceEvent};
+use rocescale_monitor::{CounterId, HopRecord, MetricsHub, ScopeId, TraceEvent};
 use rocescale_packet::{
     EcnCodepoint, FiveTuple, MacAddr, Packet, PacketKind, PauseFrame, PfcPauseFrame, Priority,
 };
@@ -564,6 +564,17 @@ impl Switch {
         self.egress[port.index()].queue_bytes[prio.index()]
     }
 
+    /// Deepest single egress port right now, total bytes across all
+    /// classes — the instantaneous hot-spot depth the queue-depth
+    /// heatmap samples.
+    pub fn max_egress_depth(&self) -> u64 {
+        self.egress
+            .iter()
+            .map(|e| e.total_bytes())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Bytes of lossless-class traffic queued across all egress ports —
     /// the backlog half of the deadlock signature (§4.2).
     pub fn lossless_backlog(&self) -> u64 {
@@ -942,6 +953,14 @@ impl Switch {
                 }
             }
         }
+        // Hop streaming: capture flow identity before the packet moves
+        // into the queue. Guarded so a detached sink keeps the
+        // per-packet path at one relaxed load.
+        let hop_flow = if self.tele.hub.streams_hops() {
+            Some(pkt.ip.map_or((0, 0), |ip| (ip.src, ip.dst)))
+        } else {
+            None
+        };
         let e = &mut self.egress[egress.index()];
         e.queue_bytes[prio.index()] += bytes;
         e.queues[prio.index()].push_back(QueuedPkt {
@@ -950,6 +969,20 @@ impl Switch {
             flood_copy,
         });
         let total = e.total_bytes();
+        if let Some((src_ip, dst_ip)) = hop_flow {
+            self.tele.hub.stream_hop(
+                ctx.now().as_ps(),
+                self.tele.scope,
+                HopRecord {
+                    port: egress.0,
+                    prio: prio.index() as u8,
+                    bytes: bytes as u32,
+                    src_ip,
+                    dst_ip,
+                    queue_bytes: total,
+                },
+            );
+        }
         let peak = &mut self.stats.peak_egress_bytes[egress.index()];
         *peak = (*peak).max(total);
         // Ingress-counter growth may cross XOFF.

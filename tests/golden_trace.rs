@@ -11,8 +11,8 @@
 //! If a PR changes simulation semantics on purpose, re-deriving the
 //! constant is the explicit, reviewable act of accepting the new trace.
 
-use rocescale_core::{ClusterBuilder, ServerId};
-use rocescale_monitor::MetricsHub;
+use rocescale_core::{ClusterBuilder, InstrumentationProfile, ServerId};
+use rocescale_monitor::{MemorySink, MetricsHub};
 use rocescale_nic::QpApp;
 use rocescale_sim::{DigestMode, EngineKind, EventProfile, ProfileMode, SimTime};
 
@@ -205,6 +205,94 @@ fn unfired_fault_script_preserves_the_golden_trace() {
         cl.deadlock_probe().epochs() > 0,
         "the live detector must actually have run"
     );
+}
+
+/// Run the pinned scenario with an arbitrary instrumentation profile.
+fn run_instrumented(instr: InstrumentationProfile) -> (u64, u64) {
+    let mut cl = ClusterBuilder::two_tier(2, 4)
+        .seed(7)
+        .instrumentation(instr)
+        .build();
+    for i in 1..4usize {
+        cl.connect_qp(
+            ServerId(i),
+            ServerId(0),
+            6000 + i as u16,
+            QpApp::Saturate {
+                msg_len: 128 * 1024,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+    }
+    cl.run_until(SimTime::from_micros(500));
+    (cl.world.dispatch_digest(), cl.world.events_processed())
+}
+
+/// A streaming trace sink must be a pure observer: the pinned scenario
+/// with a live sink — per-packet hops, queue samples, rate points and
+/// teed flight events all flowing — reproduces the exact golden digest
+/// while actually exporting a substantial trace.
+#[test]
+fn trace_sink_does_not_perturb_the_dispatch_trace() {
+    let mem = MemorySink::new();
+    let out = run_instrumented(
+        InstrumentationProfile::paper_default()
+            .telemetry(MetricsHub::enabled())
+            .trace_sink(mem.clone()),
+    );
+    assert_eq!(
+        out,
+        (GOLDEN_DIGEST, GOLDEN_EVENTS),
+        "sink-attached trace deviates from the committed golden digest"
+    );
+    // And the sink must really have streamed the run, not no-opped:
+    // every packet enqueue is a hop, each telemetry epoch a queue
+    // sample per switch, and DCQCN activity shows up as rate points.
+    assert!(
+        mem.count_kind("hop") > 1000,
+        "hops: {}",
+        mem.count_kind("hop")
+    );
+    assert!(mem.count_kind("queue") > 0, "queue samples missing");
+    assert!(mem.count_kind("cc_rate") > 0, "rate points missing");
+}
+
+/// Attaching a sink without a hub must imply an enabled hub (otherwise
+/// the sink would silently see nothing) — and still leave the golden
+/// trace untouched.
+#[test]
+fn sink_implies_enabled_hub_and_preserves_the_golden_trace() {
+    let mem = MemorySink::new();
+    let out = run_instrumented(InstrumentationProfile::paper_default().trace_sink(mem.clone()));
+    assert_eq!(out, (GOLDEN_DIGEST, GOLDEN_EVENTS));
+    assert!(!mem.is_empty(), "implied hub must actually stream");
+}
+
+/// The deprecated loose builder setters (`telemetry`/`digest`/`profile`)
+/// are shims into [`InstrumentationProfile`]; both surfaces must
+/// configure identical observation and dispatch the identical golden
+/// trace — the PR 4 `dcqcn(bool)` shim-agreement pattern.
+#[test]
+fn builder_shims_agree_with_instrumentation_profile() {
+    let via_shims = run_full(
+        EngineKind::Wheel,
+        MetricsHub::enabled(),
+        DigestMode::On,
+        ProfileMode::Off,
+    )
+    .0;
+    let via_profile = run_instrumented(
+        InstrumentationProfile::paper_default()
+            .telemetry(MetricsHub::enabled())
+            .digest(DigestMode::On)
+            .profiler(ProfileMode::Off),
+    );
+    assert_eq!(
+        via_shims, via_profile,
+        "old setters and the profile must be the same configuration"
+    );
+    assert_eq!(via_profile, (GOLDEN_DIGEST, GOLDEN_EVENTS));
 }
 
 /// The dispatch profiler must also be a pure observer: with profiling
