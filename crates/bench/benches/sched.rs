@@ -10,7 +10,7 @@ use rocescale_core::{Cluster, ClusterBuilder, ServerId};
 use rocescale_monitor::{profile_json, Json, MetricsHub};
 use rocescale_nic::QpApp;
 use rocescale_sim::sched::EventQueue;
-use rocescale_sim::{DigestMode, EngineKind, ProfileMode, SimRng, SimTime};
+use rocescale_sim::{DigestMode, DispatchMode, EngineKind, ProfileMode, SimRng, SimTime};
 use rocescale_topology::ClosSpec;
 
 const ENGINES: [EngineKind; 2] = [EngineKind::Wheel, EngineKind::BinaryHeap];
@@ -111,15 +111,16 @@ fn build_incast_full(
     cl
 }
 
-/// Full-fabric Clos incasts at three sizes: a rack, a pod, and a
-/// two-podset fabric. Event count (and thus pending-event depth) grows
+/// Full-fabric Clos incasts at four sizes: a rack, a pod, and two
+/// podset fabrics. Event count (and thus pending-event depth) grows
 /// with fabric size; the wheel must stay at parity or better throughout.
 fn sched_clos_incast(out: &mut Vec<Measurement>, profiles: &mut Vec<(String, Json)>) {
     section("sched_clos_incast");
-    let fabrics: [(&str, ClosSpec, usize); 3] = [
+    let fabrics: [(&str, ClosSpec, usize); 4] = [
         ("rack_8", ClosSpec::uniform_40g(1, 1, 1, 1, 8), 7),
         ("pod_2x8", ClosSpec::uniform_40g(1, 2, 2, 2, 8), 7),
         ("podset_2x2x4", ClosSpec::uniform_40g(2, 2, 2, 4, 4), 7),
+        ("podset_4x4x8", ClosSpec::uniform_40g(4, 4, 4, 8, 8), 7),
     ];
     let window = SimTime::from_micros(200);
     for (name, spec, fan_in) in fabrics {
@@ -139,6 +140,19 @@ fn sched_clos_incast(out: &mut Vec<Measurement>, profiles: &mut Vec<(String, Jso
                 },
             ));
         }
+        // The pre-batching dispatch loop: same events one at a time. The
+        // gap to the plain Wheel line above is the same-tick coalescing
+        // win, measured drift-free within one process run.
+        out.push(bench_elements(
+            &format!("incast_{name}/Wheel+single_step"),
+            events,
+            || {
+                let mut cl = build_incast(spec, fan_in, EngineKind::Wheel, DigestMode::On);
+                cl.world.set_dispatch_mode(DispatchMode::SingleStep);
+                cl.run_until(window);
+                cl.world.events_processed()
+            },
+        ));
         // The dispatch-digest opt-out (fleet/bench fast path): same event
         // stream, no per-event FNV fold.
         out.push(bench_elements(

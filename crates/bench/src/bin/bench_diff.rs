@@ -75,15 +75,68 @@ fn comparable_series(doc: &Json) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Per-kind handler-nanos series from a sched artifact's `profiles` key:
+/// one `(fabric.kind.nanos, value)` pair per dispatch kind per fabric.
+/// Absent (old artifacts, fleet shape) yields an empty series — the
+/// profiles diff is additive and warn-only like everything else here.
+fn profile_series(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(Json::Obj(fabrics)) = doc.get("profiles") else {
+        return out;
+    };
+    for (fabric, prof) in fabrics {
+        let Json::Obj(entries) = prof else { continue };
+        for (kind, entry) in entries {
+            if let Some(nanos) = entry.get("nanos").and_then(as_f64) {
+                out.push((format!("profiles.{fabric}.{kind}.nanos"), nanos));
+            }
+        }
+    }
+    out
+}
+
 /// Diff one baseline/fresh pair; returns the number of warnings emitted.
 fn diff(baseline_path: &str, fresh_path: &str, tolerance_pct: f64) -> usize {
     let (Some(base), Some(fresh)) = (read_doc(baseline_path), read_doc(fresh_path)) else {
         return 1; // read_doc already warned
     };
-    let base_series = comparable_series(&base);
-    let fresh_series = comparable_series(&fresh);
+    let mut warnings = compare_series(
+        &comparable_series(&base),
+        &comparable_series(&fresh),
+        tolerance_pct,
+        baseline_path,
+        fresh_path,
+    );
+    // Per-kind dispatch-profile nanos (sched artifacts only). Skipped
+    // unless both sides carry a `profiles` key, so old baselines don't
+    // drown the run in "new arm" warnings.
+    let base_prof = profile_series(&base);
+    let fresh_prof = profile_series(&fresh);
+    if !base_prof.is_empty() && !fresh_prof.is_empty() {
+        warnings += compare_series(
+            &base_prof,
+            &fresh_prof,
+            tolerance_pct,
+            baseline_path,
+            fresh_path,
+        );
+    } else if base_prof.is_empty() != fresh_prof.is_empty() {
+        println!("bench_diff: profiles key present on one side only — profile diff skipped");
+    }
+    warnings
+}
+
+/// Compare matched `(label, value)` series, warning outside tolerance;
+/// returns the number of warnings emitted.
+fn compare_series(
+    base_series: &[(String, f64)],
+    fresh_series: &[(String, f64)],
+    tolerance_pct: f64,
+    baseline_path: &str,
+    fresh_path: &str,
+) -> usize {
     let mut warnings = 0;
-    for (name, base_val) in &base_series {
+    for (name, base_val) in base_series {
         let Some((_, fresh_val)) = fresh_series.iter().find(|(n, _)| n == name) else {
             println!(
                 "::warning::bench_diff: {name} present in {baseline_path} but missing \
@@ -108,7 +161,7 @@ fn diff(baseline_path: &str, fresh_path: &str, tolerance_pct: f64) -> usize {
             println!("bench_diff: {name}: {fresh_val:.1} vs {base_val:.1} ({delta_pct:+.1}%) ok");
         }
     }
-    for (name, _) in &fresh_series {
+    for (name, _) in fresh_series {
         if !base_series.iter().any(|(n, _)| n == name) {
             println!(
                 "::warning::bench_diff: {name} is new in {fresh_path} (no committed baseline)"

@@ -86,16 +86,28 @@ impl EngineReport {
         let _ = writeln!(out, "cascades/event      {:.4}", self.cascades_per_event());
         if let Some(p) = &self.profile {
             for (i, kind) in EventProfile::KINDS.iter().enumerate() {
-                let mean = if p.counts[i] == 0 {
-                    0.0
-                } else {
-                    p.nanos[i] as f64 / p.counts[i] as f64
-                };
                 let _ = writeln!(
                     out,
                     "dispatch {:<11} {} events, {} ns total, {:.1} ns/event",
-                    kind, p.counts[i], p.nanos[i], mean
+                    kind,
+                    p.counts[i],
+                    p.nanos[i],
+                    p.ns_per_event(i)
                 );
+            }
+            let batches = p.total_batches();
+            if batches > 0 {
+                let _ = writeln!(
+                    out,
+                    "batches             {} ({:.2} events/batch)",
+                    batches,
+                    p.total_events() as f64 / batches as f64
+                );
+                for (i, range) in EventProfile::BATCH_BUCKETS.iter().enumerate() {
+                    if p.batches[i] > 0 {
+                        let _ = writeln!(out, "batch {:<13} {}", range, p.batches[i]);
+                    }
+                }
             }
         }
         out
@@ -123,8 +135,9 @@ impl EngineReport {
 }
 
 /// Render an [`EventProfile`] as a JSON object keyed by event kind, each
-/// with `count` and `nanos`, plus totals — the dispatch breakdown the
-/// bench artifacts record.
+/// with `count`, `nanos`, and `ns_per_event`, plus totals and the
+/// events-per-batch histogram — the dispatch breakdown the bench
+/// artifacts record.
 pub fn profile_json(p: &EventProfile) -> Json {
     let mut pairs: Vec<(&str, Json)> = EventProfile::KINDS
         .iter()
@@ -135,12 +148,24 @@ pub fn profile_json(p: &EventProfile) -> Json {
                 Json::obj(vec![
                     ("count", Json::U64(p.counts[i])),
                     ("nanos", Json::U64(p.nanos[i])),
+                    ("ns_per_event", Json::F64(p.ns_per_event(i))),
                 ]),
             )
         })
         .collect();
     pairs.push(("total_events", Json::U64(p.total_events())));
     pairs.push(("total_nanos", Json::U64(p.total_nanos())));
+    pairs.push(("total_batches", Json::U64(p.total_batches())));
+    pairs.push((
+        "batch_histogram",
+        Json::obj(
+            EventProfile::BATCH_BUCKETS
+                .iter()
+                .enumerate()
+                .map(|(i, range)| (*range, Json::U64(p.batches[i])))
+                .collect(),
+        ),
+    ));
     Json::obj(pairs)
 }
 

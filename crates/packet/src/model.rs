@@ -315,22 +315,31 @@ pub enum PacketKind {
 /// post-construction mutates a size-affecting field (VLAN presence and
 /// the packet body are fixed at creation — forwarding only rewrites
 /// MACs, TTL, and ECN bits).
+/// `repr(C)` pins the declared field order so the hot header fields —
+/// the id (tracing, arena free-list link, digest detail), the cached
+/// wire size (admission, byte accounting, DWRR deficits, serialization
+/// delay), the creation timestamp (latency accounting), and the IP
+/// header whose DSCP/ECN bits the switch pipeline classifies on — share
+/// the packet's first cache line in the world's dense arena slab,
+/// instead of wherever layout optimization scatters them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct Packet {
     /// Unique id for tracing.
     pub id: u64,
-    /// Ethernet metadata.
-    pub eth: EthMeta,
-    /// IP metadata (absent for pause frames, ARP, raw L2).
-    pub ip: Option<Ipv4Meta>,
-    /// The packet body.
-    pub kind: PacketKind,
     /// Simulation timestamp (picoseconds) when the packet was created by
     /// its original sender; used for end-to-end latency accounting.
     pub created_ps: u64,
     /// Cached [`Packet::compute_wire_size`] of `eth`/`kind`, filled at
     /// construction.
     wire: u32,
+    /// IP metadata (absent for pause frames, ARP, raw L2) — carries the
+    /// DSCP byte that priority classification reads per hop.
+    pub ip: Option<Ipv4Meta>,
+    /// Ethernet metadata.
+    pub eth: EthMeta,
+    /// The packet body.
+    pub kind: PacketKind,
 }
 
 impl Packet {

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod rng;
 pub mod sched;
 mod time;
@@ -36,7 +37,8 @@ pub use rng::SimRng;
 pub use sched::{EngineKind, SchedStats};
 pub use time::SimTime;
 pub use world::{
-    Ctx, DigestMode, EventProfile, LinkSpec, Node, NodeId, PortId, ProfileMode, TxError, World,
+    Ctx, DigestMode, DispatchMode, EventProfile, LinkSpec, Node, NodeId, PortId, ProfileMode,
+    TxError, World,
 };
 
 /// Speed of signal propagation in copper/fiber used for cable-length →

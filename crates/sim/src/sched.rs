@@ -228,6 +228,86 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Pop every event sharing the queue-front timestamp — a *batch* —
+    /// appending them to `out` in exact `(time, seq)` dispatch order.
+    /// Returns the number of events appended; 0 when the queue is empty,
+    /// the front event is past `deadline`, or `limit` is 0. At most
+    /// `limit` events are drained (a truncated batch resumes, in order,
+    /// on the next call).
+    ///
+    /// This is the engine half of the world's same-tick dispatch
+    /// batching: one front lookup amortizes over the whole run instead
+    /// of a peek + pop round trip per event.
+    ///
+    /// Completeness on the wheel engine: `peek` collects the front
+    /// level-0 slot into `ready`, after which every entry whose tick
+    /// precedes the cursor — in particular every entry sharing the front
+    /// *timestamp* — lives in `ready` (later same-time pushes land there
+    /// too, via the `t < cursor` path in `push`). So draining
+    /// `ready` while the tail's time matches cannot miss a same-time
+    /// entry parked elsewhere in the wheel.
+    pub fn pop_batch(
+        &mut self,
+        deadline: SimTime,
+        limit: usize,
+        out: &mut Vec<(SimTime, T)>,
+    ) -> usize {
+        if limit == 0 {
+            return 0;
+        }
+        let Some(front) = self.peek_time() else {
+            return 0;
+        };
+        if front > deadline {
+            return 0;
+        }
+        if self.live.is_none() {
+            // Fast path: no cancellation tracking (the simulator's own
+            // queue), so tombstones cannot exist and the front run can
+            // be drained without per-event set lookups.
+            let start = out.len();
+            match &mut self.engine {
+                Engine::Wheel(w) => {
+                    while out.len() - start < limit {
+                        match w.ready.last() {
+                            Some(e) if e.time == front => {
+                                let e = w.ready.pop().expect("checked non-empty");
+                                out.push((e.time, e.item));
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                Engine::Heap(h) => {
+                    while out.len() - start < limit {
+                        match h.peek() {
+                            Some(Reverse(e)) if e.time == front => {
+                                let Reverse(e) = h.pop().expect("checked non-empty");
+                                out.push((e.time, e.item));
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+            }
+            let n = out.len() - start;
+            self.len -= n;
+            self.stats.dispatched += n as u64;
+            n
+        } else {
+            // Cancellation-tracked queues stay on the per-event pop path
+            // so tombstones are skipped exactly as single-step dispatch
+            // would skip them.
+            let mut n = 0;
+            while n < limit && self.peek_time() == Some(front) {
+                let (t, item) = self.pop().expect("peeked front must pop");
+                out.push((t, item));
+                n += 1;
+            }
+            n
+        }
+    }
+
     /// Pop the next event in `(time, seq)` order.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         self.skip_tombstones();
@@ -676,6 +756,76 @@ mod tests {
         assert_eq!(q.stats().dispatched, 10);
         // 50 µs spacing spans multiple L1 slots → cascades happened.
         assert!(q.stats().cascades > 0);
+    }
+
+    /// Differential: batch draining must produce the exact event stream
+    /// single pops do, on both engines, batch boundaries falling exactly
+    /// on timestamp changes.
+    #[test]
+    fn pop_batch_matches_pop_stream() {
+        for kind in [EngineKind::Wheel, EngineKind::BinaryHeap] {
+            let mut rng = SimRng::from_seed(0xBA7C);
+            let mut single = EventQueue::new(kind);
+            let mut batched = EventQueue::new(kind);
+            for v in 0..2_000u32 {
+                // Coarse time quantization so same-timestamp runs form.
+                let t = SimTime(rng.gen_below(64) * 10_000);
+                single.push(t, v);
+                batched.push(t, v);
+            }
+            let want = drain(&mut single);
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                buf.clear();
+                let n = batched.pop_batch(SimTime::MAX, usize::MAX, &mut buf);
+                if n == 0 {
+                    break;
+                }
+                // Every event in a batch shares one timestamp.
+                assert!(buf.iter().all(|(t, _)| *t == buf[0].0));
+                got.extend(buf.iter().map(|(t, v)| (t.as_ps(), *v)));
+            }
+            assert_eq!(got, want, "{kind:?}");
+            assert_eq!(batched.stats().dispatched, 2_000);
+            assert!(batched.is_empty());
+        }
+    }
+
+    /// A `limit` cuts a batch mid-run; the remainder resumes in order on
+    /// the next call. A `deadline` before the front yields nothing.
+    #[test]
+    fn pop_batch_respects_limit_and_deadline() {
+        let mut q = EventQueue::new(EngineKind::Wheel);
+        for v in 0..10u32 {
+            q.push(SimTime(5_000), v);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(SimTime(4_999), usize::MAX, &mut out), 0);
+        assert_eq!(q.pop_batch(SimTime::MAX, 0, &mut out), 0);
+        assert_eq!(q.pop_batch(SimTime::MAX, 3, &mut out), 3);
+        assert_eq!(q.pop_batch(SimTime::MAX, usize::MAX, &mut out), 7);
+        let want: Vec<(SimTime, u32)> = (0..10).map(|v| (SimTime(5_000), v)).collect();
+        assert_eq!(out, want);
+        assert_eq!(q.pop_batch(SimTime::MAX, usize::MAX, &mut out), 0);
+    }
+
+    /// Cancelled events inside a same-time run must not surface through
+    /// the batch path (it defers to the tombstone-aware pop loop).
+    #[test]
+    fn pop_batch_skips_tombstones() {
+        for kind in [EngineKind::Wheel, EngineKind::BinaryHeap] {
+            let mut q = EventQueue::with_cancellation(kind);
+            let handles: Vec<_> = (0..8u32).map(|v| q.push(SimTime(7_000), v)).collect();
+            assert!(q.cancel(handles[0]));
+            assert!(q.cancel(handles[3]));
+            assert!(q.cancel(handles[7]));
+            let mut out = Vec::new();
+            assert_eq!(q.pop_batch(SimTime::MAX, usize::MAX, &mut out), 5);
+            let got: Vec<u32> = out.iter().map(|&(_, v)| v).collect();
+            assert_eq!(got, vec![1, 2, 4, 5, 6], "{kind:?}");
+            assert!(q.is_empty());
+        }
     }
 
     #[test]

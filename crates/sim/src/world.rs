@@ -4,6 +4,7 @@ use std::any::Any;
 
 use rocescale_packet::Packet;
 
+use crate::arena::PacketArena;
 use crate::rng::SimRng;
 use crate::sched::{EngineKind, EventQueue, SchedStats};
 use crate::time::SimTime;
@@ -94,6 +95,24 @@ pub enum ProfileMode {
     Off,
 }
 
+/// How the world drives its event loop (see [`World::set_dispatch_mode`]).
+///
+/// Both modes invoke the exact same handlers in the exact same order and
+/// produce byte-identical dispatch digests; batched dispatch only
+/// amortizes per-event *overhead* (queue front lookups, node slab
+/// lookups, `Ctx` setup, virtual-call fan-out) across runs of
+/// same-timestamp events. Single-step is kept as the obviously-correct
+/// reference for differential tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Drain and dispatch same-timestamp events as one batch (the
+    /// default).
+    #[default]
+    Batched,
+    /// Pop and dispatch one event at a time (the reference path).
+    SingleStep,
+}
+
 /// Per-event-kind dispatch counts and cumulative handler wall-time,
 /// collected by [`World::step`] under [`ProfileMode::On`].
 ///
@@ -105,11 +124,23 @@ pub struct EventProfile {
     pub counts: [u64; 4],
     /// Cumulative handler wall-time in nanoseconds, per kind.
     pub nanos: [u64; 4],
+    /// Events-per-batch histogram under [`DispatchMode::Batched`]:
+    /// bucket *i* counts dispatched batches of `2^i ..= 2^(i+1)-1`
+    /// events (the last bucket is open-ended; see
+    /// [`EventProfile::BATCH_BUCKETS`]). All zeros under single-step
+    /// dispatch or with profiling off — the profiler's direct view of
+    /// how much same-tick coalescing actually happens.
+    pub batches: [u64; 8],
 }
 
 impl EventProfile {
     /// Human-readable names for the four kind buckets, in index order.
     pub const KINDS: [&'static str; 4] = ["start", "arrival", "port_idle", "timer"];
+
+    /// Human-readable batch-size ranges for [`EventProfile::batches`].
+    pub const BATCH_BUCKETS: [&'static str; 8] = [
+        "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128+",
+    ];
 
     /// Total events across all kinds.
     pub fn total_events(&self) -> u64 {
@@ -119,6 +150,28 @@ impl EventProfile {
     /// Total handler wall-time across all kinds, in nanoseconds.
     pub fn total_nanos(&self) -> u64 {
         self.nanos.iter().sum()
+    }
+
+    /// Mean handler nanoseconds per event for kind index `k` (0 when no
+    /// events of that kind were dispatched).
+    pub fn ns_per_event(&self, k: usize) -> f64 {
+        if self.counts[k] == 0 {
+            0.0
+        } else {
+            self.nanos[k] as f64 / self.counts[k] as f64
+        }
+    }
+
+    /// Total batches dispatched (0 under single-step dispatch).
+    pub fn total_batches(&self) -> u64 {
+        self.batches.iter().sum()
+    }
+
+    /// Record one dispatched batch of `n` events.
+    pub(crate) fn note_batch(&mut self, n: u64) {
+        debug_assert!(n > 0);
+        let bucket = (63 - n.leading_zeros()).min(7) as usize;
+        self.batches[bucket] += 1;
     }
 }
 
@@ -147,6 +200,29 @@ pub trait Node: Any {
     /// The port finished serializing the previous transmission and can
     /// accept another [`Ctx::transmit`].
     fn on_port_idle(&mut self, _port: PortId, _ctx: &mut Ctx<'_>) {}
+
+    /// A run of same-timestamp [`Node::on_packet`] deliveries for this
+    /// node, in exact event order. The default forwards one by one;
+    /// implementations with per-packet-invariant prologue work (see the
+    /// switch's arrival sweep) may override, but must fully drain
+    /// `arrivals` and keep per-packet semantics and order identical to
+    /// repeated `on_packet` calls — batching amortizes overhead, never
+    /// changes behavior.
+    fn on_packet_batch(&mut self, arrivals: &mut Vec<(PortId, Packet)>, ctx: &mut Ctx<'_>) {
+        for (port, pkt) in arrivals.drain(..) {
+            self.on_packet(port, pkt, ctx);
+        }
+    }
+
+    /// A run of same-timestamp [`Node::on_port_idle`] deliveries for
+    /// this node, in exact event order. Same contract as
+    /// [`Node::on_packet_batch`]: overrides may hoist per-port-invariant
+    /// work but must preserve per-event order and semantics exactly.
+    fn on_port_idle_batch(&mut self, ports: &[PortId], ctx: &mut Ctx<'_>) {
+        for &port in ports {
+            self.on_port_idle(port, ctx);
+        }
+    }
 
     /// A timer set via [`Ctx::set_timer`] fired. `token` is the caller's
     /// value; stale timers must be filtered by the node itself.
@@ -207,10 +283,9 @@ struct WorldCore {
     rng: SimRng,
     next_packet_id: u64,
     events_processed: u64,
-    /// In-flight packet storage, indexed by `EventKind::Arrival::slot`.
-    packets: Vec<Option<Packet>>,
-    /// Free-list of reusable `packets` slots.
-    free_slots: Vec<u32>,
+    /// In-flight packet storage, indexed by `EventKind::Arrival::slot` —
+    /// a dense arena with an intrusive free list (see [`PacketArena`]).
+    packets: PacketArena,
     /// Running FNV-1a fingerprint of the dispatch stream (time, kind,
     /// node, detail per event) — the golden-trace hook: two runs are
     /// event-for-event identical iff their digests match.
@@ -236,24 +311,11 @@ impl WorldCore {
     }
 
     fn store_packet(&mut self, pkt: Packet) -> u32 {
-        match self.free_slots.pop() {
-            Some(slot) => {
-                self.packets[slot as usize] = Some(pkt);
-                slot
-            }
-            None => {
-                self.packets.push(Some(pkt));
-                (self.packets.len() - 1) as u32
-            }
-        }
+        self.packets.insert(pkt)
     }
 
     fn take_packet(&mut self, slot: u32) -> Packet {
-        let pkt = self.packets[slot as usize]
-            .take()
-            .expect("arrival slot already consumed");
-        self.free_slots.push(slot);
-        pkt
+        self.packets.remove(slot)
     }
 }
 
@@ -265,6 +327,15 @@ pub struct World {
     /// Hot-path gate for dispatch profiling (see [`ProfileMode`]).
     profile_on: bool,
     profile: EventProfile,
+    /// Hot-path gate for batched dispatch (see [`DispatchMode`]).
+    batched: bool,
+    /// Reusable drain buffer for [`World::step_batch`] — one batch of
+    /// same-timestamp events, in dispatch order.
+    batch_buf: Vec<(SimTime, EventKind)>,
+    /// Reusable argument buffer for [`Node::on_port_idle_batch`].
+    idle_buf: Vec<PortId>,
+    /// Reusable argument buffer for [`Node::on_packet_batch`].
+    arrival_buf: Vec<(PortId, Packet)>,
 }
 
 impl World {
@@ -286,8 +357,7 @@ impl World {
                 rng: SimRng::from_seed(seed),
                 next_packet_id: 1,
                 events_processed: 0,
-                packets: Vec::new(),
-                free_slots: Vec::new(),
+                packets: PacketArena::new(),
                 digest: FNV_OFFSET,
                 digest_on: true,
             },
@@ -295,6 +365,10 @@ impl World {
             started: false,
             profile_on: false,
             profile: EventProfile::default(),
+            batched: true,
+            batch_buf: Vec::new(),
+            idle_buf: Vec::new(),
+            arrival_buf: Vec::new(),
         }
     }
 
@@ -404,6 +478,23 @@ impl World {
         }
     }
 
+    /// Select batched (default) or single-step dispatch. Handler order,
+    /// simulated results, and the dispatch digest are identical in both
+    /// modes — batching amortizes per-event overhead, nothing else — so
+    /// this is a differential-testing knob, not a semantic one.
+    pub fn set_dispatch_mode(&mut self, mode: DispatchMode) {
+        self.batched = mode == DispatchMode::Batched;
+    }
+
+    /// The current dispatch mode.
+    pub fn dispatch_mode(&self) -> DispatchMode {
+        if self.batched {
+            DispatchMode::Batched
+        } else {
+            DispatchMode::SingleStep
+        }
+    }
+
     /// The accumulated dispatch profile (all zeros unless
     /// [`ProfileMode::On`] was set before running).
     pub fn event_profile(&self) -> EventProfile {
@@ -465,6 +556,14 @@ impl World {
         debug_assert!(time >= self.core.now, "time went backwards");
         self.core.now = time;
         self.core.events_processed += 1;
+        self.dispatch_event(time, kind);
+        true
+    }
+
+    /// Dispatch one already-popped event: the shared tail of
+    /// [`World::step`] and [`World::dispatch_batch`]'s singleton fast
+    /// path (`now`/`events_processed` bookkeeping is the caller's).
+    fn dispatch_event(&mut self, time: SimTime, kind: EventKind) {
         let node_id = match kind {
             EventKind::Start { node }
             | EventKind::Arrival { node, .. }
@@ -519,7 +618,170 @@ impl World {
             self.profile.counts[kind_idx] += 1;
             self.profile.nanos[kind_idx] += t0.elapsed().as_nanos() as u64;
         }
-        true
+    }
+
+    /// Dispatch the next *batch* — every queued event sharing the front
+    /// timestamp — and return how many events fired (0 when the queue is
+    /// empty). The batch is processed in exact `(time, seq)` order, so
+    /// handler invocations are identical to repeated [`World::step`]
+    /// calls; what batching buys is amortization: one queue-front drain,
+    /// one `Ctx` and node-slab lookup per consecutive same-node run, and
+    /// one virtual call per same-(node, kind) run via the
+    /// [`Node::on_packet_batch`] / [`Node::on_port_idle_batch`] hooks.
+    ///
+    /// Events a handler schedules *at the current timestamp* get higher
+    /// sequence numbers than everything in the current batch, so they
+    /// form the next batch — exactly where single-step dispatch would
+    /// place them.
+    pub fn step_batch(&mut self) -> usize {
+        self.ensure_started();
+        self.dispatch_batch(SimTime::MAX, usize::MAX)
+    }
+
+    /// [`World::step_batch`] bounded by a deadline and an event budget:
+    /// nothing fires past `deadline`, and at most `limit` events fire (a
+    /// truncated batch resumes, in order, on the next call).
+    fn dispatch_batch(&mut self, deadline: SimTime, limit: usize) -> usize {
+        if limit == 0 {
+            return 0;
+        }
+        let Some(front) = self.core.queue.peek_time() else {
+            return 0;
+        };
+        if front > deadline {
+            return 0;
+        }
+        let (time, first) = self.core.queue.pop().expect("peeked front must pop");
+        debug_assert!(time >= self.core.now, "time went backwards");
+        self.core.now = time;
+        self.core.events_processed += 1;
+        // Singleton fast path: on sparse stretches most ticks carry one
+        // event (see the batch histogram), and the grouping scan plus
+        // the buffer round-trips would be pure overhead — dispatch it
+        // exactly as `step` would, never touching the batch buffer.
+        if limit == 1 || self.core.queue.peek_time() != Some(time) {
+            if self.profile_on {
+                self.profile.note_batch(1);
+            }
+            self.dispatch_event(time, first);
+            return 1;
+        }
+        // The buffers are owned fields swapped out for the duration of
+        // the dispatch so the node / core / buffer borrows stay disjoint.
+        let mut buf = std::mem::take(&mut self.batch_buf);
+        buf.clear();
+        buf.push((time, first));
+        let more = self.core.queue.pop_batch(time, limit - 1, &mut buf);
+        let n = more + 1;
+        self.core.events_processed += more as u64;
+        if self.profile_on {
+            self.profile.note_batch(n as u64);
+        }
+        let mut idles = std::mem::take(&mut self.idle_buf);
+        let mut arrivals = std::mem::take(&mut self.arrival_buf);
+        let node_of = |kind: &EventKind| match *kind {
+            EventKind::Start { node }
+            | EventKind::Arrival { node, .. }
+            | EventKind::PortIdle { node, .. }
+            | EventKind::Timer { node, .. } => node,
+        };
+        let mut i = 0;
+        while i < buf.len() {
+            let node_id = node_of(&buf[i].1);
+            // Extent of this node's consecutive run within the batch.
+            let mut end = i + 1;
+            while end < buf.len() && node_of(&buf[end].1) == node_id {
+                end += 1;
+            }
+            let node: &mut dyn Node = &mut *self.nodes[node_id.0 as usize];
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                node: node_id,
+            };
+            while i < end {
+                let started_at = if self.profile_on {
+                    Some(std::time::Instant::now())
+                } else {
+                    None
+                };
+                // Digest folds happen in dispatch order before each
+                // same-kind run's handlers. The fold is a pure
+                // accumulation over the popped event stream — handlers
+                // never read it — so fold/handler interleaving within a
+                // batch cannot change the final digest.
+                let (kind_idx, run) = match buf[i].1 {
+                    EventKind::Start { .. } => {
+                        ctx.fold_digest(time, 0, node_id, 0);
+                        node.on_start(&mut ctx);
+                        (0, 1)
+                    }
+                    EventKind::Arrival { port, slot, .. } => {
+                        let mut j = i + 1;
+                        while j < end && matches!(buf[j].1, EventKind::Arrival { .. }) {
+                            j += 1;
+                        }
+                        let run = j - i;
+                        if run == 1 {
+                            // Length-1 run: skip the buffer round-trip
+                            // (a `Packet` copy each way) and call the
+                            // plain handler, as single-step would.
+                            let pkt = ctx.core.take_packet(slot);
+                            ctx.fold_digest(time, 1, node_id, ((port.0 as u64) << 32) | pkt.id);
+                            node.on_packet(port, pkt, &mut ctx);
+                        } else {
+                            for e in &buf[i..j] {
+                                let EventKind::Arrival { port, slot, .. } = e.1 else {
+                                    unreachable!("scanned arrival run");
+                                };
+                                let pkt = ctx.core.take_packet(slot);
+                                ctx.fold_digest(time, 1, node_id, ((port.0 as u64) << 32) | pkt.id);
+                                arrivals.push((port, pkt));
+                            }
+                            node.on_packet_batch(&mut arrivals, &mut ctx);
+                            debug_assert!(arrivals.is_empty(), "batch hook must drain arrivals");
+                            arrivals.clear();
+                        }
+                        (1, run)
+                    }
+                    EventKind::PortIdle { port, .. } => {
+                        let mut j = i + 1;
+                        while j < end && matches!(buf[j].1, EventKind::PortIdle { .. }) {
+                            j += 1;
+                        }
+                        let run = j - i;
+                        if run == 1 {
+                            ctx.fold_digest(time, 2, node_id, port.0 as u64);
+                            node.on_port_idle(port, &mut ctx);
+                        } else {
+                            for e in &buf[i..j] {
+                                let EventKind::PortIdle { port, .. } = e.1 else {
+                                    unreachable!("scanned port-idle run");
+                                };
+                                ctx.fold_digest(time, 2, node_id, port.0 as u64);
+                                idles.push(port);
+                            }
+                            node.on_port_idle_batch(&idles, &mut ctx);
+                            idles.clear();
+                        }
+                        (2, run)
+                    }
+                    EventKind::Timer { token, .. } => {
+                        ctx.fold_digest(time, 3, node_id, token);
+                        node.on_timer(token, &mut ctx);
+                        (3, 1)
+                    }
+                };
+                if let Some(t0) = started_at {
+                    self.profile.counts[kind_idx] += run as u64;
+                    self.profile.nanos[kind_idx] += t0.elapsed().as_nanos() as u64;
+                }
+                i += run;
+            }
+        }
+        self.batch_buf = buf;
+        self.idle_buf = idles;
+        self.arrival_buf = arrivals;
+        n
     }
 
     /// Shed heap capacity retained from past bursts. The packet slab,
@@ -530,16 +792,13 @@ impl World {
     /// [`Self::run_until_idle`]); purely a memory operation, observable
     /// state and the dispatch digest are untouched.
     pub fn compact(&mut self) {
-        // Drop trailing empty slab entries, then remap the free list to
-        // the surviving prefix. In-flight packets (occupied slots) are
+        // The arena drops vacant tail slots and rebuilds its free chain
+        // over the surviving prefix; in-flight packets (live slots) are
         // preserved wherever they sit.
-        while matches!(self.core.packets.last(), Some(None)) {
-            self.core.packets.pop();
-        }
-        let live = self.core.packets.len() as u32;
-        self.core.free_slots.retain(|&s| s < live);
-        self.core.packets.shrink_to_fit();
-        self.core.free_slots.shrink_to_fit();
+        self.core.packets.compact();
+        self.batch_buf.shrink_to_fit();
+        self.idle_buf.shrink_to_fit();
+        self.arrival_buf.shrink_to_fit();
         for node in &mut self.nodes {
             node.compact();
         }
@@ -555,15 +814,24 @@ impl World {
         self.core.packets.len()
     }
 
+    /// Vacant (recyclable) slots in the in-flight packet slab.
+    pub fn packet_slab_free(&self) -> usize {
+        self.core.packets.free_len()
+    }
+
     /// Run until simulated time reaches `deadline` (events at exactly
     /// `deadline` are processed) or the queue drains.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
-        while let Some(head) = self.core.queue.peek_time() {
-            if head > deadline {
-                break;
+        if self.batched {
+            while self.dispatch_batch(deadline, usize::MAX) > 0 {}
+        } else {
+            while let Some(head) = self.core.queue.peek_time() {
+                if head > deadline {
+                    break;
+                }
+                self.step();
             }
-            self.step();
         }
         if self.core.now < deadline {
             self.core.now = deadline;
@@ -574,12 +842,25 @@ impl World {
     /// Returns true if the queue drained (i.e. the network quiesced).
     pub fn run_until_idle(&mut self, max_events: u64) -> bool {
         self.ensure_started();
-        for _ in 0..max_events {
-            if !self.step() {
-                return true;
+        if self.batched {
+            let mut remaining = max_events;
+            while remaining > 0 {
+                let cap = remaining.min(usize::MAX as u64) as usize;
+                let n = self.dispatch_batch(SimTime::MAX, cap) as u64;
+                if n == 0 {
+                    return true;
+                }
+                remaining -= n;
             }
+            self.core.queue.is_empty()
+        } else {
+            for _ in 0..max_events {
+                if !self.step() {
+                    return true;
+                }
+            }
+            self.core.queue.is_empty()
         }
-        self.core.queue.is_empty()
     }
 }
 
@@ -867,11 +1148,75 @@ mod tests {
         // 500 packets flowed but at most a handful were in flight at
         // once, so the slab stayed small instead of growing per packet.
         assert!(
-            w.core.packets.len() < 16,
+            w.packet_slab_len() < 16,
             "slab grew to {}",
-            w.core.packets.len()
+            w.packet_slab_len()
         );
-        assert_eq!(w.core.free_slots.len(), w.core.packets.len());
+        assert_eq!(w.packet_slab_free(), w.packet_slab_len());
+    }
+
+    /// Batched and single-step dispatch must be indistinguishable: same
+    /// digest, same event count, same delivered packets — on both
+    /// engines. (The full-stack version of this differential runs the
+    /// paper incast in `tests/golden_trace.rs`.)
+    #[test]
+    fn dispatch_modes_are_trace_identical() {
+        let run = |engine, mode| {
+            let (mut w, a, b) = two_node_world_on(engine, 200);
+            w.set_dispatch_mode(mode);
+            assert_eq!(w.dispatch_mode(), mode);
+            w.run_until_idle(100_000);
+            (
+                w.dispatch_digest(),
+                w.events_processed(),
+                w.node::<Chatter>(b).received.clone(),
+                w.node::<Chatter>(a).sent,
+            )
+        };
+        for engine in [EngineKind::Wheel, EngineKind::BinaryHeap] {
+            assert_eq!(
+                run(engine, DispatchMode::Batched),
+                run(engine, DispatchMode::SingleStep),
+                "{engine:?}"
+            );
+        }
+    }
+
+    /// An event budget that truncates a same-timestamp batch must stop
+    /// exactly at the budget and resume in order.
+    #[test]
+    fn run_until_idle_budget_truncates_batches_exactly() {
+        let mut w = World::new(1);
+        let a = w.add_node(Box::new(Chatter::new(0)));
+        for token in 0..10u64 {
+            w.schedule_timer(SimTime::from_nanos(50), a, token);
+        }
+        // Budget 4: the Start event plus three same-time timers.
+        assert!(!w.run_until_idle(4));
+        assert_eq!(w.node::<Chatter>(a).timers, vec![0, 1, 2]);
+        assert!(w.run_until_idle(100));
+        assert_eq!(w.node::<Chatter>(a).timers, (0..10).collect::<Vec<_>>());
+        assert_eq!(w.events_processed(), 11);
+    }
+
+    /// With profiling on, the batched path fills the events-per-batch
+    /// histogram and per-kind counts stay exact.
+    #[test]
+    fn profile_batch_histogram_fills_under_batched_dispatch() {
+        let mut w = World::new(1);
+        let a = w.add_node(Box::new(Chatter::new(0)));
+        w.set_profile_mode(ProfileMode::On);
+        for token in 0..20u64 {
+            w.schedule_timer(SimTime::from_nanos(50), a, token);
+        }
+        assert!(w.run_until_idle(1000));
+        let p = w.event_profile();
+        assert_eq!(p.counts, [1, 0, 0, 20]);
+        assert_eq!(p.total_batches(), 2, "one Start batch, one timer batch");
+        assert_eq!(p.batches[0], 1, "the lone Start event");
+        assert_eq!(p.batches[4], 1, "20 timers land in the 16-31 bucket");
+        assert!(p.ns_per_event(3) > 0.0);
+        assert_eq!(p.ns_per_event(1), 0.0, "no arrivals dispatched");
     }
 
     #[test]
@@ -910,7 +1255,7 @@ mod tests {
         // empties the slab entirely.
         assert_eq!(w.packet_slab_len(), 0);
         assert!(w.packet_slab_capacity() <= peak);
-        assert_eq!(w.core.free_slots.len(), 0);
+        assert_eq!(w.packet_slab_free(), 0);
         // Compacting must not perturb replay: a compacted world resumed
         // mid-run produces the same trace as an untouched one.
         let traced = |compact_at: Option<SimTime>| {

@@ -45,6 +45,11 @@ pub struct SharedBuffer {
     counters: Vec<[PgCounter; Priority::COUNT]>,
     /// Peak shared usage, for monitoring.
     peak_shared: u64,
+    /// Memoized [`SharedBuffer::xoff_threshold`]: the float multiply only
+    /// depends on `shared_used` and the configured α, so it is recomputed
+    /// at those (rare) mutation points instead of on every admission,
+    /// XOFF, and XON comparison. Bit-exact with the direct computation.
+    cached_threshold: u64,
 }
 
 impl SharedBuffer {
@@ -60,25 +65,45 @@ impl SharedBuffer {
              this buffer — the §2 constraint",
             cfg.total_bytes
         );
-        SharedBuffer {
+        let mut b = SharedBuffer {
             shared_capacity: cfg.total_bytes - reserved,
             cfg,
             shared_used: 0,
             counters: vec![[PgCounter::default(); Priority::COUNT]; ports as usize],
             peak_shared: 0,
-        }
+            cached_threshold: 0,
+        };
+        b.recompute_threshold();
+        b
     }
 
-    /// The XOFF threshold currently in force for one (port, PG) counter.
-    /// Dynamic mode: `α × unallocated shared buffer`; static mode: fixed.
-    pub fn xoff_threshold(&self) -> u64 {
-        match self.cfg.alpha {
+    /// Recompute [`SharedBuffer::cached_threshold`] after a mutation of
+    /// `shared_used` or the threshold configuration.
+    fn recompute_threshold(&mut self) {
+        self.cached_threshold = match self.cfg.alpha {
             Some(a) => {
                 let unallocated = self.shared_capacity.saturating_sub(self.shared_used);
                 (a * unallocated as f64) as u64
             }
             None => self.cfg.xoff_static,
+        };
+    }
+
+    /// The XOFF threshold currently in force for one (port, PG) counter.
+    /// Dynamic mode: `α × unallocated shared buffer`; static mode: fixed.
+    pub fn xoff_threshold(&self) -> u64 {
+        #[cfg(debug_assertions)]
+        {
+            let fresh = match self.cfg.alpha {
+                Some(a) => {
+                    let unallocated = self.shared_capacity.saturating_sub(self.shared_used);
+                    (a * unallocated as f64) as u64
+                }
+                None => self.cfg.xoff_static,
+            };
+            debug_assert_eq!(self.cached_threshold, fresh);
         }
+        self.cached_threshold
     }
 
     /// Try to admit `bytes` for (`port`, `pg`). Lossless packets overflow
@@ -92,6 +117,7 @@ impl SharedBuffer {
             c.shared += bytes;
             self.shared_used += bytes;
             self.peak_shared = self.peak_shared.max(self.shared_used);
+            self.recompute_threshold();
             return AdmitOutcome::Shared;
         }
         if lossless {
@@ -115,6 +141,7 @@ impl SharedBuffer {
                 debug_assert!(c.shared >= bytes && self.shared_used >= bytes);
                 c.shared -= bytes;
                 self.shared_used -= bytes;
+                self.recompute_threshold();
             }
             AdmitOutcome::Headroom => {
                 debug_assert!(c.headroom >= bytes);
@@ -174,6 +201,7 @@ impl SharedBuffer {
     pub fn set_thresholds(&mut self, alpha: Option<f64>, xoff_static: u64) {
         self.cfg.alpha = alpha;
         self.cfg.xoff_static = xoff_static;
+        self.recompute_threshold();
     }
 }
 

@@ -195,6 +195,10 @@ struct CtrlFrame {
 struct EgressPort {
     queues: [VecDeque<QueuedPkt>; Priority::COUNT],
     queue_bytes: [u64; Priority::COUNT],
+    /// Cached sum of `queue_bytes` — read on every enqueue (hop records,
+    /// peak tracking) and by the heatmap sampler, so it is maintained at
+    /// the four mutation sites instead of re-summed eight lanes at a time.
+    total: u64,
     /// Control frames (PFC) bypass the data queues entirely.
     ctrl: VecDeque<CtrlFrame>,
     paused_until: [SimTime; Priority::COUNT],
@@ -211,6 +215,7 @@ impl EgressPort {
         EgressPort {
             queues: Default::default(),
             queue_bytes: [0; Priority::COUNT],
+            total: 0,
             ctrl: VecDeque::new(),
             paused_until: [SimTime::ZERO; Priority::COUNT],
             deficit: [0; Priority::COUNT],
@@ -221,7 +226,8 @@ impl EgressPort {
     }
 
     fn total_bytes(&self) -> u64 {
-        self.queue_bytes.iter().sum()
+        debug_assert_eq!(self.total, self.queue_bytes.iter().sum::<u64>());
+        self.total
     }
 
     fn has_lossless_backlog(&self, lossless: &[bool; Priority::COUNT]) -> bool {
@@ -963,6 +969,7 @@ impl Switch {
         };
         let e = &mut self.egress[egress.index()];
         e.queue_bytes[prio.index()] += bytes;
+        e.total += bytes;
         e.queues[prio.index()].push_back(QueuedPkt {
             pkt,
             acct: Some((ingress, prio, outcome)),
@@ -1052,6 +1059,14 @@ impl Switch {
 
     /// Try to start a transmission on `port`.
     fn try_send(&mut self, port: PortId, ctx: &mut Ctx<'_>) {
+        self.try_send_at(port, ctx.now(), ctx);
+    }
+
+    /// [`Switch::try_send`] with the clock already read — the sweep entry
+    /// points ([`Node::on_port_idle_batch`]) hoist `now` out of their
+    /// per-port loop; `now` must equal `ctx.now()`.
+    fn try_send_at(&mut self, port: PortId, now: SimTime, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(now, ctx.now());
         // `in_flight` still set means the previous packet's PortIdle event
         // has not fired yet (it may share this event's timestamp): the
         // port is logically busy, and starting another transmission here
@@ -1062,7 +1077,6 @@ impl Switch {
         {
             return;
         }
-        let now = ctx.now();
         // Control frames (PFC) first; they are never paused.
         if let Some(cf) = self.egress[port.index()].ctrl.pop_front() {
             let pkt = Packet::new(
@@ -1089,6 +1103,7 @@ impl Switch {
             let qp = e.queues[prio].pop_front().expect("picked nonempty queue");
             let bytes = qp.pkt.wire_size() as u64;
             e.queue_bytes[prio] -= bytes;
+            e.total -= bytes;
             // Flood copies die at the head of fabric-port queues: the
             // destination MAC matches no next hop (Figure 4).
             if qp.flood_copy && self.cfg.role(port.0) == PortRole::Fabric {
@@ -1182,7 +1197,9 @@ impl Switch {
                 }
                 e.paused_until[i] = SimTime::ZERO;
                 while let Some(qp) = e.queues[i].pop_front() {
-                    e.queue_bytes[i] -= qp.pkt.wire_size() as u64;
+                    let bytes = qp.pkt.wire_size() as u64;
+                    e.queue_bytes[i] -= bytes;
+                    e.total -= bytes;
                     flushed.push(qp);
                 }
             }
@@ -1228,7 +1245,9 @@ impl Switch {
             let e = &mut self.egress[p];
             e.paused_until[prio.index()] = SimTime::ZERO;
             while let Some(qp) = e.queues[prio.index()].pop_front() {
-                e.queue_bytes[prio.index()] -= qp.pkt.wire_size() as u64;
+                let bytes = qp.pkt.wire_size() as u64;
+                e.queue_bytes[prio.index()] -= bytes;
+                e.total -= bytes;
                 flushed.push(qp);
             }
         }
@@ -1296,6 +1315,21 @@ impl Node for Switch {
         self.handle_data(port, pkt, ctx);
     }
 
+    fn on_packet_batch(&mut self, arrivals: &mut Vec<(PortId, Packet)>, ctx: &mut Ctx<'_>) {
+        // Same-tick arrival sweep: one virtual dispatch for the whole
+        // run, per-packet handler order preserved exactly (the rx
+        // counter, PFC/data split, admission, and ECN draws all happen
+        // in the same order the single-step path would produce).
+        for (port, pkt) in arrivals.drain(..) {
+            self.stats.rx_pkts[port.index()] += 1;
+            if let PacketKind::Pfc(frame) = pkt.kind {
+                self.on_pause_frame(port, &frame, ctx);
+            } else {
+                self.handle_data(port, pkt, ctx);
+            }
+        }
+    }
+
     fn on_port_idle(&mut self, port: PortId, ctx: &mut Ctx<'_>) {
         // The packet that was serializing has fully left: release its
         // buffer accounting, then start the next one.
@@ -1303,6 +1337,20 @@ impl Node for Switch {
             self.release(&qp, ctx);
         }
         self.try_send(port, ctx);
+    }
+
+    fn on_port_idle_batch(&mut self, ports: &[PortId], ctx: &mut Ctx<'_>) {
+        // Same-tick transmit sweep: all of this switch's ports that went
+        // idle on this tick are serviced in one pass, with the clock read
+        // once. Port order matches event order, so DWRR rotation, buffer
+        // releases, and XON generation are identical to single-step.
+        let now = ctx.now();
+        for &port in ports {
+            if let Some(qp) = self.egress[port.index()].in_flight.take() {
+                self.release(&qp, ctx);
+            }
+            self.try_send_at(port, now, ctx);
+        }
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {

@@ -1,0 +1,97 @@
+//! Interleaved A/B calibration harness for the dispatch modes.
+//!
+//! The sched bench times its arms minutes apart, so on a noisy machine
+//! slow load drift swamps small deltas (EXPERIMENTS.md, bench-arm
+//! regeneration note). This harness measures `DispatchMode::Batched`
+//! against `DispatchMode::SingleStep` in *interleaved pairs* — each
+//! pair runs both modes back to back (order alternating), and the
+//! statistic is the median of per-pair ratios, which cancels any drift
+//! slower than one pair (~5 ms). Ignored by default: it is a
+//! measurement tool, not a pass/fail gate — run it when re-baselining:
+//!
+//! ```text
+//! cargo test --release --test dispatch_ab -- --ignored --nocapture
+//! ```
+
+use std::time::Instant;
+
+use rocescale_core::{ClusterBuilder, ServerId};
+use rocescale_nic::QpApp;
+use rocescale_sim::{DispatchMode, EngineKind, SimTime};
+use rocescale_topology::ClosSpec;
+
+/// One timed podset incast (the sched bench's `incast_podset_*`
+/// scenarios); returns (run_until nanos, events) — build time excluded.
+fn run_once(spec: ClosSpec, mode: DispatchMode) -> (u128, u64) {
+    let mut cl = ClusterBuilder::new(spec)
+        .seed(11)
+        .engine(EngineKind::Wheel)
+        .build();
+    for i in 1..=7usize {
+        cl.connect_qp(
+            ServerId(i),
+            ServerId(0),
+            5000 + i as u16,
+            QpApp::Saturate {
+                msg_len: 64 * 1024,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+    }
+    cl.world.set_dispatch_mode(mode);
+    let t = Instant::now();
+    cl.run_until(SimTime::from_micros(200));
+    (t.elapsed().as_nanos(), cl.world.events_processed())
+}
+
+fn ab_fabric(label: &str, spec: ClosSpec) {
+    const PAIRS: usize = 151;
+    // Warm up caches, branch predictors, and the allocator.
+    let (_, ev_b) = run_once(spec, DispatchMode::Batched);
+    let (_, ev_s) = run_once(spec, DispatchMode::SingleStep);
+    assert_eq!(ev_b, ev_s, "modes must dispatch the same event stream");
+    let mut ratios: Vec<f64> = Vec::with_capacity(PAIRS);
+    let (mut best_b, mut best_s) = (u128::MAX, u128::MAX);
+    for i in 0..PAIRS {
+        // Alternate order within the pair so neither mode always runs
+        // on the warmer cache.
+        let (b, s) = if i % 2 == 0 {
+            let b = run_once(spec, DispatchMode::Batched).0;
+            let s = run_once(spec, DispatchMode::SingleStep).0;
+            (b, s)
+        } else {
+            let s = run_once(spec, DispatchMode::SingleStep).0;
+            let b = run_once(spec, DispatchMode::Batched).0;
+            (b, s)
+        };
+        best_b = best_b.min(b);
+        best_s = best_s.min(s);
+        ratios.push(s as f64 / b as f64);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = ratios[PAIRS / 2];
+    let (p25, p75) = (ratios[PAIRS / 4], ratios[3 * PAIRS / 4]);
+    println!("[{label}] pairs: {PAIRS}, events/run: {ev_b}");
+    println!("[{label}] best-of batched:     {best_b} ns");
+    println!("[{label}] best-of single_step: {best_s} ns");
+    println!(
+        "[{label}] single_step/batched ratio: median {median:.4} (p25 {p25:.4}, p75 {p75:.4})"
+    );
+    println!(
+        "[{label}] batched is {:+.1}% vs single-step (median-of-pairs)",
+        (median - 1.0) * 100.0
+    );
+}
+
+#[test]
+#[ignore = "timing calibration harness, run with --ignored --nocapture"]
+fn ab_batched_vs_single_step_podset_incast() {
+    ab_fabric("podset_2x2x4", ClosSpec::uniform_40g(2, 2, 2, 4, 4));
+}
+
+#[test]
+#[ignore = "timing calibration harness, run with --ignored --nocapture"]
+fn ab_batched_vs_single_step_podset_4x4x8_incast() {
+    ab_fabric("podset_4x4x8", ClosSpec::uniform_40g(4, 4, 4, 8, 8));
+}
