@@ -16,7 +16,7 @@
 //! * anything else (e.g. `--full-scale`, `--no-pfc`) is forwarded to
 //!   every scenario.
 //!
-//! `--trace-out` is a standalone-binary feature: twenty scenarios racing
+//! `--trace-out` is a standalone-binary feature: twenty-one scenarios racing
 //! to stream into one file would interleave garbage, so the fleet drops
 //! it with a warning instead of forwarding it.
 //!
@@ -102,6 +102,12 @@ fn bench_mode(cli: &CliArgs, jobs: usize, path: &str) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // Byte-identity requires deterministic reports: scenarios that
+    // measure their own wall-clock (inc_fleet_scale's per-shard split)
+    // suppress those fields under this flag.
+    let mut cli = cli.clone();
+    cli.flags.push("--deterministic".to_string());
+    let cli = &cli;
 
     eprintln!("fleet bench: full suite at --jobs 1 ...");
     let t0 = Instant::now();

@@ -1,0 +1,5 @@
+//! Paper-scale sharded fleet (§6). Flags: `--shards N`, `--serial`.
+
+fn main() {
+    rocescale_bench::main_for(&rocescale_bench::suite::IncFleetScale);
+}

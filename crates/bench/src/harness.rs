@@ -14,7 +14,7 @@ use crate::report::CliArgs;
 
 /// The one command line every experiment binary shares.
 ///
-/// Twenty thin `src/bin/*` wrappers and the fleet runner all accept the
+/// Twenty-one thin `src/bin/*` wrappers and the fleet runner all accept the
 /// same flags; before this parser each binary (and the fleet) re-parsed
 /// its own subset by hand, so a new flag (`--trace-out`) meant touching
 /// every copy. `ScenarioCli` is the single place flags are defined:

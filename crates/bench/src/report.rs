@@ -209,6 +209,16 @@ impl CliArgs {
     pub fn has(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
     }
+
+    /// The token following a scenario-specific flag, if any
+    /// (`--shards 4` → `value("--shards") == Some("4")`).
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .position(|f| f == flag)
+            .and_then(|i| self.flags.get(i + 1))
+            .map(|s| s.as_str())
+    }
 }
 
 /// A declarative experiment: identity, the paper claim it reproduces,
@@ -364,6 +374,17 @@ mod tests {
         assert!(text.contains("1.50"));
         assert!(text.contains("ratio: 2.0"));
         assert!(text.contains("hello"));
+    }
+
+    #[test]
+    fn flag_values_parse_positionally() {
+        let args = CliArgs {
+            flags: vec!["--shards".into(), "4".into(), "--serial".into()],
+            ..CliArgs::default()
+        };
+        assert_eq!(args.value("--shards"), Some("4"));
+        assert_eq!(args.value("--serial"), None, "no token follows");
+        assert_eq!(args.value("--absent"), None);
     }
 
     #[test]

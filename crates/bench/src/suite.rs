@@ -8,8 +8,8 @@
 
 use rocescale_core::scenarios::latency::LatencySummary;
 use rocescale_core::scenarios::{
-    buffer_misconfig, cc_ablation, cpu, dcqcn_ablation, deadlock, dscp_vlan, headroom, incident,
-    latency, livelock, load_latency, pfc_basics, slow_receiver, spray, storm, throughput,
+    buffer_misconfig, cc_ablation, cpu, dcqcn_ablation, deadlock, dscp_vlan, fleet_scale, headroom,
+    incident, latency, livelock, load_latency, pfc_basics, slow_receiver, spray, storm, throughput,
 };
 use rocescale_core::{CcKind, InstrumentationProfile, PfcMode};
 use rocescale_monitor::Percentiles;
@@ -68,6 +68,7 @@ pub fn all() -> &'static [&'static (dyn ScenarioReport + Sync)] {
         &IncReroute,
         &IncCascadeStorm,
         &IncDeadRemembered,
+        &IncFleetScale,
     ]
 }
 
@@ -1122,14 +1123,97 @@ impl ScenarioReport for IncDeadRemembered {
     }
 }
 
+/// Paper-scale fleet (§6): a 4096-host Clos on sharded execution.
+/// Scenario-specific flags: `--shards N` (worker shards, default 2) and
+/// `--serial` (run exchange epochs on one thread — the differential
+/// mode; the digest scalar must not change, which is what the CI
+/// sharded-digest smoke asserts).
+pub struct IncFleetScale;
+
+impl ScenarioReport for IncFleetScale {
+    fn id(&self) -> &str {
+        "INC-FLEET-SCALE (§6)"
+    }
+    fn title(&self) -> &str {
+        "paper-scale fleet: 4096 hosts on sharded execution"
+    }
+    fn claim(&self) -> &str {
+        "the deployments of §6 span whole podsets; per-pod worker shards behind a \
+         conservative cross-shard exchange advance a 4096-host Clos deterministically — \
+         byte-identical digest whether epochs run serially or threaded"
+    }
+    fn run(&self, args: &CliArgs) -> Report {
+        let shards: u32 = match args.value("--shards") {
+            Some(v) => v.parse().ok().filter(|n| *n >= 1).unwrap_or_else(|| {
+                eprintln!("--shards needs a positive integer, got {v:?}");
+                std::process::exit(2);
+            }),
+            None => 2,
+        };
+        let serial = args.has("--serial");
+        // Wall-clock fields are real measurements, hence nondeterministic;
+        // the fleet's --bench-out byte-identity check forwards
+        // --deterministic to drop them.
+        let walls = !args.has("--deterministic");
+        let r = fleet_scale::run(shards, !serial, SimTime::from_micros(300));
+        let mut t = Table::new(
+            "per-shard engine load",
+            &["shard", "events", "wheel max", "slab slots", "slab live"],
+        );
+        for (s, l) in r.per_shard.iter().enumerate() {
+            t.row(vec![
+                Cell::U64(s as u64),
+                Cell::U64(l.events),
+                Cell::U64(l.wheel_max_occupancy),
+                Cell::U64(l.slab_capacity as u64),
+                Cell::U64(l.slab_live as u64),
+            ]);
+        }
+        let mut rep = Report::new();
+        rep.scalar("digest", Cell::U64(r.digest));
+        rep.scalar("events", Cell::U64(r.events));
+        rep.scalar("hosts", Cell::U64(r.hosts as u64));
+        rep.scalar("switches", Cell::U64(r.switches as u64));
+        rep.scalar("shards", Cell::U64(r.shards as u64));
+        rep.scalar("exchange_epochs", Cell::U64(r.epochs));
+        rep.scalar("boundary_msgs", Cell::U64(r.boundary_messages));
+        rep.scalar("lookahead_us", Cell::f2(r.lookahead_ps as f64 / 1e6));
+        rep.scalar("goodput_mb", Cell::f2(r.goodput_bytes as f64 / 1e6));
+        rep.scalar("lossless_drops", Cell::U64(r.lossless_drops));
+        rep.scalar("flow_cache_hit_rate", Cell::f2(r.flow_cache_hit_rate()));
+        rep.scalar("slab_mb", Cell::f2(r.slab_bytes as f64 / 1e6));
+        rep.table(t);
+        if walls {
+            rep.scalar("wall_imbalance", Cell::f2(r.wall_imbalance()));
+            let mut w = Table::new("per-shard wall-clock (measured)", &["shard", "wall ms"]);
+            for (s, l) in r.per_shard.iter().enumerate() {
+                w.row(vec![
+                    Cell::U64(s as u64),
+                    Cell::f2(l.wall_nanos as f64 / 1e6),
+                ]);
+            }
+            rep.table(w);
+        }
+        rep.note(format!(
+            "{} hosts, {} switches, {} shard(s), epochs {}: {}",
+            r.hosts,
+            r.switches,
+            r.shards,
+            if serial { "serial" } else { "threaded" },
+            "the same fabric shape scales to full deployments by raising servers_per_tor"
+        ));
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn registry_lists_all_twenty_scenarios() {
+    fn registry_lists_all_twenty_one_scenarios() {
         let suite = all();
-        assert_eq!(suite.len(), 20);
+        assert_eq!(suite.len(), 21);
         let ids: Vec<&str> = suite.iter().map(|s| s.id()).collect();
         let mut dedup = ids.clone();
         dedup.sort();
@@ -1140,5 +1224,6 @@ mod tests {
         assert_eq!(ids[15], "EXP-CC (§7)");
         assert_eq!(ids[16], "INC-DEADLOCK (§4.2)");
         assert_eq!(ids[19], "INC-DEAD-SERVER (§4.2)");
+        assert_eq!(ids[20], "INC-FLEET-SCALE (§6)");
     }
 }

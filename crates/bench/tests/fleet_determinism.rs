@@ -129,7 +129,7 @@ fn suite_registry_is_fleet_ready() {
     // and Sync (shared across worker threads by reference).
     fn assert_sync<T: Sync + ?Sized>() {}
     assert_sync::<dyn rocescale_bench::ScenarioReport + Sync>();
-    assert_eq!(rocescale_bench::suite::all().len(), 20);
+    assert_eq!(rocescale_bench::suite::all().len(), 21);
 }
 
 /// The congestion-control axis (dcqcn / timely / off) must be exactly as

@@ -10,19 +10,27 @@ use rocescale_nic::{
 };
 use rocescale_packet::{MacAddr, Priority};
 use rocescale_sim::{
-    DigestMode, EngineKind, LinkSpec, NodeId, PortId, ProfileMode, SimTime, World,
+    DigestMode, EngineKind, LinkSpec, NodeId, PortId, ProfileMode, RemotePort, SimTime, World,
 };
 use rocescale_switch::{
     AdminAction, BufferConfig, ClassifyMode, DropReason, EcmpGroup, PortRole, Switch, SwitchConfig,
     WatchdogConfig,
 };
 use rocescale_tcp::{ConnHandle, TcpApp, TcpHost, TcpHostConfig};
-use rocescale_topology::{ClosSpec, RouteSpec, Tier, Topology};
+use rocescale_topology::{ClosSpec, Partition, RouteSpec, Tier, Topology};
 use rocescale_transport::QpConfig;
 
 use crate::detect::{DeadlockProbe, ProbeLink};
 use crate::instrument::InstrumentationProfile;
-use crate::profiles::{FabricProfile, FaultProfile, ScriptAction, TransportProfile};
+use crate::profiles::{
+    ExecutionProfile, FabricProfile, FaultProfile, ScriptAction, TransportProfile,
+};
+
+/// Per-shard world-seed stride: shard `s` seeds its world with
+/// `seed + s * STRIDE`, so shard 0 keeps the builder's seed (and thus
+/// the single-shard event stream) while other shards draw independent
+/// streams.
+const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Park an admin action in a switch and schedule the timer that fires it
 /// — the build-time translation of one scripted incident step.
@@ -57,18 +65,20 @@ pub struct ServerId(pub usize);
 
 /// Builder for a [`Cluster`].
 ///
-/// Configuration is grouped into four profiles — [`FabricProfile`]
+/// Configuration is grouped into five profiles — [`FabricProfile`]
 /// (switches), [`TransportProfile`] (NICs), [`FaultProfile`] (injected
 /// failures), [`InstrumentationProfile`] (observation: telemetry hub,
-/// digest, profiler, trace sink) — each defaulting to the paper's
-/// deployed settings. The builder itself keeps only run mechanics
-/// (seed, engine backend) and per-node escape hatches.
+/// digest, profiler, trace sink), [`ExecutionProfile`] (single-threaded
+/// or pod-sharded dispatch) — each defaulting to the paper's deployed
+/// settings. The builder itself keeps only run mechanics (seed, engine
+/// backend) and per-node escape hatches.
 pub struct ClusterBuilder {
     spec: ClosSpec,
     fabric: FabricProfile,
     transport: TransportProfile,
     faults: FaultProfile,
     instr: InstrumentationProfile,
+    execution: ExecutionProfile,
     seed: u64,
     engine: EngineKind,
     server_kind: Box<dyn FnMut(usize) -> ServerKind + Send>,
@@ -98,6 +108,7 @@ impl ClusterBuilder {
             transport: TransportProfile::paper_default(),
             faults: FaultProfile::paper_default(),
             instr: InstrumentationProfile::paper_default(),
+            execution: ExecutionProfile::paper_default(),
             seed: 1,
             engine: EngineKind::default(),
             server_kind: Box::new(|_| ServerKind::Rdma),
@@ -143,6 +154,16 @@ impl ClusterBuilder {
     /// [`profile`](Self::profile) setters below are shims into it.
     pub fn instrumentation(mut self, i: InstrumentationProfile) -> Self {
         self.instr = i;
+        self
+    }
+
+    /// Replace the execution profile: single-threaded (the default) or
+    /// pod-granular shards. [`build`](Self::build) always produces a
+    /// single-world [`Cluster`] regardless; the profile takes effect
+    /// through [`build_sharded`](Self::build_sharded), which honours the
+    /// requested shard count (clamped to the topology's pod count).
+    pub fn execution(mut self, e: ExecutionProfile) -> Self {
+        self.execution = e;
         self
     }
 
@@ -221,22 +242,127 @@ impl ClusterBuilder {
         self
     }
 
-    /// Instantiate the cluster.
+    /// Instantiate the cluster (one world, one thread — the golden-trace
+    /// path, whatever the execution profile says).
     pub fn build(mut self) -> Cluster {
+        let spec = self.spec;
+        let BuiltParts {
+            mut worlds,
+            topo,
+            servers,
+            switches,
+            hubs,
+            ..
+        } = self.build_parts(1);
+        let world = worlds.pop().expect("one shard builds one world");
+        let telemetry = hubs.into_iter().next().expect("one shard builds one hub");
+
+        // Live deadlock probe over every switch egress that faces another
+        // device (fabric links both directions, plus switch→server ports
+        // so storm victims show up as wait-chain leaves).
+        let probe_switches: Vec<(String, NodeId)> =
+            switches.iter().map(|s| (s.name.clone(), s.sim)).collect();
+        let mut probe_links = Vec::new();
+        for l in &topo.links {
+            for (me, peer) in [(l.a, l.b), (l.b, l.a)] {
+                if topo.nodes[me.0].tier == Tier::Server {
+                    continue;
+                }
+                let Some(sw_idx) = switches.iter().position(|s| s.topo_idx == me.0) else {
+                    continue;
+                };
+                probe_links.push(ProbeLink {
+                    switch: sw_idx,
+                    port: me.1,
+                    peer: topo.nodes[peer.0].name.clone(),
+                });
+            }
+        }
+        let deadlock = DeadlockProbe::new(
+            &telemetry,
+            probe_switches,
+            probe_links,
+            vec![Priority::new(3), Priority::new(4)],
+            3,
+        );
+
+        // Fleet-level gauges published at each sample tick.
+        let tele = ClusterTele::register(&telemetry, &switches);
+
+        Cluster {
+            world,
+            topo,
+            spec,
+            servers,
+            switches,
+            telemetry,
+            tele,
+            deadlock,
+        }
+    }
+
+    /// Instantiate the cluster as per-pod worker shards advanced through
+    /// the conservative exchange (see [`crate::ShardedCluster`]). The
+    /// [`ExecutionProfile`] chooses the shard count; `SingleThread` (or a
+    /// single-pod topology, which the partition collapses) yields one
+    /// shard whose event stream — and dispatch digest — is byte-identical
+    /// to [`build`](Self::build)'s.
+    pub fn build_sharded(mut self) -> crate::ShardedCluster {
+        let spec = self.spec;
+        let shards = self.execution.shard_count();
+        let parts = self.build_parts(shards);
+        crate::ShardedCluster::from_parts(parts, spec)
+    }
+
+    /// Everything `build` and `build_sharded` share: instantiate every
+    /// device into its shard's world (the pod-granular [`Partition`]
+    /// decides ownership), wire local links directly and boundary links
+    /// as mirrored remote ports, and translate the fault profile into
+    /// timers on the owning shards. With one effective shard this is
+    /// exactly the historical single-world construction.
+    fn build_parts(&mut self, shards: u32) -> BuiltParts {
         // A trace sink needs a live hub to stream through; upgrade a
         // disabled hub before any device registers instruments, then
         // attach the sink so records flow from the first event on.
         if self.instr.sink.is_some() && !self.instr.telemetry.is_enabled() {
             self.instr.telemetry = MetricsHub::enabled();
         }
+        let topo = Topology::clos(&self.spec);
+        let partition = Partition::pods(&topo, shards);
+        let nshards = partition.shards() as usize;
         if let Some((sink, filter)) = self.instr.sink.take() {
+            assert_eq!(
+                nshards, 1,
+                "streaming trace sinks require single-shard execution"
+            );
             self.instr.telemetry.attach_sink(sink, filter);
         }
-        let telemetry = self.instr.telemetry.clone();
-        let topo = Topology::clos(&self.spec);
-        let mut world = World::new_with_engine(self.seed, self.engine);
-        world.set_digest_mode(self.instr.digest);
-        world.set_profile_mode(self.instr.profile);
+        // Shard-local telemetry banks: shard 0 keeps the builder's hub
+        // (so the single-shard path is unchanged and callers hold a live
+        // handle), every other shard gets its own bank with the same
+        // enablement. Snapshots merge them by name (ShardedCluster).
+        let hubs: Vec<MetricsHub> = (0..nshards)
+            .map(|s| {
+                if s == 0 {
+                    self.instr.telemetry.clone()
+                } else if self.instr.telemetry.is_enabled() {
+                    MetricsHub::enabled()
+                } else {
+                    MetricsHub::disabled()
+                }
+            })
+            .collect();
+        let mut worlds: Vec<World> = (0..nshards as u64)
+            .map(|s| {
+                let mut w = World::new_with_engine(
+                    self.seed.wrapping_add(s.wrapping_mul(SHARD_SEED_STRIDE)),
+                    self.engine,
+                );
+                w.set_digest_mode(self.instr.digest);
+                w.set_profile_mode(self.instr.profile);
+                w
+            })
+            .collect();
         let n = topo.nodes.len();
 
         // MAC conventions: switches get 0x00F0_0000 + idx, servers idx+1.
@@ -265,7 +391,8 @@ impl ClusterBuilder {
             }
         };
 
-        let mut sim_ids: Vec<Option<NodeId>> = vec![None; n];
+        // Each node's (shard, shard-local sim id) once instantiated.
+        let mut sim_ids: Vec<Option<(u32, NodeId)>> = vec![None; n];
         let mut servers: Vec<ServerInfo> = Vec::new();
         let mut switches: Vec<SwitchInfo> = Vec::new();
 
@@ -324,7 +451,8 @@ impl ClusterBuilder {
             cfg.drop_lossless_on_incomplete_arp = self.fabric.drop_lossless_on_incomplete_arp;
             cfg.drop_ip_id_low_byte = self.faults.drop_ip_id_low_byte;
             cfg.per_packet_spraying = self.fabric.per_packet_spraying;
-            cfg.telemetry = telemetry.clone();
+            let shard = partition.shard_of(idx);
+            cfg.telemetry = hubs[shard as usize].clone();
             (self.switch_tweak)(&node.name.clone(), &mut cfg);
 
             let mut sw = Switch::new(cfg, switch_mac(idx), idx as u64 * 0x9e37 + 7);
@@ -364,10 +492,11 @@ impl ClusterBuilder {
                     }
                 }
             }
-            let sim = world.add_node(Box::new(sw));
-            sim_ids[idx] = Some(sim);
+            let sim = worlds[shard as usize].add_node(Box::new(sw));
+            sim_ids[idx] = Some((shard, sim));
             switches.push(SwitchInfo {
                 topo_idx: idx,
+                shard,
                 sim,
                 tier: node.tier,
                 name: node.name.clone(),
@@ -384,6 +513,7 @@ impl ClusterBuilder {
             let ip = node.ip.expect("servers have IPs");
             let order = servers.len();
             let kind = (self.server_kind)(order);
+            let shard = partition.shard_of(idx);
             let sim = match kind {
                 ServerKind::Rdma => {
                     let mut cfg = NicConfig::new(node.name.clone(), idx as u32 + 1, ip, gateway);
@@ -401,22 +531,23 @@ impl ClusterBuilder {
                     // reproduces the NicConfig default exactly).
                     cfg.cc = CcParams::for_line_rate(self.transport.cc, cfg.link_bps);
                     cfg.nic_watchdog_after = self.transport.nic_watchdog;
-                    cfg.telemetry = telemetry.clone();
+                    cfg.telemetry = hubs[shard as usize].clone();
                     (self.host_tweak)(order, &mut cfg);
-                    world.add_node(Box::new(RdmaHost::new(cfg)))
+                    worlds[shard as usize].add_node(Box::new(RdmaHost::new(cfg)))
                 }
                 ServerKind::Tcp => {
                     let mut cfg =
                         TcpHostConfig::new(node.name.clone(), idx as u32 + 1, ip, gateway);
                     cfg.conn.min_rto_ps = self.transport.tcp_min_rto.as_ps();
-                    cfg.telemetry = telemetry.clone();
+                    cfg.telemetry = hubs[shard as usize].clone();
                     (self.tcp_tweak)(order, &mut cfg);
-                    world.add_node(Box::new(TcpHost::new(cfg)))
+                    worlds[shard as usize].add_node(Box::new(TcpHost::new(cfg)))
                 }
             };
-            sim_ids[idx] = Some(sim);
+            sim_ids[idx] = Some((shard, sim));
             servers.push(ServerInfo {
                 topo_idx: idx,
+                shard,
                 sim,
                 kind,
                 ip,
@@ -425,26 +556,47 @@ impl ClusterBuilder {
             });
         }
 
-        // Links.
+        // Links: shard-local ones wire directly; boundary links become a
+        // mirrored pair of remote ports whose packets travel through the
+        // shard exchange (the partition guarantees only ToR/leaf↔spine
+        // links ever cross, so the exchange lookahead is the spine-cable
+        // propagation delay).
         for l in &topo.links {
-            let a = sim_ids[l.a.0].expect("all nodes instantiated");
-            let b = sim_ids[l.b.0].expect("all nodes instantiated");
-            world.connect(
-                a,
-                l.a.1,
-                b,
-                l.b.1,
-                LinkSpec::with_length(l.rate_bps, l.meters),
-            );
+            let (sa, a) = sim_ids[l.a.0].expect("all nodes instantiated");
+            let (sb, b) = sim_ids[l.b.0].expect("all nodes instantiated");
+            let spec = LinkSpec::with_length(l.rate_bps, l.meters);
+            if sa == sb {
+                worlds[sa as usize].connect(a, l.a.1, b, l.b.1, spec);
+            } else {
+                worlds[sa as usize].connect_remote(
+                    a,
+                    l.a.1,
+                    spec,
+                    RemotePort {
+                        shard: sb,
+                        node: b,
+                        port: l.b.1,
+                    },
+                );
+                worlds[sb as usize].connect_remote(
+                    b,
+                    l.b.1,
+                    spec,
+                    RemotePort {
+                        shard: sa,
+                        node: a,
+                        port: l.a.1,
+                    },
+                );
+            }
         }
 
         // Injected NIC pause storms (FaultProfile).
         for (idx, at) in &self.faults.storms {
-            let node = servers
+            let s = servers
                 .get(*idx)
-                .unwrap_or_else(|| panic!("storm target {idx} out of range"))
-                .sim;
-            world.schedule_timer(*at, node, TOK_INJECT_STORM);
+                .unwrap_or_else(|| panic!("storm target {idx} out of range"));
+            worlds[s.shard as usize].schedule_timer(*at, s.sim, TOK_INJECT_STORM);
         }
 
         // Incident-replay script (FaultProfile::at): every action becomes
@@ -458,9 +610,9 @@ impl ClusterBuilder {
                     .find(|s| s.name == name)
                     .unwrap_or_else(|| panic!("script names unknown switch {name:?}"))
             };
-            // A server's ToR-side attachment: (ToR sim node, ToR port
-            // facing the server, server topo index).
-            let tor_attach = |server: usize| -> (NodeId, PortId, usize) {
+            // A server's ToR-side attachment: (ToR shard, ToR sim node,
+            // ToR port facing the server, server topo index).
+            let tor_attach = |server: usize| -> (u32, NodeId, PortId, usize) {
                 let info = servers
                     .get(server)
                     .unwrap_or_else(|| panic!("script server {server} out of range"));
@@ -478,14 +630,20 @@ impl ClusterBuilder {
                         }
                     })
                     .expect("server has a ToR link");
-                (sim_ids[tor_t].expect("ToR instantiated"), port, srv_t)
+                let (shard, sim) = sim_ids[tor_t].expect("ToR instantiated");
+                (shard, sim, port, srv_t)
             };
             let script = std::mem::take(&mut self.faults.script);
             for (at, action) in &script {
                 match action {
                     ScriptAction::ServerLink { server, up } => {
-                        let (tor, port, _) = tor_attach(*server);
-                        sched_admin(&mut world, *at, tor, AdminAction::LinkSet { port, up: *up });
+                        let (shard, tor, port, _) = tor_attach(*server);
+                        sched_admin(
+                            &mut worlds[shard as usize],
+                            *at,
+                            tor,
+                            AdminAction::LinkSet { port, up: *up },
+                        );
                     }
                     ScriptAction::FabricLink { a, b, up } => {
                         let (sa, sb) = (find_switch(a), find_switch(b));
@@ -503,40 +661,34 @@ impl ClusterBuilder {
                             })
                             .unwrap_or_else(|| panic!("no fabric link {a:?} <-> {b:?}"));
                         sched_admin(
-                            &mut world,
+                            &mut worlds[sa.shard as usize],
                             *at,
                             sa.sim,
                             AdminAction::LinkSet { port, up: *up },
                         );
                     }
                     ScriptAction::StormStart { server } => {
-                        let node = servers
+                        let s = servers
                             .get(*server)
-                            .unwrap_or_else(|| panic!("script server {server} out of range"))
-                            .sim;
-                        world.schedule_timer(*at, node, TOK_INJECT_STORM);
+                            .unwrap_or_else(|| panic!("script server {server} out of range"));
+                        worlds[s.shard as usize].schedule_timer(*at, s.sim, TOK_INJECT_STORM);
                     }
                     ScriptAction::StormStop { server } => {
-                        let node = servers
+                        let s = servers
                             .get(*server)
-                            .unwrap_or_else(|| panic!("script server {server} out of range"))
-                            .sim;
-                        world.schedule_timer(*at, node, TOK_STOP_STORM);
+                            .unwrap_or_else(|| panic!("script server {server} out of range"));
+                        worlds[s.shard as usize].schedule_timer(*at, s.sim, TOK_STOP_STORM);
                     }
                     ScriptAction::ServerDeath { server } => {
                         // A dead server is *silent*: its link goes down
                         // (no frames to re-learn the MAC from) and its
                         // MAC entry is evicted — while the ARP entry
                         // survives, the §4.2 "dead but remembered" state.
-                        let (tor, port, srv_t) = tor_attach(*server);
+                        let (shard, tor, port, srv_t) = tor_attach(*server);
+                        let world = &mut worlds[shard as usize];
+                        sched_admin(world, *at, tor, AdminAction::LinkSet { port, up: false });
                         sched_admin(
-                            &mut world,
-                            *at,
-                            tor,
-                            AdminAction::LinkSet { port, up: false },
-                        );
-                        sched_admin(
-                            &mut world,
+                            world,
                             *at,
                             tor,
                             AdminAction::EvictMac {
@@ -545,15 +697,11 @@ impl ClusterBuilder {
                         );
                     }
                     ScriptAction::ServerResurrect { server } => {
-                        let (tor, port, srv_t) = tor_attach(*server);
+                        let (shard, tor, port, srv_t) = tor_attach(*server);
+                        let world = &mut worlds[shard as usize];
+                        sched_admin(world, *at, tor, AdminAction::LinkSet { port, up: true });
                         sched_admin(
-                            &mut world,
-                            *at,
-                            tor,
-                            AdminAction::LinkSet { port, up: true },
-                        );
-                        sched_admin(
-                            &mut world,
+                            world,
                             *at,
                             tor,
                             AdminAction::SeedMac {
@@ -567,11 +715,11 @@ impl ClusterBuilder {
                         alpha,
                         xoff_static,
                     } => {
-                        let sim = find_switch(switch).sim;
+                        let sw = find_switch(switch);
                         sched_admin(
-                            &mut world,
+                            &mut worlds[sw.shard as usize],
                             *at,
-                            sim,
+                            sw.sim,
                             AdminAction::SetThresholds {
                                 alpha: *alpha,
                                 xoff_static: *xoff_static,
@@ -579,11 +727,11 @@ impl ClusterBuilder {
                         );
                     }
                     ScriptAction::SetLossless { switch, prio, on } => {
-                        let sim = find_switch(switch).sim;
+                        let sw = find_switch(switch);
                         sched_admin(
-                            &mut world,
+                            &mut worlds[sw.shard as usize],
                             *at,
-                            sim,
+                            sw.sim,
                             AdminAction::SetLossless {
                                 prio: *prio,
                                 on: *on,
@@ -596,11 +744,11 @@ impl ClusterBuilder {
                         len,
                         ports,
                     } => {
-                        let sim = find_switch(switch).sim;
+                        let sw = find_switch(switch);
                         sched_admin(
-                            &mut world,
+                            &mut worlds[sw.shard as usize],
                             *at,
-                            sim,
+                            sw.sim,
                             AdminAction::Reroute {
                                 prefix: *prefix,
                                 len: *len,
@@ -612,49 +760,27 @@ impl ClusterBuilder {
             }
         }
 
-        // Live deadlock probe over every switch egress that faces another
-        // device (fabric links both directions, plus switch→server ports
-        // so storm victims show up as wait-chain leaves).
-        let probe_switches: Vec<(String, NodeId)> =
-            switches.iter().map(|s| (s.name.clone(), s.sim)).collect();
-        let mut probe_links = Vec::new();
-        for l in &topo.links {
-            for (me, peer) in [(l.a, l.b), (l.b, l.a)] {
-                if topo.nodes[me.0].tier == Tier::Server {
-                    continue;
-                }
-                let Some(sw_idx) = switches.iter().position(|s| s.topo_idx == me.0) else {
-                    continue;
-                };
-                probe_links.push(ProbeLink {
-                    switch: sw_idx,
-                    port: me.1,
-                    peer: topo.nodes[peer.0].name.clone(),
-                });
-            }
-        }
-        let deadlock = DeadlockProbe::new(
-            &telemetry,
-            probe_switches,
-            probe_links,
-            vec![Priority::new(3), Priority::new(4)],
-            3,
-        );
-
-        // Fleet-level gauges published at each sample tick.
-        let tele = ClusterTele::register(&telemetry, &switches);
-
-        Cluster {
-            world,
+        BuiltParts {
+            worlds,
+            partition,
             topo,
-            spec: self.spec,
             servers,
             switches,
-            telemetry,
-            tele,
-            deadlock,
+            hubs,
         }
     }
+}
+
+/// What [`ClusterBuilder::build_parts`] hands back: every device
+/// instantiated into its shard's world and fully wired, plus the index
+/// structures both cluster flavours need.
+pub(crate) struct BuiltParts {
+    pub(crate) worlds: Vec<World>,
+    pub(crate) partition: Partition,
+    pub(crate) topo: Topology,
+    pub(crate) servers: Vec<ServerInfo>,
+    pub(crate) switches: Vec<SwitchInfo>,
+    pub(crate) hubs: Vec<MetricsHub>,
 }
 
 /// Cluster-level gauge ids (sentinels when telemetry is disabled).
@@ -686,23 +812,29 @@ impl ClusterTele {
 }
 
 #[derive(Debug, Clone)]
-struct ServerInfo {
+pub(crate) struct ServerInfo {
     #[allow(dead_code)]
-    topo_idx: usize,
-    sim: NodeId,
-    kind: ServerKind,
-    ip: u32,
-    pod: u32,
-    tor_topo_idx: usize,
+    pub(crate) topo_idx: usize,
+    /// Owning shard (always 0 in a single-world [`Cluster`]).
+    pub(crate) shard: u32,
+    /// Shard-local sim node id.
+    pub(crate) sim: NodeId,
+    pub(crate) kind: ServerKind,
+    pub(crate) ip: u32,
+    pub(crate) pod: u32,
+    pub(crate) tor_topo_idx: usize,
 }
 
 #[derive(Debug, Clone)]
-struct SwitchInfo {
+pub(crate) struct SwitchInfo {
     #[allow(dead_code)]
-    topo_idx: usize,
-    sim: NodeId,
-    tier: Tier,
-    name: String,
+    pub(crate) topo_idx: usize,
+    /// Owning shard (always 0 in a single-world [`Cluster`]).
+    pub(crate) shard: u32,
+    /// Shard-local sim node id.
+    pub(crate) sim: NodeId,
+    pub(crate) tier: Tier,
+    pub(crate) name: String,
 }
 
 /// A running cluster: the simulation world plus the index structures to

@@ -27,12 +27,14 @@ pub mod detect;
 pub mod instrument;
 pub mod profiles;
 pub mod scenarios;
+pub mod sharded;
 pub mod sweep;
 
 pub use cluster::{Cluster, ClusterBuilder, PfcMode, ServerId, ServerKind};
 pub use deployment::DeploymentStage;
 pub use detect::{DeadlockProbe, ProbeLink};
 pub use instrument::InstrumentationProfile;
-pub use profiles::{FabricProfile, FaultProfile, ScriptAction, TransportProfile};
+pub use profiles::{ExecutionProfile, FabricProfile, FaultProfile, ScriptAction, TransportProfile};
 pub use rocescale_cc::CcKind;
+pub use sharded::ShardedCluster;
 pub use sweep::{SweepAxis, SweepJob, SweepPoint, SweepSpec, SweepVariant};

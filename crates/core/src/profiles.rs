@@ -200,6 +200,53 @@ impl Default for TransportProfile {
     }
 }
 
+/// How the simulation executes: one world on one thread, or pod-granular
+/// shards advanced in conservative-lookahead epochs (the fifth profile,
+/// alongside fabric/transport/fault/instrumentation).
+///
+/// Execution is a *mechanical* knob like the engine backend: it decides
+/// how events are dispatched, never which events exist. `Sharded` with
+/// one effective shard (either `shards: 1` or a single-pod topology,
+/// which [`rocescale_topology::Partition::pods`] collapses) dispatches
+/// the byte-identical event stream — and digest — of `SingleThread`.
+/// With two or more effective shards the *partitioned* run is its own
+/// deterministic reference: serial and threaded epoch execution agree
+/// byte-for-byte, but packet-id namespacing means the digest differs
+/// from the unpartitioned world's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionProfile {
+    /// One world, one thread — the default, and the golden-trace path.
+    SingleThread,
+    /// Split the fabric into per-pod worker shards exchanged through the
+    /// conservative barrier (see `rocescale_sim::ShardedWorld`).
+    Sharded {
+        /// Requested shard count; clamped to the topology's pod count.
+        shards: u32,
+    },
+}
+
+impl ExecutionProfile {
+    /// The paper-default execution: single-threaded.
+    pub fn paper_default() -> ExecutionProfile {
+        ExecutionProfile::SingleThread
+    }
+
+    /// The shard count this profile asks for (before the topology clamps
+    /// it): 1 for `SingleThread`, `max(shards, 1)` for `Sharded`.
+    pub fn shard_count(self) -> u32 {
+        match self {
+            ExecutionProfile::SingleThread => 1,
+            ExecutionProfile::Sharded { shards } => shards.max(1),
+        }
+    }
+}
+
+impl Default for ExecutionProfile {
+    fn default() -> ExecutionProfile {
+        ExecutionProfile::paper_default()
+    }
+}
+
 /// One timed incident-replay action — the declarative fault-script
 /// vocabulary. Every action is resolved at cluster build time into an
 /// ordinary sim event (a switch admin action or a NIC storm token fired
@@ -379,6 +426,17 @@ mod tests {
         assert_eq!(fault.drop_ip_id_low_byte, Some(0xff));
         assert_eq!(fault.storms, vec![(3, SimTime::from_millis(1))]);
         assert_eq!(fault.dead_servers, vec![2]);
+    }
+
+    #[test]
+    fn execution_profile_shard_counts() {
+        assert_eq!(
+            ExecutionProfile::paper_default(),
+            ExecutionProfile::SingleThread
+        );
+        assert_eq!(ExecutionProfile::SingleThread.shard_count(), 1);
+        assert_eq!(ExecutionProfile::Sharded { shards: 0 }.shard_count(), 1);
+        assert_eq!(ExecutionProfile::Sharded { shards: 4 }.shard_count(), 4);
     }
 
     /// The deprecated `dcqcn(bool)` shim and the `cc()` setter must

@@ -1,0 +1,227 @@
+//! Paper-scale sharded fleet (§6) — the deployment sections of the
+//! paper run RoCEv2 across entire Clos podsets; this scenario exercises
+//! the simulator at that scale: a ≥4096-host fabric (8 pods × 8 ToRs ×
+//! 64 servers) built once and advanced through the conservative
+//! cross-shard exchange with a configurable worker-shard count.
+//!
+//! The workload is deliberately light — one cross-pod saturating flow
+//! per pod (a ring, so every flow crosses a shard boundary when
+//! `shards > 1`) plus one intra-pod rack-to-rack flow per pod — because
+//! the point is the *engine*, not the traffic: the result reports the
+//! per-shard wall-clock split, exchange-epoch and boundary-message
+//! counts, timer-wheel occupancy, flow-cache hit rates, and packet-slab
+//! footprint that tell us whether sharding pays at fleet scale. The
+//! same shape scales to the paper's full deployments (raise
+//! `servers_per_tor`/`tors_per_pod`; nothing in the build path is
+//! quadratic in hosts).
+//!
+//! Determinism: the run is digest-pinnable like every other scenario —
+//! for a fixed shard count, serial and threaded epoch execution produce
+//! byte-identical digests (guarantee 2 of [`crate::sharded`]), which is
+//! what the CI smoke asserts via `--shards N` / `--serial`.
+
+use rocescale_nic::QpApp;
+use rocescale_sim::SimTime;
+use rocescale_topology::ClosSpec;
+
+use crate::cluster::ClusterBuilder;
+use crate::profiles::ExecutionProfile;
+use crate::sharded::ShardedCluster;
+
+/// Engine-load figures for one worker shard.
+#[derive(Debug, Clone)]
+pub struct ShardLoad {
+    /// Wall-clock nanoseconds this shard spent inside `run_until`.
+    pub wall_nanos: u64,
+    /// Events the shard dispatched.
+    pub events: u64,
+    /// Peak timer-wheel occupancy (live entries) the shard reached.
+    pub wheel_max_occupancy: u64,
+    /// Packet-slab slots the shard grew to.
+    pub slab_capacity: usize,
+    /// Packet-slab slots still live at the end of the run.
+    pub slab_live: usize,
+}
+
+/// Result of the paper-scale sharded fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetScaleResult {
+    /// Hosts in the fabric (must be ≥ 4096).
+    pub hosts: usize,
+    /// Switches in the fabric.
+    pub switches: usize,
+    /// Effective worker shards (the partition may collapse a request).
+    pub shards: usize,
+    /// Global dispatch digest (determinism pin).
+    pub digest: u64,
+    /// Total events dispatched across all shards.
+    pub events: u64,
+    /// Exchange epochs executed (0 with one shard).
+    pub epochs: u64,
+    /// Boundary messages carried across shards.
+    pub boundary_messages: u64,
+    /// Conservative lookahead in picoseconds (0 with one shard).
+    pub lookahead_ps: u64,
+    /// Receiver-side RDMA goodput, bytes.
+    pub goodput_bytes: u64,
+    /// Lossless drops (must be 0 — PFC holds at scale).
+    pub lossless_drops: u64,
+    /// Flow-decision cache hits across every switch.
+    pub flow_cache_hits: u64,
+    /// Flow-decision cache misses across every switch.
+    pub flow_cache_misses: u64,
+    /// Total packet-slab footprint across shards, bytes.
+    pub slab_bytes: u64,
+    /// Per-shard engine load (index = shard).
+    pub per_shard: Vec<ShardLoad>,
+}
+
+impl FleetScaleResult {
+    /// Flow-cache hit rate over the whole fabric, 0..=1.
+    pub fn flow_cache_hit_rate(&self) -> f64 {
+        let total = self.flow_cache_hits + self.flow_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.flow_cache_hits as f64 / total as f64
+    }
+
+    /// Wall-clock imbalance: max shard wall over mean shard wall (1.0 is
+    /// a perfect split; meaningful only for threaded multi-shard runs).
+    pub fn wall_imbalance(&self) -> f64 {
+        let max = self
+            .per_shard
+            .iter()
+            .map(|s| s.wall_nanos)
+            .max()
+            .unwrap_or(0);
+        let sum: u64 = self.per_shard.iter().map(|s| s.wall_nanos).sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        max as f64 * self.per_shard.len() as f64 / sum as f64
+    }
+}
+
+/// The fleet fabric: 8 pods × 8 ToRs × 64 servers = 4096 hosts, with
+/// 2 leaves per pod and 4 spines in 2 planes — the smallest shape that
+/// clears the paper-scale floor while keeping a CI run cheap.
+pub fn spec() -> ClosSpec {
+    ClosSpec::uniform_40g(8, 8, 2, 4, 64)
+}
+
+/// Build the fleet at `shards` worker shards, drive the ring workload
+/// for `dur`, and collect the engine figures. `threaded = false` runs
+/// the exchange epochs serially on the caller's thread (differential
+/// mode; byte-identical results).
+pub fn run(shards: u32, threaded: bool, dur: SimTime) -> FleetScaleResult {
+    let spec = spec();
+    let mut c: ShardedCluster = ClusterBuilder::new(spec)
+        .seed(41)
+        .execution(ExecutionProfile::Sharded { shards })
+        .build_sharded();
+    c.set_threaded(threaded);
+
+    let pods = spec.pods;
+    for p in 0..pods {
+        // Cross-pod ring: pod p's rack-0 lead server saturates toward
+        // pod p+1's — with `shards > 1` every one of these flows rides
+        // the exchange.
+        let src = c.servers_under(p, 0)[0];
+        let dst = c.servers_under((p + 1) % pods, 0)[1];
+        c.connect_qp(
+            src,
+            dst,
+            7000 + p as u16,
+            QpApp::Saturate {
+                msg_len: 64 * 1024,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+        // Intra-pod rack-to-rack flow: keeps every shard busy between
+        // exchanges, so the wall-clock split measures real overlap.
+        let a = c.servers_under(p, 1)[0];
+        let b = c.servers_under(p, 2)[0];
+        c.connect_qp(
+            a,
+            b,
+            7400 + p as u16,
+            QpApp::Saturate {
+                msg_len: 64 * 1024,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+    }
+    c.run_until(dur);
+
+    let pkt_size = std::mem::size_of::<rocescale_packet::Packet>() as u64;
+    let per_shard: Vec<ShardLoad> = (0..c.shard_count())
+        .map(|s| {
+            let w = c.world(s);
+            ShardLoad {
+                wall_nanos: c.shard_wall_nanos()[s],
+                events: w.events_processed(),
+                wheel_max_occupancy: w.sched_stats().max_occupancy,
+                slab_capacity: w.packet_slab_capacity(),
+                slab_live: w.packet_slab_len(),
+            }
+        })
+        .collect();
+    let (flow_cache_hits, flow_cache_misses) = c.flow_cache_totals();
+    FleetScaleResult {
+        hosts: c.server_count(),
+        switches: c.switch_count(),
+        shards: c.shard_count(),
+        digest: c.dispatch_digest(),
+        events: c.events_processed(),
+        epochs: c.exchange_epochs(),
+        boundary_messages: c.boundary_messages(),
+        lookahead_ps: c.lookahead().map_or(0, |l| l.as_ps()),
+        goodput_bytes: c.total_rdma_goodput(),
+        lossless_drops: c.lossless_drops(),
+        flow_cache_hits,
+        flow_cache_misses,
+        slab_bytes: per_shard
+            .iter()
+            .map(|s| s.slab_capacity as u64)
+            .sum::<u64>()
+            * pkt_size,
+        per_shard,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DUR: SimTime = SimTime::from_micros(120);
+
+    #[test]
+    fn fleet_clears_the_paper_scale_floor_and_stays_lossless() {
+        let r = run(2, true, DUR);
+        assert!(r.hosts >= 4096, "paper-scale floor: {}", r.hosts);
+        assert_eq!(r.shards, 2);
+        assert!(r.epochs > 0, "multi-shard runs advance in epochs: {r:?}");
+        assert!(r.boundary_messages > 0, "the ring crosses shards: {r:?}");
+        assert!(r.goodput_bytes > 0, "{r:?}");
+        assert_eq!(r.lossless_drops, 0, "PFC must hold at scale: {r:?}");
+        assert!(r.lookahead_ps > 0);
+        assert!(r.flow_cache_hits > 0, "caches must warm up: {r:?}");
+        assert!(r.slab_bytes > 0);
+        assert_eq!(r.per_shard.len(), 2);
+        assert!(r.per_shard.iter().all(|s| s.events > 0));
+        assert!(r.per_shard.iter().all(|s| s.wheel_max_occupancy > 0));
+    }
+
+    #[test]
+    fn serial_and_threaded_fleet_runs_pin_the_same_digest() {
+        let a = run(2, true, DUR);
+        let b = run(2, false, DUR);
+        assert_eq!(
+            (a.digest, a.events, a.epochs, a.boundary_messages),
+            (b.digest, b.events, b.epochs, b.boundary_messages)
+        );
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`cc_ablation`] | §7 — pluggable CC: DCQCN vs TIMELY vs off on one incast |
 //! | [`headroom`] | §2 — the gray-period headroom formula, validated by violation |
 //! | [`incident`] | §4/§6 — scripted incident replays: reroute, cascade storm, dead server |
+//! | [`fleet_scale`] | §6 — paper-scale fleet (4096 hosts) on sharded execution |
 
 pub mod buffer_misconfig;
 pub mod cc_ablation;
@@ -28,6 +29,7 @@ pub mod cpu;
 pub mod dcqcn_ablation;
 pub mod deadlock;
 pub mod dscp_vlan;
+pub mod fleet_scale;
 pub mod headroom;
 pub mod incident;
 pub mod latency;

@@ -1,0 +1,431 @@
+//! Sharded cluster execution: per-pod worker shards behind the
+//! conservative exchange.
+//!
+//! [`ShardedCluster`] is the multi-world sibling of
+//! [`Cluster`](crate::Cluster): the same devices, built by the same
+//! [`ClusterBuilder`](crate::ClusterBuilder) factory, but distributed
+//! across per-pod [`rocescale_sim::World`]s that a
+//! [`rocescale_sim::ShardedWorld`] advances in lookahead epochs. Three
+//! determinism guarantees anchor it (pinned by
+//! `tests/shard_determinism.rs`):
+//!
+//! 1. One effective shard (a `SingleThread` profile, `shards: 1`, or a
+//!    single-pod topology the partition collapses) dispatches the
+//!    byte-identical event stream — and golden digest — of
+//!    [`Cluster`](crate::Cluster).
+//! 2. With N ≥ 2 shards, serial and threaded epoch execution agree
+//!    byte-for-byte: same digest, same event counts, same merged
+//!    counter snapshot.
+//! 3. The digest folds per-shard digests in fixed shard order, so a
+//!    sharded run is replayable and pinnable like any other.
+//!
+//! Telemetry in this mode is *bank-per-shard*: each shard's devices
+//! register on their own [`MetricsHub`], and
+//! [`ShardedCluster::counters_snapshot`] merges the banks by name
+//! (summing duplicates) into one deterministic fleet view. Time-series
+//! sampling, streaming trace sinks, and the live deadlock probe remain
+//! single-thread-only observation features.
+
+use std::collections::BTreeMap;
+
+use rocescale_monitor::MetricsHub;
+use rocescale_nic::{QpApp, QpHandle, RdmaHost};
+use rocescale_sim::{ShardedWorld, SimTime, World};
+use rocescale_switch::{DropReason, Switch};
+use rocescale_topology::{ClosSpec, Partition, Tier, Topology};
+
+use crate::cluster::{BuiltParts, ServerId, ServerInfo, ServerKind, SwitchInfo};
+
+/// A running sharded cluster: per-pod worlds behind the conservative
+/// exchange, plus the index structures to reach every device.
+pub struct ShardedCluster {
+    sharded: ShardedWorld,
+    topo: Topology,
+    spec: ClosSpec,
+    partition: Partition,
+    servers: Vec<ServerInfo>,
+    switches: Vec<SwitchInfo>,
+    hubs: Vec<MetricsHub>,
+}
+
+impl ShardedCluster {
+    pub(crate) fn from_parts(parts: BuiltParts, spec: ClosSpec) -> ShardedCluster {
+        let BuiltParts {
+            worlds,
+            partition,
+            topo,
+            servers,
+            switches,
+            hubs,
+        } = parts;
+        ShardedCluster {
+            sharded: ShardedWorld::new(worlds),
+            topo,
+            spec,
+            partition,
+            servers,
+            switches,
+            hubs,
+        }
+    }
+
+    // ---- shape ----
+
+    /// The Clos spec this cluster was built from.
+    pub fn spec(&self) -> &ClosSpec {
+        &self.spec
+    }
+
+    /// The topology description.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The pod-granular partition plan in force.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of worker shards (1 for a single-pod topology).
+    pub fn shard_count(&self) -> usize {
+        self.sharded.shard_count()
+    }
+
+    /// Borrow shard `s`'s world (for per-shard engine stats).
+    pub fn world(&self, s: usize) -> &World {
+        self.sharded.world(s)
+    }
+
+    /// Mutably borrow shard `s`'s world.
+    pub fn world_mut(&mut self, s: usize) -> &mut World {
+        self.sharded.world_mut(s)
+    }
+
+    /// Run epochs serially even with multiple shards (differential
+    /// testing: results are byte-identical either way).
+    pub fn set_threaded(&mut self, threaded: bool) {
+        self.sharded.set_threaded(threaded);
+    }
+
+    // ---- servers ----
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// All server ids.
+    pub fn all_servers(&self) -> Vec<ServerId> {
+        (0..self.servers.len()).map(ServerId).collect()
+    }
+
+    /// The servers under `tor` (pod-relative index), in port order.
+    pub fn servers_under(&self, pod: u32, tor: u32) -> Vec<ServerId> {
+        let subnet = rocescale_topology::tor_subnet(pod, tor);
+        self.servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.ip & 0xffff_ff00 == subnet)
+            .map(|(i, _)| ServerId(i))
+            .collect()
+    }
+
+    /// A server's IP.
+    pub fn server_ip(&self, id: ServerId) -> u32 {
+        self.servers[id.0].ip
+    }
+
+    /// A server's pod.
+    pub fn server_pod(&self, id: ServerId) -> u32 {
+        self.servers[id.0].pod
+    }
+
+    /// The shard that owns a server.
+    pub fn server_shard(&self, id: ServerId) -> u32 {
+        self.servers[id.0].shard
+    }
+
+    /// Two servers share a ToR?
+    pub fn same_tor(&self, a: ServerId, b: ServerId) -> bool {
+        self.servers[a.0].tor_topo_idx == self.servers[b.0].tor_topo_idx
+    }
+
+    /// Borrow an RDMA server.
+    pub fn rdma(&self, id: ServerId) -> &RdmaHost {
+        let s = &self.servers[id.0];
+        assert_eq!(s.kind, ServerKind::Rdma);
+        self.sharded.world(s.shard as usize).node::<RdmaHost>(s.sim)
+    }
+
+    /// Mutably borrow an RDMA server.
+    pub fn rdma_mut(&mut self, id: ServerId) -> &mut RdmaHost {
+        let s = &self.servers[id.0];
+        assert_eq!(s.kind, ServerKind::Rdma);
+        let (shard, sim) = (s.shard, s.sim);
+        self.sharded
+            .world_mut(shard as usize)
+            .node_mut::<RdmaHost>(sim)
+    }
+
+    /// Create a QP pair between two RDMA servers — shard-oblivious: the
+    /// endpoints may live in different worlds, and their traffic rides
+    /// the exchange.
+    pub fn connect_qp(
+        &mut self,
+        a: ServerId,
+        b: ServerId,
+        udp_src: u16,
+        app_a: QpApp,
+        app_b: QpApp,
+    ) -> (QpHandle, QpHandle) {
+        let a_ip = self.server_ip(a);
+        let b_ip = self.server_ip(b);
+        let a_qpn = self.rdma(a).qp_count() as u32;
+        let b_qpn = self.rdma(b).qp_count() as u32;
+        let ha = self.rdma_mut(a).add_qp(b_ip, b_qpn, udp_src, app_a);
+        let hb = self.rdma_mut(b).add_qp(a_ip, a_qpn, udp_src, app_b);
+        (ha, hb)
+    }
+
+    // ---- switches ----
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Borrow switch `i` (topology order: ToRs and leaves pod-major,
+    /// then spines).
+    pub fn switch(&self, i: usize) -> &Switch {
+        let s = &self.switches[i];
+        self.sharded.world(s.shard as usize).node::<Switch>(s.sim)
+    }
+
+    /// A switch's display name.
+    pub fn switch_name(&self, i: usize) -> &str {
+        &self.switches[i].name
+    }
+
+    /// Indices of switches of a tier.
+    pub fn switches_of_tier(&self, tier: Tier) -> Vec<usize> {
+        self.switches
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.tier == tier)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    // ---- running ----
+
+    /// Advance every shard to `t` through conservative-lookahead epochs.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sharded.run_until(t);
+    }
+
+    /// Run for `ms` more milliseconds of simulated time.
+    pub fn run_for_millis(&mut self, ms: u64) {
+        let t = self.now() + SimTime::from_millis(ms);
+        self.run_until(t);
+    }
+
+    /// Current simulated horizon (every shard has advanced at least this
+    /// far).
+    pub fn now(&self) -> SimTime {
+        self.sharded.now()
+    }
+
+    // ---- determinism & progress ----
+
+    /// Global dispatch digest: per-shard digests folded in shard order.
+    pub fn dispatch_digest(&self) -> u64 {
+        self.sharded.dispatch_digest()
+    }
+
+    /// Total events dispatched across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.sharded.events_processed()
+    }
+
+    /// Exchange epochs executed (0 until the first multi-shard run).
+    pub fn exchange_epochs(&self) -> u64 {
+        self.sharded.epochs()
+    }
+
+    /// Boundary messages carried across shards so far.
+    pub fn boundary_messages(&self) -> u64 {
+        self.sharded.boundary_messages()
+    }
+
+    /// Per-shard wall-clock spent inside `World::run_until`, in
+    /// nanoseconds (index = shard).
+    pub fn shard_wall_nanos(&self) -> &[u64] {
+        self.sharded.shard_wall_nanos()
+    }
+
+    /// The conservative lookahead (min cross-shard propagation delay);
+    /// `None` with one shard.
+    pub fn lookahead(&self) -> Option<SimTime> {
+        self.sharded.lookahead()
+    }
+
+    // ---- fleet-wide monitoring ----
+
+    /// Total XOFF pause frames sent by all switches.
+    pub fn total_switch_pause_tx(&self) -> u64 {
+        (0..self.switches.len())
+            .map(|i| self.switch(i).stats.total_pause_tx())
+            .sum()
+    }
+
+    /// Total drops of a given reason across switches.
+    pub fn total_drops_of(&self, reason: DropReason) -> u64 {
+        (0..self.switches.len())
+            .map(|i| self.switch(i).stats.drops_of(reason))
+            .sum()
+    }
+
+    /// Drops that must be zero in a healthy lossless fabric.
+    pub fn lossless_drops(&self) -> u64 {
+        self.total_drops_of(DropReason::LosslessOverflow)
+    }
+
+    /// Sum of receiver-side RDMA goodput bytes across all servers.
+    pub fn total_rdma_goodput(&self) -> u64 {
+        self.servers
+            .iter()
+            .filter(|s| s.kind == ServerKind::Rdma)
+            .map(|s| {
+                self.sharded
+                    .world(s.shard as usize)
+                    .node::<RdmaHost>(s.sim)
+                    .total_goodput_bytes()
+            })
+            .sum()
+    }
+
+    /// Aggregate flow-cache hits and misses across every switch.
+    pub fn flow_cache_totals(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for i in 0..self.switches.len() {
+            let st = self.switch(i).flow_cache_stats();
+            hits += st.hits;
+            misses += st.misses;
+        }
+        (hits, misses)
+    }
+
+    /// Shard `s`'s telemetry bank (disabled unless the builder attached
+    /// an enabled hub).
+    pub fn hub(&self, s: usize) -> &MetricsHub {
+        &self.hubs[s]
+    }
+
+    /// Fleet counter snapshot: every shard bank's counters merged by
+    /// name, duplicates summed, name-sorted — deterministic regardless
+    /// of shard count or threading.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        for h in &self.hubs {
+            for (name, v) in h.counters_snapshot() {
+                *merged.entry(name).or_insert(0) += v;
+            }
+        }
+        merged.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterBuilder, ExecutionProfile};
+    use rocescale_sim::SimTime;
+
+    fn two_pods(seed: u64) -> ClusterBuilder {
+        ClusterBuilder::new(ClosSpec::uniform_40g(2, 1, 2, 2, 2)).seed(seed)
+    }
+
+    fn saturate() -> QpApp {
+        QpApp::Saturate {
+            msg_len: 128 * 1024,
+            inflight: 1,
+        }
+    }
+
+    #[test]
+    fn sharded_cluster_carries_cross_pod_traffic() {
+        let mut c = two_pods(3)
+            .execution(ExecutionProfile::Sharded { shards: 2 })
+            .build_sharded();
+        assert_eq!(c.shard_count(), 2);
+        let ids = c.all_servers();
+        let a = *ids.iter().find(|s| c.server_pod(**s) == 0).unwrap();
+        let b = *ids.iter().find(|s| c.server_pod(**s) == 1).unwrap();
+        assert_ne!(c.server_shard(a), c.server_shard(b));
+        c.connect_qp(a, b, 6000, saturate(), QpApp::None);
+        c.run_for_millis(2);
+        assert!(
+            c.total_rdma_goodput() >= 128 * 1024,
+            "cross-pod flow must complete through the exchange: {}",
+            c.total_rdma_goodput()
+        );
+        assert!(
+            c.exchange_epochs() > 0,
+            "multi-shard runs advance in epochs"
+        );
+        assert!(c.boundary_messages() > 0, "the flow crosses the boundary");
+        assert_eq!(c.lossless_drops(), 0);
+        assert!(c.lookahead().unwrap() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_pod_collapses_to_the_plain_cluster() {
+        // two_tier topologies have one pod, so any shard request
+        // collapses to one shard — and the event stream (digest, event
+        // count) is byte-identical to `build()`'s. This is the guarantee
+        // that re-pins the golden trace under `Sharded { shards: N }`.
+        let drive = |mut c: crate::Cluster| {
+            let ids = c.all_servers();
+            c.connect_qp(ids[1], ids[0], 5000, saturate(), QpApp::None);
+            c.run_for_millis(1);
+            (c.world.dispatch_digest(), c.world.events_processed())
+        };
+        let single = drive(ClusterBuilder::two_tier(2, 3).seed(9).build());
+
+        let mut s = ClusterBuilder::two_tier(2, 3)
+            .seed(9)
+            .execution(ExecutionProfile::Sharded { shards: 4 })
+            .build_sharded();
+        assert_eq!(s.shard_count(), 1);
+        let ids = s.all_servers();
+        s.connect_qp(ids[1], ids[0], 5000, saturate(), QpApp::None);
+        s.run_for_millis(1);
+        assert_eq!(s.exchange_epochs(), 0, "one shard never runs epochs");
+        assert_eq!((s.dispatch_digest(), s.events_processed()), single);
+    }
+
+    #[test]
+    fn serial_and_threaded_epochs_agree_with_merged_counters() {
+        let run = |threaded: bool| {
+            let mut c = two_pods(7)
+                .telemetry(MetricsHub::enabled())
+                .execution(ExecutionProfile::Sharded { shards: 2 })
+                .build_sharded();
+            c.set_threaded(threaded);
+            let ids = c.all_servers();
+            let a = *ids.iter().find(|s| c.server_pod(**s) == 0).unwrap();
+            let b = *ids.iter().find(|s| c.server_pod(**s) == 1).unwrap();
+            c.connect_qp(a, b, 6000, saturate(), QpApp::None);
+            c.run_until(SimTime::from_micros(800));
+            (
+                c.dispatch_digest(),
+                c.events_processed(),
+                c.exchange_epochs(),
+                c.boundary_messages(),
+                c.counters_snapshot(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

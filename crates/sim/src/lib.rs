@@ -30,15 +30,17 @@
 mod arena;
 mod rng;
 pub mod sched;
+mod shard;
 mod time;
 mod world;
 
 pub use rng::SimRng;
 pub use sched::{EngineKind, SchedStats};
+pub use shard::{ShardedWorld, PACKET_ID_SHARD_SHIFT};
 pub use time::SimTime;
 pub use world::{
-    Ctx, DigestMode, DispatchMode, EventProfile, LinkSpec, Node, NodeId, PortId, ProfileMode,
-    TxError, World,
+    digest_fold, BoundaryMsg, Ctx, DigestMode, DispatchMode, EventProfile, LinkSpec, Node, NodeId,
+    PortId, ProfileMode, RemotePort, TxError, World,
 };
 
 /// Speed of signal propagation in copper/fiber used for cable-length →

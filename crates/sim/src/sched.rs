@@ -201,6 +201,43 @@ impl<T> EventQueue<T> {
         EventHandle(seq)
     }
 
+    /// Bulk-schedule a sweep of events, draining `items`. Equivalent to
+    /// calling [`Self::push`] once per element in order — seqs are
+    /// assigned in `items` order, so the resulting pop stream is
+    /// byte-identical — but the wheel engine memoizes the last slot
+    /// placement, so runs of same-tick events (the common shape of a
+    /// dispatch batch's output: many transmissions scheduled from one
+    /// timestamp) skip the level/slot/bitmap work after the first.
+    pub fn push_bulk(&mut self, items: &mut Vec<(SimTime, T)>) {
+        let n = items.len();
+        match &mut self.engine {
+            Engine::Wheel(w) => {
+                let mut memo = None;
+                for (time, item) in items.drain(..) {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    if let Some(live) = &mut self.live {
+                        live.insert(seq);
+                    }
+                    w.push_memo(Entry { time, seq, item }, &mut self.stats, &mut memo);
+                }
+            }
+            Engine::Heap(h) => {
+                for (time, item) in items.drain(..) {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    if let Some(live) = &mut self.live {
+                        live.insert(seq);
+                    }
+                    h.push(Reverse(Entry { time, seq, item }));
+                }
+            }
+        }
+        self.len += n;
+        self.stats.pushed += n as u64;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.len as u64);
+    }
+
     /// Cancel a pending event. Returns true if it had not yet fired or
     /// been cancelled; false for fired, cancelled, or unknown handles —
     /// and always false on queues not built with
@@ -465,6 +502,48 @@ impl<T> Wheel<T> {
 
     // (push and push_in_wheel share the placement rule; push_in_wheel is
     // the no-stats variant used during cascades.)
+
+    /// [`Self::push`] with a one-entry placement memo: when the incoming
+    /// entry's tick matches the memoized one, it lands in the same slot
+    /// whose occupancy bit is already set, so the level/slot computation
+    /// and the bitmap write are skipped. Valid only while the cursor is
+    /// stationary (no pops between calls) — which bulk insertion
+    /// guarantees.
+    fn push_memo(
+        &mut self,
+        entry: Entry<T>,
+        stats: &mut SchedStats,
+        memo: &mut Option<(u64, usize, usize)>,
+    ) {
+        let t = tick_of(entry.time);
+        if let Some((mt, level, slot)) = *memo {
+            if mt == t {
+                self.levels[level][slot].push(entry);
+                self.level_count[level] += 1;
+                self.in_wheel += 1;
+                return;
+            }
+        }
+        *memo = None;
+        if t < self.cursor {
+            self.insert_ready(entry);
+            return;
+        }
+        match Self::level_for(self.cursor, t) {
+            Some(level) => {
+                let slot = Self::slot_of(level, t);
+                self.levels[level][slot].push(entry);
+                self.set_bit(level, slot);
+                self.level_count[level] += 1;
+                self.in_wheel += 1;
+                *memo = Some((t, level, slot));
+            }
+            None => {
+                stats.overflow_pushed += 1;
+                self.overflow.push(Reverse(entry));
+            }
+        }
+    }
 
     #[inline]
     fn peek(&mut self, stats: &mut SchedStats) -> Option<&Entry<T>> {
@@ -825,6 +904,51 @@ mod tests {
             let got: Vec<u32> = out.iter().map(|&(_, v)| v).collect();
             assert_eq!(got, vec![1, 2, 4, 5, 6], "{kind:?}");
             assert!(q.is_empty());
+        }
+    }
+
+    /// `push_bulk` must be indistinguishable from sequential `push` —
+    /// same seq assignment, same pop stream — on both engines, across
+    /// same-tick runs, scattered times, past-cursor times (after a pop
+    /// advanced the cursor), and overflow-bound deadlines.
+    #[test]
+    fn push_bulk_matches_sequential_push() {
+        for kind in [EngineKind::Wheel, EngineKind::BinaryHeap] {
+            let mut rng = SimRng::from_seed(0xB01C);
+            let mut seq_q = EventQueue::new(kind);
+            let mut bulk_q = EventQueue::new(kind);
+            let mut next_val = 0u32;
+            let mut now = 0u64;
+            for _ in 0..200 {
+                // A sweep: mostly same-tick, with scattered outliers.
+                let base = now + rng.gen_below(1 << 20);
+                let mut sweep = Vec::new();
+                for _ in 0..rng.gen_range(1..12) {
+                    let t = match rng.gen_below(8) {
+                        0..=4 => base,
+                        5 => now, // at (or before) the cursor tick
+                        6 => base + rng.gen_below(1 << 30),
+                        _ => base + rng.gen_below(1 << 48), // overflow-ish
+                    };
+                    sweep.push((SimTime(t), next_val));
+                    next_val += 1;
+                }
+                for &(t, v) in &sweep {
+                    seq_q.push(t, v);
+                }
+                let mut sweep_vec = sweep;
+                bulk_q.push_bulk(&mut sweep_vec);
+                assert!(sweep_vec.is_empty());
+                for _ in 0..rng.gen_below(3) {
+                    let a = seq_q.pop();
+                    let b = bulk_q.pop();
+                    assert_eq!(a, b, "{kind:?}");
+                    if let Some((t, _)) = a {
+                        now = t.as_ps();
+                    }
+                }
+            }
+            assert_eq!(drain(&mut seq_q), drain(&mut bulk_q), "{kind:?}");
         }
     }
 

@@ -189,7 +189,10 @@ pub enum TxError {
 ///
 /// Handlers receive a [`Ctx`] for scheduling; all state lives in the node.
 /// The kernel guarantees handlers are invoked in deterministic order.
-pub trait Node: Any {
+/// Nodes are `Send` so a sharded run can drive each shard's world from
+/// its own worker thread (a node is only ever touched by the thread
+/// running its world).
+pub trait Node: Any + Send {
     /// Invoked once when the simulation starts, before any other event.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
@@ -239,9 +242,82 @@ pub trait Node: Any {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// The far end of a cross-shard link: a port on a node living in
+/// another shard's [`World`]. Boundary traffic addressed to it is
+/// collected in the sending world's outbox ([`World::take_outbox`]) and
+/// routed by the shard exchange at conservative-lookahead epoch
+/// boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemotePort {
+    /// Destination shard index (the exchange's world index).
+    pub shard: u32,
+    /// Node id *within the destination shard's world*.
+    pub node: NodeId,
+    /// Port on that node.
+    pub port: PortId,
+}
+
+/// What a port is wired to: a node in this world, or a port in another
+/// shard's world (see [`RemotePort`]).
+#[derive(Debug, Clone, Copy)]
+enum Peer {
+    Local(NodeId, PortId),
+    Remote(RemotePort),
+}
+
+/// A boundary crossing collected from a shard's world during an
+/// exchange epoch, delivered into the destination shard at the next
+/// epoch barrier. Packets carry their computed arrival time (always at
+/// least one cross-shard propagation delay in the future — the
+/// conservative-lookahead safety condition); administrative messages
+/// carry the time they were issued and apply at the barrier.
+#[derive(Debug)]
+pub enum BoundaryMsg {
+    /// A packet that finished serializing onto a cross-shard link.
+    Packet {
+        /// Arrival time at the far end (send + serialization +
+        /// propagation).
+        at: SimTime,
+        /// Destination shard/node/port.
+        to: RemotePort,
+        /// The packet itself.
+        pkt: Packet,
+    },
+    /// Mirror of a local [`Ctx::set_link_up`] on a boundary port: the
+    /// far endpoint's administrative state must flip too.
+    LinkSet {
+        /// Time the flip was issued on the near side.
+        at: SimTime,
+        /// Far endpoint.
+        to: RemotePort,
+        /// New administrative state.
+        up: bool,
+    },
+    /// A [`Ctx::wake_peer`] kick crossing the boundary, delivered as an
+    /// ordinary port-idle event at the barrier.
+    Wake {
+        /// Time the kick was issued on the near side.
+        at: SimTime,
+        /// Far endpoint.
+        to: RemotePort,
+    },
+}
+
+impl BoundaryMsg {
+    /// The message's timestamp (arrival time for packets, issue time
+    /// for administrative messages) — the exchange's sort key.
+    pub fn at(&self) -> SimTime {
+        match self {
+            BoundaryMsg::Packet { at, .. }
+            | BoundaryMsg::LinkSet { at, .. }
+            | BoundaryMsg::Wake { at, .. } => *at,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct PortState {
-    peer: (NodeId, PortId),
+    peer: Peer,
     spec: LinkSpec,
     busy_until: SimTime,
     /// Administrative link state. A downed link rejects new transmissions
@@ -292,6 +368,21 @@ struct WorldCore {
     digest: u64,
     /// Hot-path gate for digest folding (see [`DigestMode`]).
     digest_on: bool,
+    /// When set, [`WorldCore::push`] stages events here instead of
+    /// touching the queue; [`World::dispatch_batch`] flushes the whole
+    /// sweep with one [`EventQueue::push_bulk`] call at batch end.
+    /// Sequence numbers are assigned at flush in staging order and no
+    /// pops occur in between, so the `(time, seq)` stream — and hence
+    /// dispatch order and digest — is identical to per-push scheduling.
+    staging: bool,
+    /// Staged events awaiting the batch-end flush.
+    staged: Vec<(SimTime, EventKind)>,
+    /// Boundary traffic for the shard exchange: packets that finished
+    /// serializing onto cross-shard links, plus administrative
+    /// link-state/wake messages addressed to remote ports. Drained by
+    /// [`World::take_outbox`] at epoch barriers; always empty in a
+    /// single-world (non-sharded) run.
+    outbox: Vec<BoundaryMsg>,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -305,9 +396,21 @@ fn fnv1a(mut h: u64, v: u64) -> u64 {
     h
 }
 
+/// Fold `v` into FNV-1a accumulator `h` — the exact byte-wise fold the
+/// dispatch digest uses. Exposed so a sharded run can combine per-shard
+/// digests in fixed shard order into one global fingerprint (see
+/// `ShardedWorld::dispatch_digest`).
+pub fn digest_fold(h: u64, v: u64) -> u64 {
+    fnv1a(h, v)
+}
+
 impl WorldCore {
     fn push(&mut self, time: SimTime, kind: EventKind) {
-        self.queue.push(time, kind);
+        if self.staging {
+            self.staged.push((time, kind));
+        } else {
+            self.queue.push(time, kind);
+        }
     }
 
     fn store_packet(&mut self, pkt: Packet) -> u32 {
@@ -360,6 +463,9 @@ impl World {
                 packets: PacketArena::new(),
                 digest: FNV_OFFSET,
                 digest_on: true,
+                staging: false,
+                staged: Vec::new(),
+                outbox: Vec::new(),
             },
             nodes: Vec::new(),
             started: false,
@@ -400,18 +506,121 @@ impl World {
         };
         let ia = slot(&mut self.core.ports[a.0 as usize], a_port);
         self.core.ports[a.0 as usize][ia] = Some(PortState {
-            peer: (b, b_port),
+            peer: Peer::Local(b, b_port),
             spec,
             busy_until: SimTime::ZERO,
             up: true,
         });
         let ib = slot(&mut self.core.ports[b.0 as usize], b_port);
         self.core.ports[b.0 as usize][ib] = Some(PortState {
-            peer: (a, a_port),
+            peer: Peer::Local(a, a_port),
             spec,
             busy_until: SimTime::ZERO,
             up: true,
         });
+    }
+
+    /// Wire `port` on `node` to a port in *another shard's* world. The
+    /// local half behaves like an ordinary link (serialization time,
+    /// busy state, the port-idle event); packets that finish
+    /// serializing are parked in the boundary outbox with their arrival
+    /// time instead of being scheduled locally — the shard exchange
+    /// routes them at the next epoch barrier. Both worlds must call
+    /// this with mirrored [`RemotePort`]s and the same `spec`.
+    pub fn connect_remote(&mut self, node: NodeId, port: PortId, spec: LinkSpec, peer: RemotePort) {
+        let ports = &mut self.core.ports[node.0 as usize];
+        if ports.len() <= port.index() {
+            ports.resize(port.index() + 1, None);
+        }
+        assert!(
+            ports[port.index()].is_none(),
+            "port {port:?} already connected"
+        );
+        ports[port.index()] = Some(PortState {
+            peer: Peer::Remote(peer),
+            spec,
+            busy_until: SimTime::ZERO,
+            up: true,
+        });
+    }
+
+    /// Drain the boundary outbox: every cross-shard message issued
+    /// since the last drain, in issue order. Called by the shard
+    /// exchange at epoch barriers; always empty without remote ports.
+    pub fn take_outbox(&mut self) -> Vec<BoundaryMsg> {
+        std::mem::take(&mut self.core.outbox)
+    }
+
+    /// Smallest propagation delay over this world's cross-shard links —
+    /// the world's contribution to the exchange's conservative
+    /// lookahead. `None` when no port is remote.
+    pub fn min_remote_propagation(&self) -> Option<SimTime> {
+        self.core
+            .ports
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|s| matches!(s.peer, Peer::Remote(_)))
+            .map(|s| s.spec.propagation)
+            .min()
+    }
+
+    /// Number of cross-shard (boundary) ports in this world.
+    pub fn remote_port_count(&self) -> usize {
+        self.core
+            .ports
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|s| matches!(s.peer, Peer::Remote(_)))
+            .count()
+    }
+
+    /// Deliver a cross-shard packet: schedule its arrival on `port` of
+    /// `node` at `at` (which must not precede this world's clock — the
+    /// conservative lookahead guarantees that for exchange traffic).
+    pub fn inject_arrival(&mut self, at: SimTime, node: NodeId, port: PortId, pkt: Packet) {
+        debug_assert!(at >= self.core.now, "cross-shard arrival in the past");
+        let slot = self.core.store_packet(pkt);
+        self.core.push(at, EventKind::Arrival { node, port, slot });
+    }
+
+    /// Deliver a cross-shard wake: schedule a port-idle event — the
+    /// "carrier returned" kick — on `port` of `node` at `at`.
+    pub fn inject_port_idle(&mut self, at: SimTime, node: NodeId, port: PortId) {
+        debug_assert!(at >= self.core.now, "cross-shard wake in the past");
+        self.core.push(at, EventKind::PortIdle { node, port });
+    }
+
+    /// Apply the far side of a cross-shard [`Ctx::set_link_up`]: flip
+    /// the administrative state of the local half of the boundary link.
+    pub fn apply_remote_link(&mut self, node: NodeId, port: PortId, up: bool) {
+        if let Some(state) = self.core.ports[node.0 as usize]
+            .get_mut(port.index())
+            .and_then(|s| s.as_mut())
+        {
+            state.up = up;
+        }
+    }
+
+    /// Number of events pending in the queue (idle detection for the
+    /// shard exchange).
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// Offset this world's packet-id allocator so ids from different
+    /// shards never collide (ids are folded into arrival digests, so
+    /// collisions would alias distinct packets). Shard `s` uses base
+    /// `s << 48`; shard 0's base of 0 keeps its id stream — and hence
+    /// its digest — identical to a non-sharded world's. Must be called
+    /// before any packet is allocated.
+    pub fn set_packet_id_base(&mut self, base: u64) {
+        debug_assert_eq!(
+            self.core.next_packet_id, 1,
+            "packet-id base must be set before any allocation"
+        );
+        self.core.next_packet_id = base + 1;
     }
 
     /// Current simulated time.
@@ -685,6 +894,12 @@ impl World {
             | EventKind::PortIdle { node, .. }
             | EventKind::Timer { node, .. } => node,
         };
+        // Stage handler pushes for the duration of the batch: no pops
+        // happen until the batch completes, so assigning the seqs at
+        // flush time (in staging order, via one bulk insert) yields the
+        // exact `(time, seq)` stream the per-push path would — while the
+        // engine amortizes slot placement across the whole sweep.
+        self.core.staging = true;
         let mut i = 0;
         while i < buf.len() {
             let node_id = node_of(&buf[i].1);
@@ -778,6 +993,8 @@ impl World {
                 i += run;
             }
         }
+        self.core.staging = false;
+        self.core.queue.push_bulk(&mut self.core.staged);
         self.batch_buf = buf;
         self.idle_buf = idles;
         self.arrival_buf = arrivals;
@@ -949,7 +1166,7 @@ impl Ctx<'_> {
         let idle_at = now + ser;
         let arrive_at = idle_at + state.spec.propagation;
         state.busy_until = idle_at;
-        let (peer_node, peer_port) = state.peer;
+        let peer = state.peer;
         self.core.push(
             idle_at,
             EventKind::PortIdle {
@@ -957,15 +1174,31 @@ impl Ctx<'_> {
                 port,
             },
         );
-        let slot = self.core.store_packet(pkt);
-        self.core.push(
-            arrive_at,
-            EventKind::Arrival {
-                node: peer_node,
-                port: peer_port,
-                slot,
-            },
-        );
+        match peer {
+            Peer::Local(peer_node, peer_port) => {
+                let slot = self.core.store_packet(pkt);
+                self.core.push(
+                    arrive_at,
+                    EventKind::Arrival {
+                        node: peer_node,
+                        port: peer_port,
+                        slot,
+                    },
+                );
+            }
+            // Boundary port: the packet leaves this shard. Park it in
+            // the outbox with its arrival time; the exchange injects it
+            // into the destination world at the next epoch barrier
+            // (arrive_at ≥ now + min cross-shard propagation ≥ the
+            // barrier — the conservative-lookahead safety condition).
+            Peer::Remote(to) => {
+                self.core.outbox.push(BoundaryMsg::Packet {
+                    at: arrive_at,
+                    to,
+                    pkt,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -994,12 +1227,22 @@ impl Ctx<'_> {
             return false;
         };
         state.up = up;
-        let (peer_node, peer_port) = state.peer;
-        if let Some(peer) = self.core.ports[peer_node.0 as usize]
-            .get_mut(peer_port.index())
-            .and_then(|s| s.as_mut())
-        {
-            peer.up = up;
+        let peer = state.peer;
+        match peer {
+            Peer::Local(peer_node, peer_port) => {
+                if let Some(peer) = self.core.ports[peer_node.0 as usize]
+                    .get_mut(peer_port.index())
+                    .and_then(|s| s.as_mut())
+                {
+                    peer.up = up;
+                }
+            }
+            // The mirrored flip lives in another shard: issue it as an
+            // exchange control message, applied at the next barrier.
+            Peer::Remote(to) => {
+                let at = self.core.now;
+                self.core.outbox.push(BoundaryMsg::LinkSet { at, to, up });
+            }
         }
         true
     }
@@ -1012,14 +1255,21 @@ impl Ctx<'_> {
         let Some(state) = self.port(port).filter(|s| s.up) else {
             return;
         };
-        let (peer_node, peer_port) = state.peer;
-        self.core.push(
-            self.core.now,
-            EventKind::PortIdle {
-                node: peer_node,
-                port: peer_port,
-            },
-        );
+        match state.peer {
+            Peer::Local(peer_node, peer_port) => {
+                self.core.push(
+                    self.core.now,
+                    EventKind::PortIdle {
+                        node: peer_node,
+                        port: peer_port,
+                    },
+                );
+            }
+            Peer::Remote(to) => {
+                let at = self.core.now;
+                self.core.outbox.push(BoundaryMsg::Wake { at, to });
+            }
+        }
     }
 
     /// Fire [`Node::on_timer`] at absolute time `at` (clamped to now).

@@ -430,6 +430,16 @@ pub struct Switch {
     tele: SwitchTele,
     /// Parked fault-script actions, addressed by admin timer tokens.
     admin: Vec<AdminAction>,
+    /// Egress-occupancy bitmap, one bit per port: set whenever anything
+    /// is enqueued (data or PFC control) on the port, cleared by the
+    /// port-idle sweep once the port is drained *and* its DWRR state is
+    /// reset — exactly the condition under which [`Switch::try_send_at`]
+    /// is a pure no-op. The sweep skips clear-bit ports without touching
+    /// their `EgressPort`, so a mostly-idle radix costs one bit test per
+    /// port instead of a ctrl-queue probe plus a full DWRR rotation.
+    /// Spurious set bits are harmless (the full scan runs); clear bits
+    /// are debug-asserted against the quiescence predicate.
+    egress_occ: Vec<u64>,
     /// Counters.
     pub stats: SwitchStats,
 }
@@ -466,6 +476,7 @@ impl Switch {
             flow_stats: FlowCacheStats::default(),
             tele,
             admin: Vec::new(),
+            egress_occ: vec![0; ports.div_ceil(64)],
             stats: SwitchStats::new(ports),
             buffer,
             router_mac,
@@ -741,6 +752,7 @@ impl Switch {
             frame,
             created_ps: ctx.now().as_ps(),
         });
+        self.mark_egress_occupied(port);
         self.try_send(port, ctx);
     }
 
@@ -976,6 +988,7 @@ impl Switch {
             flood_copy,
         });
         let total = e.total_bytes();
+        self.mark_egress_occupied(egress);
         if let Some((src_ip, dst_ip)) = hop_flow {
             self.tele.hub.stream_hop(
                 ctx.now().as_ps(),
@@ -1055,6 +1068,37 @@ impl Switch {
             e.rr = (e.rr + 1) % Priority::COUNT;
         }
         None
+    }
+
+    /// Flag `port` in the egress-occupancy bitmap (something was
+    /// enqueued; the idle sweep must service it).
+    #[inline]
+    fn mark_egress_occupied(&mut self, port: PortId) {
+        let p = port.index();
+        self.egress_occ[p / 64] |= 1u64 << (p % 64);
+    }
+
+    /// Bitmap probe: false means the port is provably quiescent and the
+    /// idle sweep may skip it outright.
+    #[inline]
+    fn egress_maybe_active(&self, p: usize) -> bool {
+        self.egress_occ[p / 64] & (1u64 << (p % 64)) != 0
+    }
+
+    /// True iff `port`'s egress is fully drained *and* its DWRR
+    /// scheduler state is reset — under which [`Switch::try_send_at`]
+    /// is a pure no-op (empty ctrl probe, a deficit rotation that
+    /// writes zeros over zeros and wraps `rr` back to itself). This —
+    /// not mere emptiness — is the occupancy bit's clear condition:
+    /// a just-drained port keeps its bit until one full `try_send_at`
+    /// has retired the residual `serving`/`deficit` state, so skipping
+    /// clear-bit ports is digest-neutral by construction.
+    fn egress_quiescent(&self, p: usize) -> bool {
+        let e = &self.egress[p];
+        e.ctrl.is_empty()
+            && e.total == 0
+            && e.serving.is_none()
+            && e.deficit.iter().all(|&d| d == 0)
     }
 
     /// Try to start a transmission on `port`.
@@ -1349,7 +1393,21 @@ impl Node for Switch {
             if let Some(qp) = self.egress[port.index()].in_flight.take() {
                 self.release(&qp, ctx);
             }
+            let p = port.index();
+            if !self.egress_maybe_active(p) {
+                // Clear bit ⟹ drained and DWRR-reset: `try_send_at`
+                // would be a pure no-op, so the sweep skips the port
+                // without touching its `EgressPort` at all.
+                debug_assert!(
+                    self.egress_quiescent(p),
+                    "occupancy bit clear on an active egress port {p}"
+                );
+                continue;
+            }
             self.try_send_at(port, now, ctx);
+            if self.egress_quiescent(p) {
+                self.egress_occ[p / 64] &= !(1u64 << (p % 64));
+            }
         }
     }
 

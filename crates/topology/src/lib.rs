@@ -339,6 +339,17 @@ impl Topology {
         self.nodes.len() - 1
     }
 
+    /// Number of pods actually present (max pod index + 1 over
+    /// non-spine nodes; 0 for an all-spine or empty topology).
+    pub fn pod_count(&self) -> u32 {
+        self.nodes
+            .iter()
+            .filter(|n| n.pod != u32::MAX)
+            .map(|n| n.pod + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Ids of all nodes of a tier.
     pub fn of_tier(&self, tier: Tier) -> Vec<usize> {
         self.nodes
@@ -393,6 +404,114 @@ impl Topology {
             }
         }
         panic!("server {server} has no ToR link");
+    }
+}
+
+/// A pod-granular shard plan over a [`Topology`]: every node is
+/// assigned to exactly one shard, and the plan is the *only* input the
+/// sharded cluster builder needs — which worlds to build, where each
+/// node lives, and which links become cross-shard boundary links.
+///
+/// Assignment rule:
+/// - The effective shard count is `min(requested, pods)` — a pod is
+///   never split, so a 1-pod topology collapses to one shard no matter
+///   what was requested (this is what lets the golden single-pod fabric
+///   re-pin its digest under any `Sharded { shards: N }`).
+/// - Pod `p` (and every host/ToR/leaf in it) goes to shard
+///   `p * eff / pods` — contiguous pod ranges, sizes differing by at
+///   most one pod.
+/// - Spines (pod = `u32::MAX`) are *owned*, not replicated: spine
+///   ordinal `s` goes to shard `s % eff`, spreading the spine layer's
+///   event load round-robin. Leaf↔spine links whose endpoints land on
+///   different shards become explicit cross-shard links.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    shard_of: Vec<u32>,
+    shards: u32,
+}
+
+impl Partition {
+    /// The trivial plan: every node on shard 0.
+    pub fn single(topo: &Topology) -> Partition {
+        Partition {
+            shard_of: vec![0; topo.nodes.len()],
+            shards: 1,
+        }
+    }
+
+    /// Pod-granular plan over (at most) `shards` shards; see the type
+    /// docs for the assignment rule.
+    pub fn pods(topo: &Topology, shards: u32) -> Partition {
+        let pods = topo.pod_count();
+        let eff = shards.max(1).min(pods.max(1));
+        if eff <= 1 {
+            return Partition::single(topo);
+        }
+        let mut spine_ordinal = 0u32;
+        let shard_of = topo
+            .nodes
+            .iter()
+            .map(|n| {
+                if n.pod == u32::MAX {
+                    let s = spine_ordinal % eff;
+                    spine_ordinal += 1;
+                    s
+                } else {
+                    // Contiguous pod ranges: pods 0..pods map onto
+                    // 0..eff monotonically, never splitting a pod.
+                    (n.pod as u64 * eff as u64 / pods as u64) as u32
+                }
+            })
+            .collect();
+        Partition {
+            shard_of,
+            shards: eff,
+        }
+    }
+
+    /// Effective number of shards (≥ 1).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Shard owning topology node `node`.
+    pub fn shard_of(&self, node: usize) -> u32 {
+        self.shard_of[node]
+    }
+
+    /// Does `link` cross a shard boundary under this plan?
+    pub fn is_cross(&self, link: &TopoLink) -> bool {
+        self.shard_of[link.a.0] != self.shard_of[link.b.0]
+    }
+
+    /// The links that cross shard boundaries (topology order).
+    pub fn cross_links<'a>(&'a self, topo: &'a Topology) -> impl Iterator<Item = &'a TopoLink> {
+        topo.links.iter().filter(|l| self.is_cross(l))
+    }
+
+    /// Dense per-shard renumbering: element `i` is node `i`'s index
+    /// within its own shard's world (nodes of a shard keep topology
+    /// order). The sharded builder adds nodes in topology order, so
+    /// this is exactly the `NodeId` each node receives there.
+    pub fn local_index(&self) -> Vec<u32> {
+        let mut next = vec![0u32; self.shards as usize];
+        self.shard_of
+            .iter()
+            .map(|&s| {
+                let i = next[s as usize];
+                next[s as usize] += 1;
+                i
+            })
+            .collect()
+    }
+
+    /// Node count per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.shards as usize];
+        for &s in &self.shard_of {
+            sizes[s as usize] += 1;
+        }
+        sizes
     }
 }
 
@@ -500,6 +619,73 @@ mod tests {
                 assert_eq!(t.tor_of_server(s), tor);
             }
         }
+    }
+
+    #[test]
+    fn partition_is_pod_granular_and_total() {
+        let spec = ClosSpec::uniform_40g(4, 2, 2, 4, 3);
+        let t = Topology::clos(&spec);
+        let p = Partition::pods(&t, 2);
+        assert_eq!(p.shards(), 2);
+        // Every non-spine node follows its pod; pods 0–1 → shard 0,
+        // pods 2–3 → shard 1 (contiguous, never splitting a pod).
+        for (i, n) in t.nodes.iter().enumerate() {
+            if n.pod != u32::MAX {
+                assert_eq!(p.shard_of(i), n.pod * 2 / 4, "node {}", n.name);
+            }
+        }
+        // Spines round-robin across both shards.
+        let spines = t.of_tier(Tier::Spine);
+        let on_shard1 = spines.iter().filter(|&&s| p.shard_of(s) == 1).count();
+        assert_eq!(on_shard1, spines.len() / 2);
+        // Sizes cover every node exactly once.
+        assert_eq!(p.shard_sizes().iter().sum::<usize>(), t.nodes.len());
+    }
+
+    #[test]
+    fn partition_collapses_to_pod_count() {
+        let t = Topology::clos(&ClosSpec::uniform_40g(2, 2, 2, 4, 3));
+        // More shards requested than pods exist: clamp to 2.
+        let p = Partition::pods(&t, 16);
+        assert_eq!(p.shards(), 2);
+        // Single-pod topology collapses to one shard for ANY request —
+        // the golden-fabric guarantee.
+        let t1 = Topology::clos(&ClosSpec::uniform_40g(1, 4, 2, 4, 3));
+        for n in [1, 2, 4, 8] {
+            let p = Partition::pods(&t1, n);
+            assert_eq!(p.shards(), 1);
+            assert_eq!(p.cross_links(&t1).count(), 0);
+        }
+    }
+
+    #[test]
+    fn only_leaf_spine_links_cross() {
+        let t = Topology::clos(&ClosSpec::uniform_40g(4, 2, 2, 4, 3));
+        let p = Partition::pods(&t, 4);
+        assert!(p.cross_links(&t).count() > 0);
+        for l in p.cross_links(&t) {
+            let tiers = (t.nodes[l.a.0].tier, t.nodes[l.b.0].tier);
+            assert!(
+                matches!(tiers, (Tier::Leaf, Tier::Spine) | (Tier::Spine, Tier::Leaf)),
+                "unexpected cross-shard link {:?}",
+                tiers
+            );
+        }
+    }
+
+    #[test]
+    fn local_indices_are_dense_per_shard() {
+        let t = Topology::clos(&ClosSpec::uniform_40g(4, 2, 2, 4, 3));
+        let p = Partition::pods(&t, 3);
+        let local = p.local_index();
+        let sizes = p.shard_sizes();
+        let mut seen: Vec<Vec<bool>> = sizes.iter().map(|&n| vec![false; n]).collect();
+        for (node, &l) in local.iter().enumerate() {
+            let s = p.shard_of(node) as usize;
+            assert!(!seen[s][l as usize], "duplicate local index");
+            seen[s][l as usize] = true;
+        }
+        assert!(seen.iter().flatten().all(|&b| b), "gaps in local indices");
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Determinism pins for sharded execution (`ExecutionProfile::Sharded`).
+//!
+//! Three guarantees anchor the conservative exchange (see
+//! `rocescale_core::sharded` and DESIGN.md §Sharded execution):
+//!
+//! 1. One effective shard dispatches the byte-identical event stream of
+//!    the plain `Cluster` — including the committed golden digest.
+//! 2. With N ≥ 2 shards, serial and threaded epoch execution agree
+//!    byte-for-byte: digest, event count, exchange bookkeeping, and the
+//!    merged telemetry snapshot.
+//! 3. Scripted faults — including a link flap on a *cross-shard* fabric
+//!    link, where the admin action and its effect live in different
+//!    worlds — keep both guarantees.
+//!
+//! The sweep below runs every (topology, seed, shard-count) cell twice,
+//! threaded and serial, and demands byte-equality; a scheduling race,
+//! an unordered exchange merge, or a nondeterministic telemetry fold
+//! all fail loudly here.
+
+use rocescale_core::{ClusterBuilder, ExecutionProfile, FaultProfile, ScriptAction, ServerId};
+use rocescale_monitor::MetricsHub;
+use rocescale_nic::QpApp;
+use rocescale_sim::SimTime;
+use rocescale_topology::ClosSpec;
+
+/// Must match `tests/golden_trace.rs` — the committed golden pin.
+const GOLDEN_DIGEST: u64 = 5655298337002817904;
+const GOLDEN_EVENTS: u64 = 13800;
+
+fn saturate() -> QpApp {
+    QpApp::Saturate {
+        msg_len: 64 * 1024,
+        inflight: 2,
+    }
+}
+
+/// Everything a run produces that must be byte-identical across
+/// threading modes (and, for one effective shard, across builders).
+type Fingerprint = (u64, u64, u64, u64, Vec<(String, u64)>);
+
+/// Build `spec` at `shards`, install one cross-pod saturating flow per
+/// pod (a ring — every flow crosses a shard boundary when sharded),
+/// run to `dur`, and fingerprint the result.
+fn run_sharded(
+    spec: ClosSpec,
+    seed: u64,
+    shards: u32,
+    threaded: bool,
+    faults: FaultProfile,
+    dur: SimTime,
+) -> Fingerprint {
+    let mut c = ClusterBuilder::new(spec)
+        .seed(seed)
+        .telemetry(MetricsHub::enabled())
+        .execution(ExecutionProfile::Sharded { shards })
+        .faults(faults)
+        .build_sharded();
+    c.set_threaded(threaded);
+    let pods = spec.pods;
+    for p in 0..pods {
+        let src = c.servers_under(p, 0)[0];
+        let dst = c.servers_under((p + 1) % pods, 0)[1];
+        c.connect_qp(src, dst, 6000 + p as u16, saturate(), QpApp::None);
+    }
+    c.run_until(dur);
+    (
+        c.dispatch_digest(),
+        c.events_processed(),
+        c.exchange_epochs(),
+        c.boundary_messages(),
+        c.counters_snapshot(),
+    )
+}
+
+#[test]
+fn serial_and_threaded_sweep_byte_identical() {
+    // Small multi-pod fabrics: 2 pods (one boundary) and 4 pods (spines
+    // spread round-robin over shards). Shard counts above the pod count
+    // collapse — also part of the property.
+    let dur = SimTime::from_micros(400);
+    for spec in [
+        ClosSpec::uniform_40g(2, 1, 2, 2, 2),
+        ClosSpec::uniform_40g(4, 2, 2, 4, 3),
+    ] {
+        for seed in [7u64, 21] {
+            for shards in [1u32, 2, 4] {
+                let t = run_sharded(spec, seed, shards, true, FaultProfile::paper_default(), dur);
+                let s = run_sharded(
+                    spec,
+                    seed,
+                    shards,
+                    false,
+                    FaultProfile::paper_default(),
+                    dur,
+                );
+                assert_eq!(
+                    t, s,
+                    "threaded vs serial divergence: pods={} seed={seed} shards={shards}",
+                    spec.pods
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_shard_matches_the_plain_cluster_on_a_multi_pod_fabric() {
+    // Event-stream equality (digest + count). Telemetry stays at the
+    // paper default here: `build()` additionally arms the live deadlock
+    // probe and fleet gauges on an *enabled* hub — observation-layer
+    // state that is single-thread-only by design (see DESIGN.md), so
+    // counter-snapshot equality across builders is only defined without
+    // it. Device behavior is what the digest pins.
+    let spec = ClosSpec::uniform_40g(4, 2, 2, 4, 3);
+    let dur = SimTime::from_micros(400);
+
+    let mut plain = ClusterBuilder::new(spec).seed(21).build();
+    for p in 0..spec.pods {
+        let src = plain.servers_under(p, 0)[0];
+        let dst = plain.servers_under((p + 1) % spec.pods, 0)[1];
+        plain.connect_qp(src, dst, 6000 + p as u16, saturate(), QpApp::None);
+    }
+    plain.run_until(dur);
+    let want = (
+        plain.world.dispatch_digest(),
+        plain.world.events_processed(),
+    );
+
+    let got = run_sharded(spec, 21, 1, true, FaultProfile::paper_default(), dur);
+    assert_eq!(
+        (got.0, got.1),
+        want,
+        "one shard must dispatch the plain cluster's event stream, byte for byte"
+    );
+    assert_eq!((got.2, got.3), (0, 0), "no exchange with one shard");
+}
+
+#[test]
+fn golden_trace_re_pins_under_sharded_execution() {
+    // The exact recipe of tests/golden_trace.rs, built through
+    // `build_sharded`. two_tier fabrics have one pod, so *any* shard
+    // request collapses to one effective shard — the golden digest is
+    // pinned under both `shards: 1` and `shards: 4`.
+    for shards in [1u32, 4] {
+        let mut cl = ClusterBuilder::two_tier(2, 4)
+            .seed(7)
+            .execution(ExecutionProfile::Sharded { shards })
+            .build_sharded();
+        assert_eq!(cl.shard_count(), 1);
+        for i in 1..4usize {
+            cl.connect_qp(
+                ServerId(i),
+                ServerId(0),
+                6000 + i as u16,
+                QpApp::Saturate {
+                    msg_len: 128 * 1024,
+                    inflight: 2,
+                },
+                QpApp::None,
+            );
+        }
+        cl.run_until(SimTime::from_micros(500));
+        assert_eq!(
+            (cl.dispatch_digest(), cl.events_processed()),
+            (GOLDEN_DIGEST, GOLDEN_EVENTS),
+            "golden trace deviates under ExecutionProfile::Sharded {{ shards: {shards} }}"
+        );
+    }
+}
+
+#[test]
+fn cross_boundary_link_flap_is_deterministic() {
+    // pod1-leaf0 lives on shard 1, spine0 on shard 0: the scripted flap
+    // downs a port whose peer is in another world, so the admin event
+    // and its LinkSet boundary message cross the exchange.
+    let spec = ClosSpec::uniform_40g(2, 1, 2, 2, 2);
+    let dur = SimTime::from_micros(500);
+    let flap = || {
+        FaultProfile::paper_default()
+            .at(
+                SimTime::from_micros(100),
+                ScriptAction::FabricLink {
+                    a: "pod1-leaf0".to_string(),
+                    b: "spine0".to_string(),
+                    up: false,
+                },
+            )
+            .at(
+                SimTime::from_micros(250),
+                ScriptAction::FabricLink {
+                    a: "pod1-leaf0".to_string(),
+                    b: "spine0".to_string(),
+                    up: true,
+                },
+            )
+    };
+    let threaded = run_sharded(spec, 7, 2, true, flap(), dur);
+    let serial = run_sharded(spec, 7, 2, false, flap(), dur);
+    assert_eq!(threaded, serial, "flapped run must stay byte-identical");
+
+    let unflapped = run_sharded(spec, 7, 2, true, FaultProfile::paper_default(), dur);
+    assert_ne!(
+        threaded.0, unflapped.0,
+        "the scripted flap must actually change the event stream"
+    );
+}
