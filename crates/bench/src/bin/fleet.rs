@@ -2,30 +2,34 @@
 //! in one invocation, spread across worker threads.
 //!
 //! ```text
-//! fleet [--jobs N] [--json] [--json-out PATH] [--bench-out PATH] [scenario flags…]
+//! fleet [--jobs N] [--only SUBSTR] [--json] [--json-out PATH]
+//!       [--trace-out PATH] [--bench-out PATH] [scenario flags…]
 //! ```
 //!
 //! * `--jobs N` — worker threads (default: available parallelism).
+//! * `--only SUBSTR` — run only scenarios whose id contains `SUBSTR`
+//!   (case-insensitive), e.g. `--only fleet-scale` or `--only §4.2`.
 //! * `--json` — emit one JSON document `{"scenarios": [...]}`, each
 //!   element the same schema the standalone binaries emit with `--json`
 //!   (validated by `json_check`).
 //! * `--json-out PATH` — also write that document to a file.
-//! * `--bench-out PATH` — time the suite at `--jobs 1` and at `--jobs N`,
-//!   check the outputs are byte-identical, and write a JSON artifact
-//!   (e.g. `BENCH_fleet.json`) with the headline numbers.
+//! * `--bench-out PATH` — time the selection at `--jobs 1` and at
+//!   `--jobs N`, check the outputs are byte-identical, and write a JSON
+//!   artifact (e.g. `BENCH_fleet.json`) with the headline numbers.
 //! * anything else (e.g. `--full-scale`, `--no-pfc`) is forwarded to
 //!   every scenario.
 //!
-//! `--trace-out` is a standalone-binary feature: twenty-one scenarios racing
-//! to stream into one file would interleave garbage, so the fleet drops
-//! it with a warning instead of forwarding it.
+//! `--trace-out` is forwarded when the selection is exactly one
+//! scenario (the usual `--only` case); with several scenarios racing to
+//! stream into one file the lines would interleave garbage, so the
+//! fleet drops the flag with a warning instead.
 //!
 //! Output on stdout is a pure function of the job list — worker count
 //! only changes wall-clock time, which goes to stderr.
 
 use std::time::Instant;
 
-use rocescale_bench::fleet::{run_suite, suite_json};
+use rocescale_bench::fleet::{matching_indices, run_selected, suite_json};
 use rocescale_bench::harness::ScenarioCli;
 use rocescale_bench::CliArgs;
 use rocescale_monitor::Json;
@@ -35,9 +39,22 @@ fn usage(msg: &str) -> ! {
         eprintln!("fleet: {msg}");
     }
     eprintln!(
-        "usage: fleet [--jobs N] [--json] [--json-out PATH] [--bench-out PATH] [scenario flags...]"
+        "usage: fleet [--jobs N] [--only SUBSTR] [--json] [--json-out PATH] \
+         [--trace-out PATH] [--bench-out PATH] [scenario flags...]"
     );
     std::process::exit(2);
+}
+
+/// Pull `--only SUBSTR` out of the forwarded flag list (it addresses the
+/// fleet, not the scenarios).
+fn take_only(flags: &mut Vec<String>) -> Option<String> {
+    let i = flags.iter().position(|f| f == "--only")?;
+    if i + 1 >= flags.len() {
+        usage("--only needs a scenario-id substring");
+    }
+    let v = flags.remove(i + 1);
+    flags.remove(i);
+    Some(v)
 }
 
 fn main() {
@@ -53,25 +70,45 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(1)
     });
-    if cli.trace_out.is_some() {
-        eprintln!("fleet: --trace-out is per-scenario; run the scenario's own binary. Ignoring.");
-    }
+    let mut flags = cli.flags.clone();
+    let only = take_only(&mut flags);
+    let indices = match &only {
+        Some(needle) => {
+            let m = matching_indices(needle);
+            if m.is_empty() {
+                usage(&format!("--only {needle:?} matches no scenario id"));
+            }
+            m
+        }
+        None => (0..rocescale_bench::suite::all().len()).collect(),
+    };
+    let trace_out = match (&cli.trace_out, indices.len()) {
+        (Some(path), 1) => Some(path.clone()),
+        (Some(_), n) => {
+            eprintln!(
+                "fleet: --trace-out needs a single scenario ({n} selected); \
+                 narrow with --only. Ignoring."
+            );
+            None
+        }
+        (None, _) => None,
+    };
     // The per-scenario view: the output flags the fleet owns must not
     // also fire inside every worker.
     let args = CliArgs {
         json: cli.json,
         json_out: None,
-        trace_out: None,
-        flags: cli.flags.clone(),
+        trace_out,
+        flags,
     };
 
     if let Some(path) = &cli.bench_out {
-        bench_mode(&args, jobs, path);
+        bench_mode(&args, jobs, path, &indices);
         return;
     }
 
     let t0 = Instant::now();
-    let outcomes = run_suite(&args, jobs);
+    let outcomes = run_selected(&args, jobs, &indices);
     let secs = t0.elapsed().as_secs_f64();
     if let Some(path) = &cli.json_out {
         let doc = suite_json(&outcomes).render() + "\n";
@@ -96,9 +133,9 @@ fn main() {
     );
 }
 
-/// Time the suite serially and at `jobs` workers, insist the rendered
-/// output is byte-identical, and write the headline artifact.
-fn bench_mode(cli: &CliArgs, jobs: usize, path: &str) {
+/// Time the selection serially and at `jobs` workers, insist the
+/// rendered output is byte-identical, and write the headline artifact.
+fn bench_mode(cli: &CliArgs, jobs: usize, path: &str, indices: &[usize]) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -109,13 +146,16 @@ fn bench_mode(cli: &CliArgs, jobs: usize, path: &str) {
     cli.flags.push("--deterministic".to_string());
     let cli = &cli;
 
-    eprintln!("fleet bench: full suite at --jobs 1 ...");
+    eprintln!("fleet bench: {} scenario(s) at --jobs 1 ...", indices.len());
     let t0 = Instant::now();
-    let serial = run_suite(cli, 1);
+    let serial = run_selected(cli, 1, indices);
     let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
-    eprintln!("fleet bench: full suite at --jobs {jobs} ...");
+    eprintln!(
+        "fleet bench: {} scenario(s) at --jobs {jobs} ...",
+        indices.len()
+    );
     let t1 = Instant::now();
-    let parallel = run_suite(cli, jobs);
+    let parallel = run_selected(cli, jobs, indices);
     let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     let a = suite_json(&serial).render();

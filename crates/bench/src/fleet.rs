@@ -94,8 +94,28 @@ pub struct FleetOutcome {
 /// `args` is forwarded to every scenario (so e.g. `--full-scale` reaches
 /// FIG-7). Outcomes come back in [`suite::all`] order.
 pub fn run_suite(args: &CliArgs, workers: usize) -> Vec<FleetOutcome> {
+    let all: Vec<usize> = (0..suite::all().len()).collect();
+    run_selected(args, workers, &all)
+}
+
+/// Indices into [`suite::all`] whose scenario id contains `needle`,
+/// case-insensitively — the `--only` selector of the fleet binary.
+pub fn matching_indices(needle: &str) -> Vec<usize> {
+    let needle = needle.to_lowercase();
+    suite::all()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.id().to_lowercase().contains(&needle))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Run a subset of the suite, given by indices into [`suite::all`], on
+/// `workers` threads. Outcomes come back in the order of `indices`.
+pub fn run_selected(args: &CliArgs, workers: usize, indices: &[usize]) -> Vec<FleetOutcome> {
     let scenarios = suite::all();
-    run_indexed(scenarios.len(), workers, |i| {
+    run_indexed(indices.len(), workers, |k| {
+        let i = indices[k];
         let s: &dyn ScenarioReport = scenarios[i];
         let report = s.run(args);
         FleetOutcome {

@@ -13,7 +13,7 @@ use rocescale_core::scenarios::{
 };
 use rocescale_core::{CcKind, InstrumentationProfile, PfcMode};
 use rocescale_monitor::Percentiles;
-use rocescale_sim::SimTime;
+use rocescale_sim::{EpochPacing, SimTime};
 
 use crate::report::{Cell, CliArgs, Report, ScenarioReport, Table};
 
@@ -1123,11 +1123,16 @@ impl ScenarioReport for IncDeadRemembered {
     }
 }
 
-/// Paper-scale fleet (§6): a 4096-host Clos on sharded execution.
-/// Scenario-specific flags: `--shards N` (worker shards, default 2) and
-/// `--serial` (run exchange epochs on one thread — the differential
-/// mode; the digest scalar must not change, which is what the CI
-/// sharded-digest smoke asserts).
+/// Paper-scale fleet (§6): a 4096-host Clos (by default) on sharded
+/// execution. Scenario-specific flags: `--shards N` (worker shards,
+/// default 2), `--serial` (run exchange epochs on one thread — the
+/// differential mode; the digest scalar must not change, which is what
+/// the CI sharded-digest smoke asserts), `--dense` (dense grid pacing
+/// instead of adaptive epoch skipping — same digest again),
+/// `--tors-per-pod N` / `--servers-per-tor N` (fabric shape; `40`/`320`
+/// is the 102 400-host deployment class of §6), and `--dur-us N` (run
+/// horizon, default 600 µs — long enough for the burst workload to
+/// drain and the quiet tail to exercise epoch skipping).
 pub struct IncFleetScale;
 
 impl ScenarioReport for IncFleetScale {
@@ -1143,19 +1148,36 @@ impl ScenarioReport for IncFleetScale {
          byte-identical digest whether epochs run serially or threaded"
     }
     fn run(&self, args: &CliArgs) -> Report {
-        let shards: u32 = match args.value("--shards") {
-            Some(v) => v.parse().ok().filter(|n| *n >= 1).unwrap_or_else(|| {
-                eprintln!("--shards needs a positive integer, got {v:?}");
-                std::process::exit(2);
-            }),
-            None => 2,
+        let uint = |flag: &str, default: u32| -> u32 {
+            match args.value(flag) {
+                Some(v) => v.parse().ok().filter(|n| *n >= 1).unwrap_or_else(|| {
+                    eprintln!("{flag} needs a positive integer, got {v:?}");
+                    std::process::exit(2);
+                }),
+                None => default,
+            }
         };
+        let shards = uint("--shards", 2);
+        let tors_per_pod = uint("--tors-per-pod", 8);
+        let servers_per_tor = uint("--servers-per-tor", 64);
+        let dur_us = uint("--dur-us", 600);
         let serial = args.has("--serial");
+        let pacing = if args.has("--dense") {
+            EpochPacing::Dense
+        } else {
+            EpochPacing::Adaptive
+        };
         // Wall-clock fields are real measurements, hence nondeterministic;
         // the fleet's --bench-out byte-identity check forwards
         // --deterministic to drop them.
         let walls = !args.has("--deterministic");
-        let r = fleet_scale::run(shards, !serial, SimTime::from_micros(300));
+        let r = fleet_scale::run_spec(
+            fleet_scale::spec_with(tors_per_pod, servers_per_tor),
+            shards,
+            !serial,
+            pacing,
+            SimTime::from_micros(dur_us as u64),
+        );
         let mut t = Table::new(
             "per-shard engine load",
             &["shard", "events", "wheel max", "slab slots", "slab live"],
@@ -1176,6 +1198,7 @@ impl ScenarioReport for IncFleetScale {
         rep.scalar("switches", Cell::U64(r.switches as u64));
         rep.scalar("shards", Cell::U64(r.shards as u64));
         rep.scalar("exchange_epochs", Cell::U64(r.epochs));
+        rep.scalar("epochs_skipped", Cell::U64(r.epochs_skipped));
         rep.scalar("boundary_msgs", Cell::U64(r.boundary_messages));
         rep.scalar("lookahead_us", Cell::f2(r.lookahead_ps as f64 / 1e6));
         rep.scalar("goodput_mb", Cell::f2(r.goodput_bytes as f64 / 1e6));
@@ -1195,12 +1218,16 @@ impl ScenarioReport for IncFleetScale {
             rep.table(w);
         }
         rep.note(format!(
-            "{} hosts, {} switches, {} shard(s), epochs {}: {}",
+            "{} hosts, {} switches, {} shard(s), epochs {} ({} executed + {} skipped \
+             of a {}-window dense grid): {}",
             r.hosts,
             r.switches,
             r.shards,
             if serial { "serial" } else { "threaded" },
-            "the same fabric shape scales to full deployments by raising servers_per_tor"
+            r.epochs,
+            r.epochs_skipped,
+            r.dense_epochs(),
+            "raise --tors-per-pod/--servers-per-tor for the 100k-host deployment class"
         ));
         rep
     }

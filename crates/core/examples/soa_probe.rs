@@ -1,0 +1,72 @@
+//! Measurement behind the decision NOT to split [`Packet`] storage into
+//! a struct-of-arrays arena (see `crates/sim/src/arena.rs` and DESIGN.md
+//! §Adaptive pacing & sharded observation).
+//!
+//! Runs the fleet-scale workload single-sharded with the dispatch
+//! profiler on and prints per-event-kind handler cost next to the packet
+//! width. The numbers to look at:
+//!
+//! * `Packet` is 88 bytes — at most two cache lines, densely stored
+//!   (the PR 8 arena already removed the `Option` tag and side free
+//!   list).
+//! * Packets cross the arena boundary *by value, whole-struct*: `insert`
+//!   writes every field, `remove` reads every field straight into the
+//!   handler's `Packet` argument. An SoA split would turn that one
+//!   contiguous 88-byte copy into five-plus scattered loads over
+//!   distinct arrays — more lines touched per packet, not fewer. No
+//!   field is hot separately from the rest while a packet is in flight
+//!   (the free list threads through vacant slots' `id`, one line either
+//!   way).
+//! * Arrival dispatch measures ~180 ns/event, dominated by switch/NIC
+//!   logic; the slab copy is noise at that scale.
+//!
+//! ```text
+//! cargo run --release -p rocescale-core --example soa_probe
+//! ```
+//!
+//! [`Packet`]: rocescale_packet::Packet
+
+use rocescale_core::scenarios::fleet_scale;
+use rocescale_core::{ClusterBuilder, ExecutionProfile};
+use rocescale_nic::QpApp;
+use rocescale_sim::{ProfileMode, SimTime};
+
+fn main() {
+    let spec = fleet_scale::spec();
+    let mut c = ClusterBuilder::new(spec)
+        .seed(41)
+        .execution(ExecutionProfile::Sharded { shards: 1 })
+        .build_sharded();
+    c.world_mut(0).set_profile_mode(ProfileMode::On);
+    for p in 0..spec.pods {
+        let src = c.servers_under(p, 0)[0];
+        let dst = c.servers_under((p + 1) % spec.pods, 0)[1];
+        c.connect_qp(
+            src,
+            dst,
+            7000 + p as u16,
+            QpApp::Burst {
+                msg_len: 64 * 1024,
+                count: 10,
+                inflight: 2,
+            },
+            QpApp::None,
+        );
+    }
+    c.run_until(SimTime::from_micros(600));
+    let p = c.world(0).event_profile();
+    println!(
+        "packet size: {} B (align {})",
+        std::mem::size_of::<rocescale_packet::Packet>(),
+        std::mem::align_of::<rocescale_packet::Packet>()
+    );
+    for (i, k) in rocescale_sim::EventProfile::KINDS.iter().enumerate() {
+        let n = p.counts[i].max(1);
+        println!(
+            "{k}: {} events, {} ns total, {:.0} ns/event",
+            p.counts[i],
+            p.nanos[i],
+            p.nanos[i] as f64 / n as f64
+        );
+    }
+}

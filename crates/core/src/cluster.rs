@@ -3,7 +3,9 @@
 use rocescale_cc::CcParams;
 use rocescale_dcqcn::CpParams;
 use rocescale_monitor::deadlock::Snapshot;
-use rocescale_monitor::{GaugeId, MetricsHub, QueueSample, ScopeId};
+use rocescale_monitor::{
+    GaugeId, MemorySink, MetricsHub, QueueSample, ScopeId, TelemetryConfig, TraceSink,
+};
 use rocescale_nic::{
     host::{TOK_INJECT_STORM, TOK_STOP_STORM},
     HostPfcMode, NicConfig, QpApp, QpHandle, RdmaHost,
@@ -260,25 +262,8 @@ impl ClusterBuilder {
         // Live deadlock probe over every switch egress that faces another
         // device (fabric links both directions, plus switch→server ports
         // so storm victims show up as wait-chain leaves).
-        let probe_switches: Vec<(String, NodeId)> =
-            switches.iter().map(|s| (s.name.clone(), s.sim)).collect();
-        let mut probe_links = Vec::new();
-        for l in &topo.links {
-            for (me, peer) in [(l.a, l.b), (l.b, l.a)] {
-                if topo.nodes[me.0].tier == Tier::Server {
-                    continue;
-                }
-                let Some(sw_idx) = switches.iter().position(|s| s.topo_idx == me.0) else {
-                    continue;
-                };
-                probe_links.push(ProbeLink {
-                    switch: sw_idx,
-                    port: me.1,
-                    peer: topo.nodes[peer.0].name.clone(),
-                });
-            }
-        }
-        let deadlock = DeadlockProbe::new(
+        let (probe_switches, probe_links) = probe_wiring(&topo, &switches);
+        let deadlock = DeadlockProbe::new_sharded(
             &telemetry,
             probe_switches,
             probe_links,
@@ -330,28 +315,54 @@ impl ClusterBuilder {
         let topo = Topology::clos(&self.spec);
         let partition = Partition::pods(&topo, shards);
         let nshards = partition.shards() as usize;
+        // With one effective shard the caller's sink attaches directly to
+        // the hub (the historical path — record bytes unchanged, no shard
+        // tag). With several, each shard's hub streams into its own
+        // MemorySink bank and the caller's sink becomes the merge target:
+        // ShardedCluster drains the banks in deterministic order at every
+        // flush boundary and stamps each record with its shard.
+        let mut deferred_sink = None;
         if let Some((sink, filter)) = self.instr.sink.take() {
-            assert_eq!(
-                nshards, 1,
-                "streaming trace sinks require single-shard execution"
-            );
-            self.instr.telemetry.attach_sink(sink, filter);
+            if nshards == 1 {
+                self.instr.telemetry.attach_sink(sink, filter);
+            } else {
+                deferred_sink = Some((sink, filter));
+            }
         }
         // Shard-local telemetry banks: shard 0 keeps the builder's hub
         // (so the single-shard path is unchanged and callers hold a live
         // handle), every other shard gets its own bank with the same
-        // enablement. Snapshots merge them by name (ShardedCluster).
+        // enablement and sampling cadence. Snapshots merge them by name
+        // (ShardedCluster).
         let hubs: Vec<MetricsHub> = (0..nshards)
             .map(|s| {
                 if s == 0 {
                     self.instr.telemetry.clone()
                 } else if self.instr.telemetry.is_enabled() {
-                    MetricsHub::enabled()
+                    MetricsHub::with_config(TelemetryConfig {
+                        sample_every_ps: self
+                            .instr
+                            .telemetry
+                            .sample_every_ps()
+                            .unwrap_or_else(|| TelemetryConfig::default().sample_every_ps),
+                        ..TelemetryConfig::default()
+                    })
                 } else {
                     MetricsHub::disabled()
                 }
             })
             .collect();
+        let banks: Vec<MemorySink> = if let Some((_, filter)) = &deferred_sink {
+            hubs.iter()
+                .map(|h| {
+                    let bank = MemorySink::new();
+                    h.attach_sink(Box::new(bank.clone()), *filter);
+                    bank
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut worlds: Vec<World> = (0..nshards as u64)
             .map(|s| {
                 let mut w = World::new_with_engine(
@@ -767,8 +778,42 @@ impl ClusterBuilder {
             servers,
             switches,
             hubs,
+            banks,
+            sink: deferred_sink.map(|(sink, _)| sink),
         }
     }
+}
+
+/// The deadlock probe's wiring over a built fabric: every switch keyed by
+/// (name, shard, sim id), and every switch egress that faces another
+/// device (fabric links both directions, plus switch→server ports so
+/// storm victims show up as wait-chain leaves). Shared by `build` and the
+/// sharded cluster so both flavours run the identical probe.
+pub(crate) fn probe_wiring(
+    topo: &Topology,
+    switches: &[SwitchInfo],
+) -> (Vec<(String, u32, NodeId)>, Vec<ProbeLink>) {
+    let probe_switches: Vec<(String, u32, NodeId)> = switches
+        .iter()
+        .map(|s| (s.name.clone(), s.shard, s.sim))
+        .collect();
+    let mut probe_links = Vec::new();
+    for l in &topo.links {
+        for (me, peer) in [(l.a, l.b), (l.b, l.a)] {
+            if topo.nodes[me.0].tier == Tier::Server {
+                continue;
+            }
+            let Some(sw_idx) = switches.iter().position(|s| s.topo_idx == me.0) else {
+                continue;
+            };
+            probe_links.push(ProbeLink {
+                switch: sw_idx,
+                port: me.1,
+                peer: topo.nodes[peer.0].name.clone(),
+            });
+        }
+    }
+    (probe_switches, probe_links)
 }
 
 /// What [`ClusterBuilder::build_parts`] hands back: every device
@@ -781,21 +826,27 @@ pub(crate) struct BuiltParts {
     pub(crate) servers: Vec<ServerInfo>,
     pub(crate) switches: Vec<SwitchInfo>,
     pub(crate) hubs: Vec<MetricsHub>,
+    /// Per-shard trace banks (parallel to `hubs`; empty when no sink was
+    /// configured or one effective shard attached it directly).
+    pub(crate) banks: Vec<MemorySink>,
+    /// The caller's sink, deferred for the sharded merge (multi-shard
+    /// builds with a sink configured; `None` otherwise).
+    pub(crate) sink: Option<Box<dyn TraceSink>>,
 }
 
 /// Cluster-level gauge ids (sentinels when telemetry is disabled).
-struct ClusterTele {
-    engine_events: GaugeId,
-    engine_pending: GaugeId,
-    switch_backlog: Vec<GaugeId>,
+pub(crate) struct ClusterTele {
+    pub(crate) engine_events: GaugeId,
+    pub(crate) engine_pending: GaugeId,
+    pub(crate) switch_backlog: Vec<GaugeId>,
     /// Each switch's trace scope (`switch.{name}` — the same name its
     /// own `SwitchTele` registers, so streamed queue samples land under
     /// the same scope as the switch's hop records and events).
-    switch_scopes: Vec<ScopeId>,
+    pub(crate) switch_scopes: Vec<ScopeId>,
 }
 
 impl ClusterTele {
-    fn register(hub: &MetricsHub, switches: &[SwitchInfo]) -> ClusterTele {
+    pub(crate) fn register(hub: &MetricsHub, switches: &[SwitchInfo]) -> ClusterTele {
         ClusterTele {
             engine_events: hub.gauge("engine.events_processed"),
             engine_pending: hub.gauge("engine.pending"),

@@ -1,27 +1,32 @@
 //! Paper-scale sharded fleet (§6) — the deployment sections of the
 //! paper run RoCEv2 across entire Clos podsets; this scenario exercises
 //! the simulator at that scale: a ≥4096-host fabric (8 pods × 8 ToRs ×
-//! 64 servers) built once and advanced through the conservative
-//! cross-shard exchange with a configurable worker-shard count.
+//! 64 servers by default) built once and advanced through the
+//! conservative cross-shard exchange with a configurable worker-shard
+//! count. The [`spec_with`] knobs raise the same shape to the paper's
+//! full deployments — 8 pods × 40 ToRs × 320 servers is a 102 400-host
+//! fabric; nothing in the build path is quadratic in hosts.
 //!
-//! The workload is deliberately light — one cross-pod saturating flow
-//! per pod (a ring, so every flow crosses a shard boundary when
+//! The workload is deliberately light — one cross-pod bursting flow per
+//! pod (a ring, so every flow crosses a shard boundary when
 //! `shards > 1`) plus one intra-pod rack-to-rack flow per pod — because
 //! the point is the *engine*, not the traffic: the result reports the
-//! per-shard wall-clock split, exchange-epoch and boundary-message
-//! counts, timer-wheel occupancy, flow-cache hit rates, and packet-slab
-//! footprint that tell us whether sharding pays at fleet scale. The
-//! same shape scales to the paper's full deployments (raise
-//! `servers_per_tor`/`tors_per_pod`; nothing in the build path is
-//! quadratic in hosts).
+//! per-shard wall-clock split, exchange-epoch/skipped-epoch and
+//! boundary-message counts, timer-wheel occupancy, flow-cache hit
+//! rates, and packet-slab footprint that tell us whether sharding pays
+//! at fleet scale. The flows are [`QpApp::Burst`]s (bounded transfers),
+//! so the run has the bulk-transfer shape of real fleets: a busy ramp,
+//! then a quiet tail where only periodic host timers fire — which is
+//! exactly what adaptive epoch pacing skips over.
 //!
 //! Determinism: the run is digest-pinnable like every other scenario —
 //! for a fixed shard count, serial and threaded epoch execution produce
-//! byte-identical digests (guarantee 2 of [`crate::sharded`]), which is
-//! what the CI smoke asserts via `--shards N` / `--serial`.
+//! byte-identical digests (guarantee 2 of [`crate::sharded`]), and
+//! dense vs adaptive pacing dispatches the byte-identical event stream,
+//! which is what the CI smoke asserts via `--shards N` / `--serial`.
 
 use rocescale_nic::QpApp;
-use rocescale_sim::SimTime;
+use rocescale_sim::{EpochPacing, SimTime};
 use rocescale_topology::ClosSpec;
 
 use crate::cluster::ClusterBuilder;
@@ -58,6 +63,10 @@ pub struct FleetScaleResult {
     pub events: u64,
     /// Exchange epochs executed (0 with one shard).
     pub epochs: u64,
+    /// Grid windows adaptive pacing proved idle and jumped over (0 with
+    /// one shard or dense pacing). `epochs + epochs_skipped` is the
+    /// dense grid count for the same run.
+    pub epochs_skipped: u64,
     /// Boundary messages carried across shards.
     pub boundary_messages: u64,
     /// Conservative lookahead in picoseconds (0 with one shard).
@@ -86,6 +95,12 @@ impl FleetScaleResult {
         self.flow_cache_hits as f64 / total as f64
     }
 
+    /// The dense grid-epoch count this run would have executed without
+    /// skipping (executed + skipped).
+    pub fn dense_epochs(&self) -> u64 {
+        self.epochs + self.epochs_skipped
+    }
+
     /// Wall-clock imbalance: max shard wall over mean shard wall (1.0 is
     /// a perfect split; meaningful only for threaded multi-shard runs).
     pub fn wall_imbalance(&self) -> f64 {
@@ -103,56 +118,65 @@ impl FleetScaleResult {
     }
 }
 
-/// The fleet fabric: 8 pods × 8 ToRs × 64 servers = 4096 hosts, with
-/// 2 leaves per pod and 4 spines in 2 planes — the smallest shape that
-/// clears the paper-scale floor while keeping a CI run cheap.
+/// The default fleet fabric: 8 pods × 8 ToRs × 64 servers = 4096 hosts,
+/// with 2 leaves per pod and 4 spines in 2 planes — the smallest shape
+/// that clears the paper-scale floor while keeping a CI run cheap.
 pub fn spec() -> ClosSpec {
-    ClosSpec::uniform_40g(8, 8, 2, 4, 64)
+    spec_with(8, 64)
 }
+
+/// The fleet fabric at a chosen rack shape: 8 pods × `tors_per_pod` ×
+/// `servers_per_tor` hosts (2 leaves per pod, 4 spines). The 100k-class
+/// deployment of §6 is `spec_with(40, 320)` = 102 400 hosts.
+pub fn spec_with(tors_per_pod: u32, servers_per_tor: u32) -> ClosSpec {
+    ClosSpec::uniform_40g(8, tors_per_pod, 2, 4, servers_per_tor)
+}
+
+/// Messages each ring flow sends before going quiet (64 KiB each). Ten
+/// messages ≈ 130 µs of wire time at 40G, so the standard 300 µs bench
+/// run is roughly half busy ramp, half quiet tail.
+const BURST_MSGS: u32 = 10;
 
 /// Build the fleet at `shards` worker shards, drive the ring workload
 /// for `dur`, and collect the engine figures. `threaded = false` runs
-/// the exchange epochs serially on the caller's thread (differential
-/// mode; byte-identical results).
-pub fn run(shards: u32, threaded: bool, dur: SimTime) -> FleetScaleResult {
-    let spec = spec();
+/// the exchange epochs serially on the caller's thread; `pacing`
+/// chooses dense grid epochs or adaptive skipping — both knobs are
+/// differential: results are byte-identical either way.
+pub fn run_spec(
+    spec: ClosSpec,
+    shards: u32,
+    threaded: bool,
+    pacing: EpochPacing,
+    dur: SimTime,
+) -> FleetScaleResult {
     let mut c: ShardedCluster = ClusterBuilder::new(spec)
         .seed(41)
         .execution(ExecutionProfile::Sharded { shards })
         .build_sharded();
     c.set_threaded(threaded);
+    c.set_pacing(pacing);
 
+    let burst = || QpApp::Burst {
+        msg_len: 64 * 1024,
+        count: BURST_MSGS,
+        inflight: 2,
+    };
     let pods = spec.pods;
     for p in 0..pods {
-        // Cross-pod ring: pod p's rack-0 lead server saturates toward
-        // pod p+1's — with `shards > 1` every one of these flows rides
-        // the exchange.
+        // Cross-pod ring: pod p's rack-0 lead server bursts toward pod
+        // p+1's — with `shards > 1` every one of these flows rides the
+        // exchange.
         let src = c.servers_under(p, 0)[0];
         let dst = c.servers_under((p + 1) % pods, 0)[1];
-        c.connect_qp(
-            src,
-            dst,
-            7000 + p as u16,
-            QpApp::Saturate {
-                msg_len: 64 * 1024,
-                inflight: 2,
-            },
-            QpApp::None,
-        );
+        c.connect_qp(src, dst, 7000 + p as u16, burst(), QpApp::None);
         // Intra-pod rack-to-rack flow: keeps every shard busy between
-        // exchanges, so the wall-clock split measures real overlap.
-        let a = c.servers_under(p, 1)[0];
-        let b = c.servers_under(p, 2)[0];
-        c.connect_qp(
-            a,
-            b,
-            7400 + p as u16,
-            QpApp::Saturate {
-                msg_len: 64 * 1024,
-                inflight: 2,
-            },
-            QpApp::None,
-        );
+        // exchanges, so the wall-clock split measures real overlap. Rack
+        // picks wrap so 2-ToR shapes work; the endpoints stay distinct
+        // because `b` takes its rack's last server.
+        let tors = spec.tors_per_pod;
+        let a = c.servers_under(p, 1 % tors)[0];
+        let b = *c.servers_under(p, 2 % tors).last().unwrap();
+        c.connect_qp(a, b, 7400 + p as u16, burst(), QpApp::None);
     }
     c.run_until(dur);
 
@@ -177,6 +201,7 @@ pub fn run(shards: u32, threaded: bool, dur: SimTime) -> FleetScaleResult {
         digest: c.dispatch_digest(),
         events: c.events_processed(),
         epochs: c.exchange_epochs(),
+        epochs_skipped: c.epochs_skipped(),
         boundary_messages: c.boundary_messages(),
         lookahead_ps: c.lookahead().map_or(0, |l| l.as_ps()),
         goodput_bytes: c.total_rdma_goodput(),
@@ -190,6 +215,11 @@ pub fn run(shards: u32, threaded: bool, dur: SimTime) -> FleetScaleResult {
             * pkt_size,
         per_shard,
     }
+}
+
+/// [`run_spec`] on the default 4096-host fabric with adaptive pacing.
+pub fn run(shards: u32, threaded: bool, dur: SimTime) -> FleetScaleResult {
+    run_spec(spec(), shards, threaded, EpochPacing::Adaptive, dur)
 }
 
 #[cfg(test)]
@@ -220,8 +250,50 @@ mod tests {
         let a = run(2, true, DUR);
         let b = run(2, false, DUR);
         assert_eq!(
-            (a.digest, a.events, a.epochs, a.boundary_messages),
-            (b.digest, b.events, b.epochs, b.boundary_messages)
+            (
+                a.digest,
+                a.events,
+                a.epochs,
+                a.epochs_skipped,
+                a.boundary_messages
+            ),
+            (
+                b.digest,
+                b.events,
+                b.epochs,
+                b.epochs_skipped,
+                b.boundary_messages
+            )
+        );
+    }
+
+    #[test]
+    fn adaptive_pacing_skips_the_quiet_tail_without_changing_physics() {
+        // A small fleet (8 pods × 2 ToRs × 2 servers) so the dense
+        // differential run stays cheap: the bursts drain by ~450 µs
+        // (DCQCN ramp included) and the tail is periodic host timers
+        // only — adaptive pacing must jump the idle windows between
+        // them and still dispatch the byte-identical event stream.
+        let small = spec_with(2, 2);
+        let dur = SimTime::from_micros(600);
+        let adaptive = run_spec(small, 4, false, EpochPacing::Adaptive, dur);
+        let dense = run_spec(small, 4, false, EpochPacing::Dense, dur);
+        assert_eq!(
+            (adaptive.digest, adaptive.events, adaptive.goodput_bytes),
+            (dense.digest, dense.events, dense.goodput_bytes),
+            "pacing is an engine knob, not a physics knob"
+        );
+        assert_eq!(dense.epochs_skipped, 0);
+        assert!(
+            adaptive.epochs_skipped > 0,
+            "the quiet tail must skip: {adaptive:?}"
+        );
+        assert!(adaptive.epochs < dense.epochs);
+        assert_eq!(adaptive.dense_epochs(), dense.epochs);
+        // Budget spent: every ring flow completed its full burst.
+        assert_eq!(
+            adaptive.goodput_bytes,
+            u64::from(16 * BURST_MSGS) * 64 * 1024
         );
     }
 }

@@ -19,22 +19,42 @@
 //! 3. The digest folds per-shard digests in fixed shard order, so a
 //!    sharded run is replayable and pinnable like any other.
 //!
-//! Telemetry in this mode is *bank-per-shard*: each shard's devices
-//! register on their own [`MetricsHub`], and
+//! Every observation feature runs *bank-per-shard* here: each shard's
+//! devices register counters, gauges, time series and trace streams on
+//! their own [`MetricsHub`];
 //! [`ShardedCluster::counters_snapshot`] merges the banks by name
-//! (summing duplicates) into one deterministic fleet view. Time-series
-//! sampling, streaming trace sinks, and the live deadlock probe remain
-//! single-thread-only observation features.
+//! (summing duplicates) into one deterministic fleet view, and a
+//! configured [`TraceSink`] receives every shard's records merged in
+//! `(time, shard, emission)` order with a `shard` tag per line. The live
+//! [`DeadlockProbe`] reads the barrier-merged pause/occupancy view
+//! across all shard worlds at each sampling epoch, and the Pingmesh
+//! report mirrors each prober's RTTs into its owning shard's bank.
+//! Serial and threaded execution produce byte-identical exports: within
+//! an epoch each world writes only to its own bank, and the merge order
+//! is a pure function of the records.
 
 use std::collections::BTreeMap;
 
-use rocescale_monitor::MetricsHub;
+use rocescale_monitor::{MemorySink, MetricsHub, Pingmesh, QueueSample, StreamRecord, TraceSink};
 use rocescale_nic::{QpApp, QpHandle, RdmaHost};
-use rocescale_sim::{ShardedWorld, SimTime, World};
+use rocescale_packet::Priority;
+use rocescale_sim::{EpochPacing, ShardStats, ShardedWorld, SimTime, World};
 use rocescale_switch::{DropReason, Switch};
 use rocescale_topology::{ClosSpec, Partition, Tier, Topology};
 
-use crate::cluster::{BuiltParts, ServerId, ServerInfo, ServerKind, SwitchInfo};
+use crate::cluster::{
+    probe_wiring, BuiltParts, ClusterTele, ServerId, ServerInfo, ServerKind, SwitchInfo,
+};
+use crate::detect::DeadlockProbe;
+
+/// One shard's observation bank: fleet-level gauge ids and trace scopes
+/// registered on that shard's hub, over the switches the shard owns.
+struct ShardObs {
+    tele: ClusterTele,
+    /// Global switch indices owned by this shard, parallel to the
+    /// `tele` vectors.
+    switch_idx: Vec<usize>,
+}
 
 /// A running sharded cluster: per-pod worlds behind the conservative
 /// exchange, plus the index structures to reach every device.
@@ -46,6 +66,13 @@ pub struct ShardedCluster {
     servers: Vec<ServerInfo>,
     switches: Vec<SwitchInfo>,
     hubs: Vec<MetricsHub>,
+    obs: Vec<ShardObs>,
+    deadlock: DeadlockProbe,
+    /// Per-shard trace banks (parallel to `hubs`) and the caller's sink
+    /// they merge into; both empty/none unless a sink was configured on
+    /// a multi-shard build.
+    banks: Vec<MemorySink>,
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl ShardedCluster {
@@ -57,7 +84,35 @@ impl ShardedCluster {
             servers,
             switches,
             hubs,
+            banks,
+            sink,
         } = parts;
+        let obs = hubs
+            .iter()
+            .enumerate()
+            .map(|(s, hub)| {
+                let switch_idx: Vec<usize> = switches
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, sw)| sw.shard == s as u32)
+                    .map(|(i, _)| i)
+                    .collect();
+                let owned: Vec<SwitchInfo> =
+                    switch_idx.iter().map(|&i| switches[i].clone()).collect();
+                ShardObs {
+                    tele: ClusterTele::register(hub, &owned),
+                    switch_idx,
+                }
+            })
+            .collect();
+        let (probe_switches, probe_links) = probe_wiring(&topo, &switches);
+        let deadlock = DeadlockProbe::new_sharded(
+            &hubs[0],
+            probe_switches,
+            probe_links,
+            vec![Priority::new(3), Priority::new(4)],
+            3,
+        );
         ShardedCluster {
             sharded: ShardedWorld::new(worlds),
             topo,
@@ -66,6 +121,10 @@ impl ShardedCluster {
             servers,
             switches,
             hubs,
+            obs,
+            deadlock,
+            banks,
+            sink,
         }
     }
 
@@ -107,6 +166,18 @@ impl ShardedCluster {
         self.sharded.set_threaded(threaded);
     }
 
+    /// Choose dense grid pacing or adaptive epoch skipping (the
+    /// default). A differential knob like `set_threaded`: both modes
+    /// dispatch byte-identical event streams.
+    pub fn set_pacing(&mut self, pacing: EpochPacing) {
+        self.sharded.set_pacing(pacing);
+    }
+
+    /// The active pacing mode.
+    pub fn pacing(&self) -> EpochPacing {
+        self.sharded.pacing()
+    }
+
     // ---- servers ----
 
     /// Number of servers.
@@ -117,6 +188,16 @@ impl ShardedCluster {
     /// All server ids.
     pub fn all_servers(&self) -> Vec<ServerId> {
         (0..self.servers.len()).map(ServerId).collect()
+    }
+
+    /// Server ids of a given kind.
+    pub fn servers_of_kind(&self, kind: ServerKind) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == kind)
+            .map(|(i, _)| ServerId(i))
+            .collect()
     }
 
     /// The servers under `tor` (pod-relative index), in port order.
@@ -219,8 +300,127 @@ impl ShardedCluster {
     // ---- running ----
 
     /// Advance every shard to `t` through conservative-lookahead epochs.
+    ///
+    /// With telemetry enabled the run is chunked at sample boundaries —
+    /// exactly like [`Cluster::run_until`](crate::Cluster::run_until) —
+    /// so every shard bank samples its time series on the same cadence,
+    /// fleet gauges refresh, queue samples stream into each shard's
+    /// bank, and the deadlock probe reads the barrier-merged
+    /// pause/occupancy view across all shard worlds. Chunking never
+    /// changes the physics: the dispatch digest is byte-identical with
+    /// observation on or off, threaded or serial.
     pub fn run_until(&mut self, t: SimTime) {
+        if self.hubs[0].is_enabled() {
+            while let Some(ns) = self.hubs[0].next_sample_ps() {
+                if ns >= t.as_ps() {
+                    break;
+                }
+                self.sharded.run_until(SimTime(ns));
+                self.publish_gauges();
+                self.stream_queue_samples(ns);
+                self.deadlock
+                    .observe_merged(self.sharded.worlds(), SimTime(ns));
+                for h in &self.hubs {
+                    h.maybe_sample(ns);
+                }
+            }
+        }
         self.sharded.run_until(t);
+        // A run boundary is where readers expect the exported trace to
+        // be complete: move every bank's records into the caller's sink
+        // (multi-shard) or flush the directly attached sink (one shard).
+        self.merge_trace_banks();
+        for h in &self.hubs {
+            h.flush_sink();
+        }
+    }
+
+    /// Refresh each shard's fleet-level gauges (engine progress,
+    /// per-switch lossless backlog) from live state. Called
+    /// automatically at each sample boundary.
+    pub fn publish_gauges(&self) {
+        for (s, obs) in self.obs.iter().enumerate() {
+            let hub = &self.hubs[s];
+            if !hub.is_enabled() {
+                continue;
+            }
+            let w = self.sharded.world(s);
+            hub.set_gauge(obs.tele.engine_events, w.events_processed() as f64);
+            let st = w.sched_stats();
+            hub.set_gauge(
+                obs.tele.engine_pending,
+                (st.pushed - st.dispatched - st.cancelled) as f64,
+            );
+            for (k, &gi) in obs.switch_idx.iter().enumerate() {
+                let backlog = self.switch(gi).lossless_backlog() as f64;
+                hub.set_gauge(obs.tele.switch_backlog[k], backlog);
+            }
+        }
+    }
+
+    /// Stream one queue-depth sample per switch into its owning shard's
+    /// bank at epoch boundary `ns` (no-op for shards without a
+    /// queue-class sink).
+    fn stream_queue_samples(&self, ns: u64) {
+        for (s, obs) in self.obs.iter().enumerate() {
+            let hub = &self.hubs[s];
+            if !hub.streams_queues() {
+                continue;
+            }
+            for (k, &gi) in obs.switch_idx.iter().enumerate() {
+                let sw = self.switch(gi);
+                hub.stream_queue(
+                    ns,
+                    obs.tele.switch_scopes[k],
+                    QueueSample {
+                        backlog_bytes: sw.lossless_backlog(),
+                        max_port_bytes: sw.max_egress_depth(),
+                        tx_pkts: sw.total_data_tx_pkts(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Drain every shard's trace bank into the caller's sink, merged in
+    /// `(time, shard, emission order)` — a pure function of the records,
+    /// so threaded and serial runs export byte-identical files. Each
+    /// line carries its owning shard in the `shard` field. Records never
+    /// interleave wrongly across successive calls: a chunk's records all
+    /// precede the next chunk's in simulated time.
+    fn merge_trace_banks(&mut self) {
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        let mut all: Vec<(u64, u32, usize, rocescale_monitor::OwnedRecord)> = Vec::new();
+        for (s, bank) in self.banks.iter().enumerate() {
+            for (i, rec) in bank.take_records().into_iter().enumerate() {
+                all.push((rec.t_ps, s as u32, i, rec));
+            }
+        }
+        all.sort_by_key(|&(t, s, i, _)| (t, s, i));
+        for (_, s, _, rec) in all {
+            sink.write(&StreamRecord {
+                t_ps: rec.t_ps,
+                scope: &rec.scope,
+                shard: Some(s),
+                body: rec.body,
+            });
+        }
+        sink.flush();
+    }
+
+    /// The live deadlock probe over the barrier-merged fleet view.
+    /// Epochs run automatically at each telemetry sample boundary.
+    pub fn deadlock_probe(&self) -> &DeadlockProbe {
+        &self.deadlock
+    }
+
+    /// Force one deadlock-detection epoch right now against the merged
+    /// pause/occupancy view. Returns the wait cycle found, if any.
+    pub fn deadlock_observe_now(&mut self) -> Option<Vec<String>> {
+        let now = self.sharded.now();
+        self.deadlock.observe_merged(self.sharded.worlds(), now)
     }
 
     /// Run for `ms` more milliseconds of simulated time.
@@ -250,6 +450,17 @@ impl ShardedCluster {
     /// Exchange epochs executed (0 until the first multi-shard run).
     pub fn exchange_epochs(&self) -> u64 {
         self.sharded.epochs()
+    }
+
+    /// Grid windows adaptive pacing proved idle and jumped over (0 under
+    /// dense pacing or one shard).
+    pub fn epochs_skipped(&self) -> u64 {
+        self.sharded.epochs_skipped()
+    }
+
+    /// Executed/skipped/boundary counters in one snapshot.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.sharded.stats()
     }
 
     /// Boundary messages carried across shards so far.
@@ -333,6 +544,108 @@ impl ShardedCluster {
             }
         }
         merged.into_iter().collect()
+    }
+
+    /// Fleet gauge snapshot: every shard bank's gauges merged by name.
+    /// Additive fleet gauges (engine events/pending, per-switch backlog)
+    /// sum; names are unique per shard otherwise, so summing is exact.
+    pub fn gauges_snapshot(&self) -> Vec<(String, f64)> {
+        let mut merged: BTreeMap<String, f64> = BTreeMap::new();
+        for h in &self.hubs {
+            for (name, v) in h.gauges_snapshot() {
+                *merged.entry(name).or_insert(0.0) += v;
+            }
+        }
+        merged.into_iter().collect()
+    }
+
+    // ---- pingmesh ----
+
+    /// Pingmesh scope of a server pair (§5.3's ToR / Podset / DC levels).
+    pub fn scope_of(&self, a: ServerId, b: ServerId) -> rocescale_monitor::pingmesh::Scope {
+        use rocescale_monitor::pingmesh::Scope;
+        if self.same_tor(a, b) {
+            Scope::IntraTor
+        } else if self.server_pod(a) == self.server_pod(b) {
+            Scope::IntraPodset
+        } else {
+            Scope::IntraDc
+        }
+    }
+
+    /// Install the RDMA Pingmesh service (§5.3), shard-oblivious: the
+    /// same pair-selection as [`Cluster::install_pingmesh`]
+    /// (crate::Cluster::install_pingmesh), with probes that cross shard
+    /// boundaries riding the exchange like any other flow. Returns the
+    /// probed pairs; collect results with
+    /// [`ShardedCluster::pingmesh_report`].
+    pub fn install_pingmesh(
+        &mut self,
+        fanout: usize,
+        interval: SimTime,
+    ) -> Vec<(ServerId, ServerId)> {
+        let servers = self.servers_of_kind(ServerKind::Rdma);
+        let mut pairs = Vec::new();
+        for (i, a) in servers.iter().enumerate() {
+            for k in 1..=fanout {
+                let b = servers[(i + k * (servers.len() / (fanout + 1)).max(1)) % servers.len()];
+                if b == *a {
+                    continue;
+                }
+                self.connect_qp(
+                    *a,
+                    b,
+                    (20_000 + i * 17 + k) as u16,
+                    rocescale_nic::QpApp::Pinger {
+                        payload: rocescale_monitor::pingmesh::PROBE_BYTES,
+                        interval,
+                        start_at: SimTime::from_micros(10 + (i * 13 + k * 7) as u64),
+                    },
+                    rocescale_nic::QpApp::Echo {
+                        reply_len: rocescale_monitor::pingmesh::PROBE_BYTES,
+                    },
+                );
+                pairs.push((*a, b));
+            }
+        }
+        pairs
+    }
+
+    /// Aggregate all collected probe RTTs into a fleet Pingmesh report.
+    ///
+    /// Each RTT sample is mirrored into the *prober's owning shard's*
+    /// bank (so `pingmesh.{tor,podset,dc}.*` counters live next to that
+    /// shard's other metrics and merge by name in
+    /// [`counters_snapshot`](Self::counters_snapshot)), and recorded
+    /// once more in the returned unbound fleet aggregate — which is what
+    /// callers quote for percentiles, since per-shard gauge banks only
+    /// see their own shard's latencies.
+    pub fn pingmesh_report(&mut self, pairs: &[(ServerId, ServerId)]) -> Pingmesh {
+        use rocescale_monitor::pingmesh::ProbeResult;
+        let mut shard_banks: Vec<Pingmesh> = self
+            .hubs
+            .iter()
+            .map(|h| Pingmesh::with_hub(h.clone()))
+            .collect();
+        let mut fleet = Pingmesh::new();
+        for (a, b) in pairs {
+            let scope = self.scope_of(*a, *b);
+            let info = &self.servers[a.0];
+            let (shard, sim) = (info.shard, info.sim);
+            let samples = std::mem::take(
+                &mut self
+                    .sharded
+                    .world_mut(shard as usize)
+                    .node_mut::<RdmaHost>(sim)
+                    .stats
+                    .rtt_samples_ps,
+            );
+            for s in samples {
+                shard_banks[shard as usize].record(scope, ProbeResult::Rtt(s));
+                fleet.record(scope, ProbeResult::Rtt(s));
+            }
+        }
+        fleet
     }
 }
 

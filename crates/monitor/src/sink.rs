@@ -114,6 +114,10 @@ pub struct StreamRecord<'a> {
     pub t_ps: u64,
     /// Emitting component (e.g. `switch.pod0-tor0`, `nic.s3`).
     pub scope: &'a str,
+    /// Owning shard for records merged out of a sharded run; `None` for
+    /// single-world emission, which keeps those lines byte-identical to
+    /// the pre-sharding format.
+    pub shard: Option<u32>,
     /// The payload.
     pub body: RecordBody,
 }
@@ -127,6 +131,9 @@ impl StreamRecord<'_> {
             ("scope".to_string(), Json::Str(self.scope.to_string())),
             ("kind".to_string(), Json::Str(self.body.kind().to_string())),
         ];
+        if let Some(s) = self.shard {
+            pairs.push(("shard".to_string(), Json::U64(s as u64)));
+        }
         match self.body {
             RecordBody::Event(e) => pairs.extend(e.detail_json()),
             RecordBody::Hop(h) => {
@@ -266,6 +273,8 @@ pub struct OwnedRecord {
     pub t_ps: u64,
     /// Emitting component.
     pub scope: String,
+    /// Owning shard tag (see [`StreamRecord::shard`]).
+    pub shard: Option<u32>,
     /// The payload.
     pub body: RecordBody,
 }
@@ -276,6 +285,7 @@ impl OwnedRecord {
         StreamRecord {
             t_ps: self.t_ps,
             scope: &self.scope,
+            shard: self.shard,
             body: self.body,
         }
         .to_json()
@@ -298,6 +308,13 @@ impl MemorySink {
     /// Snapshot of everything recorded so far, in emission order.
     pub fn records(&self) -> Vec<OwnedRecord> {
         self.records.lock().unwrap().clone()
+    }
+
+    /// Drain everything recorded so far, in emission order. The sharded
+    /// merge uses this to move each bank's records into the final sink
+    /// exactly once per flush boundary.
+    pub fn take_records(&self) -> Vec<OwnedRecord> {
+        std::mem::take(&mut *self.records.lock().unwrap())
     }
 
     /// Number of records captured.
@@ -326,6 +343,7 @@ impl TraceSink for MemorySink {
         self.records.lock().unwrap().push(OwnedRecord {
             t_ps: rec.t_ps,
             scope: rec.scope.to_string(),
+            shard: rec.shard,
             body: rec.body,
         });
     }
@@ -436,6 +454,7 @@ mod tests {
             OwnedRecord {
                 t_ps: 1_000,
                 scope: "switch.t0".into(),
+                shard: None,
                 body: RecordBody::Hop(HopRecord {
                     port: 4,
                     prio: 3,
@@ -448,11 +467,15 @@ mod tests {
             OwnedRecord {
                 t_ps: 2_000,
                 scope: "switch.t0".into(),
+                shard: None,
                 body: RecordBody::Event(TraceEvent::PauseTx { port: 1, prio: 3 }),
             },
             OwnedRecord {
                 t_ps: 3_000,
                 scope: "nic.s1".into(),
+                // Shard-tagged, as the sharded merge emits: the tag must
+                // survive the render → parse → re-render round trip.
+                shard: Some(2),
                 body: RecordBody::Rate(RatePoint {
                     qp: 0,
                     rate_mbps: 20_000,
@@ -463,6 +486,7 @@ mod tests {
             OwnedRecord {
                 t_ps: 100_000_000,
                 scope: "switch.t0".into(),
+                shard: None,
                 body: RecordBody::Queue(QueueSample {
                     backlog_bytes: 1 << 20,
                     max_port_bytes: 1 << 19,
@@ -491,6 +515,7 @@ mod tests {
             sink.write(&StreamRecord {
                 t_ps: r.t_ps,
                 scope: &r.scope,
+                shard: r.shard,
                 body: r.body,
             });
         }
@@ -530,6 +555,7 @@ mod tests {
             writer.write(&StreamRecord {
                 t_ps: r.t_ps,
                 scope: &r.scope,
+                shard: r.shard,
                 body: r.body,
             });
         }

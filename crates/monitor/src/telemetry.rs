@@ -844,6 +844,10 @@ impl MetricsHub {
             sink.write(&StreamRecord {
                 t_ps,
                 scope: name,
+                // Direct emission never knows its shard; the sharded
+                // merge stamps the tag when moving bank records into the
+                // final sink.
+                shard: None,
                 body,
             });
         }

@@ -141,6 +141,19 @@ pub enum QpApp {
         /// Messages kept outstanding.
         inflight: u32,
     },
+    /// Saturate with a budget: keep `inflight` messages posted until
+    /// `count` have been sent in total, then go quiet. The bulk-transfer
+    /// shape of fleet workloads — a burst drains and the QP idles, so
+    /// large-scale runs have genuine quiet spans for the sharded
+    /// engine's adaptive epoch skipping to exploit.
+    Burst {
+        /// Message length, bytes.
+        msg_len: u32,
+        /// Total messages to send before going quiet.
+        count: u32,
+        /// Messages kept outstanding while budget remains.
+        inflight: u32,
+    },
     /// Reply to every received message with one of `reply_len` bytes —
     /// the response half of the incast service (Figure 6).
     Echo {
@@ -230,9 +243,40 @@ struct Qp {
     pending_rtt: VecDeque<u64>,
     /// Cumulative received payload offset (MTT access pattern).
     rx_offset: u64,
-    /// Messages currently posted by a Saturate app.
+    /// Messages currently posted by a Saturate/Burst app.
     posted: u32,
+    /// Messages a Burst app may still post (0 once the budget drains).
+    burst_remaining: u32,
     wr_seq: u64,
+}
+
+impl Qp {
+    /// Top up a Saturate/Burst generator to its inflight target,
+    /// spending Burst budget as it goes. No-op for other apps.
+    fn refill_app(&mut self) {
+        match self.app {
+            QpApp::Saturate { msg_len, inflight } => {
+                while self.posted < inflight {
+                    let wr = WrId(self.wr_seq);
+                    self.wr_seq += 1;
+                    self.endpoint.post(Verb::Send { len: msg_len }, wr);
+                    self.posted += 1;
+                }
+            }
+            QpApp::Burst {
+                msg_len, inflight, ..
+            } => {
+                while self.posted < inflight && self.burst_remaining > 0 {
+                    let wr = WrId(self.wr_seq);
+                    self.wr_seq += 1;
+                    self.endpoint.post(Verb::Send { len: msg_len }, wr);
+                    self.posted += 1;
+                    self.burst_remaining -= 1;
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 // Timer tokens.
@@ -408,18 +452,15 @@ impl RdmaHost {
             pending_rtt: VecDeque::new(),
             rx_offset: 0,
             posted: 0,
+            burst_remaining: match app {
+                QpApp::Burst { count, .. } => count,
+                _ => 0,
+            },
             wr_seq: 0,
         };
         // Prime saturating apps here so QPs created mid-run start sending
         // at the next transmit opportunity (the periodic scans pump).
-        if let QpApp::Saturate { msg_len, inflight } = qp.app {
-            while qp.posted < inflight {
-                let wr = WrId(qp.wr_seq);
-                qp.wr_seq += 1;
-                qp.endpoint.post(Verb::Send { len: msg_len }, wr);
-                qp.posted += 1;
-            }
-        }
+        qp.refill_app();
         self.qps.push(qp);
         let (hub, name) = (&self.tele.hub, &self.tele.name);
         self.tele
@@ -849,14 +890,9 @@ impl RdmaHost {
                 Completion::SendDone { .. } => {
                     self.stats.send_completions += 1;
                     let q = &mut self.qps[qpn as usize];
-                    if let QpApp::Saturate { msg_len, inflight } = q.app {
+                    if matches!(q.app, QpApp::Saturate { .. } | QpApp::Burst { .. }) {
                         q.posted = q.posted.saturating_sub(1);
-                        while q.posted < inflight {
-                            let wr = WrId(q.wr_seq);
-                            q.wr_seq += 1;
-                            q.endpoint.post(Verb::Send { len: msg_len }, wr);
-                            q.posted += 1;
-                        }
+                        q.refill_app();
                     }
                 }
                 Completion::ReadDone { .. } => {
@@ -952,14 +988,8 @@ impl Node for RdmaHost {
         // Prime per-QP apps.
         for i in 0..self.qps.len() {
             match self.qps[i].app {
-                QpApp::Saturate { msg_len, inflight } => {
-                    let q = &mut self.qps[i];
-                    while q.posted < inflight {
-                        let wr = WrId(q.wr_seq);
-                        q.wr_seq += 1;
-                        q.endpoint.post(Verb::Send { len: msg_len }, wr);
-                        q.posted += 1;
-                    }
+                QpApp::Saturate { .. } | QpApp::Burst { .. } => {
+                    self.qps[i].refill_app();
                 }
                 QpApp::Pinger { start_at, .. } => {
                     ctx.set_timer_at(start_at, TOK_QP_APP_BASE + i as u64);

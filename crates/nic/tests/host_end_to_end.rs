@@ -103,6 +103,32 @@ fn send_end_to_end_completes() {
 }
 
 #[test]
+fn burst_sends_exactly_its_budget_then_goes_quiet() {
+    let (mut world, sw, hosts) = star(2, SwitchConfig::new("tor", 2), |_, _| {});
+    let (_qa, qb) = connect_qp(
+        &mut world,
+        hosts[0],
+        hosts[1],
+        5000,
+        QpApp::Burst {
+            msg_len: 64 * 1024,
+            count: 5,
+            inflight: 2,
+        },
+        QpApp::None,
+    );
+    world.run_until(SimTime::from_millis(1));
+    let done_at = world.node::<RdmaHost>(hosts[0]).stats.data_pkts_tx;
+    let b = world.node::<RdmaHost>(hosts[1]);
+    assert_eq!(b.qp_endpoint(qb).goodput_bytes(), 5 * 64 * 1024);
+    assert_eq!(world.node::<RdmaHost>(hosts[0]).stats.send_completions, 5);
+    assert_eq!(world.node::<Switch>(sw).stats.total_drops(), 0);
+    // The budget is spent: another millisecond moves no more data.
+    world.run_until(SimTime::from_millis(2));
+    assert_eq!(world.node::<RdmaHost>(hosts[0]).stats.data_pkts_tx, done_at);
+}
+
+#[test]
 fn write_and_read_verbs_work_through_fabric() {
     let (mut world, _sw, hosts) = star(2, SwitchConfig::new("tor", 2), |_, _| {});
     let (qa, qb) = connect_qp(

@@ -17,6 +17,18 @@
 //! world relies on: slots are recycled (bounded memory under steady
 //! churn) and a live packet's identity is never disturbed by
 //! [`PacketArena::compact`].
+//!
+//! A struct-of-arrays split was considered and rejected on measurement
+//! (reproduce with `cargo run --release -p rocescale-core --example
+//! soa_probe`): `Packet` is 88 bytes — at most two cache lines — and it
+//! crosses this API *by value, whole-struct* in both directions
+//! ([`PacketArena::insert`] writes every field, [`PacketArena::remove`]
+//! reads every field into the handler's argument). An SoA layout would
+//! replace one contiguous 88-byte copy with five-plus scattered loads
+//! over distinct arrays; no field is accessed separately from the rest
+//! while a packet is in flight, so the split only adds lines touched.
+//! The profiler agrees: arrival dispatch costs ~180 ns/event on the
+//! fleet workload, dominated by switch/NIC logic, not slab locality.
 
 use rocescale_packet::Packet;
 

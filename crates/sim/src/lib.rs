@@ -36,7 +36,7 @@ mod world;
 
 pub use rng::SimRng;
 pub use sched::{EngineKind, SchedStats};
-pub use shard::{ShardedWorld, PACKET_ID_SHARD_SHIFT};
+pub use shard::{EpochPacing, ShardStats, ShardedWorld, PACKET_ID_SHARD_SHIFT};
 pub use time::SimTime;
 pub use world::{
     digest_fold, BoundaryMsg, Ctx, DigestMode, DispatchMode, EventProfile, LinkSpec, Node, NodeId,

@@ -51,6 +51,46 @@ use crate::world::{digest_fold, BoundaryMsg, World};
 /// unreachable in any feasible run.
 pub const PACKET_ID_SHARD_SHIFT: u32 = 48;
 
+/// How the exchange paces its epoch cursor across the lookahead grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EpochPacing {
+    /// Execute every grid window between the horizon and the deadline,
+    /// busy or not. This was the only mode before adaptive skipping
+    /// landed; it survives as the differential-testing reference the
+    /// skipping property tests compare against.
+    Dense,
+    /// At each barrier, peek every shard's next event time and the
+    /// earliest undelivered boundary message. When neither falls inside
+    /// the next window, jump the horizon straight to the start of the
+    /// grid window containing the earliest work (or to the deadline if
+    /// there is none), counting the windows stepped over in
+    /// [`ShardStats::epochs_skipped`].
+    ///
+    /// Skipping is physics-free by construction: an empty window's
+    /// execution only advances per-shard clocks (no events dispatch, no
+    /// RNG draws, no digest folds), delivery inside it is vacuous (the
+    /// earliest pending message lies beyond the window), and collection
+    /// finds empty outboxes. The conservative-lookahead safety argument
+    /// is untouched — a boundary message *produced* in a window can only
+    /// *land* beyond it, and no window with work is ever skipped.
+    #[default]
+    Adaptive,
+}
+
+/// Exchange bookkeeping snapshot: windows actually executed, windows
+/// the adaptive pacer stepped over, and boundary messages carried. For
+/// any fixed drive pattern, `epochs_executed + epochs_skipped` equals
+/// the epoch count a [`EpochPacing::Dense`] run performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Grid windows delivered/advanced/collected.
+    pub epochs_executed: u64,
+    /// Grid windows the adaptive pacer jumped over without a barrier.
+    pub epochs_skipped: u64,
+    /// Boundary messages carried across shards.
+    pub boundary_messages: u64,
+}
+
 /// A set of per-shard [`World`]s advanced in conservative-lookahead
 /// epochs with deterministic boundary-message exchange. See the module
 /// docs for the safety and determinism arguments.
@@ -70,9 +110,11 @@ pub struct ShardedWorld {
     /// order) — the deterministic tie-break for equal-time messages.
     next_seq: u64,
     epochs: u64,
+    skipped: u64,
     exchanged: u64,
     wall_nanos: Vec<u64>,
     threaded: bool,
+    pacing: EpochPacing,
 }
 
 impl ShardedWorld {
@@ -108,9 +150,11 @@ impl ShardedWorld {
             pending: Vec::new(),
             next_seq: 0,
             epochs: 0,
+            skipped: 0,
             exchanged: 0,
             wall_nanos: vec![0; n],
             threaded: n > 1,
+            pacing: EpochPacing::default(),
         }
     }
 
@@ -120,6 +164,19 @@ impl ShardedWorld {
     /// differential-testing knob the determinism tests sweep.
     pub fn set_threaded(&mut self, threaded: bool) {
         self.threaded = threaded;
+    }
+
+    /// Choose between dense grid pacing and adaptive epoch skipping
+    /// (the default). Like `set_threaded`, this is a differential knob:
+    /// the two modes dispatch byte-identical event streams — only the
+    /// barrier count differs.
+    pub fn set_pacing(&mut self, pacing: EpochPacing) {
+        self.pacing = pacing;
+    }
+
+    /// The active pacing mode.
+    pub fn pacing(&self) -> EpochPacing {
+        self.pacing
     }
 
     /// Advance all shards to `deadline`, running exchange epochs as
@@ -139,11 +196,44 @@ impl ShardedWorld {
         }
         while self.horizon < deadline {
             let we = self.window_end(deadline);
+            if self.pacing == EpochPacing::Adaptive {
+                if let Some(l) = self.lookahead.map(SimTime::as_ps) {
+                    let next = self.next_work_time();
+                    if next.is_none_or(|t| t > we) {
+                        // Nothing lands in (horizon, we]: jump to the
+                        // start of the grid window holding the earliest
+                        // work, or drain straight to the deadline.
+                        let target = match next {
+                            Some(t) if t <= deadline => SimTime(((t.as_ps() - 1) / l) * l),
+                            _ => deadline,
+                        };
+                        self.skipped += dense_steps(self.horizon, target, l);
+                        self.horizon = target;
+                        continue;
+                    }
+                }
+            }
             self.deliver(we);
             self.advance(we);
             self.collect();
             self.horizon = we;
             self.epochs += 1;
+        }
+    }
+
+    /// Earliest thing any shard has to do: the minimum over every
+    /// shard's next queued event and the earliest undelivered boundary
+    /// message. `None` means the whole set is drained.
+    fn next_work_time(&mut self) -> Option<SimTime> {
+        let queued = self
+            .worlds
+            .iter_mut()
+            .filter_map(World::next_event_time)
+            .min();
+        let pending = self.pending.first().map(|&(at, _, _)| at);
+        match (queued, pending) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 
@@ -242,10 +332,27 @@ impl ShardedWorld {
         self.worlds.iter().map(|w| w.events_processed()).sum()
     }
 
-    /// Exchange epochs completed (0 for single-shard runs — there is no
-    /// exchange to run).
+    /// Exchange epochs actually executed (0 for single-shard runs —
+    /// there is no exchange to run). Windows the adaptive pacer jumped
+    /// over are counted separately in [`ShardedWorld::epochs_skipped`].
     pub fn epochs(&self) -> u64 {
         self.epochs
+    }
+
+    /// Grid windows the adaptive pacer stepped over without running a
+    /// barrier. `epochs() + epochs_skipped()` equals the dense-grid
+    /// epoch count for the same drive pattern.
+    pub fn epochs_skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Snapshot of the exchange bookkeeping.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            epochs_executed: self.epochs,
+            epochs_skipped: self.skipped,
+            boundary_messages: self.exchanged,
+        }
     }
 
     /// Boundary messages carried across shards so far.
@@ -289,6 +396,16 @@ impl ShardedWorld {
     pub fn worlds(&self) -> &[World] {
         &self.worlds
     }
+}
+
+/// Number of dense grid windows a [`EpochPacing::Dense`] drive would
+/// execute to move the horizon from `from` to `to`: one per grid line
+/// crossed, plus the (possibly partial) window reaching `to`. `from` is
+/// either grid-aligned or a previous deadline; either way the dense
+/// loop's first window ends at the next grid line after `⌊from/l⌋·l`.
+fn dense_steps(from: SimTime, to: SimTime, l: u64) -> u64 {
+    let base = (from.as_ps() / l) * l;
+    (to.as_ps() - base).div_ceil(l)
 }
 
 #[cfg(test)]
@@ -463,6 +580,90 @@ mod tests {
         let a: &Counter = serial.world(1).node(NodeId(0));
         let b: &Counter = threaded.world(1).node(NodeId(0));
         assert_eq!((a.received, a.last_at), (b.received, b.last_at));
+    }
+
+    #[test]
+    fn adaptive_skipping_matches_dense_byte_for_byte() {
+        // The pinger goes quiet after 20 sends (~15 µs of traffic); the
+        // remaining ~85 µs of grid windows have no work and must be
+        // skipped without touching physics.
+        let dur = SimTime::from_micros(100);
+        let mut dense = two_shard_pair(20);
+        dense.set_pacing(EpochPacing::Dense);
+        dense.run_until(dur);
+        let mut adaptive = two_shard_pair(20);
+        assert_eq!(adaptive.pacing(), EpochPacing::Adaptive);
+        adaptive.run_until(dur);
+
+        assert_eq!(adaptive.dispatch_digest(), dense.dispatch_digest());
+        assert_eq!(adaptive.events_processed(), dense.events_processed());
+        assert_eq!(adaptive.boundary_messages(), dense.boundary_messages());
+        let a: &Counter = dense.world(1).node(NodeId(0));
+        let b: &Counter = adaptive.world(1).node(NodeId(0));
+        assert_eq!((a.received, a.last_at), (b.received, b.last_at));
+
+        assert_eq!(dense.epochs_skipped(), 0, "dense pacing never skips");
+        assert!(
+            adaptive.epochs() < dense.epochs(),
+            "quiet tail must cut executed epochs ({} vs {})",
+            adaptive.epochs(),
+            dense.epochs()
+        );
+        assert!(adaptive.epochs_skipped() > 0);
+        assert_eq!(
+            adaptive.epochs() + adaptive.epochs_skipped(),
+            dense.epochs(),
+            "executed + skipped must account for every dense window"
+        );
+        assert_eq!(
+            adaptive.stats(),
+            ShardStats {
+                epochs_executed: adaptive.epochs(),
+                epochs_skipped: adaptive.epochs_skipped(),
+                boundary_messages: adaptive.boundary_messages(),
+            }
+        );
+    }
+
+    #[test]
+    fn skipping_is_invariant_to_the_drive_pattern() {
+        // Grid-aligned chunk boundaries: the skip bookkeeping (not just
+        // the physics) must match a one-shot drive.
+        let mut chunked = two_shard_pair(20);
+        for us in [13u64, 57, 100, 250] {
+            chunked.run_until(SimTime::from_micros(us));
+        }
+        let mut oneshot = two_shard_pair(20);
+        oneshot.run_until(SimTime::from_micros(250));
+        assert_eq!(chunked.stats(), oneshot.stats());
+        assert_eq!(chunked.dispatch_digest(), oneshot.dispatch_digest());
+        assert_eq!(chunked.events_processed(), oneshot.events_processed());
+    }
+
+    #[test]
+    fn a_timer_inside_a_quiet_span_forces_its_window_to_execute() {
+        // Drain the traffic, then drop a bare timer into shard 1 deep
+        // inside what would otherwise be one long skipped span: the
+        // window holding it must execute (events advance), and dense
+        // pacing must agree byte-for-byte.
+        let run = |pacing: EpochPacing| {
+            let mut sw = two_shard_pair(5);
+            sw.set_pacing(pacing);
+            sw.run_until(SimTime::from_micros(50));
+            sw.world_mut(1)
+                .schedule_timer(SimTime::from_micros(77), NodeId(0), 9);
+            sw.run_until(SimTime::from_micros(100));
+            (sw.dispatch_digest(), sw.events_processed(), sw.stats())
+        };
+        let dense = run(EpochPacing::Dense);
+        let adaptive = run(EpochPacing::Adaptive);
+        assert_eq!(adaptive.0, dense.0);
+        assert_eq!(adaptive.1, dense.1);
+        assert_eq!(
+            adaptive.2.epochs_executed + adaptive.2.epochs_skipped,
+            dense.2.epochs_executed
+        );
+        assert!(adaptive.2.epochs_skipped > 0);
     }
 
     #[test]

@@ -609,6 +609,16 @@ impl World {
         self.core.queue.len()
     }
 
+    /// Earliest pending event time, or `None` when the queue is empty.
+    /// Starts the world's nodes first if they haven't run yet, so the
+    /// `Start` events at t = 0 count as work. The adaptive shard
+    /// exchange polls this at each barrier to find the next window that
+    /// has anything to do.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.ensure_started();
+        self.core.queue.peek_time()
+    }
+
     /// Offset this world's packet-id allocator so ids from different
     /// shards never collide (ids are folded into arrival digests, so
     /// collisions would alias distinct packets). Shard `s` uses base

@@ -11,16 +11,27 @@
 //! 3. Scripted faults — including a link flap on a *cross-shard* fabric
 //!    link, where the admin action and its effect live in different
 //!    worlds — keep both guarantees.
+//! 4. Adaptive epoch pacing (skipping provably idle grid windows) is an
+//!    engine knob, not a physics knob: dense and adaptive runs agree
+//!    byte-for-byte, window-exact (`executed + skipped` under adaptive
+//!    equals the dense window count), even when a scripted fault lands
+//!    inside a span the fleet is otherwise quiet for.
+//! 5. Observation runs bank-per-shard: a trace sink attached to a
+//!    multi-shard build receives every shard's records merged in
+//!    `(time, shard, emission)` order, byte-identical threaded vs
+//!    serial.
 //!
 //! The sweep below runs every (topology, seed, shard-count) cell twice,
 //! threaded and serial, and demands byte-equality; a scheduling race,
 //! an unordered exchange merge, or a nondeterministic telemetry fold
 //! all fail loudly here.
 
-use rocescale_core::{ClusterBuilder, ExecutionProfile, FaultProfile, ScriptAction, ServerId};
-use rocescale_monitor::MetricsHub;
+use rocescale_core::{
+    ClusterBuilder, ExecutionProfile, FaultProfile, InstrumentationProfile, ScriptAction, ServerId,
+};
+use rocescale_monitor::{MemorySink, MetricsHub};
 use rocescale_nic::QpApp;
-use rocescale_sim::SimTime;
+use rocescale_sim::{EpochPacing, SimTime};
 use rocescale_topology::ClosSpec;
 
 /// Must match `tests/golden_trace.rs` — the committed golden pin.
@@ -106,11 +117,12 @@ fn serial_and_threaded_sweep_byte_identical() {
 #[test]
 fn single_shard_matches_the_plain_cluster_on_a_multi_pod_fabric() {
     // Event-stream equality (digest + count). Telemetry stays at the
-    // paper default here: `build()` additionally arms the live deadlock
-    // probe and fleet gauges on an *enabled* hub — observation-layer
-    // state that is single-thread-only by design (see DESIGN.md), so
-    // counter-snapshot equality across builders is only defined without
-    // it. Device behavior is what the digest pins.
+    // paper default here: the two builders register fleet gauges over
+    // different index structures (one bank vs bank-per-shard), so
+    // counter-snapshot equality across *builders* is not the contract —
+    // byte-identity across threading and pacing modes of the same
+    // builder is (the tests around this one). Device behavior is what
+    // the digest pins.
     let spec = ClosSpec::uniform_40g(4, 2, 2, 4, 3);
     let dur = SimTime::from_micros(400);
 
@@ -202,5 +214,215 @@ fn cross_boundary_link_flap_is_deterministic() {
     assert_ne!(
         threaded.0, unflapped.0,
         "the scripted flap must actually change the event stream"
+    );
+}
+
+/// A bounded transfer per pod (the ring again, but [`QpApp::Burst`]):
+/// the flows drain and the fabric goes quiet except for periodic host
+/// timers — the workload shape adaptive pacing exists for.
+fn burst() -> QpApp {
+    QpApp::Burst {
+        msg_len: 64 * 1024,
+        count: 4,
+        inflight: 2,
+    }
+}
+
+/// Like [`run_sharded`] but with the burst workload and explicit epoch
+/// pacing; also returns (executed, skipped) epoch counts.
+fn run_paced(
+    spec: ClosSpec,
+    seed: u64,
+    shards: u32,
+    pacing: EpochPacing,
+    faults: FaultProfile,
+    dur: SimTime,
+) -> (Fingerprint, u64, u64) {
+    let mut c = ClusterBuilder::new(spec)
+        .seed(seed)
+        .telemetry(MetricsHub::enabled())
+        .execution(ExecutionProfile::Sharded { shards })
+        .faults(faults)
+        .build_sharded();
+    c.set_pacing(pacing);
+    let pods = spec.pods;
+    for p in 0..pods {
+        let src = c.servers_under(p, 0)[0];
+        let dst = c.servers_under((p + 1) % pods, 0)[1];
+        c.connect_qp(src, dst, 6000 + p as u16, burst(), QpApp::None);
+    }
+    c.run_until(dur);
+    let fp = (
+        c.dispatch_digest(),
+        c.events_processed(),
+        c.exchange_epochs(),
+        c.boundary_messages(),
+        c.counters_snapshot(),
+    );
+    (fp, c.exchange_epochs(), c.epochs_skipped())
+}
+
+#[test]
+fn adaptive_skipping_matches_dense_across_the_sweep() {
+    // Guarantee 4 as a property over (topology × seed × shards): the
+    // fingerprint — digest, events, boundary messages, merged counters —
+    // must not depend on pacing, and the window accounting must be
+    // exact: every window adaptive pacing skips is one dense pacing
+    // executed (executed_adaptive + skipped == executed_dense). The
+    // burst workload drains mid-run, so every multi-shard cell has a
+    // quiet tail to skip.
+    let dur = SimTime::from_micros(400);
+    let mut skipped_anywhere = 0u64;
+    for spec in [
+        ClosSpec::uniform_40g(2, 1, 2, 2, 2),
+        ClosSpec::uniform_40g(4, 2, 2, 4, 3),
+    ] {
+        for seed in [7u64, 21] {
+            for shards in [2u32, 4] {
+                let (fp_d, exec_d, skip_d) = run_paced(
+                    spec,
+                    seed,
+                    shards,
+                    EpochPacing::Dense,
+                    FaultProfile::paper_default(),
+                    dur,
+                );
+                let (fp_a, exec_a, skip_a) = run_paced(
+                    spec,
+                    seed,
+                    shards,
+                    EpochPacing::Adaptive,
+                    FaultProfile::paper_default(),
+                    dur,
+                );
+                let cell = format!("pods={} seed={seed} shards={shards}", spec.pods);
+                assert_eq!(skip_d, 0, "dense pacing never skips: {cell}");
+                assert_eq!(
+                    (fp_a.0, fp_a.1, fp_a.3, fp_a.4.clone()),
+                    (fp_d.0, fp_d.1, fp_d.3, fp_d.4.clone()),
+                    "pacing changed the physics: {cell}"
+                );
+                assert_eq!(
+                    exec_a + skip_a,
+                    exec_d,
+                    "window accounting must be exact: {cell}"
+                );
+                skipped_anywhere += skip_a;
+            }
+        }
+    }
+    assert!(
+        skipped_anywhere > 0,
+        "the burst workload must leave windows to skip somewhere in the sweep"
+    );
+}
+
+#[test]
+fn script_action_inside_a_quiet_span_forces_its_window_to_execute() {
+    // The bursts drain well before 300 µs; the flap lands at 320/360 µs
+    // — inside a span adaptive pacing would otherwise jump over. The
+    // skip decision must see the scripted event and execute its window:
+    // dense and adaptive stay byte-identical, and the flap provably
+    // dispatched (different digest from the unflapped run).
+    let spec = ClosSpec::uniform_40g(2, 1, 2, 2, 2);
+    let dur = SimTime::from_micros(500);
+    let flap = || {
+        FaultProfile::paper_default()
+            .at(
+                SimTime::from_micros(320),
+                ScriptAction::FabricLink {
+                    a: "pod1-leaf0".to_string(),
+                    b: "spine0".to_string(),
+                    up: false,
+                },
+            )
+            .at(
+                SimTime::from_micros(360),
+                ScriptAction::FabricLink {
+                    a: "pod1-leaf0".to_string(),
+                    b: "spine0".to_string(),
+                    up: true,
+                },
+            )
+    };
+    let (fp_d, exec_d, _) = run_paced(spec, 7, 2, EpochPacing::Dense, flap(), dur);
+    let (fp_a, exec_a, skip_a) = run_paced(spec, 7, 2, EpochPacing::Adaptive, flap(), dur);
+    // Physics must not depend on pacing (epoch *counts* do, by design:
+    // that is the whole point of skipping).
+    assert_eq!(
+        (fp_a.0, fp_a.1, fp_a.3, fp_a.4.clone()),
+        (fp_d.0, fp_d.1, fp_d.3, fp_d.4.clone()),
+        "the flapped run must not depend on pacing"
+    );
+    assert_eq!(exec_a + skip_a, exec_d, "window accounting must stay exact");
+    assert!(skip_a > 0, "the quiet span around the flap must still skip");
+
+    let (fp_u, _, _) = run_paced(
+        spec,
+        7,
+        2,
+        EpochPacing::Adaptive,
+        FaultProfile::paper_default(),
+        dur,
+    );
+    assert_ne!(
+        fp_a.0, fp_u.0,
+        "the flap's window must have executed, not been skipped over"
+    );
+}
+
+#[test]
+fn sharded_trace_export_is_byte_identical_threaded_vs_serial() {
+    // Guarantee 5: a trace-sink-enabled build under
+    // `Sharded { shards: 4 }` merges every shard's bank into the
+    // caller's sink in (time, shard, emission) order — a pure function
+    // of the records, so the exported stream cannot depend on epoch
+    // threading.
+    let spec = ClosSpec::uniform_40g(4, 2, 2, 4, 3);
+    let run = |threaded: bool| {
+        let sink = MemorySink::new();
+        let mut c = ClusterBuilder::new(spec)
+            .seed(21)
+            .instrumentation(
+                InstrumentationProfile::paper_default()
+                    .telemetry(MetricsHub::enabled())
+                    .trace_sink(sink.clone()),
+            )
+            .execution(ExecutionProfile::Sharded { shards: 4 })
+            .build_sharded();
+        assert_eq!(c.shard_count(), 4);
+        c.set_threaded(threaded);
+        for p in 0..spec.pods {
+            let src = c.servers_under(p, 0)[0];
+            let dst = c.servers_under((p + 1) % spec.pods, 0)[1];
+            c.connect_qp(src, dst, 6000 + p as u16, burst(), QpApp::None);
+        }
+        c.run_until(SimTime::from_micros(400));
+        (sink.records(), c.dispatch_digest())
+    };
+    let (threaded, digest_t) = run(true);
+    let (serial, digest_s) = run(false);
+    assert_eq!(digest_t, digest_s);
+    assert_eq!(
+        threaded, serial,
+        "merged trace export must be byte-identical"
+    );
+    assert!(
+        !threaded.is_empty(),
+        "the sink must actually receive records"
+    );
+    // Every record is shard-tagged, all four shards contribute, and the
+    // merge is globally time-ordered.
+    let mut shards_seen = std::collections::BTreeSet::new();
+    for r in &threaded {
+        shards_seen.insert(r.shard.expect("sharded records carry their shard"));
+    }
+    assert_eq!(
+        shards_seen.into_iter().collect::<Vec<_>>(),
+        vec![0, 1, 2, 3]
+    );
+    assert!(
+        threaded.windows(2).all(|w| w[0].t_ps <= w[1].t_ps),
+        "merged records must be time-sorted"
     );
 }
